@@ -1,0 +1,103 @@
+//! Criterion benchmarks, one per paper artifact (DESIGN.md's experiment
+//! index): analysis and code-generation cost on each figure's workload,
+//! plus the whole-pipeline compile time the paper quotes for LU (§7,
+//! "2.9 seconds").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dmc_bench::{figure2_input, figure2_program, figure8_program, lu_input};
+use dmc_core::{build_schedule, compile, run, Options};
+use dmc_decomp::CompDecomp;
+use dmc_machine::MachineConfig;
+use dmc_polyhedra::{scan_bounds, Constraint, DimKind, LinExpr, Polyhedron, Space};
+
+/// E1 / Figure 3: LWT construction for the Figure 2 read.
+fn lwt_fig3(c: &mut Criterion) {
+    let p = figure2_program();
+    c.bench_function("lwt_fig3", |b| {
+        b.iter(|| dmc_dataflow::build_lwt(&p, 0, 0).unwrap())
+    });
+}
+
+/// E5 / Figure 9: hull LWT for the uniformly generated group.
+fn lwt_fig9_hull(c: &mut Criterion) {
+    let p = figure8_program();
+    c.bench_function("lwt_fig9_hull", |b| {
+        b.iter(|| dmc_dataflow::build_lwt_hull(&p, 0, &[0, 1, 2, 3]).unwrap())
+    });
+}
+
+/// E2 / Figure 5: communication-set construction for context M2.
+fn commset_fig5(c: &mut Criterion) {
+    c.bench_function("commset_fig5", |b| {
+        b.iter(|| compile(figure2_input(4), Options::full()).unwrap())
+    });
+}
+
+/// E3 / Figure 6: scanning the 2-D polyhedron in both orders.
+fn scan_fig6(c: &mut Criterion) {
+    let space = Space::from_dims([("i", DimKind::Index), ("j", DimKind::Index)]);
+    let mut poly = Polyhedron::universe(space);
+    let ge = |co: Vec<i128>, k: i128| Constraint::ge(LinExpr::from_coeffs(co, k));
+    poly.add(ge(vec![1, 0], -1));
+    poly.add(ge(vec![-1, 0], 6));
+    poly.add(ge(vec![0, 1], -1));
+    poly.add(ge(vec![1, -1], 0));
+    poly.add(ge(vec![1, -2], 12));
+    c.bench_function("scan_fig6", |b| {
+        b.iter(|| {
+            scan_bounds(&poly, &[0, 1]).unwrap();
+            scan_bounds(&poly, &[1, 0]).unwrap();
+        })
+    });
+}
+
+/// E4 / Figure 7: computation + communication code generation.
+fn codegen_fig7(c: &mut Criterion) {
+    let p = figure2_program();
+    let stmts = p.statements();
+    let comp = CompDecomp::block_1d(0, "i", 32);
+    c.bench_function("codegen_fig7", |b| {
+        b.iter(|| dmc_codegen::computation_code(&p, &stmts[0], &comp).unwrap())
+    });
+}
+
+/// E6 / Figure 10: aggregated message planning for Figure 2.
+fn aggregate_fig10(c: &mut Criterion) {
+    let compiled = compile(figure2_input(4), Options::full()).unwrap();
+    c.bench_function("aggregate_fig10", |b| {
+        b.iter(|| build_schedule(&compiled, &[3, 127], false, 1_000_000).unwrap())
+    });
+}
+
+/// E10: the full LU compile (the paper's pass took 2.9 s on 1993 hardware).
+fn compile_lu(c: &mut Criterion) {
+    c.bench_function("compile_lu", |b| {
+        b.iter(|| compile(lu_input(8), Options::full()).unwrap())
+    });
+}
+
+/// E8 / Figure 14 (timing row at benchmark scale): plan + simulate LU.
+fn lu_simulate(c: &mut Criterion) {
+    let compiled = compile(lu_input(8), Options::full()).unwrap();
+    c.bench_function("lu_plan_simulate_n64_p8", |b| {
+        b.iter(|| run(&compiled, &[64], &MachineConfig::ipsc860(), false, 50_000_000).unwrap())
+    });
+}
+
+/// E7 / Figure 13: the full values-mode LU pipeline (compile → plan →
+/// simulate with value checking).
+fn lu_values_end_to_end(c: &mut Criterion) {
+    let compiled = compile(lu_input(4), Options::full()).unwrap();
+    c.bench_function("lu_values_n16_p4", |b| {
+        b.iter(|| run(&compiled, &[16], &MachineConfig::ipsc860(), true, 10_000_000).unwrap())
+    });
+}
+
+criterion_group! {
+    name = paper;
+    config = Criterion::default().sample_size(10);
+    targets = lwt_fig3, lwt_fig9_hull, commset_fig5, scan_fig6, codegen_fig7,
+              aggregate_fig10, compile_lu, lu_simulate, lu_values_end_to_end
+}
+criterion_main!(paper);

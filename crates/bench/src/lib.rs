@@ -1,0 +1,109 @@
+//! Shared workload generators for the benchmark harness: the paper's
+//! programs (Figure 2, Figure 8, Figure 11 LU, the §2.2 motivating
+//! examples) with their decompositions, ready to compile and measure.
+
+use std::collections::{BTreeMap, HashMap};
+
+use dmc_core::CompileInput;
+use dmc_decomp::{CompDecomp, DataDecomp, ProcGrid};
+use dmc_ir::Program;
+
+/// Figure 2's program: `for t { for i { X[i] = X[i-3] } }`.
+pub fn figure2_program() -> Program {
+    dmc_ir::parse(
+        "param T, N; array X[N + 1];
+         for t = 0 to T { for i = 3 to N { X[i] = X[i - 3]; } }",
+    )
+    .expect("figure 2 parses")
+}
+
+/// Figure 2 compiled input: block-32 computation on a linear grid.
+pub fn figure2_input(nproc: i128) -> CompileInput {
+    let mut comps = BTreeMap::new();
+    comps.insert(0, CompDecomp::block_1d(0, "i", 32));
+    CompileInput {
+        program: figure2_program(),
+        comps,
+        initial: HashMap::new(),
+        grid: ProcGrid::line(nproc),
+    }
+}
+
+/// Figure 8's program (the uniformly generated group).
+pub fn figure8_program() -> Program {
+    dmc_ir::parse(
+        "param T, N; array X[N + 1];
+         for t = 0 to T { for i = 3 to N { X[i] = f(X[i], X[i - 1], X[i - 2], X[i - 3]); } }",
+    )
+    .expect("figure 8 parses")
+}
+
+/// Figure 11's LU decomposition kernel.
+pub fn lu_program() -> Program {
+    dmc_ir::parse(
+        "param N; array X[N + 1][N + 1];
+         for i1 = 0 to N {
+           for i2 = i1 + 1 to N {
+             X[i2][i1] = X[i2][i1] / X[i1][i1];
+             for i3 = i1 + 1 to N {
+               X[i2][i3] = X[i2][i3] - X[i2][i1] * X[i1][i3];
+             }
+           }
+         }",
+    )
+    .expect("LU parses")
+}
+
+/// LU compiled input: the paper's cyclic computation and data
+/// decomposition (§7) on a linear grid of `nproc` physical processors.
+pub fn lu_input(nproc: i128) -> CompileInput {
+    let mut comps = BTreeMap::new();
+    comps.insert(0, CompDecomp::cyclic_1d(0, "i2"));
+    comps.insert(1, CompDecomp::cyclic_1d(1, "i2"));
+    let mut initial = HashMap::new();
+    initial.insert("X".to_string(), DataDecomp::cyclic_1d("X", 2, 0));
+    CompileInput { program: lu_program(), comps, initial, grid: ProcGrid::line(nproc) }
+}
+
+/// §2.2.2's X/Y example where value-centric analysis transfers each value
+/// once while the location-centric baseline re-fetches per outer iteration.
+pub fn xy_input(nproc: i128) -> CompileInput {
+    let program = dmc_ir::parse(
+        "param N; array X[N + 2]; array Y[N + 2];
+         for i = 0 to N {
+           X[i] = 1.5;
+           for j = 1 to N {
+             Y[j] = Y[j] + X[j - 1];
+           }
+         }",
+    )
+    .expect("xy parses");
+    let mut comps = BTreeMap::new();
+    comps.insert(0, CompDecomp::block_1d(0, "i", 4));
+    comps.insert(1, CompDecomp::block_1d(1, "j", 4));
+    let mut initial = HashMap::new();
+    initial.insert("X".to_string(), DataDecomp::block_1d("X", 1, 0, 4));
+    initial.insert("Y".to_string(), DataDecomp::block_1d("Y", 1, 0, 4));
+    CompileInput { program, comps, initial, grid: ProcGrid::line(nproc) }
+}
+
+/// The 3-point relaxation stencil with block decomposition.
+pub fn stencil_input(block: i128, nproc: i128) -> CompileInput {
+    let program = dmc_ir::parse(
+        "param T, N; array X[N + 1];
+         for t = 0 to T {
+           for i = 1 to N - 1 {
+             X[i] = 0.25 * (X[i] + X[i - 1] + X[i + 1]);
+           }
+         }",
+    )
+    .expect("stencil parses");
+    let mut comps = BTreeMap::new();
+    comps.insert(0, CompDecomp::block_1d(0, "i", block));
+    CompileInput {
+        program,
+        comps,
+        initial: HashMap::new(),
+        grid: ProcGrid::line(nproc),
+    }
+}

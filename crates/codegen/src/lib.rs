@@ -1,0 +1,29 @@
+//! # dmc-codegen
+//!
+//! SPMD code generation (paper §5): scanning polyhedra with loop nests,
+//! computation and communication code, local memory management, and a
+//! C-like pretty printer reproducing the paper's generated-code figures.
+//!
+//! * [`scan_to_loops`] / [`loops_from_nest`] — Ancourt–Irigoin scanning
+//!   into [`SpmdStmt`] loop nests, with degenerate loops as assignments;
+//! * [`computation_code`] — Figure 7(a); [`physicalize_proc_loop`] —
+//!   Figure 7(b)'s virtual→physical folding;
+//! * [`recv_code`] / [`send_code`] — Figure 7(c,d);
+//! * [`recv_code_aggregated`] / [`send_code_aggregated`] — Figure 10, with
+//!   identical pack and unpack orders;
+//! * [`bounding_box`] — §5.5 local memory boxes and global→local address
+//!   translation.
+
+#![warn(missing_docs)]
+
+mod ast;
+mod comm;
+mod memory;
+mod scan;
+mod spmd;
+
+pub use ast::{render, CondAtom, IntExpr, SpmdStmt};
+pub use comm::{recv_code, recv_code_aggregated, send_code, send_code_aggregated};
+pub use memory::{bounding_box, LocalBox};
+pub use scan::{loops_from_nest, physicalize_proc_loop, scan_to_loops};
+pub use spmd::{computation_code, proc_dim_names, SpmdProgram};

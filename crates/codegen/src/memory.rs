@@ -1,0 +1,251 @@
+//! Local memory management (paper §5.5).
+//!
+//! Each processor allocates only the smallest rectangular region covering
+//! the array elements it reads or writes: for every access, the set of
+//! touched locations `{a : ∃i. (i, p) ∈ C ∧ a = f(i)}` is projected onto
+//! `(a, p)` and scanned per array dimension; the per-processor bounding box
+//! is the union over all accesses. Global addresses translate to local
+//! ones by subtracting the box's per-dimension lower bound.
+
+use dmc_decomp::CompDecomp;
+use dmc_ir::{ArrayRef, Program, StmtInfo};
+use dmc_polyhedra::{scan_bounds, Constraint, DimKind, PolyError, Space};
+
+use crate::ast::IntExpr;
+use crate::spmd::proc_dim_names;
+
+/// The per-processor bounding box of one array: inclusive lower/upper
+/// bounds per dimension, as expressions over the processor id (`p0…`) and
+/// the program parameters.
+#[derive(Clone, Debug)]
+pub struct LocalBox {
+    /// The array.
+    pub array: String,
+    /// Per-dimension `(lower, upper)` bounds.
+    pub dims: Vec<(IntExpr, IntExpr)>,
+}
+
+impl LocalBox {
+    /// Evaluates the box at a concrete processor/parameter binding,
+    /// returning per-dimension `(lo, hi)` or `None` when the processor
+    /// touches nothing (empty box).
+    pub fn extent_at(&self, env: &dyn Fn(&str) -> i128) -> Option<Vec<(i128, i128)>> {
+        let mut out = Vec::with_capacity(self.dims.len());
+        for (lo, hi) in &self.dims {
+            let (l, h) = (lo.eval(env), hi.eval(env));
+            if l > h {
+                return None;
+            }
+            out.push((l, h));
+        }
+        Some(out)
+    }
+
+    /// Number of elements the processor must allocate.
+    pub fn size_at(&self, env: &dyn Fn(&str) -> i128) -> i128 {
+        match self.extent_at(env) {
+            None => 0,
+            Some(ext) => ext.iter().map(|(l, h)| h - l + 1).product(),
+        }
+    }
+
+    /// Translates a global subscript to the local (box-relative) one.
+    ///
+    /// Returns `None` when the element is outside the processor's box.
+    pub fn localize(&self, global: &[i128], env: &dyn Fn(&str) -> i128) -> Option<Vec<i128>> {
+        let ext = self.extent_at(env)?;
+        let mut out = Vec::with_capacity(global.len());
+        for (g, (l, h)) in global.iter().zip(&ext) {
+            if g < l || g > h {
+                return None;
+            }
+            out.push(g - l);
+        }
+        Some(out)
+    }
+}
+
+/// Computes the local bounding box of `array` for the given statements'
+/// accesses under their computation decompositions.
+///
+/// `uses` pairs each statement with its decomposition; every read and
+/// write of `array` in those statements contributes to the box. Returns
+/// `None` if no statement touches the array.
+///
+/// # Errors
+///
+/// Returns [`PolyError::Overflow`] on overflow.
+///
+/// # Panics
+///
+/// Panics if decompositions disagree on the processor-space rank.
+pub fn bounding_box(
+    program: &Program,
+    array: &str,
+    uses: &[(&StmtInfo, &CompDecomp)],
+) -> Result<Option<LocalBox>, PolyError> {
+    let decl = match program.array(array) {
+        Some(d) => d,
+        None => return Ok(None),
+    };
+    let ndim = decl.extents.len();
+    let q = uses.first().map_or(0, |(_, c)| c.proc_ndim());
+    let mut per_access_boxes: Vec<Vec<(IntExpr, IntExpr)>> = Vec::new();
+
+    for (info, comp) in uses {
+        assert_eq!(comp.proc_ndim(), q, "processor rank mismatch");
+        let mut accesses: Vec<&ArrayRef> = Vec::new();
+        if info.stmt.write.array == array {
+            accesses.push(&info.stmt.write);
+        }
+        for r in info.stmt.rhs.reads() {
+            if r.array == array {
+                accesses.push(r);
+            }
+        }
+        for access in accesses {
+            // Space: [a dims, p dims, params, i dims].
+            let mut space = Space::new();
+            let mut a_dims = Vec::new();
+            for d in 0..ndim {
+                a_dims.push(space.add_dim(format!("a{d}"), DimKind::Array));
+            }
+            let mut p_dims = Vec::new();
+            for name in proc_dim_names(q) {
+                p_dims.push(space.add_dim(name, DimKind::Proc));
+            }
+            for p in &program.params {
+                space.add_dim(p.clone(), DimKind::Param);
+            }
+            let mut i_dims = Vec::new();
+            for v in info.loop_vars() {
+                i_dims.push(space.add_dim(v.to_owned(), DimKind::Index));
+            }
+            let mut poly = info.domain(&space, &[]);
+            comp.constrain(&mut poly, &[], &p_dims);
+            for (d, sub) in access.idx.iter().enumerate() {
+                let fe = sub.to_linexpr(&space);
+                let av = dmc_polyhedra::LinExpr::var(space.len(), a_dims[d]);
+                poly.add(Constraint::eq_pair(&av, &fe)?);
+            }
+            if !poly.integer_feasibility()?.possibly_feasible() {
+                continue;
+            }
+            // Project out the iteration dims, then scan each array dim with
+            // (p, params) symbolic — the *other* array dimensions are also
+            // projected away so each bound is independent (a rectangular
+            // box, not a coupled region).
+            let projected = poly.eliminate_dims(&i_dims)?;
+            let mut box_dims = Vec::with_capacity(ndim);
+            let mut ok = true;
+            for &ad in &a_dims {
+                let others: Vec<usize> =
+                    a_dims.iter().copied().filter(|&d| d != ad).collect();
+                let isolated = projected.eliminate_dims(&others)?;
+                let nest = scan_bounds(&isolated, &[ad])?;
+                let vb = &nest.vars[0];
+                let (lo, hi) = crate::scan::bounds_as_exprs(vb, &space);
+                match (lo, hi) {
+                    (Some(l), Some(h)) => box_dims.push((l, h)),
+                    _ => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                per_access_boxes.push(box_dims);
+            }
+        }
+    }
+
+    if per_access_boxes.is_empty() {
+        return Ok(None);
+    }
+    // Union of boxes: per dim, min of lowers / max of uppers.
+    let mut dims = Vec::with_capacity(ndim);
+    for d in 0..ndim {
+        let lows: Vec<IntExpr> = per_access_boxes.iter().map(|b| b[d].0.clone()).collect();
+        let highs: Vec<IntExpr> = per_access_boxes.iter().map(|b| b[d].1.clone()).collect();
+        let lo = if lows.len() == 1 { lows.into_iter().next().expect("one") } else { IntExpr::Min(lows) };
+        let hi =
+            if highs.len() == 1 { highs.into_iter().next().expect("one") } else { IntExpr::Max(highs) };
+        dims.push((lo, hi));
+    }
+    Ok(Some(LocalBox { array: array.to_owned(), dims }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmc_ir::parse;
+
+    #[test]
+    fn blocked_stencil_box_includes_halo() {
+        // X blocked by 8 via the computation; reading X[i-1] and X[i+1]
+        // extends the box one element on each side.
+        let p = parse(
+            "param N; array X[N + 2]; array Y[N + 2];
+             for i = 1 to N {
+               Y[i] = X[i - 1] + X[i + 1];
+             }",
+        )
+        .unwrap();
+        let stmts = p.statements();
+        let comp = CompDecomp::block_1d(0, "i", 8);
+        let lb = bounding_box(&p, "X", &[(&stmts[0], &comp)]).unwrap().unwrap();
+        let env = |v: &str| match v {
+            "p0" => 1,
+            "N" => 32,
+            _ => panic!("unbound {v}"),
+        };
+        // Processor 1 computes i in 8..=15, touching X[7..=16].
+        assert_eq!(lb.extent_at(&env).unwrap(), vec![(7, 16)]);
+        assert_eq!(lb.size_at(&env), 10);
+        assert_eq!(lb.localize(&[7], &env), Some(vec![0]));
+        assert_eq!(lb.localize(&[16], &env), Some(vec![9]));
+        assert_eq!(lb.localize(&[17], &env), None);
+    }
+
+    #[test]
+    fn lu_local_rows_box() {
+        // LU with cyclic rows: each virtual processor p writes only row p,
+        // but reads the whole matrix; the write-only box of S1 is row p.
+        let p = parse(
+            "param N; array X[N + 1][N + 1];
+             for i1 = 0 to N {
+               for i2 = i1 + 1 to N {
+                 X[i2][i1] = X[i2][i1] / X[i1][i1];
+               }
+             }",
+        )
+        .unwrap();
+        let stmts = p.statements();
+        let comp = CompDecomp::cyclic_1d(0, "i2");
+        let lb = bounding_box(&p, "X", &[(&stmts[0], &comp)]).unwrap().unwrap();
+        let env = |v: &str| match v {
+            "p0" => 3,
+            "N" => 6,
+            _ => panic!("unbound {v}"),
+        };
+        let ext = lb.extent_at(&env).unwrap();
+        // Rows touched: the written row (i2 = 3) plus the read pivot rows
+        // X[i1][i1] with i1 < 3: rows 0..=3.
+        assert_eq!(ext[0], (0, 3));
+        // Columns 0..=2 are written; the pivot reads add (i1, i1).
+        assert!(ext[1].0 <= 0 && ext[1].1 >= 2);
+    }
+
+    #[test]
+    fn untouched_array_has_no_box() {
+        let p = parse(
+            "param N; array X[N]; array Z[N];
+             for i = 0 to N - 1 { X[i] = 1.0; }",
+        )
+        .unwrap();
+        let stmts = p.statements();
+        let comp = CompDecomp::block_1d(0, "i", 4);
+        assert!(bounding_box(&p, "Z", &[(&stmts[0], &comp)]).unwrap().is_none());
+        assert!(bounding_box(&p, "missing", &[(&stmts[0], &comp)]).unwrap().is_none());
+    }
+}

@@ -1,0 +1,825 @@
+//! The compiler pipeline: program + decompositions → communication sets →
+//! optimized message plan → machine schedule.
+
+use std::collections::{BTreeMap, HashMap};
+
+use dmc_commgen::{
+    aggregate_messages, comm_from_initial, comm_from_leaf, eliminate_already_local,
+    eliminate_cross_set_reuse, eliminate_self_reuse, is_multicast, unique_sender, CommError,
+    CommSet, Message, OptError,
+};
+use dmc_dataflow::{build_lwt, LastWriteTree, LwtError, LwtLeaf};
+use dmc_decomp::{CompDecomp, DataDecomp, ProcGrid};
+use dmc_ir::{Program, StmtInfo};
+use dmc_machine::{
+    simulate, Action, InitialPlacement, MachineConfig, MessageSpec, PayloadItem, Schedule,
+    SimError, SimResult, Stamp,
+};
+use dmc_polyhedra::{DimKind, PolyError, Space};
+
+use crate::options::{Options, Strategy};
+
+/// Everything the compiler needs: the program, one computation
+/// decomposition per statement, initial data decompositions (the homes of
+/// live-in data), and the physical grid.
+#[derive(Clone, Debug)]
+pub struct CompileInput {
+    /// The affine source program.
+    pub program: Program,
+    /// Computation decomposition per statement id.
+    pub comps: BTreeMap<usize, CompDecomp>,
+    /// Initial data decomposition per array; arrays not listed are treated
+    /// as replicated (every processor has the live-in values).
+    pub initial: HashMap<String, DataDecomp>,
+    /// Physical processor grid.
+    pub grid: ProcGrid,
+}
+
+/// Errors from compilation or planning.
+#[derive(Clone, Debug)]
+pub enum CompileError {
+    /// A statement has no computation decomposition.
+    MissingComp(usize),
+    /// The location-centric strategy needs a data decomposition for every
+    /// array read.
+    MissingInitial(String),
+    /// Last Write Tree analysis failed.
+    Lwt(LwtError),
+    /// Communication-set construction failed.
+    Comm(CommError),
+    /// Communication optimization failed.
+    Opt(OptError),
+    /// Polyhedral arithmetic failed.
+    Poly(PolyError),
+    /// Planning found an unbounded processor or iteration range.
+    Unbounded(String),
+    /// Element enumeration exceeded the planning limit.
+    TooLarge(String),
+    /// Simulation failed.
+    Sim(SimError),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::MissingComp(s) => {
+                write!(f, "no computation decomposition for statement {s}")
+            }
+            CompileError::MissingInitial(a) => {
+                write!(f, "location-centric strategy needs a data decomposition for {a}")
+            }
+            CompileError::Lwt(e) => write!(f, "dataflow analysis failed: {e}"),
+            CompileError::Comm(e) => write!(f, "communication generation failed: {e}"),
+            CompileError::Opt(e) => write!(f, "communication optimization failed: {e}"),
+            CompileError::Poly(e) => write!(f, "polyhedral arithmetic failed: {e}"),
+            CompileError::Unbounded(m) => write!(f, "unbounded range while planning: {m}"),
+            CompileError::TooLarge(m) => write!(f, "planning limit exceeded: {m}"),
+            CompileError::Sim(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<LwtError> for CompileError {
+    fn from(e: LwtError) -> Self {
+        CompileError::Lwt(e)
+    }
+}
+impl From<CommError> for CompileError {
+    fn from(e: CommError) -> Self {
+        CompileError::Comm(e)
+    }
+}
+impl From<OptError> for CompileError {
+    fn from(e: OptError) -> Self {
+        CompileError::Opt(e)
+    }
+}
+impl From<PolyError> for CompileError {
+    fn from(e: PolyError) -> Self {
+        CompileError::Poly(e)
+    }
+}
+impl From<SimError> for CompileError {
+    fn from(e: SimError) -> Self {
+        CompileError::Sim(e)
+    }
+}
+
+/// The result of compilation: the analysis artifacts and the final,
+/// optimized communication sets.
+#[derive(Clone, Debug)]
+pub struct Compiled {
+    /// The input (program, decompositions, grid).
+    pub input: CompileInput,
+    /// The options compilation ran with.
+    pub options: Options,
+    /// One Last Write Tree per (statement, read) in textual order
+    /// (value-centric strategy only).
+    pub lwts: Vec<LastWriteTree>,
+    /// The final communication sets after optimization.
+    pub comm: Vec<CommSet>,
+}
+
+/// Runs analysis and communication generation/optimization.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] on any analysis failure.
+pub fn compile(input: CompileInput, options: Options) -> Result<Compiled, CompileError> {
+    let stmts = input.program.statements();
+    for s in &stmts {
+        if !input.comps.contains_key(&s.id) {
+            return Err(CompileError::MissingComp(s.id));
+        }
+    }
+
+    let mut lwts = Vec::new();
+    let mut comm: Vec<CommSet> = Vec::new();
+
+    for s in &stmts {
+        for (read_no, read) in s.stmt.rhs.reads().iter().enumerate() {
+            match options.strategy {
+                Strategy::ValueCentric => {
+                    let lwt = build_lwt(&input.program, s.id, read_no)?;
+                    let mut tree_sets: Vec<CommSet> = Vec::new();
+                    for leaf in &lwt.leaves {
+                        match &leaf.source {
+                            Some(src) => {
+                                let winfo = &stmts[src.write_stmt];
+                                let comp_r = &input.comps[&s.id];
+                                let comp_w = &input.comps[&winfo.id];
+                                let sets = comm_from_leaf(
+                                    &input.program,
+                                    &lwt,
+                                    leaf,
+                                    s,
+                                    winfo,
+                                    comp_r,
+                                    comp_w,
+                                )?;
+                                tree_sets.extend(sets);
+                            }
+                            None => {
+                                // Live-in data: if the array has a declared
+                                // home, Theorem 4 communication; otherwise
+                                // it is replicated and local.
+                                if let Some(d) = input.initial.get(&read.array) {
+                                    let comp_r = &input.comps[&s.id];
+                                    let sets = comm_from_initial(
+                                        &input.program,
+                                        &lwt,
+                                        leaf,
+                                        s,
+                                        comp_r,
+                                        d,
+                                    )?;
+                                    tree_sets.extend(sets);
+                                }
+                            }
+                        }
+                    }
+                    // §6.1 optimizations, per tree.
+                    tree_sets = optimize_sets(tree_sets, &input, options)?;
+                    comm.extend(tree_sets);
+                    lwts.push(lwt);
+                }
+                Strategy::LocationCentric => {
+                    // Theorem 2: every read fetches from the owner under
+                    // the static data decomposition, with no value
+                    // information — build a whole-domain ⊥ leaf.
+                    let d = input
+                        .initial
+                        .get(&read.array)
+                        .ok_or_else(|| CompileError::MissingInitial(read.array.clone()))?;
+                    let lwt = whole_domain_tree(&input.program, s, read_no, &read.array);
+                    let leaf = &lwt.leaves[0];
+                    let comp_r = &input.comps[&s.id];
+                    let mut sets =
+                        comm_from_initial(&input.program, &lwt, leaf, s, comp_r, d)?;
+                    sets = optimize_sets(sets, &input, options)?;
+                    comm.extend(sets);
+                    lwts.push(lwt);
+                }
+            }
+        }
+    }
+
+    Ok(Compiled { input, options, lwts, comm })
+}
+
+/// Applies the enabled §6 set-level optimizations to one tree's sets.
+fn optimize_sets(
+    sets: Vec<CommSet>,
+    input: &CompileInput,
+    options: Options,
+) -> Result<Vec<CommSet>, CompileError> {
+    let mut cur = sets;
+    if options.self_reuse {
+        let mut next = Vec::new();
+        for cs in &cur {
+            match options.strategy {
+                Strategy::ValueCentric => next.extend(eliminate_self_reuse(cs)?),
+                Strategy::LocationCentric => {
+                    // Without value information, a location written inside
+                    // the nest may change every iteration of the outermost
+                    // loop; dedup is only safe within one such iteration
+                    // (§2.2.2). Read-only arrays dedup fully.
+                    let written = input
+                        .program
+                        .statements()
+                        .iter()
+                        .any(|s| s.stmt.write.array == cs.array);
+                    let keep = usize::from(written);
+                    next.extend(dmc_commgen::eliminate_self_reuse_from(cs, keep)?);
+                }
+            }
+        }
+        cur = next;
+    }
+    if options.cross_set_reuse && options.strategy == Strategy::ValueCentric {
+        cur = eliminate_cross_set_reuse(&cur)?;
+    }
+    if options.unique_sender {
+        let mut next = Vec::new();
+        for cs in &cur {
+            next.extend(unique_sender(cs)?);
+        }
+        cur = next;
+    }
+    if options.self_reuse {
+        // §6.1.3 / §7 — deliver each value once per *physical* processor:
+        // restrict receivers to the first-use virtual on each physical
+        // coordinate. Also keeps message enumeration proportional to
+        // physical (not virtual) receiver counts.
+        let extents = input.grid.extents().to_vec();
+        let mut next = Vec::new();
+        for cs in &cur {
+            if cs.dims.pr.len() == extents.len() {
+                next.extend(dmc_commgen::fold_receivers(cs, &extents)?);
+            } else {
+                next.push(cs.clone());
+            }
+        }
+        cur = next;
+    }
+    if options.already_local {
+        let mut next = Vec::new();
+        for cs in cur {
+            // Valid only for initial-owner (live-in) data: owning a copy of
+            // the *location* says nothing about holding the current *value*
+            // once the program starts writing it. Only replicating
+            // decompositions (overlap / full replication) can make a
+            // receiver already own a copy.
+            let replicates = |d: &DataDecomp| {
+                d.maps.is_empty()
+                    || d.maps.iter().any(|m| m.overlap_lo != 0 || m.overlap_hi != 0)
+            };
+            match input.initial.get(&cs.array) {
+                Some(d)
+                    if cs.sender == dmc_commgen::SenderKind::InitialOwner && replicates(d) =>
+                {
+                    next.extend(eliminate_already_local(&cs, d)?);
+                }
+                _ => next.push(cs),
+            }
+        }
+        cur = next;
+    }
+    Ok(cur)
+}
+
+/// Builds a one-⊥-leaf tree covering a statement's whole read domain (the
+/// location-centric strategy's stand-in for value information).
+fn whole_domain_tree(
+    program: &Program,
+    s: &StmtInfo,
+    read_no: usize,
+    array: &str,
+) -> LastWriteTree {
+    let read_dims: Vec<String> = s.loop_vars().iter().map(|v| (*v).to_string()).collect();
+    let mut space = Space::new();
+    for v in &read_dims {
+        space.add_dim(v.clone(), DimKind::Index);
+    }
+    for p in &program.params {
+        space.add_dim(p.clone(), DimKind::Param);
+    }
+    let context = s.domain(&space, &[]);
+    LastWriteTree {
+        read_stmt: s.id,
+        read_no,
+        array: array.to_owned(),
+        read_dims,
+        leaves: vec![LwtLeaf { space, context, source: None }],
+        approximate: false,
+    }
+}
+
+/// Static communication statistics for concrete parameter values:
+/// `(messages, transmissions, words)` after aggregation/multicast per the
+/// compiled options. Uses the same (legality-refined) plan the simulator
+/// executes.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] on arithmetic failure or when enumeration
+/// exceeds `limit` elements per set.
+pub fn message_stats(
+    compiled: &Compiled,
+    param_vals: &[i128],
+    limit: usize,
+) -> Result<(u64, u64, u64), CompileError> {
+    let schedule = build_schedule(compiled, param_vals, false, limit)?;
+    let mut messages = 0u64;
+    let mut transmissions = 0u64;
+    let mut words = 0u64;
+    for m in &schedule.messages {
+        messages += 1;
+        transmissions += m.receivers.len() as u64;
+        words += m.words * m.receivers.len() as u64;
+    }
+    Ok((messages, transmissions, words))
+}
+
+/// One planned physical message group (multicast-merged when enabled).
+struct PlannedGroup {
+    sender: usize,
+    receivers: Vec<usize>,
+    words: u64,
+    /// The aggregation key (send-iteration prefix) this message belongs to.
+    key: Vec<i128>,
+    /// Per-receiver earliest consuming stamp.
+    recv_anchor: Vec<Stamp>,
+    /// Latest producing stamp (or the pre-loop stamp for initial data).
+    send_anchor: Stamp,
+    /// Items: (array, idx, producing stamp).
+    items: Vec<(String, Vec<i128>, Stamp)>,
+}
+
+fn planned_messages(
+    compiled: &Compiled,
+    cs: &CommSet,
+    param_vals: &[i128],
+    limit: usize,
+    extra_split: usize,
+) -> Result<Vec<PlannedGroup>, CompileError> {
+    let grid = &compiled.input.grid;
+    let stmts = compiled.input.program.statements();
+    let read_info = &stmts[cs.read_stmt];
+    let raw: Vec<Message> = aggregate_messages(cs, param_vals, Some(grid), limit)?
+        .ok_or_else(|| {
+            CompileError::TooLarge(format!(
+                "communication set for {} exceeds {limit} elements",
+                cs.array
+            ))
+        })?;
+    // Legality refinement: batching at the paper's i_s[0..k-1] prefix can
+    // create wait cycles when items from several iterations of the
+    // carrying loop share a message (see DESIGN.md); `extra_split` extends
+    // the key by that many further send-iteration components. The planner
+    // retries with a deeper split on deadlock.
+    let key_len = (cs.prefix_len + extra_split).min(cs.dims.s_iter.len());
+    let mut groups: Vec<PlannedGroup> = Vec::new();
+    for m in &raw {
+        // When aggregation is off, every element travels alone (one
+        // message per element — the unoptimized baseline of §6).
+        let mut split: Vec<Vec<dmc_commgen::CommElem>> = Vec::new();
+        if !compiled.options.aggregate {
+            split.extend(m.items.iter().map(|e| vec![e.clone()]));
+        } else if key_len <= cs.prefix_len {
+            split.push(m.items.clone());
+        } else {
+            let mut by_key: BTreeMap<Vec<i128>, Vec<dmc_commgen::CommElem>> = BTreeMap::new();
+            for e in &m.items {
+                let k: Vec<i128> = e.s_iter.iter().take(key_len).copied().collect();
+                by_key.entry(k).or_default().push(e.clone());
+            }
+            split.extend(by_key.into_values());
+        }
+        for chunk in &split {
+            let chunk: &[dmc_commgen::CommElem] = chunk;
+            let sender = grid.rank(&m.sender) as usize;
+            let receiver = grid.rank(&m.receiver) as usize;
+            // The send is anchored after the last producing write; for
+            // initial-owner data there is no producer and the send happens
+            // before everything.
+            let send_anchor = match cs.write_stmt {
+                Some(_) => chunk
+                    .iter()
+                    .map(|e| producing_stamp(cs, &stmts, e))
+                    .max()
+                    .expect("nonempty message"),
+                None => vec![-2],
+            };
+            let recv_anchor = chunk
+                .iter()
+                .map(|e| consuming_stamp(read_info, e))
+                .min()
+                .expect("nonempty message");
+            let items = chunk
+                .iter()
+                .map(|e| (cs.array.clone(), e.arr.clone(), producing_stamp(cs, &stmts, e)))
+                .collect::<Vec<_>>();
+            // The effective key includes the extra split components so
+            // multicast merging never crosses split boundaries.
+            let mut key = m.key.clone();
+            if let Some(first) = chunk.first() {
+                key.extend(first.s_iter.iter().skip(cs.prefix_len).take(key_len - cs.prefix_len));
+            }
+            groups.push(PlannedGroup {
+                sender,
+                receivers: vec![receiver],
+                words: chunk.len() as u64,
+                key,
+                recv_anchor: vec![recv_anchor],
+                send_anchor,
+                items,
+            });
+        }
+    }
+    // Multicast merge: same sender + same aggregation key + same payload
+    // -> one group with several receivers. Never merges two messages to
+    // the same receiver (those are deliberate repeats of the unoptimized
+    // plan), and only applies together with aggregation.
+    if compiled.options.multicast && compiled.options.aggregate && is_multicast(cs)? {
+        let sig = |g: &PlannedGroup| -> Vec<(String, Vec<i128>)> {
+            g.items.iter().map(|(a, i, _)| (a.clone(), i.clone())).collect()
+        };
+        let mut merged: Vec<PlannedGroup> = Vec::new();
+        'next: for g in groups {
+            let g_sig = sig(&g);
+            for m in merged.iter_mut() {
+                if m.sender == g.sender
+                    && m.key == g.key
+                    && sig(m) == g_sig
+                    && g.receivers.iter().all(|r| !m.receivers.contains(r))
+                {
+                    m.receivers.extend(g.receivers.iter().copied());
+                    m.recv_anchor.extend(g.recv_anchor.iter().cloned());
+                    continue 'next;
+                }
+            }
+            merged.push(g);
+        }
+        return Ok(merged);
+    }
+    Ok(groups)
+}
+
+/// The global stamp of the write that produces element `e` of `cs` (or the
+/// initial-data stamp, which matches the simulator's initial placement).
+fn producing_stamp(cs: &CommSet, stmts: &[StmtInfo], e: &dmc_commgen::CommElem) -> Stamp {
+    match cs.write_stmt {
+        Some(w) => dmc_machine::stamp_of(&stmts[w].position, &e.s_iter),
+        None => vec![-1],
+    }
+}
+
+/// The exact stamp of the first consuming iteration. The scheduler splits
+/// the consuming compute block at this point, so the receive lands
+/// immediately before the data is used (the paper's "issue the receive
+/// just before the data are used").
+fn consuming_stamp(read_info: &StmtInfo, e: &dmc_commgen::CommElem) -> Stamp {
+    let d = read_info.loops.len();
+    let iter: Vec<i128> = e.r_iter.iter().take(d).copied().collect();
+    dmc_machine::stamp_of(&read_info.position, &iter)
+}
+
+/// Builds the full machine schedule for concrete parameter values.
+///
+/// `values` selects values mode (payloads carried; enables the
+/// end-to-end correctness check) versus timing mode.
+///
+/// # Errors
+///
+/// Returns [`CompileError::Unbounded`] if a processor or loop range cannot
+/// be bounded, [`CompileError::TooLarge`] past `limit`, or other analysis
+/// errors.
+pub fn build_schedule(
+    compiled: &Compiled,
+    param_vals: &[i128],
+    values: bool,
+    limit: usize,
+) -> Result<Schedule, CompileError> {
+    // Legality-refinement loop: build at the paper's aggregation level;
+    // when the dry run deadlocks (batching across carrying-loop iterations
+    // created a wait cycle), split messages one send-iteration component
+    // deeper and retry.
+    let max_depth = compiled
+        .comm
+        .iter()
+        .map(|cs| cs.dims.s_iter.len().saturating_sub(cs.prefix_len))
+        .max()
+        .unwrap_or(0);
+    let mut last_err = None;
+    for extra in 0..=max_depth {
+        let schedule = build_schedule_at(compiled, param_vals, values, limit, extra)?;
+        // Cheap deadlock dry-run (timing semantics on the same schedule).
+        let params: HashMap<String, i128> = compiled
+            .input
+            .program
+            .params
+            .iter()
+            .cloned()
+            .zip(param_vals.iter().copied())
+            .collect();
+        match simulate(
+            &compiled.input.program,
+            &params,
+            &compiled.input.grid,
+            &schedule,
+            &MachineConfig::zero_comm(),
+            &InitialPlacement::Replicated,
+            false,
+        ) {
+            Ok(_) => return Ok(schedule),
+            Err(SimError::Deadlock { .. }) if extra < max_depth => {
+                last_err = Some(SimError::Deadlock { blocked: vec![] });
+                continue;
+            }
+            Err(e) => return Err(CompileError::Sim(e)),
+        }
+    }
+    Err(CompileError::Sim(last_err.unwrap_or(SimError::Deadlock { blocked: vec![] })))
+}
+
+fn build_schedule_at(
+    compiled: &Compiled,
+    param_vals: &[i128],
+    values: bool,
+    limit: usize,
+    extra_split: usize,
+) -> Result<Schedule, CompileError> {
+    let input = &compiled.input;
+    let nproc = input.grid.len() as usize;
+    let stmts = input.program.statements();
+    let mut schedule = Schedule::new(nproc);
+    // Per-proc (anchor, phase, seq, action).
+    let mut pending: Vec<Vec<(Stamp, i8, usize, Action)>> = vec![Vec::new(); nproc];
+    let mut seq = 0usize;
+
+    // 1. Compute blocks.
+    for info in &stmts {
+        let comp = &input.comps[&info.id];
+        compute_blocks(input, info, comp, param_vals, &mut |proc, prefix, inner, flops, anchor| {
+            pending[proc].push((
+                anchor,
+                0,
+                seq,
+                Action::Block { stmt: info.id, prefix, inner_range: inner, flops },
+            ));
+            seq += 1;
+        })?;
+    }
+
+    // 2. Messages.
+    for cs in &compiled.comm {
+        let groups = planned_messages(compiled, cs, param_vals, limit, extra_split)?;
+        for g in groups {
+            let msg_id = schedule.messages.len();
+            let payload = values.then(|| {
+                g.items
+                    .iter()
+                    .map(|(a, i, s)| PayloadItem { array: a.clone(), idx: i.clone(), stamp: s.clone() })
+                    .collect::<Vec<_>>()
+            });
+            schedule.messages.push(MessageSpec {
+                sender: g.sender,
+                receivers: g.receivers.clone(),
+                words: g.words,
+                payload,
+            });
+            pending[g.sender].push((g.send_anchor.clone(), 1, seq, Action::Send { msg: msg_id }));
+            seq += 1;
+            for (k, &r) in g.receivers.iter().enumerate() {
+                pending[r].push((g.recv_anchor[k].clone(), -1, seq, Action::Recv { msg: msg_id }));
+                seq += 1;
+            }
+        }
+    }
+
+    for (p, mut acts) in pending.into_iter().enumerate() {
+        // Split compute blocks at receive anchors so each receive executes
+        // immediately before the first use of its data, not before the
+        // whole block (otherwise mutually-feeding processors deadlock).
+        let recv_anchors: Vec<Stamp> = acts
+            .iter()
+            .filter(|(_, phase, _, _)| *phase == -1)
+            .map(|(a, _, _, _)| a.clone())
+            .collect();
+        let mut split: Vec<(Stamp, i8, usize, Action)> = Vec::new();
+        for (anchor, phase, sq, act) in acts.drain(..) {
+            match act {
+                Action::Block { stmt, prefix, inner_range: Some((lo, hi)), flops } if hi > lo => {
+                    let info = &stmts[stmt];
+                    let per_iter = flops / (hi - lo + 1) as f64;
+                    // Find interior split points: anchors of the shape
+                    // stamp_of(position, prefix ++ [v]) with lo < v <= hi.
+                    let probe = |v: i128| {
+                        let mut it = prefix.clone();
+                        it.push(v);
+                        dmc_machine::stamp_of(&info.position, &it)
+                    };
+                    let lo_stamp = probe(lo);
+                    let mut cuts: Vec<i128> = Vec::new();
+                    for a in &recv_anchors {
+                        if a.len() != lo_stamp.len() {
+                            continue;
+                        }
+                        let k = a.len() - 2;
+                        if a[..k] == lo_stamp[..k] && a[k + 1..] == lo_stamp[k + 1..] {
+                            let v = a[k];
+                            if v > lo && v <= hi {
+                                cuts.push(v);
+                            }
+                        }
+                    }
+                    cuts.sort_unstable();
+                    cuts.dedup();
+                    let mut start = lo;
+                    for &c in &cuts {
+                        split.push((
+                            probe(start),
+                            phase,
+                            sq,
+                            Action::Block {
+                                stmt,
+                                prefix: prefix.clone(),
+                                inner_range: Some((start, c - 1)),
+                                flops: per_iter * (c - start) as f64,
+                            },
+                        ));
+                        start = c;
+                    }
+                    split.push((
+                        probe(start),
+                        phase,
+                        sq,
+                        Action::Block {
+                            stmt,
+                            prefix,
+                            inner_range: Some((start, hi)),
+                            flops: per_iter * (hi - start + 1) as f64,
+                        },
+                    ));
+                }
+                other => split.push((anchor, phase, sq, other)),
+            }
+        }
+        split.sort_by(|a, b| (&a.0, a.1, a.2).cmp(&(&b.0, b.1, b.2)));
+        schedule.procs[p] = split.into_iter().map(|(_, _, _, a)| a).collect();
+    }
+    Ok(schedule)
+}
+
+/// Enumerates the compute blocks of one statement on every processor.
+fn compute_blocks(
+    input: &CompileInput,
+    info: &StmtInfo,
+    comp: &CompDecomp,
+    param_vals: &[i128],
+    emit: &mut dyn FnMut(usize, Vec<i128>, Option<(i128, i128)>, f64, Stamp),
+) -> Result<(), CompileError> {
+    let program = &input.program;
+    let grid = &input.grid;
+    // Space: loop dims, proc dims, params.
+    let mut space = Space::new();
+    let mut loop_dims = Vec::new();
+    for v in info.loop_vars() {
+        loop_dims.push(space.add_dim(v.to_owned(), DimKind::Index));
+    }
+    let mut proc_dims = Vec::new();
+    for k in 0..comp.proc_ndim() {
+        proc_dims.push(space.add_dim(format!("p{k}"), DimKind::Proc));
+    }
+    let mut param_dims = Vec::new();
+    for p in &program.params {
+        param_dims.push(space.add_dim(p.clone(), DimKind::Param));
+    }
+    let mut poly = info.domain(&space, &[]);
+    comp.constrain(&mut poly, &[], &proc_dims);
+
+    let flops_per_iter = info.stmt.rhs.flops() as f64;
+
+    // Scan order: proc dims outermost, then loop dims; parameters fixed.
+    let mut order = proc_dims.clone();
+    order.extend(&loop_dims);
+    let nest = dmc_polyhedra::scan_bounds(&poly, &order)
+        .map_err(CompileError::Poly)?;
+    let mut fixed = vec![0i128; space.len()];
+    for (k, &d) in param_dims.iter().enumerate() {
+        fixed[d] = param_vals[k];
+    }
+
+    // Walk the nest: enumerate proc dims and all loop dims except the
+    // innermost; the innermost becomes the block range.
+    let depth_total = nest.vars.len();
+    let n_inner = usize::from(!loop_dims.is_empty());
+    let walk_depth = depth_total - n_inner;
+    let mut point = fixed.clone();
+    if !nest.guard_holds(&point).map_err(CompileError::Poly)? {
+        return Ok(());
+    }
+    walk(
+        &nest,
+        &space,
+        walk_depth,
+        0,
+        &mut point,
+        &mut |point, nest| -> Result<(), CompileError> {
+            // Virtual processor of this block.
+            let virt: Vec<i128> = proc_dims.iter().map(|&d| point[d]).collect();
+            let folded = grid.fold(&virt);
+            let rank = grid.rank(&folded) as usize;
+            let prefix: Vec<i128> = loop_dims
+                .iter()
+                .take(loop_dims.len().saturating_sub(1))
+                .map(|&d| point[d])
+                .collect();
+            if loop_dims.is_empty() {
+                let anchor = dmc_machine::stamp_of(&info.position, &[]);
+                emit(rank, Vec::new(), None, flops_per_iter, anchor);
+                return Ok(());
+            }
+            let vb = nest.vars.last().expect("inner var");
+            let (lo, hi) = vb.range(point).map_err(CompileError::Poly)?;
+            if lo > hi {
+                return Ok(());
+            }
+            let mut first = prefix.clone();
+            first.push(lo);
+            let anchor = dmc_machine::stamp_of(&info.position, &first);
+            let count = (hi - lo + 1) as f64;
+            emit(rank, prefix, Some((lo, hi)), flops_per_iter * count, anchor);
+            Ok(())
+        },
+    )?;
+    Ok(())
+}
+
+/// Recursively enumerates the first `walk_depth` scan variables.
+fn walk(
+    nest: &dmc_polyhedra::ScanNest,
+    space: &Space,
+    walk_depth: usize,
+    depth: usize,
+    point: &mut Vec<i128>,
+    cb: &mut dyn FnMut(&[i128], &dmc_polyhedra::ScanNest) -> Result<(), CompileError>,
+) -> Result<(), CompileError> {
+    if depth == walk_depth {
+        return cb(point, nest);
+    }
+    let vb = &nest.vars[depth];
+    let (lo, hi) = vb.range(point).map_err(CompileError::Poly)?;
+    if hi - lo > 4_000_000 {
+        return Err(CompileError::Unbounded(format!(
+            "range of {} too large ({lo}..{hi})",
+            space.dim(vb.dim).name()
+        )));
+    }
+    for v in lo..=hi {
+        point[vb.dim] = v;
+        walk(nest, space, walk_depth, depth + 1, point, cb)?;
+    }
+    Ok(())
+}
+
+/// Compiles, plans, and simulates in one call.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] on any stage failure.
+pub fn run(
+    compiled: &Compiled,
+    param_vals: &[i128],
+    config: &MachineConfig,
+    values: bool,
+    limit: usize,
+) -> Result<SimResult, CompileError> {
+    let schedule = build_schedule(compiled, param_vals, values, limit)?;
+    let params: HashMap<String, i128> = compiled
+        .input
+        .program
+        .params
+        .iter()
+        .cloned()
+        .zip(param_vals.iter().copied())
+        .collect();
+    let placement = if compiled.input.initial.is_empty() {
+        InitialPlacement::Replicated
+    } else {
+        InitialPlacement::Owned(compiled.input.initial.clone())
+    };
+    simulate(
+        &compiled.input.program,
+        &params,
+        &compiled.input.grid,
+        &schedule,
+        config,
+        &placement,
+        values,
+    )
+    .map_err(CompileError::Sim)
+}

@@ -1,0 +1,231 @@
+//! End-to-end pipeline tests: compile → plan → simulate, with the merged
+//! distributed result compared against the sequential interpreter.
+
+use std::collections::{BTreeMap, HashMap};
+
+use dmc_decomp::{CompDecomp, DataDecomp, ProcGrid};
+use dmc_ir::{interp, parse, Program};
+use dmc_machine::MachineConfig;
+
+use crate::{build_schedule, compile, message_stats, run, CompileInput, Options};
+
+fn params_map(program: &Program, vals: &[i128]) -> HashMap<String, i128> {
+    program.params.iter().cloned().zip(vals.iter().copied()).collect()
+}
+
+/// Compiles and runs in values mode; asserts the distributed result equals
+/// the sequential oracle on every array element.
+fn check_end_to_end(input: CompileInput, options: Options, vals: &[i128]) -> dmc_machine::SimStats {
+    let program = input.program.clone();
+    let compiled = compile(input, options).unwrap();
+    let result = run(&compiled, vals, &MachineConfig::ipsc860(), true, 2_000_000).unwrap();
+    let mem = result.memory.as_ref().expect("values mode returns memory");
+    let env = params_map(&program, vals);
+    let seq = interp::run(&program, &env).unwrap();
+    for (name, store) in seq.iter() {
+        let got = mem.array(name).unwrap();
+        assert_eq!(got.extents(), store.extents(), "{name} extents");
+        let a = got.as_slice();
+        let b = store.as_slice();
+        for (k, (x, y)) in a.iter().zip(b).enumerate() {
+            let same = x == y || (x.is_nan() && y.is_nan()) || (x - y).abs() < 1e-12;
+            assert!(same, "array {name} flat index {k}: distributed {x} vs sequential {y}");
+        }
+    }
+    result.stats
+}
+
+fn figure2_input(block: i128, nproc: i128) -> CompileInput {
+    let program = parse(
+        "param T, N; array X[N + 1];
+         for t = 0 to T { for i = 3 to N { X[i] = X[i - 3]; } }",
+    )
+    .unwrap();
+    let mut comps = BTreeMap::new();
+    comps.insert(0, CompDecomp::block_1d(0, "i", block));
+    CompileInput { program, comps, initial: HashMap::new(), grid: ProcGrid::line(nproc) }
+}
+
+#[test]
+fn figure2_end_to_end() {
+    let stats = check_end_to_end(figure2_input(32, 4), Options::full(), &[3, 127]);
+    // Pipeline shape: each of the 3 upstream processors sends one 3-word
+    // message per outer iteration to its right neighbour: 3 senders x 4
+    // outer iterations.
+    assert_eq!(stats.messages, 3 * 4);
+    assert_eq!(stats.words, 3 * 4 * 3);
+}
+
+#[test]
+fn figure2_unaggregated_sends_more_messages() {
+    let agg = check_end_to_end(figure2_input(32, 4), Options::full(), &[3, 127]);
+    let mut naive = Options::full();
+    naive.aggregate = false;
+    let un = check_end_to_end(figure2_input(32, 4), naive, &[3, 127]);
+    assert_eq!(un.words, agg.words, "same data either way");
+    assert_eq!(un.messages, agg.messages * 3, "3 items per aggregated message");
+}
+
+#[test]
+fn figure2_with_initial_decomposition() {
+    // Live-in values (X[0..2]) are owned per a block decomposition; the ⊥
+    // communication (Theorem 4) must deliver them where needed.
+    let mut input = figure2_input(2, 5);
+    input.initial.insert("X".to_string(), DataDecomp::block_1d("X", 1, 0, 2));
+    check_end_to_end(input, Options::full(), &[2, 9]);
+}
+
+fn lu_input(nproc: i128) -> CompileInput {
+    let program = parse(
+        "param N; array X[N + 1][N + 1];
+         for i1 = 0 to N {
+           for i2 = i1 + 1 to N {
+             X[i2][i1] = X[i2][i1] / X[i1][i1];
+             for i3 = i1 + 1 to N {
+               X[i2][i3] = X[i2][i3] - X[i2][i1] * X[i1][i3];
+             }
+           }
+         }",
+    )
+    .unwrap();
+    let mut comps = BTreeMap::new();
+    comps.insert(0, CompDecomp::cyclic_1d(0, "i2"));
+    comps.insert(1, CompDecomp::cyclic_1d(1, "i2"));
+    let mut initial = HashMap::new();
+    initial.insert("X".to_string(), DataDecomp::cyclic_1d("X", 2, 0));
+    CompileInput { program, comps, initial, grid: ProcGrid::line(nproc) }
+}
+
+#[test]
+fn lu_end_to_end_figure13() {
+    // The paper's §7 example: cyclic LU on a linear grid. Values mode
+    // proves the generated communication correct.
+    check_end_to_end(lu_input(4), Options::full(), &[10]);
+}
+
+#[test]
+fn lu_multicast_reduces_messages() {
+    let compiled_mc = compile(lu_input(4), Options::full()).unwrap();
+    let mut no_mc = Options::full();
+    no_mc.multicast = false;
+    let compiled_no = compile(lu_input(4), no_mc).unwrap();
+    let (m_mc, t_mc, _) = message_stats(&compiled_mc, &[12], 1_000_000).unwrap();
+    let (m_no, t_no, _) = message_stats(&compiled_no, &[12], 1_000_000).unwrap();
+    assert!(m_mc < m_no, "multicast should reduce logical messages: {m_mc} vs {m_no}");
+    assert_eq!(t_mc, t_no, "same point-to-point deliveries");
+}
+
+#[test]
+fn stencil_end_to_end() {
+    let program = parse(
+        "param T, N; array X[N + 1];
+         for t = 0 to T {
+           for i = 1 to N - 1 {
+             X[i] = 0.25 * (X[i] + X[i - 1] + X[i + 1]);
+           }
+         }",
+    )
+    .unwrap();
+    let mut comps = BTreeMap::new();
+    comps.insert(0, CompDecomp::block_1d(0, "i", 8));
+    let input = CompileInput {
+        program,
+        comps,
+        initial: HashMap::new(),
+        grid: ProcGrid::line(4),
+    };
+    check_end_to_end(input, Options::full(), &[3, 31]);
+}
+
+#[test]
+fn pipeline_sum_relaxed_owner_computes() {
+    // §2.2.1: X[i][0] accumulates its row under a column-blocked
+    // computation decomposition — the doacross form the owner-computes
+    // rule cannot express. The value-centric pipeline handles it.
+    let program = parse(
+        "param N; array X[N + 1][N + 1];
+         for i = 0 to N {
+           for j = 1 to N {
+             X[i][0] = X[i][0] + X[i][j];
+           }
+         }",
+    )
+    .unwrap();
+    let mut comps = BTreeMap::new();
+    comps.insert(0, CompDecomp::block_1d(0, "j", 4));
+    let input = CompileInput {
+        program,
+        comps,
+        initial: HashMap::new(),
+        grid: ProcGrid::line(3),
+    };
+    check_end_to_end(input, Options::full(), &[8]);
+}
+
+#[test]
+fn naive_options_still_correct() {
+    // With every optimization off the plan is bigger but must stay correct.
+    let full = check_end_to_end(figure2_input(16, 4), Options::full(), &[2, 63]);
+    let naive = check_end_to_end(figure2_input(16, 4), Options::naive(), &[2, 63]);
+    assert!(naive.messages >= full.messages);
+}
+
+#[test]
+fn location_centric_counts_more_traffic() {
+    // §2.2.2's X/Y example: the location-centric baseline re-fetches the
+    // same location every outer iteration; the value-centric plan moves
+    // each value once.
+    let program = parse(
+        "param N; array X[N + 2]; array Y[N + 2];
+         for i = 0 to N {
+           X[i] = 1.5;
+           for j = 1 to N {
+             Y[j] = Y[j] + X[j - 1];
+           }
+         }",
+    )
+    .unwrap();
+    let mk_input = || {
+        let mut comps = BTreeMap::new();
+        comps.insert(0, CompDecomp::block_1d(0, "i", 4));
+        comps.insert(1, CompDecomp::block_1d(1, "j", 4));
+        let mut initial = HashMap::new();
+        initial.insert("X".to_string(), DataDecomp::block_1d("X", 1, 0, 4));
+        initial.insert("Y".to_string(), DataDecomp::block_1d("Y", 1, 0, 4));
+        CompileInput {
+            program: program.clone(),
+            comps,
+            initial,
+            grid: ProcGrid::line(4),
+        }
+    };
+    let vc = compile(mk_input(), Options::full()).unwrap();
+    let lc = compile(mk_input(), Options::location_centric()).unwrap();
+    let (_, _, w_vc) = message_stats(&vc, &[11], 1_000_000).unwrap();
+    let (_, _, w_lc) = message_stats(&lc, &[11], 1_000_000).unwrap();
+    assert!(
+        w_vc < w_lc,
+        "value-centric must move less data: {w_vc} vs {w_lc} words"
+    );
+}
+
+#[test]
+fn schedule_is_deterministic() {
+    let compiled = compile(figure2_input(32, 4), Options::full()).unwrap();
+    let s1 = build_schedule(&compiled, &[3, 127], true, 1_000_000).unwrap();
+    let s2 = build_schedule(&compiled, &[3, 127], true, 1_000_000).unwrap();
+    assert_eq!(s1.messages.len(), s2.messages.len());
+    for (a, b) in s1.procs.iter().zip(&s2.procs) {
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn missing_comp_is_reported() {
+    let mut input = figure2_input(32, 4);
+    input.comps.clear();
+    assert!(matches!(
+        compile(input, Options::full()),
+        Err(crate::CompileError::MissingComp(0))
+    ));
+}

@@ -1,0 +1,423 @@
+//! Lattice pieces: convex polyhedra intersected with divisibility
+//! conditions.
+//!
+//! Last-write contexts may constrain read iterations to a sub-lattice
+//! (`i ≡ 0 mod 2` when the writer touches `X[2k]`). Such contexts carry
+//! auxiliary existential dimensions pinned by equalities `m·q = e`. To keep
+//! the covered-region bookkeeping of LWT construction *exact*, this module
+//! represents regions as a convex polyhedron over the base space plus a list
+//! of divisibility conditions `m | e`, and implements intersection and exact
+//! set difference (the complement of `m | e` is the union of the residue
+//! classes `m | e − r`, `1 <= r < m`).
+
+use dmc_polyhedra::{Constraint, DimKind, LinExpr, PolyError, Polyhedron, Space};
+
+/// One divisibility condition `modulus | expr` over the base space.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Divisibility {
+    /// The modulus, `>= 2`.
+    pub modulus: i128,
+    /// The dividend expression (over the base space).
+    pub expr: LinExpr,
+}
+
+/// A convex region of the base space intersected with divisibility
+/// conditions.
+#[derive(Clone, Debug)]
+pub struct LatticePiece {
+    /// The convex part, over the base space.
+    pub poly: Polyhedron,
+    /// Divisibility conditions, all of which must hold.
+    pub divs: Vec<Divisibility>,
+}
+
+impl LatticePiece {
+    /// A piece with no divisibility conditions.
+    pub fn from_poly(poly: Polyhedron) -> Self {
+        LatticePiece { poly, divs: Vec::new() }
+    }
+
+    /// Attempts to convert a polyhedron over `base + aux` dimensions into a
+    /// lattice piece over the base space, treating the auxiliary dimensions
+    /// (positions `>= base_len`) as existentially quantified.
+    ///
+    /// Succeeds when every auxiliary dimension is *pinned* — determined by
+    /// an equality — in which case the conversion is exact:
+    ///
+    /// * a unit-coefficient equality lets the auxiliary be substituted away;
+    /// * an equality `m·q = e` (with `e` free of remaining auxiliaries after
+    ///   pivoting) becomes the divisibility `m | e`.
+    ///
+    /// Returns `None` when an auxiliary is not pinned (e.g. defined only by
+    /// floor-division inequalities *and* mentioned elsewhere); callers fall
+    /// back to an approximation and flag it.
+    pub fn from_aux_polyhedron(p: &Polyhedron, base_len: usize) -> Result<Option<Self>, PolyError> {
+        let n = p.space().len();
+        if n == base_len {
+            return Ok(Some(LatticePiece::from_poly(p.clone())));
+        }
+        let mut cur = p.clone();
+        let mut divs: Vec<Divisibility> = Vec::new();
+        let mut pending: Vec<usize> = (base_len..n).collect();
+
+        // Repeatedly eliminate pinned auxiliaries.
+        'progress: while !pending.is_empty() {
+            // Pass 1: substitute away unit-coefficient equalities.
+            for (k, &q) in pending.iter().enumerate() {
+                if let Some(eq) = cur
+                    .constraints()
+                    .iter()
+                    .find(|c| c.is_eq() && c.coeff(q).abs() == 1)
+                    .cloned()
+                {
+                    let a = eq.coeff(q);
+                    let mut rest = eq.expr().clone();
+                    rest.set_coeff(q, 0);
+                    let repl = rest.scale(-a.signum())?;
+                    cur = cur.substitute_dim(q, &repl)?;
+                    pending.remove(k);
+                    continue 'progress;
+                }
+            }
+            // Pass 2: an equality m·q = e where q appears nowhere else (after
+            // pivoting other occurrences of q through the equality).
+            for (k, &q) in pending.iter().enumerate() {
+                let Some(eq) = cur
+                    .constraints()
+                    .iter()
+                    .find(|c| c.is_eq() && c.involves(q))
+                    .cloned()
+                else {
+                    continue;
+                };
+                // Pivot every other constraint that mentions q through the
+                // equality (exact: multiply by |m| which is positive).
+                let m = eq.coeff(q);
+                let mut rebuilt = Polyhedron::universe(cur.space().clone());
+                for c in cur.constraints() {
+                    if c == &eq || !c.involves(q) {
+                        if c != &eq {
+                            rebuilt.add(c.clone());
+                        }
+                        continue;
+                    }
+                    let b = c.coeff(q);
+                    let scaled_c = c.expr().scale(m.abs())?;
+                    let scaled_eq = eq.expr().scale(b * m.signum())?;
+                    let e = scaled_c.sub(&scaled_eq)?;
+                    rebuilt.add(match c.kind() {
+                        dmc_polyhedra::ConstraintKind::Eq => Constraint::eq(e),
+                        dmc_polyhedra::ConstraintKind::Ge => Constraint::ge(e),
+                    });
+                }
+                // The equality itself becomes a divisibility: m·q + rest = 0
+                // has an integer q iff m | rest. rest must be free of all
+                // remaining auxiliaries for this extraction to be exact.
+                let mut rest = eq.expr().clone();
+                rest.set_coeff(q, 0);
+                // `rest` must be free of every auxiliary (not just pending
+                // ones): extracted divisibility expressions are never
+                // rewritten by later substitutions.
+                if (base_len..n).any(|q2| q2 != q && rest.coeff(q2) != 0) {
+                    continue;
+                }
+                if m.abs() >= 2 {
+                    divs.push(Divisibility { modulus: m.abs(), expr: rest.clone() });
+                }
+                cur = rebuilt;
+                pending.remove(k);
+                continue 'progress;
+            }
+            // Pass 3: auxiliaries whose rational elimination is integer-
+            // exact can be projected away. Two cases:
+            //
+            // * all lower or all upper coefficients are ±1 (the real and
+            //   dark shadows coincide);
+            // * a floor-definition pair `c·q <= e_up`, `c·q >= -e_lo` whose
+            //   window provably spans `c - 1` (`e_lo + e_up >= c - 1` inside
+            //   the polyhedron), so an integer q always exists — every
+            //   integer has a floor.
+            for (k, &q) in pending.iter().enumerate() {
+                let mut unit_lo = true;
+                let mut unit_up = true;
+                let mut any = false;
+                let mut in_eq = false;
+                let mut lowers: Vec<&Constraint> = Vec::new();
+                let mut uppers: Vec<&Constraint> = Vec::new();
+                for c in cur.constraints() {
+                    let a = c.coeff(q);
+                    if a == 0 {
+                        continue;
+                    }
+                    any = true;
+                    if c.is_eq() {
+                        in_eq = true;
+                        break;
+                    }
+                    if a > 0 {
+                        if a != 1 {
+                            unit_lo = false;
+                        }
+                        lowers.push(c);
+                    } else {
+                        if a != -1 {
+                            unit_up = false;
+                        }
+                        uppers.push(c);
+                    }
+                }
+                if in_eq {
+                    continue;
+                }
+                let mut exact = !any || unit_lo || unit_up;
+                if !exact && lowers.len() == 1 && uppers.len() == 1 {
+                    let a = lowers[0].coeff(q);
+                    if a == -uppers[0].coeff(q) {
+                        // window: e_lo + e_up >= a - 1 must hold inside cur.
+                        let mut window = lowers[0].expr().add(uppers[0].expr())?;
+                        window.set_coeff(q, 0);
+                        // Probe: cur ∧ (window <= a - 2) infeasible?
+                        let mut probe = cur.clone();
+                        let mut neg = window.scale(-1)?;
+                        neg.set_constant(neg.constant_term() + (a - 2));
+                        probe.add(Constraint::ge(neg));
+                        if probe.integer_feasibility()?
+                            == dmc_polyhedra::Feasibility::Infeasible
+                        {
+                            exact = true;
+                        }
+                    }
+                }
+                if exact {
+                    cur = cur.eliminate_dim(q)?;
+                    pending.remove(k);
+                    continue 'progress;
+                }
+            }
+            return Ok(None);
+        }
+
+        // Project the (now unconstrained-in-aux) polyhedron and the
+        // divisibility expressions onto the base space.
+        let keep: Vec<usize> = (0..base_len).collect();
+        let poly = cur.project_onto(&keep)?;
+        let mut base_divs = Vec::with_capacity(divs.len());
+        for d in divs {
+            debug_assert!((base_len..n).all(|q| d.expr.coeff(q) == 0));
+            let mut coeffs = Vec::with_capacity(base_len);
+            for k in 0..base_len {
+                coeffs.push(d.expr.coeff(k));
+            }
+            base_divs.push(Divisibility {
+                modulus: d.modulus,
+                expr: LinExpr::from_coeffs(coeffs, d.expr.constant_term()),
+            });
+        }
+        Ok(Some(LatticePiece { poly, divs: base_divs }))
+    }
+
+    /// Converts the piece back into a polyhedron by appending one pinned
+    /// auxiliary dimension per divisibility (`expr == modulus * q`).
+    pub fn to_polyhedron(&self) -> Polyhedron {
+        if self.divs.is_empty() {
+            return self.poly.clone();
+        }
+        let mut tail = Space::new();
+        for k in 0..self.divs.len() {
+            // Unique names within this piece's space.
+            let mut name = format!("$d{k}");
+            let mut suffix = 0;
+            while self.poly.space().index_of(&name).is_some() {
+                suffix += 1;
+                name = format!("$d{k}_{suffix}");
+            }
+            tail.add_dim(name, DimKind::Aux);
+        }
+        let base_len = self.poly.space().len();
+        let mut p = self.poly.extend_space(&tail);
+        let n = p.space().len();
+        for (k, d) in self.divs.iter().enumerate() {
+            let mut e = d.expr.extend(n - base_len);
+            e.set_coeff(base_len + k, -d.modulus);
+            p.add(Constraint::eq(e));
+        }
+        p
+    }
+
+    /// Whether the piece contains at least one integer point.
+    pub fn feasible(&self) -> Result<bool, PolyError> {
+        Ok(self.to_polyhedron().integer_feasibility()?.possibly_feasible())
+    }
+
+    /// Intersection of two pieces over the same base space.
+    pub fn intersect(&self, other: &LatticePiece) -> LatticePiece {
+        let mut out = LatticePiece {
+            poly: self.poly.intersect(&other.poly),
+            divs: self.divs.clone(),
+        };
+        for d in &other.divs {
+            if !out.divs.contains(d) {
+                out.divs.push(d.clone());
+            }
+        }
+        out
+    }
+
+    /// Exact set difference `self \ other`, as disjoint pieces.
+    ///
+    /// The complement of `other` is the union of (a) the complements of its
+    /// convex constraints and (b), within its convex part, the nonzero
+    /// residue classes of each divisibility.
+    pub fn subtract(&self, other: &LatticePiece) -> Result<Vec<LatticePiece>, PolyError> {
+        // Quick disjointness check.
+        let both = self.intersect(other);
+        if !both.feasible()? {
+            return Ok(vec![self.clone()]);
+        }
+        let mut out = Vec::new();
+        // (a) Convex complements.
+        for piece in self.poly.subtract(&other.poly)? {
+            let cand = LatticePiece { poly: piece, divs: self.divs.clone() };
+            if cand.feasible()? {
+                out.push(cand);
+            }
+        }
+        // (b) Residue classes, within self ∩ other.poly and with earlier
+        // divisibilities of `other` held.
+        let mut prefix = LatticePiece {
+            poly: self.poly.intersect(&other.poly),
+            divs: self.divs.clone(),
+        };
+        for d in &other.divs {
+            for r in 1..d.modulus {
+                let mut cand = prefix.clone();
+                let mut shifted = d.expr.clone();
+                shifted.set_constant(shifted.constant_term() - r);
+                cand.divs.push(Divisibility { modulus: d.modulus, expr: shifted });
+                if cand.feasible()? {
+                    out.push(cand);
+                }
+            }
+            if !prefix.divs.contains(d) {
+                prefix.divs.push(d.clone());
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmc_polyhedra::{DimKind, Space};
+
+    fn base() -> Space {
+        Space::from_dims([("i", DimKind::Index)])
+    }
+
+    fn interval(lo: i128, hi: i128) -> Polyhedron {
+        let mut p = Polyhedron::universe(base());
+        p.add(Constraint::ge(LinExpr::from_coeffs(vec![1], -lo)));
+        p.add(Constraint::ge(LinExpr::from_coeffs(vec![-1], hi)));
+        p
+    }
+
+    fn members(piece: &LatticePiece, range: std::ops::RangeInclusive<i128>) -> Vec<i128> {
+        let mut out = Vec::new();
+        for i in range {
+            let p = piece.to_polyhedron();
+            // Substitute i, check aux feasibility.
+            let n = p.space().len();
+            let fixed = p.substitute_dim(0, &LinExpr::constant(n, i)).unwrap();
+            if fixed.integer_feasibility().unwrap().possibly_feasible() {
+                out.push(i);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn divisibility_membership() {
+        // { 0 <= i <= 10, 2 | i }
+        let piece = LatticePiece {
+            poly: interval(0, 10),
+            divs: vec![Divisibility { modulus: 2, expr: LinExpr::var(1, 0) }],
+        };
+        assert_eq!(members(&piece, 0..=10), vec![0, 2, 4, 6, 8, 10]);
+    }
+
+    #[test]
+    fn subtract_even_lattice() {
+        // [0,10] \ { even } = odd numbers in [0,10].
+        let all = LatticePiece::from_poly(interval(0, 10));
+        let even = LatticePiece {
+            poly: interval(0, 10),
+            divs: vec![Divisibility { modulus: 2, expr: LinExpr::var(1, 0) }],
+        };
+        let pieces = all.subtract(&even).unwrap();
+        let mut got: Vec<i128> = pieces.iter().flat_map(|p| members(p, 0..=10)).collect();
+        got.sort();
+        assert_eq!(got, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn subtract_convex_and_lattice_mix() {
+        // ([0,10] with 3 | i) \ [4,10] = {0, 3}.
+        let l3 = LatticePiece {
+            poly: interval(0, 10),
+            divs: vec![Divisibility { modulus: 3, expr: LinExpr::var(1, 0) }],
+        };
+        let right = LatticePiece::from_poly(interval(4, 10));
+        let pieces = l3.subtract(&right).unwrap();
+        let mut got: Vec<i128> = pieces.iter().flat_map(|p| members(p, 0..=10)).collect();
+        got.sort();
+        got.dedup();
+        assert_eq!(got, vec![0, 3]);
+    }
+
+    #[test]
+    fn from_aux_polyhedron_extracts_divisibility() {
+        // Space (i, q) with i == 2q, 0 <= i <= 10: base piece is 2 | i.
+        let sp = Space::from_dims([("i", DimKind::Index), ("q", DimKind::Aux)]);
+        let mut p = Polyhedron::universe(sp);
+        p.add(Constraint::eq(LinExpr::from_coeffs(vec![1, -2], 0)));
+        p.add(Constraint::ge(LinExpr::from_coeffs(vec![1, 0], 0)));
+        p.add(Constraint::ge(LinExpr::from_coeffs(vec![-1, 0], 10)));
+        let piece = LatticePiece::from_aux_polyhedron(&p, 1).unwrap().unwrap();
+        assert_eq!(piece.divs.len(), 1);
+        assert_eq!(piece.divs[0].modulus, 2);
+        assert_eq!(members(&piece, 0..=10), vec![0, 2, 4, 6, 8, 10]);
+    }
+
+    #[test]
+    fn from_aux_unit_coefficient_substitutes() {
+        // q == i - 1 (unit): no divisibility, q simply substituted.
+        let sp = Space::from_dims([("i", DimKind::Index), ("q", DimKind::Aux)]);
+        let mut p = Polyhedron::universe(sp);
+        p.add(Constraint::eq(LinExpr::from_coeffs(vec![1, -1], -1)));
+        p.add(Constraint::ge(LinExpr::from_coeffs(vec![0, 1], 0))); // q >= 0
+        let piece = LatticePiece::from_aux_polyhedron(&p, 1).unwrap().unwrap();
+        assert!(piece.divs.is_empty());
+        // q >= 0 became i >= 1.
+        assert!(!piece.poly.contains(&[0]).unwrap());
+        assert!(piece.poly.contains(&[1]).unwrap());
+    }
+
+    #[test]
+    fn from_aux_floor_pair_is_dropped() {
+        // 3q <= i <= 3q + 2 defines q = floor(i/3); ∃q is always true.
+        let sp = Space::from_dims([("i", DimKind::Index), ("q", DimKind::Aux)]);
+        let mut p = Polyhedron::universe(sp);
+        p.add(Constraint::ge(LinExpr::from_coeffs(vec![1, -3], 0))); // i - 3q >= 0
+        p.add(Constraint::ge(LinExpr::from_coeffs(vec![-1, 3], 2))); // 3q + 2 - i >= 0
+        p.add(Constraint::ge(LinExpr::from_coeffs(vec![1, 0], 0)));
+        p.add(Constraint::ge(LinExpr::from_coeffs(vec![-1, 0], 8)));
+        let piece = LatticePiece::from_aux_polyhedron(&p, 1).unwrap();
+        // q has non-unit coefficients on both sides; the unit-window pass
+        // cannot prove exactness, so this may return None — both outcomes
+        // are acceptable as long as None triggers the approximate fallback.
+        if let Some(piece) = piece {
+            assert_eq!(members(&piece, 0..=8), (0..=8).collect::<Vec<_>>());
+        }
+    }
+}

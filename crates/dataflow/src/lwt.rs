@@ -1,0 +1,205 @@
+//! Last Write Trees (paper §3).
+//!
+//! An LWT maps every dynamic instance of a read access to the *write
+//! instance that produced the value read* — exact, value-based data-flow
+//! information, as opposed to location-based data dependence. The tree
+//! partitions the read iteration space into *contexts*; within one context
+//! either every read sees a value written inside the analyzed code (and the
+//! last-write relation is a single affine map at a single dependence level),
+//! or none does (the ⊥ leaf: live-in data).
+
+use std::fmt;
+
+use dmc_polyhedra::{LinExpr, Polyhedron, Space};
+
+/// The dependence level of a last-write relation.
+///
+/// The paper numbers carried levels from 1 (outermost shared loop); a
+/// loop-independent relation (producer in the same iteration of every shared
+/// loop, textually earlier) batches at the innermost position.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DepLevel {
+    /// Carried by the `k`-th shared loop (1-based).
+    Carried(usize),
+    /// Loop-independent: same iteration of all shared loops.
+    Independent,
+}
+
+impl fmt::Display for DepLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DepLevel::Carried(k) => write!(f, "level {k}"),
+            DepLevel::Independent => write!(f, "loop-independent"),
+        }
+    }
+}
+
+/// The producing side of a non-⊥ LWT leaf.
+#[derive(Clone, Debug)]
+pub struct LwtSource {
+    /// The producing write statement (textual id from
+    /// [`dmc_ir::Program::statements`]).
+    pub write_stmt: usize,
+    /// The write iteration as affine expressions over the leaf's space
+    /// (read dimensions, parameters, auxiliary dimensions), outermost first.
+    pub write_iter: Vec<LinExpr>,
+    /// Dependence level of every pair in this context.
+    pub level: DepLevel,
+}
+
+/// One leaf of a Last Write Tree.
+#[derive(Clone, Debug)]
+pub struct LwtLeaf {
+    /// The leaf's space: the read statement's loop dimensions (original
+    /// names, outermost first), then program parameters, then any auxiliary
+    /// existential dimensions introduced for divisions/mods (§4.4.2).
+    pub space: Space,
+    /// The context: the set of read iterations this leaf covers. Auxiliary
+    /// dimensions are existentially quantified.
+    pub context: Polyhedron,
+    /// The producing write, or `None` for the ⊥ leaf (value is live-in).
+    pub source: Option<LwtSource>,
+}
+
+impl LwtLeaf {
+    /// Resolves this leaf at a concrete read iteration and parameter
+    /// binding: returns `Some(aux_values)` if the context covers the point
+    /// (searching small integer values for auxiliary dimensions), `None`
+    /// otherwise.
+    ///
+    /// `point` must provide values for the read and parameter dimensions in
+    /// leaf-space order; auxiliary entries are ignored.
+    pub fn covers(&self, point: &[i128]) -> Option<Vec<i128>> {
+        let n = self.space.len();
+        let mut fixed = self.context.clone();
+        let n_known = point.len().min(n);
+        for d in 0..n_known {
+            fixed = fixed
+                .substitute_dim(d, &LinExpr::constant(n, point[d]))
+                .ok()?;
+        }
+        if n_known == n {
+            return fixed.contains(point).ok()?.then(Vec::new);
+        }
+        // Enumerate the aux dims (they are pinned by equalities in
+        // practice, so the search space is tiny). Project onto the aux
+        // dimensions first; the substituted dimensions are unconstrained.
+        let aux: Vec<usize> = (n_known..n).collect();
+        let aux_only = fixed.project_onto(&aux).ok()?;
+        let pts = aux_only.enumerate_points(4).ok()??;
+        pts.first().cloned()
+    }
+
+    /// Evaluates the write iteration at a concrete point (read dims +
+    /// params + aux values as returned by [`LwtLeaf::covers`]).
+    pub fn write_iter_at(&self, point: &[i128], aux: &[i128]) -> Option<Vec<i128>> {
+        let src = self.source.as_ref()?;
+        let n = self.space.len();
+        let mut full = point.to_vec();
+        full.truncate(n - aux.len());
+        full.extend_from_slice(aux);
+        debug_assert_eq!(full.len(), n);
+        src.write_iter.iter().map(|e| e.eval(&full).ok()).collect()
+    }
+}
+
+/// The Last Write Tree of one read access.
+#[derive(Clone, Debug)]
+pub struct LastWriteTree {
+    /// The reading statement's textual id.
+    pub read_stmt: usize,
+    /// Which read within the statement's right-hand side (index into
+    /// `rhs.reads()`), or the synthetic hull read for uniformly generated
+    /// groups.
+    pub read_no: usize,
+    /// The array being read.
+    pub array: String,
+    /// Names of the read iteration dimensions (the read statement's loop
+    /// variables, plus any hull-offset dimensions), outermost first.
+    pub read_dims: Vec<String>,
+    /// The leaves; their contexts are pairwise disjoint and cover the read
+    /// statement's iteration domain.
+    pub leaves: Vec<LwtLeaf>,
+    /// Set when the analysis had to approximate (overlapping same-level
+    /// candidates with non-affine/aux-bearing solutions, or subtraction
+    /// through auxiliary dimensions). Exact for the affine unit-coefficient
+    /// programs of the paper.
+    pub approximate: bool,
+}
+
+impl LastWriteTree {
+    /// Looks up the producing write for a concrete read iteration:
+    /// `Some((stmt, write_iter))` when the value was written inside the
+    /// program, `None` when it is live-in.
+    ///
+    /// `read_iter` is the read statement's loop values (outermost first);
+    /// `params` are the parameter values in `read_dims`-trailing order (the
+    /// order parameters appear in each leaf's space).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no leaf covers the point (the leaves must partition the
+    /// read domain) — this indicates an analysis bug and is asserted by the
+    /// test suite.
+    pub fn producer_at(&self, read_iter: &[i128], params: &[i128]) -> Option<(usize, Vec<i128>)> {
+        let mut point = read_iter.to_vec();
+        point.extend_from_slice(params);
+        for leaf in &self.leaves {
+            if let Some(aux) = leaf.covers(&point) {
+                return match &leaf.source {
+                    None => None,
+                    Some(src) => Some((
+                        src.write_stmt,
+                        leaf.write_iter_at(&point, &aux)
+                            .expect("write iteration evaluation failed"),
+                    )),
+                };
+            }
+        }
+        panic!(
+            "no LWT leaf covers read iteration {read_iter:?} (params {params:?}) for \
+             stmt {} read {} of {}",
+            self.read_stmt, self.read_no, self.array
+        );
+    }
+
+    /// Leaves that read values produced inside the program.
+    pub fn source_leaves(&self) -> impl Iterator<Item = &LwtLeaf> {
+        self.leaves.iter().filter(|l| l.source.is_some())
+    }
+
+    /// Leaves whose values are live-in (the paper's ⊥ contexts).
+    pub fn bottom_leaves(&self) -> impl Iterator<Item = &LwtLeaf> {
+        self.leaves.iter().filter(|l| l.source.is_none())
+    }
+}
+
+impl fmt::Display for LastWriteTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "LWT for read #{} of {} in S{}{}:",
+            self.read_no,
+            self.array,
+            self.read_stmt,
+            if self.approximate { " (approximate)" } else { "" }
+        )?;
+        for (k, leaf) in self.leaves.iter().enumerate() {
+            write!(f, "  leaf {k}: context {{ {} }} -> ", leaf.context)?;
+            match &leaf.source {
+                None => writeln!(f, "⊥")?,
+                Some(src) => {
+                    write!(f, "S{}[", src.write_stmt)?;
+                    for (i, e) in src.write_iter.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{}", e.display(&leaf.space))?;
+                    }
+                    writeln!(f, "] ({})", src.level)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}

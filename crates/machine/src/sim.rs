@@ -1,0 +1,511 @@
+//! The distributed-memory machine simulator.
+//!
+//! Executes a [`Schedule`] on `P` simulated processors with local memories
+//! and blocking receives, under the [`MachineConfig`] cost model. Two
+//! fidelities:
+//!
+//! * **values mode** — every compute block runs its iterations for real
+//!   against the processor's local store, messages carry actual values, and
+//!   the final global memory (merged by write stamp) must equal the
+//!   sequential interpreter's result. A read of a value that no planned
+//!   message delivered is a hard error: the simulator *proves* that the
+//!   compiler's communication plan is sufficient.
+//! * **timing mode** — blocks only advance the clock by their flop count
+//!   and messages carry sizes; used for large problem sizes (Figure 14).
+
+use std::collections::HashMap;
+
+use dmc_decomp::{DataDecomp, ProcGrid};
+use dmc_ir::interp::{default_init, eval_intrinsic, Memory};
+use dmc_ir::{Aff, ArrayRef, BinOp, Program, ScalarExpr, StmtInfo};
+
+use crate::config::MachineConfig;
+use crate::schedule::{stamp_of, Action, Schedule, Stamp};
+use crate::stats::SimStats;
+
+/// Where live-in data resides before execution.
+#[derive(Clone, Debug)]
+pub enum InitialPlacement {
+    /// Every processor holds (a copy of) the initial contents of every
+    /// array. Communication for ⊥ reads is unnecessary.
+    Replicated,
+    /// Arrays are distributed per the given data decompositions (folded to
+    /// physical processors); arrays not listed are replicated. ⊥ reads on
+    /// other processors must be satisfied by planned messages.
+    Owned(HashMap<String, DataDecomp>),
+}
+
+/// Simulator errors. `MissingValue` is the important one: it means the
+/// communication plan failed to deliver a value some processor needed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimError {
+    /// A processor read an element it does not have.
+    MissingValue {
+        /// Reading processor rank.
+        proc: usize,
+        /// Array name.
+        array: String,
+        /// Global subscripts.
+        idx: Vec<i128>,
+        /// Statement performing the read.
+        stmt: usize,
+    },
+    /// All unfinished processors are blocked on receives.
+    Deadlock {
+        /// Ranks of the blocked processors.
+        blocked: Vec<usize>,
+    },
+    /// A message's sender/receiver rank is out of range, or a `Send`
+    /// appears on a processor that is not the message's sender.
+    MalformedSchedule(String),
+    /// A statement id in a block does not exist.
+    NoSuchStatement(usize),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::MissingValue { proc, array, idx, stmt } => write!(
+                f,
+                "processor {proc} read {array}{idx:?} in S{stmt} but no value was present \
+                 (communication plan is insufficient)"
+            ),
+            SimError::Deadlock { blocked } => {
+                write!(f, "deadlock: processors {blocked:?} all wait on receives")
+            }
+            SimError::MalformedSchedule(m) => write!(f, "malformed schedule: {m}"),
+            SimError::NoSuchStatement(s) => write!(f, "no such statement S{s}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// The result of a simulation.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Cost-model statistics.
+    pub stats: SimStats,
+    /// The merged final memory (values mode only).
+    pub memory: Option<Memory>,
+}
+
+struct Proc {
+    clock: f64,
+    next: usize,
+    store: HashMap<(String, Vec<i128>), (f64, Stamp)>,
+    compute_time: f64,
+    comm_time: f64,
+    idle_time: f64,
+}
+
+/// In-flight message instance (per receiver).
+struct InFlight {
+    arrival: f64,
+    payload: Option<Vec<(String, Vec<i128>, f64, Stamp)>>,
+    words: u64,
+}
+
+/// Runs `schedule` on the simulated machine.
+///
+/// `values` selects values mode (execute statements for real and return
+/// the merged memory) versus timing mode.
+///
+/// # Errors
+///
+/// Returns [`SimError`] on missing values, deadlock, or malformed input.
+pub fn simulate(
+    program: &Program,
+    params: &HashMap<String, i128>,
+    grid: &ProcGrid,
+    schedule: &Schedule,
+    config: &MachineConfig,
+    initial: &InitialPlacement,
+    values: bool,
+) -> Result<SimResult, SimError> {
+    let nproc = grid.len() as usize;
+    if schedule.procs.len() != nproc {
+        return Err(SimError::MalformedSchedule(format!(
+            "schedule has {} processors, grid has {nproc}",
+            schedule.procs.len()
+        )));
+    }
+    let stmts = program.statements();
+
+    let mut procs: Vec<Proc> = (0..nproc)
+        .map(|_| Proc {
+            clock: 0.0,
+            next: 0,
+            store: HashMap::new(),
+            compute_time: 0.0,
+            comm_time: 0.0,
+            idle_time: 0.0,
+        })
+        .collect();
+
+    // Initial placement (values mode only; timing mode never reads).
+    if values {
+        place_initial(program, params, grid, initial, &mut procs);
+    }
+
+    // Mailbox: per (msg id, receiver) the in-flight instance.
+    let mut mail: HashMap<(usize, usize), InFlight> = HashMap::new();
+    let mut stats = SimStats::new(nproc);
+
+    // Cooperative scheduling: run any processor whose next action can
+    // complete; repeat until all are done or none can move.
+    loop {
+        let mut progressed = false;
+        let mut all_done = true;
+        for p in 0..nproc {
+            loop {
+                let Some(action) = schedule.procs[p].get(procs[p].next) else {
+                    break;
+                };
+                all_done = false;
+                match action {
+                    Action::Block { stmt, prefix, inner_range, flops } => {
+                        let info = stmts
+                            .get(*stmt)
+                            .ok_or(SimError::NoSuchStatement(*stmt))?;
+                        if values {
+                            run_block(program, params, info, prefix, *inner_range, p, &mut procs)?;
+                        }
+                        let dt = flops * config.flop_time;
+                        procs[p].clock += dt;
+                        procs[p].compute_time += dt;
+                        stats.flops += flops;
+                    }
+                    Action::Send { msg } => {
+                        let spec = schedule
+                            .messages
+                            .get(*msg)
+                            .ok_or_else(|| SimError::MalformedSchedule(format!("message {msg}")))?;
+                        if spec.sender != p {
+                            return Err(SimError::MalformedSchedule(format!(
+                                "processor {p} sends message {msg} owned by {}",
+                                spec.sender
+                            )));
+                        }
+                        let bytes = spec.words * config.word_bytes;
+                        let busy = config.send_busy_time(bytes, spec.receivers.len());
+                        // Payload read at send time from the sender store.
+                        // A missing value here means the plan asked a
+                        // processor to forward data it never had.
+                        let payload = match (values, &spec.payload) {
+                            (true, Some(items)) => {
+                                let mut out = Vec::with_capacity(items.len());
+                                for it in items {
+                                    let Some((v, _)) =
+                                        procs[p].store.get(&(it.array.clone(), it.idx.clone()))
+                                    else {
+                                        return Err(SimError::MissingValue {
+                                            proc: p,
+                                            array: it.array.clone(),
+                                            idx: it.idx.clone(),
+                                            stmt: usize::MAX,
+                                        });
+                                    };
+                                    out.push((
+                                        it.array.clone(),
+                                        it.idx.clone(),
+                                        *v,
+                                        it.stamp.clone(),
+                                    ));
+                                }
+                                Some(out)
+                            }
+                            _ => None,
+                        };
+                        procs[p].clock += busy;
+                        procs[p].comm_time += busy;
+                        let arrival_base = procs[p].clock + config.wire_time(bytes);
+                        for (k, &r) in spec.receivers.iter().enumerate() {
+                            if r >= nproc {
+                                return Err(SimError::MalformedSchedule(format!(
+                                    "receiver {r} out of range"
+                                )));
+                            }
+                            mail.insert(
+                                (*msg, r),
+                                InFlight {
+                                    arrival: arrival_base + k as f64 * 1e-9,
+                                    payload: payload.clone(),
+                                    words: spec.words,
+                                },
+                            );
+                        }
+                        stats.messages += 1;
+                        stats.transmissions += spec.receivers.len() as u64;
+                        stats.words += spec.words * spec.receivers.len() as u64;
+                    }
+                    Action::Recv { msg } => {
+                        let Some(inflight) = mail.remove(&(*msg, p)) else {
+                            // Blocked: try another processor.
+                            break;
+                        };
+                        let wait = (inflight.arrival - procs[p].clock).max(0.0);
+                        procs[p].idle_time += wait;
+                        procs[p].clock = procs[p].clock.max(inflight.arrival) + config.alpha_recv;
+                        procs[p].comm_time += config.alpha_recv;
+                        if let Some(items) = inflight.payload {
+                            for (array, idx, v, stamp) in items {
+                                let slot = procs[p].store.entry((array, idx));
+                                match slot {
+                                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                                        if e.get().1 < stamp {
+                                            *e.get_mut() = (v, stamp);
+                                        }
+                                    }
+                                    std::collections::hash_map::Entry::Vacant(e) => {
+                                        e.insert((v, stamp));
+                                    }
+                                }
+                            }
+                        }
+                        let _ = inflight.words;
+                    }
+                }
+                procs[p].next += 1;
+                progressed = true;
+            }
+        }
+        if all_done {
+            break;
+        }
+        if !progressed {
+            let blocked: Vec<usize> = (0..nproc)
+                .filter(|&p| procs[p].next < schedule.procs[p].len())
+                .collect();
+            return Err(SimError::Deadlock { blocked });
+        }
+    }
+
+    for (p, proc) in procs.iter().enumerate() {
+        stats.per_proc[p].compute = proc.compute_time;
+        stats.per_proc[p].comm = proc.comm_time;
+        stats.per_proc[p].idle = proc.idle_time;
+        stats.per_proc[p].finish = proc.clock;
+    }
+    stats.time = procs.iter().map(|p| p.clock).fold(0.0, f64::max);
+
+    let memory = if values {
+        Some(merge_memory(program, params, &procs)?)
+    } else {
+        None
+    };
+    Ok(SimResult { stats, memory })
+}
+
+fn place_initial(
+    program: &Program,
+    params: &HashMap<String, i128>,
+    grid: &ProcGrid,
+    initial: &InitialPlacement,
+    procs: &mut [Proc],
+) {
+    let initial_stamp: Stamp = vec![-1];
+    for a in &program.arrays {
+        let extents: Vec<i128> = a
+            .extents
+            .iter()
+            .map(|e| e.eval(&|v| *params.get(v).expect("unbound param")))
+            .collect();
+        let owner_decomp = match initial {
+            InitialPlacement::Replicated => None,
+            InitialPlacement::Owned(map) => map.get(&a.name),
+        };
+        let mut idx = vec![0i128; extents.len()];
+        let total: i128 = extents.iter().product::<i128>().max(0);
+        for _ in 0..total {
+            let value = default_init(&a.name, &idx);
+            match owner_decomp {
+                None => {
+                    for proc in procs.iter_mut() {
+                        proc.store
+                            .insert((a.name.clone(), idx.clone()), (value, initial_stamp.clone()));
+                    }
+                }
+                Some(d) => {
+                    // Every physical processor holding a virtual owner gets
+                    // a copy; virtual owners fold onto physical ranks.
+                    let owners = virtual_owners(d, &idx);
+                    let mut seen = std::collections::BTreeSet::new();
+                    for v in owners {
+                        let folded = grid.fold(&v);
+                        seen.insert(grid.rank(&folded) as usize);
+                    }
+                    for r in seen {
+                        procs[r]
+                            .store
+                            .insert((a.name.clone(), idx.clone()), (value, initial_stamp.clone()));
+                    }
+                }
+            }
+            for d in (0..extents.len()).rev() {
+                idx[d] += 1;
+                if idx[d] < extents[d] {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+    }
+}
+
+/// The virtual processors owning `element` under `d` (a finite set: one
+/// block owner plus overlap neighbours per dimension).
+fn virtual_owners(d: &DataDecomp, element: &[i128]) -> Vec<Vec<i128>> {
+    let mut out: Vec<Vec<i128>> = vec![Vec::new()];
+    for m in &d.maps {
+        let e = m.expr.eval(&|v| {
+            let k: usize = v
+                .strip_prefix('a')
+                .and_then(|s| s.parse().ok())
+                .expect("data decomposition variable");
+            element[k]
+        });
+        // b·p - d_l <= e <= b·(p+1) - 1 + d_h
+        //  => (e + 1 - b - d_h)/b <= p <= (e + d_l)/b.
+        let lo = dmc_polyhedra::num::div_ceil(e + 1 - m.block - m.overlap_hi, m.block);
+        let hi = dmc_polyhedra::num::div_floor(e + m.overlap_lo, m.block);
+        let mut next = Vec::new();
+        for prefix in out {
+            for p in lo..=hi {
+                let mut item = prefix.clone();
+                item.push(p);
+                next.push(item);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+/// Executes the iterations of one block against the processor's store.
+fn run_block(
+    program: &Program,
+    params: &HashMap<String, i128>,
+    info: &StmtInfo,
+    prefix: &[i128],
+    inner_range: Option<(i128, i128)>,
+    p: usize,
+    procs: &mut [Proc],
+) -> Result<(), SimError> {
+    let vars = info.loop_vars();
+    let run_one = |iter: &[i128], procs: &mut [Proc]| -> Result<(), SimError> {
+        let lookup = |v: &str| -> i128 {
+            if let Some(k) = vars.iter().position(|lv| *lv == v) {
+                iter[k]
+            } else {
+                *params.get(v).unwrap_or_else(|| panic!("unbound variable {v}"))
+            }
+        };
+        let value = eval_scalar(&info.stmt.rhs, &lookup, p, info.id, procs)?;
+        let idx: Vec<i128> = info.stmt.write.idx.iter().map(|a| eval_aff(a, &lookup)).collect();
+        let stamp = stamp_of(&info.position, iter);
+        procs[p]
+            .store
+            .insert((info.stmt.write.array.clone(), idx), (value, stamp));
+        let _ = program;
+        Ok(())
+    };
+    match inner_range {
+        None => {
+            debug_assert_eq!(prefix.len(), vars.len());
+            run_one(prefix, procs)?;
+        }
+        Some((lo, hi)) => {
+            debug_assert_eq!(prefix.len() + 1, vars.len());
+            let mut iter = prefix.to_vec();
+            iter.push(0);
+            for x in lo..=hi {
+                *iter.last_mut().expect("inner var") = x;
+                run_one(&iter, procs)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn eval_aff(a: &Aff, lookup: &dyn Fn(&str) -> i128) -> i128 {
+    a.eval(lookup)
+}
+
+fn eval_scalar(
+    e: &ScalarExpr,
+    lookup: &dyn Fn(&str) -> i128,
+    p: usize,
+    stmt: usize,
+    procs: &mut [Proc],
+) -> Result<f64, SimError> {
+    Ok(match e {
+        ScalarExpr::Lit(v) => *v,
+        ScalarExpr::Read(r) => read_elem(r, lookup, p, stmt, procs)?,
+        ScalarExpr::Bin(op, a, b) => {
+            let x = eval_scalar(a, lookup, p, stmt, procs)?;
+            let y = eval_scalar(b, lookup, p, stmt, procs)?;
+            match op {
+                BinOp::Add => x + y,
+                BinOp::Sub => x - y,
+                BinOp::Mul => x * y,
+                BinOp::Div => x / y,
+            }
+        }
+        ScalarExpr::Neg(a) => -eval_scalar(a, lookup, p, stmt, procs)?,
+        ScalarExpr::Call(_, args) => {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval_scalar(a, lookup, p, stmt, procs)?);
+            }
+            eval_intrinsic(&vals)
+        }
+    })
+}
+
+fn read_elem(
+    r: &ArrayRef,
+    lookup: &dyn Fn(&str) -> i128,
+    p: usize,
+    stmt: usize,
+    procs: &mut [Proc],
+) -> Result<f64, SimError> {
+    let idx: Vec<i128> = r.idx.iter().map(|a| eval_aff(a, lookup)).collect();
+    match procs[p].store.get(&(r.array.clone(), idx.clone())) {
+        Some(&(v, _)) => Ok(v),
+        None => Err(SimError::MissingValue { proc: p, array: r.array.clone(), idx, stmt }),
+    }
+}
+
+/// Merges per-processor stores into one global memory by taking, per
+/// element, the value with the latest write stamp.
+fn merge_memory(
+    program: &Program,
+    params: &HashMap<String, i128>,
+    procs: &[Proc],
+) -> Result<Memory, SimError> {
+    let mut mem = Memory::allocate(program, params)
+        .map_err(|e| SimError::MalformedSchedule(e.to_string()))?;
+    let mut best: HashMap<(String, Vec<i128>), (f64, Stamp)> = HashMap::new();
+    for proc in procs {
+        for ((array, idx), (v, stamp)) in &proc.store {
+            let key = (array.clone(), idx.clone());
+            match best.entry(key) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    if e.get().1 < *stamp {
+                        *e.get_mut() = (*v, stamp.clone());
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert((*v, stamp.clone()));
+                }
+            }
+        }
+    }
+    for ((array, idx), (v, _)) in best {
+        if let Some(store) = mem.array_mut(&array) {
+            store.set(&idx, v);
+        }
+    }
+    Ok(mem)
+}

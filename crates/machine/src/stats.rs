@@ -1,0 +1,83 @@
+//! Simulation statistics.
+
+/// Per-processor time breakdown.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ProcStats {
+    /// Seconds spent computing.
+    pub compute: f64,
+    /// Seconds spent in message software overhead (send + receive).
+    pub comm: f64,
+    /// Seconds spent blocked waiting for messages.
+    pub idle: f64,
+    /// Local completion time.
+    pub finish: f64,
+}
+
+/// Whole-run statistics.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SimStats {
+    /// Wall-clock time of the run (max processor finish time), seconds.
+    pub time: f64,
+    /// Total floating-point operations executed.
+    pub flops: f64,
+    /// Logical messages sent (a multicast counts once).
+    pub messages: u64,
+    /// Point-to-point transmissions (a multicast counts per receiver).
+    pub transmissions: u64,
+    /// Payload words delivered (per receiver).
+    pub words: u64,
+    /// Per-processor breakdown.
+    pub per_proc: Vec<ProcStats>,
+}
+
+impl SimStats {
+    /// Empty statistics for `p` processors.
+    pub fn new(p: usize) -> Self {
+        SimStats { per_proc: vec![ProcStats::default(); p], ..SimStats::default() }
+    }
+
+    /// Achieved MFLOPS.
+    pub fn mflops(&self) -> f64 {
+        if self.time <= 0.0 {
+            0.0
+        } else {
+            self.flops / self.time / 1e6
+        }
+    }
+
+    /// Speedup relative to a run that took `t1` seconds.
+    pub fn speedup_vs(&self, t1: f64) -> f64 {
+        if self.time <= 0.0 {
+            0.0
+        } else {
+            t1 / self.time
+        }
+    }
+
+    /// Average processor efficiency: compute time / finish time.
+    pub fn efficiency(&self) -> f64 {
+        if self.per_proc.is_empty() || self.time <= 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self.per_proc.iter().map(|p| p.compute).sum();
+        busy / (self.time * self.per_proc.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let mut s = SimStats::new(2);
+        s.time = 2.0;
+        s.flops = 8e6;
+        s.per_proc[0].compute = 2.0;
+        s.per_proc[1].compute = 1.0;
+        assert_eq!(s.mflops(), 4.0);
+        assert_eq!(s.speedup_vs(6.0), 3.0);
+        assert!((s.efficiency() - 0.75).abs() < 1e-12);
+        assert_eq!(SimStats::new(1).mflops(), 0.0);
+    }
+}

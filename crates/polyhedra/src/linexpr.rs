@@ -1,0 +1,357 @@
+//! Affine (linear + constant) expressions over a [`Space`].
+
+use std::fmt;
+
+use crate::num;
+use crate::{PolyError, Space};
+
+/// An affine expression `c0 + Σ coeffs[k] * dim_k` over a space with a fixed
+/// number of dimensions.
+///
+/// The expression does not own its space; operations on expressions from
+/// different spaces are caught by length assertions.
+///
+/// # Examples
+///
+/// ```
+/// use dmc_polyhedra::{LinExpr, Space, DimKind};
+///
+/// let s = Space::from_dims([("i", DimKind::Index), ("N", DimKind::Param)]);
+/// // 2*i - N + 3
+/// let e = LinExpr::from_coeffs(vec![2, -1], 3);
+/// assert_eq!(e.eval(&[5, 4]).unwrap(), 2 * 5 - 4 + 3);
+/// assert_eq!(e.display(&s).to_string(), "2i - N + 3");
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct LinExpr {
+    coeffs: Vec<i128>,
+    constant: i128,
+}
+
+impl LinExpr {
+    /// The zero expression over `n` dimensions.
+    pub fn zero(n: usize) -> Self {
+        LinExpr { coeffs: vec![0; n], constant: 0 }
+    }
+
+    /// A constant expression over `n` dimensions.
+    pub fn constant(n: usize, c: i128) -> Self {
+        LinExpr { coeffs: vec![0; n], constant: c }
+    }
+
+    /// The expression `1 * dim` over `n` dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim >= n`.
+    pub fn var(n: usize, dim: usize) -> Self {
+        let mut e = LinExpr::zero(n);
+        e.coeffs[dim] = 1;
+        e
+    }
+
+    /// Builds an expression from explicit coefficients and a constant.
+    pub fn from_coeffs(coeffs: Vec<i128>, constant: i128) -> Self {
+        LinExpr { coeffs, constant }
+    }
+
+    /// Number of dimensions this expression ranges over.
+    pub fn len(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Whether the expression has zero dimensions (it may still be a nonzero
+    /// constant).
+    pub fn is_empty(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// The coefficient of dimension `dim`.
+    pub fn coeff(&self, dim: usize) -> i128 {
+        self.coeffs[dim]
+    }
+
+    /// Sets the coefficient of dimension `dim`.
+    pub fn set_coeff(&mut self, dim: usize, v: i128) {
+        self.coeffs[dim] = v;
+    }
+
+    /// The constant term.
+    pub fn constant_term(&self) -> i128 {
+        self.constant
+    }
+
+    /// Sets the constant term.
+    pub fn set_constant(&mut self, c: i128) {
+        self.constant = c;
+    }
+
+    /// All coefficients, in dimension order.
+    pub fn coeffs(&self) -> &[i128] {
+        &self.coeffs
+    }
+
+    /// True if every coefficient is zero (a constant expression).
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.iter().all(|&c| c == 0)
+    }
+
+    /// True if the expression is identically zero.
+    pub fn is_zero(&self) -> bool {
+        self.constant == 0 && self.is_constant()
+    }
+
+    /// Sum of two expressions over the same space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolyError::Overflow`] on coefficient overflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expressions have different lengths.
+    pub fn add(&self, other: &LinExpr) -> Result<LinExpr, PolyError> {
+        assert_eq!(self.len(), other.len(), "space mismatch");
+        let mut coeffs = Vec::with_capacity(self.len());
+        for (a, b) in self.coeffs.iter().zip(&other.coeffs) {
+            coeffs.push(num::add(*a, *b)?);
+        }
+        Ok(LinExpr { coeffs, constant: num::add(self.constant, other.constant)? })
+    }
+
+    /// Difference of two expressions over the same space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolyError::Overflow`] on coefficient overflow.
+    pub fn sub(&self, other: &LinExpr) -> Result<LinExpr, PolyError> {
+        self.add(&other.scale(-1)?)
+    }
+
+    /// The expression multiplied by scalar `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolyError::Overflow`] on coefficient overflow.
+    pub fn scale(&self, k: i128) -> Result<LinExpr, PolyError> {
+        let mut coeffs = Vec::with_capacity(self.len());
+        for &a in &self.coeffs {
+            coeffs.push(num::mul(a, k)?);
+        }
+        Ok(LinExpr { coeffs, constant: num::mul(self.constant, k)? })
+    }
+
+    /// Infallible scaling — panics on overflow. Convenience for tests and
+    /// small literal computations.
+    ///
+    /// # Panics
+    ///
+    /// Panics on coefficient overflow.
+    pub fn scaled(&self, k: i128) -> LinExpr {
+        self.scale(k).expect("coefficient overflow")
+    }
+
+    /// Evaluates the expression at the given point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolyError::Overflow`] on overflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.len() != self.len()`.
+    pub fn eval(&self, point: &[i128]) -> Result<i128, PolyError> {
+        assert_eq!(point.len(), self.len(), "point dimension mismatch");
+        let mut acc = self.constant;
+        for (c, x) in self.coeffs.iter().zip(point) {
+            acc = num::add(acc, num::mul(*c, *x)?)?;
+        }
+        Ok(acc)
+    }
+
+    /// Substitutes dimension `dim` with `replacement` (whose coefficient on
+    /// `dim` must be zero), i.e. computes `self[dim := replacement]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolyError::Overflow`] on overflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replacement` itself references `dim` or the lengths differ.
+    pub fn substitute(&self, dim: usize, replacement: &LinExpr) -> Result<LinExpr, PolyError> {
+        assert_eq!(self.len(), replacement.len(), "space mismatch");
+        assert_eq!(replacement.coeff(dim), 0, "replacement references substituted dim");
+        let k = self.coeffs[dim];
+        if k == 0 {
+            return Ok(self.clone());
+        }
+        let mut out = self.clone();
+        out.coeffs[dim] = 0;
+        out.add(&replacement.scale(k)?)
+    }
+
+    /// Extends the expression with `extra` zero-coefficient dimensions at the
+    /// end.
+    pub fn extend(&self, extra: usize) -> LinExpr {
+        let mut coeffs = self.coeffs.clone();
+        coeffs.extend(std::iter::repeat(0).take(extra));
+        LinExpr { coeffs, constant: self.constant }
+    }
+
+    /// Reorders/embeds the expression into a new space. `map[k]` gives the
+    /// position in the new space of old dimension `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map` is shorter than the expression or maps out of bounds.
+    pub fn remap(&self, new_len: usize, map: &[usize]) -> LinExpr {
+        assert!(map.len() >= self.len(), "remap table too short");
+        let mut coeffs = vec![0; new_len];
+        for (k, &c) in self.coeffs.iter().enumerate() {
+            if c != 0 {
+                coeffs[map[k]] = c;
+            }
+        }
+        LinExpr { coeffs, constant: self.constant }
+    }
+
+    /// Removes the dimension `dim` (whose coefficient must be zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coefficient of `dim` is nonzero.
+    pub fn drop_dim(&self, dim: usize) -> LinExpr {
+        assert_eq!(self.coeffs[dim], 0, "dropping a referenced dimension");
+        let mut coeffs = self.coeffs.clone();
+        coeffs.remove(dim);
+        LinExpr { coeffs, constant: self.constant }
+    }
+
+    /// Gcd of all coefficients (not the constant); 0 for constant expressions.
+    pub fn content(&self) -> i128 {
+        self.coeffs.iter().fold(0, |g, &c| num::gcd(g, c))
+    }
+
+    /// Renders the expression with dimension names from `space`.
+    pub fn display<'a>(&'a self, space: &'a Space) -> DisplayLinExpr<'a> {
+        DisplayLinExpr { expr: self, space }
+    }
+}
+
+/// Helper returned by [`LinExpr::display`].
+#[derive(Debug)]
+pub struct DisplayLinExpr<'a> {
+    expr: &'a LinExpr,
+    space: &'a Space,
+}
+
+impl fmt::Display for DisplayLinExpr<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut wrote = false;
+        for (k, &c) in self.expr.coeffs.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let name = self.space.dim(k).name();
+            if !wrote {
+                if c == 1 {
+                    write!(f, "{name}")?;
+                } else if c == -1 {
+                    write!(f, "-{name}")?;
+                } else {
+                    write!(f, "{c}{name}")?;
+                }
+            } else if c > 0 {
+                if c == 1 {
+                    write!(f, " + {name}")?;
+                } else {
+                    write!(f, " + {c}{name}")?;
+                }
+            } else if c == -1 {
+                write!(f, " - {name}")?;
+            } else {
+                write!(f, " - {}{name}", -c)?;
+            }
+            wrote = true;
+        }
+        let c0 = self.expr.constant;
+        if !wrote {
+            write!(f, "{c0}")?;
+        } else if c0 > 0 {
+            write!(f, " + {c0}")?;
+        } else if c0 < 0 {
+            write!(f, " - {}", -c0)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DimKind;
+
+    fn space2() -> Space {
+        Space::from_dims([("i", DimKind::Index), ("j", DimKind::Index)])
+    }
+
+    #[test]
+    fn construction_and_eval() {
+        let e = LinExpr::from_coeffs(vec![2, -3], 5);
+        assert_eq!(e.eval(&[1, 1]).unwrap(), 4);
+        assert_eq!(e.eval(&[0, 0]).unwrap(), 5);
+        assert!(!e.is_constant());
+        assert!(LinExpr::constant(2, 7).is_constant());
+        assert!(LinExpr::zero(2).is_zero());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = LinExpr::from_coeffs(vec![1, 2], 3);
+        let b = LinExpr::from_coeffs(vec![4, -2], 1);
+        assert_eq!(a.add(&b).unwrap(), LinExpr::from_coeffs(vec![5, 0], 4));
+        assert_eq!(a.sub(&b).unwrap(), LinExpr::from_coeffs(vec![-3, 4], 2));
+        assert_eq!(a.scale(-2).unwrap(), LinExpr::from_coeffs(vec![-2, -4], -6));
+    }
+
+    #[test]
+    fn substitution() {
+        // e = 2i + j + 1; substitute i := j - 3  =>  2j - 6 + j + 1 = 3j - 5
+        let e = LinExpr::from_coeffs(vec![2, 1], 1);
+        let r = LinExpr::from_coeffs(vec![0, 1], -3);
+        let out = e.substitute(0, &r).unwrap();
+        assert_eq!(out, LinExpr::from_coeffs(vec![0, 3], -5));
+    }
+
+    #[test]
+    #[should_panic(expected = "replacement references")]
+    fn substitution_self_reference_panics() {
+        let e = LinExpr::var(2, 0);
+        let r = LinExpr::var(2, 0);
+        let _ = e.substitute(0, &r);
+    }
+
+    #[test]
+    fn remap_and_extend() {
+        let e = LinExpr::from_coeffs(vec![1, 2], 7);
+        let big = e.remap(4, &[3, 0]);
+        assert_eq!(big, LinExpr::from_coeffs(vec![2, 0, 0, 1], 7));
+        assert_eq!(e.extend(2), LinExpr::from_coeffs(vec![1, 2, 0, 0], 7));
+    }
+
+    #[test]
+    fn display_formatting() {
+        let s = space2();
+        assert_eq!(LinExpr::from_coeffs(vec![1, -1], 0).display(&s).to_string(), "i - j");
+        assert_eq!(LinExpr::from_coeffs(vec![-2, 0], 3).display(&s).to_string(), "-2i + 3");
+        assert_eq!(LinExpr::constant(2, 0).display(&s).to_string(), "0");
+        assert_eq!(LinExpr::constant(2, -4).display(&s).to_string(), "-4");
+    }
+
+    #[test]
+    fn content_gcd() {
+        assert_eq!(LinExpr::from_coeffs(vec![4, -6], 3).content(), 2);
+        assert_eq!(LinExpr::constant(2, 3).content(), 0);
+    }
+}

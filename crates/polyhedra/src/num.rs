@@ -1,0 +1,168 @@
+//! Exact integer helper arithmetic.
+//!
+//! All polyhedral computations in this crate use `i128` coefficients with
+//! checked arithmetic. Fourier–Motzkin elimination multiplies constraint
+//! rows together, so coefficients can grow quickly; every combination step
+//! normalizes by the gcd of the row, which keeps magnitudes small for the
+//! systems that arise from affine loop nests.
+
+use crate::PolyError;
+
+/// Greatest common divisor of two integers; `gcd(0, 0) == 0`.
+///
+/// The result is always non-negative.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(dmc_polyhedra::num::gcd(12, -8), 4);
+/// assert_eq!(dmc_polyhedra::num::gcd(0, 5), 5);
+/// ```
+pub fn gcd(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Least common multiple; `lcm(0, x) == 0`.
+///
+/// # Errors
+///
+/// Returns [`PolyError::Overflow`] if the product overflows `i128`.
+pub fn lcm(a: i128, b: i128) -> Result<i128, PolyError> {
+    if a == 0 || b == 0 {
+        return Ok(0);
+    }
+    let g = gcd(a, b);
+    (a / g).checked_mul(b).map(i128::abs).ok_or(PolyError::Overflow)
+}
+
+/// Floor division: the largest integer `q` with `q * b <= a`. Requires `b > 0`.
+///
+/// # Panics
+///
+/// Panics if `b <= 0`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(dmc_polyhedra::num::div_floor(7, 2), 3);
+/// assert_eq!(dmc_polyhedra::num::div_floor(-7, 2), -4);
+/// ```
+pub fn div_floor(a: i128, b: i128) -> i128 {
+    assert!(b > 0, "div_floor requires a positive divisor");
+    let q = a / b;
+    if a % b < 0 {
+        q - 1
+    } else {
+        q
+    }
+}
+
+/// Ceiling division: the smallest integer `q` with `q * b >= a`. Requires `b > 0`.
+///
+/// # Panics
+///
+/// Panics if `b <= 0`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(dmc_polyhedra::num::div_ceil(7, 2), 4);
+/// assert_eq!(dmc_polyhedra::num::div_ceil(-7, 2), -3);
+/// ```
+pub fn div_ceil(a: i128, b: i128) -> i128 {
+    assert!(b > 0, "div_ceil requires a positive divisor");
+    let q = a / b;
+    if a % b > 0 {
+        q + 1
+    } else {
+        q
+    }
+}
+
+/// Mathematical modulus with a non-negative result. Requires `b > 0`.
+///
+/// # Panics
+///
+/// Panics if `b <= 0`.
+pub fn mod_floor(a: i128, b: i128) -> i128 {
+    a - b * div_floor(a, b)
+}
+
+/// Checked addition lifted to [`PolyError`].
+pub fn add(a: i128, b: i128) -> Result<i128, PolyError> {
+    a.checked_add(b).ok_or(PolyError::Overflow)
+}
+
+/// Checked multiplication lifted to [`PolyError`].
+pub fn mul(a: i128, b: i128) -> Result<i128, PolyError> {
+    a.checked_mul(b).ok_or(PolyError::Overflow)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basic() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(-12, 18), 6);
+        assert_eq!(gcd(12, -18), 6);
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(7, 0), 7);
+        assert_eq!(gcd(1, 999), 1);
+    }
+
+    #[test]
+    fn lcm_basic() {
+        assert_eq!(lcm(4, 6).unwrap(), 12);
+        assert_eq!(lcm(0, 5).unwrap(), 0);
+        assert_eq!(lcm(-4, 6).unwrap(), 12);
+    }
+
+    #[test]
+    fn lcm_overflow() {
+        assert!(lcm(i128::MAX, i128::MAX - 1).is_err());
+    }
+
+    #[test]
+    fn floor_ceil_div() {
+        assert_eq!(div_floor(9, 3), 3);
+        assert_eq!(div_floor(10, 3), 3);
+        assert_eq!(div_floor(-10, 3), -4);
+        assert_eq!(div_ceil(9, 3), 3);
+        assert_eq!(div_ceil(10, 3), 4);
+        assert_eq!(div_ceil(-10, 3), -3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn div_floor_rejects_nonpositive() {
+        div_floor(1, 0);
+    }
+
+    #[test]
+    fn mod_floor_nonnegative() {
+        assert_eq!(mod_floor(7, 3), 1);
+        assert_eq!(mod_floor(-7, 3), 2);
+        assert_eq!(mod_floor(6, 3), 0);
+        assert_eq!(mod_floor(-6, 3), 0);
+    }
+
+    #[test]
+    fn floor_div_inverse_property() {
+        for a in -50..50i128 {
+            for b in 1..8i128 {
+                let q = div_floor(a, b);
+                assert!(q * b <= a && (q + 1) * b > a, "a={a} b={b}");
+                let c = div_ceil(a, b);
+                assert!(c * b >= a && (c - 1) * b < a, "a={a} b={b}");
+            }
+        }
+    }
+}

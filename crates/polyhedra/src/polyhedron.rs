@@ -1,0 +1,1108 @@
+//! Conjunctions of affine constraints (convex integer polyhedra) and the
+//! projection machinery of the paper's §5.1: Fourier–Motzkin elimination,
+//! superfluous-constraint removal by the negation test, and integer
+//! feasibility via equality elimination plus branch-and-bound.
+
+use std::fmt;
+
+use crate::constraint::Normalized;
+use crate::num;
+use crate::{Constraint, ConstraintKind, LinExpr, PolyError, Space};
+
+/// Answer of an integer-feasibility query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Feasibility {
+    /// An integer point exists.
+    Feasible,
+    /// No integer point exists.
+    Infeasible,
+    /// The solver could not decide within its budget (treated as feasible by
+    /// conservative callers).
+    Unknown,
+}
+
+impl Feasibility {
+    /// `true` unless the system is definitely infeasible.
+    pub fn possibly_feasible(&self) -> bool {
+        !matches!(self, Feasibility::Infeasible)
+    }
+}
+
+/// How a Fourier–Motzkin step combines a lower and an upper bound.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Shadow {
+    /// The real (rational) shadow: exact over the rationals, an
+    /// over-approximation over the integers.
+    Real,
+    /// Pugh's dark shadow: any integer point of the dark shadow lifts to an
+    /// integer point of the original system (an under-approximation).
+    Dark,
+}
+
+/// A conjunction of affine constraints over a [`Space`].
+///
+/// The polyhedron normalizes every added constraint (gcd reduction, constant
+/// tightening, equality divisibility test) and records contradictions, so an
+/// obviously empty system short-circuits later queries.
+///
+/// # Examples
+///
+/// ```
+/// use dmc_polyhedra::{Polyhedron, Space, DimKind, LinExpr, Constraint};
+///
+/// let s = Space::from_dims([("i", DimKind::Index), ("N", DimKind::Param)]);
+/// let mut p = Polyhedron::universe(s);
+/// // 0 <= i <= N
+/// p.add(Constraint::ge(LinExpr::from_coeffs(vec![1, 0], 0)));
+/// p.add(Constraint::ge(LinExpr::from_coeffs(vec![-1, 1], 0)));
+/// assert!(p.contains(&[3, 10]).unwrap());
+/// assert!(!p.contains(&[11, 10]).unwrap());
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Polyhedron {
+    space: Space,
+    cons: Vec<Constraint>,
+    contradiction: bool,
+}
+
+impl Polyhedron {
+    /// The unconstrained polyhedron over `space`.
+    pub fn universe(space: Space) -> Self {
+        Polyhedron { space, cons: Vec::new(), contradiction: false }
+    }
+
+    /// The empty polyhedron over `space`.
+    pub fn empty(space: Space) -> Self {
+        Polyhedron { space, cons: Vec::new(), contradiction: true }
+    }
+
+    /// The polyhedron's space.
+    pub fn space(&self) -> &Space {
+        &self.space
+    }
+
+    /// The constraints currently held (normalized, deduplicated).
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.cons
+    }
+
+    /// Whether a contradiction was detected during normalization. Note that
+    /// `false` does not imply feasibility; use [`Polyhedron::integer_feasibility`].
+    pub fn is_obviously_empty(&self) -> bool {
+        self.contradiction
+    }
+
+    /// Adds a constraint (normalizing it first).
+    pub fn add(&mut self, c: Constraint) {
+        assert_eq!(c.expr().len(), self.space.len(), "constraint space mismatch");
+        match c.normalize() {
+            Normalized::Tautology => {}
+            Normalized::Contradiction => self.contradiction = true,
+            Normalized::Constraint(n) => {
+                if !self.cons.contains(&n) {
+                    self.cons.push(n);
+                }
+            }
+        }
+    }
+
+    /// Adds every constraint from an iterator.
+    pub fn add_all<I: IntoIterator<Item = Constraint>>(&mut self, cs: I) {
+        for c in cs {
+            self.add(c);
+        }
+    }
+
+    /// Conjunction of two polyhedra over the same space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spaces differ.
+    pub fn intersect(&self, other: &Polyhedron) -> Polyhedron {
+        assert_eq!(self.space, other.space, "space mismatch in intersect");
+        let mut out = self.clone();
+        out.contradiction |= other.contradiction;
+        for c in &other.cons {
+            out.add(c.clone());
+        }
+        out
+    }
+
+    /// Tests whether a point satisfies every constraint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolyError::Overflow`] on evaluation overflow.
+    pub fn contains(&self, point: &[i128]) -> Result<bool, PolyError> {
+        if self.contradiction {
+            return Ok(false);
+        }
+        for c in &self.cons {
+            if !c.satisfied_by(point)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Substitutes dimension `dim` by an expression not referencing `dim`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolyError::Overflow`] on overflow.
+    pub fn substitute_dim(&self, dim: usize, e: &LinExpr) -> Result<Polyhedron, PolyError> {
+        let mut out = Polyhedron::universe(self.space.clone());
+        out.contradiction = self.contradiction;
+        for c in &self.cons {
+            out.add(c.substitute(dim, e)?);
+        }
+        Ok(out)
+    }
+
+    /// Returns a copy over a space with extra dimensions appended. Existing
+    /// constraints are extended with zero coefficients.
+    pub fn extend_space(&self, extra: &Space) -> Polyhedron {
+        let space = self.space.product(extra);
+        let n = space.len();
+        let mut out = Polyhedron::universe(space);
+        out.contradiction = self.contradiction;
+        for c in &self.cons {
+            let e = c.expr().extend(n - c.expr().len());
+            out.cons.push(match c.kind() {
+                ConstraintKind::Eq => Constraint::eq(e),
+                ConstraintKind::Ge => Constraint::ge(e),
+            });
+        }
+        out
+    }
+
+    /// Remaps the polyhedron into `new_space`; `map[k]` gives the position in
+    /// `new_space` of this polyhedron's dimension `k`.
+    pub fn remap(&self, new_space: Space, map: &[usize]) -> Polyhedron {
+        let n = new_space.len();
+        let mut out = Polyhedron::universe(new_space);
+        out.contradiction = self.contradiction;
+        for c in &self.cons {
+            let e = c.expr().remap(n, map);
+            out.cons.push(match c.kind() {
+                ConstraintKind::Eq => Constraint::eq(e),
+                ConstraintKind::Ge => Constraint::ge(e),
+            });
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Elimination (projection).
+    // ------------------------------------------------------------------
+
+    /// One Fourier–Motzkin step: removes every constraint mentioning `dim`,
+    /// adding all lower/upper combinations. The result is the real (rational)
+    /// shadow; over the integers it is an over-approximation.
+    ///
+    /// If an equality mentions `dim` it is used as the combination pivot,
+    /// which is exact whenever its coefficient on `dim` is ±1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolyError::Overflow`] on coefficient overflow.
+    pub fn eliminate_dim(&self, dim: usize) -> Result<Polyhedron, PolyError> {
+        self.eliminate_dim_shadow(dim, Shadow::Real)
+    }
+
+    fn eliminate_dim_shadow(&self, dim: usize, shadow: Shadow) -> Result<Polyhedron, PolyError> {
+        let mut out = Polyhedron::universe(self.space.clone());
+        out.contradiction = self.contradiction;
+        if self.contradiction {
+            return Ok(out);
+        }
+
+        // Prefer pivoting on an equality: exact when the pivot coefficient
+        // is ±1, and never worse than pairing inequalities.
+        if let Some(eq_idx) = self
+            .cons
+            .iter()
+            .position(|c| c.is_eq() && c.coeff(dim).abs() == 1)
+            .or_else(|| self.cons.iter().position(|c| c.is_eq() && c.involves(dim)))
+        {
+            let eq = &self.cons[eq_idx];
+            let a = eq.coeff(dim);
+            for (i, c) in self.cons.iter().enumerate() {
+                if i == eq_idx {
+                    continue;
+                }
+                let b = c.coeff(dim);
+                if b == 0 {
+                    out.add(c.clone());
+                    continue;
+                }
+                // new = |a| * c - (b * sign(a)) * eq  — kills `dim`, keeps the
+                // inequality direction because |a| > 0.
+                let scaled_c = c.expr().scale(a.abs())?;
+                let scaled_eq = eq.expr().scale(b * a.signum())?;
+                let e = scaled_c.sub(&scaled_eq)?;
+                out.add(match c.kind() {
+                    ConstraintKind::Eq => Constraint::eq(e),
+                    ConstraintKind::Ge => Constraint::ge(e),
+                });
+            }
+            return Ok(out);
+        }
+
+        let mut lowers: Vec<&Constraint> = Vec::new(); // coeff > 0:  a*dim >= -rest
+        let mut uppers: Vec<&Constraint> = Vec::new(); // coeff < 0: |a|*dim <= rest
+        for c in &self.cons {
+            let a = c.coeff(dim);
+            if a == 0 {
+                out.add(c.clone());
+            } else if a > 0 {
+                lowers.push(c);
+            } else {
+                uppers.push(c);
+            }
+        }
+        for lo in &lowers {
+            let b = lo.coeff(dim); // b > 0
+            for up in &uppers {
+                let c = -up.coeff(dim); // c > 0
+                // b*dim + e_lo >= 0 and -c*dim + e_up >= 0
+                //   =>  c*e_lo + b*e_up >= 0 (real shadow)
+                let mut e = lo.expr().scale(c)?.add(&up.expr().scale(b)?)?;
+                if shadow == Shadow::Dark && b > 1 && c > 1 {
+                    // Dark shadow: subtract (b-1)(c-1).
+                    let adj = num::mul(b - 1, c - 1)?;
+                    e.set_constant(e.constant_term() - adj);
+                }
+                out.add(Constraint::ge(e));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Eliminates `dims` producing an integer **under-approximation** of the
+    /// projection: every integer point of the result lifts to an integer
+    /// point of the original polyhedron. Unit-coefficient equalities and
+    /// all-unit inequality sides are eliminated exactly; everything else
+    /// uses Pugh's dark shadow. Useful when the projection will be
+    /// *subtracted* from another set, where an over-approximation would be
+    /// unsound.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolyError::Overflow`] on overflow.
+    pub fn eliminate_dims_under(&self, dims: &[usize]) -> Result<Polyhedron, PolyError> {
+        let mut cur = self.clone();
+        for &d in dims {
+            // Replace non-unit equalities involving d by inequality pairs so
+            // the dark shadow applies; unit equalities pivot exactly.
+            if let Some(eq) = cur
+                .cons
+                .iter()
+                .find(|c| c.is_eq() && c.coeff(d).abs() == 1)
+                .cloned()
+            {
+                let a = eq.coeff(d);
+                let mut rest = eq.expr().clone();
+                rest.set_coeff(d, 0);
+                let repl = rest.scale(-a.signum())?;
+                cur.cons.retain(|c| c != &eq);
+                cur = cur.substitute_dim(d, &repl)?;
+                continue;
+            }
+            let mut split = Polyhedron::universe(cur.space.clone());
+            split.contradiction = cur.contradiction;
+            for c in &cur.cons {
+                if c.is_eq() && c.involves(d) {
+                    split.add(Constraint::ge(c.expr().clone()));
+                    split.add(Constraint::ge(c.expr().scale(-1)?));
+                } else {
+                    split.add(c.clone());
+                }
+            }
+            // Exact when one side is all-unit; otherwise dark shadow.
+            let mut unit_lo = true;
+            let mut unit_up = true;
+            for c in &split.cons {
+                let a = c.coeff(d);
+                if a > 1 {
+                    unit_lo = false;
+                } else if a < -1 {
+                    unit_up = false;
+                }
+            }
+            let shadow = if unit_lo || unit_up { Shadow::Real } else { Shadow::Dark };
+            cur = split.eliminate_dim_shadow(d, shadow)?.remove_redundant_cheap();
+        }
+        Ok(cur)
+    }
+
+    /// Eliminates several dimensions (by name positions), choosing at each
+    /// step the remaining dimension with the cheapest lower×upper pairing.
+    ///
+    /// The result still lives in the same space; the eliminated dimensions
+    /// are simply unconstrained.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolyError::Overflow`] on overflow.
+    pub fn eliminate_dims(&self, dims: &[usize]) -> Result<Polyhedron, PolyError> {
+        let mut cur = self.clone();
+        let mut todo: Vec<usize> = dims.to_vec();
+        while !todo.is_empty() {
+            // Cost heuristic: fewest lower*upper combinations first.
+            let (pos, &d) = todo
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &d)| {
+                    let mut lo = 0usize;
+                    let mut up = 0usize;
+                    let mut has_eq = false;
+                    for c in &cur.cons {
+                        let a = c.coeff(d);
+                        if a == 0 {
+                            continue;
+                        }
+                        if c.is_eq() {
+                            has_eq = true;
+                        } else if a > 0 {
+                            lo += 1;
+                        } else {
+                            up += 1;
+                        }
+                    }
+                    if has_eq {
+                        0
+                    } else {
+                        lo * up + 1
+                    }
+                })
+                .expect("todo not empty");
+            todo.swap_remove(pos);
+            cur = cur.eliminate_dim(d)?;
+            cur = cur.remove_redundant_cheap();
+        }
+        Ok(cur)
+    }
+
+    /// Projects the polyhedron onto the dimensions in `keep` (in the given
+    /// order), returning a polyhedron over a fresh space built from those
+    /// dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolyError::Overflow`] on overflow.
+    pub fn project_onto(&self, keep: &[usize]) -> Result<Polyhedron, PolyError> {
+        let drop: Vec<usize> = (0..self.space.len()).filter(|d| !keep.contains(d)).collect();
+        let eliminated = self.eliminate_dims(&drop)?;
+        let mut new_space = Space::new();
+        for &k in keep {
+            new_space.add_dim(self.space.dim(k).name().to_owned(), self.space.dim(k).kind());
+        }
+        let mut out = Polyhedron::universe(new_space);
+        out.contradiction = eliminated.contradiction;
+        for c in &eliminated.cons {
+            debug_assert!(drop.iter().all(|&d| c.coeff(d) == 0));
+            let mut coeffs = Vec::with_capacity(keep.len());
+            for &k in keep {
+                coeffs.push(c.coeff(k));
+            }
+            let e = LinExpr::from_coeffs(coeffs, c.expr().constant_term());
+            out.add(match c.kind() {
+                ConstraintKind::Eq => Constraint::eq(e),
+                ConstraintKind::Ge => Constraint::ge(e),
+            });
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Redundancy removal.
+    // ------------------------------------------------------------------
+
+    /// Drops constraints that are syntactically dominated: duplicates, and
+    /// inequalities with identical coefficient rows where one constant is
+    /// tighter. Cheap (no elimination); used after every FM step.
+    pub fn remove_redundant_cheap(&self) -> Polyhedron {
+        let mut out = Polyhedron::universe(self.space.clone());
+        out.contradiction = self.contradiction;
+        'outer: for (i, c) in self.cons.iter().enumerate() {
+            if c.is_eq() {
+                out.cons.push(c.clone());
+                continue;
+            }
+            for (j, d) in self.cons.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                // d dominates c if same coefficients and d's constant <= c's
+                // (d is tighter), keeping the first on ties.
+                if !d.is_eq()
+                    && d.expr().coeffs() == c.expr().coeffs()
+                    && (d.expr().constant_term() < c.expr().constant_term()
+                        || (d.expr().constant_term() == c.expr().constant_term() && j < i))
+                {
+                    continue 'outer;
+                }
+            }
+            out.cons.push(c.clone());
+        }
+        out
+    }
+
+    /// Removes superfluous constraints by the paper's negation test (§5.1):
+    /// replace a constraint with its negation; if the system then has no
+    /// integer solution, the constraint was implied and can be dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolyError::Overflow`] on overflow.
+    pub fn remove_redundant(&self) -> Result<Polyhedron, PolyError> {
+        let base = self.remove_redundant_cheap();
+        if base.contradiction {
+            return Ok(base);
+        }
+        let mut kept: Vec<Constraint> = base.cons.clone();
+        let mut i = 0;
+        while i < kept.len() {
+            if kept[i].is_eq() {
+                i += 1;
+                continue;
+            }
+            let mut probe = Polyhedron::universe(self.space.clone());
+            for (j, c) in kept.iter().enumerate() {
+                if j == i {
+                    probe.add(c.negate_ge());
+                } else {
+                    probe.add(c.clone());
+                }
+            }
+            if probe.integer_feasibility()? == Feasibility::Infeasible {
+                kept.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        let mut out = Polyhedron::universe(self.space.clone());
+        out.cons = kept;
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Feasibility.
+    // ------------------------------------------------------------------
+
+    /// Exact rational feasibility by complete Fourier–Motzkin elimination.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolyError::Overflow`] on overflow.
+    pub fn is_rational_feasible(&self) -> Result<bool, PolyError> {
+        if self.contradiction {
+            return Ok(false);
+        }
+        let all: Vec<usize> = (0..self.space.len()).collect();
+        let p = self.eliminate_dims(&all)?;
+        Ok(!p.contradiction)
+    }
+
+    /// Integer feasibility: unit-coefficient equality substitution, Pugh's
+    /// exact equality elimination for the rest, then Fourier–Motzkin with the
+    /// real/dark shadow pair and bounded branch-and-bound in the gray zone.
+    ///
+    /// All dimensions are treated existentially.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolyError::Overflow`] on overflow.
+    pub fn integer_feasibility(&self) -> Result<Feasibility, PolyError> {
+        self.integer_feasibility_budget(&mut 4_000)
+    }
+
+    fn integer_feasibility_budget(&self, budget: &mut u32) -> Result<Feasibility, PolyError> {
+        if *budget == 0 {
+            return Ok(Feasibility::Unknown);
+        }
+        *budget -= 1;
+        if self.contradiction {
+            return Ok(Feasibility::Infeasible);
+        }
+        if self.cons.is_empty() {
+            return Ok(Feasibility::Feasible);
+        }
+
+        // Step 1: eliminate equalities exactly.
+        let mut cur = self.clone();
+        loop {
+            if cur.contradiction {
+                return Ok(Feasibility::Infeasible);
+            }
+            let Some(eq_idx) = cur.cons.iter().position(Constraint::is_eq) else {
+                break;
+            };
+            let eq = cur.cons[eq_idx].clone();
+            // Find the dim with minimal |coeff| in this equality.
+            let mut best: Option<(usize, i128)> = None;
+            for d in 0..cur.space.len() {
+                let a = eq.coeff(d);
+                if a != 0 && best.map_or(true, |(_, b)| a.abs() < b.abs()) {
+                    best = Some((d, a));
+                }
+            }
+            let Some((d, a)) = best else {
+                // Constant equality; normalization should have caught it.
+                return Ok(Feasibility::Infeasible);
+            };
+            if a.abs() == 1 {
+                // d = -sign(a) * (eq - a*d): exact integer substitution.
+                let mut rest = eq.expr().clone();
+                rest.set_coeff(d, 0);
+                let replacement = rest.scale(-a.signum())?;
+                cur.cons.remove(eq_idx);
+                cur = cur.substitute_dim(d, &replacement)?;
+            } else {
+                // Pugh's transformation: introduce sigma with
+                //   sum mod_hat(a_i, m) x_i + mod_hat(c, m) == m * sigma,
+                // where m = |a_k| + 1. The new equality has coefficient
+                // -sign(a_k) on x_k (because mod_hat(a_k, m) = -sign(a_k)),
+                // so we can substitute x_k away immediately; the original
+                // equality is rewritten with strictly smaller coefficients,
+                // guaranteeing progress.
+                let m = a.abs() + 1;
+                let mod_hat = |v: i128| -> i128 {
+                    let r = num::mod_floor(v, m);
+                    if r * 2 >= m {
+                        r - m
+                    } else {
+                        r
+                    }
+                };
+                let sigma = cur.add_dim_internal();
+                let n = cur.space.len();
+                let mut e = LinExpr::zero(n);
+                for k in 0..n - 1 {
+                    e.set_coeff(k, mod_hat(eq.coeff(k)));
+                }
+                e.set_constant(mod_hat(eq.expr().constant_term()));
+                e.set_coeff(sigma, -m);
+                // e == 0 with e's coefficient on d equal to -sign(a):
+                //   x_d = -sign(a) * (e - coeff_d * x_d)  ... i.e. solve e for d.
+                let cd = e.coeff(d);
+                debug_assert_eq!(cd, -a.signum());
+                let mut rest = e;
+                rest.set_coeff(d, 0);
+                let replacement = rest.scale(-cd.signum())?;
+                cur = cur.substitute_dim(d, &replacement)?;
+                if cur.contradiction {
+                    return Ok(Feasibility::Infeasible);
+                }
+            }
+        }
+
+        // Step 2: inequalities only. Eliminate with real + dark shadows.
+        if cur.cons.is_empty() {
+            return Ok(Feasibility::Feasible);
+        }
+        // Pick the cheapest variable that is actually constrained.
+        let mut target: Option<(usize, usize, bool)> = None; // (dim, cost, exact)
+        for d in 0..cur.space.len() {
+            let mut lo = 0usize;
+            let mut up = 0usize;
+            let mut unit_lo = true;
+            let mut unit_up = true;
+            for c in &cur.cons {
+                let a = c.coeff(d);
+                if a > 0 {
+                    lo += 1;
+                    if a != 1 {
+                        unit_lo = false;
+                    }
+                } else if a < 0 {
+                    up += 1;
+                    if a != -1 {
+                        unit_up = false;
+                    }
+                }
+            }
+            if lo + up == 0 {
+                continue;
+            }
+            // Elimination is integer-exact when all lower or all upper
+            // coefficients are +/-1 (the dark and real shadows coincide).
+            let exact = unit_lo || unit_up;
+            let cost = lo * up;
+            let better = match target {
+                None => true,
+                Some((_, c0, e0)) => (exact && !e0) || (exact == e0 && cost < c0),
+            };
+            if better {
+                target = Some((d, cost, exact));
+            }
+        }
+        let Some((d, _, exact)) = target else {
+            // No variable appears in any constraint, yet constraints remain:
+            // all would be constants, removed by normalization.
+            return Ok(Feasibility::Feasible);
+        };
+
+        let real = cur.eliminate_dim_shadow(d, Shadow::Real)?.remove_redundant_cheap();
+        let real_answer = real.integer_feasibility_budget(budget)?;
+        if real_answer == Feasibility::Infeasible {
+            return Ok(Feasibility::Infeasible);
+        }
+        if exact {
+            return Ok(real_answer);
+        }
+        let dark = cur.eliminate_dim_shadow(d, Shadow::Dark)?.remove_redundant_cheap();
+        if dark.integer_feasibility_budget(budget)? == Feasibility::Feasible {
+            return Ok(Feasibility::Feasible);
+        }
+
+        // Gray zone: branch and bound on `d` if it has constant bounds.
+        if let Some((lo, hi)) = cur.constant_bounds(d)? {
+            if hi - lo > 4_096 {
+                return Ok(Feasibility::Unknown);
+            }
+            for v in lo..=hi {
+                let fixed = cur.substitute_dim(d, &LinExpr::constant(cur.space.len(), v))?;
+                match fixed.integer_feasibility_budget(budget)? {
+                    Feasibility::Feasible => return Ok(Feasibility::Feasible),
+                    Feasibility::Unknown => return Ok(Feasibility::Unknown),
+                    Feasibility::Infeasible => {}
+                }
+            }
+            return Ok(Feasibility::Infeasible);
+        }
+        Ok(Feasibility::Unknown)
+    }
+
+    /// Computes constant integer bounds for dimension `d` by eliminating all
+    /// other dimensions (rationally) and reading off the tightest constant
+    /// bounds, if both exist.
+    fn constant_bounds(&self, d: usize) -> Result<Option<(i128, i128)>, PolyError> {
+        let others: Vec<usize> = (0..self.space.len()).filter(|&k| k != d).collect();
+        let only_d = self.eliminate_dims(&others)?;
+        let mut lo: Option<i128> = None;
+        let mut hi: Option<i128> = None;
+        for c in &only_d.cons {
+            let a = c.coeff(d);
+            let b = c.expr().constant_term();
+            if a == 0 {
+                continue;
+            }
+            // An equality bounds the dimension from both sides.
+            if a > 0 || c.is_eq() {
+                let (aa, bb) = if a > 0 { (a, b) } else { (-a, -b) };
+                let v = num::div_ceil(-bb, aa);
+                lo = Some(lo.map_or(v, |x| x.max(v)));
+            }
+            if a < 0 || c.is_eq() {
+                let (aa, bb) = if a < 0 { (-a, b) } else { (a, -b) };
+                let v = num::div_floor(bb, aa);
+                hi = Some(hi.map_or(v, |x| x.min(v)));
+            }
+        }
+        Ok(match (lo, hi) {
+            (Some(l), Some(h)) => Some((l, h)),
+            _ => None,
+        })
+    }
+
+    fn add_dim_internal(&mut self) -> usize {
+        let d = self.space.add_aux();
+        for c in &mut self.cons {
+            let e = c.expr().extend(1);
+            *c = match c.kind() {
+                ConstraintKind::Eq => Constraint::eq(e),
+                ConstraintKind::Ge => Constraint::ge(e),
+            };
+        }
+        d
+    }
+
+    // ------------------------------------------------------------------
+    // Set difference.
+    // ------------------------------------------------------------------
+
+    /// Computes `self \ other` as a list of disjoint convex pieces.
+    ///
+    /// Piece `k` is `self ∧ other.c_0 ∧ … ∧ other.c_{k-1} ∧ ¬other.c_k`.
+    /// An equality `e == 0` contributes two pieces (`e >= 1` and `-e >= 1`).
+    /// Pieces that are obviously or provably empty are dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolyError::Overflow`] on overflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spaces differ.
+    pub fn subtract(&self, other: &Polyhedron) -> Result<Vec<Polyhedron>, PolyError> {
+        assert_eq!(self.space, other.space, "space mismatch in subtract");
+        if self.contradiction {
+            return Ok(Vec::new());
+        }
+        if other.contradiction {
+            return Ok(vec![self.clone()]);
+        }
+        // Disjoint sets subtract to the original, in one piece.
+        if self.intersect(other).integer_feasibility()? == Feasibility::Infeasible {
+            return Ok(vec![self.clone()]);
+        }
+        let mut pieces = Vec::new();
+        let mut prefix = self.clone();
+        for c in &other.cons {
+            match c.kind() {
+                ConstraintKind::Ge => {
+                    let mut piece = prefix.clone();
+                    piece.add(c.negate_ge());
+                    if piece.integer_feasibility()?.possibly_feasible() {
+                        pieces.push(piece);
+                    }
+                    prefix.add(c.clone());
+                }
+                ConstraintKind::Eq => {
+                    // ¬(e == 0) is e >= 1 or e <= -1.
+                    let mut above = prefix.clone();
+                    let mut e_hi = c.expr().clone();
+                    e_hi.set_constant(e_hi.constant_term() - 1);
+                    above.add(Constraint::ge(e_hi));
+                    if above.integer_feasibility()?.possibly_feasible() {
+                        pieces.push(above);
+                    }
+                    let mut below = prefix.clone();
+                    let mut e_lo = c.expr().scaled(-1);
+                    e_lo.set_constant(e_lo.constant_term() - 1);
+                    below.add(Constraint::ge(e_lo));
+                    if below.integer_feasibility()?.possibly_feasible() {
+                        pieces.push(below);
+                    }
+                    prefix.add(c.clone());
+                }
+            }
+            if prefix.contradiction {
+                break;
+            }
+        }
+        Ok(pieces)
+    }
+
+    // ------------------------------------------------------------------
+    // Point enumeration (for tests and small exhaustive checks).
+    // ------------------------------------------------------------------
+
+    /// Enumerates every integer point of the polyhedron, provided all
+    /// dimensions can be given constant bounds; gives up (returns `None`)
+    /// otherwise or when more than `limit` points would be produced.
+    ///
+    /// Points are produced in lexicographic dimension order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolyError::Overflow`] on overflow.
+    pub fn enumerate_points(&self, limit: usize) -> Result<Option<Vec<Vec<i128>>>, PolyError> {
+        if self.contradiction {
+            return Ok(Some(Vec::new()));
+        }
+        let n = self.space.len();
+        let mut ranges = Vec::with_capacity(n);
+        for d in 0..n {
+            match self.constant_bounds(d)? {
+                Some((lo, hi)) => ranges.push((lo, hi)),
+                None => return Ok(None),
+            }
+        }
+        let mut out = Vec::new();
+        let mut point = vec![0i128; n];
+        fn rec(
+            p: &Polyhedron,
+            ranges: &[(i128, i128)],
+            point: &mut Vec<i128>,
+            d: usize,
+            out: &mut Vec<Vec<i128>>,
+            limit: usize,
+        ) -> Result<bool, PolyError> {
+            if d == ranges.len() {
+                if p.contains(point)? {
+                    if out.len() >= limit {
+                        return Ok(false);
+                    }
+                    out.push(point.clone());
+                }
+                return Ok(true);
+            }
+            for v in ranges[d].0..=ranges[d].1 {
+                point[d] = v;
+                if !rec(p, ranges, point, d + 1, out, limit)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        if rec(self, &ranges, &mut point, 0, &mut out, limit)? {
+            Ok(Some(out))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+impl fmt::Debug for Polyhedron {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Polyhedron{} {{ ", self.space)?;
+        if self.contradiction {
+            write!(f, "false ")?;
+        }
+        for (i, c) in self.cons.iter().enumerate() {
+            if i > 0 {
+                write!(f, " && ")?;
+            }
+            write!(f, "{}", c.display(&self.space))?;
+        }
+        write!(f, " }}")
+    }
+}
+
+impl fmt::Display for Polyhedron {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.contradiction {
+            return write!(f, "false");
+        }
+        if self.cons.is_empty() {
+            return write!(f, "true");
+        }
+        for (i, c) in self.cons.iter().enumerate() {
+            if i > 0 {
+                write!(f, " && ")?;
+            }
+            write!(f, "{}", c.display(&self.space))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DimKind;
+
+    fn sp(names: &[&str]) -> Space {
+        Space::from_dims(names.iter().map(|&n| (n, DimKind::Index)))
+    }
+
+    fn ge(coeffs: Vec<i128>, c: i128) -> Constraint {
+        Constraint::ge(LinExpr::from_coeffs(coeffs, c))
+    }
+
+    fn eq(coeffs: Vec<i128>, c: i128) -> Constraint {
+        Constraint::eq(LinExpr::from_coeffs(coeffs, c))
+    }
+
+    #[test]
+    fn contains_and_contradiction() {
+        let mut p = Polyhedron::universe(sp(&["x"]));
+        p.add(ge(vec![1], 0)); // x >= 0
+        p.add(ge(vec![-1], 5)); // x <= 5
+        assert!(p.contains(&[3]).unwrap());
+        assert!(!p.contains(&[6]).unwrap());
+        p.add(ge(vec![0], -1)); // -1 >= 0
+        assert!(p.is_obviously_empty());
+    }
+
+    #[test]
+    fn fm_eliminate_simple() {
+        // x >= 0, y >= x + 2, y <= 7  => eliminating y: x + 2 <= 7.
+        let mut p = Polyhedron::universe(sp(&["x", "y"]));
+        p.add(ge(vec![1, 0], 0));
+        p.add(ge(vec![-1, 1], -2)); // y - x - 2 >= 0
+        p.add(ge(vec![0, -1], 7)); // 7 - y >= 0
+        let q = p.eliminate_dim(1).unwrap();
+        assert!(q.contains(&[5, 0]).unwrap());
+        assert!(!q.contains(&[6, 0]).unwrap());
+    }
+
+    #[test]
+    fn fm_equality_pivot() {
+        // y == 2x + 1, 0 <= y <= 9 — eliminating y gives 0 <= 2x+1 <= 9.
+        let mut p = Polyhedron::universe(sp(&["x", "y"]));
+        p.add(eq(vec![2, -1], 1)); // 2x - y + 1 == 0
+        p.add(ge(vec![0, 1], 0));
+        p.add(ge(vec![0, -1], 9));
+        let q = p.eliminate_dim(1).unwrap();
+        assert!(q.contains(&[0, 0]).unwrap());
+        assert!(q.contains(&[4, 0]).unwrap());
+        assert!(!q.contains(&[5, 0]).unwrap());
+        assert!(!q.contains(&[-1, 0]).unwrap());
+    }
+
+    #[test]
+    fn rational_vs_integer_feasibility() {
+        // 2x == 1 is rationally feasible but integer infeasible; the
+        // normalizer already rejects it.
+        let mut p = Polyhedron::universe(sp(&["x"]));
+        p.add(eq(vec![2], -1));
+        assert_eq!(p.integer_feasibility().unwrap(), Feasibility::Infeasible);
+
+        // 3 <= 2x <= 3: rational point x = 1.5, no integer point.
+        let mut p = Polyhedron::universe(sp(&["x"]));
+        p.add(ge(vec![2], -3)); // 2x >= 3
+        p.add(ge(vec![-2], 3)); // 2x <= 3
+        assert_eq!(p.integer_feasibility().unwrap(), Feasibility::Infeasible);
+    }
+
+    #[test]
+    fn integer_feasible_with_witnessable_point() {
+        let mut p = Polyhedron::universe(sp(&["x", "y"]));
+        p.add(ge(vec![1, 0], 0));
+        p.add(ge(vec![0, 1], 0));
+        p.add(ge(vec![-1, -1], 10)); // x + y <= 10
+        assert_eq!(p.integer_feasibility().unwrap(), Feasibility::Feasible);
+    }
+
+    #[test]
+    fn pugh_equality_elimination() {
+        // 3x + 5y == 7 has integer solutions (x=4, y=-1).
+        let mut p = Polyhedron::universe(sp(&["x", "y"]));
+        p.add(eq(vec![3, 5], -7));
+        assert_eq!(p.integer_feasibility().unwrap(), Feasibility::Feasible);
+
+        // 6x + 10y == 7 has none (gcd 2 does not divide 7).
+        let mut p = Polyhedron::universe(sp(&["x", "y"]));
+        p.add(eq(vec![6, 10], -7));
+        assert_eq!(p.integer_feasibility().unwrap(), Feasibility::Infeasible);
+    }
+
+    #[test]
+    fn dark_shadow_gray_zone() {
+        // Classic Omega example: 0 <= x, 2y <= x <= 2y + 1 with x odd-ish
+        // windows; use: 1 <= x <= 2, x == 2y -> y in {0.5, 1} -> feasible
+        // at x=2,y=1.
+        let mut p = Polyhedron::universe(sp(&["x", "y"]));
+        p.add(ge(vec![1, 0], -1));
+        p.add(ge(vec![-1, 0], 2));
+        p.add(eq(vec![1, -2], 0));
+        assert_eq!(p.integer_feasibility().unwrap(), Feasibility::Feasible);
+
+        // x == 2y, x == 3, no integer y.
+        let mut p = Polyhedron::universe(sp(&["x", "y"]));
+        p.add(eq(vec![1, -2], 0));
+        p.add(eq(vec![1, 0], -3));
+        assert_eq!(p.integer_feasibility().unwrap(), Feasibility::Infeasible);
+    }
+
+    #[test]
+    fn redundancy_removal_paper_negation_test() {
+        // x >= 0, x >= -5 (implied), x <= 10, x <= 20 (implied).
+        let mut p = Polyhedron::universe(sp(&["x"]));
+        p.add(ge(vec![1], 0));
+        p.add(ge(vec![1], 5));
+        p.add(ge(vec![-1], 10));
+        p.add(ge(vec![-1], 20));
+        let r = p.remove_redundant().unwrap();
+        assert_eq!(r.constraints().len(), 2);
+        assert!(r.contains(&[0]).unwrap());
+        assert!(r.contains(&[10]).unwrap());
+        assert!(!r.contains(&[-1]).unwrap());
+        assert!(!r.contains(&[11]).unwrap());
+    }
+
+    #[test]
+    fn subtraction_produces_disjoint_cover() {
+        // [0,10] \ [3,5] = [0,2] u [6,10].
+        let s = sp(&["x"]);
+        let mut a = Polyhedron::universe(s.clone());
+        a.add(ge(vec![1], 0));
+        a.add(ge(vec![-1], 10));
+        let mut b = Polyhedron::universe(s);
+        b.add(ge(vec![1], -3));
+        b.add(ge(vec![-1], 5));
+        let pieces = a.subtract(&b).unwrap();
+        let mut pts: Vec<i128> = Vec::new();
+        for p in &pieces {
+            for q in p.enumerate_points(100).unwrap().unwrap() {
+                assert!(!pts.contains(&q[0]), "pieces overlap at {}", q[0]);
+                pts.push(q[0]);
+            }
+        }
+        pts.sort();
+        assert_eq!(pts, vec![0, 1, 2, 6, 7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn subtraction_with_equalities() {
+        // [0,6] \ {x == 3} = [0,2] u [4,6].
+        let s = sp(&["x"]);
+        let mut a = Polyhedron::universe(s.clone());
+        a.add(ge(vec![1], 0));
+        a.add(ge(vec![-1], 6));
+        let mut b = Polyhedron::universe(s);
+        b.add(eq(vec![1], -3));
+        let pieces = a.subtract(&b).unwrap();
+        let mut pts: Vec<i128> = pieces
+            .iter()
+            .flat_map(|p| p.enumerate_points(100).unwrap().unwrap())
+            .map(|q| q[0])
+            .collect();
+        pts.sort();
+        assert_eq!(pts, vec![0, 1, 2, 4, 5, 6]);
+    }
+
+    #[test]
+    fn projection_matches_brute_force() {
+        // Figure 6 of the paper: 1 <= i <= 6 (roughly); use
+        //   1 <= j, j <= i, 2j <= i + 12, i <= 6 -> project onto i.
+        let mut p = Polyhedron::universe(sp(&["i", "j"]));
+        p.add(ge(vec![0, 1], -1)); // j >= 1
+        p.add(ge(vec![1, -1], 0)); // i >= j
+        p.add(ge(vec![1, -2], 12)); // i + 12 >= 2j
+        p.add(ge(vec![-1, 0], 6)); // i <= 6
+        let q = p.project_onto(&[0]).unwrap();
+        // Brute force: which i in -20..20 admit a j?
+        for i in -20..20i128 {
+            let mut any = false;
+            for j in -40..40i128 {
+                if p.contains(&[i, j]).unwrap() {
+                    any = true;
+                }
+            }
+            assert_eq!(q.contains(&[i]).unwrap(), any, "i={i}");
+        }
+    }
+
+    #[test]
+    fn enumerate_points_box() {
+        let mut p = Polyhedron::universe(sp(&["x", "y"]));
+        p.add(ge(vec![1, 0], 0));
+        p.add(ge(vec![-1, 0], 1));
+        p.add(ge(vec![0, 1], 0));
+        p.add(ge(vec![0, -1], 1));
+        let pts = p.enumerate_points(100).unwrap().unwrap();
+        assert_eq!(pts.len(), 4);
+        // Unbounded: gives up.
+        let q = Polyhedron::universe(sp(&["x"]));
+        assert_eq!(q.enumerate_points(10).unwrap(), None);
+    }
+
+    #[test]
+    fn extend_and_remap() {
+        let mut p = Polyhedron::universe(sp(&["x"]));
+        p.add(ge(vec![1], 0));
+        let extra = sp(&["y"]);
+        let q = p.extend_space(&extra);
+        assert_eq!(q.space().len(), 2);
+        assert!(q.contains(&[0, -100]).unwrap());
+
+        let target = sp(&["a", "x"]);
+        let r = p.remap(target, &[1]);
+        assert!(r.contains(&[-100, 0]).unwrap());
+        assert!(!r.contains(&[0, -1]).unwrap());
+    }
+
+    #[test]
+    fn display_renders_conjunction() {
+        let mut p = Polyhedron::universe(sp(&["x"]));
+        p.add(ge(vec![1], 0));
+        assert_eq!(p.to_string(), "x >= 0");
+        assert_eq!(Polyhedron::empty(sp(&["x"])).to_string(), "false");
+        assert_eq!(Polyhedron::universe(sp(&["x"])).to_string(), "true");
+    }
+}

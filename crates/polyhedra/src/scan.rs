@@ -1,0 +1,353 @@
+//! Scanning a polyhedron with a loop nest (paper §5.2, after Ancourt &
+//! Irigoin).
+//!
+//! Given a system of linear inequalities and a variable order, this module
+//! derives, for each variable, the integer lower and upper bounds of the loop
+//! that enumerates all solutions in lexicographic order. Bounds for the
+//! `k`-th variable only reference earlier variables and un-scanned
+//! dimensions (parameters), obtained by projecting the deeper variables away
+//! with Fourier–Motzkin elimination.
+
+use crate::num;
+use crate::{LinExpr, PolyError, Polyhedron};
+
+/// One bound of a scanned loop: `ceil(expr / divisor)` for lower bounds,
+/// `floor(expr / divisor)` for upper bounds. `divisor >= 1`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Bound {
+    /// Affine numerator over the polyhedron's space (zero coefficients on
+    /// the scanned variable and on deeper variables).
+    pub expr: LinExpr,
+    /// Positive divisor.
+    pub divisor: i128,
+}
+
+impl Bound {
+    /// Evaluates this bound as a lower bound (ceiling division).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolyError::Overflow`] on overflow.
+    pub fn eval_lower(&self, point: &[i128]) -> Result<i128, PolyError> {
+        Ok(num::div_ceil(self.expr.eval(point)?, self.divisor))
+    }
+
+    /// Evaluates this bound as an upper bound (floor division).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolyError::Overflow`] on overflow.
+    pub fn eval_upper(&self, point: &[i128]) -> Result<i128, PolyError> {
+        Ok(num::div_floor(self.expr.eval(point)?, self.divisor))
+    }
+}
+
+/// Bounds of one scanned variable.
+#[derive(Clone, Debug)]
+pub struct VarBounds {
+    /// The dimension being scanned.
+    pub dim: usize,
+    /// Lower bounds; the loop starts at the max of their ceilings.
+    pub lowers: Vec<Bound>,
+    /// Upper bounds; the loop ends at the min of their floors.
+    pub uppers: Vec<Bound>,
+    /// When the variable is pinned by an equality `dim == expr` (unit
+    /// coefficient), the paper's §5.2 extension replaces the loop by an
+    /// assignment; this field carries that expression.
+    pub exact: Option<LinExpr>,
+}
+
+impl VarBounds {
+    /// Evaluates the loop's concrete `(lower, upper)` range at a point that
+    /// fixes all earlier variables and parameters (entries for this variable
+    /// and deeper ones are ignored).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolyError::Overflow`] on overflow.
+    pub fn range(&self, point: &[i128]) -> Result<(i128, i128), PolyError> {
+        if let Some(e) = &self.exact {
+            let v = e.eval(point)?;
+            return Ok((v, v));
+        }
+        let mut lo = i128::MIN;
+        for b in &self.lowers {
+            lo = lo.max(b.eval_lower(point)?);
+        }
+        let mut hi = i128::MAX;
+        for b in &self.uppers {
+            hi = hi.min(b.eval_upper(point)?);
+        }
+        Ok((lo, hi))
+    }
+}
+
+/// The scan structure of a polyhedron for a fixed variable order: one
+/// [`VarBounds`] per scanned variable, outermost first.
+#[derive(Clone, Debug)]
+pub struct ScanNest {
+    /// Per-variable bounds, in `order` (outermost first).
+    pub vars: Vec<VarBounds>,
+    /// Constraints not involving any scanned dimension: the guard the loop
+    /// nest must be wrapped in (conditions on parameters/processor ids).
+    pub guard: Polyhedron,
+}
+
+impl ScanNest {
+    /// Enumerates all solutions with concrete values for the un-scanned
+    /// dimensions given in `fixed` (entries at scanned positions are
+    /// ignored/overwritten). Results are full points in the original space.
+    ///
+    /// Intended for testing and for the machine simulator's interpreter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolyError::Overflow`] on overflow.
+    pub fn enumerate(&self, fixed: &[i128], limit: usize) -> Result<Vec<Vec<i128>>, PolyError> {
+        let mut out = Vec::new();
+        let mut point = fixed.to_vec();
+        if !self.guard_holds(&point)? {
+            return Ok(out);
+        }
+        self.rec(0, &mut point, &mut out, limit)?;
+        Ok(out)
+    }
+
+    /// Whether the guard constraints hold at `point`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolyError::Overflow`] on overflow.
+    pub fn guard_holds(&self, point: &[i128]) -> Result<bool, PolyError> {
+        self.guard.contains(point)
+    }
+
+    fn rec(
+        &self,
+        depth: usize,
+        point: &mut Vec<i128>,
+        out: &mut Vec<Vec<i128>>,
+        limit: usize,
+    ) -> Result<(), PolyError> {
+        if depth == self.vars.len() {
+            if out.len() < limit {
+                out.push(point.clone());
+            }
+            return Ok(());
+        }
+        let vb = &self.vars[depth];
+        let (lo, hi) = vb.range(point)?;
+        for v in lo..=hi {
+            point[vb.dim] = v;
+            self.rec(depth + 1, point, out, limit)?;
+            if out.len() >= limit {
+                break;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Derives scanning bounds for `poly` in the given variable `order`
+/// (outermost first). Dimensions not in `order` are treated as symbolic
+/// (parameters): they may appear in bounds and end up in the guard.
+///
+/// Mirrors §5.2 of the paper: bounds for the innermost variable come from
+/// the constraints that mention it; the variable is then projected away and
+/// the process repeats outwards. Superfluous constraints are pruned with the
+/// negation test after each projection so the emitted `max`/`min` lists stay
+/// small.
+///
+/// # Errors
+///
+/// Returns [`PolyError::Overflow`] on overflow.
+pub fn scan_bounds(poly: &Polyhedron, order: &[usize]) -> Result<ScanNest, PolyError> {
+    let mut cur = poly.remove_redundant()?;
+    cur = promote_tight_inequalities(&cur, order)?;
+    let mut vars_rev: Vec<VarBounds> = Vec::with_capacity(order.len());
+    for (k, &dim) in order.iter().enumerate().rev() {
+        // Deeper dims were already eliminated; sanity-check in debug builds.
+        debug_assert!(
+            cur.constraints().iter().all(|c| order[k + 1..].iter().all(|&d| c.coeff(d) == 0)),
+            "deeper dimension leaked into bounds"
+        );
+        let mut lowers = Vec::new();
+        let mut uppers = Vec::new();
+        let mut exact: Option<LinExpr> = None;
+        for c in cur.constraints() {
+            let a = c.coeff(dim);
+            if a == 0 {
+                continue;
+            }
+            let mut rest = c.expr().clone();
+            rest.set_coeff(dim, 0);
+            if c.is_eq() {
+                // a*dim + rest == 0  =>  dim == -rest/a.
+                if a.abs() == 1 {
+                    exact = Some(rest.scale(-a.signum())?);
+                } else {
+                    // Both a ceiling lower bound and a floor upper bound; the
+                    // loop body only runs when the division is exact.
+                    let e = rest.scale(-a.signum())?;
+                    lowers.push(Bound { expr: e.clone(), divisor: a.abs() });
+                    uppers.push(Bound { expr: e, divisor: a.abs() });
+                }
+            } else if a > 0 {
+                // a*dim >= -rest  =>  dim >= ceil(-rest / a).
+                lowers.push(Bound { expr: rest.scale(-1)?, divisor: a });
+            } else {
+                // (-a)*dim <= rest  =>  dim <= floor(rest / -a).
+                uppers.push(Bound { expr: rest, divisor: -a });
+            }
+        }
+        vars_rev.push(VarBounds { dim, lowers, uppers, exact });
+        cur = cur.eliminate_dim(dim)?.remove_redundant()?;
+    }
+    vars_rev.reverse();
+    Ok(ScanNest { vars: vars_rev, guard: cur })
+}
+
+/// Promotes inequalities that hold with equality everywhere in the
+/// polyhedron (the probe `poly ∧ (e − 1 >= 0)` is integer-infeasible) into
+/// equality constraints. This lets degenerate dimensions — e.g. a cyclic
+/// `p <= i <= p` pair, or a communication set's `p_s <= p_r − 1` that is
+/// forced tight by the block bounds — surface as §5.2 assignments instead
+/// of single-trip loops.
+fn promote_tight_inequalities(
+    poly: &Polyhedron,
+    order: &[usize],
+) -> Result<Polyhedron, PolyError> {
+    let mut out = Polyhedron::universe(poly.space().clone());
+    if poly.is_obviously_empty() {
+        return Ok(poly.clone());
+    }
+    for c in poly.constraints() {
+        let promote = !c.is_eq()
+            && order.iter().any(|&d| c.coeff(d) != 0)
+            && {
+                let mut probe = poly.clone();
+                let mut strict = c.expr().clone();
+                strict.set_constant(strict.constant_term() - 1);
+                probe.add(crate::Constraint::ge(strict));
+                probe.integer_feasibility()? == crate::Feasibility::Infeasible
+            };
+        if promote {
+            out.add(crate::Constraint::eq(c.expr().clone()));
+        } else {
+            out.add(c.clone());
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Constraint, DimKind, LinExpr, Space};
+
+    fn sp(names: &[&str]) -> Space {
+        Space::from_dims(names.iter().map(|&n| (n, DimKind::Index)))
+    }
+
+    fn ge(coeffs: Vec<i128>, c: i128) -> Constraint {
+        Constraint::ge(LinExpr::from_coeffs(coeffs, c))
+    }
+
+    /// The 2-D polyhedron of Figure 6 in the paper:
+    /// `1 <= i <= 6`, `1 <= j`, `j <= i`, `2j <= i + 12` — scanned in
+    /// `(i, j)` and `(j, i)` orders.
+    fn figure6() -> Polyhedron {
+        let mut p = Polyhedron::universe(sp(&["i", "j"]));
+        p.add(ge(vec![1, 0], -1)); // i >= 1
+        p.add(ge(vec![-1, 0], 6)); // i <= 6
+        p.add(ge(vec![0, 1], -1)); // j >= 1
+        p.add(ge(vec![1, -1], 0)); // j <= i
+        p.add(ge(vec![1, -2], 12)); // 2j <= i + 12
+        p
+    }
+
+    #[test]
+    fn figure6_scan_both_orders_agree() {
+        let p = figure6();
+        let ij = scan_bounds(&p, &[0, 1]).unwrap();
+        let ji = scan_bounds(&p, &[1, 0]).unwrap();
+        let mut a = ij.enumerate(&[0, 0], 10_000).unwrap();
+        let mut b = ji.enumerate(&[0, 0], 10_000).unwrap();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        // Cross-check against brute force membership.
+        for i in -2..10i128 {
+            for j in -2..10i128 {
+                let inside = p.contains(&[i, j]).unwrap();
+                assert_eq!(a.binary_search(&vec![i, j]).is_ok(), inside, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn scan_exactness_one_to_one() {
+        // Every enumerated iteration is a solution and vice versa, i.e. no
+        // duplicates (paper: "one-to-one correspondence").
+        let p = figure6();
+        let nest = scan_bounds(&p, &[0, 1]).unwrap();
+        let pts = nest.enumerate(&[0, 0], 10_000).unwrap();
+        let mut seen = pts.clone();
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), pts.len(), "scan produced duplicates");
+    }
+
+    #[test]
+    fn scan_with_parameter_guard() {
+        // 0 <= i <= N with N a parameter: guard must say N >= 0.
+        let mut space = Space::new();
+        space.add_dim("i", DimKind::Index);
+        space.add_dim("N", DimKind::Param);
+        let mut p = Polyhedron::universe(space);
+        p.add(ge(vec![1, 0], 0));
+        p.add(ge(vec![-1, 1], 0));
+        let nest = scan_bounds(&p, &[0]).unwrap();
+        assert!(nest.guard_holds(&[0, 5]).unwrap());
+        assert!(!nest.guard_holds(&[0, -1]).unwrap());
+        let pts = nest.enumerate(&[0, 3], 100).unwrap();
+        assert_eq!(pts.len(), 4);
+    }
+
+    #[test]
+    fn scan_degenerate_equality_dim() {
+        // j == i - 3, 3 <= i <= 5: j should be an exact assignment.
+        let mut p = Polyhedron::universe(sp(&["i", "j"]));
+        p.add(ge(vec![1, 0], -3));
+        p.add(ge(vec![-1, 0], 5));
+        p.add(Constraint::eq(LinExpr::from_coeffs(vec![1, -1], -3)));
+        let nest = scan_bounds(&p, &[0, 1]).unwrap();
+        assert!(nest.vars[1].exact.is_some());
+        let pts = nest.enumerate(&[0, 0], 100).unwrap();
+        assert_eq!(pts, vec![vec![3, 0], vec![4, 1], vec![5, 2]]);
+    }
+
+    #[test]
+    fn scan_stride_via_non_unit_equality() {
+        // i == 2k for hidden k in [0,3]: i in {0,2,4,6}. Scan (k, i).
+        let mut p = Polyhedron::universe(sp(&["k", "i"]));
+        p.add(ge(vec![1, 0], 0));
+        p.add(ge(vec![-1, 0], 3));
+        p.add(Constraint::eq(LinExpr::from_coeffs(vec![2, -1], 0))); // i == 2k
+        let nest = scan_bounds(&p, &[0, 1]).unwrap();
+        let pts = nest.enumerate(&[0, 0], 100).unwrap();
+        let is: Vec<i128> = pts.iter().map(|p| p[1]).collect();
+        assert_eq!(is, vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn empty_polyhedron_scans_to_nothing() {
+        let mut p = Polyhedron::universe(sp(&["i"]));
+        p.add(ge(vec![1], 0));
+        p.add(ge(vec![-1], -1)); // i <= -1: empty
+        let nest = scan_bounds(&p, &[0]).unwrap();
+        let pts = nest.enumerate(&[0], 100).unwrap();
+        assert!(pts.is_empty());
+    }
+}

@@ -1,0 +1,225 @@
+//! Property-based tests for the polyhedral engine: every operation is
+//! cross-checked against brute-force enumeration on small random systems.
+
+use proptest::prelude::*;
+
+use dmc_polyhedra::{
+    lexopt, scan_bounds, Constraint, DimKind, Direction, Feasibility, LinExpr, Polyhedron, Space,
+};
+
+/// A random constraint over `n` dims with small coefficients, biased
+/// towards feasible boxes by adding box bounds separately.
+fn arb_constraint(n: usize) -> impl Strategy<Value = Constraint> {
+    (
+        proptest::collection::vec(-3i128..=3, n),
+        -6i128..=6,
+        proptest::bool::ANY,
+    )
+        .prop_map(|(coeffs, c, eq)| {
+            let e = LinExpr::from_coeffs(coeffs, c);
+            if eq {
+                Constraint::eq(e)
+            } else {
+                Constraint::ge(e)
+            }
+        })
+}
+
+/// A random polyhedron over `n` dims, intersected with the box
+/// `[-B, B]^n` so everything is enumerable.
+fn arb_polyhedron(n: usize, extra: usize, b: i128) -> impl Strategy<Value = Polyhedron> {
+    proptest::collection::vec(arb_constraint(n), 0..=extra).prop_map(move |cons| {
+        let space = Space::from_dims((0..n).map(|k| (format!("x{k}"), DimKind::Index)));
+        let mut p = Polyhedron::universe(space);
+        for k in 0..n {
+            let mut lo = LinExpr::var(n, k);
+            lo.set_constant(b);
+            p.add(Constraint::ge(lo)); // x_k >= -b
+            let mut hi = LinExpr::var(n, k).scaled(-1);
+            hi.set_constant(b);
+            p.add(Constraint::ge(hi)); // x_k <= b
+        }
+        for c in cons {
+            p.add(c);
+        }
+        p
+    })
+}
+
+fn points_of(p: &Polyhedron, b: i128) -> Vec<Vec<i128>> {
+    let n = p.space().len();
+    let mut out = Vec::new();
+    let mut pt = vec![-b; n];
+    loop {
+        if p.contains(&pt).unwrap() {
+            out.push(pt.clone());
+        }
+        let mut d = n;
+        loop {
+            if d == 0 {
+                return out;
+            }
+            d -= 1;
+            pt[d] += 1;
+            if pt[d] <= b {
+                break;
+            }
+            pt[d] = -b;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Integer feasibility never says Infeasible when a point exists, and
+    /// never says Feasible when none does (within the box).
+    #[test]
+    fn feasibility_matches_enumeration(p in arb_polyhedron(3, 4, 4)) {
+        let pts = points_of(&p, 4);
+        match p.integer_feasibility().unwrap() {
+            Feasibility::Infeasible => prop_assert!(pts.is_empty(), "claimed infeasible with {} points", pts.len()),
+            Feasibility::Feasible => prop_assert!(!pts.is_empty(), "claimed feasible with no points"),
+            Feasibility::Unknown => {}
+        }
+    }
+
+    /// Fourier–Motzkin projection is an over-approximation that is exact
+    /// on the side it claims: every point with an integer preimage lies in
+    /// the projection.
+    #[test]
+    fn projection_covers_shadow(p in arb_polyhedron(3, 3, 4)) {
+        let proj = p.eliminate_dims(&[2]).unwrap();
+        for pt in points_of(&p, 4) {
+            // Any witness extends to the projection with arbitrary x2.
+            prop_assert!(proj.contains(&pt).unwrap(), "projection lost {pt:?}");
+        }
+    }
+
+    /// The under-approximating projection is sound: every point of the
+    /// result has an integer preimage.
+    #[test]
+    fn under_projection_is_sound(p in arb_polyhedron(3, 3, 3)) {
+        let under = p.eliminate_dims_under(&[2]).unwrap();
+        let all = points_of(&p, 3);
+        for x0 in -3i128..=3 {
+            for x1 in -3i128..=3 {
+                // `under` ignores x2; test membership with any value.
+                if under.contains(&[x0, x1, 0]).unwrap() {
+                    let witnessed = all.iter().any(|q| q[0] == x0 && q[1] == x1);
+                    prop_assert!(witnessed, "under-projection invented ({x0},{x1})");
+                }
+            }
+        }
+    }
+
+    /// Subtraction partitions: pieces are disjoint, live inside A, avoid
+    /// B, and together with A∩B cover A.
+    #[test]
+    fn subtraction_partitions(a in arb_polyhedron(2, 3, 4), bq in arb_polyhedron(2, 3, 4)) {
+        let pieces = a.subtract(&bq).unwrap();
+        for pt in points_of(&a, 4) {
+            let in_b = bq.contains(&pt).unwrap();
+            let covering: usize = pieces.iter().filter(|q| q.contains(&pt).unwrap()).count();
+            if in_b {
+                prop_assert_eq!(covering, 0, "piece overlaps B at {:?}", &pt);
+            } else {
+                prop_assert_eq!(covering, 1, "point {:?} covered {} times", &pt, covering);
+            }
+        }
+        // Pieces never leak outside A.
+        for q in &pieces {
+            for pt in points_of(q, 4) {
+                prop_assert!(a.contains(&pt).unwrap(), "piece escapes A at {pt:?}");
+            }
+        }
+    }
+
+    /// Scanning enumerates exactly the member points, each once.
+    #[test]
+    fn scan_is_exact(p in arb_polyhedron(2, 3, 4)) {
+        let nest = scan_bounds(&p, &[0, 1]).unwrap();
+        let mut scanned = nest.enumerate(&[0, 0], 100_000).unwrap();
+        scanned.sort();
+        let n = scanned.len();
+        scanned.dedup();
+        prop_assert_eq!(scanned.len(), n, "duplicate scan points");
+        let mut expected = points_of(&p, 4);
+        expected.sort();
+        prop_assert_eq!(scanned, expected);
+    }
+
+    /// Parametric lexmax agrees with brute force at every context.
+    #[test]
+    fn lexopt_matches_brute_force(p in arb_polyhedron(2, 3, 4)) {
+        let solved = match lexopt(&p, &[1], Direction::Max) {
+            Ok(s) => s,
+            // Unbounded cannot happen (box), but budget exhaustion may.
+            Err(_) => return Ok(()),
+        };
+        for x0 in -4i128..=4 {
+            let brute = (-4i128..=4).rev().find(|&x1| p.contains(&[x0, x1]).unwrap());
+            // Find the piece covering x0 (if any) and evaluate, solving
+            // aux dims by search.
+            let mut got = None;
+            let mut hits = 0;
+            for piece in &solved.pieces {
+                let n = piece.context.space().len();
+                let mut fixed = piece.context.substitute_dim(0, &LinExpr::constant(n, x0)).unwrap();
+                // x1 is unconstrained in the context; aux dims (if any) must
+                // be found by search.
+                let aux: Vec<usize> = (2..n).collect();
+                if aux.is_empty() {
+                    if fixed.contains(&vec![x0; n]).unwrap() {
+                        hits += 1;
+                        let mut pt = vec![0i128; n];
+                        pt[0] = x0;
+                        got = Some(piece.solution[0].eval(&pt).unwrap());
+                    }
+                } else {
+                    fixed = fixed.substitute_dim(1, &LinExpr::constant(n, 0)).unwrap();
+                    let proj = fixed.project_onto(&aux).unwrap();
+                    if proj.constraints().is_empty() && !proj.is_obviously_empty() {
+                        // Aux dims unconstrained in this piece: any value
+                        // witnesses membership — but only if the non-aux
+                        // part of the context holds.
+                        let mut probe = vec![0i128; n];
+                        probe[0] = x0;
+                        if fixed.contains(&probe).unwrap() {
+                            hits += 1;
+                            got = Some(piece.solution[0].eval(&probe).unwrap());
+                        }
+                    } else if let Some(sols) = proj.enumerate_points(4).unwrap() {
+                        if let Some(s) = sols.first() {
+                            hits += 1;
+                            let mut pt = vec![0i128; n];
+                            pt[0] = x0;
+                            for (k, &d) in aux.iter().enumerate() {
+                                pt[d] = s[k];
+                            }
+                            got = Some(piece.solution[0].eval(&pt).unwrap());
+                        }
+                    }
+                }
+            }
+            prop_assert!(hits <= 1, "pieces overlap at x0={x0}");
+            prop_assert_eq!(got, brute, "lexmax mismatch at x0={}", x0);
+        }
+    }
+
+    /// Redundancy removal never changes the set.
+    #[test]
+    fn redundancy_removal_preserves_set(p in arb_polyhedron(2, 4, 4)) {
+        let r = p.remove_redundant().unwrap();
+        for x0 in -5i128..=5 {
+            for x1 in -5i128..=5 {
+                prop_assert_eq!(
+                    p.contains(&[x0, x1]).unwrap(),
+                    r.contains(&[x0, x1]).unwrap(),
+                    "set changed at ({}, {})", x0, x1
+                );
+            }
+        }
+        prop_assert!(r.constraints().len() <= p.constraints().len());
+    }
+}
