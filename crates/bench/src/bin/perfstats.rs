@@ -1,0 +1,214 @@
+//! Performance harness for the polyhedral-engine fast paths: times the
+//! full compile + schedule pipeline on the paper's workloads with the
+//! fast paths (memo caches + redundancy pre-filters) on and off, checks
+//! that both configurations produce identical schedules, message counts
+//! and simulation results, and writes the numbers (including the engine's
+//! operation counters) to `BENCH_pipeline.json`.
+//!
+//! ```sh
+//! cargo run --release -p dmc-bench --bin perfstats
+//! cargo run --release -p dmc-bench --bin perfstats -- --out other.json
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use dmc_bench::{figure2_input, lu_input, stencil_input, xy_input};
+use dmc_core::{build_schedule, compile, message_stats, run, CompileInput, Options};
+use dmc_machine::MachineConfig;
+use dmc_polyhedra::{cache, stats, PolyStats};
+
+const REPS: usize = 3;
+const LIMIT: usize = 50_000_000;
+
+struct Workload {
+    name: &'static str,
+    input: CompileInput,
+    params: Vec<i128>,
+}
+
+fn workloads() -> Vec<Workload> {
+    vec![
+        Workload { name: "lu", input: lu_input(8), params: vec![48] },
+        Workload { name: "stencil", input: stencil_input(32, 4), params: vec![4, 127] },
+        Workload { name: "figure2", input: figure2_input(4), params: vec![3, 127] },
+        Workload { name: "xy", input: xy_input(4), params: vec![47] },
+    ]
+}
+
+struct Measured {
+    compile_ms: f64,
+    schedule_ms: f64,
+    stats: PolyStats,
+    schedule: dmc_machine::Schedule,
+    messages: (u64, u64, u64),
+    sim: dmc_machine::SimStats,
+}
+
+/// Compiles + schedules `REPS` times from a cold per-thread cache and
+/// keeps the best rep (counters come from the best rep too).
+fn measure(w: &Workload, options: Options) -> Measured {
+    let mut best: Option<Measured> = None;
+    for _ in 0..REPS {
+        cache::clear_thread_caches();
+        let before = stats::snapshot();
+        let t0 = Instant::now();
+        let compiled = compile(w.input.clone(), options).expect("compiles");
+        let compile_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = Instant::now();
+        let schedule = build_schedule(&compiled, &w.params, false, LIMIT).expect("schedules");
+        let schedule_ms = t1.elapsed().as_secs_f64() * 1e3;
+        let delta = stats::snapshot().since(&before);
+        let messages = message_stats(&compiled, &w.params, LIMIT).expect("stats");
+        let sim = run(&compiled, &w.params, &MachineConfig::ipsc860(), false, LIMIT)
+            .expect("simulates")
+            .stats;
+        let m = Measured { compile_ms, schedule_ms, stats: delta, schedule, messages, sim };
+        let total = m.compile_ms + m.schedule_ms;
+        if best.as_ref().map_or(true, |b| total < b.compile_ms + b.schedule_ms) {
+            best = Some(m);
+        }
+    }
+    best.expect("at least one rep")
+}
+
+fn stats_json(s: &PolyStats) -> String {
+    format!(
+        concat!(
+            "{{\"fm_steps\": {}, \"feasibility_calls\": {}, \"feasibility_unknown\": {}, ",
+            "\"bnb_nodes\": {}, \"feas_cache_hits\": {}, \"feas_cache_misses\": {}, ",
+            "\"proj_cache_hits\": {}, \"proj_cache_misses\": {}, \"redund_cache_hits\": {}, ",
+            "\"redund_cache_misses\": {}, \"negation_tests\": {}, \"prefilter_drops\": {}, ",
+            "\"prefilter_keeps\": {}}}"
+        ),
+        s.fm_steps,
+        s.feasibility_calls,
+        s.feasibility_unknown,
+        s.bnb_nodes,
+        s.feas_cache_hits,
+        s.feas_cache_misses,
+        s.proj_cache_hits,
+        s.proj_cache_misses,
+        s.redund_cache_hits,
+        s.redund_cache_misses,
+        s.negation_tests,
+        s.prefilter_drops,
+        s.prefilter_keeps,
+    )
+}
+
+fn mode_json(m: &Measured) -> String {
+    format!(
+        "{{\"compile_ms\": {:.3}, \"schedule_ms\": {:.3}, \"total_ms\": {:.3}, \"counters\": {}}}",
+        m.compile_ms,
+        m.schedule_ms,
+        m.compile_ms + m.schedule_ms,
+        stats_json(&m.stats)
+    )
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut out_path = String::from("BENCH_pipeline.json");
+    while let Some(a) = args.next() {
+        if a == "--out" {
+            out_path = args.next().expect("--out needs a path");
+        }
+    }
+
+    let mut body = String::new();
+    let mut all_identical = true;
+
+    println!(
+        "{:<10} {:>12} {:>12} {:>9} {:>10} {:>10}",
+        "workload", "fast (ms)", "base (ms)", "speedup", "identical", "cache hits"
+    );
+    for (k, w) in workloads().iter().enumerate() {
+        let fast = measure(w, Options { poly_fast_paths: true, ..Options::full() });
+        let base = measure(w, Options { poly_fast_paths: false, ..Options::full() });
+
+        let identical = fast.schedule == base.schedule
+            && fast.messages == base.messages
+            && fast.sim == base.sim;
+        all_identical &= identical;
+
+        let fast_total = fast.compile_ms + fast.schedule_ms;
+        let base_total = base.compile_ms + base.schedule_ms;
+        let speedup = base_total / fast_total;
+        let hits = fast.stats.feas_cache_hits
+            + fast.stats.proj_cache_hits
+            + fast.stats.redund_cache_hits;
+        println!(
+            "{:<10} {:>12.2} {:>12.2} {:>8.2}x {:>10} {:>10}",
+            w.name, fast_total, base_total, speedup, identical, hits
+        );
+
+        let params: Vec<String> = w.params.iter().map(|p| p.to_string()).collect();
+        if k > 0 {
+            body.push_str(",\n");
+        }
+        write!(
+            body,
+            concat!(
+                "    {{\"name\": \"{}\", \"params\": [{}], \"nproc\": {},\n",
+                "     \"fast\": {},\n",
+                "     \"baseline\": {},\n",
+                "     \"speedup\": {:.3}, \"identical\": {},\n",
+                "     \"messages\": {}, \"transmissions\": {}, \"words\": {}, \"sim_time_s\": {:.6}}}"
+            ),
+            w.name,
+            params.join(", "),
+            w.input.grid.len(),
+            mode_json(&fast),
+            mode_json(&base),
+            speedup,
+            identical,
+            fast.messages.0,
+            fast.messages.1,
+            fast.messages.2,
+            fast.sim.time,
+        )
+        .expect("write");
+    }
+
+    // Thread fan-out: auto worker count must reproduce the sequential
+    // schedule exactly.
+    let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let w = &workloads()[0];
+    let seq = measure(w, Options { threads: 1, ..Options::full() });
+    let par = measure(w, Options { threads: 0, ..Options::full() });
+    let threads_identical = seq.schedule == par.schedule && seq.messages == par.messages;
+    all_identical &= threads_identical;
+    println!(
+        "threads: sequential {:.2} ms, {} workers {:.2} ms, identical schedules: {}",
+        seq.compile_ms + seq.schedule_ms,
+        avail,
+        par.compile_ms + par.schedule_ms,
+        threads_identical
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"pipeline\",\n",
+            "  \"harness\": \"perfstats\",\n",
+            "  \"reps\": {},\n",
+            "  \"workloads\": [\n{}\n  ],\n",
+            "  \"threads\": {{\"available\": {}, \"sequential_ms\": {:.3}, ",
+            "\"parallel_ms\": {:.3}, \"identical\": {}}},\n",
+            "  \"all_identical\": {}\n",
+            "}}\n"
+        ),
+        REPS,
+        body,
+        avail,
+        seq.compile_ms + seq.schedule_ms,
+        par.compile_ms + par.schedule_ms,
+        threads_identical,
+        all_identical,
+    );
+    std::fs::write(&out_path, &json).expect("write JSON");
+    println!("wrote {out_path}");
+
+    assert!(all_identical, "fast paths or threading changed an output");
+}

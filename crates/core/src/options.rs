@@ -35,6 +35,20 @@ pub struct Options {
     /// §6.2.1 — merge identical payloads to different receivers into
     /// multicasts.
     pub multicast: bool,
+    /// Worker threads for per-read analysis fan-out. `0` = use the
+    /// machine's available parallelism; `1` = sequential (bit-for-bit the
+    /// single-threaded pipeline). Any value produces identical results —
+    /// per-read jobs are independent and merged in textual order.
+    pub threads: usize,
+    /// Branch-and-bound budget for integer-feasibility queries in the
+    /// polyhedral engine. Exhausting it yields a conservative `Unknown`
+    /// answer (counted in [`dmc_polyhedra::PolyStats`]).
+    pub feasibility_budget: u32,
+    /// Enables the polyhedral engine's fast paths: memoized
+    /// feasibility/projection/redundancy results and the cheap redundancy
+    /// pre-filters. Off reproduces the unmemoized engine exactly (the
+    /// fast paths never change answers, only time).
+    pub poly_fast_paths: bool,
 }
 
 impl Default for Options {
@@ -47,6 +61,9 @@ impl Default for Options {
             unique_sender: true,
             aggregate: true,
             multicast: true,
+            threads: 0,
+            feasibility_budget: dmc_polyhedra::stats::DEFAULT_FEASIBILITY_BUDGET,
+            poly_fast_paths: true,
         }
     }
 }
@@ -61,19 +78,39 @@ impl Options {
     /// element, no redundancy elimination).
     pub fn naive() -> Self {
         Options {
-            strategy: Strategy::ValueCentric,
             self_reuse: false,
             cross_set_reuse: false,
             already_local: false,
             unique_sender: false,
             aggregate: false,
             multicast: false,
+            ..Options::default()
         }
     }
 
     /// The location-centric baseline of §2.
     pub fn location_centric() -> Self {
         Options { strategy: Strategy::LocationCentric, ..Options::default() }
+    }
+
+    /// Pushes the engine tunables (`feasibility_budget`, `poly_fast_paths`)
+    /// into the process-wide polyhedral-engine knobs. [`compile`] calls
+    /// this; standalone polyhedral work can call it directly.
+    ///
+    /// [`compile`]: crate::compile
+    pub fn apply_tuning(&self) {
+        dmc_polyhedra::stats::set_feasibility_budget(self.feasibility_budget);
+        dmc_polyhedra::stats::set_cache_enabled(self.poly_fast_paths);
+        dmc_polyhedra::stats::set_prefilters_enabled(self.poly_fast_paths);
+    }
+
+    /// The concrete worker count `threads` resolves to (`0` → available
+    /// parallelism, minimum 1).
+    pub fn effective_threads(&self) -> usize {
+        if self.threads != 0 {
+            return self.threads;
+        }
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     }
 }
 
@@ -86,5 +123,28 @@ mod tests {
         assert_eq!(Options::default().strategy, Strategy::ValueCentric);
         assert!(!Options::naive().aggregate);
         assert_eq!(Options::location_centric().strategy, Strategy::LocationCentric);
+    }
+
+    #[test]
+    fn tuning_knobs() {
+        let d = Options::default();
+        assert_eq!(d.threads, 0);
+        assert!(d.poly_fast_paths);
+        assert_eq!(d.feasibility_budget, dmc_polyhedra::stats::DEFAULT_FEASIBILITY_BUDGET);
+        assert!(d.effective_threads() >= 1);
+        assert_eq!(Options { threads: 3, ..d }.effective_threads(), 3);
+        // naive() disables §6 optimizations but not the engine fast paths.
+        assert!(Options::naive().poly_fast_paths);
+
+        // The knobs are process-wide and other tests compile concurrently
+        // (compile() re-applies its own tuning), so exercise the push but
+        // only assert global state that every concurrent writer agrees on.
+        // The value-level checks live in dmc_polyhedra::stats' own tests.
+        Options { feasibility_budget: 1234, poly_fast_paths: false, ..d }.apply_tuning();
+        d.apply_tuning();
+        assert_eq!(
+            dmc_polyhedra::stats::feasibility_budget(),
+            dmc_polyhedra::stats::DEFAULT_FEASIBILITY_BUDGET
+        );
     }
 }

@@ -2,6 +2,8 @@
 //! optimized message plan → machine schedule.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use dmc_commgen::{
     aggregate_messages, comm_from_initial, comm_from_leaf, eliminate_already_local,
@@ -124,10 +126,17 @@ pub struct Compiled {
 
 /// Runs analysis and communication generation/optimization.
 ///
+/// Per-(statement, read) analysis jobs are independent, so they fan out
+/// across [`Options::threads`] workers; results are merged back in textual
+/// order, making the output identical for every worker count (and the
+/// first in-textual-order error is the one reported). `threads: 1`
+/// reproduces the sequential pipeline bit for bit.
+///
 /// # Errors
 ///
 /// Returns [`CompileError`] on any analysis failure.
 pub fn compile(input: CompileInput, options: Options) -> Result<Compiled, CompileError> {
+    options.apply_tuning();
     let stmts = input.program.statements();
     for s in &stmts {
         if !input.comps.contains_key(&s.id) {
@@ -135,78 +144,123 @@ pub fn compile(input: CompileInput, options: Options) -> Result<Compiled, Compil
         }
     }
 
+    let jobs: Vec<(usize, usize)> = stmts
+        .iter()
+        .enumerate()
+        .flat_map(|(si, s)| (0..s.stmt.rhs.reads().len()).map(move |r| (si, r)))
+        .collect();
+    let workers = options.effective_threads().min(jobs.len().max(1));
+
+    type ReadResult = Result<(LastWriteTree, Vec<CommSet>), CompileError>;
+    let results: Vec<ReadResult> = if workers <= 1 {
+        jobs.iter().map(|&(si, r)| compile_read(&input, options, &stmts, si, r)).collect()
+    } else {
+        // Work-queue fan-out: each worker pops the next job index and
+        // writes into that job's slot, so result order never depends on
+        // scheduling.
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<ReadResult>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let j = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(si, r)) = jobs.get(j) else { break };
+                    let res = compile_read(&input, options, &stmts, si, r);
+                    *slots[j].lock().expect("slot lock") = Some(res);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| m.into_inner().expect("slot lock").expect("worker filled every slot"))
+            .collect()
+    };
+
     let mut lwts = Vec::new();
     let mut comm: Vec<CommSet> = Vec::new();
-
-    for s in &stmts {
-        for (read_no, read) in s.stmt.rhs.reads().iter().enumerate() {
-            match options.strategy {
-                Strategy::ValueCentric => {
-                    let lwt = build_lwt(&input.program, s.id, read_no)?;
-                    let mut tree_sets: Vec<CommSet> = Vec::new();
-                    for leaf in &lwt.leaves {
-                        match &leaf.source {
-                            Some(src) => {
-                                let winfo = &stmts[src.write_stmt];
-                                let comp_r = &input.comps[&s.id];
-                                let comp_w = &input.comps[&winfo.id];
-                                let sets = comm_from_leaf(
-                                    &input.program,
-                                    &lwt,
-                                    leaf,
-                                    s,
-                                    winfo,
-                                    comp_r,
-                                    comp_w,
-                                )?;
-                                tree_sets.extend(sets);
-                            }
-                            None => {
-                                // Live-in data: if the array has a declared
-                                // home, Theorem 4 communication; otherwise
-                                // it is replicated and local.
-                                if let Some(d) = input.initial.get(&read.array) {
-                                    let comp_r = &input.comps[&s.id];
-                                    let sets = comm_from_initial(
-                                        &input.program,
-                                        &lwt,
-                                        leaf,
-                                        s,
-                                        comp_r,
-                                        d,
-                                    )?;
-                                    tree_sets.extend(sets);
-                                }
-                            }
-                        }
-                    }
-                    // §6.1 optimizations, per tree.
-                    tree_sets = optimize_sets(tree_sets, &input, options)?;
-                    comm.extend(tree_sets);
-                    lwts.push(lwt);
-                }
-                Strategy::LocationCentric => {
-                    // Theorem 2: every read fetches from the owner under
-                    // the static data decomposition, with no value
-                    // information — build a whole-domain ⊥ leaf.
-                    let d = input
-                        .initial
-                        .get(&read.array)
-                        .ok_or_else(|| CompileError::MissingInitial(read.array.clone()))?;
-                    let lwt = whole_domain_tree(&input.program, s, read_no, &read.array);
-                    let leaf = &lwt.leaves[0];
-                    let comp_r = &input.comps[&s.id];
-                    let mut sets =
-                        comm_from_initial(&input.program, &lwt, leaf, s, comp_r, d)?;
-                    sets = optimize_sets(sets, &input, options)?;
-                    comm.extend(sets);
-                    lwts.push(lwt);
-                }
-            }
-        }
+    for res in results {
+        let (lwt, sets) = res?;
+        lwts.push(lwt);
+        comm.extend(sets);
     }
 
     Ok(Compiled { input, options, lwts, comm })
+}
+
+/// Analyzes one (statement, read) pair: Last Write Tree (value-centric) or
+/// whole-domain owner tree (location-centric), communication sets per
+/// leaf, and the per-tree §6.1 optimizations.
+fn compile_read(
+    input: &CompileInput,
+    options: Options,
+    stmts: &[StmtInfo],
+    stmt_idx: usize,
+    read_no: usize,
+) -> Result<(LastWriteTree, Vec<CommSet>), CompileError> {
+    let s = &stmts[stmt_idx];
+    let reads = s.stmt.rhs.reads();
+    let read = &reads[read_no];
+    match options.strategy {
+        Strategy::ValueCentric => {
+            let lwt = build_lwt(&input.program, s.id, read_no)?;
+            let mut tree_sets: Vec<CommSet> = Vec::new();
+            for leaf in &lwt.leaves {
+                match &leaf.source {
+                    Some(src) => {
+                        let winfo = &stmts[src.write_stmt];
+                        let comp_r = &input.comps[&s.id];
+                        let comp_w = &input.comps[&winfo.id];
+                        let sets = comm_from_leaf(
+                            &input.program,
+                            &lwt,
+                            leaf,
+                            s,
+                            winfo,
+                            comp_r,
+                            comp_w,
+                        )?;
+                        tree_sets.extend(sets);
+                    }
+                    None => {
+                        // Live-in data: if the array has a declared
+                        // home, Theorem 4 communication; otherwise
+                        // it is replicated and local.
+                        if let Some(d) = input.initial.get(&read.array) {
+                            let comp_r = &input.comps[&s.id];
+                            let sets = comm_from_initial(
+                                &input.program,
+                                &lwt,
+                                leaf,
+                                s,
+                                comp_r,
+                                d,
+                            )?;
+                            tree_sets.extend(sets);
+                        }
+                    }
+                }
+            }
+            // §6.1 optimizations, per tree.
+            tree_sets = optimize_sets(tree_sets, input, options)?;
+            Ok((lwt, tree_sets))
+        }
+        Strategy::LocationCentric => {
+            // Theorem 2: every read fetches from the owner under
+            // the static data decomposition, with no value
+            // information — build a whole-domain ⊥ leaf.
+            let d = input
+                .initial
+                .get(&read.array)
+                .ok_or_else(|| CompileError::MissingInitial(read.array.clone()))?;
+            let lwt = whole_domain_tree(&input.program, s, read_no, &read.array);
+            let leaf = &lwt.leaves[0];
+            let comp_r = &input.comps[&s.id];
+            let mut sets = comm_from_initial(&input.program, &lwt, leaf, s, comp_r, d)?;
+            sets = optimize_sets(sets, input, options)?;
+            Ok((lwt, sets))
+        }
+    }
 }
 
 /// Applies the enabled §6 set-level optimizations to one tree's sets.
@@ -358,23 +412,33 @@ struct PlannedGroup {
     items: Vec<(String, Vec<i128>, Stamp)>,
 }
 
-fn planned_messages(
+/// Enumerates one communication set into per-(sender, receiver) messages
+/// at the paper's aggregation prefix. Independent of the legality-split
+/// depth, so [`build_schedule`]'s retry loop can compute it once.
+fn raw_messages(
     compiled: &Compiled,
     cs: &CommSet,
     param_vals: &[i128],
     limit: usize,
+) -> Result<Vec<Message>, CompileError> {
+    let grid = &compiled.input.grid;
+    aggregate_messages(cs, param_vals, Some(grid), limit)?.ok_or_else(|| {
+        CompileError::TooLarge(format!(
+            "communication set for {} exceeds {limit} elements",
+            cs.array
+        ))
+    })
+}
+
+fn planned_messages(
+    compiled: &Compiled,
+    cs: &CommSet,
+    raw: &[Message],
     extra_split: usize,
 ) -> Result<Vec<PlannedGroup>, CompileError> {
     let grid = &compiled.input.grid;
     let stmts = compiled.input.program.statements();
     let read_info = &stmts[cs.read_stmt];
-    let raw: Vec<Message> = aggregate_messages(cs, param_vals, Some(grid), limit)?
-        .ok_or_else(|| {
-            CompileError::TooLarge(format!(
-                "communication set for {} exceeds {limit} elements",
-                cs.array
-            ))
-        })?;
     // Legality refinement: batching at the paper's i_s[0..k-1] prefix can
     // create wait cycles when items from several iterations of the
     // carrying loop share a message (see DESIGN.md); `extra_split` extends
@@ -382,7 +446,7 @@ fn planned_messages(
     // retries with a deeper split on deadlock.
     let key_len = (cs.prefix_len + extra_split).min(cs.dims.s_iter.len());
     let mut groups: Vec<PlannedGroup> = Vec::new();
-    for m in &raw {
+    for m in raw {
         // When aggregation is off, every element travels alone (one
         // message per element — the unoptimized baseline of §6).
         let mut split: Vec<Vec<dmc_commgen::CommElem>> = Vec::new();
@@ -513,9 +577,25 @@ pub fn build_schedule(
         .map(|cs| cs.dims.s_iter.len().saturating_sub(cs.prefix_len))
         .max()
         .unwrap_or(0);
+    // The raw per-set message enumeration is independent of the split
+    // depth, so the fast path computes it once and shares it across
+    // retries; disabled, every attempt re-enumerates (the original
+    // behavior).
+    let hoisted: Option<Vec<Vec<Message>>> = if compiled.options.poly_fast_paths {
+        Some(
+            compiled
+                .comm
+                .iter()
+                .map(|cs| raw_messages(compiled, cs, param_vals, limit))
+                .collect::<Result<_, _>>()?,
+        )
+    } else {
+        None
+    };
     let mut last_err = None;
     for extra in 0..=max_depth {
-        let schedule = build_schedule_at(compiled, param_vals, values, limit, extra)?;
+        let schedule =
+            build_schedule_at(compiled, param_vals, values, limit, extra, hoisted.as_deref())?;
         // Cheap deadlock dry-run (timing semantics on the same schedule).
         let params: HashMap<String, i128> = compiled
             .input
@@ -551,6 +631,7 @@ fn build_schedule_at(
     values: bool,
     limit: usize,
     extra_split: usize,
+    hoisted: Option<&[Vec<Message>]>,
 ) -> Result<Schedule, CompileError> {
     let input = &compiled.input;
     let nproc = input.grid.len() as usize;
@@ -575,8 +656,16 @@ fn build_schedule_at(
     }
 
     // 2. Messages.
-    for cs in &compiled.comm {
-        let groups = planned_messages(compiled, cs, param_vals, limit, extra_split)?;
+    for (k, cs) in compiled.comm.iter().enumerate() {
+        let raw_local;
+        let raw: &[Message] = match hoisted {
+            Some(r) => &r[k],
+            None => {
+                raw_local = raw_messages(compiled, cs, param_vals, limit)?;
+                &raw_local
+            }
+        };
+        let groups = planned_messages(compiled, cs, raw, extra_split)?;
         for g in groups {
             let msg_id = schedule.messages.len();
             let payload = values.then(|| {

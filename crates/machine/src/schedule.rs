@@ -86,7 +86,7 @@ pub enum Action {
 
 /// A whole machine run: per-processor ordered actions plus the message
 /// table.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Schedule {
     /// Actions per processor rank, already in execution order.
     pub procs: Vec<Vec<Action>>,

@@ -43,7 +43,9 @@
 
 use std::fmt;
 
+pub mod cache;
 pub mod num;
+pub mod stats;
 
 mod constraint;
 mod lexopt;
@@ -52,7 +54,9 @@ mod polyhedron;
 mod scan;
 mod space;
 
+pub use cache::CanonicalKey;
 pub use constraint::{Constraint, ConstraintKind, Normalized};
+pub use stats::PolyStats;
 pub use lexopt::{lexopt, Direction, LexError, LexOpt, LexPiece};
 pub use linexpr::LinExpr;
 pub use polyhedron::{Feasibility, Polyhedron};

@@ -3,14 +3,17 @@
 //! superfluous-constraint removal by the negation test, and integer
 //! feasibility via equality elimination plus branch-and-bound.
 
+use std::collections::HashSet;
 use std::fmt;
 
+use crate::cache::{self, CachedPoly, CanonicalKey, SeqKey};
 use crate::constraint::Normalized;
 use crate::num;
+use crate::stats;
 use crate::{Constraint, ConstraintKind, LinExpr, PolyError, Space};
 
 /// Answer of an integer-feasibility query.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Feasibility {
     /// An integer point exists.
     Feasible,
@@ -58,22 +61,36 @@ enum Shadow {
 /// assert!(p.contains(&[3, 10]).unwrap());
 /// assert!(!p.contains(&[11, 10]).unwrap());
 /// ```
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct Polyhedron {
     space: Space,
     cons: Vec<Constraint>,
     contradiction: bool,
+    /// Hash-backed dedup index for [`Polyhedron::add`]. Invariant: a subset
+    /// of `cons` as a set; rebuilt (and `cons` deduplicated) lazily when the
+    /// lengths disagree after direct constraint-list construction.
+    index: HashSet<Constraint>,
 }
+
+impl PartialEq for Polyhedron {
+    fn eq(&self, other: &Self) -> bool {
+        self.space == other.space
+            && self.cons == other.cons
+            && self.contradiction == other.contradiction
+    }
+}
+
+impl Eq for Polyhedron {}
 
 impl Polyhedron {
     /// The unconstrained polyhedron over `space`.
     pub fn universe(space: Space) -> Self {
-        Polyhedron { space, cons: Vec::new(), contradiction: false }
+        Polyhedron { space, cons: Vec::new(), contradiction: false, index: HashSet::new() }
     }
 
     /// The empty polyhedron over `space`.
     pub fn empty(space: Space) -> Self {
-        Polyhedron { space, cons: Vec::new(), contradiction: true }
+        Polyhedron { space, cons: Vec::new(), contradiction: true, index: HashSet::new() }
     }
 
     /// The polyhedron's space.
@@ -92,17 +109,62 @@ impl Polyhedron {
         self.contradiction
     }
 
-    /// Adds a constraint (normalizing it first).
+    /// Adds a constraint (normalizing it first). Duplicates are dropped via
+    /// a hash index, so building a system of `n` constraints is O(n) rather
+    /// than the O(n²) of a linear-scan dedup.
     pub fn add(&mut self, c: Constraint) {
         assert_eq!(c.expr().len(), self.space.len(), "constraint space mismatch");
         match c.normalize() {
             Normalized::Tautology => {}
             Normalized::Contradiction => self.contradiction = true,
             Normalized::Constraint(n) => {
-                if !self.cons.contains(&n) {
+                if self.index.len() != self.cons.len() {
+                    // Re-sync after direct constraint-list construction
+                    // (extend_space / remap / redundancy removal build
+                    // `cons` without touching the index); this also drops
+                    // any exact duplicates those paths introduced.
+                    let mut seen = HashSet::with_capacity(self.cons.len());
+                    self.cons.retain(|c| seen.insert(c.clone()));
+                    self.index = seen;
+                }
+                if self.index.insert(n.clone()) {
                     self.cons.push(n);
                 }
             }
+        }
+    }
+
+    /// An order-insensitive, hashable fingerprint of this polyhedron's
+    /// constraint system (arity + sorted normalized rows). Two polyhedra
+    /// with equal keys describe the same integer set regardless of
+    /// dimension names; the feasibility memo cache is keyed on this.
+    pub fn canonical_key(&self) -> CanonicalKey {
+        let mut rows: Vec<(bool, Vec<i128>, i128)> = self
+            .cons
+            .iter()
+            .map(|c| (c.is_eq(), c.expr().coeffs().to_vec(), c.expr().constant_term()))
+            .collect();
+        rows.sort_unstable();
+        CanonicalKey { dims: self.space.len(), contradiction: self.contradiction, rows }
+    }
+
+    /// Exact-sequence cache key (see [`crate::cache`] on why projection
+    /// results must be keyed order-sensitively).
+    fn seq_key(&self) -> SeqKey {
+        SeqKey {
+            dims: self.space.len(),
+            contradiction: self.contradiction,
+            rows: self.cons.clone(),
+        }
+    }
+
+    /// Reconstitutes a cached result over this polyhedron's space.
+    fn from_cached(&self, c: CachedPoly) -> Polyhedron {
+        Polyhedron {
+            space: self.space.clone(),
+            cons: c.cons,
+            contradiction: c.contradiction,
+            index: HashSet::new(),
         }
     }
 
@@ -211,6 +273,7 @@ impl Polyhedron {
     }
 
     fn eliminate_dim_shadow(&self, dim: usize, shadow: Shadow) -> Result<Polyhedron, PolyError> {
+        stats::count_fm_step();
         let mut out = Polyhedron::universe(self.space.clone());
         out.contradiction = self.contradiction;
         if self.contradiction {
@@ -306,6 +369,7 @@ impl Polyhedron {
                 rest.set_coeff(d, 0);
                 let repl = rest.scale(-a.signum())?;
                 cur.cons.retain(|c| c != &eq);
+                cur.index.clear();
                 cur = cur.substitute_dim(d, &repl)?;
                 continue;
             }
@@ -342,10 +406,33 @@ impl Polyhedron {
     /// The result still lives in the same space; the eliminated dimensions
     /// are simply unconstrained.
     ///
+    /// Results are memoized per thread (keyed on the exact constraint
+    /// sequence plus `dims`), so repeated projections of the same system —
+    /// ubiquitous across LWT resolution and comm-set construction — are
+    /// answered without re-running the elimination.
+    ///
     /// # Errors
     ///
     /// Returns [`PolyError::Overflow`] on overflow.
     pub fn eliminate_dims(&self, dims: &[usize]) -> Result<Polyhedron, PolyError> {
+        if !stats::cache_enabled() {
+            return self.eliminate_dims_uncached(dims);
+        }
+        let key = (self.seq_key(), dims.to_vec());
+        if let Some(hit) = cache::proj_get(&key) {
+            stats::count_proj_cache(true);
+            return Ok(self.from_cached(hit));
+        }
+        stats::count_proj_cache(false);
+        let out = self.eliminate_dims_uncached(dims)?;
+        cache::proj_put(
+            key,
+            CachedPoly { cons: out.cons.clone(), contradiction: out.contradiction },
+        );
+        Ok(out)
+    }
+
+    fn eliminate_dims_uncached(&self, dims: &[usize]) -> Result<Polyhedron, PolyError> {
         let mut cur = self.clone();
         let mut todo: Vec<usize> = dims.to_vec();
         while !todo.is_empty() {
@@ -453,14 +540,47 @@ impl Polyhedron {
     /// replace a constraint with its negation; if the system then has no
     /// integer solution, the constraint was implied and can be dropped.
     ///
+    /// Two cheap pre-filters run before the exact test on each constraint
+    /// (when enabled via [`stats::set_prefilters_enabled`]):
+    ///
+    /// 1. a **rational bound check** — if the constraint's minimum over the
+    ///    box implied by the other single-variable constraints is already
+    ///    `>= 0`, it is implied and dropped without any feasibility query;
+    /// 2. a **witness check** — the corner of that box minimizing the
+    ///    constraint is tested against the negation probe; if it satisfies
+    ///    the probe, the constraint is provably non-redundant and kept
+    ///    without a branch-and-bound query.
+    ///
+    /// Results are memoized per thread.
+    ///
     /// # Errors
     ///
     /// Returns [`PolyError::Overflow`] on overflow.
     pub fn remove_redundant(&self) -> Result<Polyhedron, PolyError> {
+        if !stats::cache_enabled() {
+            return self.remove_redundant_uncached();
+        }
+        let key = self.seq_key();
+        if let Some(hit) = cache::redund_get(&key) {
+            stats::count_redund_cache(true);
+            return Ok(self.from_cached(hit));
+        }
+        stats::count_redund_cache(false);
+        let out = self.remove_redundant_uncached()?;
+        cache::redund_put(
+            key,
+            CachedPoly { cons: out.cons.clone(), contradiction: out.contradiction },
+        );
+        Ok(out)
+    }
+
+    fn remove_redundant_uncached(&self) -> Result<Polyhedron, PolyError> {
         let base = self.remove_redundant_cheap();
         if base.contradiction {
             return Ok(base);
         }
+        let prefilter = stats::prefilters_enabled();
+        let n = self.space.len();
         let mut kept: Vec<Constraint> = base.cons.clone();
         let mut i = 0;
         while i < kept.len() {
@@ -468,6 +588,22 @@ impl Polyhedron {
                 i += 1;
                 continue;
             }
+            if prefilter {
+                match prefilter_verdict(&kept, i, n) {
+                    PreVerdict::Implied => {
+                        stats::count_prefilter_drop();
+                        kept.remove(i);
+                        continue;
+                    }
+                    PreVerdict::Witnessed => {
+                        stats::count_prefilter_keep();
+                        i += 1;
+                        continue;
+                    }
+                    PreVerdict::Inconclusive => {}
+                }
+            }
+            stats::count_negation_test();
             let mut probe = Polyhedron::universe(self.space.clone());
             for (j, c) in kept.iter().enumerate() {
                 if j == i {
@@ -509,13 +645,46 @@ impl Polyhedron {
     /// exact equality elimination for the rest, then Fourier–Motzkin with the
     /// real/dark shadow pair and bounded branch-and-bound in the gray zone.
     ///
-    /// All dimensions are treated existentially.
+    /// All dimensions are treated existentially. The branch-and-bound
+    /// budget comes from [`stats::feasibility_budget`] (settable via
+    /// [`stats::set_feasibility_budget`]); definite answers are memoized
+    /// per thread, keyed on [`Polyhedron::canonical_key`], while `Unknown`
+    /// answers are never cached (they depend on the budget).
     ///
     /// # Errors
     ///
     /// Returns [`PolyError::Overflow`] on overflow.
     pub fn integer_feasibility(&self) -> Result<Feasibility, PolyError> {
-        self.integer_feasibility_budget(&mut 4_000)
+        self.integer_feasibility_with_budget(stats::feasibility_budget())
+    }
+
+    /// [`Polyhedron::integer_feasibility`] with an explicit branch-and-bound
+    /// budget. Cached answers may still be returned (a definite answer is
+    /// correct under any budget).
+    pub fn integer_feasibility_with_budget(&self, budget: u32) -> Result<Feasibility, PolyError> {
+        stats::count_feasibility_call();
+        if !stats::cache_enabled() {
+            let mut b = budget;
+            let f = self.integer_feasibility_budget(&mut b)?;
+            if f == Feasibility::Unknown {
+                stats::count_feasibility_unknown();
+            }
+            return Ok(f);
+        }
+        let key = self.canonical_key();
+        if let Some(f) = cache::feas_get(&key) {
+            stats::count_feas_cache(true);
+            return Ok(f);
+        }
+        stats::count_feas_cache(false);
+        let mut b = budget;
+        let f = self.integer_feasibility_budget(&mut b)?;
+        if f == Feasibility::Unknown {
+            stats::count_feasibility_unknown();
+        } else {
+            cache::feas_put(key, f);
+        }
+        Ok(f)
     }
 
     fn integer_feasibility_budget(&self, budget: &mut u32) -> Result<Feasibility, PolyError> {
@@ -523,6 +692,7 @@ impl Polyhedron {
             return Ok(Feasibility::Unknown);
         }
         *budget -= 1;
+        stats::count_bnb_node();
         if self.contradiction {
             return Ok(Feasibility::Infeasible);
         }
@@ -558,6 +728,7 @@ impl Polyhedron {
                 rest.set_coeff(d, 0);
                 let replacement = rest.scale(-a.signum())?;
                 cur.cons.remove(eq_idx);
+                cur.index.clear();
                 cur = cur.substitute_dim(d, &replacement)?;
             } else {
                 // Pugh's transformation: introduce sigma with
@@ -708,6 +879,7 @@ impl Polyhedron {
     }
 
     fn add_dim_internal(&mut self) -> usize {
+        self.index.clear();
         let d = self.space.add_aux();
         for c in &mut self.cons {
             let e = c.expr().extend(1);
@@ -844,6 +1016,126 @@ impl Polyhedron {
             Ok(None)
         }
     }
+}
+
+/// Outcome of the cheap redundancy pre-filters on one constraint.
+enum PreVerdict {
+    /// The constraint is implied by the box of the other constraints.
+    Implied,
+    /// A verified integer point satisfies the negation probe: the
+    /// constraint is definitely not redundant.
+    Witnessed,
+    /// Neither filter fired; run the exact negation test.
+    Inconclusive,
+}
+
+/// Constant per-dimension bounds derivable from the *single-variable*
+/// constraints in `kept`, excluding index `skip`. Mirrors the bound
+/// extraction of `constant_bounds`, but without any elimination.
+fn box_bounds(
+    kept: &[Constraint],
+    n: usize,
+    skip: usize,
+) -> (Vec<Option<i128>>, Vec<Option<i128>>) {
+    let mut lo: Vec<Option<i128>> = vec![None; n];
+    let mut hi: Vec<Option<i128>> = vec![None; n];
+    for (j, c) in kept.iter().enumerate() {
+        if j == skip {
+            continue;
+        }
+        let mut single: Option<usize> = None;
+        let mut multi = false;
+        for d in 0..n {
+            if c.coeff(d) != 0 {
+                if single.is_some() {
+                    multi = true;
+                    break;
+                }
+                single = Some(d);
+            }
+        }
+        if multi {
+            continue;
+        }
+        let Some(d) = single else { continue };
+        let a = c.coeff(d);
+        let b = c.expr().constant_term();
+        // a*x + b >= 0 (or == 0): lower bound when a > 0, upper when a < 0,
+        // both for an equality.
+        if a > 0 || c.is_eq() {
+            let (aa, bb) = if a > 0 { (a, b) } else { (-a, -b) };
+            let v = num::div_ceil(-bb, aa);
+            lo[d] = Some(lo[d].map_or(v, |x| x.max(v)));
+        }
+        if a < 0 || c.is_eq() {
+            let (aa, bb) = if a < 0 { (-a, b) } else { (a, -b) };
+            let v = num::div_floor(bb, aa);
+            hi[d] = Some(hi[d].map_or(v, |x| x.min(v)));
+        }
+    }
+    (lo, hi)
+}
+
+/// The two cheap checks run before the exact negation test on `kept[i]`:
+/// rational bound implication (drop) and a verified witness of the negation
+/// probe (keep). Any overflow or missing bound degrades to `Inconclusive` —
+/// the filters only ever *skip* exact work, never change the answer.
+fn prefilter_verdict(kept: &[Constraint], i: usize, n: usize) -> PreVerdict {
+    let c = &kept[i];
+    let (lo, hi) = box_bounds(kept, n, i);
+
+    // (1) Minimum of c's expression over the box: if it is >= 0, the other
+    // constraints alone imply c, so c is superfluous.
+    let mut min: Option<i128> = Some(c.expr().constant_term());
+    for d in 0..n {
+        let a = c.coeff(d);
+        if a == 0 {
+            continue;
+        }
+        let bound = if a > 0 { lo[d] } else { hi[d] };
+        min = match (min, bound) {
+            (Some(m), Some(v)) => num::mul(a, v).ok().and_then(|t| m.checked_add(t)),
+            _ => None,
+        };
+        if min.is_none() {
+            break;
+        }
+    }
+    if let Some(m) = min {
+        if m >= 0 {
+            return PreVerdict::Implied;
+        }
+    }
+
+    // (2) Witness corner: pick the box corner minimizing c and verify the
+    // whole negation probe there. Success proves non-redundancy exactly.
+    let mut pt = vec![0i128; n];
+    for d in 0..n {
+        let a = c.coeff(d);
+        let prefer = if a > 0 { lo[d] } else if a < 0 { hi[d] } else { None };
+        let mut v = prefer.unwrap_or(0);
+        if let Some(l) = lo[d] {
+            v = v.max(l);
+        }
+        if let Some(h) = hi[d] {
+            v = v.min(h);
+        }
+        pt[d] = v;
+    }
+    match c.satisfied_by(&pt) {
+        Ok(false) => {}
+        _ => return PreVerdict::Inconclusive,
+    }
+    for (j, other) in kept.iter().enumerate() {
+        if j == i {
+            continue;
+        }
+        match other.satisfied_by(&pt) {
+            Ok(true) => {}
+            _ => return PreVerdict::Inconclusive,
+        }
+    }
+    PreVerdict::Witnessed
 }
 
 impl fmt::Debug for Polyhedron {

@@ -1,0 +1,244 @@
+//! Process-wide instrumentation and tunables for the polyhedral engine.
+//!
+//! Every hot operation in this crate bumps an atomic counter here:
+//! Fourier–Motzkin steps, integer-feasibility queries, branch-and-bound
+//! nodes, memo-cache hits/misses, and the redundancy pre-filter outcomes.
+//! The counters are cheap (relaxed atomics), always on, and cumulative for
+//! the process; harnesses take a [`snapshot`] before and after a region and
+//! diff the two ([`PolyStats::since`]).
+//!
+//! The module also holds the engine's runtime knobs — the feasibility
+//! branch-and-bound budget, and the enable switches for the memo caches and
+//! the redundancy pre-filters — so callers (notably `dmc_core::Options`)
+//! can tune the engine without threading parameters through every call
+//! site. Changing a knob bumps an internal epoch that invalidates the
+//! per-thread memo caches.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+
+const R: Ordering = Ordering::Relaxed;
+
+static FM_STEPS: AtomicU64 = AtomicU64::new(0);
+static FEASIBILITY_CALLS: AtomicU64 = AtomicU64::new(0);
+static FEASIBILITY_UNKNOWN: AtomicU64 = AtomicU64::new(0);
+static BNB_NODES: AtomicU64 = AtomicU64::new(0);
+static FEAS_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static FEAS_CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+static PROJ_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static PROJ_CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+static REDUND_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static REDUND_CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+static NEGATION_TESTS: AtomicU64 = AtomicU64::new(0);
+static PREFILTER_DROPS: AtomicU64 = AtomicU64::new(0);
+static PREFILTER_KEEPS: AtomicU64 = AtomicU64::new(0);
+
+static CACHE_ENABLED: AtomicBool = AtomicBool::new(true);
+static PREFILTERS_ENABLED: AtomicBool = AtomicBool::new(true);
+static FEAS_BUDGET: AtomicU32 = AtomicU32::new(DEFAULT_FEASIBILITY_BUDGET);
+static EPOCH: AtomicU64 = AtomicU64::new(0);
+
+/// The default branch-and-bound budget of
+/// [`Polyhedron::integer_feasibility`](crate::Polyhedron::integer_feasibility).
+pub const DEFAULT_FEASIBILITY_BUDGET: u32 = 4_000;
+
+/// A snapshot of the engine's cumulative counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PolyStats {
+    /// Fourier–Motzkin single-dimension elimination steps.
+    pub fm_steps: u64,
+    /// Top-level integer-feasibility queries.
+    pub feasibility_calls: u64,
+    /// Queries that exhausted their budget and returned `Unknown`.
+    pub feasibility_unknown: u64,
+    /// Branch-and-bound nodes visited inside feasibility queries.
+    pub bnb_nodes: u64,
+    /// Feasibility memo-cache hits.
+    pub feas_cache_hits: u64,
+    /// Feasibility memo-cache misses.
+    pub feas_cache_misses: u64,
+    /// Projection (`eliminate_dims`) memo-cache hits.
+    pub proj_cache_hits: u64,
+    /// Projection memo-cache misses.
+    pub proj_cache_misses: u64,
+    /// Redundancy-removal memo-cache hits.
+    pub redund_cache_hits: u64,
+    /// Redundancy-removal memo-cache misses.
+    pub redund_cache_misses: u64,
+    /// Exact negation tests run by `remove_redundant`.
+    pub negation_tests: u64,
+    /// Constraints dropped by the cheap pre-filters (no exact test needed).
+    pub prefilter_drops: u64,
+    /// Constraints kept by a verified witness point (no exact test needed).
+    pub prefilter_keeps: u64,
+}
+
+impl PolyStats {
+    /// Counter-wise difference `self - earlier` (saturating).
+    pub fn since(&self, earlier: &PolyStats) -> PolyStats {
+        PolyStats {
+            fm_steps: self.fm_steps.saturating_sub(earlier.fm_steps),
+            feasibility_calls: self.feasibility_calls.saturating_sub(earlier.feasibility_calls),
+            feasibility_unknown: self
+                .feasibility_unknown
+                .saturating_sub(earlier.feasibility_unknown),
+            bnb_nodes: self.bnb_nodes.saturating_sub(earlier.bnb_nodes),
+            feas_cache_hits: self.feas_cache_hits.saturating_sub(earlier.feas_cache_hits),
+            feas_cache_misses: self.feas_cache_misses.saturating_sub(earlier.feas_cache_misses),
+            proj_cache_hits: self.proj_cache_hits.saturating_sub(earlier.proj_cache_hits),
+            proj_cache_misses: self.proj_cache_misses.saturating_sub(earlier.proj_cache_misses),
+            redund_cache_hits: self.redund_cache_hits.saturating_sub(earlier.redund_cache_hits),
+            redund_cache_misses: self
+                .redund_cache_misses
+                .saturating_sub(earlier.redund_cache_misses),
+            negation_tests: self.negation_tests.saturating_sub(earlier.negation_tests),
+            prefilter_drops: self.prefilter_drops.saturating_sub(earlier.prefilter_drops),
+            prefilter_keeps: self.prefilter_keeps.saturating_sub(earlier.prefilter_keeps),
+        }
+    }
+}
+
+/// Reads every counter.
+pub fn snapshot() -> PolyStats {
+    PolyStats {
+        fm_steps: FM_STEPS.load(R),
+        feasibility_calls: FEASIBILITY_CALLS.load(R),
+        feasibility_unknown: FEASIBILITY_UNKNOWN.load(R),
+        bnb_nodes: BNB_NODES.load(R),
+        feas_cache_hits: FEAS_CACHE_HITS.load(R),
+        feas_cache_misses: FEAS_CACHE_MISSES.load(R),
+        proj_cache_hits: PROJ_CACHE_HITS.load(R),
+        proj_cache_misses: PROJ_CACHE_MISSES.load(R),
+        redund_cache_hits: REDUND_CACHE_HITS.load(R),
+        redund_cache_misses: REDUND_CACHE_MISSES.load(R),
+        negation_tests: NEGATION_TESTS.load(R),
+        prefilter_drops: PREFILTER_DROPS.load(R),
+        prefilter_keeps: PREFILTER_KEEPS.load(R),
+    }
+}
+
+/// Resets every counter to zero (the knobs are untouched).
+pub fn reset() {
+    for c in [
+        &FM_STEPS,
+        &FEASIBILITY_CALLS,
+        &FEASIBILITY_UNKNOWN,
+        &BNB_NODES,
+        &FEAS_CACHE_HITS,
+        &FEAS_CACHE_MISSES,
+        &PROJ_CACHE_HITS,
+        &PROJ_CACHE_MISSES,
+        &REDUND_CACHE_HITS,
+        &REDUND_CACHE_MISSES,
+        &NEGATION_TESTS,
+        &PREFILTER_DROPS,
+        &PREFILTER_KEEPS,
+    ] {
+        c.store(0, R);
+    }
+}
+
+pub(crate) fn count_fm_step() {
+    FM_STEPS.fetch_add(1, R);
+}
+pub(crate) fn count_feasibility_call() {
+    FEASIBILITY_CALLS.fetch_add(1, R);
+}
+pub(crate) fn count_feasibility_unknown() {
+    FEASIBILITY_UNKNOWN.fetch_add(1, R);
+}
+pub(crate) fn count_bnb_node() {
+    BNB_NODES.fetch_add(1, R);
+}
+pub(crate) fn count_feas_cache(hit: bool) {
+    if hit { &FEAS_CACHE_HITS } else { &FEAS_CACHE_MISSES }.fetch_add(1, R);
+}
+pub(crate) fn count_proj_cache(hit: bool) {
+    if hit { &PROJ_CACHE_HITS } else { &PROJ_CACHE_MISSES }.fetch_add(1, R);
+}
+pub(crate) fn count_redund_cache(hit: bool) {
+    if hit { &REDUND_CACHE_HITS } else { &REDUND_CACHE_MISSES }.fetch_add(1, R);
+}
+pub(crate) fn count_negation_test() {
+    NEGATION_TESTS.fetch_add(1, R);
+}
+pub(crate) fn count_prefilter_drop() {
+    PREFILTER_DROPS.fetch_add(1, R);
+}
+pub(crate) fn count_prefilter_keep() {
+    PREFILTER_KEEPS.fetch_add(1, R);
+}
+
+/// Whether the memo caches are consulted. Default `true`.
+pub fn cache_enabled() -> bool {
+    CACHE_ENABLED.load(R)
+}
+
+/// Enables or disables the memo caches (process-wide). Disabling also
+/// invalidates the per-thread caches.
+pub fn set_cache_enabled(on: bool) {
+    if CACHE_ENABLED.swap(on, R) != on {
+        EPOCH.fetch_add(1, R);
+    }
+}
+
+/// Whether `remove_redundant` runs the cheap pre-filters. Default `true`.
+pub fn prefilters_enabled() -> bool {
+    PREFILTERS_ENABLED.load(R)
+}
+
+/// Enables or disables the redundancy pre-filters (process-wide). Changing
+/// the setting invalidates the per-thread memo caches (a cached
+/// `remove_redundant` answer records the setting it was computed under).
+pub fn set_prefilters_enabled(on: bool) {
+    if PREFILTERS_ENABLED.swap(on, R) != on {
+        EPOCH.fetch_add(1, R);
+    }
+}
+
+/// The current branch-and-bound budget for integer-feasibility queries.
+pub fn feasibility_budget() -> u32 {
+    FEAS_BUDGET.load(R)
+}
+
+/// Sets the branch-and-bound budget. A budget of 0 makes every query
+/// return `Unknown` immediately (conservatively treated as feasible).
+/// Changing the budget invalidates the per-thread memo caches.
+pub fn set_feasibility_budget(budget: u32) {
+    if FEAS_BUDGET.swap(budget, R) != budget {
+        EPOCH.fetch_add(1, R);
+    }
+}
+
+/// The cache-invalidation epoch (bumped whenever a knob changes).
+pub(crate) fn epoch() -> u64 {
+    EPOCH.load(R)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_diff_and_knobs() {
+        let before = snapshot();
+        count_fm_step();
+        count_fm_step();
+        count_bnb_node();
+        let after = snapshot();
+        let d = after.since(&before);
+        assert!(d.fm_steps >= 2);
+        assert!(d.bnb_nodes >= 1);
+
+        let e0 = epoch();
+        set_feasibility_budget(123);
+        assert_eq!(feasibility_budget(), 123);
+        assert!(epoch() > e0, "budget change must bump the epoch");
+        set_feasibility_budget(DEFAULT_FEASIBILITY_BUDGET);
+
+        set_cache_enabled(false);
+        assert!(!cache_enabled());
+        set_cache_enabled(true);
+        set_prefilters_enabled(true);
+        assert!(prefilters_enabled());
+    }
+}

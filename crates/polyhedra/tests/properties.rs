@@ -1,49 +1,73 @@
 //! Property-based tests for the polyhedral engine: every operation is
 //! cross-checked against brute-force enumeration on small random systems.
-
-use proptest::prelude::*;
+//!
+//! The generator is a tiny deterministic xorshift PRNG (std-only; the build
+//! environment has no registry access for `proptest`), so every run checks
+//! the exact same case set — failures reproduce by case number.
 
 use dmc_polyhedra::{
     lexopt, scan_bounds, Constraint, DimKind, Direction, Feasibility, LinExpr, Polyhedron, Space,
 };
 
-/// A random constraint over `n` dims with small coefficients, biased
-/// towards feasible boxes by adding box bounds separately.
-fn arb_constraint(n: usize) -> impl Strategy<Value = Constraint> {
-    (
-        proptest::collection::vec(-3i128..=3, n),
-        -6i128..=6,
-        proptest::bool::ANY,
-    )
-        .prop_map(|(coeffs, c, eq)| {
-            let e = LinExpr::from_coeffs(coeffs, c);
-            if eq {
-                Constraint::eq(e)
-            } else {
-                Constraint::ge(e)
-            }
-        })
+/// xorshift64* — deterministic, seedable, good enough for test-case
+/// generation.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `lo..=hi`.
+    fn range(&mut self, lo: i128, hi: i128) -> i128 {
+        let span = (hi - lo + 1) as u64;
+        lo + (self.next() % span) as i128
+    }
+
+    fn chance(&mut self) -> bool {
+        self.next() & 1 == 0
+    }
 }
 
-/// A random polyhedron over `n` dims, intersected with the box
-/// `[-B, B]^n` so everything is enumerable.
-fn arb_polyhedron(n: usize, extra: usize, b: i128) -> impl Strategy<Value = Polyhedron> {
-    proptest::collection::vec(arb_constraint(n), 0..=extra).prop_map(move |cons| {
-        let space = Space::from_dims((0..n).map(|k| (format!("x{k}"), DimKind::Index)));
-        let mut p = Polyhedron::universe(space);
-        for k in 0..n {
-            let mut lo = LinExpr::var(n, k);
-            lo.set_constant(b);
-            p.add(Constraint::ge(lo)); // x_k >= -b
-            let mut hi = LinExpr::var(n, k).scaled(-1);
-            hi.set_constant(b);
-            p.add(Constraint::ge(hi)); // x_k <= b
-        }
-        for c in cons {
-            p.add(c);
-        }
-        p
-    })
+/// A random constraint over `n` dims with small coefficients.
+fn gen_constraint(rng: &mut Rng, n: usize) -> Constraint {
+    let coeffs: Vec<i128> = (0..n).map(|_| rng.range(-3, 3)).collect();
+    let c = rng.range(-6, 6);
+    let e = LinExpr::from_coeffs(coeffs, c);
+    if rng.chance() {
+        Constraint::eq(e)
+    } else {
+        Constraint::ge(e)
+    }
+}
+
+/// A random polyhedron over `n` dims, intersected with the box `[-b, b]^n`
+/// so everything is enumerable.
+fn gen_polyhedron(rng: &mut Rng, n: usize, extra: usize, b: i128) -> Polyhedron {
+    let space = Space::from_dims((0..n).map(|k| (format!("x{k}"), DimKind::Index)));
+    let mut p = Polyhedron::universe(space);
+    for k in 0..n {
+        let mut lo = LinExpr::var(n, k);
+        lo.set_constant(b);
+        p.add(Constraint::ge(lo)); // x_k >= -b
+        let mut hi = LinExpr::var(n, k).scaled(-1);
+        hi.set_constant(b);
+        p.add(Constraint::ge(hi)); // x_k <= b
+    }
+    let m = (rng.next() % (extra as u64 + 1)) as usize;
+    for _ in 0..m {
+        p.add(gen_constraint(rng, n));
+    }
+    p
 }
 
 fn points_of(p: &Polyhedron, b: i128) -> Vec<Vec<i128>> {
@@ -69,37 +93,48 @@ fn points_of(p: &Polyhedron, b: i128) -> Vec<Vec<i128>> {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Integer feasibility never says Infeasible when a point exists, and
-    /// never says Feasible when none does (within the box).
-    #[test]
-    fn feasibility_matches_enumeration(p in arb_polyhedron(3, 4, 4)) {
+/// Integer feasibility never says Infeasible when a point exists, and
+/// never says Feasible when none does (within the box).
+#[test]
+fn feasibility_matches_enumeration() {
+    let mut rng = Rng::new(0xFEA5);
+    for case in 0..48 {
+        let p = gen_polyhedron(&mut rng, 3, 4, 4);
         let pts = points_of(&p, 4);
         match p.integer_feasibility().unwrap() {
-            Feasibility::Infeasible => prop_assert!(pts.is_empty(), "claimed infeasible with {} points", pts.len()),
-            Feasibility::Feasible => prop_assert!(!pts.is_empty(), "claimed feasible with no points"),
+            Feasibility::Infeasible => {
+                assert!(pts.is_empty(), "case {case}: claimed infeasible with {} points", pts.len())
+            }
+            Feasibility::Feasible => {
+                assert!(!pts.is_empty(), "case {case}: claimed feasible with no points")
+            }
             Feasibility::Unknown => {}
         }
     }
+}
 
-    /// Fourier–Motzkin projection is an over-approximation that is exact
-    /// on the side it claims: every point with an integer preimage lies in
-    /// the projection.
-    #[test]
-    fn projection_covers_shadow(p in arb_polyhedron(3, 3, 4)) {
+/// Fourier–Motzkin projection is an over-approximation that is exact on
+/// the side it claims: every point with an integer preimage lies in the
+/// projection.
+#[test]
+fn projection_covers_shadow() {
+    let mut rng = Rng::new(0x511AD0);
+    for case in 0..48 {
+        let p = gen_polyhedron(&mut rng, 3, 3, 4);
         let proj = p.eliminate_dims(&[2]).unwrap();
         for pt in points_of(&p, 4) {
-            // Any witness extends to the projection with arbitrary x2.
-            prop_assert!(proj.contains(&pt).unwrap(), "projection lost {pt:?}");
+            assert!(proj.contains(&pt).unwrap(), "case {case}: projection lost {pt:?}");
         }
     }
+}
 
-    /// The under-approximating projection is sound: every point of the
-    /// result has an integer preimage.
-    #[test]
-    fn under_projection_is_sound(p in arb_polyhedron(3, 3, 3)) {
+/// The under-approximating projection is sound: every point of the result
+/// has an integer preimage.
+#[test]
+fn under_projection_is_sound() {
+    let mut rng = Rng::new(0x50112D);
+    for case in 0..48 {
+        let p = gen_polyhedron(&mut rng, 3, 3, 3);
         let under = p.eliminate_dims_under(&[2]).unwrap();
         let all = points_of(&p, 3);
         for x0 in -3i128..=3 {
@@ -107,55 +142,68 @@ proptest! {
                 // `under` ignores x2; test membership with any value.
                 if under.contains(&[x0, x1, 0]).unwrap() {
                     let witnessed = all.iter().any(|q| q[0] == x0 && q[1] == x1);
-                    prop_assert!(witnessed, "under-projection invented ({x0},{x1})");
+                    assert!(witnessed, "case {case}: under-projection invented ({x0},{x1})");
                 }
             }
         }
     }
+}
 
-    /// Subtraction partitions: pieces are disjoint, live inside A, avoid
-    /// B, and together with A∩B cover A.
-    #[test]
-    fn subtraction_partitions(a in arb_polyhedron(2, 3, 4), bq in arb_polyhedron(2, 3, 4)) {
+/// Subtraction partitions: pieces are disjoint, live inside A, avoid B,
+/// and together with A∩B cover A.
+#[test]
+fn subtraction_partitions() {
+    let mut rng = Rng::new(0x5B7AC7);
+    for case in 0..48 {
+        let a = gen_polyhedron(&mut rng, 2, 3, 4);
+        let bq = gen_polyhedron(&mut rng, 2, 3, 4);
         let pieces = a.subtract(&bq).unwrap();
         for pt in points_of(&a, 4) {
             let in_b = bq.contains(&pt).unwrap();
             let covering: usize = pieces.iter().filter(|q| q.contains(&pt).unwrap()).count();
             if in_b {
-                prop_assert_eq!(covering, 0, "piece overlaps B at {:?}", &pt);
+                assert_eq!(covering, 0, "case {case}: piece overlaps B at {pt:?}");
             } else {
-                prop_assert_eq!(covering, 1, "point {:?} covered {} times", &pt, covering);
+                assert_eq!(covering, 1, "case {case}: point {pt:?} covered {covering} times");
             }
         }
         // Pieces never leak outside A.
         for q in &pieces {
             for pt in points_of(q, 4) {
-                prop_assert!(a.contains(&pt).unwrap(), "piece escapes A at {pt:?}");
+                assert!(a.contains(&pt).unwrap(), "case {case}: piece escapes A at {pt:?}");
             }
         }
     }
+}
 
-    /// Scanning enumerates exactly the member points, each once.
-    #[test]
-    fn scan_is_exact(p in arb_polyhedron(2, 3, 4)) {
+/// Scanning enumerates exactly the member points, each once.
+#[test]
+fn scan_is_exact() {
+    let mut rng = Rng::new(0x5CA4);
+    for case in 0..48 {
+        let p = gen_polyhedron(&mut rng, 2, 3, 4);
         let nest = scan_bounds(&p, &[0, 1]).unwrap();
         let mut scanned = nest.enumerate(&[0, 0], 100_000).unwrap();
         scanned.sort();
         let n = scanned.len();
         scanned.dedup();
-        prop_assert_eq!(scanned.len(), n, "duplicate scan points");
+        assert_eq!(scanned.len(), n, "case {case}: duplicate scan points");
         let mut expected = points_of(&p, 4);
         expected.sort();
-        prop_assert_eq!(scanned, expected);
+        assert_eq!(scanned, expected, "case {case}");
     }
+}
 
-    /// Parametric lexmax agrees with brute force at every context.
-    #[test]
-    fn lexopt_matches_brute_force(p in arb_polyhedron(2, 3, 4)) {
+/// Parametric lexmax agrees with brute force at every context.
+#[test]
+fn lexopt_matches_brute_force() {
+    let mut rng = Rng::new(0x1E304);
+    for case in 0..48 {
+        let p = gen_polyhedron(&mut rng, 2, 3, 4);
         let solved = match lexopt(&p, &[1], Direction::Max) {
             Ok(s) => s,
             // Unbounded cannot happen (box), but budget exhaustion may.
-            Err(_) => return Ok(()),
+            Err(_) => continue,
         };
         for x0 in -4i128..=4 {
             let brute = (-4i128..=4).rev().find(|&x1| p.contains(&[x0, x1]).unwrap());
@@ -165,7 +213,8 @@ proptest! {
             let mut hits = 0;
             for piece in &solved.pieces {
                 let n = piece.context.space().len();
-                let mut fixed = piece.context.substitute_dim(0, &LinExpr::constant(n, x0)).unwrap();
+                let mut fixed =
+                    piece.context.substitute_dim(0, &LinExpr::constant(n, x0)).unwrap();
                 // x1 is unconstrained in the context; aux dims (if any) must
                 // be found by search.
                 let aux: Vec<usize> = (2..n).collect();
@@ -202,24 +251,86 @@ proptest! {
                     }
                 }
             }
-            prop_assert!(hits <= 1, "pieces overlap at x0={x0}");
-            prop_assert_eq!(got, brute, "lexmax mismatch at x0={}", x0);
+            assert!(hits <= 1, "case {case}: pieces overlap at x0={x0}");
+            assert_eq!(got, brute, "case {case}: lexmax mismatch at x0={x0}");
         }
     }
+}
 
-    /// Redundancy removal never changes the set.
-    #[test]
-    fn redundancy_removal_preserves_set(p in arb_polyhedron(2, 4, 4)) {
+/// Redundancy removal never changes the set.
+#[test]
+fn redundancy_removal_preserves_set() {
+    let mut rng = Rng::new(0x4ED);
+    for case in 0..48 {
+        let p = gen_polyhedron(&mut rng, 2, 4, 4);
         let r = p.remove_redundant().unwrap();
         for x0 in -5i128..=5 {
             for x1 in -5i128..=5 {
-                prop_assert_eq!(
+                assert_eq!(
                     p.contains(&[x0, x1]).unwrap(),
                     r.contains(&[x0, x1]).unwrap(),
-                    "set changed at ({}, {})", x0, x1
+                    "case {case}: set changed at ({x0}, {x1})"
                 );
             }
         }
-        prop_assert!(r.constraints().len() <= p.constraints().len());
+        assert!(r.constraints().len() <= p.constraints().len());
     }
+}
+
+/// The memoized fast paths answer exactly like the uncached engine, and
+/// the pre-filtered redundancy removal matches the pure negation test.
+#[test]
+fn fast_paths_match_uncached_engine() {
+    use dmc_polyhedra::stats;
+    let mut rng = Rng::new(0xCAC4E);
+    for case in 0..64 {
+        let p = gen_polyhedron(&mut rng, 3, 4, 4);
+
+        stats::set_cache_enabled(true);
+        stats::set_prefilters_enabled(true);
+        let feas_on = p.integer_feasibility().unwrap();
+        let feas_on2 = p.integer_feasibility().unwrap(); // cached answer
+        let proj_on = p.eliminate_dims(&[1, 2]).unwrap();
+        let proj_on2 = p.eliminate_dims(&[1, 2]).unwrap();
+        let red_on = p.remove_redundant().unwrap();
+        let red_on2 = p.remove_redundant().unwrap();
+
+        stats::set_cache_enabled(false);
+        stats::set_prefilters_enabled(false);
+        let feas_off = p.integer_feasibility().unwrap();
+        let proj_off = p.eliminate_dims(&[1, 2]).unwrap();
+        let red_off = p.remove_redundant().unwrap();
+
+        stats::set_cache_enabled(true);
+        stats::set_prefilters_enabled(true);
+
+        assert_eq!(feas_on, feas_off, "case {case}: feasibility differs");
+        assert_eq!(feas_on, feas_on2, "case {case}: feasibility cache unstable");
+        assert_eq!(proj_on, proj_off, "case {case}: projection differs");
+        assert_eq!(proj_on, proj_on2, "case {case}: projection cache unstable");
+        assert_eq!(red_on2, red_on, "case {case}: redundancy cache unstable");
+        // The pre-filters may only skip exact tests, never change the
+        // surviving constraint list.
+        assert_eq!(red_on, red_off, "case {case}: redundancy removal differs");
+    }
+}
+
+/// The canonical key identifies equal systems regardless of insertion
+/// order, and separates different ones.
+#[test]
+fn canonical_key_is_order_insensitive() {
+    let space = Space::from_dims([("x", DimKind::Index), ("y", DimKind::Index)]);
+    let c1 = Constraint::ge(LinExpr::from_coeffs(vec![1, 0], 0));
+    let c2 = Constraint::ge(LinExpr::from_coeffs(vec![0, -1], 7));
+    let mut a = Polyhedron::universe(space.clone());
+    a.add(c1.clone());
+    a.add(c2.clone());
+    let mut b = Polyhedron::universe(space.clone());
+    b.add(c2);
+    b.add(c1);
+    assert_eq!(a.canonical_key(), b.canonical_key());
+
+    let mut c = Polyhedron::universe(space);
+    c.add(Constraint::ge(LinExpr::from_coeffs(vec![1, 0], 1)));
+    assert_ne!(a.canonical_key(), c.canonical_key());
 }

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification (see ROADMAP.md): offline release build + full test
+# suite, then optionally regenerate the performance-harness JSON.
+#
+#   scripts/tier1.sh           # build + test (offline)
+#   scripts/tier1.sh --bench   # also run perfstats -> BENCH_pipeline.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# The container has no registry access; everything must resolve from the
+# workspace itself.
+export CARGO_NET_OFFLINE=true
+
+cargo build --release
+cargo test -q --workspace
+
+if [[ "${1:-}" == "--bench" ]]; then
+    cargo run --release -p dmc-bench --bin perfstats
+fi
+
+echo "tier-1 OK"
