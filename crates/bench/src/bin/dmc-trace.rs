@@ -1,0 +1,113 @@
+//! Trace harness: compiles the perfstats workloads with the `dmc_obs`
+//! recorder on and writes, per workload, a Chrome `trace_events` JSON
+//! (loadable in chrome://tracing or Perfetto) and a human-readable
+//! message-provenance explain report.
+//!
+//! ```sh
+//! cargo run --release -p dmc-bench --bin dmc-trace
+//! cargo run --release -p dmc-bench --bin dmc-trace -- --workload stencil \
+//!     --out-dir target/trace --check
+//! ```
+//!
+//! `--check` validates each Chrome trace (well-formed JSON, balanced and
+//! name-matched begin/end pairs, monotonic per-lane timestamps) and
+//! cross-checks that the explain report attributes exactly one surviving
+//! message per message of the final schedule.
+
+use std::path::PathBuf;
+
+use dmc_bench::{figure2_input, lu_input, stencil_input, xy_input};
+use dmc_core::{build_schedule, compile, message_stats, run, CompileInput, Options};
+use dmc_machine::MachineConfig;
+use dmc_obs as obs;
+
+const LIMIT: usize = 50_000_000;
+
+struct Workload {
+    name: &'static str,
+    input: CompileInput,
+    params: Vec<i128>,
+}
+
+fn workloads() -> Vec<Workload> {
+    vec![
+        Workload { name: "lu", input: lu_input(8), params: vec![48] },
+        Workload { name: "stencil", input: stencil_input(32, 4), params: vec![4, 127] },
+        Workload { name: "figure2", input: figure2_input(4), params: vec![3, 127] },
+        Workload { name: "xy", input: xy_input(4), params: vec![47] },
+    ]
+}
+
+/// Captures one workload's full pipeline (compile → message stats →
+/// schedule + simulate) and returns the trace plus the final schedule's
+/// message count.
+fn capture(w: &Workload, threads: usize) -> (obs::Trace, usize) {
+    let options = Options { threads, ..Options::full() };
+    obs::start_capture();
+    let compiled = compile(w.input.clone(), options).expect("compiles");
+    let _ = message_stats(&compiled, &w.params, LIMIT).expect("stats");
+    let schedule = build_schedule(&compiled, &w.params, false, LIMIT).expect("schedules");
+    let _ = run(&compiled, &w.params, &MachineConfig::ipsc860(), false, LIMIT).expect("simulates");
+    (obs::finish_capture(), schedule.messages.len())
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut which: Option<String> = None;
+    let mut out_dir = PathBuf::from("target/dmc-trace");
+    let mut check = false;
+    let mut threads = 0usize;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--workload" => which = Some(args.next().expect("--workload needs a name")),
+            "--out-dir" => out_dir = PathBuf::from(args.next().expect("--out-dir needs a path")),
+            "--check" => check = true,
+            "--threads" => {
+                threads = args.next().expect("--threads needs a count").parse().expect("number")
+            }
+            other => panic!("unknown argument: {other} (try --workload/--out-dir/--check/--threads)"),
+        }
+    }
+
+    std::fs::create_dir_all(&out_dir).expect("create out dir");
+    let selected: Vec<Workload> = workloads()
+        .into_iter()
+        .filter(|w| which.as_deref().map_or(true, |n| n == "all" || n == w.name))
+        .collect();
+    assert!(!selected.is_empty(), "no such workload (lu, stencil, figure2, xy, all)");
+
+    for w in &selected {
+        let (trace, n_messages) = capture(w, threads);
+
+        let chrome = obs::chrome_trace(&trace);
+        let chrome_path = out_dir.join(format!("trace_{}.json", w.name));
+        std::fs::write(&chrome_path, &chrome).expect("write chrome trace");
+
+        let report = obs::explain_report(&trace, w.name);
+        let report_path = out_dir.join(format!("explain_{}.md", w.name));
+        std::fs::write(&report_path, &report).expect("write explain report");
+
+        if check {
+            let c = obs::validate_chrome(&chrome)
+                .unwrap_or_else(|e| panic!("{}: invalid Chrome trace: {e}", w.name));
+            let attributed = report.lines().filter(|l| l.starts_with("- m")).count();
+            assert_eq!(
+                attributed, n_messages,
+                "{}: explain report attributes {attributed} messages, schedule has {n_messages}",
+                w.name
+            );
+            println!(
+                "{:<10} ok: {} lanes, {} spans, {} events; {} message(s) attributed",
+                w.name, c.lanes, c.spans, c.events, n_messages
+            );
+        } else {
+            println!(
+                "{:<10} {} records -> {} + {}",
+                w.name,
+                trace.len(),
+                chrome_path.display(),
+                report_path.display()
+            );
+        }
+    }
+}

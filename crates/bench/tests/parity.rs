@@ -85,11 +85,17 @@ fn feasibility_budget_is_configurable() {
     let input = figure2_input(4);
     let full = outputs(&input, &[3, 63], Options::full());
 
-    // compile() pushes the Options budget into the process-wide knob, and
-    // a roomier budget changes no answer on this workload.
+    // compile() scopes the Options budget into the process-wide knob for
+    // the duration of the pipeline and restores the surrounding value on
+    // exit (KnobGuard); a roomier budget changes no answer here.
+    let ambient = dmc_polyhedra::stats::feasibility_budget();
     let big = Options { feasibility_budget: 123_456, ..Options::full() };
     let roomier = outputs(&input, &[3, 63], big);
-    assert_eq!(dmc_polyhedra::stats::feasibility_budget(), 123_456);
+    assert_eq!(
+        dmc_polyhedra::stats::feasibility_budget(),
+        ambient,
+        "compile must restore the surrounding budget on exit"
+    );
     assert_eq!(full.0, roomier.0, "a larger budget must not change the schedule");
 
     // An exhausted budget trips to Unknown and the counter records it.

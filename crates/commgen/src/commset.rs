@@ -76,6 +76,11 @@ pub struct CommSet {
     /// iteration of the dependence-carrying loop (§2.2.2). Aggregation
     /// keys messages by these dimensions and never merges across them.
     pub refetch_outer: usize,
+    /// Provenance: the §6 optimization passes this set has survived, in
+    /// application order (e.g. `["self_reuse", "unique_sender"]`). Filled
+    /// by the passes themselves; purely observational — never read by the
+    /// optimizer.
+    pub steps: Vec<&'static str>,
 }
 
 /// One concrete element of a communication set.
@@ -265,6 +270,7 @@ pub fn comm_from_leaf(
             level: Some(src.level),
             prefix_len,
             refetch_outer: 0,
+            steps: Vec::new(),
         })
         .collect())
 }
@@ -378,6 +384,7 @@ pub fn comm_from_initial(
             level: None,
             prefix_len: 0,
             refetch_outer: 0,
+            steps: Vec::new(),
         })
         .collect())
 }

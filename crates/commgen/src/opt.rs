@@ -4,9 +4,37 @@
 use std::collections::BTreeMap;
 
 use dmc_decomp::{DataDecomp, ProcGrid};
+use dmc_obs as obs;
 use dmc_polyhedra::{lexopt, Constraint, Direction, LexError, LinExpr, PolyError, Polyhedron};
 
 use crate::commset::{CommElem, CommSet, SenderKind};
+
+/// Records the outcome of one §6 pass on one input set: appends the pass
+/// to the survivors' provenance trail and, when tracing is active, emits a
+/// `prov.pass` event (or `prov.eliminated` when the pass removed the set's
+/// transfers entirely) attributing the outcome to the originating read.
+fn prov_mark(out: &mut [CommSet], cs: &CommSet, pass: &'static str) {
+    for s in out.iter_mut() {
+        s.steps.push(pass);
+    }
+    if !obs::enabled() {
+        return;
+    }
+    let fields = || {
+        vec![
+            obs::field("pass", pass),
+            obs::field("array", cs.array.as_str()),
+            obs::field("stmt", cs.read_stmt),
+            obs::field("read", cs.read_no),
+            obs::field("pieces", out.len()),
+        ]
+    };
+    if out.is_empty() {
+        obs::event_f("prov.eliminated", fields);
+    } else {
+        obs::event_f("prov.pass", fields);
+    }
+}
 
 /// Errors from communication optimization.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -96,6 +124,7 @@ pub fn eliminate_self_reuse_from(cs: &CommSet, keep_outer: usize) -> Result<Vec<
         }
         out.push(CommSet { poly, dims, refetch_outer, ..cs.clone() });
     }
+    prov_mark(&mut out, cs, "self_reuse");
     Ok(out)
 }
 
@@ -110,10 +139,10 @@ pub fn eliminate_already_local(cs: &CommSet, d: &DataDecomp) -> Result<Vec<CommS
     let mut owned = cs.poly.clone();
     d.constrain(&mut owned, &cs.dims.arr, &cs.dims.pr);
     let pieces = cs.poly.subtract(&owned)?;
-    Ok(pieces
-        .into_iter()
-        .map(|poly| CommSet { poly, ..cs.clone() })
-        .collect())
+    let mut out: Vec<CommSet> =
+        pieces.into_iter().map(|poly| CommSet { poly, ..cs.clone() }).collect();
+    prov_mark(&mut out, cs, "already_local");
+    Ok(out)
 }
 
 /// §6.1.3 — replicated senders: when several processors own a copy of the
@@ -149,6 +178,7 @@ pub fn unique_sender(cs: &CommSet) -> Result<Vec<CommSet>, OptError> {
         }
         out.push(CommSet { poly, dims, ..cs.clone() });
     }
+    prov_mark(&mut out, cs, "unique_sender");
     Ok(out)
 }
 
@@ -229,6 +259,7 @@ pub fn fold_receivers(cs: &CommSet, extents: &[i128]) -> Result<Vec<CommSet>, Op
         }
         out.push(CommSet { poly: pinned, dims, ..cs.clone() });
     }
+    prov_mark(&mut out, cs, "fold_receivers");
     Ok(out)
 }
 
@@ -429,11 +460,14 @@ pub fn eliminate_cross_set_reuse(sets: &[CommSet]) -> Result<Vec<CommSet>, OptEr
             }
             pieces = next;
         }
+        let mut kept = Vec::new();
         for piece in pieces {
             if piece.integer_feasibility()?.possibly_feasible() {
-                out.push(CommSet { poly: piece, ..cs.clone() });
+                kept.push(CommSet { poly: piece, ..cs.clone() });
             }
         }
+        prov_mark(&mut kept, cs, "cross_set_reuse");
+        out.extend(kept);
         // Record this set's (under-approximated) projection for later
         // (shallower) sets.
         if cs.dims.aux.is_empty() {

@@ -48,4 +48,7 @@ mod pipeline;
 mod tests;
 
 pub use options::{Options, Strategy};
-pub use pipeline::{build_schedule, compile, message_stats, run, Compiled, CompileError, CompileInput};
+pub use pipeline::{
+    analysis_jobs, build_schedule, compile, message_stats, planned_workers, run, Compiled,
+    CompileError, CompileInput,
+};

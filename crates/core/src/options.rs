@@ -104,6 +104,19 @@ impl Options {
         dmc_polyhedra::stats::set_prefilters_enabled(self.poly_fast_paths);
     }
 
+    /// Like [`Options::apply_tuning`], but returns an RAII guard that
+    /// restores the previous knob values when dropped — including on panic
+    /// or early return — so one compile's tuning can never leak into the
+    /// next. [`compile`] and [`build_schedule`] scope their knobs this way.
+    ///
+    /// [`compile`]: crate::compile
+    /// [`build_schedule`]: crate::build_schedule
+    pub fn apply_tuning_scoped(&self) -> dmc_polyhedra::stats::KnobGuard {
+        let guard = dmc_polyhedra::stats::KnobGuard::capture();
+        self.apply_tuning();
+        guard
+    }
+
     /// The concrete worker count `threads` resolves to (`0` → available
     /// parallelism, minimum 1).
     pub fn effective_threads(&self) -> usize {

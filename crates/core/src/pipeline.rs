@@ -17,6 +17,7 @@ use dmc_machine::{
     simulate, Action, InitialPlacement, MachineConfig, MessageSpec, PayloadItem, Schedule,
     SimError, SimResult, Stamp,
 };
+use dmc_obs as obs;
 use dmc_polyhedra::{DimKind, PolyError, Space};
 
 use crate::options::{Options, Strategy};
@@ -124,6 +125,19 @@ pub struct Compiled {
     pub comm: Vec<CommSet>,
 }
 
+/// The number of independent per-(statement, read) analysis jobs in
+/// `input` — the ceiling on [`compile`]'s useful fan-out width.
+pub fn analysis_jobs(input: &CompileInput) -> usize {
+    input.program.statements().iter().map(|s| s.stmt.rhs.reads().len()).sum()
+}
+
+/// The worker count [`compile`] actually uses for `input` under `options`:
+/// the `threads` resolution clamped to the job count. Benchmarks report
+/// this instead of the host's nominal parallelism.
+pub fn planned_workers(input: &CompileInput, options: &Options) -> usize {
+    options.effective_threads().min(analysis_jobs(input).max(1))
+}
+
 /// Runs analysis and communication generation/optimization.
 ///
 /// Per-(statement, read) analysis jobs are independent, so they fan out
@@ -136,7 +150,12 @@ pub struct Compiled {
 ///
 /// Returns [`CompileError`] on any analysis failure.
 pub fn compile(input: CompileInput, options: Options) -> Result<Compiled, CompileError> {
-    options.apply_tuning();
+    // Lane before knobs: the guard's restore events on drop still land in
+    // the main lane (locals drop in reverse declaration order).
+    let _lane = obs::lane(obs::main_lane(), "pipeline");
+    let _knobs = options.apply_tuning_scoped();
+    let _span =
+        obs::span_f("compile", || vec![obs::field("strategy", format!("{:?}", options.strategy))]);
     let stmts = input.program.statements();
     for s in &stmts {
         if !input.comps.contains_key(&s.id) {
@@ -150,6 +169,17 @@ pub fn compile(input: CompileInput, options: Options) -> Result<Compiled, Compil
         .flat_map(|(si, s)| (0..s.stmt.rhs.reads().len()).map(move |r| (si, r)))
         .collect();
     let workers = options.effective_threads().min(jobs.len().max(1));
+    // The worker count depends on the host (and the `threads` option), so
+    // the event is diagnostic — excluded from the deterministic trace view,
+    // which must be identical for every worker count.
+    obs::event_nondet(
+        "compile.workers",
+        vec![
+            obs::field("threads", options.threads),
+            obs::field("workers", workers),
+            obs::field("jobs", jobs.len()),
+        ],
+    );
 
     type ReadResult = Result<(LastWriteTree, Vec<CommSet>), CompileError>;
     let results: Vec<ReadResult> = if workers <= 1 {
@@ -201,9 +231,30 @@ fn compile_read(
     let s = &stmts[stmt_idx];
     let reads = s.stmt.rhs.reads();
     let read = &reads[read_no];
+    // Keyed by textual order, so the merged trace is identical for every
+    // worker count — each job's records stay contiguous in its own lane.
+    let _lane = obs::lane(obs::read_lane(stmt_idx, read_no), format!("read S{}#{read_no}", s.id));
+    let _span = obs::span_f("read", || {
+        vec![
+            obs::field("stmt", s.id),
+            obs::field("read", read_no),
+            obs::field("array", read.array.as_str()),
+            obs::field("access", format!("{read}")),
+        ]
+    });
     match options.strategy {
         Strategy::ValueCentric => {
-            let lwt = build_lwt(&input.program, s.id, read_no)?;
+            let lwt = {
+                let _s = obs::span("lwt");
+                build_lwt(&input.program, s.id, read_no)?
+            };
+            obs::event_f("lwt.done", || {
+                vec![
+                    obs::field("leaves", lwt.leaves.len()),
+                    obs::field("approximate", lwt.approximate),
+                ]
+            });
+            let _commsets_span = obs::span("commsets");
             let mut tree_sets: Vec<CommSet> = Vec::new();
             for leaf in &lwt.leaves {
                 match &leaf.source {
@@ -241,6 +292,8 @@ fn compile_read(
                     }
                 }
             }
+            drop(_commsets_span);
+            obs::event_f("commsets.done", || vec![obs::field("sets", tree_sets.len())]);
             // §6.1 optimizations, per tree.
             tree_sets = optimize_sets(tree_sets, input, options)?;
             Ok((lwt, tree_sets))
@@ -256,11 +309,26 @@ fn compile_read(
             let lwt = whole_domain_tree(&input.program, s, read_no, &read.array);
             let leaf = &lwt.leaves[0];
             let comp_r = &input.comps[&s.id];
-            let mut sets = comm_from_initial(&input.program, &lwt, leaf, s, comp_r, d)?;
+            let mut sets = {
+                let _s = obs::span("commsets");
+                comm_from_initial(&input.program, &lwt, leaf, s, comp_r, d)?
+            };
+            obs::event_f("commsets.done", || vec![obs::field("sets", sets.len())]);
             sets = optimize_sets(sets, input, options)?;
             Ok((lwt, sets))
         }
     }
+}
+
+/// Emits one §6 pass's summary event (inside that pass's span).
+fn opt_pass_event(pass: &'static str, sets_in: usize, sets_out: usize) {
+    obs::event_f("opt.pass", || {
+        vec![
+            obs::field("pass", pass),
+            obs::field("sets_in", sets_in),
+            obs::field("sets_out", sets_out),
+        ]
+    });
 }
 
 /// Applies the enabled §6 set-level optimizations to one tree's sets.
@@ -271,6 +339,8 @@ fn optimize_sets(
 ) -> Result<Vec<CommSet>, CompileError> {
     let mut cur = sets;
     if options.self_reuse {
+        let _s = obs::span("opt.self_reuse");
+        let n_in = cur.len();
         let mut next = Vec::new();
         for cs in &cur {
             match options.strategy {
@@ -291,22 +361,31 @@ fn optimize_sets(
             }
         }
         cur = next;
+        opt_pass_event("self_reuse", n_in, cur.len());
     }
     if options.cross_set_reuse && options.strategy == Strategy::ValueCentric {
+        let _s = obs::span("opt.cross_set_reuse");
+        let n_in = cur.len();
         cur = eliminate_cross_set_reuse(&cur)?;
+        opt_pass_event("cross_set_reuse", n_in, cur.len());
     }
     if options.unique_sender {
+        let _s = obs::span("opt.unique_sender");
+        let n_in = cur.len();
         let mut next = Vec::new();
         for cs in &cur {
             next.extend(unique_sender(cs)?);
         }
         cur = next;
+        opt_pass_event("unique_sender", n_in, cur.len());
     }
     if options.self_reuse {
         // §6.1.3 / §7 — deliver each value once per *physical* processor:
         // restrict receivers to the first-use virtual on each physical
         // coordinate. Also keeps message enumeration proportional to
         // physical (not virtual) receiver counts.
+        let _s = obs::span("opt.fold_receivers");
+        let n_in = cur.len();
         let extents = input.grid.extents().to_vec();
         let mut next = Vec::new();
         for cs in &cur {
@@ -317,8 +396,11 @@ fn optimize_sets(
             }
         }
         cur = next;
+        opt_pass_event("fold_receivers", n_in, cur.len());
     }
     if options.already_local {
+        let _s = obs::span("opt.already_local");
+        let n_in = cur.len();
         let mut next = Vec::new();
         for cs in cur {
             // Valid only for initial-owner (live-in) data: owning a copy of
@@ -340,6 +422,7 @@ fn optimize_sets(
             }
         }
         cur = next;
+        opt_pass_event("already_local", n_in, cur.len());
     }
     Ok(cur)
 }
@@ -567,6 +650,12 @@ pub fn build_schedule(
     values: bool,
     limit: usize,
 ) -> Result<Schedule, CompileError> {
+    // Scope the engine knobs here too: scheduling re-enters the polyhedral
+    // engine (enumeration, multicast checks), and `compile`'s guard has
+    // already restored the caller's settings by now.
+    let _lane = obs::lane(obs::main_lane(), "pipeline");
+    let _knobs = compiled.options.apply_tuning_scoped();
+    let _span = obs::span_f("schedule", || vec![obs::field("values", values)]);
     // Legality-refinement loop: build at the paper's aggregation level;
     // when the dry run deadlocks (batching across carrying-loop iterations
     // created a wait cycle), split messages one send-iteration component
@@ -582,6 +671,7 @@ pub fn build_schedule(
     // retries; disabled, every attempt re-enumerates (the original
     // behavior).
     let hoisted: Option<Vec<Vec<Message>>> = if compiled.options.poly_fast_paths {
+        let _s = obs::span_f("aggregate", || vec![obs::field("sets", compiled.comm.len())]);
         Some(
             compiled
                 .comm
@@ -594,6 +684,7 @@ pub fn build_schedule(
     };
     let mut last_err = None;
     for extra in 0..=max_depth {
+        let _attempt = obs::span_f("schedule.attempt", || vec![obs::field("extra_split", extra)]);
         let schedule =
             build_schedule_at(compiled, param_vals, values, limit, extra, hoisted.as_deref())?;
         // Cheap deadlock dry-run (timing semantics on the same schedule).
@@ -616,6 +707,7 @@ pub fn build_schedule(
         ) {
             Ok(_) => return Ok(schedule),
             Err(SimError::Deadlock { .. }) if extra < max_depth => {
+                obs::event("schedule.retry", vec![obs::field("extra_split", extra)]);
                 last_err = Some(SimError::Deadlock { blocked: vec![] });
                 continue;
             }
@@ -668,6 +760,28 @@ fn build_schedule_at(
         let groups = planned_messages(compiled, cs, raw, extra_split)?;
         for g in groups {
             let msg_id = schedule.messages.len();
+            // Provenance: which (statement, read) created this message and
+            // which §6 passes its communication set survived.
+            obs::event_f("prov.message", || {
+                vec![
+                    obs::field("msg", msg_id),
+                    obs::field("array", cs.array.as_str()),
+                    obs::field("stmt", cs.read_stmt),
+                    obs::field("read", cs.read_no),
+                    obs::field("sender", g.sender),
+                    obs::field(
+                        "receivers",
+                        g.receivers
+                            .iter()
+                            .map(|r| r.to_string())
+                            .collect::<Vec<_>>()
+                            .join(", "),
+                    ),
+                    obs::field("nrecv", g.receivers.len()),
+                    obs::field("words", g.words),
+                    obs::field("steps", cs.steps.join("+")),
+                ]
+            });
             let payload = values.then(|| {
                 g.items
                     .iter()
@@ -887,6 +1001,7 @@ pub fn run(
     values: bool,
     limit: usize,
 ) -> Result<SimResult, CompileError> {
+    let _lane = obs::lane(obs::main_lane(), "pipeline");
     let schedule = build_schedule(compiled, param_vals, values, limit)?;
     let params: HashMap<String, i128> = compiled
         .input

@@ -1,0 +1,143 @@
+//! The pipeline's scoped engine tuning: `compile` and `build_schedule`
+//! push their `Options` knobs into the process-wide polyhedral engine for
+//! their own duration only, restoring the surrounding values on every exit
+//! path — so two compiles with different tunings can interleave in one
+//! process without contaminating each other.
+//!
+//! The knobs are process-wide, so every test here serializes on one mutex.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Mutex;
+
+use dmc_core::{build_schedule, compile, CompileInput, Options};
+use dmc_decomp::{CompDecomp, ProcGrid};
+use dmc_polyhedra::{cache, stats};
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// Figure 2's pipeline kernel (one statement, one read).
+fn figure2_input(block: i128, nproc: i128) -> CompileInput {
+    let program = dmc_ir::parse(
+        "param T, N; array X[N + 1];
+         for t = 0 to T { for i = 3 to N { X[i] = X[i - 3]; } }",
+    )
+    .expect("parses");
+    let mut comps = BTreeMap::new();
+    comps.insert(0, CompDecomp::block_1d(0, "i", block));
+    CompileInput { program, comps, initial: HashMap::new(), grid: ProcGrid::line(nproc) }
+}
+
+/// A two-statement, three-read kernel so the analysis fan-out has several
+/// independent jobs.
+fn xy_input(nproc: i128) -> CompileInput {
+    let program = dmc_ir::parse(
+        "param N; array X[N + 2]; array Y[N + 2];
+         for i = 0 to N {
+           X[i] = 1.5;
+           for j = 1 to N {
+             Y[j] = Y[j] + X[j - 1];
+           }
+         }",
+    )
+    .expect("parses");
+    let mut comps = BTreeMap::new();
+    comps.insert(0, CompDecomp::block_1d(0, "i", 4));
+    comps.insert(1, CompDecomp::block_1d(1, "j", 4));
+    CompileInput { program, comps, initial: HashMap::new(), grid: ProcGrid::line(nproc) }
+}
+
+/// Two compiles with different tunings, interleaved with schedule builds:
+/// after every pipeline entry the ambient knob values are back, and each
+/// compile still produces its normal output.
+#[test]
+fn interleaved_compiles_restore_ambient_knobs() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let _restore = stats::KnobGuard::capture();
+    // Ambient settings unlike either compile's.
+    stats::set_feasibility_budget(777);
+    stats::set_cache_enabled(false);
+    stats::set_prefilters_enabled(false);
+
+    let a = Options { feasibility_budget: 5_000, poly_fast_paths: true, ..Options::full() };
+    let b = Options { feasibility_budget: 1_234, poly_fast_paths: true, threads: 2, ..Options::full() };
+
+    let ca = compile(figure2_input(32, 4), a).expect("compiles");
+    assert_eq!(stats::feasibility_budget(), 777, "compile A must restore the budget");
+    assert!(!stats::cache_enabled(), "compile A must restore the cache switch");
+
+    let cb = compile(xy_input(4), b).expect("compiles");
+    assert_eq!(stats::feasibility_budget(), 777, "compile B must restore the budget");
+    assert!(!stats::prefilters_enabled(), "compile B must restore the pre-filter switch");
+
+    // build_schedule scopes its own tuning too (compile's guard is long
+    // gone by now).
+    let sa = build_schedule(&ca, &[3, 63], false, 1_000_000).expect("schedules");
+    assert!(!sa.messages.is_empty());
+    assert_eq!(stats::feasibility_budget(), 777, "build_schedule must restore the budget");
+    let sb = build_schedule(&cb, &[15], false, 1_000_000).expect("schedules");
+    assert!(!sb.messages.is_empty());
+    assert!(!stats::cache_enabled(), "build_schedule must restore the cache switch");
+}
+
+/// Nested scoped tunings unwind in order: the inner scope restores the
+/// outer compile's knobs, not the process defaults.
+#[test]
+fn nested_scoped_tunings_unwind_in_order() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let _restore = stats::KnobGuard::capture();
+    stats::set_feasibility_budget(111);
+
+    let outer = Options { feasibility_budget: 222, ..Options::full() };
+    let inner = Options { feasibility_budget: 333, poly_fast_paths: false, ..Options::full() };
+
+    let g_outer = outer.apply_tuning_scoped();
+    assert_eq!(stats::feasibility_budget(), 222);
+    {
+        let _g_inner = inner.apply_tuning_scoped();
+        assert_eq!(stats::feasibility_budget(), 333);
+        assert!(!stats::cache_enabled());
+    }
+    assert_eq!(stats::feasibility_budget(), 222, "inner scope restores the outer tuning");
+    assert!(stats::cache_enabled());
+    drop(g_outer);
+    assert_eq!(stats::feasibility_budget(), 111, "outer scope restores the ambient value");
+}
+
+/// `PolyStats::since` snapshot diffs observe the work of `compile`'s
+/// worker threads: the counters are process-global, so the parent's diff
+/// covers the whole fan-out — and with the fast paths off (no caches, no
+/// pre-filters) the counted work is *identical* for every worker count.
+#[test]
+fn threaded_fanout_counters_land_in_parent_diff() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let _restore = stats::KnobGuard::capture();
+
+    let opts = |threads| Options { threads, poly_fast_paths: false, ..Options::full() };
+
+    cache::clear_thread_caches();
+    let before = stats::snapshot();
+    let seq = compile(xy_input(4), opts(1)).expect("compiles");
+    let d_seq = stats::snapshot().since(&before);
+    assert!(d_seq.fm_steps > 0, "analysis must project: {d_seq:?}");
+    assert!(d_seq.feasibility_calls > 0, "analysis must test feasibility: {d_seq:?}");
+
+    cache::clear_thread_caches();
+    let before = stats::snapshot();
+    let par = compile(xy_input(4), opts(4)).expect("compiles");
+    let d_par = stats::snapshot().since(&before);
+
+    let shape = |c: &dmc_core::Compiled| -> Vec<(String, usize, usize, Vec<&'static str>)> {
+        c.comm
+            .iter()
+            .map(|cs| (cs.array.clone(), cs.read_stmt, cs.read_no, cs.steps.clone()))
+            .collect()
+    };
+    assert_eq!(shape(&seq), shape(&par), "fan-out must not change the communication sets");
+    let s_seq = build_schedule(&seq, &[15], false, 1_000_000).expect("schedules");
+    let s_par = build_schedule(&par, &[15], false, 1_000_000).expect("schedules");
+    assert_eq!(s_seq, s_par, "fan-out must not change the schedule");
+    assert_eq!(
+        d_seq, d_par,
+        "with caches and pre-filters off, worker threads do exactly the sequential work"
+    );
+}

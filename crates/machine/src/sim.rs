@@ -19,6 +19,8 @@ use dmc_decomp::{DataDecomp, ProcGrid};
 use dmc_ir::interp::{default_init, eval_intrinsic, Memory};
 use dmc_ir::{Aff, ArrayRef, BinOp, Program, ScalarExpr, StmtInfo};
 
+use dmc_obs as obs;
+
 use crate::config::MachineConfig;
 use crate::schedule::{stamp_of, Action, Schedule, Stamp};
 use crate::stats::SimStats;
@@ -124,6 +126,13 @@ pub fn simulate(
     values: bool,
 ) -> Result<SimResult, SimError> {
     let nproc = grid.len() as usize;
+    let _span = obs::span_f("simulate", || {
+        vec![
+            obs::field("values", values),
+            obs::field("procs", nproc),
+            obs::field("planned_messages", schedule.messages.len()),
+        ]
+    });
     if schedule.procs.len() != nproc {
         return Err(SimError::MalformedSchedule(format!(
             "schedule has {} processors, grid has {nproc}",
@@ -294,6 +303,18 @@ pub fn simulate(
     } else {
         None
     };
+    // Simulated (not wall-clock) quantities: deterministic for a given
+    // schedule, so the event is part of the trace's deterministic view.
+    obs::event_f("simulate.done", || {
+        vec![
+            obs::field("values", values),
+            obs::field("time", stats.time),
+            obs::field("flops", stats.flops),
+            obs::field("messages", stats.messages),
+            obs::field("transmissions", stats.transmissions),
+            obs::field("words", stats.words),
+        ]
+    });
     Ok(SimResult { stats, memory })
 }
 

@@ -1,0 +1,202 @@
+//! Chrome `trace_events` export and validation.
+//!
+//! The exporter maps each lane to one display thread (`tid`), so the
+//! per-lane record order — which is deterministic — is exactly what
+//! `chrome://tracing` / Perfetto render as nested spans. Timestamps are
+//! microseconds relative to the capture start.
+
+use crate::json::{self, Json};
+use crate::trace::{Phase, Trace};
+
+/// Renders a trace as a Chrome `trace_events` JSON document.
+pub fn chrome_trace(trace: &Trace) -> String {
+    let mut out = String::from("{\"traceEvents\": [\n");
+    let mut first = true;
+    let mut push = |line: String, first: &mut bool| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+        out.push_str("  ");
+        out.push_str(&line);
+    };
+    for (tid, lane) in trace.lanes.iter().enumerate() {
+        push(
+            format!(
+                "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": {tid}, \
+                 \"args\": {{\"name\": {}}}}}",
+                json::quote(&lane.label)
+            ),
+            &mut first,
+        );
+    }
+    for (tid, lane) in trace.lanes.iter().enumerate() {
+        for r in &lane.records {
+            let ph = match r.phase {
+                Phase::Begin => "B",
+                Phase::End => "E",
+                Phase::Instant => "i",
+            };
+            let mut args: Vec<String> = r
+                .fields
+                .iter()
+                .map(|(k, v)| format!("{}: {}", json::quote(k), v.to_json()))
+                .collect();
+            if !r.det {
+                args.push("\"det\": false".to_owned());
+            }
+            let scope = if r.phase == Phase::Instant { ", \"s\": \"t\"" } else { "" };
+            push(
+                format!(
+                    "{{\"name\": {}, \"cat\": \"dmc\", \"ph\": \"{ph}\", \"ts\": {:.3}, \
+                     \"pid\": 1, \"tid\": {tid}{scope}, \"args\": {{{}}}}}",
+                    json::quote(r.name),
+                    r.ts_ns as f64 / 1e3,
+                    args.join(", ")
+                ),
+                &mut first,
+            );
+        }
+    }
+    out.push_str("\n], \"displayTimeUnit\": \"ms\"}\n");
+    out
+}
+
+/// Summary of a validated Chrome trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceCheck {
+    /// Display threads (lanes) seen.
+    pub lanes: usize,
+    /// Completed begin/end span pairs.
+    pub spans: usize,
+    /// Instant events.
+    pub events: usize,
+}
+
+/// Re-parses a Chrome `trace_events` document and checks it is
+/// well-formed: valid JSON, a `traceEvents` array, every begin matched by
+/// an end of the same name in stack order per display thread, and
+/// timestamps monotonically non-decreasing per display thread.
+///
+/// # Errors
+///
+/// Returns a description of the first malformation found.
+pub fn validate_chrome(doc: &str) -> Result<TraceCheck, String> {
+    let root = json::parse(doc)?;
+    let events = match root.get("traceEvents") {
+        Some(Json::Arr(events)) => events,
+        _ => return Err("missing traceEvents array".to_owned()),
+    };
+    let mut check = TraceCheck::default();
+    // Per-tid open-span stack and last timestamp.
+    let mut stacks: std::collections::BTreeMap<i64, (Vec<String>, f64)> =
+        std::collections::BTreeMap::new();
+    for (i, ev) in events.iter().enumerate() {
+        let name = ev
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing name"))?;
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        if ph == "M" {
+            check.lanes += 1;
+            continue;
+        }
+        let tid = ev
+            .get("tid")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("event {i}: missing tid"))? as i64;
+        let ts = ev
+            .get("ts")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("event {i}: missing ts"))?;
+        let (stack, last_ts) = stacks.entry(tid).or_insert_with(|| (Vec::new(), f64::MIN));
+        if ts < *last_ts {
+            return Err(format!(
+                "event {i} ({name}): timestamp {ts} goes backwards on tid {tid} (last {last_ts})"
+            ));
+        }
+        *last_ts = ts;
+        match ph {
+            "B" => stack.push(name.to_owned()),
+            "E" => match stack.pop() {
+                Some(open) if open == name => check.spans += 1,
+                Some(open) => {
+                    return Err(format!(
+                        "event {i}: end of '{name}' but '{open}' is open on tid {tid}"
+                    ))
+                }
+                None => {
+                    return Err(format!("event {i}: end of '{name}' with no open span on tid {tid}"))
+                }
+            },
+            "i" => check.events += 1,
+            other => return Err(format!("event {i}: unsupported phase '{other}'")),
+        }
+    }
+    for (tid, (stack, _)) in &stacks {
+        if !stack.is_empty() {
+            return Err(format!("tid {tid}: unclosed spans at end of trace: {stack:?}"));
+        }
+    }
+    Ok(check)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{LaneRecords, Record, Value};
+
+    fn rec(phase: Phase, name: &'static str, ts_ns: u64) -> Record {
+        Record { phase, name, ts_ns, det: true, fields: Vec::new() }
+    }
+
+    #[test]
+    fn export_and_validate() {
+        let trace = Trace {
+            lanes: vec![LaneRecords {
+                key: vec![0],
+                label: "main \"quoted\"".to_owned(),
+                records: vec![
+                    rec(Phase::Begin, "compile", 100),
+                    Record {
+                        phase: Phase::Instant,
+                        name: "prov.message",
+                        ts_ns: 150,
+                        det: true,
+                        fields: vec![("array", Value::Str("X".to_owned())), ("words", Value::UInt(3))],
+                    },
+                    rec(Phase::End, "compile", 900),
+                ],
+            }],
+        };
+        let doc = chrome_trace(&trace);
+        let check = validate_chrome(&doc).expect("valid");
+        assert_eq!(check, TraceCheck { lanes: 1, spans: 1, events: 1 });
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(validate_chrome("not json").is_err());
+        assert!(validate_chrome("{\"traceEvents\": 3}").is_err());
+        // Unbalanced: begin with no end.
+        let doc = r#"{"traceEvents": [
+          {"name": "a", "ph": "B", "ts": 1, "pid": 1, "tid": 0}
+        ]}"#;
+        assert!(validate_chrome(doc).unwrap_err().contains("unclosed"));
+        // Mismatched nesting.
+        let doc = r#"{"traceEvents": [
+          {"name": "a", "ph": "B", "ts": 1, "pid": 1, "tid": 0},
+          {"name": "b", "ph": "E", "ts": 2, "pid": 1, "tid": 0}
+        ]}"#;
+        assert!(validate_chrome(doc).unwrap_err().contains("'a' is open"));
+        // Backwards time.
+        let doc = r#"{"traceEvents": [
+          {"name": "a", "ph": "B", "ts": 5, "pid": 1, "tid": 0},
+          {"name": "a", "ph": "E", "ts": 2, "pid": 1, "tid": 0}
+        ]}"#;
+        assert!(validate_chrome(doc).unwrap_err().contains("backwards"));
+    }
+}

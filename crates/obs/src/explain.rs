@@ -1,0 +1,282 @@
+//! The message-provenance explain report: a human-readable rendering of
+//! the provenance events the pipeline emits — which read created each
+//! communication set, which §6 pass eliminated or merged what, and where
+//! every message of the final schedule came from.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::trace::{Phase, Record, Trace, Value};
+
+fn as_u64(v: Option<&Value>) -> Option<u64> {
+    match v {
+        Some(Value::UInt(x)) => Some(*x),
+        Some(Value::Int(x)) => u64::try_from(*x).ok(),
+        _ => None,
+    }
+}
+
+fn as_str<'a>(v: Option<&'a Value>) -> Option<&'a str> {
+    match v {
+        Some(Value::Str(s)) => Some(s),
+        _ => None,
+    }
+}
+
+#[derive(Default)]
+struct ReadInfo {
+    array: String,
+    access: String,
+    leaves: Option<u64>,
+    approximate: bool,
+    initial_sets: Option<u64>,
+    passes: Vec<(String, u64, u64)>,
+    eliminated: Vec<String>,
+}
+
+#[derive(Clone)]
+struct MsgInfo {
+    msg: u64,
+    array: String,
+    stmt: u64,
+    read: u64,
+    sender: u64,
+    receivers: String,
+    nrecv: u64,
+    words: u64,
+    steps: String,
+}
+
+/// Builds the explain report for one captured compilation.
+///
+/// Reads come from the per-read lane spans; messages come from the **last**
+/// schedule built in the capture (earlier `schedule` spans — e.g. the one
+/// inside `message_stats` — are superseded, and within a schedule only the
+/// final legality-refinement attempt's messages survive).
+pub fn explain_report(trace: &Trace, title: &str) -> String {
+    let mut reads: BTreeMap<(u64, u64), ReadInfo> = BTreeMap::new();
+    let mut messages: Vec<MsgInfo> = Vec::new();
+    let mut retries = 0u64;
+    let mut sim_done: Option<Vec<(&'static str, Value)>> = None;
+
+    for lane in &trace.lanes {
+        let is_read_lane = lane.key.first() == Some(&1);
+        let mut cur_read: Option<(u64, u64)> = None;
+        for r in &lane.records {
+            match (r.phase, r.name) {
+                (Phase::Begin, "read") if is_read_lane => {
+                    let stmt = as_u64(r.get("stmt")).unwrap_or(u64::MAX);
+                    let read = as_u64(r.get("read")).unwrap_or(u64::MAX);
+                    cur_read = Some((stmt, read));
+                    let info = reads.entry((stmt, read)).or_default();
+                    info.array = as_str(r.get("array")).unwrap_or("?").to_owned();
+                    info.access = as_str(r.get("access")).unwrap_or("?").to_owned();
+                }
+                (Phase::Instant, "lwt.done") => {
+                    if let Some(key) = cur_read {
+                        let info = reads.entry(key).or_default();
+                        info.leaves = as_u64(r.get("leaves"));
+                        info.approximate = r.get("approximate") == Some(&Value::Bool(true));
+                    }
+                }
+                (Phase::Instant, "commsets.done") => {
+                    if let Some(key) = cur_read {
+                        reads.entry(key).or_default().initial_sets = as_u64(r.get("sets"));
+                    }
+                }
+                (Phase::Instant, "opt.pass") => {
+                    if let Some(key) = cur_read {
+                        reads.entry(key).or_default().passes.push((
+                            as_str(r.get("pass")).unwrap_or("?").to_owned(),
+                            as_u64(r.get("sets_in")).unwrap_or(0),
+                            as_u64(r.get("sets_out")).unwrap_or(0),
+                        ));
+                    }
+                }
+                (Phase::Instant, "prov.eliminated") => {
+                    let stmt = as_u64(r.get("stmt")).unwrap_or(u64::MAX);
+                    let read = as_u64(r.get("read")).unwrap_or(u64::MAX);
+                    let pass = as_str(r.get("pass")).unwrap_or("?");
+                    let array = as_str(r.get("array")).unwrap_or("?");
+                    reads
+                        .entry((stmt, read))
+                        .or_default()
+                        .eliminated
+                        .push(format!("{array} set eliminated by {pass}"));
+                }
+                (Phase::Begin, "schedule") => {
+                    messages.clear();
+                    retries = 0;
+                }
+                (Phase::Begin, "schedule.attempt") => messages.clear(),
+                (Phase::Instant, "schedule.retry") => retries += 1,
+                (Phase::Instant, "prov.message") => messages.push(MsgInfo {
+                    msg: as_u64(r.get("msg")).unwrap_or(0),
+                    array: as_str(r.get("array")).unwrap_or("?").to_owned(),
+                    stmt: as_u64(r.get("stmt")).unwrap_or(u64::MAX),
+                    read: as_u64(r.get("read")).unwrap_or(u64::MAX),
+                    sender: as_u64(r.get("sender")).unwrap_or(0),
+                    receivers: as_str(r.get("receivers")).unwrap_or("?").to_owned(),
+                    nrecv: as_u64(r.get("nrecv")).unwrap_or(1),
+                    words: as_u64(r.get("words")).unwrap_or(0),
+                    steps: as_str(r.get("steps")).unwrap_or("").to_owned(),
+                }),
+                (Phase::Instant, "simulate.done") => sim_done = Some(r.fields.clone()),
+                _ => {}
+            }
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "# dmc explain — {title}\n");
+
+    let _ = writeln!(out, "## Reads analyzed");
+    if reads.is_empty() {
+        let _ = writeln!(out, "(no per-read records captured)");
+    }
+    for ((stmt, read), info) in &reads {
+        let lwt = match info.leaves {
+            Some(n) => format!(
+                "{n} LWT {}{}",
+                if n == 1 { "leaf" } else { "leaves" },
+                if info.approximate { " (approximate)" } else { "" }
+            ),
+            None => "owner tree".to_owned(),
+        };
+        let sets = info.initial_sets.map_or(String::new(), |n| format!(", {n} comm set(s)"));
+        let _ = writeln!(out, "- S{stmt} read#{read} `{}`: {lwt}{sets}", info.access);
+        for (pass, sets_in, sets_out) in &info.passes {
+            let _ = writeln!(out, "    - {pass}: {sets_in} -> {sets_out} set(s)");
+        }
+        for e in &info.eliminated {
+            let _ = writeln!(out, "    - {e}");
+        }
+    }
+
+    let _ = writeln!(out, "\n## Surviving messages (final schedule)");
+    if retries > 0 {
+        let _ = writeln!(
+            out,
+            "(aggregation legality: {retries} deadlock retr{} forced a deeper message split)",
+            if retries == 1 { "y" } else { "ies" }
+        );
+    }
+    if messages.is_empty() {
+        let _ = writeln!(out, "(no messages: the plan is fully local)");
+    }
+    for m in &messages {
+        let origin = reads
+            .get(&(m.stmt, m.read))
+            .map(|i| format!("`{}`", i.access))
+            .unwrap_or_else(|| m.array.clone());
+        let cast = if m.nrecv > 1 {
+            format!("multicast p{} -> [{}] ({} receivers)", m.sender, m.receivers, m.nrecv)
+        } else {
+            format!("p{} -> p{}", m.sender, m.receivers)
+        };
+        let steps = if m.steps.is_empty() {
+            String::new()
+        } else {
+            format!("; survived {}", m.steps.replace('+', ", "))
+        };
+        let _ = writeln!(
+            out,
+            "- m{}: {} {cast}, {} word(s) — {origin} read by S{}#{}{steps}",
+            m.msg, m.array, m.words, m.stmt, m.read
+        );
+    }
+
+    if let Some(fields) = &sim_done {
+        let _ = writeln!(out, "\n## Simulation");
+        let kv: Vec<String> =
+            fields.iter().map(|(k, v)| format!("{k} = {}", v.render())).collect();
+        let _ = writeln!(out, "{}", kv.join(", "));
+    }
+    out
+}
+
+/// Convenience used by tests: the records of every lane, flattened.
+#[allow(dead_code)]
+fn all_records(trace: &Trace) -> Vec<&Record> {
+    trace.lanes.iter().flat_map(|l| l.records.iter()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{field, LaneRecords};
+
+    fn rec(phase: Phase, name: &'static str, fields: Vec<(&'static str, Value)>) -> Record {
+        Record { phase, name, ts_ns: 0, det: true, fields }
+    }
+
+    #[test]
+    fn report_attributes_messages_to_reads() {
+        let trace = Trace {
+            lanes: vec![
+                LaneRecords {
+                    key: vec![0],
+                    label: "main".to_owned(),
+                    records: vec![
+                        rec(Phase::Begin, "schedule", vec![]),
+                        rec(Phase::Begin, "schedule.attempt", vec![field("extra_split", 0u64)]),
+                        rec(
+                            Phase::Instant,
+                            "prov.message",
+                            vec![
+                                field("msg", 0u64),
+                                field("array", "X"),
+                                field("stmt", 0u64),
+                                field("read", 0u64),
+                                field("sender", 1u64),
+                                field("receivers", "2"),
+                                field("nrecv", 1u64),
+                                field("words", 3u64),
+                                field("steps", "self_reuse+fold_receivers"),
+                            ],
+                        ),
+                        rec(Phase::End, "schedule.attempt", vec![]),
+                        rec(Phase::End, "schedule", vec![]),
+                    ],
+                },
+                LaneRecords {
+                    key: vec![1, 0, 0],
+                    label: "read 0/0".to_owned(),
+                    records: vec![
+                        rec(
+                            Phase::Begin,
+                            "read",
+                            vec![
+                                field("stmt", 0u64),
+                                field("read", 0u64),
+                                field("array", "X"),
+                                field("access", "X[i - 3]"),
+                            ],
+                        ),
+                        rec(
+                            Phase::Instant,
+                            "lwt.done",
+                            vec![field("leaves", 2u64), field("approximate", false)],
+                        ),
+                        rec(
+                            Phase::Instant,
+                            "prov.eliminated",
+                            vec![
+                                field("pass", "already_local"),
+                                field("array", "X"),
+                                field("stmt", 0u64),
+                                field("read", 0u64),
+                            ],
+                        ),
+                        rec(Phase::End, "read", vec![]),
+                    ],
+                },
+            ],
+        };
+        let report = explain_report(&trace, "unit");
+        assert!(report.contains("S0 read#0 `X[i - 3]`"), "{report}");
+        assert!(report.contains("m0: X p1 -> p2, 3 word(s)"), "{report}");
+        assert!(report.contains("survived self_reuse, fold_receivers"), "{report}");
+        assert!(report.contains("eliminated by already_local"), "{report}");
+    }
+}

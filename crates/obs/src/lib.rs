@@ -1,0 +1,52 @@
+//! # dmc-obs
+//!
+//! Zero-dependency structured tracing for the dmc compiler pipeline:
+//! span enter/exit with monotonic timestamps, typed instant events with
+//! key/value fields, per-thread record buffers merged deterministically,
+//! and a process-wide on/off switch so the overhead is a single relaxed
+//! atomic load when tracing is disabled.
+//!
+//! ## Lanes: determinism under the parallel fan-out
+//!
+//! Records are not ordered by wall-clock time — that would make a trace
+//! taken with `threads: 4` differ from one taken with `threads: 1`.
+//! Instead every record belongs to a **lane**, a logical ordering key
+//! (e.g. `main`, or `read/⟨stmt⟩/⟨read⟩` for one (statement, read)
+//! analysis job of the pipeline fan-out). Within a lane, records keep the
+//! order in which the owning code emitted them; lanes are merged sorted
+//! by key. Because each per-read job is sequential regardless of which
+//! worker thread runs it, the merged trace is identical for every worker
+//! count — only the timestamps move.
+//!
+//! Records carry a `det` flag: structural records (spans, provenance
+//! events) are deterministic and participate in
+//! [`Trace::deterministic_view`]; diagnostic records whose *presence*
+//! depends on scheduling or cache state (e.g. a feasibility-budget
+//! exhaustion that a warm memo cache would have skipped) are emitted with
+//! `det = false` and excluded from cross-configuration comparisons while
+//! still appearing in the exported Chrome trace.
+//!
+//! ## Sinks
+//!
+//! * [`chrome_trace`] — a Chrome `trace_events` JSON document loadable in
+//!   `chrome://tracing` or Perfetto; one display thread per lane.
+//!   [`validate_chrome`] re-parses a document and checks it is well-formed
+//!   JSON with balanced begin/end pairs and monotonic timestamps.
+//! * [`explain_report`] — a human-readable provenance report attributing
+//!   every surviving message to the read that created it and every
+//!   eliminated communication set to the §6 pass that removed it.
+
+#![warn(missing_docs)]
+
+mod chrome;
+mod explain;
+mod json;
+mod trace;
+
+pub use chrome::{chrome_trace, validate_chrome, TraceCheck};
+pub use explain::explain_report;
+pub use trace::{
+    enabled, event, event_f, event_nondet, field, finish_capture, lane, main_lane, read_lane,
+    span, span_f, start_capture, LaneGuard, LaneKey, LaneRecords, Phase, Record, SpanGuard,
+    Trace, Value,
+};

@@ -1,0 +1,535 @@
+//! The trace recorder: spans, instant events, lanes, per-thread buffers,
+//! and the deterministic merge (see the crate docs for the lane model).
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+const R: Ordering = Ordering::Relaxed;
+
+/// A typed field value attached to a record.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Signed integer.
+    Int(i128),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Floating point (simulated times, flop counts).
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Text.
+    Str(String),
+}
+
+impl Value {
+    /// Renders the value for the deterministic view and the explain
+    /// report (`{:?}` for floats: shortest round-trip form).
+    pub fn render(&self) -> String {
+        match self {
+            Value::Int(v) => v.to_string(),
+            Value::UInt(v) => v.to_string(),
+            Value::F64(v) => format!("{v:?}"),
+            Value::Bool(v) => v.to_string(),
+            Value::Str(v) => v.clone(),
+        }
+    }
+
+    /// The value as JSON (strings quoted and escaped).
+    pub fn to_json(&self) -> String {
+        match self {
+            Value::Str(v) => crate::json::quote(v),
+            Value::F64(v) if !v.is_finite() => crate::json::quote(&format!("{v}")),
+            other => other.render(),
+        }
+    }
+}
+
+impl From<i128> for Value {
+    fn from(v: i128) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::UInt(v as u64)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::UInt(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::UInt(v as u64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+/// Builds one key/value field.
+pub fn field(key: &'static str, value: impl Into<Value>) -> (&'static str, Value) {
+    (key, value.into())
+}
+
+/// What a record marks: span begin, span end, or an instant event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Span entry.
+    Begin,
+    /// Span exit.
+    End,
+    /// Instant event.
+    Instant,
+}
+
+/// One trace record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Record {
+    /// Begin / End / Instant.
+    pub phase: Phase,
+    /// Span or event name.
+    pub name: &'static str,
+    /// Nanoseconds since the capture started (monotonic clock).
+    pub ts_ns: u64,
+    /// Whether the record is part of the deterministic trace structure
+    /// (identical across worker counts and cache states). Diagnostic
+    /// records set this to `false` and are excluded from
+    /// [`Trace::deterministic_view`].
+    pub det: bool,
+    /// Key/value payload.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl Record {
+    /// Looks up a field by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+}
+
+/// A lane's ordering key. Lanes are merged in the natural order of their
+/// keys, independent of thread scheduling.
+pub type LaneKey = Vec<u64>;
+
+/// The main lane: top-level pipeline phases recorded by the thread that
+/// called [`compile`](https://docs.rs/dmc-core)/`build_schedule`/`run`.
+pub fn main_lane() -> LaneKey {
+    vec![0]
+}
+
+/// The lane of one (statement, read) analysis job of the pipeline
+/// fan-out, keyed by textual order so every worker count merges the same.
+pub fn read_lane(stmt_idx: usize, read_no: usize) -> LaneKey {
+    vec![1, stmt_idx as u64, read_no as u64]
+}
+
+/// Records emitted outside any lane scope (e.g. from a thread the
+/// pipeline does not manage). Kept, but at the very end of the merge.
+fn orphan_lane() -> LaneKey {
+    vec![u64::MAX]
+}
+
+/// One lane of a merged trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LaneRecords {
+    /// The ordering key.
+    pub key: LaneKey,
+    /// Human-readable label (Chrome thread name).
+    pub label: String,
+    /// Records in emission order.
+    pub records: Vec<Record>,
+}
+
+/// A finished capture: lanes sorted by key, each lane's records in the
+/// order its owning code emitted them.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Trace {
+    /// The merged lanes.
+    pub lanes: Vec<LaneRecords>,
+}
+
+impl Trace {
+    /// The deterministic skeleton of the trace: one rendered line per
+    /// deterministic record, timestamps stripped. Two captures of the
+    /// same compilation — regardless of worker count, memo-cache state,
+    /// or wall-clock speed — produce equal views.
+    pub fn deterministic_view(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for lane in &self.lanes {
+            for r in lane.records.iter().filter(|r| r.det) {
+                let fields: Vec<String> =
+                    r.fields.iter().map(|(k, v)| format!("{k}={}", v.render())).collect();
+                out.push(format!(
+                    "{}|{:?}|{}|{}",
+                    lane.label,
+                    r.phase,
+                    r.name,
+                    fields.join(",")
+                ));
+            }
+        }
+        out
+    }
+
+    /// Iterates `(lane, record)` over every lane in merge order.
+    pub fn records(&self) -> impl Iterator<Item = (&LaneRecords, &Record)> {
+        self.lanes.iter().flat_map(|l| l.records.iter().map(move |r| (l, r)))
+    }
+
+    /// Total number of records.
+    pub fn len(&self) -> usize {
+        self.lanes.iter().map(|l| l.records.len()).sum()
+    }
+
+    /// Whether the trace holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Global recorder state.
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static START_NS: AtomicU64 = AtomicU64::new(0);
+
+fn epoch() -> &'static Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now)
+}
+
+fn now_ns() -> u64 {
+    (epoch().elapsed().as_nanos() as u64).saturating_sub(START_NS.load(R))
+}
+
+type Store = BTreeMap<LaneKey, (String, Vec<Record>)>;
+
+fn store() -> &'static Mutex<Store> {
+    static STORE: OnceLock<Mutex<Store>> = OnceLock::new();
+    STORE.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+struct LaneBuf {
+    key: LaneKey,
+    label: String,
+    records: Vec<Record>,
+    /// Re-entry count: opening a lane scope whose key matches the current
+    /// top reuses the buffer instead of nesting, so one thread's records
+    /// for a lane always flush as a single in-order batch.
+    depth: usize,
+}
+
+thread_local! {
+    static LANES: RefCell<Vec<LaneBuf>> = const { RefCell::new(Vec::new()) };
+}
+
+fn flush(buf: LaneBuf) {
+    if buf.records.is_empty() {
+        return;
+    }
+    let mut store = store().lock().unwrap_or_else(|e| e.into_inner());
+    let entry = store.entry(buf.key).or_insert_with(|| (buf.label, Vec::new()));
+    entry.1.extend(buf.records);
+}
+
+fn emit(rec: Record) {
+    LANES.with(|l| {
+        let mut lanes = l.borrow_mut();
+        match lanes.last_mut() {
+            Some(top) => top.records.push(rec),
+            None => flush(LaneBuf {
+                key: orphan_lane(),
+                label: "untracked".to_owned(),
+                records: vec![rec],
+                depth: 0,
+            }),
+        }
+    });
+}
+
+/// Whether a capture is in progress. A single relaxed atomic load — the
+/// entire cost of the subsystem when tracing is off.
+pub fn enabled() -> bool {
+    ENABLED.load(R)
+}
+
+/// Starts a capture: clears the global store and re-anchors the clock.
+/// Captures are process-wide; callers that may run concurrently (tests)
+/// must serialize captures themselves.
+pub fn start_capture() {
+    let _ = epoch();
+    store().lock().unwrap_or_else(|e| e.into_inner()).clear();
+    START_NS.store(epoch().elapsed().as_nanos() as u64, R);
+    ENABLED.store(true, R);
+}
+
+/// Stops the capture and returns the merged trace. Buffers of lane scopes
+/// still open on the calling thread are drained in place (their guards
+/// then close over empty buffers).
+pub fn finish_capture() -> Trace {
+    ENABLED.store(false, R);
+    LANES.with(|l| {
+        for buf in l.borrow_mut().iter_mut() {
+            flush(LaneBuf {
+                key: buf.key.clone(),
+                label: buf.label.clone(),
+                records: std::mem::take(&mut buf.records),
+                depth: 0,
+            });
+        }
+    });
+    let mut map = store().lock().unwrap_or_else(|e| e.into_inner());
+    let lanes = std::mem::take(&mut *map)
+        .into_iter()
+        .map(|(key, (label, records))| LaneRecords { key, label, records })
+        .collect();
+    Trace { lanes }
+}
+
+/// Opens a lane scope on the current thread: records emitted until the
+/// guard drops belong to `key`. Re-opening the current top key reuses the
+/// buffer (see [`LaneKey`]); the buffer is flushed to the global store
+/// when the outermost guard for the key drops.
+pub fn lane(key: LaneKey, label: impl Into<String>) -> LaneGuard {
+    if !enabled() {
+        return LaneGuard { armed: false };
+    }
+    LANES.with(|l| {
+        let mut lanes = l.borrow_mut();
+        if let Some(top) = lanes.last_mut() {
+            if top.key == key {
+                top.depth += 1;
+                return;
+            }
+        }
+        lanes.push(LaneBuf { key, label: label.into(), records: Vec::new(), depth: 0 });
+    });
+    LaneGuard { armed: true }
+}
+
+/// Closes its lane scope on drop.
+pub struct LaneGuard {
+    armed: bool,
+}
+
+impl Drop for LaneGuard {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        LANES.with(|l| {
+            let mut lanes = l.borrow_mut();
+            if let Some(top) = lanes.last_mut() {
+                if top.depth > 0 {
+                    top.depth -= 1;
+                    return;
+                }
+            }
+            if let Some(buf) = lanes.pop() {
+                flush(buf);
+            }
+        });
+    }
+}
+
+/// Begins a span; the guard emits the matching end record on drop.
+pub fn span(name: &'static str) -> SpanGuard {
+    span_with(name, Vec::new())
+}
+
+/// Begins a span with fields, building them only when tracing is on.
+pub fn span_f(
+    name: &'static str,
+    fields: impl FnOnce() -> Vec<(&'static str, Value)>,
+) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { name, armed: false };
+    }
+    span_with(name, fields())
+}
+
+fn span_with(name: &'static str, fields: Vec<(&'static str, Value)>) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { name, armed: false };
+    }
+    emit(Record { phase: Phase::Begin, name, ts_ns: now_ns(), det: true, fields });
+    SpanGuard { name, armed: true }
+}
+
+/// Ends its span on drop (balanced even on early return or panic).
+pub struct SpanGuard {
+    name: &'static str,
+    armed: bool,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            emit(Record {
+                phase: Phase::End,
+                name: self.name,
+                ts_ns: now_ns(),
+                det: true,
+                fields: Vec::new(),
+            });
+        }
+    }
+}
+
+/// Emits a deterministic instant event.
+pub fn event(name: &'static str, fields: Vec<(&'static str, Value)>) {
+    if enabled() {
+        emit(Record { phase: Phase::Instant, name, ts_ns: now_ns(), det: true, fields });
+    }
+}
+
+/// Emits a deterministic instant event, building fields lazily.
+pub fn event_f(name: &'static str, fields: impl FnOnce() -> Vec<(&'static str, Value)>) {
+    if enabled() {
+        emit(Record { phase: Phase::Instant, name, ts_ns: now_ns(), det: true, fields: fields() });
+    }
+}
+
+/// Emits a diagnostic event whose presence may depend on scheduling or
+/// cache state; excluded from [`Trace::deterministic_view`].
+pub fn event_nondet(name: &'static str, fields: Vec<(&'static str, Value)>) {
+    if enabled() {
+        emit(Record { phase: Phase::Instant, name, ts_ns: now_ns(), det: false, fields });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Captures are process-wide; serialize the tests of this module.
+    static CAPTURE: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let _g = CAPTURE.lock().unwrap_or_else(|e| e.into_inner());
+        assert!(!enabled());
+        let _lane = lane(main_lane(), "main");
+        let _span = span("nothing");
+        event("nothing", vec![field("k", 1u64)]);
+        // No capture was started: nothing may have been recorded.
+        start_capture();
+        let t = finish_capture();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn lanes_merge_sorted_and_spans_balance() {
+        let _g = CAPTURE.lock().unwrap_or_else(|e| e.into_inner());
+        start_capture();
+        {
+            let _lane = lane(main_lane(), "main");
+            let _s = span_f("compile", || vec![field("jobs", 2u64)]);
+            {
+                let _rl = lane(read_lane(1, 0), "read 1/0");
+                let _rs = span("read");
+                event("prov.pass", vec![field("pass", "self_reuse")]);
+            }
+            {
+                let _rl = lane(read_lane(0, 0), "read 0/0");
+                let _rs = span("read");
+            }
+            event_nondet("compile.workers", vec![field("workers", 4u64)]);
+        }
+        let t = finish_capture();
+        // Lanes sorted by key: main [0] first, then read lanes in textual
+        // order regardless of emission order.
+        let labels: Vec<&str> = t.lanes.iter().map(|l| l.label.as_str()).collect();
+        assert_eq!(labels, vec!["main", "read 0/0", "read 1/0"]);
+        // Begin/End balance per lane.
+        for lane in &t.lanes {
+            let mut depth = 0i64;
+            for r in &lane.records {
+                match r.phase {
+                    Phase::Begin => depth += 1,
+                    Phase::End => depth -= 1,
+                    Phase::Instant => {}
+                }
+                assert!(depth >= 0, "unbalanced in {}", lane.label);
+            }
+            assert_eq!(depth, 0, "unbalanced in {}", lane.label);
+        }
+        // The nondet event is excluded from the deterministic view.
+        let view = t.deterministic_view();
+        assert!(view.iter().all(|l| !l.contains("compile.workers")), "{view:?}");
+        assert!(view.iter().any(|l| l.contains("pass=self_reuse")));
+    }
+
+    #[test]
+    fn same_key_lane_scopes_share_one_buffer() {
+        let _g = CAPTURE.lock().unwrap_or_else(|e| e.into_inner());
+        start_capture();
+        {
+            let _outer = lane(main_lane(), "main");
+            event("a", vec![]);
+            {
+                let _inner = lane(main_lane(), "main");
+                event("b", vec![]);
+            }
+            event("c", vec![]);
+        }
+        let t = finish_capture();
+        let names: Vec<&str> = t.lanes[0].records.iter().map(|r| r.name).collect();
+        assert_eq!(names, vec!["a", "b", "c"], "re-entry must preserve program order");
+    }
+
+    #[test]
+    fn worker_threads_merge_deterministically() {
+        let _g = CAPTURE.lock().unwrap_or_else(|e| e.into_inner());
+        let run = |workers: usize| {
+            start_capture();
+            {
+                let _lane = lane(main_lane(), "main");
+                let _s = span("compile");
+                let jobs: Vec<usize> = (0..6).collect();
+                if workers <= 1 {
+                    for &j in &jobs {
+                        let _rl = lane(read_lane(j, 0), format!("read {j}/0"));
+                        event("job", vec![field("j", j)]);
+                    }
+                } else {
+                    std::thread::scope(|scope| {
+                        for chunk in jobs.chunks(jobs.len().div_ceil(workers)) {
+                            scope.spawn(move || {
+                                for &j in chunk {
+                                    let _rl = lane(read_lane(j, 0), format!("read {j}/0"));
+                                    event("job", vec![field("j", j)]);
+                                }
+                            });
+                        }
+                    });
+                }
+            }
+            finish_capture().deterministic_view()
+        };
+        assert_eq!(run(1), run(3), "merged trace must not depend on worker count");
+    }
+}

@@ -13,8 +13,19 @@
 //! can tune the engine without threading parameters through every call
 //! site. Changing a knob bumps an internal epoch that invalidates the
 //! per-thread memo caches.
+//!
+//! Knob changes are meant to be scoped: [`KnobGuard::capture`] snapshots
+//! all three knobs and restores them on drop (panic-safe), so a compile
+//! that tunes the engine cannot leak its settings into the next one.
+//!
+//! When [`dmc_obs`] tracing is active, knob changes and feasibility-budget
+//! exhaustions are bridged into the trace as `poly.knob` (deterministic)
+//! and `poly.budget_exhausted` (diagnostic — a warm memo cache may skip
+//! the query entirely, so its presence is scheduling-dependent) events.
 
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+
+use dmc_obs as obs;
 
 const R: Ordering = Ordering::Relaxed;
 
@@ -145,6 +156,12 @@ pub(crate) fn count_feasibility_call() {
 }
 pub(crate) fn count_feasibility_unknown() {
     FEASIBILITY_UNKNOWN.fetch_add(1, R);
+    if obs::enabled() {
+        obs::event_nondet(
+            "poly.budget_exhausted",
+            vec![obs::field("budget", feasibility_budget())],
+        );
+    }
 }
 pub(crate) fn count_bnb_node() {
     BNB_NODES.fetch_add(1, R);
@@ -177,7 +194,8 @@ pub fn cache_enabled() -> bool {
 /// invalidates the per-thread caches.
 pub fn set_cache_enabled(on: bool) {
     if CACHE_ENABLED.swap(on, R) != on {
-        EPOCH.fetch_add(1, R);
+        let e = EPOCH.fetch_add(1, R) + 1;
+        knob_event("cache_enabled", u64::from(on), e);
     }
 }
 
@@ -191,7 +209,8 @@ pub fn prefilters_enabled() -> bool {
 /// `remove_redundant` answer records the setting it was computed under).
 pub fn set_prefilters_enabled(on: bool) {
     if PREFILTERS_ENABLED.swap(on, R) != on {
-        EPOCH.fetch_add(1, R);
+        let e = EPOCH.fetch_add(1, R) + 1;
+        knob_event("prefilters_enabled", u64::from(on), e);
     }
 }
 
@@ -205,13 +224,60 @@ pub fn feasibility_budget() -> u32 {
 /// Changing the budget invalidates the per-thread memo caches.
 pub fn set_feasibility_budget(budget: u32) {
     if FEAS_BUDGET.swap(budget, R) != budget {
-        EPOCH.fetch_add(1, R);
+        let e = EPOCH.fetch_add(1, R) + 1;
+        knob_event("feasibility_budget", u64::from(budget), e);
+    }
+}
+
+/// Bridges a knob change (and the cache-epoch bump it caused) into the
+/// trace. Knob changes happen at deterministic points — the scoped
+/// apply/restore of a pipeline entry — so the event is deterministic.
+fn knob_event(knob: &'static str, value: u64, epoch: u64) {
+    if obs::enabled() {
+        obs::event(
+            "poly.knob",
+            vec![
+                obs::field("knob", knob),
+                obs::field("value", value),
+                obs::field("epoch", epoch),
+            ],
+        );
     }
 }
 
 /// The cache-invalidation epoch (bumped whenever a knob changes).
 pub(crate) fn epoch() -> u64 {
     EPOCH.load(R)
+}
+
+/// RAII snapshot of the engine knobs (`feasibility_budget`,
+/// `cache_enabled`, `prefilters_enabled`): restores all three on drop,
+/// including during unwinding — a panicking or early-returning compile
+/// cannot leak its tuning into the next in-process compile.
+#[derive(Debug)]
+pub struct KnobGuard {
+    budget: u32,
+    cache: bool,
+    prefilters: bool,
+}
+
+impl KnobGuard {
+    /// Snapshots the current knob values.
+    pub fn capture() -> Self {
+        KnobGuard {
+            budget: feasibility_budget(),
+            cache: cache_enabled(),
+            prefilters: prefilters_enabled(),
+        }
+    }
+}
+
+impl Drop for KnobGuard {
+    fn drop(&mut self) {
+        set_feasibility_budget(self.budget);
+        set_cache_enabled(self.cache);
+        set_prefilters_enabled(self.prefilters);
+    }
 }
 
 #[cfg(test)]

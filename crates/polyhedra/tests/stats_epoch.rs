@@ -1,0 +1,99 @@
+//! Epoch-based memo-cache invalidation and knob-guard panic safety.
+//!
+//! The engine knobs and the cache epoch are process-wide, so every test in
+//! this file serializes on one mutex (other test binaries are separate
+//! processes and cannot interfere).
+
+use std::sync::Mutex;
+
+use dmc_polyhedra::{cache, stats, Constraint, DimKind, LinExpr, Polyhedron, Space};
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// A small feasible system: 0 <= x <= 3, x + y = 5, 0 <= y <= 9. Cheap to
+/// decide but nontrivial enough to go through the memo cache.
+fn sample() -> Polyhedron {
+    let mut p =
+        Polyhedron::universe(Space::from_dims([("x", DimKind::Index), ("y", DimKind::Index)]));
+    p.add(Constraint::ge(LinExpr::from_coeffs(vec![1, 0], 0)));
+    p.add(Constraint::ge(LinExpr::from_coeffs(vec![-1, 0], 3)));
+    p.add(Constraint::eq(LinExpr::from_coeffs(vec![1, 1], -5)));
+    p.add(Constraint::ge(LinExpr::from_coeffs(vec![0, 1], 0)));
+    p.add(Constraint::ge(LinExpr::from_coeffs(vec![0, -1], 9)));
+    p
+}
+
+/// A warm cache answers a repeated query out of memory; changing any knob
+/// mid-process bumps the epoch and the same query misses again.
+#[test]
+fn knob_change_invalidates_warm_cache_mid_process() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let _restore = stats::KnobGuard::capture();
+    stats::set_cache_enabled(true);
+    stats::set_prefilters_enabled(true);
+    stats::set_feasibility_budget(stats::DEFAULT_FEASIBILITY_BUDGET);
+    cache::clear_thread_caches();
+
+    let p = sample();
+    let before = stats::snapshot();
+    p.integer_feasibility().expect("feasibility");
+    let cold = stats::snapshot().since(&before);
+    assert!(cold.feas_cache_misses >= 1, "cold query must miss: {cold:?}");
+
+    let before = stats::snapshot();
+    p.integer_feasibility().expect("feasibility");
+    let warm = stats::snapshot().since(&before);
+    assert!(warm.feas_cache_hits >= 1, "repeated query must hit: {warm:?}");
+    assert_eq!(warm.feas_cache_misses, 0, "repeated query must not miss: {warm:?}");
+
+    // Any knob change invalidates: the budget here.
+    stats::set_feasibility_budget(stats::DEFAULT_FEASIBILITY_BUDGET + 1);
+    let before = stats::snapshot();
+    p.integer_feasibility().expect("feasibility");
+    let after_bump = stats::snapshot().since(&before);
+    assert!(
+        after_bump.feas_cache_misses >= 1,
+        "a knob change must invalidate the warm entry: {after_bump:?}"
+    );
+}
+
+/// Disabling the caches stops both hits and misses from accruing; the
+/// engine still answers (identically, per the parity tests elsewhere).
+#[test]
+fn disabled_cache_counts_nothing() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let _restore = stats::KnobGuard::capture();
+    stats::set_cache_enabled(false);
+    cache::clear_thread_caches();
+
+    let p = sample();
+    let before = stats::snapshot();
+    p.integer_feasibility().expect("feasibility");
+    p.integer_feasibility().expect("feasibility");
+    let d = stats::snapshot().since(&before);
+    assert_eq!(d.feas_cache_hits, 0, "{d:?}");
+    assert_eq!(d.feas_cache_misses, 0, "{d:?}");
+    assert!(d.feasibility_calls >= 2, "both queries ran for real: {d:?}");
+}
+
+/// `KnobGuard` restores every knob during unwinding, so a panicking
+/// compile cannot leak its tuning into the next in-process one.
+#[test]
+fn knob_guard_restores_on_panic() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let budget = stats::feasibility_budget();
+    let cache_on = stats::cache_enabled();
+    let prefilters_on = stats::prefilters_enabled();
+
+    let result = std::panic::catch_unwind(|| {
+        let _k = stats::KnobGuard::capture();
+        stats::set_feasibility_budget(7);
+        stats::set_cache_enabled(!cache_on);
+        stats::set_prefilters_enabled(!prefilters_on);
+        panic!("mid-compile failure");
+    });
+    assert!(result.is_err());
+    assert_eq!(stats::feasibility_budget(), budget, "budget restored across panic");
+    assert_eq!(stats::cache_enabled(), cache_on, "cache switch restored across panic");
+    assert_eq!(stats::prefilters_enabled(), prefilters_on, "prefilters restored across panic");
+}

@@ -14,6 +14,12 @@ export CARGO_NET_OFFLINE=true
 cargo build --release
 cargo test -q --workspace
 
+# Observability smoke: trace the stencil workload and validate the Chrome
+# export (well-formed JSON, balanced begin/end pairs, monotonic per-lane
+# timestamps) plus full message attribution in the explain report.
+cargo run --release -p dmc-bench --bin dmc-trace -- \
+    --workload stencil --out-dir target/trace-tier1 --check
+
 if [[ "${1:-}" == "--bench" ]]; then
     cargo run --release -p dmc-bench --bin perfstats
 fi

@@ -19,7 +19,9 @@
 //! * [`commgen`] — communication sets and the §6 optimizations;
 //! * [`codegen`] — SPMD loop nests, memory boxes, pretty printing (§5);
 //! * [`machine`] — the simulated iPSC/860 (§7);
-//! * [`core`] — the end-to-end compiler pipeline.
+//! * [`core`] — the end-to-end compiler pipeline;
+//! * [`obs`] — structured tracing, span profiling, and the provenance
+//!   explain layer (Chrome trace export, explain reports).
 //!
 //! ## One-screen tour
 //!
@@ -53,4 +55,5 @@ pub use dmc_dataflow as dataflow;
 pub use dmc_decomp as decomp;
 pub use dmc_ir as ir;
 pub use dmc_machine as machine;
+pub use dmc_obs as obs;
 pub use dmc_polyhedra as polyhedra;
