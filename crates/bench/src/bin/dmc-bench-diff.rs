@@ -1,0 +1,83 @@
+//! Bench regression gate: compares two `BENCH_pipeline.json` snapshots
+//! (and optionally two Prometheus metric exports) and exits nonzero when
+//! anything regressed beyond tolerance.
+//!
+//! ```sh
+//! cargo run --release -p dmc-bench --bin dmc-bench-diff -- \
+//!     BENCH_pipeline.json target/new/BENCH_pipeline.json --time-tol 0.15
+//! cargo run --release -p dmc-bench --bin dmc-bench-diff -- old.json new.json \
+//!     --metrics old.prom new.prom
+//! ```
+//!
+//! Correctness fields (message/transmission/word counts, simulated time,
+//! the `identical` flags) must match exactly; timing fields pass within
+//! `--time-tol` (relative, default 0.15); engine counters are not diffed.
+//! See [`dmc_bench::diff`] for the full policy.
+
+use std::process::ExitCode;
+
+use dmc_bench::diff::{diff_prom, diff_snapshots, Tolerances};
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut paths: Vec<String> = Vec::new();
+    let mut metrics: Option<(String, String)> = None;
+    let mut tol = Tolerances::default();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--time-tol" => {
+                tol.time_rel = args
+                    .next()
+                    .expect("--time-tol needs a ratio")
+                    .parse()
+                    .expect("--time-tol: not a number")
+            }
+            "--gauge-tol" => {
+                tol.gauge_rel = args
+                    .next()
+                    .expect("--gauge-tol needs a ratio")
+                    .parse()
+                    .expect("--gauge-tol: not a number")
+            }
+            "--metrics" => {
+                let old = args.next().expect("--metrics needs OLD.prom NEW.prom");
+                let new = args.next().expect("--metrics needs OLD.prom NEW.prom");
+                metrics = Some((old, new));
+            }
+            other if !other.starts_with('-') => paths.push(other.to_owned()),
+            other => panic!(
+                "unknown argument: {other} \
+                 (usage: dmc-bench-diff OLD.json NEW.json [--time-tol R] \
+                 [--metrics OLD.prom NEW.prom] [--gauge-tol R])"
+            ),
+        }
+    }
+    assert!(paths.len() == 2, "need exactly OLD.json and NEW.json (got {})", paths.len());
+
+    let mut findings =
+        diff_snapshots(&read(&paths[0]), &read(&paths[1]), &tol).unwrap_or_else(|e| panic!("{e}"));
+    if let Some((old, new)) = &metrics {
+        findings
+            .extend(diff_prom(&read(old), &read(new), &tol).unwrap_or_else(|e| panic!("{e}")));
+    }
+
+    if findings.is_empty() {
+        println!(
+            "bench-diff ok: {} vs {} (time tolerance {:.0}%)",
+            paths[0],
+            paths[1],
+            tol.time_rel * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("bench-diff: {} regression(s):", findings.len());
+        for f in &findings {
+            eprintln!("  - {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

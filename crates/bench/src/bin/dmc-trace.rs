@@ -10,9 +10,12 @@
 //! ```
 //!
 //! `--check` validates each Chrome trace (well-formed JSON, balanced and
-//! name-matched begin/end pairs, monotonic per-lane timestamps) and
+//! name-matched begin/end pairs, monotonic per-lane timestamps),
 //! cross-checks that the explain report attributes exactly one surviving
-//! message per message of the final schedule.
+//! message per message of the final schedule, verifies the machine run
+//! produced one sim lane per simulated processor, and re-captures with
+//! `threads: 1` and `threads: 4` to confirm the deterministic view is
+//! byte-identical across worker counts.
 
 use std::path::PathBuf;
 
@@ -96,9 +99,30 @@ fn main() {
                 "{}: explain report attributes {attributed} messages, schedule has {n_messages}",
                 w.name
             );
+            let nproc = w.input.grid.len() as usize;
+            let sim_lanes =
+                trace.lanes.iter().filter(|l| l.key.first() == Some(&2)).count();
+            assert_eq!(
+                sim_lanes, nproc,
+                "{}: {sim_lanes} sim lane(s) for a {nproc}-processor grid",
+                w.name
+            );
+            // Worker-count independence: the deterministic views of a
+            // sequential and a 4-worker capture must be byte-identical
+            // (requests clamp to the host's parallelism, which never
+            // changes the merged structure).
+            let (t1, _) = capture(w, 1);
+            let (t4, _) = capture(w, 4);
+            assert_eq!(
+                t1.deterministic_view().join("\n"),
+                t4.deterministic_view().join("\n"),
+                "{}: deterministic view depends on the worker count",
+                w.name
+            );
             println!(
-                "{:<10} ok: {} lanes, {} spans, {} events; {} message(s) attributed",
-                w.name, c.lanes, c.spans, c.events, n_messages
+                "{:<10} ok: {} lanes ({} sim), {} spans, {} events; \
+                 {} message(s) attributed; det view worker-count independent",
+                w.name, c.lanes, sim_lanes, c.spans, c.events, n_messages
             );
         } else {
             println!(

@@ -78,8 +78,8 @@ fn stats_json(s: &PolyStats) -> String {
             "{{\"fm_steps\": {}, \"feasibility_calls\": {}, \"feasibility_unknown\": {}, ",
             "\"bnb_nodes\": {}, \"feas_cache_hits\": {}, \"feas_cache_misses\": {}, ",
             "\"proj_cache_hits\": {}, \"proj_cache_misses\": {}, \"redund_cache_hits\": {}, ",
-            "\"redund_cache_misses\": {}, \"negation_tests\": {}, \"prefilter_drops\": {}, ",
-            "\"prefilter_keeps\": {}}}"
+            "\"redund_cache_misses\": {}, \"cache_bypasses\": {}, \"negation_tests\": {}, ",
+            "\"prefilter_drops\": {}, \"prefilter_keeps\": {}}}"
         ),
         s.fm_steps,
         s.feasibility_calls,
@@ -91,6 +91,7 @@ fn stats_json(s: &PolyStats) -> String {
         s.proj_cache_misses,
         s.redund_cache_hits,
         s.redund_cache_misses,
+        s.cache_bypasses,
         s.negation_tests,
         s.prefilter_drops,
         s.prefilter_keeps,
@@ -172,15 +173,17 @@ fn main() {
     }
 
     // Thread fan-out: any worker count must reproduce the sequential
-    // schedule exactly. The sequential-vs-parallel *timing* comparison is
-    // only meaningful when the host actually has more than one CPU; on a
-    // single-CPU host extra workers are the same work plus scheduling
-    // noise, so the fan-out still runs (threads: 2) for the identity
-    // check, but the timing comparison is skipped and flagged.
+    // schedule exactly. Worker requests clamp to the host's available
+    // parallelism (`Options::effective_threads`), so `workers_used` never
+    // exceeds `available`; on a single-CPU host the request resolves to
+    // one worker and the sequential-vs-parallel *timing* comparison is
+    // skipped (it would measure scheduling noise, not speedup) while the
+    // identity check still runs.
     let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let w = &workloads()[0];
     let par_opts = Options { threads: if avail > 1 { 0 } else { 2 }, ..Options::full() };
     let workers_used = dmc_core::planned_workers(&w.input, &par_opts);
+    assert!(workers_used <= avail, "planned workers must respect the host");
     let seq = measure(w, Options { threads: 1, ..Options::full() });
     let par = measure(w, par_opts);
     let threads_identical = seq.schedule == par.schedule && seq.messages == par.messages;

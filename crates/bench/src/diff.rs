@@ -1,0 +1,340 @@
+//! Bench regression gate: field-by-field comparison of two
+//! `BENCH_pipeline.json` snapshots (and optionally two Prometheus metric
+//! exports) with per-field tolerances.
+//!
+//! Policy:
+//!
+//! - **Correctness fields are exact.** `messages`, `transmissions`,
+//!   `words` and `sim_time_s` come from a deterministic compiler +
+//!   simulator, so *any* change — better or worse — is a finding. The
+//!   `identical` / `all_identical` flags must stay `true`.
+//! - **Timing fields tolerate noise.** `compile_ms`, `schedule_ms`,
+//!   `total_ms` and `sequential_ms` only regress when the new value
+//!   exceeds the old by more than the relative tolerance; improvements
+//!   always pass.
+//! - **Engine counters are not diffed.** They shift with every legitimate
+//!   engine change and carry no regression signal of their own (the
+//!   correctness fields already pin the outputs).
+//! - The reported worker count must never exceed the host's available
+//!   parallelism (new snapshots only — that is an internal consistency
+//!   bug, not a comparison).
+
+use dmc_obs::json::{parse, Json};
+
+/// Per-field tolerances for [`diff_snapshots`] and [`diff_prom`].
+#[derive(Clone, Copy, Debug)]
+pub struct Tolerances {
+    /// Relative tolerance for timing fields: `new > old * (1 + time_rel)`
+    /// is a regression. Benchmark timings on shared hosts are noisy, so
+    /// gates that run on every commit should pass a generous value.
+    pub time_rel: f64,
+    /// Relative tolerance for gauge samples in a Prometheus diff.
+    /// Counters and histogram samples are always exact.
+    pub gauge_rel: f64,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Tolerances { time_rel: 0.15, gauge_rel: 1e-9 }
+    }
+}
+
+fn num(v: &Json, key: &str) -> Option<f64> {
+    v.get(key).and_then(Json::as_num)
+}
+
+fn is_true(v: &Json, key: &str) -> bool {
+    matches!(v.get(key), Some(Json::Bool(true)))
+}
+
+/// One mode's timing fields, compared with the relative tolerance.
+fn diff_timings(
+    findings: &mut Vec<String>,
+    ctx: &str,
+    old: &Json,
+    new: &Json,
+    tol: &Tolerances,
+) {
+    for field in ["compile_ms", "schedule_ms", "total_ms"] {
+        let (Some(o), Some(n)) = (num(old, field), num(new, field)) else {
+            findings.push(format!("{ctx}: missing timing field {field}"));
+            continue;
+        };
+        if n > o * (1.0 + tol.time_rel) {
+            findings.push(format!(
+                "{ctx}: {field} regressed {o:.3} ms -> {n:.3} ms \
+                 (+{:.1}%, tolerance {:.1}%)",
+                (n / o - 1.0) * 100.0,
+                tol.time_rel * 100.0
+            ));
+        }
+    }
+}
+
+/// Compares two `BENCH_pipeline.json` documents. Returns the list of
+/// regressions (empty = gate passes).
+///
+/// # Errors
+///
+/// Returns an error string when either document fails to parse or lacks
+/// the expected structure.
+pub fn diff_snapshots(
+    old_text: &str,
+    new_text: &str,
+    tol: &Tolerances,
+) -> Result<Vec<String>, String> {
+    let old = parse(old_text).map_err(|e| format!("old snapshot: {e}"))?;
+    let new = parse(new_text).map_err(|e| format!("new snapshot: {e}"))?;
+    let old_wl = old
+        .get("workloads")
+        .and_then(Json::as_arr)
+        .ok_or("old snapshot: no workloads array")?;
+    let new_wl = new
+        .get("workloads")
+        .and_then(Json::as_arr)
+        .ok_or("new snapshot: no workloads array")?;
+    let by_name = |set: &[Json], name: &str| -> Option<Json> {
+        set.iter().find(|w| w.get("name").and_then(Json::as_str) == Some(name)).cloned()
+    };
+
+    let mut findings = Vec::new();
+    for ow in old_wl {
+        let name = ow.get("name").and_then(Json::as_str).ok_or("workload without name")?;
+        let Some(nw) = by_name(new_wl, name) else {
+            findings.push(format!("{name}: workload missing from new snapshot"));
+            continue;
+        };
+        // Correctness: exact.
+        for field in ["messages", "transmissions", "words"] {
+            let (o, n) = (num(ow, field), num(&nw, field));
+            if o != n {
+                findings.push(format!(
+                    "{name}: {field} changed {:?} -> {:?} (must match exactly)",
+                    o, n
+                ));
+            }
+        }
+        match (num(ow, "sim_time_s"), num(&nw, "sim_time_s")) {
+            (Some(o), Some(n)) if (o - n).abs() > 1e-9 => findings.push(format!(
+                "{name}: sim_time_s changed {o:.6} -> {n:.6} (simulation is deterministic)"
+            )),
+            (Some(_), Some(_)) => {}
+            (o, n) => findings.push(format!("{name}: sim_time_s missing ({o:?} vs {n:?})")),
+        }
+        if !is_true(&nw, "identical") {
+            findings.push(format!("{name}: fast/baseline outputs no longer identical"));
+        }
+        // Timing: tolerant, per mode.
+        for mode in ["fast", "baseline"] {
+            match (ow.get(mode), nw.get(mode)) {
+                (Some(om), Some(nm)) => {
+                    diff_timings(&mut findings, &format!("{name}.{mode}"), om, nm, tol)
+                }
+                _ => findings.push(format!("{name}: missing {mode} section")),
+            }
+        }
+    }
+
+    if !is_true(&new, "all_identical") {
+        findings.push("all_identical is not true in new snapshot".to_owned());
+    }
+    if let Some(threads) = new.get("threads") {
+        if !is_true(threads, "identical") {
+            findings.push("threads: fan-out no longer reproduces sequential outputs".to_owned());
+        }
+        if let (Some(avail), Some(used)) =
+            (num(threads, "available"), num(threads, "workers_used"))
+        {
+            if used > avail {
+                findings.push(format!(
+                    "threads: workers_used {used} exceeds available parallelism {avail}"
+                ));
+            }
+        }
+        if let (Some(o), Some(n)) = (
+            old.get("threads").and_then(|t| num(t, "sequential_ms")),
+            num(threads, "sequential_ms"),
+        ) {
+            if n > o * (1.0 + tol.time_rel) {
+                findings.push(format!(
+                    "threads: sequential_ms regressed {o:.3} ms -> {n:.3} ms \
+                     (tolerance {:.1}%)",
+                    tol.time_rel * 100.0
+                ));
+            }
+        }
+    }
+    Ok(findings)
+}
+
+/// One parsed Prometheus sample: `(family, full sample name + labels,
+/// value)`.
+fn prom_samples(doc: &str) -> Result<(Vec<(String, String, f64)>, Vec<(String, String)>), String> {
+    let mut types: Vec<(String, String)> = Vec::new();
+    let mut samples = Vec::new();
+    for line in doc.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().ok_or("empty TYPE line")?.to_owned();
+            let kind = it.next().ok_or("TYPE line without kind")?.to_owned();
+            types.push((name, kind));
+            continue;
+        }
+        if line.starts_with('#') || line.trim().is_empty() {
+            continue;
+        }
+        let cut = line.rfind(' ').ok_or_else(|| format!("malformed sample: {line}"))?;
+        let (key, val) = (line[..cut].to_owned(), &line[cut + 1..]);
+        let value: f64 =
+            val.trim().parse().map_err(|_| format!("bad value in sample: {line}"))?;
+        let base = key.split('{').next().unwrap_or(&key);
+        // Histogram child samples belong to the family without the suffix.
+        let family = types
+            .iter()
+            .find(|(n, k)| {
+                k == "histogram"
+                    && (base == format!("{n}_bucket")
+                        || base == format!("{n}_count")
+                        || base == format!("{n}_sum"))
+            })
+            .map(|(n, _)| n.clone())
+            .unwrap_or_else(|| base.to_owned());
+        samples.push((family, key, value));
+    }
+    Ok((samples, types))
+}
+
+/// Compares two Prometheus text-format exports: counter and histogram
+/// samples must match exactly; gauges within `tol.gauge_rel`. Returns the
+/// list of differences (empty = gate passes).
+///
+/// # Errors
+///
+/// Returns an error string when either document is malformed (run them
+/// through [`dmc_obs::validate_prometheus`] first for precise diagnostics).
+pub fn diff_prom(old_text: &str, new_text: &str, tol: &Tolerances) -> Result<Vec<String>, String> {
+    let (old_samples, old_types) = prom_samples(old_text)?;
+    let (new_samples, _) = prom_samples(new_text)?;
+    let kind_of = |types: &[(String, String)], family: &str| -> String {
+        types
+            .iter()
+            .find(|(n, _)| n == family)
+            .map(|(_, k)| k.clone())
+            .unwrap_or_else(|| "untyped".to_owned())
+    };
+
+    let mut findings = Vec::new();
+    for (family, key, old_v) in &old_samples {
+        let Some((_, _, new_v)) = new_samples.iter().find(|(_, k, _)| k == key) else {
+            findings.push(format!("{key}: sample missing from new export"));
+            continue;
+        };
+        let kind = kind_of(&old_types, family);
+        let matches = if kind == "gauge" {
+            let scale = old_v.abs().max(new_v.abs()).max(f64::MIN_POSITIVE);
+            (old_v - new_v).abs() <= tol.gauge_rel * scale
+        } else {
+            old_v == new_v
+        };
+        if !matches {
+            findings.push(format!("{key}: {kind} changed {old_v} -> {new_v}"));
+        }
+    }
+    for (_, key, _) in &new_samples {
+        if !old_samples.iter().any(|(_, k, _)| k == key) {
+            findings.push(format!("{key}: sample not present in old export"));
+        }
+    }
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SNAP: &str = r#"{
+      "bench": "pipeline", "reps": 3,
+      "workloads": [
+        {"name": "w", "params": [4], "nproc": 2,
+         "fast": {"compile_ms": 2.0, "schedule_ms": 10.0, "total_ms": 12.0},
+         "baseline": {"compile_ms": 2.0, "schedule_ms": 15.0, "total_ms": 17.0},
+         "speedup": 1.4, "identical": true,
+         "messages": 5, "transmissions": 7, "words": 30, "sim_time_s": 0.001500}
+      ],
+      "threads": {"available": 4, "workers_used": 2, "sequential_ms": 12.0,
+                  "parallel_ms": null, "comparison": "measured", "identical": true},
+      "all_identical": true
+    }"#;
+
+    #[test]
+    fn self_diff_is_clean() {
+        let d = diff_snapshots(SNAP, SNAP, &Tolerances::default()).unwrap();
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn schedule_time_regression_is_caught_and_improvement_is_not() {
+        let worse = SNAP.replace("\"schedule_ms\": 10.0", "\"schedule_ms\": 12.0");
+        let d = diff_snapshots(SNAP, &worse, &Tolerances::default()).unwrap();
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].contains("schedule_ms regressed"), "{d:?}");
+
+        let better = SNAP.replace("\"schedule_ms\": 10.0", "\"schedule_ms\": 5.0");
+        let d = diff_snapshots(SNAP, &better, &Tolerances::default()).unwrap();
+        assert!(d.is_empty(), "improvements must pass: {d:?}");
+
+        let within = SNAP.replace("\"schedule_ms\": 10.0", "\"schedule_ms\": 11.0");
+        let d = diff_snapshots(SNAP, &within, &Tolerances::default()).unwrap();
+        assert!(d.is_empty(), "10% is inside the 15% default tolerance: {d:?}");
+    }
+
+    #[test]
+    fn correctness_fields_are_exact_both_directions() {
+        for (from, to) in
+            [("\"words\": 30", "\"words\": 29"), ("\"words\": 30", "\"words\": 31")]
+        {
+            let changed = SNAP.replace(from, to);
+            let d = diff_snapshots(SNAP, &changed, &Tolerances::default()).unwrap();
+            assert!(d.iter().any(|f| f.contains("words changed")), "{d:?}");
+        }
+        let changed = SNAP.replace("\"sim_time_s\": 0.001500", "\"sim_time_s\": 0.001501");
+        let d = diff_snapshots(SNAP, &changed, &Tolerances::default()).unwrap();
+        assert!(d.iter().any(|f| f.contains("sim_time_s changed")), "{d:?}");
+    }
+
+    #[test]
+    fn identity_flags_and_worker_overreport_are_findings() {
+        let broken = SNAP.replace("\"identical\": true,\n", "\"identical\": false,\n");
+        let d = diff_snapshots(SNAP, &broken, &Tolerances::default()).unwrap();
+        assert!(!d.is_empty(), "{d:?}");
+
+        let over = SNAP.replace("\"workers_used\": 2", "\"workers_used\": 9");
+        let d = diff_snapshots(SNAP, &over, &Tolerances::default()).unwrap();
+        assert!(d.iter().any(|f| f.contains("exceeds available parallelism")), "{d:?}");
+    }
+
+    #[test]
+    fn prom_diff_counters_exact_gauges_tolerant() {
+        let old = "# HELP m_total c.\n# TYPE m_total counter\nm_total 5\n\
+                   # HELP g v.\n# TYPE g gauge\ng 1.0\n";
+        let d = diff_prom(old, old, &Tolerances::default()).unwrap();
+        assert!(d.is_empty(), "{d:?}");
+
+        let counter_off = old.replace("m_total 5", "m_total 6");
+        let d = diff_prom(old, &counter_off, &Tolerances::default()).unwrap();
+        assert!(d.iter().any(|f| f.contains("counter changed")), "{d:?}");
+
+        let gauge_near = old.replace("g 1.0", "g 1.000000000001");
+        let tol = Tolerances { gauge_rel: 1e-9, ..Tolerances::default() };
+        let d = diff_prom(old, &gauge_near, &tol).unwrap();
+        assert!(d.is_empty(), "tiny gauge drift within tolerance: {d:?}");
+
+        let gauge_far = old.replace("g 1.0", "g 1.5");
+        let d = diff_prom(old, &gauge_far, &tol).unwrap();
+        assert!(d.iter().any(|f| f.contains("gauge changed")), "{d:?}");
+
+        let missing = "# HELP m_total c.\n# TYPE m_total counter\nm_total 5\n";
+        let d = diff_prom(old, missing, &Tolerances::default()).unwrap();
+        assert!(d.iter().any(|f| f.contains("missing from new export")), "{d:?}");
+    }
+}

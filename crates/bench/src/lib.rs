@@ -1,6 +1,10 @@
 //! Shared workload generators for the benchmark harness: the paper's
 //! programs (Figure 2, Figure 8, Figure 11 LU, the §2.2 motivating
-//! examples) with their decompositions, ready to compile and measure.
+//! examples) with their decompositions, ready to compile and measure —
+//! plus the regression gate ([`diff`]) that compares two benchmark
+//! snapshots with per-field tolerances.
+
+pub mod diff;
 
 use std::collections::{BTreeMap, HashMap};
 

@@ -1,0 +1,93 @@
+//! The bench regression gate end to end: the committed snapshot self-diffs
+//! clean through the `dmc-bench-diff` binary, and an injected 20%
+//! `schedule_ms` regression makes it exit nonzero.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn repo_root() -> PathBuf {
+    // crates/bench -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("repo root")
+}
+
+fn snapshot_path() -> PathBuf {
+    repo_root().join("BENCH_pipeline.json")
+}
+
+fn bench_diff(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_dmc-bench-diff")).args(args).output().expect("spawn")
+}
+
+#[test]
+fn committed_snapshot_self_diffs_clean() {
+    let snap = snapshot_path();
+    let snap = snap.to_str().expect("utf-8 path");
+    let out = bench_diff(&[snap, snap]);
+    assert!(
+        out.status.success(),
+        "self-diff must pass:\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn injected_schedule_regression_fails_the_gate() {
+    let original = std::fs::read_to_string(snapshot_path()).expect("read snapshot");
+    // Inflate the first schedule_ms by 20% — past the 15% default tolerance.
+    let needle = "\"schedule_ms\": ";
+    let at = original.find(needle).expect("snapshot has schedule_ms") + needle.len();
+    let end = at + original[at..].find(|c: char| !c.is_ascii_digit() && c != '.').expect("number");
+    let old: f64 = original[at..end].parse().expect("parse schedule_ms");
+    let regressed =
+        format!("{}{:.3}{}", &original[..at], old * 1.2, &original[end..]);
+
+    let dir = std::env::temp_dir().join("dmc-benchdiff-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let fixture = dir.join("BENCH_regressed.json");
+    std::fs::write(&fixture, regressed).expect("write fixture");
+
+    let snap = snapshot_path();
+    let out = bench_diff(&[snap.to_str().unwrap(), fixture.to_str().unwrap()]);
+    assert!(!out.status.success(), "a 20% schedule_ms regression must fail the gate");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("schedule_ms regressed"), "{stderr}");
+
+    // A wider tolerance waves the same fixture through.
+    let out = bench_diff(&[
+        snap.to_str().unwrap(),
+        fixture.to_str().unwrap(),
+        "--time-tol",
+        "0.5",
+    ]);
+    assert!(
+        out.status.success(),
+        "20% is inside a 50% tolerance:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn correctness_drift_fails_regardless_of_tolerance() {
+    let original = std::fs::read_to_string(snapshot_path()).expect("read snapshot");
+    let needle = "\"words\": ";
+    let at = original.find(needle).expect("snapshot has words") + needle.len();
+    let end = at + original[at..].find(|c: char| !c.is_ascii_digit()).expect("number");
+    let old: u64 = original[at..end].parse().expect("parse words");
+    let drifted = format!("{}{}{}", &original[..at], old + 1, &original[end..]);
+
+    let dir = std::env::temp_dir().join("dmc-benchdiff-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let fixture = dir.join("BENCH_drifted.json");
+    std::fs::write(&fixture, drifted).expect("write fixture");
+
+    let snap = snapshot_path();
+    let out = bench_diff(&[
+        snap.to_str().unwrap(),
+        fixture.to_str().unwrap(),
+        "--time-tol",
+        "100",
+    ]);
+    assert!(!out.status.success(), "message-count drift must fail at any time tolerance");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("words changed"));
+}

@@ -114,3 +114,48 @@ fn stencil_chrome_trace_is_well_formed() {
     // And each surviving line names the §6 passes the set survived.
     assert!(report.contains("survived"), "provenance steps missing:\n{report}");
 }
+
+/// The machine run materializes one sim lane per simulated processor —
+/// including idle ones — and they export as Chrome complete events on the
+/// simulated-machine process, leaving the trace well-formed.
+#[test]
+fn sim_lanes_cover_every_processor() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let input = stencil_input(16, 4);
+    let nproc = input.grid.len() as usize;
+    let (_, trace) = traced_outputs(&input, &[3, 63], Options::full());
+
+    let sim_lanes: Vec<_> =
+        trace.lanes.iter().filter(|l| l.key.first() == Some(&2)).collect();
+    assert_eq!(sim_lanes.len(), nproc, "one sim lane per simulated processor");
+    for lane in &sim_lanes {
+        assert!(
+            lane.records.iter().any(|r| r.name == "sim.proc"),
+            "{}: every processor reports its breakdown",
+            lane.label
+        );
+    }
+    // The legality dry-runs inside build_schedule are suppressed: only the
+    // machine run's send events appear, so each sim.send corresponds to a
+    // scheduled message of the final run.
+    let sends: usize = sim_lanes
+        .iter()
+        .map(|l| l.records.iter().filter(|r| r.name == "sim.send").count())
+        .sum();
+    let (schedule, _, _) = outputs(&input, &[3, 63], Options::full());
+    assert_eq!(sends, schedule.messages.len(), "one sim.send per scheduled message");
+
+    let doc = obs::chrome_trace(&trace);
+    let check = obs::validate_chrome(&doc).expect("valid Chrome trace with sim lanes");
+    assert!(check.lanes >= 2 + nproc, "compiler lanes plus {nproc} sim lanes: {check:?}");
+
+    // The explain report joins the telemetry into a machine view.
+    let report = obs::explain_report(&trace, "stencil");
+    assert!(report.contains("## Machine view"), "{report}");
+    let proc_rows = report
+        .lines()
+        .filter(|l| l.starts_with("- p") && l.contains(": compute "))
+        .count();
+    assert_eq!(proc_rows, nproc, "one machine-view row per processor:\n{report}");
+    assert!(report.contains("Top links by traffic:"), "{report}");
+}

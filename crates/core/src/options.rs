@@ -37,8 +37,10 @@ pub struct Options {
     pub multicast: bool,
     /// Worker threads for per-read analysis fan-out. `0` = use the
     /// machine's available parallelism; `1` = sequential (bit-for-bit the
-    /// single-threaded pipeline). Any value produces identical results —
-    /// per-read jobs are independent and merged in textual order.
+    /// single-threaded pipeline). Requests beyond the machine's available
+    /// parallelism are clamped — extra workers would only contend. Any
+    /// value produces identical results — per-read jobs are independent
+    /// and merged in textual order.
     pub threads: usize,
     /// Branch-and-bound budget for integer-feasibility queries in the
     /// polyhedral engine. Exhausting it yields a conservative `Unknown`
@@ -49,6 +51,12 @@ pub struct Options {
     /// pre-filters. Off reproduces the unmemoized engine exactly (the
     /// fast paths never change answers, only time).
     pub poly_fast_paths: bool,
+    /// Minimum constraint count for a polyhedron to be admitted to the
+    /// memo caches. Tiny systems are cheaper to re-solve than to hash and
+    /// look up, so queries below this size bypass the caches (counted as
+    /// `cache_bypasses` in [`dmc_polyhedra::PolyStats`]). `0` admits
+    /// everything. Only meaningful while `poly_fast_paths` is on.
+    pub cache_min_constraints: u32,
 }
 
 impl Default for Options {
@@ -64,6 +72,7 @@ impl Default for Options {
             threads: 0,
             feasibility_budget: dmc_polyhedra::stats::DEFAULT_FEASIBILITY_BUDGET,
             poly_fast_paths: true,
+            cache_min_constraints: dmc_polyhedra::stats::DEFAULT_CACHE_MIN_CONSTRAINTS,
         }
     }
 }
@@ -102,6 +111,7 @@ impl Options {
         dmc_polyhedra::stats::set_feasibility_budget(self.feasibility_budget);
         dmc_polyhedra::stats::set_cache_enabled(self.poly_fast_paths);
         dmc_polyhedra::stats::set_prefilters_enabled(self.poly_fast_paths);
+        dmc_polyhedra::stats::set_cache_min_constraints(self.cache_min_constraints);
     }
 
     /// Like [`Options::apply_tuning`], but returns an RAII guard that
@@ -117,13 +127,17 @@ impl Options {
         guard
     }
 
-    /// The concrete worker count `threads` resolves to (`0` → available
-    /// parallelism, minimum 1).
+    /// The concrete worker count `threads` resolves to: `0` → available
+    /// parallelism; explicit requests are clamped to the machine's
+    /// available parallelism (minimum 1), so reported worker counts never
+    /// exceed what the host can actually run.
     pub fn effective_threads(&self) -> usize {
-        if self.threads != 0 {
-            return self.threads;
+        let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        if self.threads == 0 {
+            avail
+        } else {
+            self.threads.min(avail)
         }
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     }
 }
 
@@ -144,8 +158,13 @@ mod tests {
         assert_eq!(d.threads, 0);
         assert!(d.poly_fast_paths);
         assert_eq!(d.feasibility_budget, dmc_polyhedra::stats::DEFAULT_FEASIBILITY_BUDGET);
+        assert_eq!(
+            d.cache_min_constraints,
+            dmc_polyhedra::stats::DEFAULT_CACHE_MIN_CONSTRAINTS
+        );
         assert!(d.effective_threads() >= 1);
-        assert_eq!(Options { threads: 3, ..d }.effective_threads(), 3);
+        let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        assert_eq!(Options { threads: 3, ..d }.effective_threads(), 3.min(avail));
         // naive() disables §6 optimizations but not the engine fast paths.
         assert!(Options::naive().poly_fast_paths);
 
@@ -159,5 +178,16 @@ mod tests {
             dmc_polyhedra::stats::feasibility_budget(),
             dmc_polyhedra::stats::DEFAULT_FEASIBILITY_BUDGET
         );
+    }
+
+    /// Asking for more workers than the host has must never over-report:
+    /// `effective_threads` caps at available parallelism.
+    #[test]
+    fn effective_threads_clamps_to_available_parallelism() {
+        let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let d = Options::default();
+        assert_eq!(d.effective_threads(), avail);
+        assert_eq!(Options { threads: 1, ..d }.effective_threads(), 1);
+        assert_eq!(Options { threads: avail + 64, ..d }.effective_threads(), avail);
     }
 }

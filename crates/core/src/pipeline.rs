@@ -696,15 +696,22 @@ pub fn build_schedule(
             .cloned()
             .zip(param_vals.iter().copied())
             .collect();
-        match simulate(
-            &compiled.input.program,
-            &params,
-            &compiled.input.grid,
-            &schedule,
-            &MachineConfig::zero_comm(),
-            &InitialPlacement::Replicated,
-            false,
-        ) {
+        // The dry run is a planning probe, not the machine run: mute
+        // tracing so its events never land in the per-processor sim lanes
+        // (they would interleave with — and de-monotonize — the real run).
+        let dry = {
+            let _mute = obs::suppress();
+            simulate(
+                &compiled.input.program,
+                &params,
+                &compiled.input.grid,
+                &schedule,
+                &MachineConfig::zero_comm(),
+                &InitialPlacement::Replicated,
+                false,
+            )
+        };
+        match dry {
             Ok(_) => return Ok(schedule),
             Err(SimError::Deadlock { .. }) if extra < max_depth => {
                 obs::event("schedule.retry", vec![obs::field("extra_split", extra)]);

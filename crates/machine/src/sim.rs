@@ -104,6 +104,8 @@ struct Proc {
 /// In-flight message instance (per receiver).
 struct InFlight {
     arrival: f64,
+    /// Sender clock when the send started; latency = completion − sent_at.
+    sent_at: f64,
     payload: Option<Vec<(String, Vec<i128>, f64, Stamp)>>,
     words: u64,
 }
@@ -161,6 +163,12 @@ pub fn simulate(
     let mut mail: HashMap<(usize, usize), InFlight> = HashMap::new();
     let mut stats = SimStats::new(nproc);
 
+    // Event recording: one obs lane per simulated processor, events
+    // stamped with *simulated* seconds (`t0`/`t1` fields). Captured once;
+    // a capture cannot start mid-simulation (the pipeline serializes
+    // captures), and dry-run simulations suppress recording entirely.
+    let record = obs::enabled();
+
     // Cooperative scheduling: run any processor whose next action can
     // complete; repeat until all are done or none can move.
     loop {
@@ -181,9 +189,23 @@ pub fn simulate(
                             run_block(program, params, info, prefix, *inner_range, p, &mut procs)?;
                         }
                         let dt = flops * config.flop_time;
+                        let t0 = procs[p].clock;
                         procs[p].clock += dt;
                         procs[p].compute_time += dt;
                         stats.flops += flops;
+                        if record {
+                            let _l = obs::lane(obs::sim_lane(p), format!("sim p{p}"));
+                            obs::event(
+                                "sim.compute",
+                                vec![
+                                    obs::field("proc", p),
+                                    obs::field("stmt", *stmt),
+                                    obs::field("flops", *flops),
+                                    obs::field("t0", t0),
+                                    obs::field("t1", procs[p].clock),
+                                ],
+                            );
+                        }
                     }
                     Action::Send { msg } => {
                         let spec = schedule
@@ -226,6 +248,7 @@ pub fn simulate(
                             }
                             _ => None,
                         };
+                        let t0 = procs[p].clock;
                         procs[p].clock += busy;
                         procs[p].comm_time += busy;
                         let arrival_base = procs[p].clock + config.wire_time(bytes);
@@ -239,24 +262,77 @@ pub fn simulate(
                                 (*msg, r),
                                 InFlight {
                                     arrival: arrival_base + k as f64 * 1e-9,
+                                    sent_at: t0,
                                     payload: payload.clone(),
                                     words: spec.words,
                                 },
                             );
+                            stats.traffic_words[p * nproc + r] += spec.words;
+                            stats.traffic_transmissions[p * nproc + r] += 1;
                         }
                         stats.messages += 1;
                         stats.transmissions += spec.receivers.len() as u64;
                         stats.words += spec.words * spec.receivers.len() as u64;
+                        stats.msg_words_hist.observe(spec.words);
+                        if record {
+                            let _l = obs::lane(obs::sim_lane(p), format!("sim p{p}"));
+                            obs::event(
+                                "sim.send",
+                                vec![
+                                    obs::field("proc", p),
+                                    obs::field("msg", *msg),
+                                    obs::field("words", spec.words),
+                                    obs::field("nrecv", spec.receivers.len()),
+                                    obs::field("t0", t0),
+                                    obs::field("t1", procs[p].clock),
+                                ],
+                            );
+                        }
                     }
                     Action::Recv { msg } => {
                         let Some(inflight) = mail.remove(&(*msg, p)) else {
                             // Blocked: try another processor.
                             break;
                         };
-                        let wait = (inflight.arrival - procs[p].clock).max(0.0);
+                        let t_block = procs[p].clock;
+                        let wait = (inflight.arrival - t_block).max(0.0);
                         procs[p].idle_time += wait;
                         procs[p].clock = procs[p].clock.max(inflight.arrival) + config.alpha_recv;
                         procs[p].comm_time += config.alpha_recv;
+                        let done = procs[p].clock;
+                        stats
+                            .latency_us_hist
+                            .observe(((done - inflight.sent_at) * 1e6).round() as u64);
+                        if record {
+                            let sender = schedule
+                                .messages
+                                .get(*msg)
+                                .map(|s| s.sender)
+                                .unwrap_or(usize::MAX);
+                            let _l = obs::lane(obs::sim_lane(p), format!("sim p{p}"));
+                            if wait > 0.0 {
+                                obs::event(
+                                    "sim.recv.wait",
+                                    vec![
+                                        obs::field("proc", p),
+                                        obs::field("msg", *msg),
+                                        obs::field("t0", t_block),
+                                        obs::field("t1", t_block + wait),
+                                    ],
+                                );
+                            }
+                            obs::event(
+                                "sim.recv",
+                                vec![
+                                    obs::field("proc", p),
+                                    obs::field("msg", *msg),
+                                    obs::field("from", sender),
+                                    obs::field("words", inflight.words),
+                                    obs::field("t0", done - config.alpha_recv),
+                                    obs::field("t1", done),
+                                ],
+                            );
+                        }
                         if let Some(items) = inflight.payload {
                             for (array, idx, v, stamp) in items {
                                 let slot = procs[p].store.entry((array, idx));
@@ -272,7 +348,6 @@ pub fn simulate(
                                 }
                             }
                         }
-                        let _ = inflight.words;
                     }
                 }
                 procs[p].next += 1;
@@ -297,6 +372,45 @@ pub fn simulate(
         stats.per_proc[p].finish = proc.clock;
     }
     stats.time = procs.iter().map(|p| p.clock).fold(0.0, f64::max);
+
+    if record {
+        // End-of-run summaries. One `sim.proc` per processor (also
+        // materializing a lane for processors that never acted, so the
+        // exported trace always has one display thread per processor),
+        // and one `sim.link` per non-zero link in the caller's lane.
+        for (p, proc) in procs.iter().enumerate() {
+            let _l = obs::lane(obs::sim_lane(p), format!("sim p{p}"));
+            obs::event(
+                "sim.proc",
+                vec![
+                    obs::field("proc", p),
+                    obs::field("compute", proc.compute_time),
+                    obs::field("comm", proc.comm_time),
+                    obs::field("idle", proc.idle_time),
+                    obs::field("t0", proc.clock),
+                ],
+            );
+        }
+        for src in 0..nproc {
+            for dst in 0..nproc {
+                let words = stats.traffic_words[src * nproc + dst];
+                if words > 0 {
+                    obs::event(
+                        "sim.link",
+                        vec![
+                            obs::field("src", src),
+                            obs::field("dst", dst),
+                            obs::field("words", words),
+                            obs::field(
+                                "transmissions",
+                                stats.traffic_transmissions[src * nproc + dst],
+                            ),
+                        ],
+                    );
+                }
+            }
+        }
+    }
 
     let memory = if values {
         Some(merge_memory(program, params, &procs)?)

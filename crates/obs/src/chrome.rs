@@ -2,11 +2,37 @@
 //!
 //! The exporter maps each lane to one display thread (`tid`), so the
 //! per-lane record order — which is deterministic — is exactly what
-//! `chrome://tracing` / Perfetto render as nested spans. Timestamps are
-//! microseconds relative to the capture start.
+//! `chrome://tracing` / Perfetto render as nested spans. Compiler lanes
+//! live on `pid 1` with wall-clock microseconds relative to the capture
+//! start. Simulator lanes ([`crate::sim_lane`]) live on `pid 2` — the
+//! "simulated machine" process — and their records carry *simulated*
+//! timestamps: a record with `t0`/`t1` float fields (seconds) becomes a
+//! Chrome complete event (`ph: "X"`) at `ts = t0·10⁶` with
+//! `dur = (t1−t0)·10⁶`, and a record with only `t0` an instant at that
+//! simulated time. One display thread per simulated processor gives a
+//! Gantt chart of the machine next to the compiler timeline.
 
 use crate::json::{self, Json};
-use crate::trace::{Phase, Trace};
+use crate::trace::{LaneRecords, Phase, Record, Trace, Value};
+
+/// Whether the lane holds a simulated processor's timeline.
+fn is_sim_lane(lane: &LaneRecords) -> bool {
+    lane.key.first() == Some(&2)
+}
+
+/// Simulated `(start, duration)` in microseconds, if the record carries
+/// sim-time fields (`t1` defaulting to `t0` for instants).
+fn sim_times_us(r: &Record) -> Option<(f64, f64)> {
+    let t0 = match r.get("t0") {
+        Some(Value::F64(v)) => *v,
+        _ => return None,
+    };
+    let t1 = match r.get("t1") {
+        Some(Value::F64(v)) => *v,
+        _ => t0,
+    };
+    Some((t0 * 1e6, (t1 - t0).max(0.0) * 1e6))
+}
 
 /// Renders a trace as a Chrome `trace_events` JSON document.
 pub fn chrome_trace(trace: &Trace) -> String {
@@ -20,10 +46,25 @@ pub fn chrome_trace(trace: &Trace) -> String {
         out.push_str("  ");
         out.push_str(&line);
     };
+    push(
+        "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, \
+         \"args\": {\"name\": \"dmc compiler\"}}"
+            .to_owned(),
+        &mut first,
+    );
+    if trace.lanes.iter().any(is_sim_lane) {
+        push(
+            "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 2, \"tid\": 0, \
+             \"args\": {\"name\": \"simulated machine\"}}"
+                .to_owned(),
+            &mut first,
+        );
+    }
     for (tid, lane) in trace.lanes.iter().enumerate() {
+        let pid = if is_sim_lane(lane) { 2 } else { 1 };
         push(
             format!(
-                "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": {tid}, \
+                "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": {pid}, \"tid\": {tid}, \
                  \"args\": {{\"name\": {}}}}}",
                 json::quote(&lane.label)
             ),
@@ -31,12 +72,8 @@ pub fn chrome_trace(trace: &Trace) -> String {
         );
     }
     for (tid, lane) in trace.lanes.iter().enumerate() {
+        let sim = is_sim_lane(lane);
         for r in &lane.records {
-            let ph = match r.phase {
-                Phase::Begin => "B",
-                Phase::End => "E",
-                Phase::Instant => "i",
-            };
             let mut args: Vec<String> = r
                 .fields
                 .iter()
@@ -45,6 +82,29 @@ pub fn chrome_trace(trace: &Trace) -> String {
             if !r.det {
                 args.push("\"det\": false".to_owned());
             }
+            if let Some((ts_us, dur_us)) = if sim { sim_times_us(r) } else { None } {
+                // Simulated-time record on the machine process.
+                let (ph, dur) = if r.phase == Phase::Instant && r.get("t1").is_none() {
+                    ("i", String::new())
+                } else {
+                    ("X", format!(", \"dur\": {dur_us:.3}"))
+                };
+                push(
+                    format!(
+                        "{{\"name\": {}, \"cat\": \"sim\", \"ph\": \"{ph}\", \"ts\": {ts_us:.3}\
+                         {dur}, \"pid\": 2, \"tid\": {tid}, \"args\": {{{}}}}}",
+                        json::quote(r.name),
+                        args.join(", ")
+                    ),
+                    &mut first,
+                );
+                continue;
+            }
+            let ph = match r.phase {
+                Phase::Begin => "B",
+                Phase::End => "E",
+                Phase::Instant => "i",
+            };
             let scope = if r.phase == Phase::Instant { ", \"s\": \"t\"" } else { "" };
             push(
                 format!(
@@ -75,8 +135,10 @@ pub struct TraceCheck {
 
 /// Re-parses a Chrome `trace_events` document and checks it is
 /// well-formed: valid JSON, a `traceEvents` array, every begin matched by
-/// an end of the same name in stack order per display thread, and
-/// timestamps monotonically non-decreasing per display thread.
+/// an end of the same name in stack order per display thread, complete
+/// (`"X"`) events with non-negative durations, and timestamps
+/// monotonically non-decreasing per display thread. A complete event
+/// counts as one finished span.
 ///
 /// # Errors
 ///
@@ -101,7 +163,11 @@ pub fn validate_chrome(doc: &str) -> Result<TraceCheck, String> {
             .and_then(Json::as_str)
             .ok_or_else(|| format!("event {i}: missing ph"))?;
         if ph == "M" {
-            check.lanes += 1;
+            // Metadata: process/thread names. Only thread names describe
+            // display lanes.
+            if name == "thread_name" {
+                check.lanes += 1;
+            }
             continue;
         }
         let tid = ev
@@ -132,6 +198,18 @@ pub fn validate_chrome(doc: &str) -> Result<TraceCheck, String> {
                     return Err(format!("event {i}: end of '{name}' with no open span on tid {tid}"))
                 }
             },
+            "X" => {
+                let dur = ev
+                    .get("dur")
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| format!("event {i} ({name}): complete event without dur"))?;
+                if !dur.is_finite() || dur < 0.0 {
+                    return Err(format!(
+                        "event {i} ({name}): complete event with negative duration {dur}"
+                    ));
+                }
+                check.spans += 1;
+            }
             "i" => check.events += 1,
             other => return Err(format!("event {i}: unsupported phase '{other}'")),
         }
@@ -175,6 +253,86 @@ mod tests {
         let doc = chrome_trace(&trace);
         let check = validate_chrome(&doc).expect("valid");
         assert_eq!(check, TraceCheck { lanes: 1, spans: 1, events: 1 });
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let doc = chrome_trace(&Trace::default());
+        let check = validate_chrome(&doc).expect("an empty capture is a valid trace");
+        assert_eq!(check, TraceCheck::default());
+    }
+
+    #[test]
+    fn sim_lanes_round_trip_as_complete_events() {
+        // One simulated processor: an interval record (t0/t1 simulated
+        // seconds) plus the end-of-run summary instant (t0 only).
+        let sim_rec = |name: &'static str, fields: Vec<(&'static str, Value)>| Record {
+            phase: Phase::Instant,
+            name,
+            ts_ns: 0,
+            det: true,
+            fields,
+        };
+        let trace = Trace {
+            lanes: vec![
+                LaneRecords {
+                    key: vec![0],
+                    label: "main".to_owned(),
+                    records: vec![rec(Phase::Begin, "run", 10), rec(Phase::End, "run", 2000)],
+                },
+                LaneRecords {
+                    key: vec![2, 0],
+                    label: "sim p0".to_owned(),
+                    records: vec![
+                        sim_rec(
+                            "sim.compute",
+                            vec![
+                                ("t0", Value::F64(0.0)),
+                                ("t1", Value::F64(1.5e-6)),
+                                ("flops", Value::F64(3.0)),
+                            ],
+                        ),
+                        sim_rec(
+                            "sim.send",
+                            vec![
+                                ("t0", Value::F64(1.5e-6)),
+                                ("t1", Value::F64(2.5e-6)),
+                                ("msg", Value::UInt(0)),
+                            ],
+                        ),
+                        sim_rec("sim.proc", vec![("t0", Value::F64(2.5e-6))]),
+                    ],
+                },
+            ],
+        };
+        let doc = chrome_trace(&trace);
+        let check = validate_chrome(&doc).expect("valid");
+        // 2 thread lanes; 1 wall-clock span + 2 complete events; 1 instant.
+        assert_eq!(check, TraceCheck { lanes: 2, spans: 3, events: 1 });
+        // Sim records land on the machine process with simulated-µs stamps.
+        assert!(doc.contains("\"ph\": \"X\""), "{doc}");
+        assert!(doc.contains("\"name\": \"simulated machine\""), "{doc}");
+        assert!(doc.contains("\"ts\": 1.500, \"dur\": 1.000"), "{doc}");
+    }
+
+    #[test]
+    fn rejects_malformed_complete_events() {
+        // Negative duration.
+        let doc = r#"{"traceEvents": [
+          {"name": "sim.compute", "ph": "X", "ts": 5, "dur": -1, "pid": 2, "tid": 0}
+        ]}"#;
+        assert!(validate_chrome(doc).unwrap_err().contains("negative duration"));
+        // Missing duration.
+        let doc = r#"{"traceEvents": [
+          {"name": "sim.compute", "ph": "X", "ts": 5, "pid": 2, "tid": 0}
+        ]}"#;
+        assert!(validate_chrome(doc).unwrap_err().contains("without dur"));
+        // Non-monotonic complete events on one lane.
+        let doc = r#"{"traceEvents": [
+          {"name": "a", "ph": "X", "ts": 5, "dur": 1, "pid": 2, "tid": 0},
+          {"name": "b", "ph": "X", "ts": 2, "dur": 1, "pid": 2, "tid": 0}
+        ]}"#;
+        assert!(validate_chrome(doc).unwrap_err().contains("backwards"));
     }
 
     #[test]

@@ -1,42 +1,69 @@
-//! A minimal JSON reader/writer, enough for the Chrome-trace validator to
-//! re-parse its own output without external dependencies.
+//! A minimal JSON reader/writer without external dependencies — enough
+//! for the Chrome-trace validator to re-parse its own output, and public
+//! so downstream tools (the bench regression gate) can read the snapshot
+//! files this workspace writes.
 
 /// A parsed JSON value.
 #[derive(Clone, Debug, PartialEq)]
-pub(crate) enum Json {
+pub enum Json {
+    /// `null`.
     Null,
+    /// `true` / `false`.
     Bool(bool),
+    /// Any number (parsed as `f64`).
     Num(f64),
+    /// A string.
     Str(String),
+    /// An array.
     Arr(Vec<Json>),
+    /// An object; insertion order preserved.
     Obj(Vec<(String, Json)>),
 }
 
 impl Json {
-    pub(crate) fn get(&self, key: &str) -> Option<&Json> {
+    /// Looks up a key in an object; `None` for other variants.
+    pub fn get(&self, key: &str) -> Option<&Json> {
         match self {
             Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
 
-    pub(crate) fn as_num(&self) -> Option<f64> {
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
         match self {
             Json::Num(v) => Some(*v),
             _ => None,
         }
     }
 
-    pub(crate) fn as_str(&self) -> Option<&str> {
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The fields, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(v) => Some(v),
             _ => None,
         }
     }
 }
 
 /// Quotes and escapes a string for JSON output.
-pub(crate) fn quote(s: &str) -> String {
+pub fn quote(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -55,7 +82,11 @@ pub(crate) fn quote(s: &str) -> String {
 }
 
 /// Parses a complete JSON document; trailing non-whitespace is an error.
-pub(crate) fn parse(text: &str) -> Result<Json, String> {
+///
+/// # Errors
+///
+/// Returns a description (with byte offset) of the first syntax error.
+pub fn parse(text: &str) -> Result<Json, String> {
     let bytes = text.as_bytes();
     let mut pos = 0usize;
     let v = parse_value(bytes, &mut pos)?;

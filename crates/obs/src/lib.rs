@@ -34,19 +34,39 @@
 //!   JSON with balanced begin/end pairs and monotonic timestamps.
 //! * [`explain_report`] — a human-readable provenance report attributing
 //!   every surviving message to the read that created it and every
-//!   eliminated communication set to the §6 pass that removed it.
+//!   eliminated communication set to the §6 pass that removed it; when
+//!   the trace carries machine telemetry (`sim.*` records), the report
+//!   gains a machine view (per-processor breakdown, top links, hot
+//!   messages joined with provenance).
+//! * [`metrics`] — a metrics registry (counters / gauges / fixed
+//!   log2-bucket histograms) with Prometheus text-format export and a
+//!   strict self-validator, used by `dmc-machine` to publish simulator
+//!   telemetry.
+//!
+//! ## Machine lanes
+//!
+//! The simulator records per-processor timelines into **sim lanes**
+//! ([`sim_lane`]), one per simulated processor. Their records carry `t0`
+//! (and for intervals `t1`) fields holding *simulated* seconds; the Chrome
+//! exporter renders them as complete events on a second process, so a
+//! trace opens as the compiler's wall-clock lanes plus a
+//! one-row-per-processor Gantt chart of the simulated machine.
+//! [`suppress`] mutes recording on the current thread so internal dry-run
+//! simulations (schedule legality probes) don't pollute the timeline.
 
 #![warn(missing_docs)]
 
 mod chrome;
 mod explain;
-mod json;
+pub mod json;
+pub mod metrics;
 mod trace;
 
 pub use chrome::{chrome_trace, validate_chrome, TraceCheck};
 pub use explain::explain_report;
+pub use metrics::{validate_prometheus, Log2Hist, MetricKind, PromCheck, Registry};
 pub use trace::{
     enabled, event, event_f, event_nondet, field, finish_capture, lane, main_lane, read_lane,
-    span, span_f, start_capture, LaneGuard, LaneKey, LaneRecords, Phase, Record, SpanGuard,
-    Trace, Value,
+    sim_lane, span, span_f, start_capture, suppress, LaneGuard, LaneKey, LaneRecords, Phase,
+    Record, SpanGuard, SuppressGuard, Trace, Value,
 };

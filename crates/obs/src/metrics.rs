@@ -1,0 +1,751 @@
+//! A zero-dependency metrics registry with Prometheus text-format export.
+//!
+//! The registry holds three metric kinds — monotone integer **counters**,
+//! floating-point **gauges**, and fixed-bucket log2 **histograms** — keyed
+//! by metric name plus a sorted label set. [`Registry::render`] emits the
+//! Prometheus text exposition format (`# HELP` / `# TYPE` headers,
+//! cumulative `_bucket{le="..."}` series, `_sum` and `_count` samples),
+//! and [`validate_prometheus`] is a strict self-validator that re-parses
+//! a rendered document and checks it line by line: declared types, legal
+//! names, no duplicate samples, no interleaved families, cumulative
+//! non-decreasing buckets ending in `le="+Inf"`, and `_count` equal to the
+//! `+Inf` bucket.
+//!
+//! Histograms use **fixed log2 buckets**: bucket `i` has the upper bound
+//! `2^i` (`le="1"`, `le="2"`, `le="4"`, ... up to `le="2147483648"`), plus
+//! an overflow bucket that only appears in the cumulative `+Inf` sample.
+//! Counts are exact `u64` integers — no sampling, no decay — so two runs
+//! of a deterministic simulation render byte-identical documents.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Number of finite log2 buckets in a [`Log2Hist`] (upper bounds
+/// `2^0 .. 2^31`).
+pub const LOG2_FINITE_BUCKETS: usize = 32;
+
+/// A histogram over `u64` observations with fixed log2 bucket boundaries.
+///
+/// Bucket `i` counts observations `v` with `2^(i-1) < v <= 2^i` (bucket 0
+/// counts `v <= 1`); observations above `2^31` land in a dedicated
+/// overflow bucket that is only visible through the cumulative `+Inf`
+/// sample. All counts and the sum are exact integers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Log2Hist {
+    /// Per-bucket (non-cumulative) counts; the last slot is the overflow
+    /// bucket for observations above the largest finite bound.
+    counts: [u64; LOG2_FINITE_BUCKETS + 1],
+    sum: u64,
+}
+
+impl Default for Log2Hist {
+    fn default() -> Self {
+        Log2Hist { counts: [0; LOG2_FINITE_BUCKETS + 1], sum: 0 }
+    }
+}
+
+impl Log2Hist {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bucket index an observation falls into: the smallest `i` with
+    /// `v <= 2^i`, or the overflow slot past the largest finite bound.
+    pub fn bucket_of(v: u64) -> usize {
+        if v <= 1 {
+            return 0;
+        }
+        // ceil(log2(v)) for v >= 2.
+        let idx = 64 - (v - 1).leading_zeros() as usize;
+        idx.min(LOG2_FINITE_BUCKETS)
+    }
+
+    /// The upper bound of finite bucket `i` (`2^i`).
+    pub fn bound(i: usize) -> u64 {
+        1u64 << i
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: u64) {
+        self.counts[Self::bucket_of(v)] += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Per-bucket (non-cumulative) counts, overflow bucket last.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+/// The kind of a metric family.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone integer counter.
+    Counter,
+    /// Instantaneous floating-point value.
+    Gauge,
+    /// [`Log2Hist`] distribution.
+    Histogram,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Sample {
+    Counter(u64),
+    Gauge(f64),
+    Hist(Log2Hist),
+}
+
+#[derive(Clone, Debug, PartialEq)]
+struct Family {
+    help: String,
+    kind: MetricKind,
+    /// Samples keyed by their sorted label set.
+    samples: BTreeMap<Vec<(String, String)>, Sample>,
+}
+
+/// A collection of metric families, rendered deterministically (families
+/// sorted by name, samples by label set).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Registry {
+    families: BTreeMap<String, Family>,
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_labels(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+/// Renders an `f64` in a form Prometheus parsers (and the validator's
+/// `f64::from_str`) accept; `{:?}` gives the shortest round-trip form.
+fn render_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_owned()
+    } else if v == f64::INFINITY {
+        "+Inf".to_owned()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_owned()
+    } else {
+        format!("{v:?}")
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of metric families.
+    pub fn len(&self) -> usize {
+        self.families.len()
+    }
+
+    /// Whether the registry holds no families.
+    pub fn is_empty(&self) -> bool {
+        self.families.is_empty()
+    }
+
+    fn family(&mut self, name: &str, help: &str, kind: MetricKind) -> &mut Family {
+        assert!(valid_metric_name(name), "invalid metric name {name:?}");
+        let fam = self.families.entry(name.to_owned()).or_insert_with(|| Family {
+            help: help.to_owned(),
+            kind,
+            samples: BTreeMap::new(),
+        });
+        assert!(
+            fam.kind == kind,
+            "metric {name:?} registered as {:?}, used as {kind:?}",
+            fam.kind
+        );
+        fam
+    }
+
+    fn label_key(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+        let mut key: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| {
+                assert!(valid_label_name(k), "invalid label name {k:?}");
+                ((*k).to_owned(), (*v).to_owned())
+            })
+            .collect();
+        key.sort();
+        key
+    }
+
+    /// Sets a counter sample. Counters are monotone by contract; the
+    /// registry stores whatever final value the caller computed.
+    pub fn set_counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], v: u64) {
+        let key = Self::label_key(labels);
+        self.family(name, help, MetricKind::Counter).samples.insert(key, Sample::Counter(v));
+    }
+
+    /// Adds to a counter sample (creating it at zero).
+    pub fn add_counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], v: u64) {
+        let key = Self::label_key(labels);
+        let fam = self.family(name, help, MetricKind::Counter);
+        match fam.samples.entry(key).or_insert(Sample::Counter(0)) {
+            Sample::Counter(c) => *c += v,
+            _ => unreachable!("kind checked by family()"),
+        }
+    }
+
+    /// Sets a gauge sample.
+    pub fn set_gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], v: f64) {
+        let key = Self::label_key(labels);
+        self.family(name, help, MetricKind::Gauge).samples.insert(key, Sample::Gauge(v));
+    }
+
+    /// Sets a histogram sample from a finished [`Log2Hist`].
+    pub fn set_histogram(&mut self, name: &str, help: &str, labels: &[(&str, &str)], h: &Log2Hist) {
+        let key = Self::label_key(labels);
+        self.family(name, help, MetricKind::Histogram)
+            .samples
+            .insert(key, Sample::Hist(h.clone()));
+    }
+
+    /// Renders the registry in the Prometheus text exposition format.
+    /// Deterministic: families sorted by name, samples by label set.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, fam) in &self.families {
+            let _ = writeln!(out, "# HELP {name} {}", fam.help.replace('\\', "\\\\").replace('\n', "\\n"));
+            let _ = writeln!(out, "# TYPE {name} {}", fam.kind.as_str());
+            for (labels, sample) in &fam.samples {
+                match sample {
+                    Sample::Counter(v) => {
+                        let _ = writeln!(out, "{name}{} {v}", render_labels(labels));
+                    }
+                    Sample::Gauge(v) => {
+                        let _ = writeln!(out, "{name}{} {}", render_labels(labels), render_f64(*v));
+                    }
+                    Sample::Hist(h) => {
+                        // Cumulative buckets up to the last non-empty
+                        // finite bound (always at least le="1"), then
+                        // +Inf carrying the overflow too.
+                        let last = h
+                            .counts()
+                            .iter()
+                            .take(LOG2_FINITE_BUCKETS)
+                            .rposition(|&c| c > 0)
+                            .unwrap_or(0);
+                        let mut cum = 0u64;
+                        for i in 0..=last {
+                            cum += h.counts()[i];
+                            let mut with_le = labels.to_vec();
+                            with_le.push(("le".to_owned(), Log2Hist::bound(i).to_string()));
+                            with_le.sort();
+                            let _ = writeln!(out, "{name}_bucket{} {cum}", render_labels(&with_le));
+                        }
+                        let mut with_le = labels.to_vec();
+                        with_le.push(("le".to_owned(), "+Inf".to_owned()));
+                        with_le.sort();
+                        let _ =
+                            writeln!(out, "{name}_bucket{} {}", render_labels(&with_le), h.count());
+                        let _ = writeln!(out, "{name}_sum{} {}", render_labels(labels), h.sum());
+                        let _ = writeln!(out, "{name}_count{} {}", render_labels(labels), h.count());
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Summary of a validated Prometheus text document.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PromCheck {
+    /// Metric families declared with `# TYPE`.
+    pub families: usize,
+    /// Sample lines (each `_bucket`/`_sum`/`_count` line counts as one).
+    pub samples: usize,
+    /// Histogram series (one per label set of a histogram family).
+    pub histograms: usize,
+}
+
+/// One histogram series being accumulated by the validator.
+#[derive(Default)]
+struct HistSeries {
+    /// `(le, cumulative count)` in order of appearance.
+    buckets: Vec<(f64, u64)>,
+    count: Option<u64>,
+    sum_seen: bool,
+}
+
+/// Splits `name{labels} value` into its three parts (labels optional).
+fn split_sample_line(line: &str) -> Result<(&str, &str, &str), String> {
+    if let Some(open) = line.find('{') {
+        let close = line.rfind('}').ok_or_else(|| format!("unterminated label set: {line}"))?;
+        if close < open {
+            return Err(format!("malformed label set: {line}"));
+        }
+        let value = line[close + 1..].trim();
+        Ok((&line[..open], &line[open + 1..close], value))
+    } else {
+        let mut it = line.splitn(2, char::is_whitespace);
+        let name = it.next().unwrap_or("");
+        let value = it.next().map(str::trim).unwrap_or("");
+        Ok((name, "", value))
+    }
+}
+
+/// Parses a label body `a="x",b="y"` into sorted `(name, value)` pairs,
+/// undoing the exposition-format escapes.
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut out = Vec::new();
+    let bytes = body.as_bytes();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let eq = body[pos..]
+            .find('=')
+            .map(|i| pos + i)
+            .ok_or_else(|| format!("missing '=' in label set: {body}"))?;
+        let name = body[pos..eq].trim();
+        if !valid_label_name(name) {
+            return Err(format!("invalid label name {name:?}"));
+        }
+        if bytes.get(eq + 1) != Some(&b'"') {
+            return Err(format!("label value must be quoted: {body}"));
+        }
+        let mut val = String::new();
+        let mut i = eq + 2;
+        loop {
+            match bytes.get(i) {
+                None => return Err(format!("unterminated label value: {body}")),
+                Some(b'"') => break,
+                Some(b'\\') => {
+                    match bytes.get(i + 1) {
+                        Some(b'\\') => val.push('\\'),
+                        Some(b'"') => val.push('"'),
+                        Some(b'n') => val.push('\n'),
+                        _ => return Err(format!("bad escape in label value: {body}")),
+                    }
+                    i += 2;
+                }
+                Some(_) => {
+                    let rest = &body[i..];
+                    let c = rest.chars().next().unwrap();
+                    val.push(c);
+                    i += c.len_utf8();
+                }
+            }
+        }
+        out.push((name.to_owned(), val));
+        pos = i + 1;
+        if bytes.get(pos) == Some(&b',') {
+            pos += 1;
+        } else if pos < bytes.len() {
+            return Err(format!("expected ',' between labels: {body}"));
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn parse_prom_value(s: &str) -> Result<f64, String> {
+    match s {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        _ => s.parse::<f64>().map_err(|_| format!("bad sample value {s:?}")),
+    }
+}
+
+fn finish_hist_family(
+    name: &str,
+    series: &BTreeMap<String, HistSeries>,
+    check: &mut PromCheck,
+) -> Result<(), String> {
+    for (labels, s) in series {
+        let show = if labels.is_empty() { "{}".to_owned() } else { format!("{{{labels}}}") };
+        if s.buckets.is_empty() {
+            return Err(format!("histogram {name}{show}: no buckets"));
+        }
+        let mut last_le = f64::NEG_INFINITY;
+        let mut last_cum = 0u64;
+        for &(le, cum) in &s.buckets {
+            if le <= last_le {
+                return Err(format!(
+                    "histogram {name}{show}: bucket bounds not increasing (le={le} after {last_le})"
+                ));
+            }
+            if cum < last_cum {
+                return Err(format!(
+                    "histogram {name}{show}: cumulative count decreases at le={le} ({cum} < {last_cum})"
+                ));
+            }
+            last_le = le;
+            last_cum = cum;
+        }
+        let (final_le, final_cum) = *s.buckets.last().unwrap();
+        if final_le != f64::INFINITY {
+            return Err(format!("histogram {name}{show}: last bucket must be le=\"+Inf\""));
+        }
+        match s.count {
+            None => return Err(format!("histogram {name}{show}: missing _count")),
+            Some(c) if c != final_cum => {
+                return Err(format!(
+                    "histogram {name}{show}: _count {c} != +Inf bucket {final_cum}"
+                ))
+            }
+            Some(_) => {}
+        }
+        if !s.sum_seen {
+            return Err(format!("histogram {name}{show}: missing _sum"));
+        }
+        check.histograms += 1;
+    }
+    Ok(())
+}
+
+/// Strictly validates a Prometheus text-format document (as produced by
+/// [`Registry::render`]): every sample's family is declared with `# TYPE`
+/// before its samples, families are not interleaved, names and label sets
+/// are legal, no duplicate samples, counters hold non-negative integers,
+/// and every histogram series has increasing bucket bounds, non-decreasing
+/// cumulative counts, a final `le="+Inf"` bucket matching `_count`, and a
+/// `_sum`.
+///
+/// # Errors
+///
+/// Returns a description of the first violation found.
+pub fn validate_prometheus(text: &str) -> Result<PromCheck, String> {
+    let mut check = PromCheck::default();
+    // family name -> (kind, samples seen, closed)
+    let mut families: BTreeMap<String, (MetricKind, bool, bool)> = BTreeMap::new();
+    let mut helps: std::collections::BTreeSet<String> = Default::default();
+    let mut seen_samples: std::collections::BTreeSet<String> = Default::default();
+    let mut current: Option<String> = None;
+    // histogram family -> label-set (without `le`, rendered) -> series
+    let mut hist: BTreeMap<String, BTreeMap<String, HistSeries>> = BTreeMap::new();
+
+    let switch_family = |fam: &str,
+                             current: &mut Option<String>,
+                             families: &mut BTreeMap<String, (MetricKind, bool, bool)>,
+                             hist: &mut BTreeMap<String, BTreeMap<String, HistSeries>>,
+                             check: &mut PromCheck|
+     -> Result<(), String> {
+        if current.as_deref() == Some(fam) {
+            return Ok(());
+        }
+        if let Some(prev) = current.take() {
+            if let Some(entry) = families.get_mut(&prev) {
+                entry.2 = true;
+            }
+            if let Some(series) = hist.get(&prev) {
+                finish_hist_family(&prev, series, check)?;
+            }
+        }
+        if families.get(fam).is_some_and(|f| f.2) {
+            return Err(format!("family {fam} is interleaved with other families"));
+        }
+        *current = Some(fam.to_owned());
+        Ok(())
+    };
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: String| format!("line {}: {msg}", lineno + 1);
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split_whitespace().next().unwrap_or("");
+            if !valid_metric_name(name) {
+                return Err(err(format!("invalid metric name {name:?}")));
+            }
+            if !helps.insert(name.to_owned()) {
+                return Err(err(format!("duplicate # HELP for {name}")));
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().unwrap_or("");
+            let kind = match it.next() {
+                Some("counter") => MetricKind::Counter,
+                Some("gauge") => MetricKind::Gauge,
+                Some("histogram") => MetricKind::Histogram,
+                other => return Err(err(format!("unsupported TYPE {other:?}"))),
+            };
+            if !valid_metric_name(name) {
+                return Err(err(format!("invalid metric name {name:?}")));
+            }
+            if families.contains_key(name) {
+                return Err(err(format!("duplicate # TYPE for {name}")));
+            }
+            families.insert(name.to_owned(), (kind, false, false));
+            switch_family(name, &mut current, &mut families, &mut hist, &mut check)
+                .map_err(err)?;
+            check.families += 1;
+            continue;
+        }
+        if line.starts_with('#') {
+            return Err(err(format!("unexpected comment line: {line}")));
+        }
+
+        let (name, label_body, value_str) = split_sample_line(line).map_err(err)?;
+        if !valid_metric_name(name) {
+            return Err(err(format!("invalid sample name {name:?}")));
+        }
+        let labels = parse_labels(label_body).map_err(err)?;
+        let value = parse_prom_value(value_str).map_err(err)?;
+        let rendered_labels: Vec<String> =
+            labels.iter().map(|(k, v)| format!("{k}={v:?}")).collect();
+        let sample_id = format!("{name}{{{}}}", rendered_labels.join(","));
+        if !seen_samples.insert(sample_id.clone()) {
+            return Err(err(format!("duplicate sample {sample_id}")));
+        }
+
+        // Resolve the family: exact name, or a histogram suffix.
+        let (fam_name, suffix) = if families.contains_key(name) {
+            (name.to_owned(), None)
+        } else {
+            let stripped = ["_bucket", "_sum", "_count"].iter().find_map(|s| {
+                name.strip_suffix(s)
+                    .filter(|base| {
+                        families.get(*base).is_some_and(|f| f.0 == MetricKind::Histogram)
+                    })
+                    .map(|base| (base.to_owned(), Some(*s)))
+            });
+            stripped.ok_or_else(|| err(format!("sample {name} has no # TYPE declaration")))?
+        };
+        let (kind, _, _) = families[&fam_name];
+        switch_family(&fam_name, &mut current, &mut families, &mut hist, &mut check)
+            .map_err(err)?;
+        families.get_mut(&fam_name).unwrap().1 = true;
+        check.samples += 1;
+
+        match (kind, suffix) {
+            (MetricKind::Counter, None) => {
+                if !(value >= 0.0 && value.fract() == 0.0 && value.is_finite()) {
+                    return Err(err(format!(
+                        "counter {name} must be a non-negative integer, got {value_str}"
+                    )));
+                }
+            }
+            (MetricKind::Gauge, None) => {}
+            (MetricKind::Histogram, Some(suffix)) => {
+                let series_key: Vec<String> = labels
+                    .iter()
+                    .filter(|(k, _)| k != "le")
+                    .map(|(k, v)| format!("{k}={v:?}"))
+                    .collect();
+                let series = hist
+                    .entry(fam_name.clone())
+                    .or_default()
+                    .entry(series_key.join(","))
+                    .or_default();
+                match suffix {
+                    "_bucket" => {
+                        let le = labels
+                            .iter()
+                            .find(|(k, _)| k == "le")
+                            .ok_or_else(|| err(format!("{name}: bucket without le label")))?;
+                        let le = parse_prom_value(&le.1).map_err(err)?;
+                        if !(value >= 0.0 && value.fract() == 0.0 && value.is_finite()) {
+                            return Err(err(format!(
+                                "bucket count must be a non-negative integer, got {value_str}"
+                            )));
+                        }
+                        series.buckets.push((le, value as u64));
+                    }
+                    "_sum" => {
+                        if series.sum_seen {
+                            return Err(err(format!("duplicate _sum for {sample_id}")));
+                        }
+                        series.sum_seen = true;
+                    }
+                    "_count" => {
+                        if !(value >= 0.0 && value.fract() == 0.0 && value.is_finite()) {
+                            return Err(err(format!(
+                                "_count must be a non-negative integer, got {value_str}"
+                            )));
+                        }
+                        if series.count.is_some() {
+                            return Err(err(format!("duplicate _count for {sample_id}")));
+                        }
+                        series.count = Some(value as u64);
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            (MetricKind::Histogram, None) => {
+                return Err(err(format!(
+                    "histogram {fam_name} may only expose _bucket/_sum/_count samples"
+                )))
+            }
+            (_, Some(suffix)) => {
+                return Err(err(format!("{kind:?} {fam_name} may not use suffix {suffix}")))
+            }
+        }
+    }
+
+    if let Some(prev) = current.take() {
+        if let Some(series) = hist.get(&prev) {
+            finish_hist_family(&prev, series, &mut check)?;
+        }
+    }
+    Ok(check)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_bucketing_is_exact() {
+        assert_eq!(Log2Hist::bucket_of(0), 0);
+        assert_eq!(Log2Hist::bucket_of(1), 0);
+        assert_eq!(Log2Hist::bucket_of(2), 1);
+        assert_eq!(Log2Hist::bucket_of(3), 2);
+        assert_eq!(Log2Hist::bucket_of(4), 2);
+        assert_eq!(Log2Hist::bucket_of(5), 3);
+        assert_eq!(Log2Hist::bucket_of(1 << 31), 31);
+        assert_eq!(Log2Hist::bucket_of((1 << 31) + 1), LOG2_FINITE_BUCKETS);
+        assert_eq!(Log2Hist::bucket_of(u64::MAX), LOG2_FINITE_BUCKETS);
+
+        let mut h = Log2Hist::new();
+        for v in [0u64, 1, 2, 3, 4, 1000, u64::MAX] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.counts()[0], 2); // 0 and 1
+        assert_eq!(h.counts()[LOG2_FINITE_BUCKETS], 1); // u64::MAX
+        assert_eq!(h.sum(), u64::MAX); // saturated
+    }
+
+    #[test]
+    fn render_passes_own_validator() {
+        let mut reg = Registry::new();
+        reg.set_counter("dmc_sim_words_total", "Words sent", &[("workload", "lu")], 4096);
+        reg.add_counter("dmc_sim_words_total", "Words sent", &[("workload", "xy")], 1);
+        reg.add_counter("dmc_sim_words_total", "Words sent", &[("workload", "xy")], 2);
+        reg.set_gauge("dmc_sim_time_seconds", "Simulated time", &[], 1.25e-3);
+        let mut h = Log2Hist::new();
+        h.observe(1);
+        h.observe(100);
+        reg.set_histogram("dmc_msg_words", "Message sizes", &[("workload", "lu")], &h);
+        let doc = reg.render();
+        let check = validate_prometheus(&doc).unwrap_or_else(|e| panic!("{e}\n{doc}"));
+        assert_eq!(check.families, 3);
+        assert_eq!(check.histograms, 1);
+        assert_eq!(doc.matches("# TYPE").count(), 3);
+        // The xy counter accumulated both adds.
+        assert!(doc.contains("dmc_sim_words_total{workload=\"xy\"} 3"), "{doc}");
+        // Histogram: cumulative buckets ending in +Inf, count == 2.
+        assert!(doc.contains("dmc_msg_words_bucket{le=\"+Inf\",workload=\"lu\"} 2"), "{doc}");
+        assert!(doc.contains("dmc_msg_words_count{workload=\"lu\"} 2"), "{doc}");
+        assert!(doc.contains("dmc_msg_words_sum{workload=\"lu\"} 101"), "{doc}");
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let build = |order_flip: bool| {
+            let mut reg = Registry::new();
+            let pairs: Vec<(&str, u64)> =
+                if order_flip { vec![("b", 2), ("a", 1)] } else { vec![("a", 1), ("b", 2)] };
+            for (l, v) in pairs {
+                reg.set_counter("c_total", "c", &[("k", l)], v);
+            }
+            reg.render()
+        };
+        assert_eq!(build(false), build(true));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        // Sample without TYPE.
+        assert!(validate_prometheus("orphan 1\n").unwrap_err().contains("no # TYPE"));
+        // Duplicate sample.
+        let doc = "# TYPE a counter\na 1\na 2\n";
+        assert!(validate_prometheus(doc).unwrap_err().contains("duplicate sample"));
+        // Interleaved families.
+        let doc = "# TYPE a counter\n# TYPE b counter\na 1\nb 1\na 2\n";
+        assert!(validate_prometheus(doc).unwrap_err().contains("interleaved"));
+        // Counter with a negative / fractional value.
+        let doc = "# TYPE a counter\na -1\n";
+        assert!(validate_prometheus(doc).unwrap_err().contains("non-negative"));
+        let doc = "# TYPE a counter\na 1.5\n";
+        assert!(validate_prometheus(doc).unwrap_err().contains("non-negative"));
+        // Histogram: non-cumulative buckets.
+        let doc = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n\
+                   h_bucket{le=\"+Inf\"} 5\nh_sum 9\nh_count 5\n";
+        assert!(validate_prometheus(doc).unwrap_err().contains("decreases"));
+        // Histogram: _count disagrees with the +Inf bucket.
+        let doc = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_sum 9\nh_count 4\n";
+        assert!(validate_prometheus(doc).unwrap_err().contains("_count 4 != +Inf bucket 5"));
+        // Histogram: missing +Inf.
+        let doc = "# TYPE h histogram\nh_bucket{le=\"4\"} 5\nh_sum 9\nh_count 5\n";
+        assert!(validate_prometheus(doc).unwrap_err().contains("+Inf"));
+        // Histogram: missing _sum.
+        let doc = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_count 5\n";
+        assert!(validate_prometheus(doc).unwrap_err().contains("missing _sum"));
+        // Bad metric name.
+        let doc = "# TYPE 9bad counter\n";
+        assert!(validate_prometheus(doc).unwrap_err().contains("invalid metric name"));
+        // Unquoted label value.
+        let doc = "# TYPE a counter\na{k=v} 1\n";
+        assert!(validate_prometheus(doc).unwrap_err().contains("quoted"));
+    }
+
+    #[test]
+    fn label_escapes_round_trip() {
+        let mut reg = Registry::new();
+        reg.set_counter("c_total", "help", &[("k", "a\"b\\c\nd")], 1);
+        let doc = reg.render();
+        let check = validate_prometheus(&doc).unwrap_or_else(|e| panic!("{e}\n{doc}"));
+        assert_eq!(check.samples, 1);
+    }
+}

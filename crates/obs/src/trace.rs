@@ -145,6 +145,13 @@ pub fn read_lane(stmt_idx: usize, read_no: usize) -> LaneKey {
     vec![1, stmt_idx as u64, read_no as u64]
 }
 
+/// The lane of one simulated processor's event timeline, keyed by
+/// processor number. Sorts after the main and read lanes, so the machine
+/// Gantt appears below the compiler lanes in exported traces.
+pub fn sim_lane(proc: usize) -> LaneKey {
+    vec![2, proc as u64]
+}
+
 /// Records emitted outside any lane scope (e.g. from a thread the
 /// pipeline does not manage). Kept, but at the very end of the merge.
 fn orphan_lane() -> LaneKey {
@@ -269,10 +276,39 @@ fn emit(rec: Record) {
     });
 }
 
-/// Whether a capture is in progress. A single relaxed atomic load — the
-/// entire cost of the subsystem when tracing is off.
+thread_local! {
+    /// Suppression depth; see [`suppress`]. Only consulted after the
+    /// `ENABLED` load succeeds, so the tracing-off fast path stays a
+    /// single relaxed atomic load.
+    static SUPPRESSED: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// Whether a capture is in progress and the current thread is not inside
+/// a [`suppress`] scope. When tracing is off this is a single relaxed
+/// atomic load — the entire cost of the subsystem.
 pub fn enabled() -> bool {
-    ENABLED.load(R)
+    ENABLED.load(R) && SUPPRESSED.with(|s| s.get()) == 0
+}
+
+/// Mutes recording on the current thread until the guard drops. Used
+/// around internal re-runs of instrumented code — e.g. the schedule
+/// planner's dry-run simulations — whose records would otherwise pollute
+/// (and, for the simulator's per-processor timelines, de-monotonize) the
+/// capture. Nests; only affects the calling thread.
+pub fn suppress() -> SuppressGuard {
+    SUPPRESSED.with(|s| s.set(s.get() + 1));
+    SuppressGuard { _priv: () }
+}
+
+/// Re-enables recording on the current thread when dropped.
+pub struct SuppressGuard {
+    _priv: (),
+}
+
+impl Drop for SuppressGuard {
+    fn drop(&mut self) {
+        SUPPRESSED.with(|s| s.set(s.get().saturating_sub(1)));
+    }
 }
 
 /// Starts a capture: clears the global store and re-anchors the clock.
@@ -481,6 +517,30 @@ mod tests {
         let view = t.deterministic_view();
         assert!(view.iter().all(|l| !l.contains("compile.workers")), "{view:?}");
         assert!(view.iter().any(|l| l.contains("pass=self_reuse")));
+    }
+
+    #[test]
+    fn suppress_mutes_only_its_scope() {
+        let _g = CAPTURE.lock().unwrap_or_else(|e| e.into_inner());
+        start_capture();
+        {
+            let _lane = lane(main_lane(), "main");
+            event("kept.before", vec![]);
+            {
+                let _mute = suppress();
+                assert!(!enabled());
+                let _inner = suppress(); // nests
+                drop(_inner);
+                assert!(!enabled(), "outer suppression still active");
+                event("muted", vec![]);
+                let _s = span("muted.span");
+            }
+            assert!(enabled());
+            event("kept.after", vec![]);
+        }
+        let t = finish_capture();
+        let names: Vec<&str> = t.lanes[0].records.iter().map(|r| r.name).collect();
+        assert_eq!(names, vec!["kept.before", "kept.after"]);
     }
 
     #[test]

@@ -409,13 +409,15 @@ impl Polyhedron {
     /// Results are memoized per thread (keyed on the exact constraint
     /// sequence plus `dims`), so repeated projections of the same system —
     /// ubiquitous across LWT resolution and comm-set construction — are
-    /// answered without re-running the elimination.
+    /// answered without re-running the elimination. Systems below the
+    /// [`stats::cache_min_constraints`] size threshold skip the cache:
+    /// they are re-solved faster than their key can be built and hashed.
     ///
     /// # Errors
     ///
     /// Returns [`PolyError::Overflow`] on overflow.
     pub fn eliminate_dims(&self, dims: &[usize]) -> Result<Polyhedron, PolyError> {
-        if !stats::cache_enabled() {
+        if !stats::cache_admits(self.cons.len()) {
             return self.eliminate_dims_uncached(dims);
         }
         let key = (self.seq_key(), dims.to_vec());
@@ -551,13 +553,14 @@ impl Polyhedron {
     ///    the probe, the constraint is provably non-redundant and kept
     ///    without a branch-and-bound query.
     ///
-    /// Results are memoized per thread.
+    /// Results are memoized per thread; systems below the
+    /// [`stats::cache_min_constraints`] size threshold skip the cache.
     ///
     /// # Errors
     ///
     /// Returns [`PolyError::Overflow`] on overflow.
     pub fn remove_redundant(&self) -> Result<Polyhedron, PolyError> {
-        if !stats::cache_enabled() {
+        if !stats::cache_admits(self.cons.len()) {
             return self.remove_redundant_uncached();
         }
         let key = self.seq_key();
@@ -663,7 +666,7 @@ impl Polyhedron {
     /// correct under any budget).
     pub fn integer_feasibility_with_budget(&self, budget: u32) -> Result<Feasibility, PolyError> {
         stats::count_feasibility_call();
-        if !stats::cache_enabled() {
+        if !stats::cache_admits(self.cons.len()) {
             let mut b = budget;
             let f = self.integer_feasibility_budget(&mut b)?;
             if f == Feasibility::Unknown {

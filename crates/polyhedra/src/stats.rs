@@ -8,14 +8,15 @@
 //! diff the two ([`PolyStats::since`]).
 //!
 //! The module also holds the engine's runtime knobs — the feasibility
-//! branch-and-bound budget, and the enable switches for the memo caches and
-//! the redundancy pre-filters — so callers (notably `dmc_core::Options`)
+//! branch-and-bound budget, the enable switches for the memo caches and
+//! the redundancy pre-filters, and the memoization size threshold
+//! ([`cache_min_constraints`]) — so callers (notably `dmc_core::Options`)
 //! can tune the engine without threading parameters through every call
 //! site. Changing a knob bumps an internal epoch that invalidates the
 //! per-thread memo caches.
 //!
 //! Knob changes are meant to be scoped: [`KnobGuard::capture`] snapshots
-//! all three knobs and restores them on drop (panic-safe), so a compile
+//! every knob and restores them on drop (panic-safe), so a compile
 //! that tunes the engine cannot leak its settings into the next one.
 //!
 //! When [`dmc_obs`] tracing is active, knob changes and feasibility-budget
@@ -42,15 +43,23 @@ static REDUND_CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
 static NEGATION_TESTS: AtomicU64 = AtomicU64::new(0);
 static PREFILTER_DROPS: AtomicU64 = AtomicU64::new(0);
 static PREFILTER_KEEPS: AtomicU64 = AtomicU64::new(0);
+static CACHE_BYPASSES: AtomicU64 = AtomicU64::new(0);
 
 static CACHE_ENABLED: AtomicBool = AtomicBool::new(true);
 static PREFILTERS_ENABLED: AtomicBool = AtomicBool::new(true);
 static FEAS_BUDGET: AtomicU32 = AtomicU32::new(DEFAULT_FEASIBILITY_BUDGET);
+static CACHE_MIN_CONSTRAINTS: AtomicU32 = AtomicU32::new(DEFAULT_CACHE_MIN_CONSTRAINTS);
 static EPOCH: AtomicU64 = AtomicU64::new(0);
 
 /// The default branch-and-bound budget of
 /// [`Polyhedron::integer_feasibility`](crate::Polyhedron::integer_feasibility).
 pub const DEFAULT_FEASIBILITY_BUDGET: u32 = 4_000;
+
+/// Default minimum constraint count for a system to be worth memoizing.
+/// Tiny systems are solved faster than their canonical cache key can be
+/// built and hashed, so the caches skip them (counted as
+/// [`PolyStats::cache_bypasses`]).
+pub const DEFAULT_CACHE_MIN_CONSTRAINTS: u32 = 8;
 
 /// A snapshot of the engine's cumulative counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -81,6 +90,9 @@ pub struct PolyStats {
     pub prefilter_drops: u64,
     /// Constraints kept by a verified witness point (no exact test needed).
     pub prefilter_keeps: u64,
+    /// Memo-cache consults skipped because the system was smaller than
+    /// the [`cache_min_constraints`] threshold.
+    pub cache_bypasses: u64,
 }
 
 impl PolyStats {
@@ -104,6 +116,7 @@ impl PolyStats {
             negation_tests: self.negation_tests.saturating_sub(earlier.negation_tests),
             prefilter_drops: self.prefilter_drops.saturating_sub(earlier.prefilter_drops),
             prefilter_keeps: self.prefilter_keeps.saturating_sub(earlier.prefilter_keeps),
+            cache_bypasses: self.cache_bypasses.saturating_sub(earlier.cache_bypasses),
         }
     }
 }
@@ -124,6 +137,7 @@ pub fn snapshot() -> PolyStats {
         negation_tests: NEGATION_TESTS.load(R),
         prefilter_drops: PREFILTER_DROPS.load(R),
         prefilter_keeps: PREFILTER_KEEPS.load(R),
+        cache_bypasses: CACHE_BYPASSES.load(R),
     }
 }
 
@@ -143,6 +157,7 @@ pub fn reset() {
         &NEGATION_TESTS,
         &PREFILTER_DROPS,
         &PREFILTER_KEEPS,
+        &CACHE_BYPASSES,
     ] {
         c.store(0, R);
     }
@@ -190,6 +205,20 @@ pub fn cache_enabled() -> bool {
     CACHE_ENABLED.load(R)
 }
 
+/// Whether a system of `n_constraints` is worth memoizing under the
+/// current knobs. Counts a bypass when the caches are on but the system
+/// is below the [`cache_min_constraints`] threshold.
+pub(crate) fn cache_admits(n_constraints: usize) -> bool {
+    if !cache_enabled() {
+        return false;
+    }
+    if n_constraints < cache_min_constraints() as usize {
+        CACHE_BYPASSES.fetch_add(1, R);
+        return false;
+    }
+    true
+}
+
 /// Enables or disables the memo caches (process-wide). Disabling also
 /// invalidates the per-thread caches.
 pub fn set_cache_enabled(on: bool) {
@@ -211,6 +240,23 @@ pub fn set_prefilters_enabled(on: bool) {
     if PREFILTERS_ENABLED.swap(on, R) != on {
         let e = EPOCH.fetch_add(1, R) + 1;
         knob_event("prefilters_enabled", u64::from(on), e);
+    }
+}
+
+/// The minimum constraint count for a system to be worth memoizing.
+/// Default [`DEFAULT_CACHE_MIN_CONSTRAINTS`]; 0 memoizes everything.
+pub fn cache_min_constraints() -> u32 {
+    CACHE_MIN_CONSTRAINTS.load(R)
+}
+
+/// Sets the memoization size threshold. Systems with fewer constraints
+/// skip the memo caches entirely (key construction + hashing costs more
+/// than re-solving them). Changing the threshold invalidates the
+/// per-thread memo caches.
+pub fn set_cache_min_constraints(min: u32) {
+    if CACHE_MIN_CONSTRAINTS.swap(min, R) != min {
+        let e = EPOCH.fetch_add(1, R) + 1;
+        knob_event("cache_min_constraints", u64::from(min), e);
     }
 }
 
@@ -251,14 +297,16 @@ pub(crate) fn epoch() -> u64 {
 }
 
 /// RAII snapshot of the engine knobs (`feasibility_budget`,
-/// `cache_enabled`, `prefilters_enabled`): restores all three on drop,
-/// including during unwinding — a panicking or early-returning compile
-/// cannot leak its tuning into the next in-process compile.
+/// `cache_enabled`, `prefilters_enabled`, `cache_min_constraints`):
+/// restores all four on drop, including during unwinding — a panicking or
+/// early-returning compile cannot leak its tuning into the next
+/// in-process compile.
 #[derive(Debug)]
 pub struct KnobGuard {
     budget: u32,
     cache: bool,
     prefilters: bool,
+    min_constraints: u32,
 }
 
 impl KnobGuard {
@@ -268,6 +316,7 @@ impl KnobGuard {
             budget: feasibility_budget(),
             cache: cache_enabled(),
             prefilters: prefilters_enabled(),
+            min_constraints: cache_min_constraints(),
         }
     }
 }
@@ -277,6 +326,7 @@ impl Drop for KnobGuard {
         set_feasibility_budget(self.budget);
         set_cache_enabled(self.cache);
         set_prefilters_enabled(self.prefilters);
+        set_cache_min_constraints(self.min_constraints);
     }
 }
 
@@ -306,5 +356,29 @@ mod tests {
         set_cache_enabled(true);
         set_prefilters_enabled(true);
         assert!(prefilters_enabled());
+    }
+
+    #[test]
+    fn size_gate_counts_bypasses_and_scopes() {
+        let guard = KnobGuard::capture();
+        set_cache_enabled(true);
+        set_cache_min_constraints(5);
+        let before = snapshot();
+        assert!(!cache_admits(4), "below the threshold: bypass");
+        assert!(cache_admits(5), "at the threshold: memoize");
+        let d = snapshot().since(&before);
+        assert_eq!(d.cache_bypasses, 1);
+
+        // Disabled caches bypass silently (no bypass counted: nothing to
+        // bypass, the cache is off altogether).
+        set_cache_enabled(false);
+        let before = snapshot();
+        assert!(!cache_admits(100));
+        assert_eq!(snapshot().since(&before).cache_bypasses, 0);
+
+        let e0 = epoch();
+        drop(guard);
+        assert!(epoch() > e0, "restoring knobs must bump the epoch");
+        assert!(cache_enabled());
     }
 }

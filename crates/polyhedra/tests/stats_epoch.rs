@@ -32,6 +32,9 @@ fn knob_change_invalidates_warm_cache_mid_process() {
     stats::set_cache_enabled(true);
     stats::set_prefilters_enabled(true);
     stats::set_feasibility_budget(stats::DEFAULT_FEASIBILITY_BUDGET);
+    // The sample is below the default memoization size threshold; admit
+    // everything so the queries exercise the cache.
+    stats::set_cache_min_constraints(0);
     cache::clear_thread_caches();
 
     let p = sample();
@@ -84,16 +87,23 @@ fn knob_guard_restores_on_panic() {
     let budget = stats::feasibility_budget();
     let cache_on = stats::cache_enabled();
     let prefilters_on = stats::prefilters_enabled();
+    let min_constraints = stats::cache_min_constraints();
 
     let result = std::panic::catch_unwind(|| {
         let _k = stats::KnobGuard::capture();
         stats::set_feasibility_budget(7);
         stats::set_cache_enabled(!cache_on);
         stats::set_prefilters_enabled(!prefilters_on);
+        stats::set_cache_min_constraints(min_constraints + 11);
         panic!("mid-compile failure");
     });
     assert!(result.is_err());
     assert_eq!(stats::feasibility_budget(), budget, "budget restored across panic");
     assert_eq!(stats::cache_enabled(), cache_on, "cache switch restored across panic");
     assert_eq!(stats::prefilters_enabled(), prefilters_on, "prefilters restored across panic");
+    assert_eq!(
+        stats::cache_min_constraints(),
+        min_constraints,
+        "size threshold restored across panic"
+    );
 }

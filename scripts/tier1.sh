@@ -20,6 +20,23 @@ cargo test -q --workspace
 cargo run --release -p dmc-bench --bin dmc-trace -- \
     --workload stencil --out-dir target/trace-tier1 --check
 
+# Machine telemetry: export the stencil simulation's metrics (traffic
+# matrix, size/latency histograms, per-processor breakdowns) and verify
+# the Prometheus document validates and its totals agree exactly with the
+# simulator's statistics.
+cargo run --release -p dmc-bench --bin dmc-metrics -- \
+    --workload stencil --out-dir target/metrics-tier1 --check
+
+# Bench regression gate: re-measure the pipeline and diff against the
+# committed snapshot. Correctness fields (message/transmission/word
+# counts, simulated time, identity flags) must match exactly; the timing
+# tolerance is generous (150%) because tier-1 runs on arbitrary shared
+# hosts where wall-clock is noise — committed-snapshot refreshes use the
+# strict default (15%) via `dmc-bench-diff old new`.
+cargo run --release -p dmc-bench --bin perfstats -- --out target/BENCH_tier1.json
+cargo run --release -p dmc-bench --bin dmc-bench-diff -- \
+    BENCH_pipeline.json target/BENCH_tier1.json --time-tol 1.5
+
 if [[ "${1:-}" == "--bench" ]]; then
     cargo run --release -p dmc-bench --bin perfstats
 fi
