@@ -10,16 +10,26 @@
 //! ```
 //!
 //! Correctness fields (message/transmission/word counts, simulated time,
-//! the `identical` flags) must match exactly; timing fields pass within
-//! `--time-tol` (relative, default 0.15); engine counters are not diffed.
-//! See [`dmc_bench::diff`] for the full policy.
+//! the `identical` flags) and the deterministic `work_units` totals must
+//! match exactly; timing fields pass within `--time-tol` (relative,
+//! default 0.15); other engine counters are not diffed. See
+//! [`dmc_bench::diff`] for the full policy.
+//!
+//! Every failure path — usage errors, unreadable or malformed snapshots,
+//! and regressions — prints the violated invariant to stderr and exits
+//! nonzero, so the binary is safe to use directly as a CI gate.
 
 use std::process::ExitCode;
 
 use dmc_bench::diff::{diff_prom, diff_snapshots, Tolerances};
 
-fn read(path: &str) -> String {
-    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+/// Prints the failing invariant and exits nonzero (no panic backtrace:
+/// this binary is a CI gate, its stderr is read by humans).
+macro_rules! fail {
+    ($($arg:tt)*) => {{
+        eprintln!("bench-diff: {}", format_args!($($arg)*));
+        return ExitCode::FAILURE;
+    }};
 }
 
 fn main() -> ExitCode {
@@ -30,39 +40,56 @@ fn main() -> ExitCode {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--time-tol" => {
-                tol.time_rel = args
-                    .next()
-                    .expect("--time-tol needs a ratio")
-                    .parse()
-                    .expect("--time-tol: not a number")
+                let Some(v) = args.next() else { fail!("--time-tol needs a ratio") };
+                let Ok(r) = v.parse() else { fail!("--time-tol: {v:?} is not a number") };
+                tol.time_rel = r;
             }
             "--gauge-tol" => {
-                tol.gauge_rel = args
-                    .next()
-                    .expect("--gauge-tol needs a ratio")
-                    .parse()
-                    .expect("--gauge-tol: not a number")
+                let Some(v) = args.next() else { fail!("--gauge-tol needs a ratio") };
+                let Ok(r) = v.parse() else { fail!("--gauge-tol: {v:?} is not a number") };
+                tol.gauge_rel = r;
             }
             "--metrics" => {
-                let old = args.next().expect("--metrics needs OLD.prom NEW.prom");
-                let new = args.next().expect("--metrics needs OLD.prom NEW.prom");
+                let (Some(old), Some(new)) = (args.next(), args.next()) else {
+                    fail!("--metrics needs OLD.prom NEW.prom")
+                };
                 metrics = Some((old, new));
             }
             other if !other.starts_with('-') => paths.push(other.to_owned()),
-            other => panic!(
+            other => fail!(
                 "unknown argument: {other} \
                  (usage: dmc-bench-diff OLD.json NEW.json [--time-tol R] \
                  [--metrics OLD.prom NEW.prom] [--gauge-tol R])"
             ),
         }
     }
-    assert!(paths.len() == 2, "need exactly OLD.json and NEW.json (got {})", paths.len());
+    if paths.len() != 2 {
+        fail!("need exactly OLD.json and NEW.json (got {})", paths.len());
+    }
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(s) => Ok(s),
+        Err(e) => Err(format!("read {path}: {e}")),
+    };
 
-    let mut findings =
-        diff_snapshots(&read(&paths[0]), &read(&paths[1]), &tol).unwrap_or_else(|e| panic!("{e}"));
+    let snapshots = (|| {
+        let old = read(&paths[0])?;
+        let new = read(&paths[1])?;
+        diff_snapshots(&old, &new, &tol)
+    })();
+    let mut findings = match snapshots {
+        Ok(f) => f,
+        Err(e) => fail!("{e}"),
+    };
     if let Some((old, new)) = &metrics {
-        findings
-            .extend(diff_prom(&read(old), &read(new), &tol).unwrap_or_else(|e| panic!("{e}")));
+        let prom = (|| {
+            let old = read(old)?;
+            let new = read(new)?;
+            diff_prom(&old, &new, &tol)
+        })();
+        match prom {
+            Ok(f) => findings.extend(f),
+            Err(e) => fail!("{e}"),
+        }
     }
 
     if findings.is_empty() {

@@ -79,6 +79,10 @@ fn main() {
         let stats = &result.stats;
 
         let mut reg = obs::Registry::new();
+        reg.set_build_info(
+            env!("CARGO_PKG_VERSION"),
+            if cfg!(debug_assertions) { "debug" } else { "release" },
+        );
         stats.export_metrics(&mut reg, &[("workload", w.name)]);
         let doc = reg.render();
         let prom_path = out_dir.join(format!("metrics_{}.prom", w.name));
@@ -107,6 +111,11 @@ fn main() {
                     w.name
                 );
             }
+            assert!(
+                doc.contains("dmc_build_info{"),
+                "{}: export is missing the dmc_build_info gauge",
+                w.name
+            );
             let link_total = sample_sum(&doc, "dmc_sim_link_words_total{");
             assert_eq!(
                 link_total, stats.words as f64,

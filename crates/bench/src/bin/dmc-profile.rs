@@ -1,0 +1,229 @@
+//! Work-ledger profiler: compiles the perfstats workloads with the
+//! polyhedral ledger recording and writes, per workload, a work-unit-
+//! weighted collapsed-stack file (render with `flamegraph.pl` / inferno /
+//! speedscope) and an explain report extended with a "Hotspots" section
+//! (top contexts by work, FM growth ratios, cache effectiveness).
+//!
+//! ```sh
+//! cargo run --release -p dmc-bench --bin dmc-profile
+//! cargo run --release -p dmc-bench --bin dmc-profile -- --workload stencil \
+//!     --out-dir target/profile --check
+//! ```
+//!
+//! `--check` self-validates the ledger on each workload:
+//!
+//! * **totals** — record counts and summed per-record fields must equal
+//!   the `PolyStats` counter deltas taken over the same capture, for every
+//!   operation kind and cache counter;
+//! * **attribution** — at least 90% of top-level charged work units carry
+//!   a (statement, read, pass) or schedule context;
+//! * **determinism** — re-capturing with `threads: 1` and `threads: 4`
+//!   must produce byte-identical collapsed-stack files (charged work is
+//!   cache-state- and worker-count-independent);
+//! * **transparency** — the compiled schedule with the ledger on equals
+//!   the one compiled with it off (recording must not steer the engine).
+
+use std::path::PathBuf;
+
+use dmc_bench::{figure2_input, lu_input, stencil_input, xy_input};
+use dmc_core::{build_schedule, compile, run, CompileInput, Options};
+use dmc_machine::MachineConfig;
+use dmc_obs as obs;
+use dmc_polyhedra::ledger::{self, CacheOutcome, Ledger};
+use dmc_polyhedra::{stats, PolyStats};
+
+const LIMIT: usize = 50_000_000;
+
+struct Workload {
+    name: &'static str,
+    input: CompileInput,
+    params: Vec<i128>,
+}
+
+fn workloads() -> Vec<Workload> {
+    vec![
+        Workload { name: "lu", input: lu_input(8), params: vec![48] },
+        Workload { name: "stencil", input: stencil_input(32, 4), params: vec![4, 127] },
+        Workload { name: "figure2", input: figure2_input(4), params: vec![3, 127] },
+        Workload { name: "xy", input: xy_input(4), params: vec![47] },
+    ]
+}
+
+struct Captured {
+    trace: obs::Trace,
+    ledger: Ledger,
+    /// `PolyStats` delta over exactly the ledgered region.
+    delta: PolyStats,
+    schedule: dmc_machine::Schedule,
+}
+
+/// Runs one workload's pipeline (compile → schedule → machine run) with
+/// both the tracer and the work ledger on.
+fn capture(w: &Workload, threads: usize) -> Captured {
+    let options = Options { threads, ..Options::full() };
+    ledger::start();
+    let before = stats::snapshot();
+    obs::start_capture();
+    let compiled = compile(w.input.clone(), options).expect("compiles");
+    let schedule = build_schedule(&compiled, &w.params, false, LIMIT).expect("schedules");
+    let delta = stats::snapshot().since(&before);
+    let ledger = ledger::finish();
+    // The machine run is outside the ledgered region (it does no
+    // polyhedral work) but inside the trace, so the report keeps its
+    // machine view.
+    let _ = run(&compiled, &w.params, &MachineConfig::ipsc860(), false, LIMIT).expect("simulates");
+    Captured { trace: obs::finish_capture(), ledger, delta, schedule }
+}
+
+/// Folds a ledger into the deterministic per-context profile.
+fn profile_of(name: &str, ledger: &Ledger) -> obs::WorkProfile {
+    let mut p = obs::WorkProfile::new(name);
+    for seg in &ledger.segments {
+        for r in &seg.records {
+            p.add_op(
+                &seg.ctx,
+                &obs::ProfileOp {
+                    kind: r.kind.name(),
+                    cons_in: u64::from(r.cons_in),
+                    cons_out: u64::from(r.cons_out),
+                    self_units: r.self_units,
+                    charged_units: r.charged_units,
+                    top_level: r.top_level,
+                    cache_hit: match r.cache {
+                        CacheOutcome::Uncached => None,
+                        CacheOutcome::Hit => Some(true),
+                        CacheOutcome::Miss => Some(false),
+                    },
+                    duration_ns: r.duration_ns,
+                },
+            );
+        }
+    }
+    p
+}
+
+/// Asserts every ledger total equals the matching `PolyStats` delta.
+/// These are the *actual* (not charged) values of the same run, so they
+/// must agree exactly — any slack means a record site is missing or
+/// double-counting.
+fn check_totals(name: &str, ledger: &Ledger, delta: &PolyStats) {
+    let t = ledger.totals();
+    let pairs = [
+        ("fm_steps", t.fm_steps, delta.fm_steps),
+        ("feasibility_calls", t.feasibility_calls, delta.feasibility_calls),
+        ("bnb_nodes", t.bnb_nodes, delta.bnb_nodes),
+        ("negation_tests", t.negation_tests, delta.negation_tests),
+        ("lex_splits", t.lex_splits, delta.lex_splits),
+        ("feas_cache_hits", t.feas_cache_hits, delta.feas_cache_hits),
+        ("feas_cache_misses", t.feas_cache_misses, delta.feas_cache_misses),
+        ("proj_cache_hits", t.proj_cache_hits, delta.proj_cache_hits),
+        ("proj_cache_misses", t.proj_cache_misses, delta.proj_cache_misses),
+        ("redund_cache_hits", t.redund_cache_hits, delta.redund_cache_hits),
+        ("redund_cache_misses", t.redund_cache_misses, delta.redund_cache_misses),
+    ];
+    for (field, ledger_v, stats_v) in pairs {
+        assert_eq!(
+            ledger_v, stats_v,
+            "{name}: ledger {field} = {ledger_v}, PolyStats delta = {stats_v} \
+             (every engine operation must be recorded exactly once)"
+        );
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut which: Option<String> = None;
+    let mut out_dir = PathBuf::from("target/dmc-profile");
+    let mut check = false;
+    let mut threads = 0usize;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--workload" => which = Some(args.next().expect("--workload needs a name")),
+            "--out-dir" => out_dir = PathBuf::from(args.next().expect("--out-dir needs a path")),
+            "--check" => check = true,
+            "--threads" => {
+                threads = args.next().expect("--threads needs a count").parse().expect("number")
+            }
+            other => panic!("unknown argument: {other} (try --workload/--out-dir/--check/--threads)"),
+        }
+    }
+
+    std::fs::create_dir_all(&out_dir).expect("create out dir");
+    let selected: Vec<Workload> = workloads()
+        .into_iter()
+        .filter(|w| which.as_deref().map_or(true, |n| n == "all" || n == w.name))
+        .collect();
+    assert!(!selected.is_empty(), "no such workload (lu, stencil, figure2, xy, all)");
+
+    for w in &selected {
+        let cap = capture(w, threads);
+        let profile = profile_of(w.name, &cap.ledger);
+
+        let collapsed = profile.collapsed_stack();
+        let collapsed_path = out_dir.join(format!("profile_{}.collapsed", w.name));
+        std::fs::write(&collapsed_path, &collapsed).expect("write collapsed stack");
+
+        let report = obs::explain_report_with_profile(&cap.trace, w.name, &profile);
+        let report_path = out_dir.join(format!("profile_{}.md", w.name));
+        std::fs::write(&report_path, &report).expect("write hotspots report");
+
+        if check {
+            check_totals(w.name, &cap.ledger, &cap.delta);
+            let attributed = profile.attributed_fraction();
+            assert!(
+                attributed >= 0.90,
+                "{}: only {:.1}% of work units attributed to contexts (need >= 90%)",
+                w.name,
+                attributed * 100.0
+            );
+            assert!(report.contains("## Hotspots"), "{}: report lacks Hotspots", w.name);
+
+            // Determinism: charged work units are cache-state- and
+            // worker-count-independent, so sequential and 4-worker
+            // captures must collapse to byte-identical files.
+            let c1 = capture(w, 1);
+            let c4 = capture(w, 4);
+            let s1 = profile_of(w.name, &c1.ledger).collapsed_stack();
+            let s4 = profile_of(w.name, &c4.ledger).collapsed_stack();
+            assert_eq!(
+                s1, s4,
+                "{}: collapsed stack differs between threads=1 and threads=4",
+                w.name
+            );
+            assert_eq!(
+                collapsed, s1,
+                "{}: collapsed stack differs between captures (cache-state dependence?)",
+                w.name
+            );
+
+            // Transparency: the ledger must observe, never steer — the
+            // schedule compiled with it off is the one compiled with it on.
+            let options = Options { threads, ..Options::full() };
+            let compiled = compile(w.input.clone(), options).expect("compiles");
+            let plain =
+                build_schedule(&compiled, &w.params, false, LIMIT).expect("schedules");
+            assert_eq!(
+                plain, cap.schedule,
+                "{}: enabling the ledger changed the compiled schedule",
+                w.name
+            );
+
+            println!(
+                "{:<10} ok: {} work units, {} ops, {:.1}% attributed; \
+                 totals == PolyStats; 1-vs-4-thread collapsed identical; output unchanged",
+                w.name,
+                profile.total_work(),
+                cap.ledger.records().count(),
+                attributed * 100.0
+            );
+        } else {
+            println!(
+                "{:<10} {} work units -> {} + {}",
+                w.name,
+                profile.total_work(),
+                collapsed_path.display(),
+                report_path.display()
+            );
+        }
+    }
+}

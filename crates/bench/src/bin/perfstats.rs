@@ -16,7 +16,7 @@ use std::time::Instant;
 use dmc_bench::{figure2_input, lu_input, stencil_input, xy_input};
 use dmc_core::{build_schedule, compile, message_stats, run, CompileInput, Options};
 use dmc_machine::MachineConfig;
-use dmc_polyhedra::{cache, stats, PolyStats};
+use dmc_polyhedra::{cache, ledger, stats, PolyStats};
 
 const REPS: usize = 3;
 const LIMIT: usize = 50_000_000;
@@ -79,7 +79,7 @@ fn stats_json(s: &PolyStats) -> String {
             "\"bnb_nodes\": {}, \"feas_cache_hits\": {}, \"feas_cache_misses\": {}, ",
             "\"proj_cache_hits\": {}, \"proj_cache_misses\": {}, \"redund_cache_hits\": {}, ",
             "\"redund_cache_misses\": {}, \"cache_bypasses\": {}, \"negation_tests\": {}, ",
-            "\"prefilter_drops\": {}, \"prefilter_keeps\": {}}}"
+            "\"prefilter_drops\": {}, \"prefilter_keeps\": {}, \"lex_splits\": {}}}"
         ),
         s.fm_steps,
         s.feasibility_calls,
@@ -95,7 +95,20 @@ fn stats_json(s: &PolyStats) -> String {
         s.negation_tests,
         s.prefilter_drops,
         s.prefilter_keeps,
+        s.lex_splits,
     )
+}
+
+/// One untimed ledger pass over the full-options pipeline: the workload's
+/// top-level **charged** work-unit total. Deterministic — independent of
+/// the host, worker count and cache state (cache hits replay the charged
+/// cost of the original computation) — so `dmc-bench-diff` gates it
+/// exactly, unlike the noisy wall-clock timings.
+fn work_units(w: &Workload) -> u64 {
+    ledger::start();
+    let compiled = compile(w.input.clone(), Options::full()).expect("compiles");
+    let _ = build_schedule(&compiled, &w.params, false, LIMIT).expect("schedules");
+    ledger::finish().charged_work()
 }
 
 fn mode_json(m: &Measured) -> String {
@@ -155,7 +168,8 @@ fn main() {
                 "     \"fast\": {},\n",
                 "     \"baseline\": {},\n",
                 "     \"speedup\": {:.3}, \"identical\": {},\n",
-                "     \"messages\": {}, \"transmissions\": {}, \"words\": {}, \"sim_time_s\": {:.6}}}"
+                "     \"messages\": {}, \"transmissions\": {}, \"words\": {}, ",
+                "\"work_units\": {}, \"sim_time_s\": {:.6}}}"
             ),
             w.name,
             params.join(", "),
@@ -167,6 +181,7 @@ fn main() {
             fast.messages.0,
             fast.messages.1,
             fast.messages.2,
+            work_units(w),
             fast.sim.time,
         )
         .expect("write");

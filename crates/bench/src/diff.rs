@@ -12,9 +12,16 @@
 //!   `total_ms` and `sequential_ms` only regress when the new value
 //!   exceeds the old by more than the relative tolerance; improvements
 //!   always pass.
-//! - **Engine counters are not diffed.** They shift with every legitimate
-//!   engine change and carry no regression signal of their own (the
-//!   correctness fields already pin the outputs).
+//! - **Work units are exact.** `work_units` is the workload's top-level
+//!   charged work total from the polyhedral ledger — deterministic across
+//!   hosts, worker counts and cache states — so *any* change (an extra
+//!   projection, a lost memo hit charged differently, a new feasibility
+//!   query) is a finding with zero tolerance. This is the noise-free
+//!   regression signal the wall-clock timings cannot provide.
+//! - **Other engine counters are not diffed.** The raw `counters` blocks
+//!   shift with cache warmth and every legitimate engine change; the
+//!   correctness fields and `work_units` already pin the outputs and the
+//!   logical work.
 //! - The reported worker count must never exceed the host's available
 //!   parallelism (new snapshots only — that is an internal consistency
 //!   bug, not a comparison).
@@ -113,6 +120,16 @@ pub fn diff_snapshots(
                     o, n
                 ));
             }
+        }
+        // Work units: exact in both directions, zero tolerance. Absent
+        // from both snapshots only when diffing two pre-ledger documents.
+        match (num(ow, "work_units"), num(&nw, "work_units")) {
+            (Some(o), Some(n)) if o != n => findings.push(format!(
+                "{name}: work_units changed {o} -> {n} \
+                 (charged work is deterministic; must match exactly)"
+            )),
+            (Some(_), Some(_)) | (None, None) => {}
+            (o, n) => findings.push(format!("{name}: work_units missing ({o:?} vs {n:?})")),
         }
         match (num(ow, "sim_time_s"), num(&nw, "sim_time_s")) {
             (Some(o), Some(n)) if (o - n).abs() > 1e-9 => findings.push(format!(
@@ -259,7 +276,7 @@ mod tests {
          "fast": {"compile_ms": 2.0, "schedule_ms": 10.0, "total_ms": 12.0},
          "baseline": {"compile_ms": 2.0, "schedule_ms": 15.0, "total_ms": 17.0},
          "speedup": 1.4, "identical": true,
-         "messages": 5, "transmissions": 7, "words": 30, "sim_time_s": 0.001500}
+         "messages": 5, "transmissions": 7, "words": 30, "work_units": 12345, "sim_time_s": 0.001500}
       ],
       "threads": {"available": 4, "workers_used": 2, "sequential_ms": 12.0,
                   "parallel_ms": null, "comparison": "measured", "identical": true},
@@ -300,6 +317,22 @@ mod tests {
         let changed = SNAP.replace("\"sim_time_s\": 0.001500", "\"sim_time_s\": 0.001501");
         let d = diff_snapshots(SNAP, &changed, &Tolerances::default()).unwrap();
         assert!(d.iter().any(|f| f.contains("sim_time_s changed")), "{d:?}");
+    }
+
+    /// An injected extra projection shows up as +1 work unit — and the
+    /// zero-tolerance gate catches it, in either direction.
+    #[test]
+    fn work_units_are_gated_exactly() {
+        for injected in ["\"work_units\": 12346", "\"work_units\": 12344"] {
+            let changed = SNAP.replace("\"work_units\": 12345", injected);
+            let d = diff_snapshots(SNAP, &changed, &Tolerances::default()).unwrap();
+            assert_eq!(d.len(), 1, "{d:?}");
+            assert!(d[0].contains("work_units changed"), "{d:?}");
+        }
+        // A snapshot that dropped the field altogether is also a finding.
+        let dropped = SNAP.replace("\"work_units\": 12345, ", "");
+        let d = diff_snapshots(SNAP, &dropped, &Tolerances::default()).unwrap();
+        assert!(d.iter().any(|f| f.contains("work_units missing")), "{d:?}");
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! Exit-code audit for the validator binaries: every failure path must
+//! exit nonzero *and* print the violated invariant, so shell scripts (and
+//! CI) can gate on them without parsing stdout. Each test drives one
+//! binary down a failure path via `CARGO_BIN_EXE_*` and asserts both
+//! properties.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn tmpdir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("negative-paths");
+    std::fs::create_dir_all(&dir).expect("create tmpdir");
+    dir
+}
+
+fn run(bin: &str, args: &[&str]) -> Output {
+    Command::new(bin).args(args).output().expect("binary runs")
+}
+
+fn assert_fails(out: &Output, needle: &str, what: &str) {
+    assert!(
+        !out.status.success(),
+        "{what}: expected a nonzero exit, got {:?}\nstdout: {}\nstderr: {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains(needle),
+        "{what}: stderr must name the invariant (expected {needle:?}):\n{stderr}"
+    );
+}
+
+/// `dmc-trace --check` with an unknown workload: nonzero, names the
+/// accepted set.
+#[test]
+fn trace_rejects_unknown_workload() {
+    let out = run(
+        env!("CARGO_BIN_EXE_dmc-trace"),
+        &["--workload", "nope", "--out-dir", tmpdir().to_str().unwrap(), "--check"],
+    );
+    assert_fails(&out, "no such workload", "dmc-trace");
+}
+
+/// `dmc-metrics` with an unknown argument: nonzero, names the argument.
+#[test]
+fn metrics_rejects_unknown_argument() {
+    let out = run(env!("CARGO_BIN_EXE_dmc-metrics"), &["--bogus"]);
+    assert_fails(&out, "unknown argument", "dmc-metrics");
+}
+
+/// `dmc-profile` with an unknown workload: nonzero, names the accepted set.
+#[test]
+fn profile_rejects_unknown_workload() {
+    let out = run(
+        env!("CARGO_BIN_EXE_dmc-profile"),
+        &["--workload", "nope", "--out-dir", tmpdir().to_str().unwrap()],
+    );
+    assert_fails(&out, "no such workload", "dmc-profile");
+}
+
+/// `dmc-bench-diff` failure paths: missing files, malformed JSON, and a
+/// genuine regression each exit nonzero with the invariant on stderr —
+/// and with no panic backtrace (the stderr is read by humans in CI logs).
+#[test]
+fn bench_diff_fails_cleanly() {
+    let bin = env!("CARGO_BIN_EXE_dmc-bench-diff");
+    let dir = tmpdir();
+
+    let out = run(bin, &["only-one.json"]);
+    assert_fails(&out, "need exactly OLD.json and NEW.json", "bench-diff usage");
+
+    let out = run(bin, &["/nonexistent/a.json", "/nonexistent/b.json"]);
+    assert_fails(&out, "read /nonexistent/a.json", "bench-diff missing file");
+
+    let garbage = dir.join("garbage.json");
+    std::fs::write(&garbage, "not json at all").expect("write fixture");
+    let out = run(bin, &[garbage.to_str().unwrap(), garbage.to_str().unwrap()]);
+    assert!(!out.status.success(), "malformed snapshot must fail the gate");
+
+    // A real regression: two otherwise-identical snapshots that disagree
+    // on the deterministic work-unit total.
+    let snap = |work: u64| {
+        format!(
+            concat!(
+                "{{\"bench\": \"pipeline\", \"workloads\": [\n",
+                "  {{\"name\": \"w\", \"identical\": true, \"messages\": 1, ",
+                "\"transmissions\": 1, \"words\": 1, \"work_units\": {}, ",
+                "\"sim_time_s\": 0.5,\n",
+                "   \"fast\": {{\"compile_ms\": 1.0, \"schedule_ms\": 1.0, \"total_ms\": 2.0}},\n",
+                "   \"baseline\": {{\"compile_ms\": 2.0, \"schedule_ms\": 2.0, \"total_ms\": 4.0}}}}\n",
+                "], \"all_identical\": true}}\n"
+            ),
+            work
+        )
+    };
+    let old = dir.join("old.json");
+    let new = dir.join("new.json");
+    std::fs::write(&old, snap(100)).expect("write old");
+    std::fs::write(&new, snap(101)).expect("write new");
+    let out = run(bin, &[old.to_str().unwrap(), new.to_str().unwrap()]);
+    assert_fails(&out, "work_units changed 100 -> 101", "bench-diff work-unit gate");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !stderr.contains("panicked"),
+        "the gate must fail without a panic backtrace:\n{stderr}"
+    );
+
+    // And the same snapshots agree with themselves.
+    let out = run(bin, &[old.to_str().unwrap(), old.to_str().unwrap()]);
+    assert!(out.status.success(), "identical snapshots must pass: {out:?}");
+}

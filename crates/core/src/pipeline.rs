@@ -18,6 +18,7 @@ use dmc_machine::{
     SimError, SimResult, Stamp,
 };
 use dmc_obs as obs;
+use dmc_polyhedra::ledger;
 use dmc_polyhedra::{DimKind, PolyError, Space};
 
 use crate::options::{Options, Strategy};
@@ -234,6 +235,10 @@ fn compile_read(
     // Keyed by textual order, so the merged trace is identical for every
     // worker count — each job's records stay contiguous in its own lane.
     let _lane = obs::lane(obs::read_lane(stmt_idx, read_no), format!("read S{}#{read_no}", s.id));
+    // Work-ledger attribution mirrors the lane key: every polyhedral
+    // operation this job performs is charged to stmt<i> → read<j> → pass.
+    let _lctx_stmt = ledger::push_context(format!("stmt{stmt_idx}"));
+    let _lctx_read = ledger::push_context(format!("read{read_no}"));
     let _span = obs::span_f("read", || {
         vec![
             obs::field("stmt", s.id),
@@ -246,6 +251,7 @@ fn compile_read(
         Strategy::ValueCentric => {
             let lwt = {
                 let _s = obs::span("lwt");
+                let _c = ledger::push_context("lwt");
                 build_lwt(&input.program, s.id, read_no)?
             };
             obs::event_f("lwt.done", || {
@@ -255,6 +261,7 @@ fn compile_read(
                 ]
             });
             let _commsets_span = obs::span("commsets");
+            let _commsets_ctx = ledger::push_context("commsets");
             let mut tree_sets: Vec<CommSet> = Vec::new();
             for leaf in &lwt.leaves {
                 match &leaf.source {
@@ -292,6 +299,7 @@ fn compile_read(
                     }
                 }
             }
+            drop(_commsets_ctx);
             drop(_commsets_span);
             obs::event_f("commsets.done", || vec![obs::field("sets", tree_sets.len())]);
             // §6.1 optimizations, per tree.
@@ -311,6 +319,7 @@ fn compile_read(
             let comp_r = &input.comps[&s.id];
             let mut sets = {
                 let _s = obs::span("commsets");
+                let _c = ledger::push_context("commsets");
                 comm_from_initial(&input.program, &lwt, leaf, s, comp_r, d)?
             };
             obs::event_f("commsets.done", || vec![obs::field("sets", sets.len())]);
@@ -340,6 +349,7 @@ fn optimize_sets(
     let mut cur = sets;
     if options.self_reuse {
         let _s = obs::span("opt.self_reuse");
+        let _c = ledger::push_context("opt.self_reuse");
         let n_in = cur.len();
         let mut next = Vec::new();
         for cs in &cur {
@@ -365,12 +375,14 @@ fn optimize_sets(
     }
     if options.cross_set_reuse && options.strategy == Strategy::ValueCentric {
         let _s = obs::span("opt.cross_set_reuse");
+        let _c = ledger::push_context("opt.cross_set_reuse");
         let n_in = cur.len();
         cur = eliminate_cross_set_reuse(&cur)?;
         opt_pass_event("cross_set_reuse", n_in, cur.len());
     }
     if options.unique_sender {
         let _s = obs::span("opt.unique_sender");
+        let _c = ledger::push_context("opt.unique_sender");
         let n_in = cur.len();
         let mut next = Vec::new();
         for cs in &cur {
@@ -385,6 +397,7 @@ fn optimize_sets(
         // coordinate. Also keeps message enumeration proportional to
         // physical (not virtual) receiver counts.
         let _s = obs::span("opt.fold_receivers");
+        let _c = ledger::push_context("opt.fold_receivers");
         let n_in = cur.len();
         let extents = input.grid.extents().to_vec();
         let mut next = Vec::new();
@@ -400,6 +413,7 @@ fn optimize_sets(
     }
     if options.already_local {
         let _s = obs::span("opt.already_local");
+        let _c = ledger::push_context("opt.already_local");
         let n_in = cur.len();
         let mut next = Vec::new();
         for cs in cur {
@@ -656,6 +670,7 @@ pub fn build_schedule(
     let _lane = obs::lane(obs::main_lane(), "pipeline");
     let _knobs = compiled.options.apply_tuning_scoped();
     let _span = obs::span_f("schedule", || vec![obs::field("values", values)]);
+    let _lctx = ledger::push_context("schedule");
     // Legality-refinement loop: build at the paper's aggregation level;
     // when the dry run deadlocks (batching across carrying-loop iterations
     // created a wait cycle), split messages one send-iteration component
@@ -672,6 +687,7 @@ pub fn build_schedule(
     // behavior).
     let hoisted: Option<Vec<Vec<Message>>> = if compiled.options.poly_fast_paths {
         let _s = obs::span_f("aggregate", || vec![obs::field("sets", compiled.comm.len())]);
+        let _c = ledger::push_context("aggregate");
         Some(
             compiled
                 .comm
@@ -685,6 +701,7 @@ pub fn build_schedule(
     let mut last_err = None;
     for extra in 0..=max_depth {
         let _attempt = obs::span_f("schedule.attempt", || vec![obs::field("extra_split", extra)]);
+        let _actx = ledger::push_context(format!("attempt{extra}"));
         let schedule =
             build_schedule_at(compiled, param_vals, values, limit, extra, hoisted.as_deref())?;
         // Cheap deadlock dry-run (timing semantics on the same schedule).

@@ -417,6 +417,18 @@ pub fn simulate(
     } else {
         None
     };
+    // Per-transmission latency percentiles from the exact log2 histogram:
+    // simulated quantities, so deterministic like `simulate.done`.
+    if stats.transmissions > 0 {
+        obs::event_f("sim.latency", || {
+            vec![
+                obs::field("transmissions", stats.transmissions),
+                obs::field("p50_us", stats.latency_us_hist.p50().unwrap_or(0)),
+                obs::field("p95_us", stats.latency_us_hist.p95().unwrap_or(0)),
+                obs::field("p99_us", stats.latency_us_hist.p99().unwrap_or(0)),
+            ]
+        });
+    }
     // Simulated (not wall-clock) quantities: deterministic for a given
     // schedule, so the event is part of the trace's deterministic view.
     obs::event_f("simulate.done", || {

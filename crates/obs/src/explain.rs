@@ -87,6 +87,7 @@ pub fn explain_report(trace: &Trace, title: &str) -> String {
     let mut sim_done: Option<Vec<(&'static str, Value)>> = None;
     let mut procs: BTreeMap<u64, ProcView> = BTreeMap::new();
     let mut links: Vec<LinkView> = Vec::new();
+    let mut latency: Option<(u64, u64, u64, u64)> = None;
 
     for lane in &trace.lanes {
         let is_read_lane = lane.key.first() == Some(&1);
@@ -152,6 +153,14 @@ pub fn explain_report(trace: &Trace, title: &str) -> String {
                     steps: as_str(r.get("steps")).unwrap_or("").to_owned(),
                 }),
                 (Phase::Instant, "simulate.done") => sim_done = Some(r.fields.clone()),
+                (Phase::Instant, "sim.latency") => {
+                    latency = Some((
+                        as_u64(r.get("transmissions")).unwrap_or(0),
+                        as_u64(r.get("p50_us")).unwrap_or(0),
+                        as_u64(r.get("p95_us")).unwrap_or(0),
+                        as_u64(r.get("p99_us")).unwrap_or(0),
+                    ));
+                }
                 (Phase::Instant, "sim.link") => links.push(LinkView {
                     src: as_u64(r.get("src")).unwrap_or(0),
                     dst: as_u64(r.get("dst")).unwrap_or(0),
@@ -265,6 +274,15 @@ pub fn explain_report(trace: &Trace, title: &str) -> String {
                 ms(v.finish)
             );
         }
+        if let Some((n, p50, p95, p99)) = latency {
+            // Bucket upper bounds from the exact log2 latency histogram
+            // (see `Log2Hist::quantile_bound`), hence the `<=`.
+            let _ = writeln!(
+                out,
+                "- latency percentiles over {n} transmission(s): \
+                 p50 <= {p50} us, p95 <= {p95} us, p99 <= {p99} us"
+            );
+        }
         if !links.is_empty() {
             let mut by_words = links.clone();
             by_words.sort_by(|a, b| b.words.cmp(&a.words).then((a.src, a.dst).cmp(&(b.src, b.dst))));
@@ -303,6 +321,19 @@ pub fn explain_report(trace: &Trace, title: &str) -> String {
             }
         }
     }
+    out
+}
+
+/// [`explain_report`] plus the work-ledger "Hotspots" section aggregated
+/// in `profile` (see [`crate::profile::WorkProfile`]).
+pub fn explain_report_with_profile(
+    trace: &Trace,
+    title: &str,
+    profile: &crate::profile::WorkProfile,
+) -> String {
+    let mut out = explain_report(trace, title);
+    let _ = writeln!(out);
+    out.push_str(&profile.hotspots_markdown());
     out
 }
 

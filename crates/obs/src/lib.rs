@@ -60,10 +60,12 @@ mod chrome;
 mod explain;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 mod trace;
 
 pub use chrome::{chrome_trace, validate_chrome, TraceCheck};
-pub use explain::explain_report;
+pub use explain::{explain_report, explain_report_with_profile};
+pub use profile::{ProfileOp, WorkProfile};
 pub use metrics::{validate_prometheus, Log2Hist, MetricKind, PromCheck, Registry};
 pub use trace::{
     enabled, event, event_f, event_nondet, field, finish_capture, lane, main_lane, read_lane,

@@ -86,6 +86,43 @@ impl Log2Hist {
     pub fn counts(&self) -> &[u64] {
         &self.counts
     }
+
+    /// The upper bound of the bucket containing the `p`-quantile
+    /// observation (rank `ceil(p·count)`, clamped to `[1, count]`), or
+    /// `None` on an empty histogram. Exact with respect to the bucketing:
+    /// the returned bound is the smallest recorded bucket bound with at
+    /// least a `p` fraction of observations at or below it. Observations
+    /// in the overflow slot report `u64::MAX`.
+    pub fn quantile_bound(&self, p: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((p * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return Some(if i < LOG2_FINITE_BUCKETS { Self::bound(i) } else { u64::MAX });
+            }
+        }
+        unreachable!("cumulative count reaches total")
+    }
+
+    /// Median bucket bound (see [`Log2Hist::quantile_bound`]).
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile_bound(0.50)
+    }
+
+    /// 95th-percentile bucket bound (see [`Log2Hist::quantile_bound`]).
+    pub fn p95(&self) -> Option<u64> {
+        self.quantile_bound(0.95)
+    }
+
+    /// 99th-percentile bucket bound (see [`Log2Hist::quantile_bound`]).
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile_bound(0.99)
+    }
 }
 
 /// The kind of a metric family.
@@ -253,6 +290,17 @@ impl Registry {
         self.family(name, help, MetricKind::Histogram)
             .samples
             .insert(key, Sample::Hist(h.clone()));
+    }
+
+    /// Publishes the `dmc_build_info` gauge (Prometheus "info metric"
+    /// convention: constant value 1, the data lives in the labels).
+    pub fn set_build_info(&mut self, version: &str, profile: &str) {
+        self.set_gauge(
+            "dmc_build_info",
+            "Build information (constant 1; version and profile in labels)",
+            &[("version", version), ("profile", profile)],
+            1.0,
+        );
     }
 
     /// Renders the registry in the Prometheus text exposition format.
@@ -747,5 +795,75 @@ mod tests {
         let doc = reg.render();
         let check = validate_prometheus(&doc).unwrap_or_else(|e| panic!("{e}\n{doc}"));
         assert_eq!(check.samples, 1);
+    }
+
+    /// Each special character round-trips through render → parse alone and
+    /// in awkward positions (leading, trailing, doubled), and the parsed
+    /// value equals the original — not merely "validates".
+    #[test]
+    fn label_escapes_round_trip_exhaustive() {
+        for v in [
+            "\n", "\"", "\\", "\\\\", "\\n", "ends with backslash\\", "\nleading newline",
+            "quote\"mid", "all\\three\"at\nonce", "", "plain",
+        ] {
+            let rendered = escape_label_value(v);
+            let body = format!("k=\"{rendered}\"");
+            let parsed = parse_labels(&body).unwrap_or_else(|e| panic!("{v:?}: {e}"));
+            assert_eq!(parsed, vec![("k".to_owned(), v.to_owned())], "value {v:?}");
+
+            let mut reg = Registry::new();
+            reg.set_counter("c_total", "help", &[("k", v)], 1);
+            let doc = reg.render();
+            validate_prometheus(&doc).unwrap_or_else(|e| panic!("{v:?}: {e}\n{doc}"));
+        }
+    }
+
+    #[test]
+    fn build_info_gauge_renders_and_validates() {
+        let mut reg = Registry::new();
+        reg.set_build_info("0.1.0", "release");
+        let doc = reg.render();
+        let check = validate_prometheus(&doc).unwrap_or_else(|e| panic!("{e}\n{doc}"));
+        assert_eq!(check.families, 1);
+        assert!(
+            doc.contains("dmc_build_info{profile=\"release\",version=\"0.1.0\"} 1"),
+            "{doc}"
+        );
+    }
+
+    #[test]
+    fn quantile_bounds_are_exact() {
+        // Empty histogram has no quantiles.
+        assert_eq!(Log2Hist::new().p50(), None);
+
+        // Single observation: every quantile is its bucket bound.
+        let mut h = Log2Hist::new();
+        h.observe(5); // bucket 3, bound 8
+        assert_eq!(h.p50(), Some(8));
+        assert_eq!(h.p99(), Some(8));
+
+        // 100 observations: 90 small (bound 1), 9 medium (bound 128),
+        // 1 large (bound 1024). Ranks: p50→50th, p95→95th, p99→99th.
+        let mut h = Log2Hist::new();
+        for _ in 0..90 {
+            h.observe(1);
+        }
+        for _ in 0..9 {
+            h.observe(100);
+        }
+        h.observe(1000);
+        assert_eq!(h.p50(), Some(1));
+        assert_eq!(h.quantile_bound(0.90), Some(1));
+        assert_eq!(h.p95(), Some(128));
+        assert_eq!(h.p99(), Some(128));
+        assert_eq!(h.quantile_bound(1.0), Some(1024));
+
+        // Quantile rank clamps at both ends.
+        assert_eq!(h.quantile_bound(0.0), Some(1));
+
+        // Overflow observations report u64::MAX.
+        let mut h = Log2Hist::new();
+        h.observe(u64::MAX);
+        assert_eq!(h.p50(), Some(u64::MAX));
     }
 }

@@ -1,0 +1,349 @@
+//! Deterministic aggregation of polyhedral work-ledger records into
+//! per-context profiles.
+//!
+//! The polyhedral engine's ledger (`dmc_polyhedra::ledger`) emits one
+//! record per operation, tagged with the attribution context the pipeline
+//! pushed (`stmt<i> → read<j> → <pass>`). This module folds those records
+//! into a [`WorkProfile`]: per-(context, operation-kind) aggregates with
+//! two exporters —
+//!
+//! * [`WorkProfile::collapsed_stack`] — the standard collapsed-stack
+//!   format (`frame;frame;frame weight`) consumed by `flamegraph.pl`,
+//!   inferno, speedscope, etc. Weighted by **top-level charged work
+//!   units**, not time, so the file is byte-identical across runs, worker
+//!   counts, and cache states (see the ledger's charged-work scheme).
+//! * [`WorkProfile::hotspots_markdown`] — a "Hotspots" section for the
+//!   explain report: top contexts by work, FM growth ratios flagging
+//!   projection blow-ups, and per-context cache effectiveness.
+//!
+//! The aggregation is order-insensitive (a `BTreeMap` keyed on the
+//! context path), so the nondeterministic interleaving of worker-thread
+//! ledger flushes never reaches the output.
+//!
+//! This crate stays zero-dependency: records are fed in as plain
+//! [`ProfileOp`] values rather than ledger types.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One engine operation, as fed to [`WorkProfile::add_op`]. Mirrors the
+/// ledger's record without depending on it.
+#[derive(Clone, Debug, Default)]
+pub struct ProfileOp {
+    /// Operation kind (stable lower-case name, e.g. `"fm_step"`).
+    pub kind: &'static str,
+    /// Constraints in the input system.
+    pub cons_in: u64,
+    /// Constraints in the result system (0 where none).
+    pub cons_out: u64,
+    /// Work the operation itself performed.
+    pub self_units: u64,
+    /// Self units plus nested charged work (memoized cost on cache hits).
+    pub charged_units: u64,
+    /// True when no recorded operation encloses this one.
+    pub top_level: bool,
+    /// Cache interaction: `None` = uncached, `Some(true)` = hit,
+    /// `Some(false)` = miss.
+    pub cache_hit: Option<bool>,
+    /// Wall-clock duration (diagnostic; never enters the exports).
+    pub duration_ns: u64,
+}
+
+/// Aggregate for one (context path, operation kind) row.
+#[derive(Clone, Debug, Default)]
+struct RowAgg {
+    ops: u64,
+    /// Charged units of top-level records only (partition of total work).
+    top_charged: u64,
+    self_units: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cons_in: u64,
+    cons_out: u64,
+}
+
+/// Work-unit profile of one captured run. Build with [`WorkProfile::new`]
+/// + [`WorkProfile::add_op`], then export.
+#[derive(Clone, Debug)]
+pub struct WorkProfile {
+    /// Root frame of every collapsed stack (typically the workload name).
+    root: String,
+    rows: BTreeMap<(Vec<String>, &'static str), RowAgg>,
+    total_top_charged: u64,
+    attributed_top_charged: u64,
+    total_ops: u64,
+}
+
+/// The frame used for records carrying no attribution context.
+const UNATTRIBUTED: &str = "(unattributed)";
+
+impl WorkProfile {
+    /// An empty profile whose collapsed stacks are rooted at `root`.
+    pub fn new(root: impl Into<String>) -> Self {
+        WorkProfile {
+            root: root.into(),
+            rows: BTreeMap::new(),
+            total_top_charged: 0,
+            attributed_top_charged: 0,
+            total_ops: 0,
+        }
+    }
+
+    /// Folds one operation recorded under `ctx` (outermost frame first;
+    /// empty = unattributed) into the profile.
+    pub fn add_op(&mut self, ctx: &[String], op: &ProfileOp) {
+        self.total_ops += 1;
+        if op.top_level {
+            self.total_top_charged += op.charged_units;
+            if !ctx.is_empty() {
+                self.attributed_top_charged += op.charged_units;
+            }
+        }
+        let key = if ctx.is_empty() {
+            (vec![UNATTRIBUTED.to_owned()], op.kind)
+        } else {
+            (ctx.to_vec(), op.kind)
+        };
+        let row = self.rows.entry(key).or_default();
+        row.ops += 1;
+        if op.top_level {
+            row.top_charged += op.charged_units;
+        }
+        row.self_units += op.self_units;
+        match op.cache_hit {
+            Some(true) => row.cache_hits += 1,
+            Some(false) => row.cache_misses += 1,
+            None => {}
+        }
+        row.cons_in += op.cons_in;
+        row.cons_out += op.cons_out;
+    }
+
+    /// Total top-level charged units — the run's logical work.
+    pub fn total_work(&self) -> u64 {
+        self.total_top_charged
+    }
+
+    /// Fraction of top-level charged units carrying a non-empty
+    /// attribution context (1.0 on an empty profile).
+    pub fn attributed_fraction(&self) -> f64 {
+        if self.total_top_charged == 0 {
+            1.0
+        } else {
+            self.attributed_top_charged as f64 / self.total_top_charged as f64
+        }
+    }
+
+    /// The collapsed-stack export: one `root;frame;…;kind weight` line per
+    /// (context, kind) row with top-level charged work, sorted by stack.
+    /// Feed to `flamegraph.pl` / `inferno-flamegraph` as-is.
+    ///
+    /// Deterministic: weights are charged work units (cache-state- and
+    /// thread-count-independent) and rows are emitted in `BTreeMap` order,
+    /// so two captures of the same compilation produce byte-identical
+    /// files.
+    pub fn collapsed_stack(&self) -> String {
+        let mut out = String::new();
+        for ((ctx, kind), row) in &self.rows {
+            if row.top_charged == 0 {
+                continue;
+            }
+            let _ = write!(out, "{}", self.root);
+            for frame in ctx {
+                let _ = write!(out, ";{frame}");
+            }
+            let _ = writeln!(out, ";{kind} {}", row.top_charged);
+        }
+        out
+    }
+
+    /// The "Hotspots" section of the explain report: totals and
+    /// attribution, top contexts by charged work, FM growth ratios, and
+    /// per-context cache effectiveness. Deterministic (ties broken by
+    /// context path).
+    pub fn hotspots_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "## Hotspots ({})", self.root);
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "- total work: {} units across {} recorded operations",
+            self.total_top_charged, self.total_ops
+        );
+        let _ = writeln!(
+            out,
+            "- attributed to contexts: {} units ({:.1}%)",
+            self.attributed_top_charged,
+            self.attributed_fraction() * 100.0
+        );
+
+        // Fold rows up to their context path (summing kinds).
+        #[derive(Default)]
+        struct CtxAgg {
+            top_charged: u64,
+            ops: u64,
+            hits: u64,
+            misses: u64,
+        }
+        let mut by_ctx: BTreeMap<&[String], CtxAgg> = BTreeMap::new();
+        for ((ctx, _), row) in &self.rows {
+            let agg = by_ctx.entry(ctx.as_slice()).or_default();
+            agg.top_charged += row.top_charged;
+            agg.ops += row.ops;
+            agg.hits += row.cache_hits;
+            agg.misses += row.cache_misses;
+        }
+
+        let mut ranked: Vec<(&[String], &CtxAgg)> =
+            by_ctx.iter().map(|(c, a)| (*c, a)).collect();
+        ranked.sort_by(|a, b| b.1.top_charged.cmp(&a.1.top_charged).then(a.0.cmp(b.0)));
+
+        let _ = writeln!(out);
+        let _ = writeln!(out, "### Top contexts by work units");
+        let _ = writeln!(out);
+        for (ctx, agg) in ranked.iter().take(10) {
+            if agg.top_charged == 0 {
+                continue;
+            }
+            let pct = if self.total_top_charged == 0 {
+                0.0
+            } else {
+                agg.top_charged as f64 / self.total_top_charged as f64 * 100.0
+            };
+            let queries = agg.hits + agg.misses;
+            let cache = if queries == 0 {
+                String::new()
+            } else {
+                format!(", cache {}/{queries} hits", agg.hits)
+            };
+            let _ = writeln!(
+                out,
+                "- {}: {} units ({pct:.1}%), {} ops{cache}",
+                ctx.join(" > "),
+                agg.top_charged,
+                agg.ops
+            );
+        }
+
+        // FM growth: Σ cons_out / Σ cons_in over the fm_step rows of each
+        // context. Ratios ≥ 1.5 mark projection chains whose systems grow
+        // as dimensions fall — the classic Fourier–Motzkin blow-up.
+        let mut growth: Vec<(&[String], f64, u64)> = self
+            .rows
+            .iter()
+            .filter(|((_, kind), row)| *kind == "fm_step" && row.cons_in > 0)
+            .map(|((ctx, _), row)| {
+                (ctx.as_slice(), row.cons_out as f64 / row.cons_in as f64, row.ops)
+            })
+            .collect();
+        growth.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(b.0)));
+        let _ = writeln!(out);
+        let _ = writeln!(out, "### FM growth (constraints out / in per elimination step)");
+        let _ = writeln!(out);
+        if growth.is_empty() {
+            let _ = writeln!(out, "- no FM steps recorded");
+        }
+        for (ctx, ratio, steps) in growth.iter().take(10) {
+            let flag = if *ratio >= 1.5 { "  ⚠ blow-up" } else { "" };
+            let _ =
+                writeln!(out, "- {}: ×{ratio:.2} over {steps} steps{flag}", ctx.join(" > "));
+        }
+
+        // Cache effectiveness over contexts that issued memoizable queries.
+        let _ = writeln!(out);
+        let _ = writeln!(out, "### Cache effectiveness");
+        let _ = writeln!(out);
+        let mut any = false;
+        for (ctx, agg) in &ranked {
+            let queries = agg.hits + agg.misses;
+            if queries == 0 {
+                continue;
+            }
+            any = true;
+            let rate = agg.hits as f64 / queries as f64 * 100.0;
+            let _ = writeln!(
+                out,
+                "- {}: {}/{queries} hits ({rate:.1}%)",
+                ctx.join(" > "),
+                agg.hits
+            );
+        }
+        if !any {
+            let _ = writeln!(out, "- no memoizable queries recorded");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(kind: &'static str, charged: u64, top: bool) -> ProfileOp {
+        ProfileOp {
+            kind,
+            self_units: 1,
+            charged_units: charged,
+            top_level: top,
+            ..ProfileOp::default()
+        }
+    }
+
+    #[test]
+    fn collapsed_stack_weights_top_level_only() {
+        let mut p = WorkProfile::new("wl");
+        let ctx = vec!["stmt0".to_owned(), "read1".to_owned()];
+        p.add_op(&ctx, &op("projection", 10, true));
+        p.add_op(&ctx, &op("fm_step", 4, false)); // nested: no stack weight
+        p.add_op(&[], &op("lex_split", 3, true));
+        let collapsed = p.collapsed_stack();
+        assert_eq!(
+            collapsed,
+            "wl;(unattributed);lex_split 3\nwl;stmt0;read1;projection 10\n"
+        );
+        assert_eq!(p.total_work(), 13);
+        assert!((p.attributed_fraction() - 10.0 / 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregation_is_order_insensitive() {
+        let ctx_a = vec!["a".to_owned()];
+        let ctx_b = vec!["b".to_owned()];
+        let mut fwd = WorkProfile::new("r");
+        fwd.add_op(&ctx_a, &op("fm_step", 2, true));
+        fwd.add_op(&ctx_b, &op("fm_step", 5, true));
+        let mut rev = WorkProfile::new("r");
+        rev.add_op(&ctx_b, &op("fm_step", 5, true));
+        rev.add_op(&ctx_a, &op("fm_step", 2, true));
+        assert_eq!(fwd.collapsed_stack(), rev.collapsed_stack());
+        assert_eq!(fwd.hotspots_markdown(), rev.hotspots_markdown());
+    }
+
+    #[test]
+    fn hotspots_flags_fm_growth() {
+        let mut p = WorkProfile::new("wl");
+        let ctx = vec!["stmt0".to_owned()];
+        let grow = ProfileOp {
+            kind: "fm_step",
+            cons_in: 10,
+            cons_out: 25,
+            self_units: 1,
+            charged_units: 1,
+            top_level: true,
+            ..ProfileOp::default()
+        };
+        p.add_op(&ctx, &grow);
+        let md = p.hotspots_markdown();
+        assert!(md.contains("## Hotspots"), "{md}");
+        assert!(md.contains("×2.50"), "{md}");
+        assert!(md.contains("blow-up"), "{md}");
+    }
+
+    #[test]
+    fn empty_profile_is_fully_attributed() {
+        let p = WorkProfile::new("wl");
+        assert_eq!(p.total_work(), 0);
+        assert!((p.attributed_fraction() - 1.0).abs() < 1e-12);
+        assert_eq!(p.collapsed_stack(), "");
+    }
+}

@@ -57,6 +57,10 @@ pub(crate) struct SeqKey {
 pub(crate) struct CachedPoly {
     pub(crate) cons: Vec<Constraint>,
     pub(crate) contradiction: bool,
+    /// Charged work units of the original (miss) computation, replayed by
+    /// the [`ledger`](crate::ledger) on every hit so charged work stays
+    /// cache-state-independent.
+    pub(crate) charged: u64,
 }
 
 /// Entries per thread-local map before it is dropped wholesale.
@@ -95,16 +99,16 @@ impl<K: std::hash::Hash + Eq, V: Clone> Store<K, V> {
 }
 
 thread_local! {
-    static FEAS: RefCell<Store<CanonicalKey, Feasibility>> = RefCell::new(Store::new());
+    static FEAS: RefCell<Store<CanonicalKey, (Feasibility, u64)>> = RefCell::new(Store::new());
     static PROJ: RefCell<Store<(SeqKey, Vec<usize>), CachedPoly>> = RefCell::new(Store::new());
     static REDUND: RefCell<Store<SeqKey, CachedPoly>> = RefCell::new(Store::new());
 }
 
-pub(crate) fn feas_get(k: &CanonicalKey) -> Option<Feasibility> {
+pub(crate) fn feas_get(k: &CanonicalKey) -> Option<(Feasibility, u64)> {
     FEAS.with(|c| c.borrow_mut().get(k))
 }
 
-pub(crate) fn feas_put(k: CanonicalKey, v: Feasibility) {
+pub(crate) fn feas_put(k: CanonicalKey, v: (Feasibility, u64)) {
     FEAS.with(|c| c.borrow_mut().put(k, v));
 }
 

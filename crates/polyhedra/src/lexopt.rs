@@ -11,7 +11,7 @@
 //! (`q`, `r` with `c·q <= e <= c·q + c − 1`), exactly as the paper does for
 //! modulo constraints in last-write relations (§4.4.2).
 
-use crate::{Constraint, LinExpr, PolyError, Polyhedron};
+use crate::{ledger, stats, Constraint, LinExpr, PolyError, Polyhedron};
 
 /// Direction of optimization.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -251,6 +251,10 @@ fn rec(
         if piece.is_obviously_empty() {
             continue;
         }
+        // One case split explored per surviving piece of the
+        // which-bound-is-tight disjunction.
+        stats::count_lex_split();
+        let op = ledger::op(ledger::OpKind::LexSplit, piece.constraints().len());
         let (c, e) = (sides[j].c, sides[j].e.clone());
         if c == 1 {
             // c == 1: the bound value is exactly e for both directions
@@ -260,6 +264,7 @@ fn rec(
             let mut sols = sols.clone();
             sols.push(repl);
             rec(next, all_opt, depth + 1, dir, sols, out, budget)?;
+            op.finish();
         } else {
             // v* = floor(e/c) (Max) or ceil(e/c) (Min): introduce aux q with
             //   Max: c·q <= e <= c·q + c − 1
@@ -288,6 +293,7 @@ fn rec(
             let mut sols: Vec<LinExpr> = sols.iter().map(|s| s.extend(1)).collect();
             sols.push(repl);
             rec(next, all_opt, depth + 1, dir, sols, out, budget)?;
+            op.finish();
         }
     }
     Ok(())

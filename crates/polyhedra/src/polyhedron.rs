@@ -8,6 +8,7 @@ use std::fmt;
 
 use crate::cache::{self, CachedPoly, CanonicalKey, SeqKey};
 use crate::constraint::Normalized;
+use crate::ledger;
 use crate::num;
 use crate::stats;
 use crate::{Constraint, ConstraintKind, LinExpr, PolyError, Space};
@@ -274,6 +275,15 @@ impl Polyhedron {
 
     fn eliminate_dim_shadow(&self, dim: usize, shadow: Shadow) -> Result<Polyhedron, PolyError> {
         stats::count_fm_step();
+        let mut op = ledger::op(ledger::OpKind::FmStep, self.cons.len());
+        op.set_dims_eliminated(1);
+        let out = self.eliminate_dim_shadow_impl(dim, shadow)?;
+        op.set_cons_out(out.cons.len());
+        op.finish();
+        Ok(out)
+    }
+
+    fn eliminate_dim_shadow_impl(&self, dim: usize, shadow: Shadow) -> Result<Polyhedron, PolyError> {
         let mut out = Polyhedron::universe(self.space.clone());
         out.contradiction = self.contradiction;
         if self.contradiction {
@@ -418,18 +428,35 @@ impl Polyhedron {
     /// Returns [`PolyError::Overflow`] on overflow.
     pub fn eliminate_dims(&self, dims: &[usize]) -> Result<Polyhedron, PolyError> {
         if !stats::cache_admits(self.cons.len()) {
-            return self.eliminate_dims_uncached(dims);
+            let mut op = ledger::op(ledger::OpKind::Projection, self.cons.len());
+            op.set_dims_eliminated(dims.len());
+            let out = self.eliminate_dims_uncached(dims)?;
+            op.set_cons_out(out.cons.len());
+            op.finish();
+            return Ok(out);
         }
         let key = (self.seq_key(), dims.to_vec());
         if let Some(hit) = cache::proj_get(&key) {
             stats::count_proj_cache(true);
+            ledger::record_hit(
+                ledger::OpKind::Projection,
+                self.cons.len(),
+                hit.cons.len(),
+                dims.len(),
+                hit.charged,
+            );
             return Ok(self.from_cached(hit));
         }
         stats::count_proj_cache(false);
+        let mut op = ledger::op(ledger::OpKind::Projection, self.cons.len());
+        op.set_dims_eliminated(dims.len());
+        op.set_cache_miss();
         let out = self.eliminate_dims_uncached(dims)?;
+        op.set_cons_out(out.cons.len());
+        let charged = op.finish();
         cache::proj_put(
             key,
-            CachedPoly { cons: out.cons.clone(), contradiction: out.contradiction },
+            CachedPoly { cons: out.cons.clone(), contradiction: out.contradiction, charged },
         );
         Ok(out)
     }
@@ -561,29 +588,49 @@ impl Polyhedron {
     /// Returns [`PolyError::Overflow`] on overflow.
     pub fn remove_redundant(&self) -> Result<Polyhedron, PolyError> {
         if !stats::cache_admits(self.cons.len()) {
-            return self.remove_redundant_uncached();
+            let mut op = ledger::op(ledger::OpKind::Redundancy, self.cons.len());
+            let (out, negations) = self.remove_redundant_uncached()?;
+            op.set_negation_tests(negations);
+            op.set_cons_out(out.cons.len());
+            op.finish();
+            return Ok(out);
         }
         let key = self.seq_key();
         if let Some(hit) = cache::redund_get(&key) {
             stats::count_redund_cache(true);
+            ledger::record_hit(
+                ledger::OpKind::Redundancy,
+                self.cons.len(),
+                hit.cons.len(),
+                0,
+                hit.charged,
+            );
             return Ok(self.from_cached(hit));
         }
         stats::count_redund_cache(false);
-        let out = self.remove_redundant_uncached()?;
+        let mut op = ledger::op(ledger::OpKind::Redundancy, self.cons.len());
+        op.set_cache_miss();
+        let (out, negations) = self.remove_redundant_uncached()?;
+        op.set_negation_tests(negations);
+        op.set_cons_out(out.cons.len());
+        let charged = op.finish();
         cache::redund_put(
             key,
-            CachedPoly { cons: out.cons.clone(), contradiction: out.contradiction },
+            CachedPoly { cons: out.cons.clone(), contradiction: out.contradiction, charged },
         );
         Ok(out)
     }
 
-    fn remove_redundant_uncached(&self) -> Result<Polyhedron, PolyError> {
+    /// Returns the cleaned polyhedron plus the number of exact negation
+    /// tests run, so the enclosing ledger record can carry the count.
+    fn remove_redundant_uncached(&self) -> Result<(Polyhedron, u64), PolyError> {
         let base = self.remove_redundant_cheap();
         if base.contradiction {
-            return Ok(base);
+            return Ok((base, 0));
         }
         let prefilter = stats::prefilters_enabled();
         let n = self.space.len();
+        let mut negations: u64 = 0;
         let mut kept: Vec<Constraint> = base.cons.clone();
         let mut i = 0;
         while i < kept.len() {
@@ -607,6 +654,7 @@ impl Polyhedron {
                 }
             }
             stats::count_negation_test();
+            negations += 1;
             let mut probe = Polyhedron::universe(self.space.clone());
             for (j, c) in kept.iter().enumerate() {
                 if j == i {
@@ -623,7 +671,7 @@ impl Polyhedron {
         }
         let mut out = Polyhedron::universe(self.space.clone());
         out.cons = kept;
-        Ok(out)
+        Ok((out, negations))
     }
 
     // ------------------------------------------------------------------
@@ -667,25 +715,35 @@ impl Polyhedron {
     pub fn integer_feasibility_with_budget(&self, budget: u32) -> Result<Feasibility, PolyError> {
         stats::count_feasibility_call();
         if !stats::cache_admits(self.cons.len()) {
+            let mut op = ledger::op(ledger::OpKind::Feasibility, self.cons.len());
             let mut b = budget;
             let f = self.integer_feasibility_budget(&mut b)?;
+            // This is the sole entry to the recursion and every node shares
+            // one budget, so the budget delta is exactly the nodes visited.
+            op.set_bnb_nodes(u64::from(budget - b));
+            op.finish();
             if f == Feasibility::Unknown {
                 stats::count_feasibility_unknown();
             }
             return Ok(f);
         }
         let key = self.canonical_key();
-        if let Some(f) = cache::feas_get(&key) {
+        if let Some((f, charged)) = cache::feas_get(&key) {
             stats::count_feas_cache(true);
+            ledger::record_hit(ledger::OpKind::Feasibility, self.cons.len(), 0, 0, charged);
             return Ok(f);
         }
         stats::count_feas_cache(false);
+        let mut op = ledger::op(ledger::OpKind::Feasibility, self.cons.len());
+        op.set_cache_miss();
         let mut b = budget;
         let f = self.integer_feasibility_budget(&mut b)?;
+        op.set_bnb_nodes(u64::from(budget - b));
+        let charged = op.finish();
         if f == Feasibility::Unknown {
             stats::count_feasibility_unknown();
         } else {
-            cache::feas_put(key, f);
+            cache::feas_put(key, (f, charged));
         }
         Ok(f)
     }

@@ -44,6 +44,7 @@ static NEGATION_TESTS: AtomicU64 = AtomicU64::new(0);
 static PREFILTER_DROPS: AtomicU64 = AtomicU64::new(0);
 static PREFILTER_KEEPS: AtomicU64 = AtomicU64::new(0);
 static CACHE_BYPASSES: AtomicU64 = AtomicU64::new(0);
+static LEX_SPLITS: AtomicU64 = AtomicU64::new(0);
 
 static CACHE_ENABLED: AtomicBool = AtomicBool::new(true);
 static PREFILTERS_ENABLED: AtomicBool = AtomicBool::new(true);
@@ -93,6 +94,9 @@ pub struct PolyStats {
     /// Memo-cache consults skipped because the system was smaller than
     /// the [`cache_min_constraints`] threshold.
     pub cache_bypasses: u64,
+    /// Parametric-lexmax case splits explored (one per non-empty piece of
+    /// [`lexopt`](crate::lexopt)'s which-bound-is-tight disjunction).
+    pub lex_splits: u64,
 }
 
 impl PolyStats {
@@ -117,6 +121,7 @@ impl PolyStats {
             prefilter_drops: self.prefilter_drops.saturating_sub(earlier.prefilter_drops),
             prefilter_keeps: self.prefilter_keeps.saturating_sub(earlier.prefilter_keeps),
             cache_bypasses: self.cache_bypasses.saturating_sub(earlier.cache_bypasses),
+            lex_splits: self.lex_splits.saturating_sub(earlier.lex_splits),
         }
     }
 }
@@ -138,6 +143,7 @@ pub fn snapshot() -> PolyStats {
         prefilter_drops: PREFILTER_DROPS.load(R),
         prefilter_keeps: PREFILTER_KEEPS.load(R),
         cache_bypasses: CACHE_BYPASSES.load(R),
+        lex_splits: LEX_SPLITS.load(R),
     }
 }
 
@@ -158,6 +164,7 @@ pub fn reset() {
         &PREFILTER_DROPS,
         &PREFILTER_KEEPS,
         &CACHE_BYPASSES,
+        &LEX_SPLITS,
     ] {
         c.store(0, R);
     }
@@ -198,6 +205,9 @@ pub(crate) fn count_prefilter_drop() {
 }
 pub(crate) fn count_prefilter_keep() {
     PREFILTER_KEEPS.fetch_add(1, R);
+}
+pub(crate) fn count_lex_split() {
+    LEX_SPLITS.fetch_add(1, R);
 }
 
 /// Whether the memo caches are consulted. Default `true`.
@@ -294,6 +304,14 @@ fn knob_event(knob: &'static str, value: u64, epoch: u64) {
 /// The cache-invalidation epoch (bumped whenever a knob changes).
 pub(crate) fn epoch() -> u64 {
     EPOCH.load(R)
+}
+
+/// Invalidates the per-thread memo caches without changing any knob.
+/// Used when the work ledger turns on: entries cached while the ledger was
+/// off carry no charged cost, so they must not be served under it (see
+/// [`ledger`](crate::ledger)).
+pub(crate) fn bump_epoch() {
+    EPOCH.fetch_add(1, R);
 }
 
 /// RAII snapshot of the engine knobs (`feasibility_budget`,

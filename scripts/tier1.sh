@@ -27,9 +27,17 @@ cargo run --release -p dmc-bench --bin dmc-trace -- \
 cargo run --release -p dmc-bench --bin dmc-metrics -- \
     --workload stencil --out-dir target/metrics-tier1 --check
 
+# Work-ledger profiler: profile the stencil workload and self-validate
+# the ledger (totals reconcile exactly with the engine's PolyStats
+# counters, >= 90% of work units carry an attribution context, and the
+# collapsed-stack flamegraph is byte-identical for 1 and 4 workers).
+cargo run --release -p dmc-bench --bin dmc-profile -- \
+    --workload stencil --out-dir target/profile-tier1 --check
+
 # Bench regression gate: re-measure the pipeline and diff against the
 # committed snapshot. Correctness fields (message/transmission/word
-# counts, simulated time, identity flags) must match exactly; the timing
+# counts, simulated time, identity flags) and the deterministic
+# work-unit totals must match exactly; the timing
 # tolerance is generous (150%) because tier-1 runs on arbitrary shared
 # hosts where wall-clock is noise — committed-snapshot refreshes use the
 # strict default (15%) via `dmc-bench-diff old new`.
