@@ -151,7 +151,7 @@ fn main() {
     std::fs::create_dir_all(&out_dir).expect("create out dir");
     let selected: Vec<Workload> = workloads()
         .into_iter()
-        .filter(|w| which.as_deref().map_or(true, |n| n == "all" || n == w.name))
+        .filter(|w| which.as_deref().is_none_or(|n| n == "all" || n == w.name))
         .collect();
     assert!(!selected.is_empty(), "no such workload (lu, stencil, figure2, xy, all)");
 

@@ -22,6 +22,15 @@
 //!   shift with cache warmth and every legitimate engine change; the
 //!   correctness fields and `work_units` already pin the outputs and the
 //!   logical work.
+//! - **Stage-graph sweep counts are exact.** The `sweep` section's
+//!   `stage_hits` / `stage_misses` come from fingerprint lookups resolved
+//!   on the main thread before any worker fan-out, so they are
+//!   deterministic across hosts and worker counts: any drift means a
+//!   stage key started (or stopped) covering an input it shouldn't — a
+//!   correctness finding either way. Its `messages` list and `identical`
+//!   flag pin the cached artifacts to the one-shot pipeline's outputs,
+//!   and its `work_units` (the charged work of the whole session sweep)
+//!   is exact like the per-workload totals.
 //! - The reported worker count must never exceed the host's available
 //!   parallelism (new snapshots only — that is an internal consistency
 //!   bug, not a comparison).
@@ -155,6 +164,53 @@ pub fn diff_snapshots(
     if !is_true(&new, "all_identical") {
         findings.push("all_identical is not true in new snapshot".to_owned());
     }
+    // Stage-graph sweep: hit/miss totals are deterministic, so they gate
+    // exactly, like work_units. Absent from both snapshots only when
+    // diffing two pre-session documents.
+    match (old.get("sweep"), new.get("sweep")) {
+        (Some(os), Some(ns)) => {
+            for field in ["stage_hits", "stage_misses", "work_units"] {
+                let (o, n) = (num(os, field), num(ns, field));
+                if o != n {
+                    findings.push(format!(
+                        "sweep: {field} changed {o:?} -> {n:?} \
+                         (stage reuse and charged work are deterministic; \
+                         must match exactly)"
+                    ));
+                }
+            }
+            let msgs = |v: &Json| {
+                v.get("messages").and_then(Json::as_arr).map(|a| {
+                    a.iter().map(|m| m.as_num().unwrap_or(f64::NAN)).collect::<Vec<f64>>()
+                })
+            };
+            if msgs(os) != msgs(ns) {
+                findings.push(format!(
+                    "sweep: per-step message counts changed {:?} -> {:?} (must match exactly)",
+                    msgs(os),
+                    msgs(ns)
+                ));
+            }
+        }
+        (None, None) | (None, Some(_)) => {}
+        (Some(_), None) => {
+            findings.push("sweep: section missing from new snapshot".to_owned());
+        }
+    }
+    if let Some(ns) = new.get("sweep") {
+        if !is_true(ns, "identical") {
+            findings
+                .push("sweep: session outputs no longer match the one-shot pipeline".to_owned());
+        }
+        if let (Some(h), Some(m)) = (num(ns, "stage_hits"), num(ns, "stage_misses")) {
+            if h < m {
+                findings.push(format!(
+                    "sweep: stage_hits {h} below stage_misses {m} \
+                     (the sweep must reuse at least half of its stage lookups)"
+                ));
+            }
+        }
+    }
     if let Some(threads) = new.get("threads") {
         if !is_true(threads, "identical") {
             findings.push("threads: fan-out no longer reproduces sequential outputs".to_owned());
@@ -186,7 +242,11 @@ pub fn diff_snapshots(
 
 /// One parsed Prometheus sample: `(family, full sample name + labels,
 /// value)`.
-fn prom_samples(doc: &str) -> Result<(Vec<(String, String, f64)>, Vec<(String, String)>), String> {
+type PromSample = (String, String, f64);
+/// A `# TYPE` declaration: `(family, kind)`.
+type PromType = (String, String);
+
+fn prom_samples(doc: &str) -> Result<(Vec<PromSample>, Vec<PromType>), String> {
     let mut types: Vec<(String, String)> = Vec::new();
     let mut samples = Vec::new();
     for line in doc.lines() {
@@ -280,6 +340,9 @@ mod tests {
       ],
       "threads": {"available": 4, "workers_used": 2, "sequential_ms": 12.0,
                   "parallel_ms": null, "comparison": "measured", "identical": true},
+      "sweep": {"workload": "w", "params": [4], "nprocs": [2, 4],
+                "stage_hits": 11, "stage_misses": 9, "messages": [5, 5],
+                "work_units": 2222, "identical": true},
       "all_identical": true
     }"#;
 
@@ -333,6 +396,48 @@ mod tests {
         let dropped = SNAP.replace("\"work_units\": 12345, ", "");
         let d = diff_snapshots(SNAP, &dropped, &Tolerances::default()).unwrap();
         assert!(d.iter().any(|f| f.contains("work_units missing")), "{d:?}");
+    }
+
+    /// Stage hit/miss totals are deterministic fingerprint lookups, so
+    /// the gate holds them exact in either direction — and a new snapshot
+    /// whose sweep stopped reusing half its lookups, dropped the section,
+    /// or diverged from the one-shot pipeline is a finding on its own.
+    #[test]
+    fn sweep_counts_are_gated_exactly() {
+        for injected in ["\"stage_hits\": 12", "\"stage_hits\": 10"] {
+            let changed = SNAP.replace("\"stage_hits\": 11", injected);
+            let d = diff_snapshots(SNAP, &changed, &Tolerances::default()).unwrap();
+            assert!(d.iter().any(|f| f.contains("stage_hits changed")), "{d:?}");
+        }
+        let msgs = SNAP.replace("\"messages\": [5, 5]", "\"messages\": [5, 6]");
+        let d = diff_snapshots(SNAP, &msgs, &Tolerances::default()).unwrap();
+        assert!(d.iter().any(|f| f.contains("message counts changed")), "{d:?}");
+
+        // Reuse below 50% in the new snapshot is a finding even when the
+        // old snapshot agreed (internal consistency, like workers_used).
+        let low = SNAP
+            .replace("\"stage_hits\": 11", "\"stage_hits\": 8")
+            .replace("\"stage_misses\": 9", "\"stage_misses\": 12");
+        let d = diff_snapshots(&low, &low, &Tolerances::default()).unwrap();
+        assert!(d.iter().any(|f| f.contains("below stage_misses")), "{d:?}");
+
+        let work = SNAP.replace("\"work_units\": 2222,", "\"work_units\": 2223,");
+        let d = diff_snapshots(SNAP, &work, &Tolerances::default()).unwrap();
+        assert!(d.iter().any(|f| f.contains("work_units changed")), "{d:?}");
+
+        let diverged = SNAP.replace(
+            "\"work_units\": 2222, \"identical\": true",
+            "\"work_units\": 2222, \"identical\": false",
+        );
+        let d = diff_snapshots(SNAP, &diverged, &Tolerances::default()).unwrap();
+        assert!(d.iter().any(|f| f.contains("no longer match the one-shot")), "{d:?}");
+
+        let dropped = SNAP.replace("\"sweep\":", "\"sweep_old\":");
+        let d = diff_snapshots(SNAP, &dropped, &Tolerances::default()).unwrap();
+        assert!(d.iter().any(|f| f.contains("sweep: section missing")), "{d:?}");
+        // Two pre-session snapshots diff cleanly.
+        let d = diff_snapshots(&dropped, &dropped, &Tolerances::default()).unwrap();
+        assert!(d.is_empty(), "{d:?}");
     }
 
     #[test]

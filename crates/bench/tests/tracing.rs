@@ -24,11 +24,10 @@ const LIMIT: usize = 50_000_000;
 
 static SERIAL: Mutex<()> = Mutex::new(());
 
-fn outputs(
-    input: &CompileInput,
-    params: &[i128],
-    options: Options,
-) -> (dmc_machine::Schedule, (u64, u64, u64), dmc_machine::SimStats) {
+/// Everything the pipeline produces: `(schedule, message stats, sim stats)`.
+type PipelineOut = (dmc_machine::Schedule, (u64, u64, u64), dmc_machine::SimStats);
+
+fn outputs(input: &CompileInput, params: &[i128], options: Options) -> PipelineOut {
     let compiled = compile(input.clone(), options).expect("compiles");
     let schedule = build_schedule(&compiled, params, false, LIMIT).expect("schedules");
     let stats = message_stats(&compiled, params, LIMIT).expect("stats");
@@ -44,7 +43,7 @@ fn traced_outputs(
     input: &CompileInput,
     params: &[i128],
     options: Options,
-) -> ((dmc_machine::Schedule, (u64, u64, u64), dmc_machine::SimStats), obs::Trace) {
+) -> (PipelineOut, obs::Trace) {
     obs::start_capture();
     let out = outputs(input, params, options);
     (out, obs::finish_capture())

@@ -337,7 +337,9 @@ pub fn aggregate_messages(
     let Some(elems) = cs.enumerate(param_vals, limit)? else {
         return Ok(None);
     };
-    let mut groups: BTreeMap<(Vec<i128>, Vec<i128>, Vec<i128>), Vec<CommElem>> = BTreeMap::new();
+    // Elements grouped by (sender, receiver, key).
+    type GroupKey = (Vec<i128>, Vec<i128>, Vec<i128>);
+    let mut groups: BTreeMap<GroupKey, Vec<CommElem>> = BTreeMap::new();
     for e in elems {
         let (s, r) = match grid {
             Some(g) => (g.fold(&e.ps), g.fold(&e.pr)),
@@ -486,8 +488,9 @@ pub fn count_transmissions(messages: &[Message], multicast: bool) -> (usize, usi
         let items = messages.iter().map(Message::len).sum();
         return (messages.len(), items);
     }
-    let mut seen: BTreeMap<(Vec<i128>, Vec<i128>, Vec<(Vec<i128>, Vec<i128>)>), usize> =
-        BTreeMap::new();
+    // Multicast identity: (sender, key, payload).
+    type CastKey = (Vec<i128>, Vec<i128>, Vec<(Vec<i128>, Vec<i128>)>);
+    let mut seen: BTreeMap<CastKey, usize> = BTreeMap::new();
     for m in messages {
         let payload: Vec<(Vec<i128>, Vec<i128>)> =
             m.items.iter().map(|e| (e.s_iter.clone(), e.arr.clone())).collect();

@@ -17,6 +17,13 @@
 //!    machine — in values mode this *proves* the plan correct against the
 //!    sequential interpreter.
 //!
+//! All of this runs through a fingerprinted stage graph (see [`session`]):
+//! open a [`Session`] to compile many related inputs — parameter sweeps,
+//! processor-count sweeps, incremental edits — and every stage whose
+//! inputs did not change is served from the session's artifact store
+//! instead of being recomputed. The one-shot functions above are thin
+//! wrappers over a throwaway session, with identical outputs.
+//!
 //! ```no_run
 //! use dmc_core::{compile, run, CompileInput, Options};
 //! use dmc_decomp::{CompDecomp, ProcGrid};
@@ -42,7 +49,9 @@
 #![warn(missing_docs)]
 
 mod options;
+mod passes;
 mod pipeline;
+pub mod session;
 
 #[cfg(test)]
 mod tests;
@@ -52,3 +61,4 @@ pub use pipeline::{
     analysis_jobs, build_schedule, compile, message_stats, planned_workers, run, Compiled,
     CompileError, CompileInput,
 };
+pub use session::{Session, SessionStats, StageCount};

@@ -117,14 +117,38 @@ impl Options {
     /// Like [`Options::apply_tuning`], but returns an RAII guard that
     /// restores the previous knob values when dropped — including on panic
     /// or early return — so one compile's tuning can never leak into the
-    /// next. [`compile`] and [`build_schedule`] scope their knobs this way.
-    ///
-    /// [`compile`]: crate::compile
-    /// [`build_schedule`]: crate::build_schedule
+    /// next. This mutates the *process-wide* knobs; the pipeline itself
+    /// uses the thread-local [`Options::push_tuning_scoped`] instead, so
+    /// concurrent sessions with different options cannot race.
     pub fn apply_tuning_scoped(&self) -> dmc_polyhedra::stats::KnobGuard {
         let guard = dmc_polyhedra::stats::KnobGuard::capture();
         self.apply_tuning();
         guard
+    }
+
+    /// These options' engine tunables as a [`dmc_polyhedra::stats::Tuning`]
+    /// value.
+    pub fn tuning(&self) -> dmc_polyhedra::stats::Tuning {
+        dmc_polyhedra::stats::Tuning {
+            feasibility_budget: self.feasibility_budget,
+            cache_enabled: self.poly_fast_paths,
+            prefilters_enabled: self.poly_fast_paths,
+            cache_min_constraints: self.cache_min_constraints,
+        }
+    }
+
+    /// Installs the engine tunables as a *thread-local* override for the
+    /// returned guard's lifetime. This is how [`compile`] and
+    /// [`build_schedule`] scope their knobs (each analysis worker pushes
+    /// its own): unlike [`Options::apply_tuning_scoped`], nothing
+    /// process-wide changes, so concurrent compilations with different
+    /// options cannot observe each other's tuning.
+    ///
+    /// [`compile`]: crate::compile
+    /// [`build_schedule`]: crate::build_schedule
+    #[must_use = "the tuning is uninstalled when the guard drops"]
+    pub fn push_tuning_scoped(&self) -> dmc_polyhedra::stats::ThreadTuningGuard {
+        dmc_polyhedra::stats::push_thread_tuning(self.tuning())
     }
 
     /// The concrete worker count `threads` resolves to: `0` → available

@@ -2,15 +2,10 @@
 //! optimized message plan → machine schedule.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::Arc;
 
-use dmc_commgen::{
-    aggregate_messages, comm_from_initial, comm_from_leaf, eliminate_already_local,
-    eliminate_cross_set_reuse, eliminate_self_reuse, is_multicast, unique_sender, CommError,
-    CommSet, Message, OptError,
-};
-use dmc_dataflow::{build_lwt, LastWriteTree, LwtError, LwtLeaf};
+use dmc_commgen::{aggregate_messages, is_multicast, CommError, CommSet, Message, OptError};
+use dmc_dataflow::{LastWriteTree, LwtError, LwtLeaf};
 use dmc_decomp::{CompDecomp, DataDecomp, ProcGrid};
 use dmc_ir::{Program, StmtInfo};
 use dmc_machine::{
@@ -21,7 +16,8 @@ use dmc_obs as obs;
 use dmc_polyhedra::ledger;
 use dmc_polyhedra::{DimKind, PolyError, Space};
 
-use crate::options::{Options, Strategy};
+use crate::options::Options;
+use crate::session::{aggregate_fp, schedule_fp, Session};
 
 /// Everything the compiler needs: the program, one computation
 /// decomposition per statement, initial data decompositions (the homes of
@@ -141,6 +137,12 @@ pub fn planned_workers(input: &CompileInput, options: &Options) -> usize {
 
 /// Runs analysis and communication generation/optimization.
 ///
+/// This is a thin wrapper over [`Session::compile`] with a throwaway
+/// session: the pipeline always runs through the fingerprinted stage
+/// graph, and the classic one-shot API is simply a session whose artifact
+/// store starts (and stays) empty for each call — every stage misses, so
+/// outputs, traces, and profiles match the monolithic pipeline exactly.
+///
 /// Per-(statement, read) analysis jobs are independent, so they fan out
 /// across [`Options::threads`] workers; results are merged back in textual
 /// order, making the output identical for every worker count (and the
@@ -151,299 +153,12 @@ pub fn planned_workers(input: &CompileInput, options: &Options) -> usize {
 ///
 /// Returns [`CompileError`] on any analysis failure.
 pub fn compile(input: CompileInput, options: Options) -> Result<Compiled, CompileError> {
-    // Lane before knobs: the guard's restore events on drop still land in
-    // the main lane (locals drop in reverse declaration order).
-    let _lane = obs::lane(obs::main_lane(), "pipeline");
-    let _knobs = options.apply_tuning_scoped();
-    let _span =
-        obs::span_f("compile", || vec![obs::field("strategy", format!("{:?}", options.strategy))]);
-    let stmts = input.program.statements();
-    for s in &stmts {
-        if !input.comps.contains_key(&s.id) {
-            return Err(CompileError::MissingComp(s.id));
-        }
-    }
-
-    let jobs: Vec<(usize, usize)> = stmts
-        .iter()
-        .enumerate()
-        .flat_map(|(si, s)| (0..s.stmt.rhs.reads().len()).map(move |r| (si, r)))
-        .collect();
-    let workers = options.effective_threads().min(jobs.len().max(1));
-    // The worker count depends on the host (and the `threads` option), so
-    // the event is diagnostic — excluded from the deterministic trace view,
-    // which must be identical for every worker count.
-    obs::event_nondet(
-        "compile.workers",
-        vec![
-            obs::field("threads", options.threads),
-            obs::field("workers", workers),
-            obs::field("jobs", jobs.len()),
-        ],
-    );
-
-    type ReadResult = Result<(LastWriteTree, Vec<CommSet>), CompileError>;
-    let results: Vec<ReadResult> = if workers <= 1 {
-        jobs.iter().map(|&(si, r)| compile_read(&input, options, &stmts, si, r)).collect()
-    } else {
-        // Work-queue fan-out: each worker pops the next job index and
-        // writes into that job's slot, so result order never depends on
-        // scheduling.
-        let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<ReadResult>>> =
-            jobs.iter().map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let j = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&(si, r)) = jobs.get(j) else { break };
-                    let res = compile_read(&input, options, &stmts, si, r);
-                    *slots[j].lock().expect("slot lock") = Some(res);
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .map(|m| m.into_inner().expect("slot lock").expect("worker filled every slot"))
-            .collect()
-    };
-
-    let mut lwts = Vec::new();
-    let mut comm: Vec<CommSet> = Vec::new();
-    for res in results {
-        let (lwt, sets) = res?;
-        lwts.push(lwt);
-        comm.extend(sets);
-    }
-
-    Ok(Compiled { input, options, lwts, comm })
-}
-
-/// Analyzes one (statement, read) pair: Last Write Tree (value-centric) or
-/// whole-domain owner tree (location-centric), communication sets per
-/// leaf, and the per-tree §6.1 optimizations.
-fn compile_read(
-    input: &CompileInput,
-    options: Options,
-    stmts: &[StmtInfo],
-    stmt_idx: usize,
-    read_no: usize,
-) -> Result<(LastWriteTree, Vec<CommSet>), CompileError> {
-    let s = &stmts[stmt_idx];
-    let reads = s.stmt.rhs.reads();
-    let read = &reads[read_no];
-    // Keyed by textual order, so the merged trace is identical for every
-    // worker count — each job's records stay contiguous in its own lane.
-    let _lane = obs::lane(obs::read_lane(stmt_idx, read_no), format!("read S{}#{read_no}", s.id));
-    // Work-ledger attribution mirrors the lane key: every polyhedral
-    // operation this job performs is charged to stmt<i> → read<j> → pass.
-    let _lctx_stmt = ledger::push_context(format!("stmt{stmt_idx}"));
-    let _lctx_read = ledger::push_context(format!("read{read_no}"));
-    let _span = obs::span_f("read", || {
-        vec![
-            obs::field("stmt", s.id),
-            obs::field("read", read_no),
-            obs::field("array", read.array.as_str()),
-            obs::field("access", format!("{read}")),
-        ]
-    });
-    match options.strategy {
-        Strategy::ValueCentric => {
-            let lwt = {
-                let _s = obs::span("lwt");
-                let _c = ledger::push_context("lwt");
-                build_lwt(&input.program, s.id, read_no)?
-            };
-            obs::event_f("lwt.done", || {
-                vec![
-                    obs::field("leaves", lwt.leaves.len()),
-                    obs::field("approximate", lwt.approximate),
-                ]
-            });
-            let _commsets_span = obs::span("commsets");
-            let _commsets_ctx = ledger::push_context("commsets");
-            let mut tree_sets: Vec<CommSet> = Vec::new();
-            for leaf in &lwt.leaves {
-                match &leaf.source {
-                    Some(src) => {
-                        let winfo = &stmts[src.write_stmt];
-                        let comp_r = &input.comps[&s.id];
-                        let comp_w = &input.comps[&winfo.id];
-                        let sets = comm_from_leaf(
-                            &input.program,
-                            &lwt,
-                            leaf,
-                            s,
-                            winfo,
-                            comp_r,
-                            comp_w,
-                        )?;
-                        tree_sets.extend(sets);
-                    }
-                    None => {
-                        // Live-in data: if the array has a declared
-                        // home, Theorem 4 communication; otherwise
-                        // it is replicated and local.
-                        if let Some(d) = input.initial.get(&read.array) {
-                            let comp_r = &input.comps[&s.id];
-                            let sets = comm_from_initial(
-                                &input.program,
-                                &lwt,
-                                leaf,
-                                s,
-                                comp_r,
-                                d,
-                            )?;
-                            tree_sets.extend(sets);
-                        }
-                    }
-                }
-            }
-            drop(_commsets_ctx);
-            drop(_commsets_span);
-            obs::event_f("commsets.done", || vec![obs::field("sets", tree_sets.len())]);
-            // §6.1 optimizations, per tree.
-            tree_sets = optimize_sets(tree_sets, input, options)?;
-            Ok((lwt, tree_sets))
-        }
-        Strategy::LocationCentric => {
-            // Theorem 2: every read fetches from the owner under
-            // the static data decomposition, with no value
-            // information — build a whole-domain ⊥ leaf.
-            let d = input
-                .initial
-                .get(&read.array)
-                .ok_or_else(|| CompileError::MissingInitial(read.array.clone()))?;
-            let lwt = whole_domain_tree(&input.program, s, read_no, &read.array);
-            let leaf = &lwt.leaves[0];
-            let comp_r = &input.comps[&s.id];
-            let mut sets = {
-                let _s = obs::span("commsets");
-                let _c = ledger::push_context("commsets");
-                comm_from_initial(&input.program, &lwt, leaf, s, comp_r, d)?
-            };
-            obs::event_f("commsets.done", || vec![obs::field("sets", sets.len())]);
-            sets = optimize_sets(sets, input, options)?;
-            Ok((lwt, sets))
-        }
-    }
-}
-
-/// Emits one §6 pass's summary event (inside that pass's span).
-fn opt_pass_event(pass: &'static str, sets_in: usize, sets_out: usize) {
-    obs::event_f("opt.pass", || {
-        vec![
-            obs::field("pass", pass),
-            obs::field("sets_in", sets_in),
-            obs::field("sets_out", sets_out),
-        ]
-    });
-}
-
-/// Applies the enabled §6 set-level optimizations to one tree's sets.
-fn optimize_sets(
-    sets: Vec<CommSet>,
-    input: &CompileInput,
-    options: Options,
-) -> Result<Vec<CommSet>, CompileError> {
-    let mut cur = sets;
-    if options.self_reuse {
-        let _s = obs::span("opt.self_reuse");
-        let _c = ledger::push_context("opt.self_reuse");
-        let n_in = cur.len();
-        let mut next = Vec::new();
-        for cs in &cur {
-            match options.strategy {
-                Strategy::ValueCentric => next.extend(eliminate_self_reuse(cs)?),
-                Strategy::LocationCentric => {
-                    // Without value information, a location written inside
-                    // the nest may change every iteration of the outermost
-                    // loop; dedup is only safe within one such iteration
-                    // (§2.2.2). Read-only arrays dedup fully.
-                    let written = input
-                        .program
-                        .statements()
-                        .iter()
-                        .any(|s| s.stmt.write.array == cs.array);
-                    let keep = usize::from(written);
-                    next.extend(dmc_commgen::eliminate_self_reuse_from(cs, keep)?);
-                }
-            }
-        }
-        cur = next;
-        opt_pass_event("self_reuse", n_in, cur.len());
-    }
-    if options.cross_set_reuse && options.strategy == Strategy::ValueCentric {
-        let _s = obs::span("opt.cross_set_reuse");
-        let _c = ledger::push_context("opt.cross_set_reuse");
-        let n_in = cur.len();
-        cur = eliminate_cross_set_reuse(&cur)?;
-        opt_pass_event("cross_set_reuse", n_in, cur.len());
-    }
-    if options.unique_sender {
-        let _s = obs::span("opt.unique_sender");
-        let _c = ledger::push_context("opt.unique_sender");
-        let n_in = cur.len();
-        let mut next = Vec::new();
-        for cs in &cur {
-            next.extend(unique_sender(cs)?);
-        }
-        cur = next;
-        opt_pass_event("unique_sender", n_in, cur.len());
-    }
-    if options.self_reuse {
-        // §6.1.3 / §7 — deliver each value once per *physical* processor:
-        // restrict receivers to the first-use virtual on each physical
-        // coordinate. Also keeps message enumeration proportional to
-        // physical (not virtual) receiver counts.
-        let _s = obs::span("opt.fold_receivers");
-        let _c = ledger::push_context("opt.fold_receivers");
-        let n_in = cur.len();
-        let extents = input.grid.extents().to_vec();
-        let mut next = Vec::new();
-        for cs in &cur {
-            if cs.dims.pr.len() == extents.len() {
-                next.extend(dmc_commgen::fold_receivers(cs, &extents)?);
-            } else {
-                next.push(cs.clone());
-            }
-        }
-        cur = next;
-        opt_pass_event("fold_receivers", n_in, cur.len());
-    }
-    if options.already_local {
-        let _s = obs::span("opt.already_local");
-        let _c = ledger::push_context("opt.already_local");
-        let n_in = cur.len();
-        let mut next = Vec::new();
-        for cs in cur {
-            // Valid only for initial-owner (live-in) data: owning a copy of
-            // the *location* says nothing about holding the current *value*
-            // once the program starts writing it. Only replicating
-            // decompositions (overlap / full replication) can make a
-            // receiver already own a copy.
-            let replicates = |d: &DataDecomp| {
-                d.maps.is_empty()
-                    || d.maps.iter().any(|m| m.overlap_lo != 0 || m.overlap_hi != 0)
-            };
-            match input.initial.get(&cs.array) {
-                Some(d)
-                    if cs.sender == dmc_commgen::SenderKind::InitialOwner && replicates(d) =>
-                {
-                    next.extend(eliminate_already_local(&cs, d)?);
-                }
-                _ => next.push(cs),
-            }
-        }
-        cur = next;
-        opt_pass_event("already_local", n_in, cur.len());
-    }
-    Ok(cur)
+    Session::throwaway().compile(input, options)
 }
 
 /// Builds a one-⊥-leaf tree covering a statement's whole read domain (the
 /// location-centric strategy's stand-in for value information).
-fn whole_domain_tree(
+pub(crate) fn whole_domain_tree(
     program: &Program,
     s: &StmtInfo,
     read_no: usize,
@@ -483,6 +198,11 @@ pub fn message_stats(
     limit: usize,
 ) -> Result<(u64, u64, u64), CompileError> {
     let schedule = build_schedule(compiled, param_vals, false, limit)?;
+    Ok(schedule_message_stats(&schedule))
+}
+
+/// `(messages, transmissions, words)` of an already-built schedule.
+pub(crate) fn schedule_message_stats(schedule: &Schedule) -> (u64, u64, u64) {
     let mut messages = 0u64;
     let mut transmissions = 0u64;
     let mut words = 0u64;
@@ -491,7 +211,7 @@ pub fn message_stats(
         transmissions += m.receivers.len() as u64;
         words += m.words * m.receivers.len() as u64;
     }
-    Ok((messages, transmissions, words))
+    (messages, transmissions, words)
 }
 
 /// One planned physical message group (multicast-merged when enabled).
@@ -664,12 +384,45 @@ pub fn build_schedule(
     values: bool,
     limit: usize,
 ) -> Result<Schedule, CompileError> {
+    build_schedule_inner(compiled, param_vals, values, limit, None)
+}
+
+/// The planner behind [`build_schedule`] and [`Session::build_schedule`]:
+/// when a session is supplied (and the fast paths are on — with them off
+/// the planner reproduces the original re-enumerating behavior exactly),
+/// the raw per-set message enumeration (`aggregate` stage) and the final
+/// legality-refined plan (`schedule` stage) are served from and admitted
+/// to the session store.
+pub(crate) fn build_schedule_inner(
+    compiled: &Compiled,
+    param_vals: &[i128],
+    values: bool,
+    limit: usize,
+    mut session: Option<&mut Session>,
+) -> Result<Schedule, CompileError> {
     // Scope the engine knobs here too: scheduling re-enters the polyhedral
-    // engine (enumeration, multicast checks), and `compile`'s guard has
-    // already restored the caller's settings by now.
+    // engine (enumeration, multicast checks), and `compile`'s tuning has
+    // already been popped by now.
     let _lane = obs::lane(obs::main_lane(), "pipeline");
-    let _knobs = compiled.options.apply_tuning_scoped();
+    let _tuning = compiled.options.push_tuning_scoped();
+    // Stage keys cover everything the plan is a function of; the schedule
+    // key adds the payload mode on top of the aggregate chain.
+    let agg_key = match &session {
+        Some(_) if compiled.options.poly_fast_paths => {
+            Some(aggregate_fp(compiled, param_vals, limit))
+        }
+        _ => None,
+    };
+    if let (Some(s), Some(k)) = (session.as_deref_mut(), agg_key) {
+        if let Some(cached) = s.schedule_stage(schedule_fp(k, values)) {
+            return Ok((*cached).clone());
+        }
+    }
     let _span = obs::span_f("schedule", || vec![obs::field("values", values)]);
+    // Explicit sessions root ledger attribution under a `session` frame
+    // (matching the per-read jobs); the classic wrapper path does not.
+    let _sess_ctx = matches!(&session, Some(s) if s.is_explicit())
+        .then(|| ledger::push_context("session"));
     let _lctx = ledger::push_context("schedule");
     // Legality-refinement loop: build at the paper's aggregation level;
     // when the dry run deadlocks (batching across carrying-loop iterations
@@ -683,27 +436,42 @@ pub fn build_schedule(
         .unwrap_or(0);
     // The raw per-set message enumeration is independent of the split
     // depth, so the fast path computes it once and shares it across
-    // retries; disabled, every attempt re-enumerates (the original
+    // retries (and, in a session, across compilations via the `aggregate`
+    // stage); disabled, every attempt re-enumerates (the original
     // behavior).
-    let hoisted: Option<Vec<Vec<Message>>> = if compiled.options.poly_fast_paths {
-        let _s = obs::span_f("aggregate", || vec![obs::field("sets", compiled.comm.len())]);
-        let _c = ledger::push_context("aggregate");
-        Some(
-            compiled
-                .comm
-                .iter()
-                .map(|cs| raw_messages(compiled, cs, param_vals, limit))
-                .collect::<Result<_, _>>()?,
-        )
+    let hoisted: Option<Arc<Vec<Vec<Message>>>> = if compiled.options.poly_fast_paths {
+        let cached = match (session.as_deref_mut(), agg_key) {
+            (Some(s), Some(k)) => s.aggregate_stage(k),
+            _ => None,
+        };
+        match cached {
+            Some(raw) => Some(raw),
+            None => {
+                let _s =
+                    obs::span_f("aggregate", || vec![obs::field("sets", compiled.comm.len())]);
+                let _c = ledger::push_context("aggregate");
+                let raw: Vec<Vec<Message>> = compiled
+                    .comm
+                    .iter()
+                    .map(|cs| raw_messages(compiled, cs, param_vals, limit))
+                    .collect::<Result<_, _>>()?;
+                let raw = Arc::new(raw);
+                if let (Some(s), Some(k)) = (session.as_deref_mut(), agg_key) {
+                    s.admit_aggregate(k, raw.clone());
+                }
+                Some(raw)
+            }
+        }
     } else {
         None
     };
+    let hoisted_slices: Option<&[Vec<Message>]> = hoisted.as_ref().map(|a| a.as_slice());
     let mut last_err = None;
     for extra in 0..=max_depth {
         let _attempt = obs::span_f("schedule.attempt", || vec![obs::field("extra_split", extra)]);
         let _actx = ledger::push_context(format!("attempt{extra}"));
         let schedule =
-            build_schedule_at(compiled, param_vals, values, limit, extra, hoisted.as_deref())?;
+            build_schedule_at(compiled, param_vals, values, limit, extra, hoisted_slices)?;
         // Cheap deadlock dry-run (timing semantics on the same schedule).
         let params: HashMap<String, i128> = compiled
             .input
@@ -729,7 +497,12 @@ pub fn build_schedule(
             )
         };
         match dry {
-            Ok(_) => return Ok(schedule),
+            Ok(_) => {
+                if let (Some(s), Some(k)) = (session.as_deref_mut(), agg_key) {
+                    s.admit_schedule(schedule_fp(k, values), Arc::new(schedule.clone()));
+                }
+                return Ok(schedule);
+            }
             Err(SimError::Deadlock { .. }) if extra < max_depth => {
                 obs::event("schedule.retry", vec![obs::field("extra_split", extra)]);
                 last_err = Some(SimError::Deadlock { blocked: vec![] });
@@ -901,13 +674,17 @@ fn build_schedule_at(
     Ok(schedule)
 }
 
+/// Sink for one enumerated compute block:
+/// `(processor, virtual iteration, inner range, flops, stamp)`.
+type BlockSink<'a> = dyn FnMut(usize, Vec<i128>, Option<(i128, i128)>, f64, Stamp) + 'a;
+
 /// Enumerates the compute blocks of one statement on every processor.
 fn compute_blocks(
     input: &CompileInput,
     info: &StmtInfo,
     comp: &CompDecomp,
     param_vals: &[i128],
-    emit: &mut dyn FnMut(usize, Vec<i128>, Option<(i128, i128)>, f64, Stamp),
+    emit: &mut BlockSink,
 ) -> Result<(), CompileError> {
     let program = &input.program;
     let grid = &input.grid;
@@ -986,6 +763,9 @@ fn compute_blocks(
     Ok(())
 }
 
+/// Callback for [`walk`]: one fixed prefix point plus the remaining nest.
+type WalkFn<'a> = dyn FnMut(&[i128], &dmc_polyhedra::ScanNest) -> Result<(), CompileError> + 'a;
+
 /// Recursively enumerates the first `walk_depth` scan variables.
 fn walk(
     nest: &dmc_polyhedra::ScanNest,
@@ -993,7 +773,7 @@ fn walk(
     walk_depth: usize,
     depth: usize,
     point: &mut Vec<i128>,
-    cb: &mut dyn FnMut(&[i128], &dmc_polyhedra::ScanNest) -> Result<(), CompileError>,
+    cb: &mut WalkFn,
 ) -> Result<(), CompileError> {
     if depth == walk_depth {
         return cb(point, nest);
@@ -1027,6 +807,17 @@ pub fn run(
 ) -> Result<SimResult, CompileError> {
     let _lane = obs::lane(obs::main_lane(), "pipeline");
     let schedule = build_schedule(compiled, param_vals, values, limit)?;
+    simulate_schedule(compiled, param_vals, config, values, &schedule)
+}
+
+/// Simulates an already-built schedule under the input's initial placement.
+pub(crate) fn simulate_schedule(
+    compiled: &Compiled,
+    param_vals: &[i128],
+    config: &MachineConfig,
+    values: bool,
+    schedule: &Schedule,
+) -> Result<SimResult, CompileError> {
     let params: HashMap<String, i128> = compiled
         .input
         .program
@@ -1044,7 +835,7 @@ pub fn run(
         &compiled.input.program,
         &params,
         &compiled.input.grid,
-        &schedule,
+        schedule,
         config,
         &placement,
         values,

@@ -1,0 +1,786 @@
+//! Compilation sessions: the pipeline as a DAG of fingerprinted,
+//! reusable stages.
+//!
+//! A [`Session`] owns a content-addressed artifact store and compiles
+//! through an explicit stage graph
+//!
+//! ```text
+//! parse → stmt-info → per-read { lwt → commsets → opt } → aggregate → schedule
+//! ```
+//!
+//! Every stage is keyed by a structural [`Fingerprint`] of exactly the
+//! inputs its answer depends on: the relevant IR subtree, the
+//! decompositions it reads, and the [`Options`] knobs that can change its
+//! output. Compiling the same input twice in one session re-runs nothing;
+//! compiling a *related* input (a different processor count, an edited
+//! read) re-runs only the stages whose fingerprints changed.
+//!
+//! [`compile`](crate::compile) is a thin wrapper that opens a throwaway
+//! session, so the classic API is byte-for-byte the session path with an
+//! empty store.
+//!
+//! ## The Options→fingerprint relevance map
+//!
+//! Not every knob invalidates every stage — the map below is what keeps
+//! sweeps cheap. A knob is included in a stage's fingerprint iff it can
+//! change that stage's *answer*:
+//!
+//! | stage     | program inputs                         | options            |
+//! |-----------|----------------------------------------|--------------------|
+//! | parse     | source text                            | —                  |
+//! | stmt-info | whole program                          | —                  |
+//! | lwt       | program *skeleton* + the one read      | strategy, budget   |
+//! | commsets  | lwt chain + comps + initial[array]     | strategy, budget   |
+//! | opt       | commsets chain + per-pass declarations | §6 flags, budget   |
+//! | aggregate | opt inputs + grid + params + limit     | §6 flags, budget   |
+//! | schedule  | aggregate chain + values flag          | §6 flags, budget   |
+//!
+//! `feasibility_budget` appears everywhere because exhausting it yields a
+//! conservative `Unknown` that can change analysis results. Deliberately
+//! **excluded** everywhere: `threads`, `poly_fast_paths`, and
+//! `cache_min_constraints` — those change time, never answers (the PR-1
+//! parity suite is the evidence), so flipping them between compiles still
+//! hits the store.
+//!
+//! The **skeleton** hash ([`dmc_ir::fp::skeleton_fp`]) covers parameters,
+//! array declarations, loop structure, and every statement's *written*
+//! access but no right-hand side — Last Write Trees cannot see other
+//! reads, so editing one read leaves every other read's chain untouched.
+//! The grid enters only at the `opt` stage (receiver folding) and later:
+//! a processor-count sweep reuses every lwt and commsets artifact.
+//!
+//! ## Determinism
+//!
+//! Stage hits and misses are resolved on the main thread before the
+//! worker fan-out, so hit counts are deterministic and the store needs no
+//! locks; only miss jobs are fanned out, through the same textual-order
+//! merge as always. Cache events (`stage.hit` / `stage.miss`) are emitted
+//! as non-deterministic diagnostics — their presence depends on session
+//! history — so [`dmc_obs`]'s deterministic trace view, the parity
+//! guarantees from the tracing/profiling PRs, and the byte-identical
+//! wrapper outputs are all preserved. Ledger attribution gains a
+//! `session` root frame only for explicitly-opened sessions, keeping the
+//! wrapper's collapsed-stack profiles unchanged.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use dmc_commgen::{comm_from_initial, comm_from_leaf, CommSet, Message};
+use dmc_dataflow::{build_lwt, LastWriteTree};
+use dmc_ir::fp::{skeleton_fp, Fingerprint, Fingerprintable, Fp};
+use dmc_ir::{ParseError, Program, StmtInfo};
+use dmc_machine::{MachineConfig, Schedule, SimResult};
+use dmc_obs as obs;
+use dmc_polyhedra::ledger;
+
+use crate::options::{Options, Strategy};
+use crate::passes::{optimize_sets, strategy_tag, OPT_PASSES};
+use crate::pipeline::{whole_domain_tree, Compiled, CompileError, CompileInput};
+
+/// Stage names as they appear in [`SessionStats`] and `stage.*` events.
+pub mod stage {
+    /// Source text → [`dmc_ir::Program`].
+    pub const PARSE: &str = "parse";
+    /// Program → per-statement contexts ([`dmc_ir::StmtInfo`]).
+    pub const STMT_INFO: &str = "stmt-info";
+    /// One read's Last Write Tree (§3.1).
+    pub const LWT: &str = "lwt";
+    /// One read's communication sets (Theorems 3/4).
+    pub const COMMSETS: &str = "commsets";
+    /// One read's §6-optimized sets.
+    pub const OPT: &str = "opt";
+    /// Raw per-set message enumeration at the aggregation prefix (§6.2).
+    pub const AGGREGATE: &str = "aggregate";
+    /// The legality-refined machine schedule (the SPMD program).
+    pub const SCHEDULE: &str = "schedule";
+}
+
+/// Hit/miss counts for one stage kind.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageCount {
+    /// Artifact served from the session store.
+    pub hits: u64,
+    /// Artifact recomputed.
+    pub misses: u64,
+}
+
+/// Cumulative cache statistics for a session.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Total stage lookups served from the store.
+    pub stage_hits: u64,
+    /// Total stage lookups that had to recompute.
+    pub stage_misses: u64,
+    /// Per-stage breakdown, keyed by the [`stage`] names.
+    pub per_stage: BTreeMap<&'static str, StageCount>,
+}
+
+impl SessionStats {
+    fn hit(&mut self, stage: &'static str, key: Fingerprint) {
+        self.stage_hits += 1;
+        self.per_stage.entry(stage).or_default().hits += 1;
+        if obs::enabled() {
+            obs::event_nondet(
+                "stage.hit",
+                vec![obs::field("stage", stage), obs::field("key", key.to_string())],
+            );
+        }
+    }
+
+    fn miss(&mut self, stage: &'static str, key: Fingerprint) {
+        self.stage_misses += 1;
+        self.per_stage.entry(stage).or_default().misses += 1;
+        if obs::enabled() {
+            obs::event_nondet(
+                "stage.miss",
+                vec![obs::field("stage", stage), obs::field("key", key.to_string())],
+            );
+        }
+    }
+}
+
+/// A compilation session: a typed, content-addressed artifact store plus
+/// the stage-graph driver. See the [module docs](self) for the stage
+/// DAG and fingerprint policy.
+///
+/// Artifacts are kept for the session's lifetime (no eviction) and
+/// shared out as [`Arc`] clones; all store access happens on the calling
+/// thread, so a `Session` is cheap and lock-free. For one-shot use,
+/// [`crate::compile`] opens a throwaway session internally.
+#[derive(Debug, Default)]
+pub struct Session {
+    parsed: HashMap<Fingerprint, Arc<Program>>,
+    stmt_info: HashMap<Fingerprint, Arc<Vec<StmtInfo>>>,
+    lwt: HashMap<Fingerprint, Arc<LastWriteTree>>,
+    comm: HashMap<Fingerprint, Arc<Vec<CommSet>>>,
+    opt: HashMap<Fingerprint, Arc<Vec<CommSet>>>,
+    aggregate: HashMap<Fingerprint, Arc<Vec<Vec<Message>>>>,
+    schedule: HashMap<Fingerprint, Arc<Schedule>>,
+    stats: SessionStats,
+    /// Explicitly-opened sessions push a `session` ledger root frame so
+    /// profiles attribute work to the session; the [`crate::compile`]
+    /// wrapper's throwaway session does not, keeping classic profiles
+    /// byte-identical.
+    explicit: bool,
+}
+
+impl Session {
+    /// Opens an empty session.
+    pub fn new() -> Self {
+        Session { explicit: true, ..Session::default() }
+    }
+
+    /// The internal session behind the classic [`crate::compile`] /
+    /// [`crate::build_schedule`] API: no `session` ledger frame, so the
+    /// wrapper's observable behavior matches the pre-session pipeline
+    /// exactly.
+    pub(crate) fn throwaway() -> Self {
+        Session::default()
+    }
+
+    /// Cumulative stage cache statistics.
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+
+    /// The `parse` stage: source text → [`Program`], keyed by the text.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parser's error on malformed source (errors are not
+    /// cached).
+    pub fn parse(&mut self, source: &str) -> Result<Program, ParseError> {
+        let mut h = Fp::new();
+        h.tag(50);
+        h.str(source);
+        let key = h.finish();
+        if let Some(p) = self.parsed.get(&key) {
+            self.stats.hit(stage::PARSE, key);
+            return Ok((**p).clone());
+        }
+        self.stats.miss(stage::PARSE, key);
+        let p = dmc_ir::parse(source)?;
+        self.parsed.insert(key, Arc::new(p.clone()));
+        Ok(p)
+    }
+
+    /// Compiles through the stage graph, reusing every stage whose
+    /// fingerprint matches a prior compilation in this session. Outputs
+    /// are identical to [`crate::compile`] for any store state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError`] on any analysis failure (the first in
+    /// textual order, as always).
+    pub fn compile(
+        &mut self,
+        input: CompileInput,
+        options: Options,
+    ) -> Result<Compiled, CompileError> {
+        // Lane first so every record of this compile lands in the main
+        // pipeline lane; the engine tuning is thread-local (installed
+        // per worker below), so concurrent sessions cannot race on the
+        // process-wide knobs.
+        let _lane = obs::lane(obs::main_lane(), "pipeline");
+        let _tuning = options.push_tuning_scoped();
+        let _span = obs::span_f("compile", || {
+            vec![obs::field("strategy", format!("{:?}", options.strategy))]
+        });
+
+        // Stage: stmt-info (per-statement contexts for the whole program).
+        let si_key = stmt_info_fp(&input.program);
+        let stmts: Arc<Vec<StmtInfo>> = match self.stmt_info.get(&si_key) {
+            Some(a) => {
+                self.stats.hit(stage::STMT_INFO, si_key);
+                a.clone()
+            }
+            None => {
+                self.stats.miss(stage::STMT_INFO, si_key);
+                let a = Arc::new(input.program.statements());
+                self.stmt_info.insert(si_key, a.clone());
+                a
+            }
+        };
+        for s in stmts.iter() {
+            if !input.comps.contains_key(&s.id) {
+                return Err(CompileError::MissingComp(s.id));
+            }
+        }
+
+        let jobs: Vec<(usize, usize)> = stmts
+            .iter()
+            .enumerate()
+            .flat_map(|(si, s)| (0..s.stmt.rhs.reads().len()).map(move |r| (si, r)))
+            .collect();
+
+        // Resolve every job's stage chain on this thread: hit counts stay
+        // deterministic, the store stays lock-free, and only misses fan
+        // out to workers.
+        let mut slots: Vec<JobSlot> = Vec::with_capacity(jobs.len());
+        for &(si, r) in &jobs {
+            let array = stmts[si].stmt.rhs.reads()[r].array.clone();
+            let lwt_key = lwt_fp(&input, &options, &stmts, si, r);
+            let comm_key = commsets_fp(lwt_key, &input, &array);
+            let opt_key = opt_fp(comm_key, &input, &options);
+            if let Some(opt) = self.opt.get(&opt_key) {
+                // The store never evicts, so a cached opt artifact
+                // implies its whole upstream chain is cached too.
+                let lwt = self.lwt.get(&lwt_key).expect("opt artifact implies lwt").clone();
+                self.stats.hit(stage::LWT, lwt_key);
+                self.stats.hit(stage::COMMSETS, comm_key);
+                self.stats.hit(stage::OPT, opt_key);
+                slots.push(JobSlot::Cached { lwt, opt: opt.clone() });
+                continue;
+            }
+            let cached_lwt = self.lwt.get(&lwt_key).cloned();
+            let cached_comm = self.comm.get(&comm_key).cloned();
+            match &cached_lwt {
+                Some(_) => self.stats.hit(stage::LWT, lwt_key),
+                None => self.stats.miss(stage::LWT, lwt_key),
+            }
+            match &cached_comm {
+                Some(_) => self.stats.hit(stage::COMMSETS, comm_key),
+                None => self.stats.miss(stage::COMMSETS, comm_key),
+            }
+            self.stats.miss(stage::OPT, opt_key);
+            slots.push(JobSlot::Run(JobPlan {
+                si,
+                r,
+                lwt_key,
+                comm_key,
+                opt_key,
+                cached_lwt,
+                cached_comm,
+            }));
+        }
+
+        let plans: Vec<&JobPlan> = slots
+            .iter()
+            .filter_map(|s| match s {
+                JobSlot::Run(p) => Some(p),
+                JobSlot::Cached { .. } => None,
+            })
+            .collect();
+        let workers = options.effective_threads().min(plans.len().max(1));
+        // The worker count depends on the host (and the `threads` option),
+        // so the event is diagnostic — excluded from the deterministic
+        // trace view, which must be identical for every worker count.
+        obs::event_nondet(
+            "compile.workers",
+            vec![
+                obs::field("threads", options.threads),
+                obs::field("workers", workers),
+                obs::field("jobs", jobs.len()),
+                obs::field("cached", jobs.len() - plans.len()),
+            ],
+        );
+
+        let explicit = self.explicit;
+        let results: Vec<ReadResult> = if workers <= 1 {
+            plans.iter().map(|p| run_read_job(&input, options, &stmts, p, explicit)).collect()
+        } else {
+            // Work-queue fan-out: each worker pops the next job index and
+            // writes into that job's slot, so result order never depends
+            // on scheduling.
+            let next = AtomicUsize::new(0);
+            let out: Vec<Mutex<Option<ReadResult>>> =
+                plans.iter().map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| {
+                        // Workers consult the engine knobs themselves, so
+                        // each installs the compile's tuning thread-locally.
+                        let _tuning = options.push_tuning_scoped();
+                        loop {
+                            let j = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(plan) = plans.get(j) else { break };
+                            let res = run_read_job(&input, options, &stmts, plan, explicit);
+                            *out[j].lock().expect("slot lock") = Some(res);
+                        }
+                    });
+                }
+            });
+            out.into_iter()
+                .map(|m| m.into_inner().expect("slot lock").expect("worker filled every slot"))
+                .collect()
+        };
+
+        // Merge in textual order and admit the new artifacts.
+        let mut lwts = Vec::new();
+        let mut comm: Vec<CommSet> = Vec::new();
+        let mut results = results.into_iter();
+        for slot in slots {
+            match slot {
+                JobSlot::Cached { lwt, opt } => {
+                    lwts.push((*lwt).clone());
+                    comm.extend(opt.iter().cloned());
+                }
+                JobSlot::Run(plan) => {
+                    let out = results.next().expect("one result per planned job")?;
+                    let lwt_arc = match out.new_lwt {
+                        Some(l) => {
+                            let a = Arc::new(l);
+                            self.lwt.insert(plan.lwt_key, a.clone());
+                            a
+                        }
+                        None => plan.cached_lwt.clone().expect("lwt cached or computed"),
+                    };
+                    if let Some(sets) = out.new_comm {
+                        self.comm.insert(plan.comm_key, Arc::new(sets));
+                    }
+                    let opt_arc = Arc::new(out.opt);
+                    self.opt.insert(plan.opt_key, opt_arc.clone());
+                    lwts.push((*lwt_arc).clone());
+                    comm.extend(opt_arc.iter().cloned());
+                }
+            }
+        }
+        Ok(Compiled { input, options, lwts, comm })
+    }
+
+    /// Session-aware [`crate::build_schedule`]: reuses the `aggregate`
+    /// (raw message enumeration) and `schedule` stages across calls.
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::build_schedule`].
+    pub fn build_schedule(
+        &mut self,
+        compiled: &Compiled,
+        param_vals: &[i128],
+        values: bool,
+        limit: usize,
+    ) -> Result<Schedule, CompileError> {
+        crate::pipeline::build_schedule_inner(compiled, param_vals, values, limit, Some(self))
+    }
+
+    /// Session-aware [`crate::message_stats`].
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::message_stats`].
+    pub fn message_stats(
+        &mut self,
+        compiled: &Compiled,
+        param_vals: &[i128],
+        limit: usize,
+    ) -> Result<(u64, u64, u64), CompileError> {
+        let schedule = self.build_schedule(compiled, param_vals, false, limit)?;
+        Ok(crate::pipeline::schedule_message_stats(&schedule))
+    }
+
+    /// Session-aware [`crate::run`]: plans through the session's stage
+    /// store, then simulates.
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::run`].
+    pub fn run(
+        &mut self,
+        compiled: &Compiled,
+        param_vals: &[i128],
+        config: &MachineConfig,
+        values: bool,
+        limit: usize,
+    ) -> Result<SimResult, CompileError> {
+        let _lane = obs::lane(obs::main_lane(), "pipeline");
+        let schedule = self.build_schedule(compiled, param_vals, values, limit)?;
+        crate::pipeline::simulate_schedule(compiled, param_vals, config, values, &schedule)
+    }
+
+    /// Looks up the `aggregate` stage, counting a hit or miss.
+    pub(crate) fn aggregate_stage(
+        &mut self,
+        key: Fingerprint,
+    ) -> Option<Arc<Vec<Vec<Message>>>> {
+        match self.aggregate.get(&key) {
+            Some(a) => {
+                self.stats.hit(stage::AGGREGATE, key);
+                Some(a.clone())
+            }
+            None => {
+                self.stats.miss(stage::AGGREGATE, key);
+                None
+            }
+        }
+    }
+
+    pub(crate) fn admit_aggregate(&mut self, key: Fingerprint, value: Arc<Vec<Vec<Message>>>) {
+        self.aggregate.insert(key, value);
+    }
+
+    /// Looks up the `schedule` stage, counting a hit or miss.
+    pub(crate) fn schedule_stage(&mut self, key: Fingerprint) -> Option<Arc<Schedule>> {
+        match self.schedule.get(&key) {
+            Some(a) => {
+                self.stats.hit(stage::SCHEDULE, key);
+                Some(a.clone())
+            }
+            None => {
+                self.stats.miss(stage::SCHEDULE, key);
+                None
+            }
+        }
+    }
+
+    pub(crate) fn admit_schedule(&mut self, key: Fingerprint, value: Arc<Schedule>) {
+        self.schedule.insert(key, value);
+    }
+
+    pub(crate) fn is_explicit(&self) -> bool {
+        self.explicit
+    }
+}
+
+/// One job's resolution: fully served from the store, or planned to run.
+enum JobSlot {
+    Cached { lwt: Arc<LastWriteTree>, opt: Arc<Vec<CommSet>> },
+    Run(JobPlan),
+}
+
+/// A planned (stmt, read) job with its chain keys and cached prefixes.
+struct JobPlan {
+    si: usize,
+    r: usize,
+    lwt_key: Fingerprint,
+    comm_key: Fingerprint,
+    opt_key: Fingerprint,
+    cached_lwt: Option<Arc<LastWriteTree>>,
+    cached_comm: Option<Arc<Vec<CommSet>>>,
+}
+
+/// What a job computed (stages it skipped return `None`).
+struct JobOut {
+    new_lwt: Option<LastWriteTree>,
+    new_comm: Option<Vec<CommSet>>,
+    opt: Vec<CommSet>,
+}
+
+type ReadResult = Result<JobOut, CompileError>;
+
+/// Runs the non-cached stages of one (statement, read) job. Emits the
+/// same lane / span / ledger structure as the classic pipeline for every
+/// stage it actually runs.
+fn run_read_job(
+    input: &CompileInput,
+    options: Options,
+    stmts: &[StmtInfo],
+    plan: &JobPlan,
+    explicit: bool,
+) -> ReadResult {
+    let (si, r) = (plan.si, plan.r);
+    let s = &stmts[si];
+    let reads = s.stmt.rhs.reads();
+    let read = &reads[r];
+    // Explicit sessions root the attribution under a `session` frame;
+    // each job pushes it itself so attribution is identical for every
+    // worker count.
+    let _sess_ctx = explicit.then(|| ledger::push_context("session"));
+    // Keyed by textual order, so the merged trace is identical for every
+    // worker count — each job's records stay contiguous in its own lane.
+    let _lane = obs::lane(obs::read_lane(si, r), format!("read S{}#{r}", s.id));
+    // Work-ledger attribution mirrors the lane key: every polyhedral
+    // operation this job performs is charged to stmt<i> → read<j> → pass.
+    let _lctx_stmt = ledger::push_context(format!("stmt{si}"));
+    let _lctx_read = ledger::push_context(format!("read{r}"));
+    let _span = obs::span_f("read", || {
+        vec![
+            obs::field("stmt", s.id),
+            obs::field("read", r),
+            obs::field("array", read.array.as_str()),
+            obs::field("access", format!("{read}")),
+        ]
+    });
+    match options.strategy {
+        Strategy::ValueCentric => {
+            let new_lwt = match &plan.cached_lwt {
+                Some(_) => None,
+                None => {
+                    let lwt = {
+                        let _s = obs::span("lwt");
+                        let _c = ledger::push_context("lwt");
+                        build_lwt(&input.program, s.id, r)?
+                    };
+                    obs::event_f("lwt.done", || {
+                        vec![
+                            obs::field("leaves", lwt.leaves.len()),
+                            obs::field("approximate", lwt.approximate),
+                        ]
+                    });
+                    Some(lwt)
+                }
+            };
+            let lwt: &LastWriteTree =
+                plan.cached_lwt.as_deref().or(new_lwt.as_ref()).expect("lwt cached or computed");
+
+            let new_comm = match &plan.cached_comm {
+                Some(_) => None,
+                None => {
+                    let _commsets_span = obs::span("commsets");
+                    let _commsets_ctx = ledger::push_context("commsets");
+                    let mut tree_sets: Vec<CommSet> = Vec::new();
+                    for leaf in &lwt.leaves {
+                        match &leaf.source {
+                            Some(src) => {
+                                let winfo = &stmts[src.write_stmt];
+                                let comp_r = &input.comps[&s.id];
+                                let comp_w = &input.comps[&winfo.id];
+                                let sets = comm_from_leaf(
+                                    &input.program,
+                                    lwt,
+                                    leaf,
+                                    s,
+                                    winfo,
+                                    comp_r,
+                                    comp_w,
+                                )?;
+                                tree_sets.extend(sets);
+                            }
+                            None => {
+                                // Live-in data: if the array has a declared
+                                // home, Theorem 4 communication; otherwise
+                                // it is replicated and local.
+                                if let Some(d) = input.initial.get(&read.array) {
+                                    let comp_r = &input.comps[&s.id];
+                                    let sets = comm_from_initial(
+                                        &input.program,
+                                        lwt,
+                                        leaf,
+                                        s,
+                                        comp_r,
+                                        d,
+                                    )?;
+                                    tree_sets.extend(sets);
+                                }
+                            }
+                        }
+                    }
+                    drop(_commsets_ctx);
+                    drop(_commsets_span);
+                    obs::event_f("commsets.done", || vec![obs::field("sets", tree_sets.len())]);
+                    Some(tree_sets)
+                }
+            };
+            let sets_in: Vec<CommSet> = plan
+                .cached_comm
+                .as_deref()
+                .or(new_comm.as_ref())
+                .expect("commsets cached or computed")
+                .clone();
+            // §6.1 optimizations, per tree.
+            let opt = optimize_sets(sets_in, input, options)?;
+            Ok(JobOut { new_lwt, new_comm, opt })
+        }
+        Strategy::LocationCentric => {
+            // Theorem 2: every read fetches from the owner under
+            // the static data decomposition, with no value
+            // information — build a whole-domain ⊥ leaf.
+            let new_lwt = match &plan.cached_lwt {
+                Some(_) => None,
+                None => Some(whole_domain_tree(&input.program, s, r, &read.array)),
+            };
+            let lwt: &LastWriteTree =
+                plan.cached_lwt.as_deref().or(new_lwt.as_ref()).expect("lwt cached or computed");
+            let new_comm = match &plan.cached_comm {
+                Some(_) => None,
+                None => {
+                    let d = input
+                        .initial
+                        .get(&read.array)
+                        .ok_or_else(|| CompileError::MissingInitial(read.array.clone()))?;
+                    let leaf = &lwt.leaves[0];
+                    let comp_r = &input.comps[&s.id];
+                    let sets = {
+                        let _s = obs::span("commsets");
+                        let _c = ledger::push_context("commsets");
+                        comm_from_initial(&input.program, lwt, leaf, s, comp_r, d)?
+                    };
+                    obs::event_f("commsets.done", || vec![obs::field("sets", sets.len())]);
+                    Some(sets)
+                }
+            };
+            let sets_in: Vec<CommSet> = plan
+                .cached_comm
+                .as_deref()
+                .or(new_comm.as_ref())
+                .expect("commsets cached or computed")
+                .clone();
+            let opt = optimize_sets(sets_in, input, options)?;
+            Ok(JobOut { new_lwt, new_comm, opt })
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stage fingerprints.
+//
+// Tags 50–59 are reserved for stage-key discriminators so no stage key can
+// collide with a plain value fingerprint or with another stage's key.
+
+/// The `stmt-info` stage key: the whole program.
+fn stmt_info_fp(program: &Program) -> Fingerprint {
+    let mut h = Fp::new();
+    h.tag(51);
+    program.fp(&mut h);
+    h.finish()
+}
+
+/// Feeds the analysis-relevant options: strategy and the feasibility
+/// budget (an exhausted budget yields conservative `Unknown` answers that
+/// can change results). Fast-path knobs are deliberately absent.
+fn analysis_options_fp(options: &Options, h: &mut Fp) {
+    h.tag(strategy_tag(options.strategy));
+    h.u64(u64::from(options.feasibility_budget));
+}
+
+/// The per-read `lwt` stage key: the program *skeleton* (loop structure,
+/// writes, declarations — no right-hand sides), this read's position and
+/// access, and the analysis options. Grid-free and blind to other reads.
+fn lwt_fp(
+    input: &CompileInput,
+    options: &Options,
+    stmts: &[StmtInfo],
+    si: usize,
+    r: usize,
+) -> Fingerprint {
+    let mut h = Fp::new();
+    h.tag(52);
+    skeleton_fp(&input.program, &mut h);
+    h.usize(si);
+    h.usize(r);
+    stmts[si].stmt.rhs.reads()[r].fp(&mut h);
+    analysis_options_fp(options, &mut h);
+    h.finish()
+}
+
+/// The per-read `commsets` stage key: the lwt chain plus every
+/// computation decomposition (writer statements contribute theirs) and
+/// the read array's initial decomposition. Still grid-free.
+fn commsets_fp(lwt_key: Fingerprint, input: &CompileInput, array: &str) -> Fingerprint {
+    let mut h = Fp::new();
+    h.tag(53);
+    h.fingerprint(lwt_key);
+    h.usize(input.comps.len());
+    for (id, comp) in &input.comps {
+        h.usize(*id);
+        comp.fp(&mut h);
+    }
+    // The read's array identity is already pinned by the lwt chain; what
+    // matters here is where that array's live-in data resides.
+    match input.initial.get(array) {
+        Some(d) => {
+            h.tag(1);
+            d.fp(&mut h);
+        }
+        None => h.tag(0),
+    }
+    h.finish()
+}
+
+/// The per-read `opt` stage key: the commsets chain plus each declared
+/// pass's enablement and self-declared fingerprint (grid extents enter
+/// here, via receiver folding).
+fn opt_fp(comm_key: Fingerprint, input: &CompileInput, options: &Options) -> Fingerprint {
+    let mut h = Fp::new();
+    h.tag(54);
+    h.fingerprint(comm_key);
+    for pass in OPT_PASSES {
+        h.str(pass.name);
+        let on = (pass.enabled)(options);
+        h.bool(on);
+        if on {
+            (pass.fingerprint)(input, options, &mut h);
+        }
+    }
+    h.finish()
+}
+
+/// The `aggregate` stage key: everything the optimized communication
+/// sets are a deterministic function of (program, decompositions, grid,
+/// answer-relevant options) plus the concrete parameters and the
+/// enumeration limit.
+pub(crate) fn aggregate_fp(
+    compiled: &Compiled,
+    param_vals: &[i128],
+    limit: usize,
+) -> Fingerprint {
+    let mut h = Fp::new();
+    h.tag(55);
+    let input = &compiled.input;
+    input.program.fp(&mut h);
+    h.usize(input.comps.len());
+    for (id, comp) in &input.comps {
+        h.usize(*id);
+        comp.fp(&mut h);
+    }
+    let mut entries: Vec<_> = input.initial.iter().collect();
+    entries.sort_by_key(|(name, _)| *name);
+    h.usize(entries.len());
+    for (name, d) in entries {
+        h.str(name);
+        d.fp(&mut h);
+    }
+    input.grid.fp(&mut h);
+    let o = &compiled.options;
+    analysis_options_fp(o, &mut h);
+    for flag in [o.self_reuse, o.cross_set_reuse, o.already_local, o.unique_sender, o.aggregate, o.multicast]
+    {
+        h.bool(flag);
+    }
+    h.usize(param_vals.len());
+    for &v in param_vals {
+        h.i128(v);
+    }
+    h.usize(limit);
+    h.finish()
+}
+
+/// The `schedule` stage key: the aggregate chain plus the payload mode.
+pub(crate) fn schedule_fp(agg_key: Fingerprint, values: bool) -> Fingerprint {
+    let mut h = Fp::new();
+    h.tag(56);
+    h.fingerprint(agg_key);
+    h.bool(values);
+    h.finish()
+}

@@ -1,0 +1,253 @@
+//! Incremental-equivalence suite for compilation sessions: the stage
+//! graph must never change *what* is computed — only *whether* a stage
+//! re-runs — so every test here pins both an exact output equivalence and
+//! an exact stage hit/miss accounting.
+//!
+//! Workloads are replicated locally (dmc-bench depends on dmc-core, so
+//! these tests cannot import it): LU (Figure 11, 2 statements / 5 reads)
+//! and the §2.2.2 X/Y example (2 statements / 2 reads).
+
+use std::collections::{BTreeMap, HashMap};
+
+use dmc_core::{compile, message_stats, CompileInput, Options, Session};
+use dmc_decomp::{CompDecomp, DataDecomp, ProcGrid};
+
+/// Figure 11's LU kernel: the paper's cyclic decomposition. 2 statements,
+/// 5 reads in total.
+fn lu_input(nproc: i128) -> CompileInput {
+    let program = dmc_ir::parse(
+        "param N; array X[N + 1][N + 1];
+         for i1 = 0 to N {
+           for i2 = i1 + 1 to N {
+             X[i2][i1] = X[i2][i1] / X[i1][i1];
+             for i3 = i1 + 1 to N {
+               X[i2][i3] = X[i2][i3] - X[i2][i1] * X[i1][i3];
+             }
+           }
+         }",
+    )
+    .expect("LU parses");
+    let mut comps = BTreeMap::new();
+    comps.insert(0, CompDecomp::cyclic_1d(0, "i2"));
+    comps.insert(1, CompDecomp::cyclic_1d(1, "i2"));
+    let mut initial = HashMap::new();
+    initial.insert("X".to_string(), DataDecomp::cyclic_1d("X", 2, 0));
+    CompileInput { program, comps, initial, grid: ProcGrid::line(nproc) }
+}
+
+/// §2.2.2's X/Y example, with the X-read subscript as a parameter so one
+/// test can make a single-read edit. 2 statements; S1 has 2 reads
+/// (`Y[j]`, `X[j - shift]`), S0 has none.
+fn xy_input(shift: i128, nproc: i128) -> CompileInput {
+    let program = dmc_ir::parse(&format!(
+        "param N; array X[N + 2]; array Y[N + 2];
+         for i = 0 to N {{
+           X[i] = 1.5;
+           for j = 1 to N {{
+             Y[j] = Y[j] + X[j - {shift}];
+           }}
+         }}"
+    ))
+    .expect("xy parses");
+    let mut comps = BTreeMap::new();
+    comps.insert(0, CompDecomp::block_1d(0, "i", 4));
+    comps.insert(1, CompDecomp::block_1d(1, "j", 4));
+    let mut initial = HashMap::new();
+    initial.insert("X".to_string(), DataDecomp::block_1d("X", 1, 0, 4));
+    initial.insert("Y".to_string(), DataDecomp::block_1d("Y", 1, 0, 4));
+    CompileInput { program, comps, initial, grid: ProcGrid::line(nproc) }
+}
+
+fn stage(session: &Session, name: &str) -> (u64, u64) {
+    session
+        .stats()
+        .per_stage
+        .get(name)
+        .map(|c| (c.hits, c.misses))
+        .unwrap_or((0, 0))
+}
+
+/// A deterministic rendering of everything a compile *produces* (the
+/// input/options are carried through verbatim; `CompileInput.initial` is a
+/// `HashMap`, whose Debug order is not stable across instances).
+fn outputs(c: &dmc_core::Compiled) -> String {
+    format!("{:?} {:?}", c.lwts, c.comm)
+}
+
+/// Recompiling a byte-identical input in one session re-runs nothing and
+/// returns an identical result — even though the `CompileInput` was
+/// constructed from scratch (the fingerprints are structural, not
+/// pointer-based).
+#[test]
+fn recompile_is_all_hits_and_byte_identical() {
+    let mut session = Session::new();
+    let fresh = session.compile(lu_input(4), Options::full()).expect("fresh compile");
+    let (h0, m0) = (session.stats().stage_hits, session.stats().stage_misses);
+    assert_eq!(h0, 0, "an empty session has nothing to hit");
+    // 1 stmt-info + 5 reads x (lwt + commsets + opt).
+    assert_eq!(m0, 16, "{:?}", session.stats());
+
+    let again = session.compile(lu_input(4), Options::full()).expect("recompile");
+    assert_eq!(session.stats().stage_misses, m0, "recompiling re-ran a stage");
+    assert_eq!(
+        session.stats().stage_hits,
+        16,
+        "every stage lookup must be served from the store: {:?}",
+        session.stats()
+    );
+    assert_eq!(
+        outputs(&fresh),
+        outputs(&again),
+        "cached compile must be byte-identical to the fresh one"
+    );
+}
+
+/// The session path and the classic one-shot wrapper produce identical
+/// results, for both strategies.
+#[test]
+fn session_output_matches_wrapper() {
+    for options in [Options::full(), Options::location_centric()] {
+        let via_wrapper = compile(xy_input(1, 4), options).expect("wrapper");
+        let mut session = Session::new();
+        let via_session = session.compile(xy_input(1, 4), options).expect("session");
+        assert_eq!(outputs(&via_wrapper), outputs(&via_session));
+        // The wrapper is itself a (throwaway) session: a fresh explicit
+        // session misses exactly where the wrapper recomputes.
+        assert_eq!(session.stats().stage_hits, 0);
+    }
+}
+
+/// Editing one read's subscript re-runs only that read's chain (plus the
+/// whole-program stmt-info stage): the other read's Last Write Tree is
+/// keyed by the program *skeleton*, which ignores right-hand sides.
+#[test]
+fn single_read_edit_reruns_only_that_chain() {
+    let mut session = Session::new();
+    session.compile(xy_input(1, 4), Options::full()).expect("first");
+    // 1 stmt-info + 2 reads x 3 stages.
+    assert_eq!(session.stats().stage_misses, 7, "{:?}", session.stats());
+
+    let edited = session.compile(xy_input(2, 4), Options::full()).expect("edited");
+    // Changed: stmt-info (whole program) + the X read's lwt/commsets/opt.
+    assert_eq!(session.stats().stage_misses, 7 + 4, "{:?}", session.stats());
+    // Unchanged: the Y[j] read's full chain.
+    assert_eq!(session.stats().stage_hits, 3, "{:?}", session.stats());
+    assert_eq!(stage(&session, "lwt"), (1, 3));
+    assert_eq!(stage(&session, "commsets"), (1, 3));
+    assert_eq!(stage(&session, "opt"), (1, 3));
+
+    // And the edited result equals a from-scratch compile of the edited
+    // program — incrementality must not leak stale artifacts.
+    let scratch = compile(xy_input(2, 4), Options::full()).expect("scratch");
+    assert_eq!(outputs(&edited), outputs(&scratch));
+}
+
+/// A processor-count sweep reuses everything grid-independent: the Last
+/// Write Trees and communication sets are keyed without the grid (it only
+/// enters at the `opt` stage, via receiver folding).
+#[test]
+fn proc_count_sweep_reuses_analysis_stages() {
+    let mut session = Session::new();
+    session.compile(lu_input(2), Options::full()).expect("nproc=2");
+    assert_eq!(session.stats().stage_misses, 16);
+
+    for (k, nproc) in [4i128, 8].into_iter().enumerate() {
+        let swept = session.compile(lu_input(nproc), Options::full()).expect("swept");
+        let done = k as u64 + 2;
+        // Per extra compile: stmt-info + 5 lwt + 5 commsets hit; 5 opt miss.
+        assert_eq!(session.stats().stage_hits, 11 * (done - 1), "{:?}", session.stats());
+        assert_eq!(session.stats().stage_misses, 16 + 5 * (done - 1), "{:?}", session.stats());
+        assert_eq!(stage(&session, "lwt"), (5 * (done - 1), 5));
+        assert_eq!(stage(&session, "stmt-info"), (done - 1, 1));
+
+        let scratch = compile(lu_input(nproc), Options::full()).expect("scratch");
+        assert_eq!(outputs(&swept), outputs(&scratch));
+    }
+}
+
+/// Options that can change analysis answers (strategy, feasibility
+/// budget) are part of the stage keys; fast-path knobs that only change
+/// time (threads, memo caches) are not.
+#[test]
+fn option_relevance_is_reflected_in_stage_keys() {
+    let mut session = Session::new();
+    session.compile(xy_input(1, 4), Options::full()).expect("first");
+    let baseline = session.stats().stage_misses;
+
+    // Irrelevant knobs: everything hits.
+    let opts = Options { threads: 1, cache_min_constraints: 0, ..Options::full() };
+    session.compile(xy_input(1, 4), opts).expect("threads=1");
+    assert_eq!(session.stats().stage_misses, baseline, "{:?}", session.stats());
+
+    // A different feasibility budget can change answers: full re-run of
+    // the per-read chains (stmt-info is options-independent and hits).
+    let opts = Options { feasibility_budget: 77, ..Options::full() };
+    session.compile(xy_input(1, 4), opts).expect("budget");
+    assert_eq!(session.stats().stage_misses, baseline + 6, "{:?}", session.stats());
+    assert_eq!(stage(&session, "stmt-info"), (2, 1));
+}
+
+/// `Session::build_schedule` and `Session::message_stats` reuse the
+/// aggregate and schedule stages — and agree with the classic functions.
+#[test]
+fn schedule_stages_are_cached_and_equivalent() {
+    let input = lu_input(4);
+    let compiled = compile(input, Options::full()).expect("compile");
+    let classic = message_stats(&compiled, &[10], 1_000_000).expect("classic stats");
+
+    let mut session = Session::new();
+    let first = session.message_stats(&compiled, &[10], 1_000_000).expect("session stats");
+    assert_eq!(first, classic);
+    assert_eq!(stage(&session, "aggregate"), (0, 1));
+    assert_eq!(stage(&session, "schedule"), (0, 1));
+
+    let second = session.message_stats(&compiled, &[10], 1_000_000).expect("cached stats");
+    assert_eq!(second, classic);
+    assert_eq!(stage(&session, "aggregate"), (0, 1), "schedule hit short-circuits aggregate");
+    assert_eq!(stage(&session, "schedule"), (1, 1));
+
+    // Different parameter values are a different aggregate chain.
+    session.message_stats(&compiled, &[12], 1_000_000).expect("new params");
+    assert_eq!(stage(&session, "aggregate"), (0, 2));
+    assert_eq!(stage(&session, "schedule"), (1, 2));
+
+    // Values mode shares the aggregate stage but not the schedule.
+    let sched = session.build_schedule(&compiled, &[12], true, 1_000_000).expect("values");
+    assert_eq!(stage(&session, "aggregate"), (1, 2));
+    assert_eq!(stage(&session, "schedule"), (1, 3));
+    let classic_sched =
+        dmc_core::build_schedule(&compiled, &[12], true, 1_000_000).expect("classic");
+    assert_eq!(sched, classic_sched);
+}
+
+/// The `parse` stage caches by source text.
+#[test]
+fn parse_stage_caches_by_source() {
+    let mut session = Session::new();
+    let src = "param N; array A[N]; for i = 1 to N - 1 { A[i] = A[i - 1]; }";
+    let p1 = session.parse(src).expect("parses");
+    let p2 = session.parse(src).expect("parses");
+    assert_eq!(format!("{p1:?}"), format!("{p2:?}"));
+    assert_eq!(stage(&session, "parse"), (1, 1));
+    session.parse("param N; array A[N]; for i = 1 to N - 1 { A[i] = A[i] }").ok();
+    // A malformed or different source is a miss (and errors are not cached).
+    assert_eq!(stage(&session, "parse").0, 1);
+}
+
+/// Simulation through a session equals the classic `run`, stage reuse and
+/// all — the schedule the simulator executes is the cached one.
+#[test]
+fn session_run_matches_classic_run() {
+    let compiled = compile(lu_input(4), Options::full()).expect("compile");
+    let config = dmc_machine::MachineConfig::ipsc860();
+    let classic = dmc_core::run(&compiled, &[8], &config, true, 1_000_000).expect("classic run");
+
+    let mut session = Session::new();
+    // Warm the schedule stage, then run: the simulated machine executes
+    // the cached plan.
+    session.build_schedule(&compiled, &[8], true, 1_000_000).expect("warm");
+    let cached = session.run(&compiled, &[8], &config, true, 1_000_000).expect("session run");
+    assert_eq!(stage(&session, "schedule"), (1, 1));
+    assert_eq!(classic.stats.time, cached.stats.time);
+    assert_eq!(classic.stats.messages, cached.stats.messages);
+}

@@ -475,16 +475,16 @@ fn candidate_pieces(
     let shared = sw.common_loops(sr);
     match cand.level {
         DepLevel::Independent => {
-            for j in 0..shared {
+            for (j, wvar) in wvars.iter().enumerate().take(shared) {
                 let rv = LinExpr::var(space.len(), space.index_of(&sr.loops[j].var).unwrap());
-                let wv = LinExpr::var(space.len(), space.index_of(&wvars[j]).unwrap());
+                let wv = LinExpr::var(space.len(), space.index_of(wvar).unwrap());
                 poly.add(Constraint::eq_pair(&wv, &rv)?);
             }
         }
         DepLevel::Carried(k) => {
-            for j in 0..k - 1 {
+            for (j, wvar) in wvars.iter().enumerate().take(k - 1) {
                 let rv = LinExpr::var(space.len(), space.index_of(&sr.loops[j].var).unwrap());
-                let wv = LinExpr::var(space.len(), space.index_of(&wvars[j]).unwrap());
+                let wv = LinExpr::var(space.len(), space.index_of(wvar).unwrap());
                 poly.add(Constraint::eq_pair(&wv, &rv)?);
             }
             // w_{k-1} <= r_{k-1} - 1.

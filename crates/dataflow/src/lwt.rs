@@ -73,10 +73,8 @@ impl LwtLeaf {
         let n = self.space.len();
         let mut fixed = self.context.clone();
         let n_known = point.len().min(n);
-        for d in 0..n_known {
-            fixed = fixed
-                .substitute_dim(d, &LinExpr::constant(n, point[d]))
-                .ok()?;
+        for (d, &val) in point.iter().enumerate().take(n_known) {
+            fixed = fixed.substitute_dim(d, &LinExpr::constant(n, val)).ok()?;
         }
         if n_known == n {
             return fixed.contains(point).ok()?.then(Vec::new);
@@ -146,14 +144,13 @@ impl LastWriteTree {
         point.extend_from_slice(params);
         for leaf in &self.leaves {
             if let Some(aux) = leaf.covers(&point) {
-                return match &leaf.source {
-                    None => None,
-                    Some(src) => Some((
+                return leaf.source.as_ref().map(|src| {
+                    (
                         src.write_stmt,
                         leaf.write_iter_at(&point, &aux)
                             .expect("write iteration evaluation failed"),
-                    )),
-                };
+                    )
+                });
             }
         }
         panic!(

@@ -30,6 +30,7 @@
 
 use std::fmt;
 
+use dmc_ir::fp::{Fingerprintable, Fp};
 use dmc_ir::{Aff, StmtInfo};
 use dmc_polyhedra::{Constraint, DimKind, Polyhedron, Space};
 
@@ -101,6 +102,16 @@ impl DimMap {
         let mut hi = p.scaled(self.block).sub(&e).expect("decomp overflow");
         hi.set_constant(hi.constant_term() + self.block - 1 + self.overlap_hi);
         poly.add(Constraint::ge(hi));
+    }
+}
+
+impl Fingerprintable for DimMap {
+    fn fp(&self, h: &mut Fp) {
+        h.tag(40);
+        self.expr.fp(h);
+        h.i128(self.block);
+        h.i128(self.overlap_lo);
+        h.i128(self.overlap_hi);
     }
 }
 
@@ -222,6 +233,15 @@ impl DataDecomp {
     }
 }
 
+impl Fingerprintable for DataDecomp {
+    fn fp(&self, h: &mut Fp) {
+        h.tag(41);
+        h.str(&self.array);
+        h.usize(self.array_ndim);
+        h.seq(&self.maps);
+    }
+}
+
 impl fmt::Display for DataDecomp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.maps.is_empty() {
@@ -309,6 +329,14 @@ impl CompDecomp {
                 dmc_polyhedra::num::div_floor(e, m.block)
             })
             .collect()
+    }
+}
+
+impl Fingerprintable for CompDecomp {
+    fn fp(&self, h: &mut Fp) {
+        h.tag(42);
+        h.usize(self.stmt);
+        h.seq(&self.maps);
     }
 }
 
@@ -494,6 +522,16 @@ impl ProcGrid {
             out = next;
         }
         out
+    }
+}
+
+impl Fingerprintable for ProcGrid {
+    fn fp(&self, h: &mut Fp) {
+        h.tag(43);
+        h.usize(self.extents.len());
+        for &e in &self.extents {
+            h.i128(e);
+        }
     }
 }
 

@@ -41,11 +41,13 @@
 
 mod aff;
 pub mod builder;
+pub mod fp;
 pub mod interp;
 mod parser;
 mod program;
 
 pub use aff::Aff;
+pub use fp::{Fingerprint, Fingerprintable, Fp};
 pub use parser::{parse, ParseError};
 pub use program::{
     ArrayDecl, ArrayRef, BinOp, Loop, LoopMeta, Node, Program, ScalarExpr, Statement, StmtInfo,

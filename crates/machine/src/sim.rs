@@ -101,12 +101,15 @@ struct Proc {
     idle_time: f64,
 }
 
+/// One transferred value: (array, element index, value, producer stamp).
+type PayloadItem = (String, Vec<i128>, f64, Stamp);
+
 /// In-flight message instance (per receiver).
 struct InFlight {
     arrival: f64,
     /// Sender clock when the send started; latency = completion − sent_at.
     sent_at: f64,
-    payload: Option<Vec<(String, Vec<i128>, f64, Stamp)>>,
+    payload: Option<Vec<PayloadItem>>,
     words: u64,
 }
 
@@ -175,10 +178,7 @@ pub fn simulate(
         let mut progressed = false;
         let mut all_done = true;
         for p in 0..nproc {
-            loop {
-                let Some(action) = schedule.procs[p].get(procs[p].next) else {
-                    break;
-                };
+            while let Some(action) = schedule.procs[p].get(procs[p].next) {
                 all_done = false;
                 match action {
                     Action::Block { stmt, prefix, inner_range, flops } => {

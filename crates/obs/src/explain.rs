@@ -16,7 +16,7 @@ fn as_u64(v: Option<&Value>) -> Option<u64> {
     }
 }
 
-fn as_str<'a>(v: Option<&'a Value>) -> Option<&'a str> {
+fn as_str(v: Option<&Value>) -> Option<&str> {
     match v {
         Some(Value::Str(s)) => Some(s),
         _ => None,
@@ -82,6 +82,7 @@ struct MsgInfo {
 /// final legality-refinement attempt's messages survive).
 pub fn explain_report(trace: &Trace, title: &str) -> String {
     let mut reads: BTreeMap<(u64, u64), ReadInfo> = BTreeMap::new();
+    let mut stages: BTreeMap<String, (u64, u64)> = BTreeMap::new();
     let mut messages: Vec<MsgInfo> = Vec::new();
     let mut retries = 0u64;
     let mut sim_done: Option<Vec<(&'static str, Value)>> = None;
@@ -133,6 +134,14 @@ pub fn explain_report(trace: &Trace, title: &str) -> String {
                         .or_default()
                         .eliminated
                         .push(format!("{array} set eliminated by {pass}"));
+                }
+                (Phase::Instant, "stage.hit") => {
+                    stages.entry(as_str(r.get("stage")).unwrap_or("?").to_owned()).or_default().0 +=
+                        1;
+                }
+                (Phase::Instant, "stage.miss") => {
+                    stages.entry(as_str(r.get("stage")).unwrap_or("?").to_owned()).or_default().1 +=
+                        1;
                 }
                 (Phase::Begin, "schedule") => {
                     messages.clear();
@@ -207,6 +216,24 @@ pub fn explain_report(trace: &Trace, title: &str) -> String {
         }
         for e in &info.eliminated {
             let _ = writeln!(out, "    - {e}");
+        }
+    }
+
+    if !stages.is_empty() {
+        // Session stage-graph reuse: every compilation stage is looked up
+        // in the session's content-addressed store before it runs. The
+        // classic one-shot API compiles through a throwaway session, so
+        // its report truthfully shows zero hits.
+        let (hits, misses) = stages
+            .values()
+            .fold((0u64, 0u64), |(h, m), (sh, sm)| (h + sh, m + sm));
+        let total = hits + misses;
+        let pct =
+            if total > 0 { format!(" ({:.0}% reused)", 100.0 * hits as f64 / total as f64) } else { String::new() };
+        let _ = writeln!(out, "\n## Reuse");
+        let _ = writeln!(out, "Stage graph: {hits} hit(s), {misses} miss(es){pct}.");
+        for (stage, (sh, sm)) in &stages {
+            let _ = writeln!(out, "- {stage}: {sh} hit(s), {sm} miss(es)");
         }
     }
 
@@ -420,6 +447,38 @@ mod tests {
         assert!(report.contains("m0: X p1 -> p2, 3 word(s)"), "{report}");
         assert!(report.contains("survived self_reuse, fold_receivers"), "{report}");
         assert!(report.contains("eliminated by already_local"), "{report}");
+    }
+
+    #[test]
+    fn reuse_section_summarizes_stage_cache() {
+        let trace = Trace {
+            lanes: vec![LaneRecords {
+                key: vec![0],
+                label: "main".to_owned(),
+                records: vec![
+                    rec(Phase::Instant, "stage.hit", vec![field("stage", "lwt"), field("key", "a")]),
+                    rec(Phase::Instant, "stage.hit", vec![field("stage", "lwt"), field("key", "b")]),
+                    rec(
+                        Phase::Instant,
+                        "stage.miss",
+                        vec![field("stage", "opt"), field("key", "c")],
+                    ),
+                    rec(
+                        Phase::Instant,
+                        "stage.miss",
+                        vec![field("stage", "opt"), field("key", "d")],
+                    ),
+                ],
+            }],
+        };
+        let report = explain_report(&trace, "unit");
+        assert!(report.contains("## Reuse"), "{report}");
+        assert!(report.contains("Stage graph: 2 hit(s), 2 miss(es) (50% reused)."), "{report}");
+        assert!(report.contains("- lwt: 2 hit(s), 0 miss(es)"), "{report}");
+        assert!(report.contains("- opt: 0 hit(s), 2 miss(es)"), "{report}");
+        // A trace with no stage events renders no Reuse section at all.
+        let empty = explain_report(&Trace { lanes: vec![] }, "unit");
+        assert!(!empty.contains("## Reuse"), "{empty}");
     }
 
     #[test]

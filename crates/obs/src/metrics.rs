@@ -150,7 +150,7 @@ impl MetricKind {
 enum Sample {
     Counter(u64),
     Gauge(f64),
-    Hist(Log2Hist),
+    Hist(Box<Log2Hist>),
 }
 
 #[derive(Clone, Debug, PartialEq)]
@@ -289,7 +289,7 @@ impl Registry {
         let key = Self::label_key(labels);
         self.family(name, help, MetricKind::Histogram)
             .samples
-            .insert(key, Sample::Hist(h.clone()));
+            .insert(key, Sample::Hist(Box::new(h.clone())));
     }
 
     /// Publishes the `dmc_build_info` gauge (Prometheus "info metric"

@@ -351,7 +351,7 @@ mod tests {
             if k == opt.len() {
                 if p.contains(point).unwrap() {
                     let key: Vec<i128> = opt.iter().map(|&d| point[d]).collect();
-                    if best.as_ref().map_or(true, |b| key > *b) {
+                    if best.as_ref().is_none_or(|b| key > *b) {
                         *best = Some(key);
                     }
                 }

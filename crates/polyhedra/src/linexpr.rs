@@ -195,7 +195,7 @@ impl LinExpr {
     /// end.
     pub fn extend(&self, extra: usize) -> LinExpr {
         let mut coeffs = self.coeffs.clone();
-        coeffs.extend(std::iter::repeat(0).take(extra));
+        coeffs.extend(std::iter::repeat_n(0, extra));
         LinExpr { coeffs, constant: self.constant }
     }
 

@@ -160,7 +160,7 @@ impl Polyhedron {
     }
 
     /// Reconstitutes a cached result over this polyhedron's space.
-    fn from_cached(&self, c: CachedPoly) -> Polyhedron {
+    fn reconstitute_cached(&self, c: CachedPoly) -> Polyhedron {
         Polyhedron {
             space: self.space.clone(),
             cons: c.cons,
@@ -445,7 +445,7 @@ impl Polyhedron {
                 dims.len(),
                 hit.charged,
             );
-            return Ok(self.from_cached(hit));
+            return Ok(self.reconstitute_cached(hit));
         }
         stats::count_proj_cache(false);
         let mut op = ledger::op(ledger::OpKind::Projection, self.cons.len());
@@ -605,7 +605,7 @@ impl Polyhedron {
                 0,
                 hit.charged,
             );
-            return Ok(self.from_cached(hit));
+            return Ok(self.reconstitute_cached(hit));
         }
         stats::count_redund_cache(false);
         let mut op = ledger::op(ledger::OpKind::Redundancy, self.cons.len());
@@ -775,7 +775,7 @@ impl Polyhedron {
             let mut best: Option<(usize, i128)> = None;
             for d in 0..cur.space.len() {
                 let a = eq.coeff(d);
-                if a != 0 && best.map_or(true, |(_, b)| a.abs() < b.abs()) {
+                if a != 0 && best.is_none_or(|(_, b)| a.abs() < b.abs()) {
                     best = Some((d, a));
                 }
             }

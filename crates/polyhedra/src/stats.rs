@@ -15,15 +15,41 @@
 //! site. Changing a knob bumps an internal epoch that invalidates the
 //! per-thread memo caches.
 //!
+//! ## Process-wide knobs vs. per-thread tuning
+//!
+//! The knobs exist at two layers:
+//!
+//! * the **process-wide defaults** (the atomics behind [`set_feasibility_budget`]
+//!   &c.) — ambient configuration for code that calls the engine directly;
+//! * an optional **per-thread [`Tuning`] override**
+//!   ([`push_thread_tuning`]) — an explicit, scoped value consulted *first*
+//!   by every getter. This is what compilation sessions use: two sessions
+//!   with different `Options` can run on different threads concurrently
+//!   without racing on the globals, because neither ever mutates them.
+//!
+//! Changing either layer invalidates the relevant memo caches: global knob
+//! changes bump a process-wide epoch, thread-tuning changes bump a
+//! *thread-local* epoch, and [`epoch`] is the sum — so a cached answer is
+//! only served while both the ambient defaults and the thread's override
+//! are exactly what they were when it was computed. Pushing a `Tuning`
+//! equal to the currently-effective values is free (no invalidation).
+//!
 //! Knob changes are meant to be scoped: [`KnobGuard::capture`] snapshots
 //! every knob and restores them on drop (panic-safe), so a compile
 //! that tunes the engine cannot leak its settings into the next one.
+//!
+//! The remaining deliberately process-wide state (not covered by
+//! [`Tuning`], and safe because it is either append-only or scoped to a
+//! thread already): the cumulative [`PolyStats`] counters (monotonic,
+//! shared by design — harnesses diff snapshots), the per-thread memo
+//! caches themselves, and the per-thread work ledger.
 //!
 //! When [`dmc_obs`] tracing is active, knob changes and feasibility-budget
 //! exhaustions are bridged into the trace as `poly.knob` (deterministic)
 //! and `poly.budget_exhausted` (diagnostic — a warm memo cache may skip
 //! the query entirely, so its presence is scheduling-dependent) events.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 
 use dmc_obs as obs;
@@ -51,6 +77,13 @@ static PREFILTERS_ENABLED: AtomicBool = AtomicBool::new(true);
 static FEAS_BUDGET: AtomicU32 = AtomicU32::new(DEFAULT_FEASIBILITY_BUDGET);
 static CACHE_MIN_CONSTRAINTS: AtomicU32 = AtomicU32::new(DEFAULT_CACHE_MIN_CONSTRAINTS);
 static EPOCH: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// This thread's explicit tuning, consulted before the globals.
+    static THREAD_TUNING: Cell<Option<Tuning>> = const { Cell::new(None) };
+    /// Invalidation epoch for tuning changes local to this thread.
+    static THREAD_EPOCH: Cell<u64> = const { Cell::new(0) };
+}
 
 /// The default branch-and-bound budget of
 /// [`Polyhedron::integer_feasibility`](crate::Polyhedron::integer_feasibility).
@@ -210,9 +243,93 @@ pub(crate) fn count_lex_split() {
     LEX_SPLITS.fetch_add(1, R);
 }
 
+/// A complete, explicit set of the engine tunables.
+///
+/// A `Tuning` is the value-typed form of the four process-wide knobs. It
+/// exists so callers that must not interfere with each other — concurrent
+/// compilation sessions with different `Options` — can carry their tuning
+/// as data and install it per thread ([`push_thread_tuning`]) instead of
+/// mutating the shared atomics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Tuning {
+    /// Branch-and-bound budget for integer-feasibility queries.
+    pub feasibility_budget: u32,
+    /// Whether the memo caches are consulted.
+    pub cache_enabled: bool,
+    /// Whether `remove_redundant` runs the cheap pre-filters.
+    pub prefilters_enabled: bool,
+    /// Minimum constraint count for a system to be worth memoizing.
+    pub cache_min_constraints: u32,
+}
+
+impl Default for Tuning {
+    /// The engine's built-in defaults (not the current process-wide
+    /// values; see [`Tuning::effective`] for those).
+    fn default() -> Self {
+        Tuning {
+            feasibility_budget: DEFAULT_FEASIBILITY_BUDGET,
+            cache_enabled: true,
+            prefilters_enabled: true,
+            cache_min_constraints: DEFAULT_CACHE_MIN_CONSTRAINTS,
+        }
+    }
+}
+
+impl Tuning {
+    /// The tuning currently in effect on this thread: the thread's
+    /// override if one is installed, the process-wide knobs otherwise.
+    pub fn effective() -> Self {
+        Tuning {
+            feasibility_budget: feasibility_budget(),
+            cache_enabled: cache_enabled(),
+            prefilters_enabled: prefilters_enabled(),
+            cache_min_constraints: cache_min_constraints(),
+        }
+    }
+}
+
+/// Installs `tuning` as this thread's engine tuning until the returned
+/// guard drops (which restores the previous override, or none).
+///
+/// The getters ([`feasibility_budget`] &c.) consult the thread override
+/// before the process-wide knobs, so engine work on this thread runs
+/// under `tuning` without mutating any global — concurrent threads with
+/// different tunings cannot observe each other. If the effective values
+/// actually change, the thread-local cache epoch is bumped so memoized
+/// answers computed under the old tuning are not served under the new
+/// one; pushing the already-effective values is free.
+#[must_use = "the tuning is uninstalled when the guard drops"]
+pub fn push_thread_tuning(tuning: Tuning) -> ThreadTuningGuard {
+    let before = Tuning::effective();
+    let prev = THREAD_TUNING.with(|c| c.replace(Some(tuning)));
+    if before != tuning {
+        THREAD_EPOCH.with(|c| c.set(c.get() + 1));
+    }
+    ThreadTuningGuard { prev }
+}
+
+/// RAII restore for [`push_thread_tuning`] (panic-safe, nestable).
+#[derive(Debug)]
+pub struct ThreadTuningGuard {
+    prev: Option<Tuning>,
+}
+
+impl Drop for ThreadTuningGuard {
+    fn drop(&mut self) {
+        let before = Tuning::effective();
+        THREAD_TUNING.with(|c| c.set(self.prev));
+        if Tuning::effective() != before {
+            THREAD_EPOCH.with(|c| c.set(c.get() + 1));
+        }
+    }
+}
+
 /// Whether the memo caches are consulted. Default `true`.
 pub fn cache_enabled() -> bool {
-    CACHE_ENABLED.load(R)
+    match THREAD_TUNING.with(Cell::get) {
+        Some(t) => t.cache_enabled,
+        None => CACHE_ENABLED.load(R),
+    }
 }
 
 /// Whether a system of `n_constraints` is worth memoizing under the
@@ -240,7 +357,10 @@ pub fn set_cache_enabled(on: bool) {
 
 /// Whether `remove_redundant` runs the cheap pre-filters. Default `true`.
 pub fn prefilters_enabled() -> bool {
-    PREFILTERS_ENABLED.load(R)
+    match THREAD_TUNING.with(Cell::get) {
+        Some(t) => t.prefilters_enabled,
+        None => PREFILTERS_ENABLED.load(R),
+    }
 }
 
 /// Enables or disables the redundancy pre-filters (process-wide). Changing
@@ -256,7 +376,10 @@ pub fn set_prefilters_enabled(on: bool) {
 /// The minimum constraint count for a system to be worth memoizing.
 /// Default [`DEFAULT_CACHE_MIN_CONSTRAINTS`]; 0 memoizes everything.
 pub fn cache_min_constraints() -> u32 {
-    CACHE_MIN_CONSTRAINTS.load(R)
+    match THREAD_TUNING.with(Cell::get) {
+        Some(t) => t.cache_min_constraints,
+        None => CACHE_MIN_CONSTRAINTS.load(R),
+    }
 }
 
 /// Sets the memoization size threshold. Systems with fewer constraints
@@ -272,7 +395,10 @@ pub fn set_cache_min_constraints(min: u32) {
 
 /// The current branch-and-bound budget for integer-feasibility queries.
 pub fn feasibility_budget() -> u32 {
-    FEAS_BUDGET.load(R)
+    match THREAD_TUNING.with(Cell::get) {
+        Some(t) => t.feasibility_budget,
+        None => FEAS_BUDGET.load(R),
+    }
 }
 
 /// Sets the branch-and-bound budget. A budget of 0 makes every query
@@ -301,9 +427,12 @@ fn knob_event(knob: &'static str, value: u64, epoch: u64) {
     }
 }
 
-/// The cache-invalidation epoch (bumped whenever a knob changes).
+/// The cache-invalidation epoch as seen by this thread: the process-wide
+/// epoch (bumped on global knob changes and ledger starts) plus the
+/// thread-local epoch (bumped on effective [`Tuning`] changes). Both
+/// components only grow, so the sum is monotonic per thread.
 pub(crate) fn epoch() -> u64 {
-    EPOCH.load(R)
+    EPOCH.load(R).wrapping_add(THREAD_EPOCH.with(Cell::get))
 }
 
 /// Invalidates the per-thread memo caches without changing any knob.
@@ -398,5 +527,73 @@ mod tests {
         drop(guard);
         assert!(epoch() > e0, "restoring knobs must bump the epoch");
         assert!(cache_enabled());
+    }
+
+    /// The thread-local epoch component alone — immune to concurrent
+    /// tests bumping the process-wide epoch.
+    fn thread_epoch() -> u64 {
+        THREAD_EPOCH.with(Cell::get)
+    }
+
+    #[test]
+    fn thread_tuning_overrides_getters_and_restores() {
+        // A dedicated thread so no other test's thread state interferes.
+        std::thread::spawn(|| {
+            let t = Tuning {
+                feasibility_budget: 77,
+                cache_enabled: false,
+                prefilters_enabled: false,
+                cache_min_constraints: 3,
+            };
+            let e0 = thread_epoch();
+            let g = push_thread_tuning(t);
+            assert_eq!(feasibility_budget(), 77);
+            assert!(!cache_enabled());
+            assert!(!prefilters_enabled());
+            assert_eq!(cache_min_constraints(), 3);
+            assert_eq!(Tuning::effective(), t);
+            assert!(thread_epoch() > e0, "an effective change must invalidate");
+
+            // Pushing the already-effective values is free (no
+            // invalidation), nested, and unwinds in order.
+            let e1 = thread_epoch();
+            let same = push_thread_tuning(t);
+            assert_eq!(thread_epoch(), e1);
+            drop(same);
+            assert_eq!(thread_epoch(), e1);
+
+            let inner = push_thread_tuning(Tuning { feasibility_budget: 5, ..t });
+            assert_eq!(feasibility_budget(), 5);
+            assert!(thread_epoch() > e1);
+            drop(inner);
+            assert_eq!(feasibility_budget(), 77, "inner pop restores outer tuning");
+
+            let e2 = thread_epoch();
+            drop(g);
+            assert!(thread_epoch() > e2, "popping the override must invalidate");
+            assert!(THREAD_TUNING.with(Cell::get).is_none());
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn thread_tuning_is_thread_local() {
+        std::thread::spawn(|| {
+            let _g = push_thread_tuning(Tuning {
+                feasibility_budget: 99,
+                ..Tuning::default()
+            });
+            assert_eq!(feasibility_budget(), 99);
+            // A freshly spawned thread does not inherit the override: it
+            // sees the process-wide knobs (whatever they currently are).
+            std::thread::spawn(|| {
+                assert!(THREAD_TUNING.with(Cell::get).is_none());
+            })
+            .join()
+            .unwrap();
+        })
+        .join()
+        .unwrap();
     }
 }

@@ -4,7 +4,10 @@
 //! Prints the Last Write Trees (Figure 12), the generated computation and
 //! aggregated communication code (Figure 13 artifacts), verifies the
 //! distributed execution against the sequential interpreter at a small
-//! size, and then reproduces the Figure 14 performance series.
+//! size, and then reproduces the Figure 14 performance series — all
+//! through one compilation [`Session`], so the processor-count series
+//! reuses every grid-independent analysis stage instead of recompiling
+//! from scratch.
 //!
 //! ```sh
 //! cargo run --release --example lu              # default sizes
@@ -13,7 +16,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use dmc_core::{compile, run, CompileInput, Options};
+use dmc_core::{CompileInput, Options, Session};
 use dmc_decomp::{CompDecomp, DataDecomp, ProcGrid};
 use dmc_machine::MachineConfig;
 
@@ -85,8 +88,14 @@ fn main() {
     );
 
     // --- correctness at a small size ---
-    let compiled = compile(lu_input(4), Options::full()).expect("compilation succeeds");
-    let r = run(&compiled, &[24], &MachineConfig::ipsc860(), true, 10_000_000)
+    // One session carries the whole example: the processor-count series
+    // below reuses every grid-independent analysis stage from this first
+    // compile (the grid only enters the stage keys at the optimization
+    // stage).
+    let mut session = Session::new();
+    let compiled = session.compile(lu_input(4), Options::full()).expect("compilation succeeds");
+    let r = session
+        .run(&compiled, &[24], &MachineConfig::ipsc860(), true, 10_000_000)
         .expect("simulation succeeds");
     let mut env = HashMap::new();
     env.insert("N".to_string(), 24i128);
@@ -104,8 +113,10 @@ fn main() {
     for &n in &sizes {
         let mut t1 = None;
         for p in [1i128, 2, 4, 8, 16, 32] {
-            let compiled = compile(lu_input(p), Options::full()).expect("compilation succeeds");
-            let r = run(&compiled, &[n], &scaled_config(scale), false, 500_000_000)
+            let compiled =
+                session.compile(lu_input(p), Options::full()).expect("compilation succeeds");
+            let r = session
+                .run(&compiled, &[n], &scaled_config(scale), false, 500_000_000)
                 .expect("simulation succeeds");
             let t = r.stats.time;
             if t1.is_none() {
@@ -122,4 +133,12 @@ fn main() {
             );
         }
     }
+    let s = session.stats();
+    println!(
+        "\nsession stage graph over the whole series: {} hit(s), {} miss(es) \
+         ({:.0}% of stage lookups served from the store)",
+        s.stage_hits,
+        s.stage_misses,
+        100.0 * s.stage_hits as f64 / (s.stage_hits + s.stage_misses).max(1) as f64
+    );
 }

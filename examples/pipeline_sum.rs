@@ -10,7 +10,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use dmc_core::{compile, run, CompileInput, Options};
+use dmc_core::{CompileInput, Options, Session};
 use dmc_decomp::{owner_computes, CompDecomp, DataDecomp, ProcGrid};
 use dmc_machine::MachineConfig;
 
@@ -45,7 +45,8 @@ fn main() {
         initial: HashMap::new(),
         grid: ProcGrid::line(4),
     };
-    let compiled = compile(input, Options::full()).expect("compiles");
+    let mut session = Session::new();
+    let compiled = session.compile(input, Options::full()).expect("compiles");
     println!(
         "\npipelined decomposition compiled: {} communication set(s)",
         compiled.comm.len()
@@ -57,7 +58,8 @@ fn main() {
     }
 
     let n = 15i128;
-    let r = run(&compiled, &[n], &MachineConfig::ipsc860(), true, 1_000_000)
+    let r = session
+        .run(&compiled, &[n], &MachineConfig::ipsc860(), true, 1_000_000)
         .expect("simulates");
     let mut env = HashMap::new();
     env.insert("N".to_string(), n);

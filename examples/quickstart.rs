@@ -1,5 +1,9 @@
 //! Quickstart: compile the paper's running example (Figure 2) for a
-//! 4-processor machine and run it on the simulator.
+//! 4-processor machine and run it on the simulator — through a
+//! compilation [`Session`], the front door of the pipeline. A session
+//! caches every stage of the compile by a content fingerprint, so
+//! follow-up compiles (new processor counts, new parameter values,
+//! edited programs) only re-run the stages whose inputs changed.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -7,22 +11,26 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use dmc_core::{compile, run, CompileInput, Options};
+use dmc_core::{CompileInput, Options, Session};
 use dmc_decomp::{CompDecomp, ProcGrid};
 use dmc_machine::MachineConfig;
 
 fn main() {
-    // The paper's Figure 2: a 2-deep nest with a distance-3 flow of values.
-    let program = dmc_ir::parse(
-        "param T, N;
-         array X[N + 1];
-         for t = 0 to T {
-           for i = 3 to N {
-             X[i] = X[i - 3];
-           }
-         }",
-    )
-    .expect("valid program");
+    let mut session = Session::new();
+
+    // The paper's Figure 2: a 2-deep nest with a distance-3 flow of
+    // values. Parsing is itself a cached stage, keyed by the source text.
+    let program = session
+        .parse(
+            "param T, N;
+             array X[N + 1];
+             for t = 0 to T {
+               for i = 3 to N {
+                 X[i] = X[i - 3];
+               }
+             }",
+        )
+        .expect("valid program");
     println!("source program:\n{program}");
 
     // The computation decomposition of Figure 5: blocks of 32 iterations of
@@ -36,7 +44,7 @@ fn main() {
         initial: HashMap::new(), // live-in values replicated
         grid: ProcGrid::line(4),
     };
-    let compiled = compile(input, Options::full()).expect("compilation succeeds");
+    let compiled = session.compile(input, Options::full()).expect("compilation succeeds");
 
     // The analysis artifacts: one Last Write Tree per read (Figure 3).
     for lwt in &compiled.lwts {
@@ -45,8 +53,10 @@ fn main() {
     println!("{} communication set(s) after optimization", compiled.comm.len());
 
     // Execute on the simulated machine, checking values against the
-    // sequential semantics (values mode).
-    let result = run(&compiled, &[10, 127], &MachineConfig::ipsc860(), true, 1_000_000)
+    // sequential semantics (values mode). The schedule is cached too:
+    // running again at the same parameters would rebuild nothing.
+    let result = session
+        .run(&compiled, &[10, 127], &MachineConfig::ipsc860(), true, 1_000_000)
         .expect("simulation succeeds");
     let stats = &result.stats;
     println!(
@@ -67,4 +77,23 @@ fn main() {
     let b = seq.array("X").expect("X").as_slice();
     assert_eq!(a, b, "distributed result must equal the sequential result");
     println!("distributed result matches the sequential interpreter ✓");
+
+    // Retarget the same program to 8 processors. The grid only enters the
+    // stage keys at the optimization stage, so the data-flow analysis
+    // (statement info, Last Write Trees, communication sets) is served
+    // straight from the session's store.
+    let mut comps = BTreeMap::new();
+    comps.insert(0, CompDecomp::block_1d(0, "i", 32));
+    let retargeted = CompileInput {
+        program: program.clone(),
+        comps,
+        initial: HashMap::new(),
+        grid: ProcGrid::line(8),
+    };
+    session.compile(retargeted, Options::full()).expect("retarget compiles");
+    let s = session.stats();
+    println!(
+        "retargeted to 8 processors: {} stage hit(s), {} miss(es) across the session",
+        s.stage_hits, s.stage_misses
+    );
 }

@@ -12,7 +12,12 @@ cd "$(dirname "$0")/.."
 export CARGO_NET_OFFLINE=true
 
 cargo build --release
+cargo build --release --examples
 cargo test -q --workspace
+
+# Lint gate: the workspace (every target, examples and benches included)
+# must be clippy-clean at -D warnings.
+cargo clippy --workspace --all-targets -- -D warnings
 
 # Observability smoke: trace the stencil workload and validate the Chrome
 # export (well-formed JSON, balanced begin/end pairs, monotonic per-lane
@@ -33,6 +38,14 @@ cargo run --release -p dmc-bench --bin dmc-metrics -- \
 # collapsed-stack flamegraph is byte-identical for 1 and 4 workers).
 cargo run --release -p dmc-bench --bin dmc-profile -- \
     --workload stencil --out-dir target/profile-tier1 --check
+
+# Stage-graph sessions: sweep every workload over four processor counts
+# inside one compilation session and verify that the cached artifacts are
+# identical to the one-shot pipeline's, that at least half of all stage
+# lookups hit, that recompiling an identical input re-runs nothing, and
+# that the explain report carries the Reuse section.
+cargo run --release -p dmc-bench --bin dmc-session -- \
+    --out-dir target/session-tier1 --check
 
 # Bench regression gate: re-measure the pipeline and diff against the
 # committed snapshot. Correctness fields (message/transmission/word
