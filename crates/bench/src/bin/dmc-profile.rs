@@ -29,6 +29,7 @@ use dmc_bench::{figure2_input, lu_input, stencil_input, xy_input};
 use dmc_core::{build_schedule, compile, run, CompileInput, Options};
 use dmc_machine::MachineConfig;
 use dmc_obs as obs;
+use dmc_obs::json::{self, Json};
 use dmc_polyhedra::ledger::{self, CacheOutcome, Ledger};
 use dmc_polyhedra::{stats, PolyStats};
 
@@ -130,12 +131,80 @@ fn check_totals(name: &str, ledger: &Ledger, delta: &PolyStats) {
     }
 }
 
+/// Prints the top-`n` contexts by charged work units, with each context's
+/// share of the workload total.
+fn print_top(name: &str, profile: &obs::WorkProfile, n: usize) {
+    let totals = profile.context_totals();
+    let total = profile.total_work();
+    println!("{name}: top {} contexts of {} ({} work units total)", n.min(totals.len()), totals.len(), total);
+    println!("{:>10} {:>7}  context", "units", "share");
+    for (ctx, units) in totals.iter().take(n) {
+        let pct = if total == 0 { 0.0 } else { *units as f64 / total as f64 * 100.0 };
+        println!("{units:>10} {pct:>6.1}%  {ctx}");
+    }
+}
+
+/// Per-context work_units deltas of the current profile against the
+/// workload's `work_contexts` section in a `BENCH_pipeline.json` snapshot
+/// (and the total against its exact-gated `work_units` field).
+fn print_diff(name: &str, profile: &obs::WorkProfile, snapshot: &Json) {
+    let entry = snapshot
+        .get("workloads")
+        .and_then(Json::as_arr)
+        .and_then(|ws| {
+            ws.iter().find(|w| w.get("name").and_then(Json::as_str) == Some(name)).cloned()
+        });
+    let Some(entry) = entry else {
+        println!("{name}: not present in snapshot — nothing to diff");
+        return;
+    };
+    let old_total = entry.get("work_units").and_then(Json::as_num).unwrap_or(0.0) as i128;
+    let new_total = i128::from(profile.total_work());
+    println!(
+        "{name}: work_units {old_total} -> {new_total} ({:+})",
+        new_total - old_total
+    );
+    let Some(Json::Obj(old_ctx)) = entry.get("work_contexts") else {
+        println!("  (snapshot has no work_contexts section; totals only)");
+        return;
+    };
+    // Union of old and new context paths, new totals first.
+    let new_ctx = profile.context_totals();
+    let mut rows: Vec<(String, i128, i128)> = Vec::new();
+    for (ctx, units) in &new_ctx {
+        let old = old_ctx
+            .iter()
+            .find(|(k, _)| k == ctx)
+            .and_then(|(_, v)| v.as_num())
+            .unwrap_or(0.0) as i128;
+        rows.push((ctx.clone(), old, i128::from(*units)));
+    }
+    for (k, v) in old_ctx {
+        if !new_ctx.iter().any(|(c, _)| c == k) {
+            rows.push((k.clone(), v.as_num().unwrap_or(0.0) as i128, 0));
+        }
+    }
+    rows.sort_by(|a, b| {
+        let (da, db) = ((a.2 - a.1).abs(), (b.2 - b.1).abs());
+        db.cmp(&da).then(a.0.cmp(&b.0))
+    });
+    println!("{:>10} {:>10} {:>8}  context", "old", "new", "delta");
+    for (ctx, old, new) in rows {
+        if old == new {
+            continue;
+        }
+        println!("{old:>10} {new:>10} {:>+8}  {ctx}", new - old);
+    }
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut which: Option<String> = None;
     let mut out_dir = PathBuf::from("target/dmc-profile");
     let mut check = false;
     let mut threads = 0usize;
+    let mut top: Option<usize> = None;
+    let mut diff: Option<String> = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--workload" => which = Some(args.next().expect("--workload needs a name")),
@@ -144,9 +213,21 @@ fn main() {
             "--threads" => {
                 threads = args.next().expect("--threads needs a count").parse().expect("number")
             }
-            other => panic!("unknown argument: {other} (try --workload/--out-dir/--check/--threads)"),
+            "--top" => {
+                top = Some(args.next().expect("--top needs a count").parse().expect("number"))
+            }
+            "--diff" => diff = Some(args.next().expect("--diff needs a snapshot path")),
+            other => panic!(
+                "unknown argument: {other} \
+                 (try --workload/--out-dir/--check/--threads/--top/--diff)"
+            ),
         }
     }
+    let diff_doc: Option<Json> = diff.map(|path| {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read snapshot {path}: {e}"));
+        json::parse(&text).unwrap_or_else(|e| panic!("parse snapshot {path}: {e}"))
+    });
 
     std::fs::create_dir_all(&out_dir).expect("create out dir");
     let selected: Vec<Workload> = workloads()
@@ -166,6 +247,25 @@ fn main() {
         let report = obs::explain_report_with_profile(&cap.trace, w.name, &profile);
         let report_path = out_dir.join(format!("profile_{}.md", w.name));
         std::fs::write(&report_path, &report).expect("write hotspots report");
+
+        if let Some(n) = top {
+            print_top(w.name, &profile, n);
+            let d = &cap.delta;
+            println!(
+                "  engine: {} fm steps, {} feasibility calls, {} bnb nodes, \
+                 {} negation tests, {} prefilter keeps, {} prefilter drops, {} lex splits",
+                d.fm_steps,
+                d.feasibility_calls,
+                d.bnb_nodes,
+                d.negation_tests,
+                d.prefilter_keeps,
+                d.prefilter_drops,
+                d.lex_splits
+            );
+        }
+        if let Some(doc) = &diff_doc {
+            print_diff(w.name, &profile, doc);
+        }
 
         if check {
             check_totals(w.name, &cap.ledger, &cap.delta);

@@ -8,6 +8,7 @@
 //! ```sh
 //! cargo run --release -p dmc-bench --bin perfstats
 //! cargo run --release -p dmc-bench --bin perfstats -- --out other.json
+//! cargo run --release -p dmc-bench --bin perfstats -- --quick   # 1 rep smoke
 //! ```
 
 use std::fmt::Write as _;
@@ -16,7 +17,11 @@ use std::time::Instant;
 use dmc_bench::{figure2_input, lu_input, stencil_input, xy_input};
 use dmc_core::{build_schedule, compile, message_stats, run, CompileInput, Options, Session};
 use dmc_machine::MachineConfig;
-use dmc_polyhedra::{cache, ledger, stats, PolyStats};
+use dmc_obs as obs;
+use dmc_polyhedra::{
+    batch_feasibility, cache, ledger, lexopt, stats, Constraint, DimKind, Direction, LinExpr,
+    PolyStats, Polyhedron, Space,
+};
 
 const REPS: usize = 3;
 const LIMIT: usize = 50_000_000;
@@ -45,11 +50,11 @@ struct Measured {
     sim: dmc_machine::SimStats,
 }
 
-/// Compiles + schedules `REPS` times from a cold per-thread cache and
+/// Compiles + schedules `reps` times from a cold per-thread cache and
 /// keeps the best rep (counters come from the best rep too).
-fn measure(w: &Workload, options: Options) -> Measured {
+fn measure(w: &Workload, options: Options, reps: usize) -> Measured {
     let mut best: Option<Measured> = None;
-    for _ in 0..REPS {
+    for _ in 0..reps {
         cache::clear_thread_caches();
         let before = stats::snapshot();
         let t0 = Instant::now();
@@ -99,16 +104,136 @@ fn stats_json(s: &PolyStats) -> String {
     )
 }
 
-/// One untimed ledger pass over the full-options pipeline: the workload's
-/// top-level **charged** work-unit total. Deterministic — independent of
-/// the host, worker count and cache state (cache hits replay the charged
-/// cost of the original computation) — so `dmc-bench-diff` gates it
-/// exactly, unlike the noisy wall-clock timings.
-fn work_units(w: &Workload) -> u64 {
+/// The deterministic work fields of one workload, from one untimed
+/// single-threaded ledger pass over the full-options pipeline.
+struct WorkMeasure {
+    /// Top-level **charged** work units. Independent of the host, worker
+    /// count and cache state (cache hits replay the charged cost of the
+    /// original computation), so `dmc-bench-diff` gates it exactly,
+    /// unlike the noisy wall-clock timings.
+    units: u64,
+    /// Charged work per attribution context, `";"`-joined path → units,
+    /// sorted by descending work. The input of `dmc-profile --diff`.
+    contexts: Vec<(String, u64)>,
+    /// `LinExpr` heap allocations during the pass. Deterministic only
+    /// because the pass is pinned to one thread from cold caches (the
+    /// per-thread memo caches make multi-threaded totals partition-
+    /// dependent), which is why it is measured here and not in `measure`.
+    allocs: u64,
+}
+
+/// One untimed ledger pass over the full-options pipeline, single-threaded
+/// so the allocation count is reproducible. See [`WorkMeasure`].
+fn work_units(w: &Workload) -> WorkMeasure {
     ledger::start();
-    let compiled = compile(w.input.clone(), Options::full()).expect("compiles");
+    let before = stats::snapshot();
+    let options = Options { threads: 1, ..Options::full() };
+    let compiled = compile(w.input.clone(), options).expect("compiles");
     let _ = build_schedule(&compiled, &w.params, false, LIMIT).expect("schedules");
+    let allocs = stats::snapshot().since(&before).allocs;
+    let ledger = ledger::finish();
+    let mut profile = obs::WorkProfile::new(w.name);
+    for seg in &ledger.segments {
+        for r in &seg.records {
+            profile.add_op(
+                &seg.ctx,
+                &obs::ProfileOp {
+                    kind: r.kind.name(),
+                    cons_in: u64::from(r.cons_in),
+                    cons_out: u64::from(r.cons_out),
+                    self_units: r.self_units,
+                    charged_units: r.charged_units,
+                    top_level: r.top_level,
+                    cache_hit: None,
+                    duration_ns: 0,
+                },
+            );
+        }
+    }
+    WorkMeasure {
+        units: ledger.charged_work(),
+        contexts: profile.context_totals(),
+        allocs,
+    }
+}
+
+fn contexts_json(contexts: &[(String, u64)]) -> String {
+    let rows: Vec<String> =
+        contexts.iter().map(|(ctx, units)| format!("\"{ctx}\": {units}")).collect();
+    format!("{{{}}}", rows.join(", "))
+}
+
+/// Charged work units of one canned engine operation, run on this thread
+/// from cold caches. Pure solver work on fixed inputs: exact-gateable.
+fn charged(f: impl FnOnce()) -> u64 {
+    cache::clear_thread_caches();
+    ledger::start();
+    f();
     ledger::finish().charged_work()
+}
+
+/// The `polyops` microbench: canned polyhedra driven through the engine's
+/// four core operations plus a batched family query, each reported in
+/// deterministic charged work units (not wall time). These isolate the
+/// solver from the pipeline: a regression here names the operation that
+/// got more expensive.
+fn polyops_json() -> String {
+    let space = Space::from_dims([
+        ("i", DimKind::Index),
+        ("j", DimKind::Index),
+        ("k", DimKind::Index),
+        ("N", DimKind::Param),
+    ]);
+    // A banded triangular nest: 0 <= i <= N, i <= j <= i + 3, j <= N,
+    // 0 <= k <= j - i, N <= 40 — enough structure that every operation
+    // does real shadow/branch-and-bound work.
+    let mut p = Polyhedron::universe(space);
+    let row = |coeffs: [i128; 4], c: i128| {
+        Constraint::ge(LinExpr::from_coeffs(coeffs.to_vec(), c))
+    };
+    p.add(row([1, 0, 0, 0], 0));
+    p.add(row([-1, 0, 0, 1], 0));
+    p.add(row([-1, 1, 0, 0], 0));
+    p.add(row([1, -1, 0, 0], 3));
+    p.add(row([0, -1, 0, 1], 0));
+    p.add(row([0, 0, 1, 0], 0));
+    p.add(row([-1, 1, -1, 0], 0));
+    p.add(row([0, 0, 0, -1], 40));
+    p.add(row([0, 0, 0, 1], -1));
+    let feasibility = charged(|| {
+        let _ = p.integer_feasibility().expect("polyops feasibility");
+    });
+    let projection = charged(|| {
+        let _ = p.eliminate_dims(&[1, 2]).expect("polyops projection");
+    });
+    let redundancy = charged(|| {
+        let _ = p.remove_redundant().expect("polyops redundancy");
+    });
+    let lexmax = charged(|| {
+        let _ = lexopt(&p, &[0, 1], Direction::Max).expect("polyops lexmax");
+    });
+    // A uniformly-generated family: the band progressively tightened on
+    // the same coefficient row, so members nest (member s+1 ⊆ member s)
+    // and the batch answers most of them by dominance propagation.
+    let family: Vec<Polyhedron> = (0..6)
+        .map(|s| {
+            let mut m = p.clone();
+            m.add(row([0, -1, 0, 0], 20 - s)); // j <= 20 - s
+            m
+        })
+        .collect();
+    let saved0 = stats::snapshot().batch_saved;
+    let batch_family = charged(|| {
+        let _ = batch_feasibility(&family).expect("polyops batch");
+    });
+    let batch_saved = stats::snapshot().batch_saved - saved0;
+    format!(
+        concat!(
+            "{{\"feasibility\": {}, \"projection\": {}, \"redundancy\": {}, ",
+            "\"lexmax\": {}, \"batch_family\": {}, \"batch_saved\": {}}}"
+        ),
+        feasibility, projection, redundancy, lexmax, batch_family, batch_saved,
+    )
 }
 
 /// The sweep's charged work: one untimed ledger pass over the whole
@@ -137,9 +262,15 @@ fn mode_json(m: &Measured) -> String {
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut out_path = String::from("BENCH_pipeline.json");
+    let mut reps = REPS;
     while let Some(a) = args.next() {
         if a == "--out" {
             out_path = args.next().expect("--out needs a path");
+        } else if a == "--quick" {
+            // Smoke mode (tier-1): one rep per configuration. Timings get
+            // noisier but every identity check and every deterministic
+            // field (work units, contexts, allocs, polyops) is unchanged.
+            reps = 1;
         }
     }
 
@@ -151,8 +282,8 @@ fn main() {
         "workload", "fast (ms)", "base (ms)", "speedup", "identical", "cache hits"
     );
     for (k, w) in workloads().iter().enumerate() {
-        let fast = measure(w, Options { poly_fast_paths: true, ..Options::full() });
-        let base = measure(w, Options { poly_fast_paths: false, ..Options::full() });
+        let fast = measure(w, Options { poly_fast_paths: true, ..Options::full() }, reps);
+        let base = measure(w, Options { poly_fast_paths: false, ..Options::full() }, reps);
 
         let identical = fast.schedule == base.schedule
             && fast.messages == base.messages
@@ -174,6 +305,7 @@ fn main() {
         if k > 0 {
             body.push_str(",\n");
         }
+        let work = work_units(w);
         write!(
             body,
             concat!(
@@ -182,7 +314,8 @@ fn main() {
                 "     \"baseline\": {},\n",
                 "     \"speedup\": {:.3}, \"identical\": {},\n",
                 "     \"messages\": {}, \"transmissions\": {}, \"words\": {}, ",
-                "\"work_units\": {}, \"sim_time_s\": {:.6}}}"
+                "\"work_units\": {}, \"allocs\": {}, \"sim_time_s\": {:.6},\n",
+                "     \"work_contexts\": {}}}"
             ),
             w.name,
             params.join(", "),
@@ -194,8 +327,10 @@ fn main() {
             fast.messages.0,
             fast.messages.1,
             fast.messages.2,
-            work_units(w),
+            work.units,
+            work.allocs,
             fast.sim.time,
+            contexts_json(&work.contexts),
         )
         .expect("write");
     }
@@ -212,8 +347,8 @@ fn main() {
     let par_opts = Options { threads: if avail > 1 { 0 } else { 2 }, ..Options::full() };
     let workers_used = dmc_core::planned_workers(&w.input, &par_opts);
     assert!(workers_used <= avail, "planned workers must respect the host");
-    let seq = measure(w, Options { threads: 1, ..Options::full() });
-    let par = measure(w, par_opts);
+    let seq = measure(w, Options { threads: 1, ..Options::full() }, reps);
+    let par = measure(w, par_opts, reps);
     let threads_identical = seq.schedule == par.schedule && seq.messages == par.messages;
     all_identical &= threads_identical;
     let seq_ms = seq.compile_ms + seq.schedule_ms;
@@ -296,10 +431,11 @@ fn main() {
             "  \"threads\": {{\"available\": {}, \"workers_used\": {}, \"sequential_ms\": {:.3}, ",
             "\"parallel_ms\": {}, \"comparison\": \"{}\", \"identical\": {}}},\n",
             "  \"sweep\": {},\n",
+            "  \"polyops\": {},\n",
             "  \"all_identical\": {}\n",
             "}}\n"
         ),
-        REPS,
+        reps,
         body,
         avail,
         workers_used,
@@ -308,6 +444,7 @@ fn main() {
         comparison,
         threads_identical,
         sweep_json,
+        polyops_json(),
         all_identical,
     );
     std::fs::write(&out_path, &json).expect("write JSON");

@@ -18,10 +18,22 @@
 //!   projection, a lost memo hit charged differently, a new feasibility
 //!   query) is a finding with zero tolerance. This is the noise-free
 //!   regression signal the wall-clock timings cannot provide.
+//! - **Heap-allocation counts are exact.** `allocs` counts the `LinExpr`
+//!   heap allocations of the same single-threaded, cold-cache ledger pass
+//!   that produces `work_units`, so it is deterministic too: any drift
+//!   means constraint storage started (or stopped) spilling out of the
+//!   inline representation — a storage regression wall-clock timings
+//!   cannot see.
+//! - **Polyops microbench units are exact.** The top-level `polyops`
+//!   section reports the charged work of the isolated engine operations
+//!   (feasibility, projection, redundancy, lexmax, batched family) on
+//!   canned polyhedra, plus the batch's dominance savings. A regression
+//!   here names the operation that got more expensive.
 //! - **Other engine counters are not diffed.** The raw `counters` blocks
 //!   shift with cache warmth and every legitimate engine change; the
 //!   correctness fields and `work_units` already pin the outputs and the
-//!   logical work.
+//!   logical work. Per-context `work_contexts` maps are diagnostic
+//!   (they localize a `work_units` finding) and are not gated separately.
 //! - **Stage-graph sweep counts are exact.** The `sweep` section's
 //!   `stage_hits` / `stage_misses` come from fingerprint lookups resolved
 //!   on the main thread before any worker fan-out, so they are
@@ -140,6 +152,20 @@ pub fn diff_snapshots(
             (Some(_), Some(_)) | (None, None) => {}
             (o, n) => findings.push(format!("{name}: work_units missing ({o:?} vs {n:?})")),
         }
+        // Heap allocations: measured in the same single-threaded,
+        // cold-cache pass as work_units, hence exact. A snapshot written
+        // before the field existed diffs cleanly against a newer one.
+        match (num(ow, "allocs"), num(&nw, "allocs")) {
+            (Some(o), Some(n)) if o != n => findings.push(format!(
+                "{name}: allocs changed {o} -> {n} \
+                 (the cold single-threaded allocation count is \
+                 deterministic; must match exactly)"
+            )),
+            (Some(_), Some(_)) | (None, None) | (None, Some(_)) => {}
+            (Some(_), None) => {
+                findings.push(format!("{name}: allocs dropped from new snapshot"));
+            }
+        }
         match (num(ow, "sim_time_s"), num(&nw, "sim_time_s")) {
             (Some(o), Some(n)) if (o - n).abs() > 1e-9 => findings.push(format!(
                 "{name}: sim_time_s changed {o:.6} -> {n:.6} (simulation is deterministic)"
@@ -209,6 +235,34 @@ pub fn diff_snapshots(
                      (the sweep must reuse at least half of its stage lookups)"
                 ));
             }
+        }
+    }
+    // Polyops microbench: charged work of the isolated engine operations,
+    // exact in both directions like work_units. Absent from both only
+    // when diffing two pre-polyops documents.
+    match (old.get("polyops"), new.get("polyops")) {
+        (Some(op), Some(np)) => {
+            for field in [
+                "feasibility",
+                "projection",
+                "redundancy",
+                "lexmax",
+                "batch_family",
+                "batch_saved",
+            ] {
+                let (o, n) = (num(op, field), num(np, field));
+                if o != n {
+                    findings.push(format!(
+                        "polyops: {field} changed {o:?} -> {n:?} \
+                         (charged work on canned polyhedra is \
+                         deterministic; must match exactly)"
+                    ));
+                }
+            }
+        }
+        (None, None) | (None, Some(_)) => {}
+        (Some(_), None) => {
+            findings.push("polyops: section missing from new snapshot".to_owned());
         }
     }
     if let Some(threads) = new.get("threads") {
@@ -336,13 +390,17 @@ mod tests {
          "fast": {"compile_ms": 2.0, "schedule_ms": 10.0, "total_ms": 12.0},
          "baseline": {"compile_ms": 2.0, "schedule_ms": 15.0, "total_ms": 17.0},
          "speedup": 1.4, "identical": true,
-         "messages": 5, "transmissions": 7, "words": 30, "work_units": 12345, "sim_time_s": 0.001500}
+         "messages": 5, "transmissions": 7, "words": 30, "work_units": 12345,
+         "allocs": 77, "sim_time_s": 0.001500,
+         "work_contexts": {"schedule;lwt": 9000, "schedule;comm": 3345}}
       ],
       "threads": {"available": 4, "workers_used": 2, "sequential_ms": 12.0,
                   "parallel_ms": null, "comparison": "measured", "identical": true},
       "sweep": {"workload": "w", "params": [4], "nprocs": [2, 4],
                 "stage_hits": 11, "stage_misses": 9, "messages": [5, 5],
                 "work_units": 2222, "identical": true},
+      "polyops": {"feasibility": 2, "projection": 3, "redundancy": 20,
+                  "lexmax": 23, "batch_family": 4, "batch_saved": 4},
       "all_identical": true
     }"#;
 
@@ -393,9 +451,56 @@ mod tests {
             assert!(d[0].contains("work_units changed"), "{d:?}");
         }
         // A snapshot that dropped the field altogether is also a finding.
-        let dropped = SNAP.replace("\"work_units\": 12345, ", "");
+        let dropped = SNAP.replace("\"work_units\": 12345,", "");
         let d = diff_snapshots(SNAP, &dropped, &Tolerances::default()).unwrap();
         assert!(d.iter().any(|f| f.contains("work_units missing")), "{d:?}");
+    }
+
+    /// Allocation counts come from the same cold single-threaded pass as
+    /// `work_units`, so the gate is exact both ways — but a snapshot
+    /// written before the field existed still diffs cleanly against a
+    /// newer one (the field may appear, never vanish).
+    #[test]
+    fn allocs_are_gated_exactly_with_backward_compat() {
+        for injected in ["\"allocs\": 78", "\"allocs\": 76"] {
+            let changed = SNAP.replace("\"allocs\": 77", injected);
+            let d = diff_snapshots(SNAP, &changed, &Tolerances::default()).unwrap();
+            assert_eq!(d.len(), 1, "{d:?}");
+            assert!(d[0].contains("allocs changed"), "{d:?}");
+        }
+        // Old snapshot without the field vs. a new one that has it: clean.
+        let pre = SNAP.replace("\"allocs\": 77,", "");
+        let d = diff_snapshots(&pre, SNAP, &Tolerances::default()).unwrap();
+        assert!(d.is_empty(), "field addition must pass: {d:?}");
+        // The reverse — a new snapshot that *dropped* it — is a finding.
+        let d = diff_snapshots(SNAP, &pre, &Tolerances::default()).unwrap();
+        assert!(d.iter().any(|f| f.contains("allocs dropped")), "{d:?}");
+        // Two pre-arena snapshots diff cleanly.
+        let d = diff_snapshots(&pre, &pre, &Tolerances::default()).unwrap();
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    /// Every polyops field is exact in both directions; the section may
+    /// appear over a pre-polyops snapshot but never vanish.
+    #[test]
+    fn polyops_are_gated_exactly_with_backward_compat() {
+        for (from, to) in [
+            ("\"lexmax\": 23", "\"lexmax\": 24"),
+            ("\"batch_family\": 4", "\"batch_family\": 3"),
+            ("\"batch_saved\": 4", "\"batch_saved\": 0"),
+        ] {
+            let changed = SNAP.replace(from, to);
+            let d = diff_snapshots(SNAP, &changed, &Tolerances::default()).unwrap();
+            assert_eq!(d.len(), 1, "{d:?}");
+            assert!(d[0].contains("polyops:"), "{d:?}");
+        }
+        let pre = SNAP.replace("\"polyops\":", "\"polyops_old\":");
+        let d = diff_snapshots(&pre, SNAP, &Tolerances::default()).unwrap();
+        assert!(d.is_empty(), "section addition must pass: {d:?}");
+        let d = diff_snapshots(SNAP, &pre, &Tolerances::default()).unwrap();
+        assert!(d.iter().any(|f| f.contains("polyops: section missing")), "{d:?}");
+        let d = diff_snapshots(&pre, &pre, &Tolerances::default()).unwrap();
+        assert!(d.is_empty(), "{d:?}");
     }
 
     /// Stage hit/miss totals are deterministic fingerprint lookups, so

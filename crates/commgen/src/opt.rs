@@ -5,7 +5,9 @@ use std::collections::BTreeMap;
 
 use dmc_decomp::{DataDecomp, ProcGrid};
 use dmc_obs as obs;
-use dmc_polyhedra::{lexopt, Constraint, Direction, LexError, LinExpr, PolyError, Polyhedron};
+use dmc_polyhedra::{
+    batch_feasibility, lexopt, Constraint, Direction, LexError, LinExpr, PolyError, Polyhedron,
+};
 
 use crate::commset::{CommElem, CommSet, SenderKind};
 
@@ -104,7 +106,11 @@ pub fn eliminate_self_reuse_from(cs: &CommSet, keep_outer: usize) -> Result<Vec<
     let opt_dims: Vec<usize> = cs.dims.r_iter[keep_outer..].to_vec();
     let solved = lexopt(&cs.poly, &opt_dims, Direction::Min)?;
     let refetch_outer = keep_outer.max(cs.refetch_outer);
-    let mut out = Vec::new();
+    // The pinned pieces of one lexmin split share the base system and
+    // differ in piece context / solution constants — a uniformly-generated
+    // family, answered as a batch.
+    let mut pinned = Vec::new();
+    let mut extras = Vec::new();
     for piece in solved.pieces {
         // Constrain the original tuple space: i_r == lexmin expression.
         let extra = piece.context.space().len() - cs.poly.space().len();
@@ -114,7 +120,13 @@ pub fn eliminate_self_reuse_from(cs: &CommSet, keep_outer: usize) -> Result<Vec<
             let v = LinExpr::var(poly.space().len(), d);
             poly.add(Constraint::eq_pair(&v, &piece.solution[k])?);
         }
-        if !poly.integer_feasibility()?.possibly_feasible() {
+        pinned.push(poly);
+        extras.push(extra);
+    }
+    let verdicts = batch_feasibility(&pinned)?;
+    let mut out = Vec::new();
+    for ((mut poly, extra), f) in pinned.into_iter().zip(extras).zip(verdicts) {
+        if !f.possibly_feasible() {
             continue;
         }
         pin_free_aux(&mut poly, cs.poly.space().len());
@@ -157,7 +169,8 @@ pub fn unique_sender(cs: &CommSet) -> Result<Vec<CommSet>, OptError> {
         return Ok(vec![cs.clone()]);
     }
     let solved = lexopt(&cs.poly, &cs.dims.ps, Direction::Min)?;
-    let mut out = Vec::new();
+    let mut pinned = Vec::new();
+    let mut extras = Vec::new();
     for piece in solved.pieces {
         let extra = piece.context.space().len() - cs.poly.space().len();
         let mut poly = cs
@@ -168,7 +181,13 @@ pub fn unique_sender(cs: &CommSet) -> Result<Vec<CommSet>, OptError> {
             let v = LinExpr::var(poly.space().len(), d);
             poly.add(Constraint::eq_pair(&v, &piece.solution[k])?);
         }
-        if !poly.integer_feasibility()?.possibly_feasible() {
+        pinned.push(poly);
+        extras.push(extra);
+    }
+    let verdicts = batch_feasibility(&pinned)?;
+    let mut out = Vec::new();
+    for ((mut poly, extra), f) in pinned.into_iter().zip(extras).zip(verdicts) {
+        if !f.possibly_feasible() {
             continue;
         }
         pin_free_aux(&mut poly, cs.poly.space().len());
@@ -240,7 +259,8 @@ pub fn fold_receivers(cs: &CommSet, extents: &[i128]) -> Result<Vec<CommSet>, Op
         opt_dims.push(n0 + 2 * k + 1);
     }
     let solved = lexopt(&poly, &opt_dims, Direction::Min)?;
-    let mut out = Vec::new();
+    let mut candidates = Vec::new();
+    let mut extras = Vec::new();
     for piece in solved.pieces {
         let extra = piece.context.space().len() - poly.space().len();
         let mut pinned = poly.extend_space(&tail_space(piece.context.space(), poly.space().len()));
@@ -249,7 +269,13 @@ pub fn fold_receivers(cs: &CommSet, extents: &[i128]) -> Result<Vec<CommSet>, Op
             let v = LinExpr::var(pinned.space().len(), d);
             pinned.add(Constraint::eq_pair(&v, &piece.solution[k])?);
         }
-        if !pinned.integer_feasibility()?.possibly_feasible() {
+        candidates.push(pinned);
+        extras.push(extra);
+    }
+    let verdicts = batch_feasibility(&candidates)?;
+    let mut out = Vec::new();
+    for ((mut pinned, extra), f) in candidates.into_iter().zip(extras).zip(verdicts) {
+        if !f.possibly_feasible() {
             continue;
         }
         pin_free_aux(&mut pinned, n0);
@@ -462,9 +488,12 @@ pub fn eliminate_cross_set_reuse(sets: &[CommSet]) -> Result<Vec<CommSet>, OptEr
             }
             pieces = next;
         }
+        // Subtraction residue pieces share the set's matrix with shifted
+        // cut constants: answer them as one family.
+        let verdicts = batch_feasibility(&pieces)?;
         let mut kept = Vec::new();
-        for piece in pieces {
-            if piece.integer_feasibility()?.possibly_feasible() {
+        for (piece, f) in pieces.into_iter().zip(verdicts) {
+            if f.possibly_feasible() {
                 kept.push(CommSet { poly: piece, ..cs.clone() });
             }
         }

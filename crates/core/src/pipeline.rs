@@ -252,6 +252,7 @@ fn planned_messages(
     cs: &CommSet,
     raw: &[Message],
     extra_split: usize,
+    multicast: Option<bool>,
 ) -> Result<Vec<PlannedGroup>, CompileError> {
     let grid = &compiled.input.grid;
     let stmts = compiled.input.program.statements();
@@ -323,8 +324,16 @@ fn planned_messages(
     // Multicast merge: same sender + same aggregation key + same payload
     // -> one group with several receivers. Never merges two messages to
     // the same receiver (those are deliberate repeats of the unoptimized
-    // plan), and only applies together with aggregation.
-    if compiled.options.multicast && compiled.options.aggregate && is_multicast(cs)? {
+    // plan), and only applies together with aggregation. The multicast
+    // analysis itself is independent of the split depth; the fast path
+    // precomputes it once per set and passes it in.
+    let merge = compiled.options.multicast
+        && compiled.options.aggregate
+        && match multicast {
+            Some(m) => m,
+            None => is_multicast(cs)?,
+        };
+    if merge {
         let sig = |g: &PlannedGroup| -> Vec<(String, Vec<i128>)> {
             g.items.iter().map(|(a, i, _)| (a.clone(), i.clone())).collect()
         };
@@ -347,6 +356,50 @@ fn planned_messages(
         return Ok(merged);
     }
     Ok(groups)
+}
+
+/// One pending schedule entry: `(anchor, phase, seq, action)`.
+type PendingAction = (Stamp, i8, usize, Action);
+
+/// Split-depth-independent planning state, computed once per
+/// [`build_schedule`] call (fast paths on) and shared across the legality
+/// retries: the per-statement compute-block actions and the per-set
+/// multicast verdicts. A retry then replays only the delta — the deeper
+/// message split — instead of re-deriving the whole tableau.
+struct HoistedPlan {
+    /// Per communication set: may its messages be multicast-merged?
+    multicast: Vec<bool>,
+    /// Per processor: the compute-block actions (identical at any depth).
+    blocks: Vec<Vec<PendingAction>>,
+    /// The sequence counter after the block actions; message actions
+    /// continue from here so retries number actions identically.
+    block_seq: usize,
+}
+
+/// Enumerates every statement's compute blocks into per-processor pending
+/// actions. Independent of the legality-split depth.
+fn block_actions(
+    compiled: &Compiled,
+    param_vals: &[i128],
+) -> Result<(Vec<Vec<PendingAction>>, usize), CompileError> {
+    let input = &compiled.input;
+    let nproc = input.grid.len() as usize;
+    let stmts = input.program.statements();
+    let mut pending: Vec<Vec<PendingAction>> = vec![Vec::new(); nproc];
+    let mut seq = 0usize;
+    for info in &stmts {
+        let comp = &input.comps[&info.id];
+        compute_blocks(input, info, comp, param_vals, &mut |proc, prefix, inner, flops, anchor| {
+            pending[proc].push((
+                anchor,
+                0,
+                seq,
+                Action::Block { stmt: info.id, prefix, inner_range: inner, flops },
+            ));
+            seq += 1;
+        })?;
+    }
+    Ok((pending, seq))
 }
 
 /// The global stamp of the write that produces element `e` of `cs` (or the
@@ -466,12 +519,37 @@ pub(crate) fn build_schedule_inner(
         None
     };
     let hoisted_slices: Option<&[Vec<Message>]> = hoisted.as_ref().map(|a| a.as_slice());
+    // The compute-block nests and the per-set multicast verdicts are also
+    // independent of the split depth; the fast path derives both once,
+    // before the retry loop, so a legality retry replays only the delta
+    // (the deeper message split). Disabled, every attempt re-derives them
+    // (the original behavior).
+    let plan: Option<HoistedPlan> = if compiled.options.poly_fast_paths {
+        let _s = obs::span_f("plan", || vec![obs::field("sets", compiled.comm.len())]);
+        let _c = ledger::push_context("plan");
+        let multicast = if compiled.options.multicast && compiled.options.aggregate {
+            compiled.comm.iter().map(is_multicast).collect::<Result<Vec<_>, _>>()?
+        } else {
+            vec![false; compiled.comm.len()]
+        };
+        let (blocks, block_seq) = block_actions(compiled, param_vals)?;
+        Some(HoistedPlan { multicast, blocks, block_seq })
+    } else {
+        None
+    };
     let mut last_err = None;
     for extra in 0..=max_depth {
         let _attempt = obs::span_f("schedule.attempt", || vec![obs::field("extra_split", extra)]);
         let _actx = ledger::push_context(format!("attempt{extra}"));
-        let schedule =
-            build_schedule_at(compiled, param_vals, values, limit, extra, hoisted_slices)?;
+        let schedule = build_schedule_at(
+            compiled,
+            param_vals,
+            values,
+            limit,
+            extra,
+            hoisted_slices,
+            plan.as_ref(),
+        )?;
         // Cheap deadlock dry-run (timing semantics on the same schedule).
         let params: HashMap<String, i128> = compiled
             .input
@@ -521,28 +599,18 @@ fn build_schedule_at(
     limit: usize,
     extra_split: usize,
     hoisted: Option<&[Vec<Message>]>,
+    plan: Option<&HoistedPlan>,
 ) -> Result<Schedule, CompileError> {
     let input = &compiled.input;
     let nproc = input.grid.len() as usize;
     let stmts = input.program.statements();
     let mut schedule = Schedule::new(nproc);
-    // Per-proc (anchor, phase, seq, action).
-    let mut pending: Vec<Vec<(Stamp, i8, usize, Action)>> = vec![Vec::new(); nproc];
-    let mut seq = 0usize;
 
-    // 1. Compute blocks.
-    for info in &stmts {
-        let comp = &input.comps[&info.id];
-        compute_blocks(input, info, comp, param_vals, &mut |proc, prefix, inner, flops, anchor| {
-            pending[proc].push((
-                anchor,
-                0,
-                seq,
-                Action::Block { stmt: info.id, prefix, inner_range: inner, flops },
-            ));
-            seq += 1;
-        })?;
-    }
+    // 1. Compute blocks (hoisted across retries by the fast path).
+    let (mut pending, mut seq) = match plan {
+        Some(p) => (p.blocks.clone(), p.block_seq),
+        None => block_actions(compiled, param_vals)?,
+    };
 
     // 2. Messages.
     for (k, cs) in compiled.comm.iter().enumerate() {
@@ -554,7 +622,8 @@ fn build_schedule_at(
                 &raw_local
             }
         };
-        let groups = planned_messages(compiled, cs, raw, extra_split)?;
+        let groups =
+            planned_messages(compiled, cs, raw, extra_split, plan.map(|p| p.multicast[k]))?;
         for g in groups {
             let msg_id = schedule.messages.len();
             // Provenance: which (statement, read) created this message and

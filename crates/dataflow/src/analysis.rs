@@ -14,7 +14,8 @@ use std::cmp::Ordering;
 
 use dmc_ir::{Aff, ArrayRef, Program, StmtInfo};
 use dmc_polyhedra::{
-    lexopt, Constraint, DimKind, Direction, LexError, LinExpr, PolyError, Polyhedron, Space,
+    batch_feasibility, lexopt, Constraint, DimKind, Direction, LexError, LinExpr, PolyError,
+    Polyhedron, Space,
 };
 
 use crate::lattice::LatticePiece;
@@ -379,10 +380,13 @@ fn build_lwt_for_access(
         }
     }
 
-    // Whatever is left reads live-in data: the ⊥ leaves.
-    for rem in remaining {
-        if rem.feasible()? {
-            let ctx = rem.to_polyhedron();
+    // Whatever is left reads live-in data: the ⊥ leaves. The residue
+    // pieces descend from one read domain by repeated subtraction — a
+    // constant-offset family, answered as one feasibility batch.
+    let rem_polys: Vec<Polyhedron> = remaining.iter().map(LatticePiece::to_polyhedron).collect();
+    let verdicts = batch_feasibility(&rem_polys)?;
+    for (ctx, f) in rem_polys.into_iter().zip(verdicts) {
+        if f.possibly_feasible() {
             leaves.push(LwtLeaf { space: ctx.space().clone(), context: ctx, source: None });
         }
     }

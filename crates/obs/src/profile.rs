@@ -134,6 +134,25 @@ impl WorkProfile {
         }
     }
 
+    /// Per-context top-level charged totals, summed over operation kinds:
+    /// `(context path joined with ";", work units)`, sorted by descending
+    /// work (ties by path). The context for unattributed records is
+    /// `"(unattributed)"`. This is the table behind `dmc-profile --top`
+    /// and the `work_contexts` section of the bench snapshot.
+    pub fn context_totals(&self) -> Vec<(String, u64)> {
+        let mut by_ctx: BTreeMap<&[String], u64> = BTreeMap::new();
+        for ((ctx, _), row) in &self.rows {
+            *by_ctx.entry(ctx.as_slice()).or_default() += row.top_charged;
+        }
+        let mut out: Vec<(String, u64)> = by_ctx
+            .into_iter()
+            .filter(|(_, units)| *units > 0)
+            .map(|(ctx, units)| (ctx.join(";"), units))
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
     /// The collapsed-stack export: one `root;frame;…;kind weight` line per
     /// (context, kind) row with top-level charged work, sorted by stack.
     /// Feed to `flamegraph.pl` / `inferno-flamegraph` as-is.
@@ -303,6 +322,26 @@ mod tests {
         );
         assert_eq!(p.total_work(), 13);
         assert!((p.attributed_fraction() - 10.0 / 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn context_totals_sum_kinds_and_sort_by_work() {
+        let mut p = WorkProfile::new("wl");
+        let a = vec!["stmt0".to_owned(), "read1".to_owned()];
+        let b = vec!["schedule".to_owned()];
+        p.add_op(&a, &op("projection", 10, true));
+        p.add_op(&a, &op("feasibility", 5, true));
+        p.add_op(&a, &op("fm_step", 99, false)); // nested: no weight
+        p.add_op(&b, &op("redundancy", 20, true));
+        p.add_op(&[], &op("lex_split", 3, true));
+        assert_eq!(
+            p.context_totals(),
+            vec![
+                ("schedule".to_owned(), 20),
+                ("stmt0;read1".to_owned(), 15),
+                ("(unattributed)".to_owned(), 3),
+            ]
+        );
     }
 
     #[test]

@@ -15,6 +15,12 @@ pub enum ConstraintKind {
 }
 
 /// Result of normalizing a constraint.
+// The payload variant is ~240 bytes because `LinExpr` carries its inline
+// coefficient buffer by value. That is the point: `Normalized` is a
+// short-lived by-value return that is destructured immediately, and
+// boxing the constraint here would reintroduce exactly the per-row heap
+// allocation the inline representation removes.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Normalized {
     /// The constraint is trivially satisfied (e.g. `3 >= 0`).
@@ -41,10 +47,20 @@ pub enum Normalized {
 /// assert!(!c.satisfied_by(&[2]).unwrap());
 /// assert_eq!(c.display(&s).to_string(), "i - 3 >= 0");
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Debug, PartialEq, Eq, Hash)]
 pub struct Constraint {
     expr: LinExpr,
     kind: ConstraintKind,
+}
+
+/// Manual clone so every constraint copy is visible in
+/// [`stats`](crate::stats) as `cons_cloned` — the tableau-copy volume the
+/// arena representation is meant to keep cheap.
+impl Clone for Constraint {
+    fn clone(&self) -> Constraint {
+        crate::stats::count_cons_cloned();
+        Constraint { expr: self.expr.clone(), kind: self.kind }
+    }
 }
 
 impl Constraint {

@@ -134,6 +134,12 @@ pub struct OpRecord {
     /// Wall-clock duration. Diagnostic only: durations are scheduling
     /// noise and never enter deterministic artifacts or gates.
     pub duration_ns: u64,
+    /// `LinExpr` heap allocations made on this thread while the operation
+    /// was open (inclusive of nested operations; 0 on cache hits).
+    /// Diagnostic only: raw allocation counts depend on cache state and
+    /// work partitioning, so — like `duration_ns` — they never enter
+    /// deterministic artifacts or gates.
+    pub allocs: u64,
     /// Work this operation itself performed (0 for cache hits).
     pub self_units: u64,
     /// Self units plus nested charged work; memoized logical cost on hits.
@@ -368,6 +374,7 @@ fn append(st: &mut ThreadState, rec: OpRecord) {
 pub(crate) struct OpenOp {
     kind: OpKind,
     start: Instant,
+    allocs_at_open: u64,
     cons_in: u32,
     cons_out: u32,
     dims_eliminated: u32,
@@ -390,6 +397,7 @@ pub(crate) fn op(kind: OpKind, cons_in: usize) -> OpScope {
     OpScope(Some(OpenOp {
         kind,
         start: Instant::now(),
+        allocs_at_open: stats::thread_allocs(),
         cons_in: cons_in as u32,
         cons_out: 0,
         dims_eliminated: 0,
@@ -442,6 +450,7 @@ impl Drop for OpScope {
 
 fn close(o: OpenOp) -> u64 {
     let duration_ns = o.start.elapsed().as_nanos() as u64;
+    let allocs = stats::thread_allocs().saturating_sub(o.allocs_at_open);
     let self_units = 1 + o.bnb_nodes + o.negation_tests;
     STATE.with(|s| {
         let mut st = s.borrow_mut();
@@ -462,6 +471,7 @@ fn close(o: OpenOp) -> u64 {
                 negation_tests: o.negation_tests,
                 cache: o.cache,
                 duration_ns,
+                allocs,
                 self_units,
                 charged_units: charged,
                 top_level,
@@ -501,6 +511,7 @@ pub(crate) fn record_hit(
                 negation_tests: 0,
                 cache: CacheOutcome::Hit,
                 duration_ns: 0,
+                allocs: 0,
                 self_units: 0,
                 charged_units: charged,
                 top_level,

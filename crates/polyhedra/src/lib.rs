@@ -48,6 +48,7 @@ pub mod ledger;
 pub mod num;
 pub mod stats;
 
+mod batch;
 mod constraint;
 mod lexopt;
 mod linexpr;
@@ -55,6 +56,7 @@ mod polyhedron;
 mod scan;
 mod space;
 
+pub use batch::batch_feasibility;
 pub use cache::CanonicalKey;
 pub use constraint::{Constraint, ConstraintKind, Normalized};
 pub use stats::PolyStats;

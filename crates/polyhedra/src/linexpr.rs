@@ -1,9 +1,70 @@
 //! Affine (linear + constant) expressions over a [`Space`].
+//!
+//! The coefficient row is stored inline for the spaces this compiler
+//! actually works in (the paper's systems are 2–6 dimensions; with
+//! processor, parameter and auxiliary dimensions they stay comfortably
+//! under [`INLINE_DIMS`]) and spills to a heap `Vec` only above that
+//! width. The hot loops of Fourier–Motzkin elimination therefore combine
+//! rows without touching the allocator; the `stats` counters
+//! (`allocs`, `inline_spills`) make the split observable.
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 use crate::num;
+use crate::stats;
 use crate::{PolyError, Space};
+
+/// Coefficient rows at most this wide live inline in the expression
+/// (no heap allocation); wider rows spill to a `Vec`.
+pub const INLINE_DIMS: usize = 12;
+
+/// The coefficient storage: a fixed inline buffer for narrow rows, a heap
+/// vector past [`INLINE_DIMS`]. The representation is canonical — a row of
+/// length `<= INLINE_DIMS` is always `Inline` — so equality and hashing
+/// over the logical slice agree with structural equality.
+#[derive(Debug)]
+enum Repr {
+    Inline { len: u8, buf: [i128; INLINE_DIMS] },
+    Heap(Vec<i128>),
+}
+
+impl Repr {
+    fn zeros(n: usize) -> Repr {
+        if n <= INLINE_DIMS {
+            Repr::Inline { len: n as u8, buf: [0; INLINE_DIMS] }
+        } else {
+            stats::count_alloc();
+            Repr::Heap(vec![0; n])
+        }
+    }
+
+    fn as_slice(&self) -> &[i128] {
+        match self {
+            Repr::Inline { len, buf } => &buf[..usize::from(*len)],
+            Repr::Heap(v) => v,
+        }
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [i128] {
+        match self {
+            Repr::Inline { len, buf } => &mut buf[..usize::from(*len)],
+            Repr::Heap(v) => v,
+        }
+    }
+}
+
+impl Clone for Repr {
+    fn clone(&self) -> Repr {
+        match self {
+            Repr::Inline { len, buf } => Repr::Inline { len: *len, buf: *buf },
+            Repr::Heap(v) => {
+                stats::count_alloc();
+                Repr::Heap(v.clone())
+            }
+        }
+    }
+}
 
 /// An affine expression `c0 + Σ coeffs[k] * dim_k` over a space with a fixed
 /// number of dimensions.
@@ -22,21 +83,39 @@ use crate::{PolyError, Space};
 /// assert_eq!(e.eval(&[5, 4]).unwrap(), 2 * 5 - 4 + 3);
 /// assert_eq!(e.display(&s).to_string(), "2i - N + 3");
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Debug)]
 pub struct LinExpr {
-    coeffs: Vec<i128>,
+    repr: Repr,
     constant: i128,
+}
+
+/// Equality is over the logical coefficient slice plus the constant; the
+/// canonical representation makes this agree with structural equality.
+impl PartialEq for LinExpr {
+    fn eq(&self, other: &Self) -> bool {
+        self.constant == other.constant && self.coeffs() == other.coeffs()
+    }
+}
+impl Eq for LinExpr {}
+
+/// Hashes exactly what `Eq` compares: the coefficient slice (length, then
+/// elements — the standard slice hash) and the constant.
+impl Hash for LinExpr {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.coeffs().hash(state);
+        self.constant.hash(state);
+    }
 }
 
 impl LinExpr {
     /// The zero expression over `n` dimensions.
     pub fn zero(n: usize) -> Self {
-        LinExpr { coeffs: vec![0; n], constant: 0 }
+        LinExpr { repr: Repr::zeros(n), constant: 0 }
     }
 
     /// A constant expression over `n` dimensions.
     pub fn constant(n: usize, c: i128) -> Self {
-        LinExpr { coeffs: vec![0; n], constant: c }
+        LinExpr { repr: Repr::zeros(n), constant: c }
     }
 
     /// The expression `1 * dim` over `n` dimensions.
@@ -46,34 +125,55 @@ impl LinExpr {
     /// Panics if `dim >= n`.
     pub fn var(n: usize, dim: usize) -> Self {
         let mut e = LinExpr::zero(n);
-        e.coeffs[dim] = 1;
+        e.set_coeff(dim, 1);
         e
     }
 
     /// Builds an expression from explicit coefficients and a constant.
+    /// Narrow rows are copied into the inline buffer (the argument vector
+    /// is dropped); wide rows keep the vector.
     pub fn from_coeffs(coeffs: Vec<i128>, constant: i128) -> Self {
-        LinExpr { coeffs, constant }
+        let repr = if coeffs.len() <= INLINE_DIMS {
+            let mut buf = [0; INLINE_DIMS];
+            buf[..coeffs.len()].copy_from_slice(&coeffs);
+            Repr::Inline { len: coeffs.len() as u8, buf }
+        } else {
+            Repr::Heap(coeffs)
+        };
+        LinExpr { repr, constant }
+    }
+
+    /// Builds an expression from a coefficient slice without allocating
+    /// for narrow rows.
+    pub fn from_slice(coeffs: &[i128], constant: i128) -> Self {
+        let mut e = LinExpr::zero(coeffs.len());
+        e.repr.as_mut_slice().copy_from_slice(coeffs);
+        e.constant = constant;
+        e
     }
 
     /// Number of dimensions this expression ranges over.
     pub fn len(&self) -> usize {
-        self.coeffs.len()
+        match &self.repr {
+            Repr::Inline { len, .. } => usize::from(*len),
+            Repr::Heap(v) => v.len(),
+        }
     }
 
     /// Whether the expression has zero dimensions (it may still be a nonzero
     /// constant).
     pub fn is_empty(&self) -> bool {
-        self.coeffs.is_empty()
+        self.len() == 0
     }
 
     /// The coefficient of dimension `dim`.
     pub fn coeff(&self, dim: usize) -> i128 {
-        self.coeffs[dim]
+        self.coeffs()[dim]
     }
 
     /// Sets the coefficient of dimension `dim`.
     pub fn set_coeff(&mut self, dim: usize, v: i128) {
-        self.coeffs[dim] = v;
+        self.repr.as_mut_slice()[dim] = v;
     }
 
     /// The constant term.
@@ -88,12 +188,12 @@ impl LinExpr {
 
     /// All coefficients, in dimension order.
     pub fn coeffs(&self) -> &[i128] {
-        &self.coeffs
+        self.repr.as_slice()
     }
 
     /// True if every coefficient is zero (a constant expression).
     pub fn is_constant(&self) -> bool {
-        self.coeffs.iter().all(|&c| c == 0)
+        self.coeffs().iter().all(|&c| c == 0)
     }
 
     /// True if the expression is identically zero.
@@ -112,11 +212,13 @@ impl LinExpr {
     /// Panics if the expressions have different lengths.
     pub fn add(&self, other: &LinExpr) -> Result<LinExpr, PolyError> {
         assert_eq!(self.len(), other.len(), "space mismatch");
-        let mut coeffs = Vec::with_capacity(self.len());
-        for (a, b) in self.coeffs.iter().zip(&other.coeffs) {
-            coeffs.push(num::add(*a, *b)?);
+        let mut out = LinExpr::zero(self.len());
+        let dst = out.repr.as_mut_slice();
+        for (d, (a, b)) in self.coeffs().iter().zip(other.coeffs()).enumerate() {
+            dst[d] = num::add(*a, *b)?;
         }
-        Ok(LinExpr { coeffs, constant: num::add(self.constant, other.constant)? })
+        out.constant = num::add(self.constant, other.constant)?;
+        Ok(out)
     }
 
     /// Difference of two expressions over the same space.
@@ -125,7 +227,7 @@ impl LinExpr {
     ///
     /// Returns [`PolyError::Overflow`] on coefficient overflow.
     pub fn sub(&self, other: &LinExpr) -> Result<LinExpr, PolyError> {
-        self.add(&other.scale(-1)?)
+        self.combine(1, other, -1)
     }
 
     /// The expression multiplied by scalar `k`.
@@ -134,11 +236,35 @@ impl LinExpr {
     ///
     /// Returns [`PolyError::Overflow`] on coefficient overflow.
     pub fn scale(&self, k: i128) -> Result<LinExpr, PolyError> {
-        let mut coeffs = Vec::with_capacity(self.len());
-        for &a in &self.coeffs {
-            coeffs.push(num::mul(a, k)?);
+        let mut out = LinExpr::zero(self.len());
+        let dst = out.repr.as_mut_slice();
+        for (d, &a) in self.coeffs().iter().enumerate() {
+            dst[d] = num::mul(a, k)?;
         }
-        Ok(LinExpr { coeffs, constant: num::mul(self.constant, k)? })
+        out.constant = num::mul(self.constant, k)?;
+        Ok(out)
+    }
+
+    /// The fused row combination `a·self + b·other` in one pass — the
+    /// Fourier–Motzkin inner loop (`c·lower + b·upper`) without the two
+    /// intermediate expressions `scale` + `add` would build.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolyError::Overflow`] on coefficient overflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expressions have different lengths.
+    pub fn combine(&self, a: i128, other: &LinExpr, b: i128) -> Result<LinExpr, PolyError> {
+        assert_eq!(self.len(), other.len(), "space mismatch");
+        let mut out = LinExpr::zero(self.len());
+        let dst = out.repr.as_mut_slice();
+        for (d, (x, y)) in self.coeffs().iter().zip(other.coeffs()).enumerate() {
+            dst[d] = num::add(num::mul(*x, a)?, num::mul(*y, b)?)?;
+        }
+        out.constant = num::add(num::mul(self.constant, a)?, num::mul(other.constant, b)?)?;
+        Ok(out)
     }
 
     /// Infallible scaling — panics on overflow. Convenience for tests and
@@ -163,7 +289,7 @@ impl LinExpr {
     pub fn eval(&self, point: &[i128]) -> Result<i128, PolyError> {
         assert_eq!(point.len(), self.len(), "point dimension mismatch");
         let mut acc = self.constant;
-        for (c, x) in self.coeffs.iter().zip(point) {
+        for (c, x) in self.coeffs().iter().zip(point) {
             acc = num::add(acc, num::mul(*c, *x)?)?;
         }
         Ok(acc)
@@ -182,21 +308,27 @@ impl LinExpr {
     pub fn substitute(&self, dim: usize, replacement: &LinExpr) -> Result<LinExpr, PolyError> {
         assert_eq!(self.len(), replacement.len(), "space mismatch");
         assert_eq!(replacement.coeff(dim), 0, "replacement references substituted dim");
-        let k = self.coeffs[dim];
+        let k = self.coeff(dim);
         if k == 0 {
             return Ok(self.clone());
         }
-        let mut out = self.clone();
-        out.coeffs[dim] = 0;
-        out.add(&replacement.scale(k)?)
+        let mut out = self.combine(1, replacement, k)?;
+        out.set_coeff(dim, 0);
+        Ok(out)
     }
 
     /// Extends the expression with `extra` zero-coefficient dimensions at the
-    /// end.
+    /// end. Counts an `inline_spills` when the widened row no longer fits
+    /// the inline buffer.
     pub fn extend(&self, extra: usize) -> LinExpr {
-        let mut coeffs = self.coeffs.clone();
-        coeffs.extend(std::iter::repeat_n(0, extra));
-        LinExpr { coeffs, constant: self.constant }
+        let n = self.len() + extra;
+        if matches!(self.repr, Repr::Inline { .. }) && n > INLINE_DIMS {
+            stats::count_inline_spill();
+        }
+        let mut out = LinExpr::zero(n);
+        out.repr.as_mut_slice()[..self.len()].copy_from_slice(self.coeffs());
+        out.constant = self.constant;
+        out
     }
 
     /// Reorders/embeds the expression into a new space. `map[k]` gives the
@@ -207,13 +339,18 @@ impl LinExpr {
     /// Panics if `map` is shorter than the expression or maps out of bounds.
     pub fn remap(&self, new_len: usize, map: &[usize]) -> LinExpr {
         assert!(map.len() >= self.len(), "remap table too short");
-        let mut coeffs = vec![0; new_len];
-        for (k, &c) in self.coeffs.iter().enumerate() {
+        if matches!(self.repr, Repr::Inline { .. }) && new_len > INLINE_DIMS {
+            stats::count_inline_spill();
+        }
+        let mut out = LinExpr::zero(new_len);
+        let dst = out.repr.as_mut_slice();
+        for (k, &c) in self.coeffs().iter().enumerate() {
             if c != 0 {
-                coeffs[map[k]] = c;
+                dst[map[k]] = c;
             }
         }
-        LinExpr { coeffs, constant: self.constant }
+        out.constant = self.constant;
+        out
     }
 
     /// Removes the dimension `dim` (whose coefficient must be zero).
@@ -222,15 +359,19 @@ impl LinExpr {
     ///
     /// Panics if the coefficient of `dim` is nonzero.
     pub fn drop_dim(&self, dim: usize) -> LinExpr {
-        assert_eq!(self.coeffs[dim], 0, "dropping a referenced dimension");
-        let mut coeffs = self.coeffs.clone();
-        coeffs.remove(dim);
-        LinExpr { coeffs, constant: self.constant }
+        assert_eq!(self.coeff(dim), 0, "dropping a referenced dimension");
+        let mut out = LinExpr::zero(self.len() - 1);
+        let dst = out.repr.as_mut_slice();
+        let src = self.coeffs();
+        dst[..dim].copy_from_slice(&src[..dim]);
+        dst[dim..].copy_from_slice(&src[dim + 1..]);
+        out.constant = self.constant;
+        out
     }
 
     /// Gcd of all coefficients (not the constant); 0 for constant expressions.
     pub fn content(&self) -> i128 {
-        self.coeffs.iter().fold(0, |g, &c| num::gcd(g, c))
+        self.coeffs().iter().fold(0, |g, &c| num::gcd(g, c))
     }
 
     /// Renders the expression with dimension names from `space`.
@@ -249,7 +390,7 @@ pub struct DisplayLinExpr<'a> {
 impl fmt::Display for DisplayLinExpr<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut wrote = false;
-        for (k, &c) in self.expr.coeffs.iter().enumerate() {
+        for (k, &c) in self.expr.coeffs().iter().enumerate() {
             if c == 0 {
                 continue;
             }
@@ -313,6 +454,7 @@ mod tests {
         assert_eq!(a.add(&b).unwrap(), LinExpr::from_coeffs(vec![5, 0], 4));
         assert_eq!(a.sub(&b).unwrap(), LinExpr::from_coeffs(vec![-3, 4], 2));
         assert_eq!(a.scale(-2).unwrap(), LinExpr::from_coeffs(vec![-2, -4], -6));
+        assert_eq!(a.combine(3, &b, -1).unwrap(), LinExpr::from_coeffs(vec![-1, 8], 8));
     }
 
     #[test]
@@ -353,5 +495,74 @@ mod tests {
     fn content_gcd() {
         assert_eq!(LinExpr::from_coeffs(vec![4, -6], 3).content(), 2);
         assert_eq!(LinExpr::constant(2, 3).content(), 0);
+    }
+
+    /// The same arithmetic must agree bit-for-bit across the inline and
+    /// spilled representations (the only difference is where the row
+    /// lives); `from_slice` round-trips both.
+    #[test]
+    fn inline_and_heap_agree() {
+        let narrow: Vec<i128> = (0..INLINE_DIMS as i128).collect();
+        let wide: Vec<i128> = (0..INLINE_DIMS as i128 + 5).collect();
+        for base in [narrow, wide] {
+            let e = LinExpr::from_coeffs(base.clone(), 9);
+            assert_eq!(e.len(), base.len());
+            assert_eq!(e.coeffs(), &base[..]);
+            assert_eq!(LinExpr::from_slice(&base, 9), e);
+            let doubled = e.add(&e).unwrap();
+            assert_eq!(doubled, e.scale(2).unwrap());
+            assert_eq!(e.combine(2, &e, -1).unwrap(), e);
+            let pt: Vec<i128> = base.iter().map(|&c| c % 3 - 1).collect();
+            assert_eq!(
+                doubled.eval(&pt).unwrap(),
+                2 * e.eval(&pt).unwrap(),
+            );
+        }
+    }
+
+    /// Growing an inline row past the buffer spills to the heap (counted)
+    /// and keeps values; shrinking a spilled row back under the threshold
+    /// re-canonicalizes to inline so equality/hash stay representation-free.
+    #[test]
+    fn spill_and_shrink_roundtrip() {
+        let before = crate::stats::snapshot();
+        let e = LinExpr::from_coeffs((0..INLINE_DIMS as i128).collect(), 1);
+        let wide = e.extend(3);
+        assert_eq!(wide.len(), INLINE_DIMS + 3);
+        assert_eq!(wide.coeff(INLINE_DIMS - 1), INLINE_DIMS as i128 - 1);
+        assert_eq!(wide.coeff(INLINE_DIMS + 2), 0);
+        let d = crate::stats::snapshot().since(&before);
+        assert!(d.inline_spills >= 1, "extend past the buffer must count a spill");
+        assert!(d.allocs >= 1, "the spilled row lives on the heap");
+
+        let mut back = wide.clone();
+        for _ in 0..3 {
+            back = back.drop_dim(back.len() - 1);
+        }
+        assert_eq!(back, e, "slice equality is representation-agnostic");
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |x: &LinExpr| {
+            let mut s = DefaultHasher::new();
+            x.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&back), h(&e));
+    }
+
+    /// Overflow edges behave identically inline and spilled: checked
+    /// arithmetic errors out rather than wrapping.
+    #[test]
+    fn overflow_edges_inline_and_spilled() {
+        for n in [2usize, INLINE_DIMS + 2] {
+            let mut a = LinExpr::zero(n);
+            a.set_coeff(0, i128::MAX);
+            assert!(a.add(&a).is_err(), "n={n}: add overflow");
+            assert!(a.scale(2).is_err(), "n={n}: scale overflow");
+            assert!(a.combine(2, &a, 0).is_err(), "n={n}: combine overflow");
+            assert!(a.eval(&vec![2; n]).is_err(), "n={n}: eval overflow");
+            let ok = a.combine(1, &a, 0).unwrap();
+            assert_eq!(ok.coeff(0), i128::MAX, "n={n}: lossless path");
+        }
     }
 }

@@ -311,9 +311,7 @@ impl Polyhedron {
                 }
                 // new = |a| * c - (b * sign(a)) * eq  — kills `dim`, keeps the
                 // inequality direction because |a| > 0.
-                let scaled_c = c.expr().scale(a.abs())?;
-                let scaled_eq = eq.expr().scale(b * a.signum())?;
-                let e = scaled_c.sub(&scaled_eq)?;
+                let e = c.expr().combine(a.abs(), eq.expr(), -(b * a.signum()))?;
                 out.add(match c.kind() {
                     ConstraintKind::Eq => Constraint::eq(e),
                     ConstraintKind::Ge => Constraint::ge(e),
@@ -340,7 +338,7 @@ impl Polyhedron {
                 let c = -up.coeff(dim); // c > 0
                 // b*dim + e_lo >= 0 and -c*dim + e_up >= 0
                 //   =>  c*e_lo + b*e_up >= 0 (real shadow)
-                let mut e = lo.expr().scale(c)?.add(&up.expr().scale(b)?)?;
+                let mut e = lo.expr().combine(c, up.expr(), b)?;
                 if shadow == Shadow::Dark && b > 1 && c > 1 {
                     // Dark shadow: subtract (b-1)(c-1).
                     let adj = num::mul(b - 1, c - 1)?;
@@ -760,6 +758,9 @@ impl Polyhedron {
         if self.cons.is_empty() {
             return Ok(Feasibility::Feasible);
         }
+        if let Some(f) = self.quick_verdict() {
+            return Ok(f);
+        }
 
         // Step 1: eliminate equalities exactly.
         let mut cur = self.clone();
@@ -905,6 +906,142 @@ impl Polyhedron {
             return Ok(Feasibility::Infeasible);
         }
         Ok(Feasibility::Unknown)
+    }
+
+    /// A deterministic pre-solve run at every node of the feasibility
+    /// recursion. It derives a per-dimension integer box by bounds
+    /// propagation over all constraints (round count capped at `dims + 4`)
+    /// and answers:
+    ///
+    /// * `Infeasible` when the box is contradictory (some dimension's lower
+    ///   bound exceeds its upper bound — every propagated bound is implied
+    ///   by the system, so this is an exact proof);
+    /// * `Feasible` when no multi-variable constraint exists (each
+    ///   dimension is then independently satisfiable), or when one of a few
+    ///   deterministic candidate points — box-clamped corners — verifies
+    ///   exactly via [`Polyhedron::contains`].
+    ///
+    /// Sound and answer-preserving: it only short-circuits elimination work
+    /// the full recursion would have spent reaching the same verdict, so
+    /// downstream answers (schedules, redundancy removals, explain reports)
+    /// are unchanged — only the charged branch-and-bound node counts
+    /// shrink. Being a pure function of the queried system, the saving is
+    /// identical across runs, worker counts, and cache states.
+    fn quick_verdict(&self) -> Option<Feasibility> {
+        let n = self.space.len();
+        let mut lo: Vec<Option<i128>> = vec![None; n];
+        let mut hi: Vec<Option<i128>> = vec![None; n];
+        // Integer bounds propagation (a bounded presolve in the spirit of
+        // the Omega test's tightening pass): a constraint Σ aₖxₖ + b ≥ 0
+        // implies a_d·x_d ≥ -b - max(Σ_{k≠d} aₖxₖ) over the current box,
+        // and an equality also bounds from the other side via the box
+        // minimum. Divisions round toward integrality, so every derived
+        // bound is implied by the system — an empty box is an exact
+        // infeasibility proof. The round count is capped; propagation is
+        // monotone, so stopping early only weakens the box, never the
+        // soundness.
+        let mut multi = false;
+        for round in 0..n + 4 {
+            let mut changed = false;
+            for c in &self.cons {
+                for d in 0..n {
+                    let a = c.coeff(d);
+                    if a == 0 {
+                        continue;
+                    }
+                    let mut smax: Option<i128> = Some(0);
+                    let mut smin: Option<i128> = Some(0);
+                    for k in 0..n {
+                        let ak = c.coeff(k);
+                        if k == d || ak == 0 {
+                            continue;
+                        }
+                        if round == 0 {
+                            multi = true;
+                        }
+                        let fold = |s: Option<i128>, bound: Option<i128>| {
+                            s.zip(bound).and_then(|(s, v)| {
+                                ak.checked_mul(v).and_then(|t| s.checked_add(t))
+                            })
+                        };
+                        smax = fold(smax, if ak > 0 { hi[k] } else { lo[k] });
+                        smin = fold(smin, if ak > 0 { lo[k] } else { hi[k] });
+                    }
+                    let b = c.expr().constant_term();
+                    // e ≥ 0 direction: a·x_d ≥ -b - smax.
+                    if let Some(t) = smax.and_then(|s| b.checked_neg()?.checked_sub(s)) {
+                        if a > 0 {
+                            let v = num::div_ceil(t, a);
+                            if lo[d].is_none_or(|x| v > x) {
+                                lo[d] = Some(v);
+                                changed = true;
+                            }
+                        } else if let Some(nt) = t.checked_neg() {
+                            let v = num::div_floor(nt, -a);
+                            if hi[d].is_none_or(|x| v < x) {
+                                hi[d] = Some(v);
+                                changed = true;
+                            }
+                        }
+                    }
+                    // e ≤ 0 direction (equalities): a·x_d ≤ -b - smin.
+                    if c.is_eq() {
+                        if let Some(t) = smin.and_then(|s| b.checked_neg()?.checked_sub(s)) {
+                            if a > 0 {
+                                let v = num::div_floor(t, a);
+                                if hi[d].is_none_or(|x| v < x) {
+                                    hi[d] = Some(v);
+                                    changed = true;
+                                }
+                            } else if let Some(nt) = t.checked_neg() {
+                                let v = num::div_ceil(nt, -a);
+                                if lo[d].is_none_or(|x| v > x) {
+                                    lo[d] = Some(v);
+                                    changed = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            for d in 0..n {
+                if let (Some(l), Some(h)) = (lo[d], hi[d]) {
+                    if l > h {
+                        return Some(Feasibility::Infeasible);
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        if !multi {
+            return Some(Feasibility::Feasible);
+        }
+        // Candidate witnesses: three bases (origin, lower corner, upper
+        // corner) clamped into the box, each verified exactly. Overflow in
+        // the verification simply skips the candidate.
+        let mut pt = vec![0i128; n];
+        for base in 0..3u8 {
+            for (d, p) in pt.iter_mut().enumerate() {
+                let mut v = match base {
+                    0 => 0,
+                    1 => lo[d].or(hi[d]).unwrap_or(0),
+                    _ => hi[d].or(lo[d]).unwrap_or(0),
+                };
+                if let Some(l) = lo[d] {
+                    v = v.max(l);
+                }
+                if let Some(h) = hi[d] {
+                    v = v.min(h);
+                }
+                *p = v;
+            }
+            if matches!(self.contains(&pt), Ok(true)) {
+                return Some(Feasibility::Feasible);
+            }
+        }
+        None
     }
 
     /// Computes constant integer bounds for dimension `d` by eliminating all
@@ -1168,9 +1305,22 @@ fn prefilter_verdict(kept: &[Constraint], i: usize, n: usize) -> PreVerdict {
         }
     }
 
-    // (2) Witness corner: pick the box corner minimizing c and verify the
-    // whole negation probe there. Success proves non-redundancy exactly.
-    let mut pt = vec![0i128; n];
+    // (2) Witness corners: a small set of deterministic candidate points;
+    // any one that violates c while satisfying every other constraint is
+    // an integer witness of the negation probe, proving non-redundancy
+    // exactly. The base corner minimizes c over the box; the adjusted
+    // candidates then move one dimension at a time to c's violation
+    // threshold (the value closest to satisfying c that still violates
+    // it), which keeps the point as deep inside the other constraints as
+    // possible.
+    let witnesses = |pt: &[i128]| -> bool {
+        matches!(c.satisfied_by(pt), Ok(false))
+            && kept
+                .iter()
+                .enumerate()
+                .all(|(j, o)| j == i || matches!(o.satisfied_by(pt), Ok(true)))
+    };
+    let mut base = vec![0i128; n];
     for d in 0..n {
         let a = c.coeff(d);
         let prefer = if a > 0 { lo[d] } else if a < 0 { hi[d] } else { None };
@@ -1181,22 +1331,35 @@ fn prefilter_verdict(kept: &[Constraint], i: usize, n: usize) -> PreVerdict {
         if let Some(h) = hi[d] {
             v = v.min(h);
         }
-        pt[d] = v;
+        base[d] = v;
     }
-    match c.satisfied_by(&pt) {
-        Ok(false) => {}
-        _ => return PreVerdict::Inconclusive,
+    if witnesses(&base) {
+        return PreVerdict::Witnessed;
     }
-    for (j, other) in kept.iter().enumerate() {
-        if j == i {
+    for d in 0..n {
+        let a = c.coeff(d);
+        if a == 0 {
             continue;
         }
-        match other.satisfied_by(&pt) {
-            Ok(true) => {}
-            _ => return PreVerdict::Inconclusive,
+        // Solve a·x <= -1 - rest for the threshold x, where rest is c's
+        // value at the base corner with dimension d zeroed out.
+        let Ok(at_base) = c.expr().eval(&base) else { continue };
+        let Some(rest) = num::mul(a, base[d]).ok().and_then(|t| at_base.checked_sub(t))
+        else {
+            continue;
+        };
+        let Some(t) = (-1i128).checked_sub(rest) else { continue };
+        let x = if a > 0 { num::div_floor(t, a) } else { num::div_ceil(-t, -a) };
+        if x == base[d] {
+            continue;
+        }
+        let mut pt = base.clone();
+        pt[d] = x;
+        if witnesses(&pt) {
+            return PreVerdict::Witnessed;
         }
     }
-    PreVerdict::Witnessed
+    PreVerdict::Inconclusive
 }
 
 impl fmt::Debug for Polyhedron {
@@ -1448,6 +1611,80 @@ mod tests {
         let r = p.remap(target, &[1]);
         assert!(r.contains(&[-100, 0]).unwrap());
         assert!(!r.contains(&[0, -1]).unwrap());
+    }
+
+    /// Differential property: the memoized projection path — the
+    /// incremental-FM replay a legality retry hits — agrees with a
+    /// from-scratch `eliminate_dims` run, cold and warm, over random
+    /// banded systems; and the projection never loses a point of the
+    /// original system (Fourier–Motzkin only relaxes).
+    #[test]
+    fn differential_incremental_fm_equals_from_scratch() {
+        // xorshift64* — deterministic in-file PRNG, no dependencies.
+        let mut state = 0x243f6a8885a308d3u64;
+        let mut rng = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state = state.wrapping_mul(0x2545f4914f6cdd1d);
+            state
+        };
+        for round in 0..40u32 {
+            let n = 2 + (rng() % 2) as usize;
+            let names: Vec<(String, crate::DimKind)> =
+                (0..n).map(|i| (format!("d{i}"), crate::DimKind::Index)).collect();
+            let mut p = Polyhedron::universe(Space::from_dims(names));
+            for d in 0..n {
+                let lo = -((rng() % 4) as i128);
+                let hi = (rng() % 4) as i128;
+                let mut c = vec![0i128; n];
+                c[d] = 1;
+                p.add(ge(c.clone(), -lo));
+                c[d] = -1;
+                p.add(ge(c, hi));
+            }
+            for _ in 0..=(rng() % 3) {
+                let coeffs: Vec<i128> = (0..n).map(|_| (rng() % 5) as i128 - 2).collect();
+                p.add(ge(coeffs, (rng() % 9) as i128 - 4));
+            }
+            let keep = (rng() as usize) % n;
+            let dims: Vec<usize> = (0..n).filter(|&d| d != keep).collect();
+            let scratch = p.eliminate_dims_uncached(&dims).unwrap();
+            let cold = p.eliminate_dims(&dims).unwrap();
+            let warm = p.eliminate_dims(&dims).unwrap();
+            // The three paths must agree constraint-for-constraint,
+            // whatever the ambient cache knob says (another test may
+            // toggle it concurrently — both settings must be identical).
+            assert_eq!(
+                scratch.to_string(),
+                cold.to_string(),
+                "round {round}: memoized projection diverged from scratch"
+            );
+            assert_eq!(
+                cold.to_string(),
+                warm.to_string(),
+                "round {round}: warm replay diverged from the cold run"
+            );
+            let mut x = vec![-4i128; n];
+            'grid: loop {
+                if p.contains(&x).unwrap() {
+                    assert!(
+                        cold.contains(&x).unwrap(),
+                        "round {round}: projection lost point {x:?}"
+                    );
+                }
+                let mut d = 0;
+                while d < n {
+                    x[d] += 1;
+                    if x[d] <= 4 {
+                        continue 'grid;
+                    }
+                    x[d] = -4;
+                    d += 1;
+                }
+                break;
+            }
+        }
     }
 
     #[test]

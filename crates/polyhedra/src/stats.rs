@@ -71,6 +71,10 @@ static PREFILTER_DROPS: AtomicU64 = AtomicU64::new(0);
 static PREFILTER_KEEPS: AtomicU64 = AtomicU64::new(0);
 static CACHE_BYPASSES: AtomicU64 = AtomicU64::new(0);
 static LEX_SPLITS: AtomicU64 = AtomicU64::new(0);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static CONS_CLONED: AtomicU64 = AtomicU64::new(0);
+static INLINE_SPILLS: AtomicU64 = AtomicU64::new(0);
+static BATCH_SAVED: AtomicU64 = AtomicU64::new(0);
 
 static CACHE_ENABLED: AtomicBool = AtomicBool::new(true);
 static PREFILTERS_ENABLED: AtomicBool = AtomicBool::new(true);
@@ -83,6 +87,10 @@ thread_local! {
     static THREAD_TUNING: Cell<Option<Tuning>> = const { Cell::new(None) };
     /// Invalidation epoch for tuning changes local to this thread.
     static THREAD_EPOCH: Cell<u64> = const { Cell::new(0) };
+    /// This thread's cumulative heap-allocation count (mirror of the
+    /// global [`ALLOCS`] counter), read by the work ledger to attribute
+    /// allocations to the operation open on this thread.
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
 }
 
 /// The default branch-and-bound budget of
@@ -130,6 +138,20 @@ pub struct PolyStats {
     /// Parametric-lexmax case splits explored (one per non-empty piece of
     /// [`lexopt`](crate::lexopt)'s which-bound-is-tight disjunction).
     pub lex_splits: u64,
+    /// Heap allocations performed by the constraint storage layer: every
+    /// coefficient row that could not live in a [`LinExpr`](crate::LinExpr)
+    /// inline buffer (creation past the inline width, or cloning a
+    /// heap-backed row).
+    pub allocs: u64,
+    /// [`Constraint`](crate::Constraint) clones (inline or spilled).
+    pub cons_cloned: u64,
+    /// Inline-to-heap transitions: an operation on an inline coefficient
+    /// row produced one wider than the inline buffer.
+    pub inline_spills: u64,
+    /// Feasibility queries answered by subset dominance inside
+    /// [`batch_feasibility`](crate::batch_feasibility) instead of by the
+    /// solver.
+    pub batch_saved: u64,
 }
 
 impl PolyStats {
@@ -155,6 +177,10 @@ impl PolyStats {
             prefilter_keeps: self.prefilter_keeps.saturating_sub(earlier.prefilter_keeps),
             cache_bypasses: self.cache_bypasses.saturating_sub(earlier.cache_bypasses),
             lex_splits: self.lex_splits.saturating_sub(earlier.lex_splits),
+            allocs: self.allocs.saturating_sub(earlier.allocs),
+            cons_cloned: self.cons_cloned.saturating_sub(earlier.cons_cloned),
+            inline_spills: self.inline_spills.saturating_sub(earlier.inline_spills),
+            batch_saved: self.batch_saved.saturating_sub(earlier.batch_saved),
         }
     }
 }
@@ -177,6 +203,10 @@ pub fn snapshot() -> PolyStats {
         prefilter_keeps: PREFILTER_KEEPS.load(R),
         cache_bypasses: CACHE_BYPASSES.load(R),
         lex_splits: LEX_SPLITS.load(R),
+        allocs: ALLOCS.load(R),
+        cons_cloned: CONS_CLONED.load(R),
+        inline_spills: INLINE_SPILLS.load(R),
+        batch_saved: BATCH_SAVED.load(R),
     }
 }
 
@@ -198,6 +228,10 @@ pub fn reset() {
         &PREFILTER_KEEPS,
         &CACHE_BYPASSES,
         &LEX_SPLITS,
+        &ALLOCS,
+        &CONS_CLONED,
+        &INLINE_SPILLS,
+        &BATCH_SAVED,
     ] {
         c.store(0, R);
     }
@@ -241,6 +275,26 @@ pub(crate) fn count_prefilter_keep() {
 }
 pub(crate) fn count_lex_split() {
     LEX_SPLITS.fetch_add(1, R);
+}
+pub(crate) fn count_alloc() {
+    ALLOCS.fetch_add(1, R);
+    THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
+}
+pub(crate) fn count_cons_cloned() {
+    CONS_CLONED.fetch_add(1, R);
+}
+pub(crate) fn count_inline_spill() {
+    INLINE_SPILLS.fetch_add(1, R);
+}
+pub(crate) fn count_batch_saved() {
+    BATCH_SAVED.fetch_add(1, R);
+}
+
+/// This thread's cumulative allocation count. The work ledger reads it on
+/// operation open and close; the delta is the operation's (inclusive)
+/// allocation footprint.
+pub(crate) fn thread_allocs() -> u64 {
+    THREAD_ALLOCS.with(Cell::get)
 }
 
 /// A complete, explicit set of the engine tunables.

@@ -32,12 +32,16 @@ cargo run --release -p dmc-bench --bin dmc-trace -- \
 cargo run --release -p dmc-bench --bin dmc-metrics -- \
     --workload stencil --out-dir target/metrics-tier1 --check
 
-# Work-ledger profiler: profile the stencil workload and self-validate
-# the ledger (totals reconcile exactly with the engine's PolyStats
-# counters, >= 90% of work units carry an attribution context, and the
-# collapsed-stack flamegraph is byte-identical for 1 and 4 workers).
+# Work-ledger profiler: profile the stencil and lu workloads and
+# self-validate the ledger (totals reconcile exactly with the engine's
+# PolyStats counters, >= 90% of work units carry an attribution context,
+# and the collapsed-stack flamegraph is byte-identical for 1 and 4
+# workers). lu is the workload that spills past the inline constraint
+# buffer, so it also exercises the heap-allocation accounting.
 cargo run --release -p dmc-bench --bin dmc-profile -- \
     --workload stencil --out-dir target/profile-tier1 --check
+cargo run --release -p dmc-bench --bin dmc-profile -- \
+    --workload lu --out-dir target/profile-tier1-lu --check
 
 # Stage-graph sessions: sweep every workload over four processor counts
 # inside one compilation session and verify that the cached artifacts are
@@ -47,14 +51,15 @@ cargo run --release -p dmc-bench --bin dmc-profile -- \
 cargo run --release -p dmc-bench --bin dmc-session -- \
     --out-dir target/session-tier1 --check
 
-# Bench regression gate: re-measure the pipeline and diff against the
-# committed snapshot. Correctness fields (message/transmission/word
+# Bench regression gate: re-measure the pipeline (--quick: one timing
+# rep — every deterministic field is rep-independent) and diff against
+# the committed snapshot. Correctness fields (message/transmission/word
 # counts, simulated time, identity flags) and the deterministic
-# work-unit totals must match exactly; the timing
-# tolerance is generous (150%) because tier-1 runs on arbitrary shared
-# hosts where wall-clock is noise — committed-snapshot refreshes use the
-# strict default (15%) via `dmc-bench-diff old new`.
-cargo run --release -p dmc-bench --bin perfstats -- --out target/BENCH_tier1.json
+# work-unit, allocation and polyops totals must match exactly; the
+# timing tolerance is generous (150%) because tier-1 runs on arbitrary
+# shared hosts where wall-clock is noise — committed-snapshot refreshes
+# use the strict default (15%) via `dmc-bench-diff old new`.
+cargo run --release -p dmc-bench --bin perfstats -- --quick --out target/BENCH_tier1.json
 cargo run --release -p dmc-bench --bin dmc-bench-diff -- \
     BENCH_pipeline.json target/BENCH_tier1.json --time-tol 1.5
 
