@@ -1,0 +1,247 @@
+//! Compile-journal harness: writes, replays and diffs the append-only
+//! JSONL journals that a journaling [`Session`] produces (see
+//! [`dmc_obs::journal`]).
+//!
+//! ```sh
+//! cargo run --release -p dmc-bench --bin dmc-journal -- --check
+//! cargo run --release -p dmc-bench --bin dmc-journal -- --replay journal.jsonl
+//! cargo run --release -p dmc-bench --bin dmc-journal -- --diff old.jsonl new.jsonl
+//! ```
+//!
+//! * `--check` serves the four benchmark workloads through one journaling
+//!   session, writes the journal to `--out-dir`, re-reads it from disk,
+//!   replays it through a fresh session and asserts every deterministic
+//!   field (fingerprints, stage hits/misses, work units, message
+//!   statistics, schedule fingerprint) reproduced byte-identically; the
+//!   journal must also self-diff clean.
+//! * `--replay FILE` re-runs a journal's requests, in order, through a
+//!   fresh session and reports every deterministic-field divergence.
+//! * `--diff OLD NEW` compares two journals with the regression-gate
+//!   semantics of [`dmc_bench::diff::diff_journals`]: appends pass,
+//!   truncation and any deterministic-field drift fail, wall times move
+//!   freely.
+//!
+//! Every failure path — usage errors, unreadable files, a corrupt
+//! journal line, a replay divergence — prints one line naming the
+//! violated invariant to stderr and exits nonzero, so the binary is safe
+//! to use directly as a CI gate.
+
+use std::process::ExitCode;
+
+use dmc_bench::diff::diff_journals;
+use dmc_bench::{figure2_input, lu_input, stencil_input, xy_input};
+use dmc_core::{CompileInput, Options, Session};
+use dmc_obs::journal::parse_journal;
+use dmc_obs::JournalRecord;
+
+const LIMIT: usize = 50_000_000;
+
+/// Prints the failing invariant and exits nonzero (no panic backtrace:
+/// this binary is a CI gate, its stderr is read by humans).
+macro_rules! fail {
+    ($($arg:tt)*) => {{
+        eprintln!("dmc-journal: {}", format_args!($($arg)*));
+        return ExitCode::FAILURE;
+    }};
+}
+
+/// The benchmark request set `--check` journals: the same four workloads
+/// and parameters as the perfstats harness.
+fn check_requests() -> Vec<(&'static str, CompileInput, Vec<i128>)> {
+    vec![
+        ("lu", lu_input(8), vec![48]),
+        ("stencil", stencil_input(32, 4), vec![4, 127]),
+        ("figure2", figure2_input(4), vec![3, 127]),
+        ("xy", xy_input(4), vec![47]),
+    ]
+}
+
+/// Reconstructs the compile input a journal record describes. Replay
+/// only knows the benchmark workloads; the record's fingerprints then
+/// verify the reconstruction (a wrong input cannot silently pass — its
+/// program/decomposition/grid fingerprints diverge).
+fn input_for(workload: &str, nproc: u64) -> Result<CompileInput, String> {
+    let nproc = nproc as i128;
+    match workload {
+        "lu" => Ok(lu_input(nproc)),
+        "stencil" => Ok(stencil_input(32, nproc)),
+        "figure2" => Ok(figure2_input(nproc)),
+        "xy" => Ok(xy_input(nproc)),
+        other => Err(format!("no such workload {other:?} (lu, stencil, figure2, xy)")),
+    }
+}
+
+/// Replays a parsed journal, in order, through one fresh journaling
+/// session and returns every deterministic-field divergence (empty =
+/// byte-identical replay).
+fn replay(records: &[JournalRecord]) -> Result<Vec<String>, String> {
+    let mut session = Session::scoped("replay");
+    session.set_journal(true);
+    for rec in records {
+        let input = input_for(&rec.workload, rec.nproc)?;
+        let params: Vec<i128> = rec.params.iter().map(|&p| p as i128).collect();
+        session
+            .serve(&rec.workload, input, Options::full(), &params, LIMIT)
+            .map_err(|e| format!("seq {} ({}): compile failed: {e:?}", rec.seq, rec.workload))?;
+    }
+    let mut findings = Vec::new();
+    for (orig, redo) in records.iter().zip(session.journal()) {
+        for d in orig.field_diffs(redo) {
+            findings.push(format!("seq {} ({}): {d}", orig.seq, orig.workload));
+        }
+    }
+    Ok(findings)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut out_dir = std::path::PathBuf::from("target/dmc-journal");
+    let mut check = false;
+    let mut replay_path: Option<String> = None;
+    let mut diff_paths: Option<(String, String)> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--check" => check = true,
+            "--out-dir" => {
+                let Some(p) = args.next() else { fail!("--out-dir needs a path") };
+                out_dir = std::path::PathBuf::from(p);
+            }
+            "--replay" => {
+                let Some(p) = args.next() else { fail!("--replay needs a journal file") };
+                replay_path = Some(p);
+            }
+            "--diff" => {
+                let (Some(old), Some(new)) = (args.next(), args.next()) else {
+                    fail!("--diff needs OLD.jsonl NEW.jsonl")
+                };
+                diff_paths = Some((old, new));
+            }
+            other => fail!(
+                "unknown argument: {other} \
+                 (usage: dmc-journal --check [--out-dir DIR] | \
+                 --replay FILE | --diff OLD NEW)"
+            ),
+        }
+    }
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(s) => Ok(s),
+        Err(e) => Err(format!("read {path}: {e}")),
+    };
+
+    if let Some((old, new)) = diff_paths {
+        let findings = (|| {
+            let old = read(&old)?;
+            let new = read(&new)?;
+            diff_journals(&old, &new)
+        })();
+        match findings {
+            Err(e) => fail!("{e}"),
+            Ok(f) if f.is_empty() => {
+                println!("dmc-journal diff ok: {old} vs {new}");
+                return ExitCode::SUCCESS;
+            }
+            Ok(f) => {
+                eprintln!("dmc-journal: {} difference(s) between {old} and {new}:", f.len());
+                for d in &f {
+                    eprintln!("  - {d}");
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Some(path) = replay_path {
+        let outcome = (|| {
+            let text = read(&path)?;
+            let records = parse_journal(&text)?;
+            Ok::<_, String>((records.len(), replay(&records)?))
+        })();
+        match outcome {
+            Err(e) => fail!("{e}"),
+            Ok((n, f)) if f.is_empty() => {
+                println!(
+                    "dmc-journal replay ok: {n} record(s) from {path} reproduced \
+                     every deterministic field"
+                );
+                return ExitCode::SUCCESS;
+            }
+            Ok((n, f)) => {
+                eprintln!(
+                    "dmc-journal: replay of {n} record(s) from {path} diverged \
+                     ({} finding(s)):",
+                    f.len()
+                );
+                for d in &f {
+                    eprintln!("  - {d}");
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if !check {
+        fail!("nothing to do (try --check, --replay FILE, or --diff OLD NEW)");
+    }
+
+    // --check: journal the benchmark request set, round-trip the journal
+    // through disk, replay it through a fresh session, and self-diff.
+    let mut session = Session::scoped("check");
+    session.set_journal(true);
+    for (name, input, params) in check_requests() {
+        if let Err(e) = session.serve(name, input, Options::full(), &params, LIMIT) {
+            fail!("{name}: compile failed: {e:?}");
+        }
+    }
+    let text = session.journal_text();
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        fail!("create {}: {e}", out_dir.display());
+    }
+    let path = out_dir.join("journal.jsonl");
+    if let Err(e) = std::fs::write(&path, &text) {
+        fail!("write {}: {e}", path.display());
+    }
+    let reread = match read(&path.to_string_lossy()) {
+        Ok(s) => s,
+        Err(e) => fail!("{e}"),
+    };
+    if reread != text {
+        fail!("journal did not round-trip through {} byte-identically", path.display());
+    }
+    let records = match parse_journal(&reread) {
+        Ok(r) => r,
+        Err(e) => fail!("{e}"),
+    };
+    if records != session.journal() {
+        fail!("parsed journal disagrees with the in-memory records");
+    }
+    match diff_journals(&text, &text) {
+        Err(e) => fail!("self-diff: {e}"),
+        Ok(f) if !f.is_empty() => fail!("journal does not self-diff clean: {f:?}"),
+        Ok(_) => {}
+    }
+    match replay(&records) {
+        Err(e) => fail!("{e}"),
+        Ok(f) if !f.is_empty() => {
+            eprintln!(
+                "dmc-journal: fresh-session replay diverged ({} finding(s)):",
+                f.len()
+            );
+            for d in &f {
+                eprintln!("  - {d}");
+            }
+            return ExitCode::FAILURE;
+        }
+        Ok(_) => {}
+    }
+    let health = session.health();
+    println!(
+        "dmc-journal check ok: {} record(s) -> {} ({} stage hit(s), {} miss(es), \
+         {} work unit(s)); round-trip, self-diff and fresh-session replay all clean",
+        records.len(),
+        path.display(),
+        health.stage_hits,
+        health.stage_misses,
+        health.work_units,
+    );
+    ExitCode::SUCCESS
+}

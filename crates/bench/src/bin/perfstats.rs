@@ -421,6 +421,53 @@ fn main() {
         sweep_identical,
     );
 
+    // Compile journal: the four workloads served through ONE journaling
+    // session, then replayed through a fresh session. Every journal field
+    // except the wall time is deterministic (input fingerprints, stage
+    // hits/misses, charged work units, message statistics, the schedule
+    // fingerprint), so the replay must reproduce all of them and
+    // `dmc-bench-diff` gates the totals exactly, like the sweep.
+    let mut jsession = Session::scoped("perfstats");
+    jsession.set_journal(true);
+    for w in &workloads() {
+        jsession
+            .serve(w.name, w.input.clone(), Options::full(), &w.params, LIMIT)
+            .expect("journal serves");
+    }
+    let mut jreplay = Session::scoped("replay");
+    jreplay.set_journal(true);
+    for w in &workloads() {
+        jreplay
+            .serve(w.name, w.input.clone(), Options::full(), &w.params, LIMIT)
+            .expect("journal replays");
+    }
+    let jrecords = jsession.journal();
+    let replay_identical = jrecords.len() == jreplay.journal().len()
+        && jrecords.iter().zip(jreplay.journal()).all(|(a, b)| a.deterministic_eq(b));
+    all_identical &= replay_identical;
+    let jhits: u64 = jrecords.iter().map(|r| r.stage_hits).sum();
+    let jmisses: u64 = jrecords.iter().map(|r| r.stage_misses).sum();
+    let jwork: u64 = jrecords.iter().map(|r| r.work_units).sum();
+    let jfps: Vec<String> =
+        jrecords.iter().map(|r| format!("\"{}\"", r.schedule_fp)).collect();
+    println!(
+        "journal: {} request(s), {jhits} stage hit(s) / {jmisses} miss(es), \
+         {jwork} work unit(s), fresh-session replay identical: {replay_identical}",
+        jrecords.len()
+    );
+    let journal_json = format!(
+        concat!(
+            "{{\"requests\": {}, \"stage_hits\": {}, \"stage_misses\": {}, ",
+            "\"work_units\": {}, \"schedule_fps\": [{}], \"replay_identical\": {}}}"
+        ),
+        jrecords.len(),
+        jhits,
+        jmisses,
+        jwork,
+        jfps.join(", "),
+        replay_identical,
+    );
+
     let json = format!(
         concat!(
             "{{\n",
@@ -431,6 +478,7 @@ fn main() {
             "  \"threads\": {{\"available\": {}, \"workers_used\": {}, \"sequential_ms\": {:.3}, ",
             "\"parallel_ms\": {}, \"comparison\": \"{}\", \"identical\": {}}},\n",
             "  \"sweep\": {},\n",
+            "  \"journal\": {},\n",
             "  \"polyops\": {},\n",
             "  \"all_identical\": {}\n",
             "}}\n"
@@ -444,6 +492,7 @@ fn main() {
         comparison,
         threads_identical,
         sweep_json,
+        journal_json,
         polyops_json(),
         all_identical,
     );

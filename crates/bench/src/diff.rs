@@ -34,6 +34,14 @@
 //!   correctness fields and `work_units` already pin the outputs and the
 //!   logical work. Per-context `work_contexts` maps are diagnostic
 //!   (they localize a `work_units` finding) and are not gated separately.
+//! - **Journal fields are exact.** The `journal` section summarizes the
+//!   four workloads served through one journaling session: request,
+//!   stage hit/miss and work-unit totals plus the per-request schedule
+//!   fingerprints — all deterministic, so the gate holds them exact, and
+//!   the `replay_identical` flag (a fresh session replayed the same
+//!   requests and reproduced every deterministic journal field) must stay
+//!   `true`. Full journals are diffed record-by-record with
+//!   [`diff_journals`].
 //! - **Stage-graph sweep counts are exact.** The `sweep` section's
 //!   `stage_hits` / `stage_misses` come from fingerprint lookups resolved
 //!   on the main thread before any worker fan-out, so they are
@@ -237,6 +245,51 @@ pub fn diff_snapshots(
             }
         }
     }
+    // Compile journal: request, stage and work-unit totals plus the
+    // per-request schedule fingerprints are deterministic, so the gate is
+    // exact, like the sweep. Absent from both snapshots only when diffing
+    // two pre-journal documents.
+    match (old.get("journal"), new.get("journal")) {
+        (Some(oj), Some(nj)) => {
+            for field in ["requests", "stage_hits", "stage_misses", "work_units"] {
+                let (o, n) = (num(oj, field), num(nj, field));
+                if o != n {
+                    findings.push(format!(
+                        "journal: {field} changed {o:?} -> {n:?} \
+                         (journal records are deterministic; must match exactly)"
+                    ));
+                }
+            }
+            let fps = |v: &Json| {
+                v.get("schedule_fps").and_then(Json::as_arr).map(|a| {
+                    a.iter()
+                        .map(|f| f.as_str().unwrap_or("?").to_owned())
+                        .collect::<Vec<String>>()
+                })
+            };
+            if fps(oj) != fps(nj) {
+                findings.push(format!(
+                    "journal: schedule fingerprints changed {:?} -> {:?} \
+                     (equal fingerprints mean byte-identical schedules)",
+                    fps(oj),
+                    fps(nj)
+                ));
+            }
+        }
+        (None, None) | (None, Some(_)) => {}
+        (Some(_), None) => {
+            findings.push("journal: section missing from new snapshot".to_owned());
+        }
+    }
+    if let Some(nj) = new.get("journal") {
+        if !is_true(nj, "replay_identical") {
+            findings.push(
+                "journal: replay through a fresh session no longer reproduces \
+                 the deterministic journal fields"
+                    .to_owned(),
+            );
+        }
+    }
     // Polyops microbench: charged work of the isolated engine operations,
     // exact in both directions like work_units. Absent from both only
     // when diffing two pre-polyops documents.
@@ -379,6 +432,36 @@ pub fn diff_prom(old_text: &str, new_text: &str, tol: &Tolerances) -> Result<Vec
     Ok(findings)
 }
 
+/// Compares two JSONL compile journals record-by-record. A journal is
+/// append-only, so the new journal may *extend* the old one but never
+/// shrink it, and every record the two share must agree on all
+/// deterministic fields (everything but `wall_us` — see
+/// [`dmc_obs::JournalRecord::field_diffs`]). Returns the list of
+/// differences (empty = gate passes).
+///
+/// # Errors
+///
+/// Returns an error string when either journal fails to parse (the
+/// message names the offending 1-based line).
+pub fn diff_journals(old_text: &str, new_text: &str) -> Result<Vec<String>, String> {
+    let old = dmc_obs::journal::parse_journal(old_text).map_err(|e| format!("old {e}"))?;
+    let new = dmc_obs::journal::parse_journal(new_text).map_err(|e| format!("new {e}"))?;
+    let mut findings = Vec::new();
+    if new.len() < old.len() {
+        findings.push(format!(
+            "journal shrank from {} to {} record(s) (append-only journals never lose entries)",
+            old.len(),
+            new.len()
+        ));
+    }
+    for (o, n) in old.iter().zip(new.iter()) {
+        for d in o.field_diffs(n) {
+            findings.push(format!("seq {} ({}): {d}", o.seq, o.workload));
+        }
+    }
+    Ok(findings)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -399,6 +482,10 @@ mod tests {
       "sweep": {"workload": "w", "params": [4], "nprocs": [2, 4],
                 "stage_hits": 11, "stage_misses": 9, "messages": [5, 5],
                 "work_units": 2222, "identical": true},
+      "journal": {"requests": 4, "stage_hits": 3, "stage_misses": 17,
+                  "work_units": 4444,
+                  "schedule_fps": ["aaaa", "bbbb", "cccc", "dddd"],
+                  "replay_identical": true},
       "polyops": {"feasibility": 2, "projection": 3, "redundancy": 20,
                   "lexmax": 23, "batch_family": 4, "batch_saved": 4},
       "all_identical": true
@@ -543,6 +630,87 @@ mod tests {
         // Two pre-session snapshots diff cleanly.
         let d = diff_snapshots(&dropped, &dropped, &Tolerances::default()).unwrap();
         assert!(d.is_empty(), "{d:?}");
+    }
+
+    /// Every journal summary field is exact in both directions; the
+    /// schedule fingerprints gate as a list; the section may appear over
+    /// a pre-journal snapshot but never vanish, and a replay divergence
+    /// in the new snapshot is a finding on its own.
+    #[test]
+    fn journal_section_is_gated_exactly_with_backward_compat() {
+        for (from, to) in [
+            ("\"requests\": 4", "\"requests\": 5"),
+            ("\"stage_hits\": 3", "\"stage_hits\": 2"),
+            ("\"work_units\": 4444", "\"work_units\": 4445"),
+        ] {
+            let changed = SNAP.replace(from, to);
+            let d = diff_snapshots(SNAP, &changed, &Tolerances::default()).unwrap();
+            assert_eq!(d.len(), 1, "{d:?}");
+            assert!(d[0].contains("journal:"), "{d:?}");
+        }
+        let fps = SNAP.replace("\"cccc\"", "\"eeee\"");
+        let d = diff_snapshots(SNAP, &fps, &Tolerances::default()).unwrap();
+        assert!(d.iter().any(|f| f.contains("schedule fingerprints changed")), "{d:?}");
+
+        let diverged = SNAP.replace("\"replay_identical\": true", "\"replay_identical\": false");
+        let d = diff_snapshots(SNAP, &diverged, &Tolerances::default()).unwrap();
+        assert!(d.iter().any(|f| f.contains("no longer reproduces")), "{d:?}");
+
+        let pre = SNAP.replace("\"journal\":", "\"journal_old\":");
+        let d = diff_snapshots(&pre, SNAP, &Tolerances::default()).unwrap();
+        assert!(d.is_empty(), "section addition must pass: {d:?}");
+        let d = diff_snapshots(SNAP, &pre, &Tolerances::default()).unwrap();
+        assert!(d.iter().any(|f| f.contains("journal: section missing")), "{d:?}");
+        let d = diff_snapshots(&pre, &pre, &Tolerances::default()).unwrap();
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    /// Journal-file diffs: byte-identical journals and clean appends
+    /// pass; truncation, a deterministic field drift, or a parse error
+    /// are findings — but a wall-time change alone is not.
+    #[test]
+    fn journal_files_diff_on_deterministic_fields_only() {
+        let rec = |seq: u64, work: u64, wall: u64| {
+            dmc_obs::JournalRecord {
+                seq,
+                workload: "lu".to_owned(),
+                nproc: 8,
+                params: vec![48],
+                program_fp: "0123456789abcdef0123456789abcdef".to_owned(),
+                decomp_fp: "0123456789abcdef0123456789abcdef".to_owned(),
+                grid_fp: "0123456789abcdef0123456789abcdef".to_owned(),
+                options_fp: "0123456789abcdef0123456789abcdef".to_owned(),
+                stage_hits: 1,
+                stage_misses: 4,
+                work_units: work,
+                messages: 3,
+                transmissions: 24,
+                words: 768,
+                schedule_fp: "fedcba9876543210fedcba9876543210".to_owned(),
+                wall_us: wall,
+            }
+        };
+        let render = dmc_obs::journal::render_journal;
+        let old = render(&[rec(0, 100, 10), rec(1, 200, 20)]);
+        assert!(diff_journals(&old, &old).unwrap().is_empty());
+
+        // Appending is what journals do: longer new journal passes.
+        let appended = render(&[rec(0, 100, 10), rec(1, 200, 20), rec(2, 300, 30)]);
+        assert!(diff_journals(&old, &appended).unwrap().is_empty());
+        // Truncation is a finding.
+        let d = diff_journals(&appended, &old).unwrap();
+        assert!(d.iter().any(|f| f.contains("shrank")), "{d:?}");
+
+        // Wall time moves freely; work units do not.
+        let slower = render(&[rec(0, 100, 99999), rec(1, 200, 20)]);
+        assert!(diff_journals(&old, &slower).unwrap().is_empty());
+        let work = render(&[rec(0, 100, 10), rec(1, 201, 20)]);
+        let d = diff_journals(&old, &work).unwrap();
+        assert_eq!(d, vec!["seq 1 (lu): work_units: 200 != 201"]);
+
+        // A corrupt journal is an error naming the line, not a finding.
+        let err = diff_journals(&old, "garbage").unwrap_err();
+        assert!(err.contains("journal line 1"), "{err}");
     }
 
     #[test]

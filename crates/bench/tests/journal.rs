@@ -1,0 +1,148 @@
+//! Request-scoped observability, end to end on real workloads:
+//!
+//! * **isolation** — two scoped sessions compiling concurrently on
+//!   different workloads each capture only their own pipeline, and each
+//!   trace's deterministic view is byte-identical to the same workload
+//!   compiled solo;
+//! * **journal determinism** — replaying a journaling session's requests
+//!   through a fresh session reproduces every deterministic journal
+//!   field (fingerprints, stage hits/misses, work units, message
+//!   statistics, schedule fingerprints) byte-for-byte;
+//! * **the `dmc-journal` binary** — `--check`, `--replay` and `--diff`
+//!   succeed on a real journal, and a corrupted journal line fails with
+//!   one stderr line naming the 1-based line number.
+//!
+//! Scoped contexts are the whole point: unlike `tracing.rs`, the
+//! isolation tests here deliberately do NOT serialize on a mutex.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use dmc_bench::{figure2_input, stencil_input, xy_input};
+use dmc_core::{CompileInput, Options, Session};
+
+const LIMIT: usize = 50_000_000;
+
+fn tmpdir(sub: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(sub);
+    std::fs::create_dir_all(&dir).expect("create tmpdir");
+    dir
+}
+
+/// Compiles `input` in a scoped session under that session's own capture
+/// and returns the trace's deterministic view. `threads: 2` so the
+/// worker fan-out must actually inherit the context.
+fn scoped_view(label: &str, input: &CompileInput, params: &[i128]) -> Vec<String> {
+    let mut session = Session::scoped(label);
+    let ctx = session.obs_context().expect("scoped session has a context").clone();
+    ctx.start_capture();
+    let options = Options { threads: 2, ..Options::full() };
+    let compiled = session.compile(input.clone(), options).expect("compiles");
+    let _ = session.build_schedule(&compiled, params, false, LIMIT).expect("schedules");
+    ctx.finish_capture().deterministic_view()
+}
+
+/// Two sessions tracing concurrently on different workloads: each trace
+/// holds exactly what the same workload produces solo — no cross-talk in
+/// either direction, byte for byte.
+#[test]
+fn concurrent_scoped_sessions_capture_isolated_traces() {
+    let solo_stencil = scoped_view("solo-a", &stencil_input(16, 4), &[3, 63]);
+    let solo_xy = scoped_view("solo-b", &xy_input(4), &[15]);
+
+    let (stencil, xy) = std::thread::scope(|s| {
+        let a = s.spawn(|| scoped_view("conc-a", &stencil_input(16, 4), &[3, 63]));
+        let b = s.spawn(|| scoped_view("conc-b", &xy_input(4), &[15]));
+        (a.join().expect("stencil thread"), b.join().expect("xy thread"))
+    });
+
+    assert!(!solo_stencil.is_empty() && !solo_xy.is_empty(), "captures must record");
+    assert_eq!(
+        stencil, solo_stencil,
+        "concurrent stencil trace must be byte-identical to the solo trace"
+    );
+    assert_eq!(xy, solo_xy, "concurrent xy trace must be byte-identical to the solo trace");
+    assert_ne!(solo_stencil, solo_xy, "different workloads produce different traces");
+}
+
+/// The journal round-trips through its JSONL rendering, and a fresh
+/// session serving the same requests reproduces every deterministic
+/// field — including when the original session enjoyed stage-cache hits
+/// the replay must reproduce (same request twice).
+#[test]
+fn journal_replays_byte_identically_through_a_fresh_session() {
+    let requests: Vec<(&str, CompileInput, Vec<i128>)> = vec![
+        ("figure2", figure2_input(4), vec![3, 63]),
+        ("xy", xy_input(4), vec![15]),
+        ("figure2", figure2_input(4), vec![3, 63]),
+    ];
+    let serve_all = |label: &str| {
+        let mut session = Session::scoped(label);
+        session.set_journal(true);
+        for (name, input, params) in &requests {
+            session
+                .serve(name, input.clone(), Options::full(), params, LIMIT)
+                .expect("serves");
+        }
+        session
+    };
+    let original = serve_all("original");
+    assert_eq!(original.journal().len(), 3);
+    // The repeated request is served from the stage cache...
+    let repeat = &original.journal()[2];
+    assert!(repeat.stage_hits > 0 && repeat.stage_misses == 0, "{repeat:?}");
+    // ...and costs no charged engine work.
+    assert_eq!(repeat.work_units, 0, "{repeat:?}");
+
+    // JSONL round-trip.
+    let text = original.journal_text();
+    let parsed = dmc_obs::journal::parse_journal(&text).expect("parses");
+    assert_eq!(parsed, original.journal());
+
+    // Fresh-session replay: every deterministic field reproduces.
+    let replayed = serve_all("replay");
+    for (a, b) in original.journal().iter().zip(replayed.journal()) {
+        assert!(
+            a.deterministic_eq(b),
+            "seq {}: replay diverged: {:?}",
+            a.seq,
+            a.field_diffs(b)
+        );
+    }
+
+    // Health rolls the journal up: compiles, work units and latency count.
+    let health = original.health();
+    assert_eq!(health.compiles, 3);
+    assert_eq!(
+        health.work_units,
+        original.journal().iter().map(|r| r.work_units).sum::<u64>()
+    );
+    assert_eq!(health.latency_us.count(), 3);
+    assert!(health.stage_reuse_rate() > 0.0);
+}
+
+fn run_bin(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dmc-journal"))
+        .args(args)
+        .output()
+        .expect("dmc-journal runs")
+}
+
+/// The binary end to end: `--check` writes a journal that `--replay` and
+/// a self `--diff` both accept.
+#[test]
+fn journal_binary_check_replay_and_diff_pass() {
+    let dir = tmpdir("journal-bin");
+    let out = run_bin(&["--check", "--out-dir", dir.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "--check failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let journal = dir.join("journal.jsonl");
+    let out = run_bin(&["--replay", journal.to_str().unwrap()]);
+    assert!(out.status.success(), "--replay failed: {out:?}");
+    let out = run_bin(&["--diff", journal.to_str().unwrap(), journal.to_str().unwrap()]);
+    assert!(out.status.success(), "self --diff failed: {out:?}");
+}

@@ -60,6 +60,63 @@ fn profile_rejects_unknown_workload() {
     assert_fails(&out, "no such workload", "dmc-profile");
 }
 
+/// `dmc-journal` failure paths: usage errors, a missing journal, a
+/// corrupted journal line (one stderr line naming the 1-based line
+/// number, no backtrace), and a journal whose deterministic fields were
+/// tampered with each exit nonzero with the invariant on stderr.
+#[test]
+fn journal_fails_cleanly() {
+    let bin = env!("CARGO_BIN_EXE_dmc-journal");
+    let dir = tmpdir();
+
+    let out = run(bin, &["--bogus"]);
+    assert_fails(&out, "unknown argument", "dmc-journal usage");
+
+    let out = run(bin, &[]);
+    assert_fails(&out, "nothing to do", "dmc-journal no mode");
+
+    let out = run(bin, &["--replay", "/nonexistent/journal.jsonl"]);
+    assert_fails(&out, "read /nonexistent/journal.jsonl", "dmc-journal missing file");
+
+    // A corrupted line: strict parsing names the 1-based line and the
+    // gate fails without a panic backtrace.
+    let good = concat!(
+        r#"{"seq":0,"workload":"xy","nproc":4,"params":[15],"#,
+        r#""program_fp":"0123456789abcdef0123456789abcdef","#,
+        r#""decomp_fp":"0123456789abcdef0123456789abcdef","#,
+        r#""grid_fp":"0123456789abcdef0123456789abcdef","#,
+        r#""options_fp":"0123456789abcdef0123456789abcdef","#,
+        r#""stage_hits":0,"stage_misses":9,"work_units":10,"messages":1,"#,
+        r#""transmissions":1,"words":1,"#,
+        r#""schedule_fp":"0123456789abcdef0123456789abcdef","wall_us":5}"#,
+    );
+    let corrupt = dir.join("corrupt.jsonl");
+    std::fs::write(&corrupt, format!("{good}\n{}\n", &good[..good.len() / 2]))
+        .expect("write fixture");
+    let out = run(bin, &["--replay", corrupt.to_str().unwrap()]);
+    assert_fails(&out, "journal line 2", "dmc-journal corrupt line");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !stderr.contains("panicked"),
+        "corruption must fail without a panic backtrace:\n{stderr}"
+    );
+    assert_eq!(
+        stderr.lines().count(),
+        1,
+        "corruption is a one-line diagnostic:\n{stderr}"
+    );
+
+    // Tampered deterministic field: --diff against the original catches
+    // it and names the field.
+    let tampered = dir.join("tampered.jsonl");
+    std::fs::write(&tampered, format!("{}\n", good.replace("\"work_units\":10", "\"work_units\":11")))
+        .expect("write fixture");
+    let original = dir.join("original.jsonl");
+    std::fs::write(&original, format!("{good}\n")).expect("write fixture");
+    let out = run(bin, &["--diff", original.to_str().unwrap(), tampered.to_str().unwrap()]);
+    assert_fails(&out, "work_units: 10 != 11", "dmc-journal diff gate");
+}
+
 /// `dmc-bench-diff` failure paths: missing files, malformed JSON, and a
 /// genuine regression each exit nonzero with the invariant on stderr —
 /// and with no panic backtrace (the stderr is read by humans in CI logs).

@@ -56,9 +56,9 @@ pub mod session;
 #[cfg(test)]
 mod tests;
 
-pub use options::{Options, Strategy};
+pub use options::{Options, ScopedTuning, Strategy};
 pub use pipeline::{
     analysis_jobs, build_schedule, compile, message_stats, planned_workers, run, Compiled,
     CompileError, CompileInput,
 };
-pub use session::{Session, SessionStats, StageCount};
+pub use session::{ServeOutcome, Session, SessionStats, StageCount};

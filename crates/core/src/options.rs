@@ -57,6 +57,14 @@ pub struct Options {
     /// `cache_bypasses` in [`dmc_polyhedra::PolyStats`]). `0` admits
     /// everything. Only meaningful while `poly_fast_paths` is on.
     pub cache_min_constraints: u32,
+    /// Caps the number of trace records a capture keeps (`0` =
+    /// unbounded). Installed thread-locally alongside the engine tuning
+    /// ([`Options::push_tuning_scoped`]), so a server can leave capture
+    /// always-on with bounded memory; dropped records are counted in
+    /// [`dmc_obs::ObsOverhead::dropped`]. Never enters any stage
+    /// fingerprint — like `threads`, it can change observability, never
+    /// answers.
+    pub obs_record_cap: u64,
 }
 
 impl Default for Options {
@@ -73,6 +81,7 @@ impl Default for Options {
             feasibility_budget: dmc_polyhedra::stats::DEFAULT_FEASIBILITY_BUDGET,
             poly_fast_paths: true,
             cache_min_constraints: dmc_polyhedra::stats::DEFAULT_CACHE_MIN_CONSTRAINTS,
+            obs_record_cap: 0,
         }
     }
 }
@@ -138,7 +147,8 @@ impl Options {
     }
 
     /// Installs the engine tunables as a *thread-local* override for the
-    /// returned guard's lifetime. This is how [`compile`] and
+    /// returned guard's lifetime, together with the tracer's record cap
+    /// (`obs_record_cap`). This is how [`compile`] and
     /// [`build_schedule`] scope their knobs (each analysis worker pushes
     /// its own): unlike [`Options::apply_tuning_scoped`], nothing
     /// process-wide changes, so concurrent compilations with different
@@ -147,8 +157,11 @@ impl Options {
     /// [`compile`]: crate::compile
     /// [`build_schedule`]: crate::build_schedule
     #[must_use = "the tuning is uninstalled when the guard drops"]
-    pub fn push_tuning_scoped(&self) -> dmc_polyhedra::stats::ThreadTuningGuard {
-        dmc_polyhedra::stats::push_thread_tuning(self.tuning())
+    pub fn push_tuning_scoped(&self) -> ScopedTuning {
+        ScopedTuning {
+            _engine: dmc_polyhedra::stats::push_thread_tuning(self.tuning()),
+            _obs_cap: dmc_obs::push_record_cap(self.obs_record_cap),
+        }
     }
 
     /// The concrete worker count `threads` resolves to: `0` → available
@@ -163,6 +176,15 @@ impl Options {
             self.threads.min(avail)
         }
     }
+}
+
+/// The thread-local tuning installation of one compile: the polyhedral
+/// engine knobs plus the tracer's record cap, all restored when the
+/// guard drops. `!Send` (both members are thread-bound).
+#[must_use = "the tuning is uninstalled when the guard drops"]
+pub struct ScopedTuning {
+    _engine: dmc_polyhedra::stats::ThreadTuningGuard,
+    _obs_cap: dmc_obs::RecordCapGuard,
 }
 
 #[cfg(test)]

@@ -163,12 +163,46 @@ pub struct Session {
     /// wrapper's throwaway session does not, keeping classic profiles
     /// byte-identical.
     explicit: bool,
+    /// The session's own observability context ([`Session::scoped`]
+    /// sessions only). `None` — the default for [`Session::new`] and the
+    /// wrapper's throwaway sessions — records into the calling thread's
+    /// current context, exactly the pre-context behavior.
+    obs: Option<obs::ObsContext>,
+    /// Ledger scope backing per-request work accounting; created (and
+    /// left recording) when journaling is enabled.
+    ledger_scope: Option<ledger::LedgerScope>,
+    /// Whether [`Session::serve`] appends journal records.
+    journaling: bool,
+    /// One record per served request, in order.
+    journal: Vec<obs::JournalRecord>,
+    /// Health label (`ctx` metric label).
+    label: String,
+    /// Requests served.
+    compiles: u64,
+    /// Serve wall-latency distribution, microseconds.
+    latency_us: obs::Log2Hist,
+    /// Σ journaled work units.
+    work_units_total: u64,
 }
 
 impl Session {
     /// Opens an empty session.
     pub fn new() -> Self {
-        Session { explicit: true, ..Session::default() }
+        Session { explicit: true, label: "session".to_owned(), ..Session::default() }
+    }
+
+    /// Opens a session with its own [`obs::ObsContext`]: captures started
+    /// on that context observe this session's compiles (worker threads
+    /// inherit the context across the fan-out) and nothing else, so any
+    /// number of scoped sessions can compile concurrently with isolated
+    /// traces. `label` names the session in health snapshots.
+    pub fn scoped(label: impl Into<String>) -> Self {
+        Session {
+            explicit: true,
+            obs: Some(obs::ObsContext::new()),
+            label: label.into(),
+            ..Session::default()
+        }
     }
 
     /// The internal session behind the classic [`crate::compile`] /
@@ -182,6 +216,124 @@ impl Session {
     /// Cumulative stage cache statistics.
     pub fn stats(&self) -> &SessionStats {
         &self.stats
+    }
+
+    /// The session's own observability context, if it was opened with
+    /// [`Session::scoped`].
+    pub fn obs_context(&self) -> Option<&obs::ObsContext> {
+        self.obs.as_ref()
+    }
+
+    /// The session's health label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Turns journaling on or off. While on, every [`Session::serve`]
+    /// call appends one [`obs::JournalRecord`]; enabling also opens a
+    /// dedicated [`ledger::LedgerScope`] and leaves it recording for the
+    /// session's lifetime (one memo-epoch bump here, not one per
+    /// request), so each record's `work_units` is the request's exact
+    /// charged work.
+    pub fn set_journal(&mut self, on: bool) {
+        self.journaling = on;
+        if on {
+            let scope = self.ledger_scope.get_or_insert_with(ledger::LedgerScope::new);
+            if !scope.is_recording() {
+                scope.start();
+            }
+        }
+    }
+
+    /// The journal so far: one record per served request, in order.
+    pub fn journal(&self) -> &[obs::JournalRecord] {
+        &self.journal
+    }
+
+    /// The journal as JSONL text (the `dmc-journal` file format).
+    pub fn journal_text(&self) -> String {
+        obs::journal::render_journal(&self.journal)
+    }
+
+    /// This session's row for a health snapshot: requests served,
+    /// stage-reuse counters, journaled work units, the serve-latency
+    /// histogram, and — for scoped sessions — the recorder's
+    /// self-overhead.
+    pub fn health(&self) -> obs::ContextHealth {
+        obs::ContextHealth {
+            label: self.label.clone(),
+            compiles: self.compiles,
+            stage_hits: self.stats.stage_hits,
+            stage_misses: self.stats.stage_misses,
+            work_units: self.work_units_total,
+            latency_us: self.latency_us.clone(),
+            obs: self.obs.as_ref().map(|c| c.overhead()).unwrap_or_default(),
+        }
+    }
+
+    /// Serves one compile request end-to-end: compiles `input` through
+    /// the stage graph, builds the schedule for `param_vals` (without
+    /// payload values), and returns it with its message statistics.
+    /// With journaling on (see [`Session::set_journal`]), appends one
+    /// deterministic [`obs::JournalRecord`] describing the request.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::compile`] and [`Session::build_schedule`]; failed
+    /// requests append nothing.
+    pub fn serve(
+        &mut self,
+        workload: &str,
+        input: CompileInput,
+        options: Options,
+        param_vals: &[i128],
+        limit: usize,
+    ) -> Result<ServeOutcome, CompileError> {
+        let t0 = std::time::Instant::now();
+        let hits0 = self.stats.stage_hits;
+        let misses0 = self.stats.stage_misses;
+        if self.journaling {
+            if let Some(scope) = &self.ledger_scope {
+                // Discard residue so the drain below is exactly this
+                // request's work.
+                let _ = scope.drain();
+            }
+        }
+        let compiled = self.compile(input, options)?;
+        let schedule = self.build_schedule(&compiled, param_vals, false, limit)?;
+        let (messages, transmissions, words) =
+            crate::pipeline::schedule_message_stats(&schedule);
+        let wall_us = t0.elapsed().as_micros() as u64;
+        self.compiles += 1;
+        self.latency_us.observe(wall_us);
+        if self.journaling {
+            let work_units = self
+                .ledger_scope
+                .as_ref()
+                .map(|s| s.drain().charged_work())
+                .unwrap_or(0);
+            self.work_units_total += work_units;
+            let input = &compiled.input;
+            self.journal.push(obs::JournalRecord {
+                seq: self.journal.len() as u64,
+                workload: workload.to_owned(),
+                nproc: input.grid.len() as u64,
+                params: param_vals.iter().map(|&v| v as i64).collect(),
+                program_fp: program_only_fp(&input.program).to_string(),
+                decomp_fp: decomp_only_fp(input).to_string(),
+                grid_fp: grid_only_fp(input).to_string(),
+                options_fp: options_only_fp(&options).to_string(),
+                stage_hits: self.stats.stage_hits - hits0,
+                stage_misses: self.stats.stage_misses - misses0,
+                work_units,
+                messages,
+                transmissions,
+                words,
+                schedule_fp: schedule_text_fp(&schedule).to_string(),
+                wall_us,
+            });
+        }
+        Ok(ServeOutcome { compiled, schedule, messages, transmissions, words })
     }
 
     /// The `parse` stage: source text → [`Program`], keyed by the text.
@@ -218,6 +370,12 @@ impl Session {
         input: CompileInput,
         options: Options,
     ) -> Result<Compiled, CompileError> {
+        // Scoped sessions record into their own context and ledger
+        // scope: install both before anything emits. Guards are RAII,
+        // so the thread's previous context is restored on every exit.
+        let _obs_guard = self.obs.as_ref().map(|c| c.install());
+        let _ledger_guard =
+            self.ledger_scope.as_ref().filter(|s| s.is_recording()).map(|s| s.install());
         // Lane first so every record of this compile lands in the main
         // pipeline lane; the engine tuning is thread-local (installed
         // per worker below), so concurrent sessions cannot race on the
@@ -326,9 +484,17 @@ impl Session {
             let next = AtomicUsize::new(0);
             let out: Vec<Mutex<Option<ReadResult>>> =
                 plans.iter().map(|_| Mutex::new(None)).collect();
+            // Workers inherit the spawning thread's observability
+            // context and ledger scope, so a scoped session's fan-out
+            // records into that session's capture — not the default
+            // context — and concurrent sessions stay isolated.
+            let obs_ctx = obs::ObsContext::current();
+            let ledger_scope = ledger::LedgerScope::current();
             std::thread::scope(|scope| {
                 for _ in 0..workers {
                     scope.spawn(|| {
+                        let _obs = obs_ctx.install();
+                        let _scope = ledger_scope.install();
                         // Workers consult the engine knobs themselves, so
                         // each installs the compile's tuning thread-locally.
                         let _tuning = options.push_tuning_scoped();
@@ -392,6 +558,9 @@ impl Session {
         values: bool,
         limit: usize,
     ) -> Result<Schedule, CompileError> {
+        let _obs_guard = self.obs.as_ref().map(|c| c.install());
+        let _ledger_guard =
+            self.ledger_scope.as_ref().filter(|s| s.is_recording()).map(|s| s.install());
         crate::pipeline::build_schedule_inner(compiled, param_vals, values, limit, Some(self))
     }
 
@@ -424,6 +593,7 @@ impl Session {
         values: bool,
         limit: usize,
     ) -> Result<SimResult, CompileError> {
+        let _obs_guard = self.obs.as_ref().map(|c| c.install());
         let _lane = obs::lane(obs::main_lane(), "pipeline");
         let schedule = self.build_schedule(compiled, param_vals, values, limit)?;
         crate::pipeline::simulate_schedule(compiled, param_vals, config, values, &schedule)
@@ -471,6 +641,23 @@ impl Session {
     pub(crate) fn is_explicit(&self) -> bool {
         self.explicit
     }
+}
+
+/// What [`Session::serve`] produced for one request.
+#[derive(Clone, Debug)]
+pub struct ServeOutcome {
+    /// The compiled program (stage-graph artifacts shared with the
+    /// session store).
+    pub compiled: Compiled,
+    /// The legality-refined schedule for the request's parameters
+    /// (built without payload values).
+    pub schedule: Schedule,
+    /// Distinct messages in the schedule.
+    pub messages: u64,
+    /// Message transmissions (receiver fan-out counted).
+    pub transmissions: u64,
+    /// Words moved across all transmissions.
+    pub words: u64,
 }
 
 /// One job's resolution: fully served from the store, or planned to run.
@@ -782,5 +969,82 @@ pub(crate) fn schedule_fp(agg_key: Fingerprint, values: bool) -> Fingerprint {
     h.tag(56);
     h.fingerprint(agg_key);
     h.bool(values);
+    h.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Journal fingerprints: content hashes of the *request*, one component
+// per journal field, so a journal diff names which input changed. Tag 57
+// keeps them disjoint from the stage keys above.
+
+/// Journal `program_fp`: the source program alone.
+fn program_only_fp(program: &Program) -> Fingerprint {
+    let mut h = Fp::new();
+    h.tag(57);
+    h.u64(0);
+    program.fp(&mut h);
+    h.finish()
+}
+
+/// Journal `decomp_fp`: every computation decomposition plus the initial
+/// data decompositions (sorted by array name).
+fn decomp_only_fp(input: &CompileInput) -> Fingerprint {
+    let mut h = Fp::new();
+    h.tag(57);
+    h.u64(1);
+    h.usize(input.comps.len());
+    for (id, comp) in &input.comps {
+        h.usize(*id);
+        comp.fp(&mut h);
+    }
+    let mut entries: Vec<_> = input.initial.iter().collect();
+    entries.sort_by_key(|(name, _)| *name);
+    h.usize(entries.len());
+    for (name, d) in entries {
+        h.str(name);
+        d.fp(&mut h);
+    }
+    h.finish()
+}
+
+/// Journal `grid_fp`: the processor grid alone.
+fn grid_only_fp(input: &CompileInput) -> Fingerprint {
+    let mut h = Fp::new();
+    h.tag(57);
+    h.u64(2);
+    input.grid.fp(&mut h);
+    h.finish()
+}
+
+/// Journal `options_fp`: every answer-relevant option (strategy, budget,
+/// §6 flags) — the same set the stage keys consume, so equal fingerprints
+/// mean the options cannot have changed any output.
+fn options_only_fp(options: &Options) -> Fingerprint {
+    let mut h = Fp::new();
+    h.tag(57);
+    h.u64(3);
+    analysis_options_fp(options, &mut h);
+    for flag in [
+        options.self_reuse,
+        options.cross_set_reuse,
+        options.already_local,
+        options.unique_sender,
+        options.aggregate,
+        options.multicast,
+    ] {
+        h.bool(flag);
+    }
+    h.finish()
+}
+
+/// Journal `schedule_fp`: a fingerprint of the schedule's canonical
+/// `Debug` rendering. `Schedule` holds only ordered containers, so the
+/// rendering — and therefore this fingerprint — is deterministic, and
+/// equal fingerprints mean byte-identical schedules.
+fn schedule_text_fp(schedule: &Schedule) -> Fingerprint {
+    let mut h = Fp::new();
+    h.tag(57);
+    h.u64(4);
+    h.str(&format!("{schedule:?}"));
     h.finish()
 }

@@ -1,0 +1,278 @@
+//! Health snapshots: per-context service statistics aggregated into the
+//! payload a `/health` (JSON) or `/metrics` (Prometheus) endpoint would
+//! serve.
+//!
+//! Each observability context (in practice: each `dmc_core::Session`)
+//! contributes one [`ContextHealth`] — compiles served, stage-cache
+//! reuse, charged work-unit totals, a request-latency
+//! [`Log2Hist`], and the recorder's own overhead counters
+//! ([`ObsOverhead`], exported as `dmc_obs_*` meta-metrics). A
+//! [`HealthSnapshot`] merges any number of them; the merged `total` row
+//! uses [`Log2Hist::merge`], so its quantiles are exactly those of the
+//! pooled observations.
+
+use crate::metrics::{Log2Hist, Registry};
+use crate::trace::ObsOverhead;
+use crate::json;
+
+/// Service statistics of one observability context.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ContextHealth {
+    /// Context label (e.g. a session name); becomes the `ctx` metric
+    /// label.
+    pub label: String,
+    /// Compile requests served.
+    pub compiles: u64,
+    /// Session stage-cache hits across those requests.
+    pub stage_hits: u64,
+    /// Session stage-cache misses across those requests.
+    pub stage_misses: u64,
+    /// Total charged polyhedral work units.
+    pub work_units: u64,
+    /// Request wall-latency distribution, in microseconds.
+    pub latency_us: Log2Hist,
+    /// The recorder's self-overhead counters for this context.
+    pub obs: ObsOverhead,
+}
+
+impl ContextHealth {
+    /// Stage-cache reuse rate (`hits / (hits + misses)`), `0.0` before
+    /// any stage ran.
+    pub fn stage_reuse_rate(&self) -> f64 {
+        let total = self.stage_hits + self.stage_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.stage_hits as f64 / total as f64
+        }
+    }
+
+    fn merge_into(&self, acc: &mut ContextHealth) {
+        acc.compiles += self.compiles;
+        acc.stage_hits += self.stage_hits;
+        acc.stage_misses += self.stage_misses;
+        acc.work_units += self.work_units;
+        acc.latency_us.merge(&self.latency_us);
+        acc.obs = acc.obs.merged(&self.obs);
+    }
+
+    fn to_json(&self) -> String {
+        let q = |v: Option<u64>| v.map_or("null".to_owned(), |v| v.to_string());
+        format!(
+            concat!(
+                "{{\"ctx\":{},\"compiles\":{},\"stage_hits\":{},\"stage_misses\":{},",
+                "\"stage_reuse_rate\":{:?},\"work_units\":{},",
+                "\"latency_us\":{{\"count\":{},\"sum\":{},\"p50\":{},\"p95\":{},\"p99\":{}}},",
+                "\"obs\":{{\"records\":{},\"bytes\":{},\"trace_ns\":{},\"dropped\":{}}}}}"
+            ),
+            json::quote(&self.label),
+            self.compiles,
+            self.stage_hits,
+            self.stage_misses,
+            self.stage_reuse_rate(),
+            self.work_units,
+            self.latency_us.count(),
+            self.latency_us.sum(),
+            q(self.latency_us.p50()),
+            q(self.latency_us.p95()),
+            q(self.latency_us.p99()),
+            self.obs.records,
+            self.obs.bytes,
+            self.obs.trace_ns,
+            self.obs.dropped,
+        )
+    }
+}
+
+/// A point-in-time aggregation of [`ContextHealth`] rows, renderable as
+/// Prometheus text (passes [`validate_prometheus`](crate::metrics::validate_prometheus))
+/// or JSON (parses with [`json::parse`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HealthSnapshot {
+    /// One row per context, in insertion order.
+    pub contexts: Vec<ContextHealth>,
+}
+
+impl HealthSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one context's statistics.
+    pub fn add(&mut self, health: ContextHealth) {
+        self.contexts.push(health);
+    }
+
+    /// The merged row over every context (label `"total"`); histogram
+    /// merge via [`Log2Hist::merge`], so quantiles are those of the
+    /// pooled observations.
+    pub fn totals(&self) -> ContextHealth {
+        let mut acc = ContextHealth { label: "total".to_owned(), ..ContextHealth::default() };
+        for ctx in &self.contexts {
+            ctx.merge_into(&mut acc);
+        }
+        acc
+    }
+
+    /// Renders the snapshot as a JSON document:
+    /// `{"contexts": [...], "total": {...}}`.
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self.contexts.iter().map(ContextHealth::to_json).collect();
+        format!(
+            "{{\"contexts\":[{}],\"total\":{}}}",
+            rows.join(","),
+            self.totals().to_json()
+        )
+    }
+
+    /// Writes the snapshot's metric families into a [`Registry`], one
+    /// sample per context keyed by the `ctx` label, plus the `dmc_obs_*`
+    /// self-overhead meta-metrics.
+    pub fn export(&self, reg: &mut Registry) {
+        for ctx in self.contexts.iter() {
+            let labels = [("ctx", ctx.label.as_str())];
+            reg.set_counter(
+                "dmc_health_compiles_total",
+                "Compile requests served",
+                &labels,
+                ctx.compiles,
+            );
+            reg.set_counter(
+                "dmc_health_stage_hits_total",
+                "Session stage-cache hits",
+                &labels,
+                ctx.stage_hits,
+            );
+            reg.set_counter(
+                "dmc_health_stage_misses_total",
+                "Session stage-cache misses",
+                &labels,
+                ctx.stage_misses,
+            );
+            reg.set_gauge(
+                "dmc_health_stage_reuse_ratio",
+                "Stage-cache hit fraction",
+                &labels,
+                ctx.stage_reuse_rate(),
+            );
+            reg.set_counter(
+                "dmc_health_work_units_total",
+                "Charged polyhedral work units",
+                &labels,
+                ctx.work_units,
+            );
+            reg.set_histogram(
+                "dmc_health_compile_latency_us",
+                "Request wall latency in microseconds",
+                &labels,
+                &ctx.latency_us,
+            );
+            reg.set_counter(
+                "dmc_obs_records_total",
+                "Trace records kept by the recorder",
+                &labels,
+                ctx.obs.records,
+            );
+            reg.set_counter(
+                "dmc_obs_record_bytes_total",
+                "Approximate bytes of kept trace records",
+                &labels,
+                ctx.obs.bytes,
+            );
+            reg.set_counter(
+                "dmc_obs_trace_ns_total",
+                "Nanoseconds spent inside the recorder's emit path",
+                &labels,
+                ctx.obs.trace_ns,
+            );
+            reg.set_counter(
+                "dmc_obs_records_dropped_total",
+                "Trace records dropped by the record cap",
+                &labels,
+                ctx.obs.dropped,
+            );
+        }
+    }
+
+    /// Renders the snapshot as a Prometheus text document.
+    pub fn render_prometheus(&self) -> String {
+        let mut reg = Registry::new();
+        self.export(&mut reg);
+        reg.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::validate_prometheus;
+
+    fn ctx(label: &str, compiles: u64, lat: &[u64]) -> ContextHealth {
+        let mut latency_us = Log2Hist::new();
+        for &v in lat {
+            latency_us.observe(v);
+        }
+        ContextHealth {
+            label: label.to_owned(),
+            compiles,
+            stage_hits: 2,
+            stage_misses: 6,
+            work_units: 100 * compiles,
+            latency_us,
+            obs: ObsOverhead { records: 10, bytes: 320, trace_ns: 5000, dropped: 1 },
+        }
+    }
+
+    #[test]
+    fn totals_pool_histograms_exactly() {
+        let mut snap = HealthSnapshot::new();
+        snap.add(ctx("a", 2, &[10, 20]));
+        snap.add(ctx("b", 3, &[1000, 2000, 4000]));
+        let total = snap.totals();
+        assert_eq!(total.compiles, 5);
+        assert_eq!(total.work_units, 500);
+        assert_eq!(total.latency_us.count(), 5);
+        let mut pooled = Log2Hist::new();
+        for v in [10u64, 20, 1000, 2000, 4000] {
+            pooled.observe(v);
+        }
+        assert_eq!(total.latency_us, pooled);
+        assert_eq!(total.obs.records, 20);
+    }
+
+    #[test]
+    fn prometheus_render_passes_validator() {
+        let mut snap = HealthSnapshot::new();
+        snap.add(ctx("a", 2, &[10, 20]));
+        snap.add(ctx("b", 1, &[30]));
+        let doc = snap.render_prometheus();
+        let check = validate_prometheus(&doc).unwrap_or_else(|e| panic!("{e}\n{doc}"));
+        assert_eq!(check.histograms, 2);
+        assert!(doc.contains("dmc_health_compiles_total{ctx=\"a\"} 2"), "{doc}");
+        assert!(doc.contains("dmc_obs_records_dropped_total{ctx=\"b\"} 1"), "{doc}");
+    }
+
+    #[test]
+    fn json_render_parses_and_carries_quantiles() {
+        let mut snap = HealthSnapshot::new();
+        snap.add(ctx("a", 2, &[10, 20]));
+        let doc = snap.to_json();
+        let v = json::parse(&doc).unwrap_or_else(|e| panic!("{e}\n{doc}"));
+        let contexts = v.get("contexts").and_then(|c| c.as_arr()).unwrap();
+        assert_eq!(contexts.len(), 1);
+        assert_eq!(
+            contexts[0].get("ctx").and_then(|c| c.as_str()),
+            Some("a")
+        );
+        let total = v.get("total").unwrap();
+        assert_eq!(total.get("compiles").and_then(|c| c.as_num()), Some(2.0));
+        let lat = total.get("latency_us").unwrap();
+        assert_eq!(lat.get("count").and_then(|c| c.as_num()), Some(2.0));
+        assert!(lat.get("p95").and_then(|c| c.as_num()).is_some());
+        // Empty snapshot: quantiles are null, still valid JSON.
+        let empty = HealthSnapshot::new().to_json();
+        let v = json::parse(&empty).unwrap();
+        assert!(v.get("total").unwrap().get("latency_us").unwrap().get("p50").is_some());
+    }
+}

@@ -2,9 +2,22 @@
 //!
 //! Zero-dependency structured tracing for the dmc compiler pipeline:
 //! span enter/exit with monotonic timestamps, typed instant events with
-//! key/value fields, per-thread record buffers merged deterministically,
-//! and a process-wide on/off switch so the overhead is a single relaxed
-//! atomic load when tracing is disabled.
+//! key/value fields, and per-thread record buffers merged
+//! deterministically. When no capture is active anywhere the overhead is
+//! a single relaxed atomic load.
+//!
+//! ## Contexts
+//!
+//! Everything the recorder owns — capture store, overhead counters,
+//! metrics registry — lives in a scoped [`ObsContext`]. The free
+//! functions [`start_capture`]/[`finish_capture`] operate on a process
+//! default context, preserving the classic global API byte-for-byte;
+//! [`ObsContext::install`] makes a context current for the calling
+//! thread, and `dmc_core::Session` propagates the installing thread's
+//! context to every worker it spawns, so concurrent sessions trace in
+//! isolation. Each capture's self-cost is accounted in [`ObsOverhead`]
+//! (kept records, approximate bytes, emit-path nanoseconds, records
+//! dropped by the [`push_record_cap`] cap).
 //!
 //! ## Lanes: determinism under the parallel fan-out
 //!
@@ -42,6 +55,12 @@
 //!   log2-bucket histograms) with Prometheus text-format export and a
 //!   strict self-validator, used by `dmc-machine` to publish simulator
 //!   telemetry.
+//! * [`journal`] — the append-only compile journal: one deterministic
+//!   JSONL record per served compile, strictly parsed, replayable
+//!   byte-for-byte through a fresh session (`dmc-journal`).
+//! * [`health`] — per-context service statistics ([`ContextHealth`])
+//!   aggregated into a [`HealthSnapshot`] rendered as Prometheus text or
+//!   JSON, including the recorder's own `dmc_obs_*` meta-metrics.
 //!
 //! ## Machine lanes
 //!
@@ -58,6 +77,8 @@
 
 mod chrome;
 mod explain;
+pub mod health;
+pub mod journal;
 pub mod json;
 pub mod metrics;
 pub mod profile;
@@ -65,10 +86,13 @@ mod trace;
 
 pub use chrome::{chrome_trace, validate_chrome, TraceCheck};
 pub use explain::{explain_report, explain_report_with_profile};
+pub use health::{ContextHealth, HealthSnapshot};
+pub use journal::JournalRecord;
 pub use profile::{ProfileOp, WorkProfile};
 pub use metrics::{validate_prometheus, Log2Hist, MetricKind, PromCheck, Registry};
 pub use trace::{
-    enabled, event, event_f, event_nondet, field, finish_capture, lane, main_lane, read_lane,
-    sim_lane, span, span_f, start_capture, suppress, LaneGuard, LaneKey, LaneRecords, Phase,
-    Record, SpanGuard, SuppressGuard, Trace, Value,
+    enabled, event, event_f, event_nondet, field, finish_capture, lane, main_lane, push_record_cap,
+    read_lane, record_cap, sim_lane, span, span_f, start_capture, suppress, CtxGuard, LaneGuard,
+    LaneKey, LaneRecords, ObsContext, ObsOverhead, Phase, Record, RecordCapGuard, SpanGuard,
+    SuppressGuard, Trace, Value,
 };

@@ -109,6 +109,17 @@ impl Log2Hist {
         unreachable!("cumulative count reaches total")
     }
 
+    /// Folds another histogram into this one: bucket-wise count sum and
+    /// saturating sum-of-observations, so the merge is exactly the
+    /// histogram of the pooled observations. Used to aggregate
+    /// per-context latency histograms into a health snapshot.
+    pub fn merge(&mut self, other: &Log2Hist) {
+        for (c, o) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *c += o;
+        }
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
     /// Median bucket bound (see [`Log2Hist::quantile_bound`]).
     pub fn p50(&self) -> Option<u64> {
         self.quantile_bound(0.50)
@@ -712,6 +723,60 @@ mod tests {
         assert_eq!(h.counts()[0], 2); // 0 and 1
         assert_eq!(h.counts()[LOG2_FINITE_BUCKETS], 1); // u64::MAX
         assert_eq!(h.sum(), u64::MAX); // saturated
+    }
+
+    /// Differential property test for [`Log2Hist::merge`]: merging the
+    /// histograms of two sample sets must be exactly the histogram of
+    /// the pooled samples — bucket counts, totals, and every quantile
+    /// bound.
+    #[test]
+    fn merge_equals_pooled_histogram() {
+        // Deterministic xorshift64 so failures reproduce.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..50 {
+            let n_a = (next() % 40) as usize;
+            let n_b = (next() % 40) as usize;
+            // Spread samples across the full bucket range, including the
+            // overflow slot.
+            let mut sample = |n: usize| -> Vec<u64> {
+                (0..n).map(|_| next() >> (next() % 64)).collect()
+            };
+            let (sa, sb) = (sample(n_a), sample(n_b));
+            let mut ha = Log2Hist::new();
+            let mut hb = Log2Hist::new();
+            let mut pooled = Log2Hist::new();
+            for &v in &sa {
+                ha.observe(v);
+                pooled.observe(v);
+            }
+            for &v in &sb {
+                hb.observe(v);
+                pooled.observe(v);
+            }
+            let mut merged = ha.clone();
+            merged.merge(&hb);
+            assert_eq!(merged, pooled, "trial {trial}: merge must equal pooled histogram");
+            assert_eq!(merged.count(), ha.count() + hb.count(), "trial {trial}");
+            for p in [0.0, 0.25, 0.5, 0.75, 0.95, 0.99, 1.0] {
+                assert_eq!(
+                    merged.quantile_bound(p),
+                    pooled.quantile_bound(p),
+                    "trial {trial}, p={p}"
+                );
+            }
+        }
+        // Merging an empty histogram is the identity.
+        let mut h = Log2Hist::new();
+        h.observe(7);
+        let before = h.clone();
+        h.merge(&Log2Hist::new());
+        assert_eq!(h, before);
     }
 
     #[test]

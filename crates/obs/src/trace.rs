@@ -1,11 +1,41 @@
 //! The trace recorder: spans, instant events, lanes, per-thread buffers,
 //! and the deterministic merge (see the crate docs for the lane model).
+//!
+//! # Capture contexts
+//!
+//! All recorder state is scoped to an [`ObsContext`]: each context owns
+//! its capture flag, its lane store, its self-overhead counters, and a
+//! metrics [`Registry`]. A process-wide *default context* backs the
+//! classic free-function API ([`start_capture`] / [`finish_capture`] /
+//! [`lane`] / [`span`] / [`event`]), which behaves exactly as it did when
+//! the recorder was a process global. Concurrent sessions each create
+//! their own context and [`install`](ObsContext::install) it on every
+//! thread that works for them; records emitted on a thread go to that
+//! thread's current context, so two captures running at once stay fully
+//! isolated.
+//!
+//! When no capture is in progress anywhere in the process, [`enabled`]
+//! is a single relaxed atomic load — the entire cost of the subsystem.
+//!
+//! # Lane lifecycle and teardown
+//!
+//! A lane buffer opened by any thread is registered with its owning
+//! context. `finish_capture` first disables the context, then drains
+//! every still-registered lane buffer (in lane-key order) into the store
+//! before taking the merged trace, so records emitted by worker threads
+//! that happened-before the finish are never dropped. Records emitted
+//! *after* the finish land in buffers stamped with a stale capture epoch
+//! and are discarded at flush — they can never cross-attach to the next
+//! capture.
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
+
+use crate::metrics::Registry;
 
 const R: Ordering = Ordering::Relaxed;
 
@@ -43,6 +73,15 @@ impl Value {
             Value::Str(v) => crate::json::quote(v),
             Value::F64(v) if !v.is_finite() => crate::json::quote(&format!("{v}")),
             other => other.render(),
+        }
+    }
+
+    /// Rough in-memory size of the value payload, for the self-overhead
+    /// byte counter.
+    fn weight(&self) -> u64 {
+        match self {
+            Value::Str(v) => v.len() as u64,
+            _ => 8,
         }
     }
 }
@@ -126,6 +165,14 @@ impl Record {
     /// Looks up a field by key.
     pub fn get(&self, key: &str) -> Option<&Value> {
         self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// Rough in-memory size of the record, for the self-overhead byte
+    /// counter: name plus header plus field keys and payloads.
+    fn weight(&self) -> u64 {
+        let fields: u64 =
+            self.fields.iter().map(|(k, v)| k.len() as u64 + v.weight()).sum();
+        self.name.len() as u64 + 16 + fields
     }
 }
 
@@ -217,31 +264,362 @@ impl Trace {
 }
 
 // ---------------------------------------------------------------------------
-// Global recorder state.
+// Capture contexts.
 
-static ENABLED: AtomicBool = AtomicBool::new(false);
-static START_NS: AtomicU64 = AtomicU64::new(0);
+/// Number of contexts with a capture in progress, process-wide. The
+/// tracing-off fast path checks this single atomic before touching any
+/// thread-local or per-context state.
+static ACTIVE: AtomicUsize = AtomicUsize::new(0);
 
 fn epoch() -> &'static Instant {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
     EPOCH.get_or_init(Instant::now)
 }
 
-fn now_ns() -> u64 {
-    (epoch().elapsed().as_nanos() as u64).saturating_sub(START_NS.load(R))
-}
-
 type Store = BTreeMap<LaneKey, (String, Vec<Record>)>;
 
-fn store() -> &'static Mutex<Store> {
-    static STORE: OnceLock<Mutex<Store>> = OnceLock::new();
-    STORE.get_or_init(|| Mutex::new(BTreeMap::new()))
-}
-
-struct LaneBuf {
+/// One lane buffer, shared between the thread that opened it (which
+/// appends records) and the owning context (which drains it at capture
+/// teardown). The per-record lock is uncontended except at teardown.
+struct LiveLane {
     key: LaneKey,
     label: String,
-    records: Vec<Record>,
+    /// The capture epoch the lane was opened under; flushes whose epoch
+    /// is stale (the capture has since finished or restarted) discard.
+    epoch: u64,
+    records: Mutex<Vec<Record>>,
+}
+
+/// The state behind one [`ObsContext`] handle.
+struct CtxInner {
+    enabled: AtomicBool,
+    start_ns: AtomicU64,
+    /// Capture generation. Only written while `store` is locked, so a
+    /// flush that checks it under the store lock is race-free.
+    epoch: AtomicU64,
+    store: Mutex<Store>,
+    /// Lane buffers currently open on some thread. Drained (in key
+    /// order) by `finish_capture`.
+    live: Mutex<Vec<Arc<LiveLane>>>,
+    // Self-overhead counters, reset at each start_capture.
+    records: AtomicU64,
+    bytes: AtomicU64,
+    trace_ns: AtomicU64,
+    dropped: AtomicU64,
+    registry: Mutex<Registry>,
+}
+
+impl CtxInner {
+    fn new() -> Self {
+        CtxInner {
+            enabled: AtomicBool::new(false),
+            start_ns: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
+            store: Mutex::new(BTreeMap::new()),
+            live: Mutex::new(Vec::new()),
+            records: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            trace_ns: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            registry: Mutex::new(Registry::new()),
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        (epoch().elapsed().as_nanos() as u64).saturating_sub(self.start_ns.load(R))
+    }
+
+    fn start_capture(&self) {
+        let _ = epoch();
+        {
+            let mut store = self.store.lock().unwrap_or_else(|e| e.into_inner());
+            store.clear();
+            self.epoch.fetch_add(1, R);
+        }
+        // Lanes left over from a previous capture carry a stale epoch;
+        // dropping the registry entries is enough — their flushes will
+        // discard.
+        self.live.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        self.records.store(0, R);
+        self.bytes.store(0, R);
+        self.trace_ns.store(0, R);
+        self.dropped.store(0, R);
+        self.start_ns.store(epoch().elapsed().as_nanos() as u64, R);
+        if !self.enabled.swap(true, R) {
+            ACTIVE.fetch_add(1, R);
+        }
+    }
+
+    fn finish_capture(&self) -> Trace {
+        if self.enabled.swap(false, R) {
+            ACTIVE.fetch_sub(1, R);
+        }
+        // Drain every still-open lane buffer, in key order so the drain
+        // itself is deterministic. Records are taken before the store is
+        // locked (flushing guards lock records then store; taking both
+        // here in the opposite order could deadlock).
+        let mut live = std::mem::take(&mut *self.live.lock().unwrap_or_else(|e| e.into_inner()));
+        live.sort_by(|a, b| a.key.cmp(&b.key));
+        let batches: Vec<(LaneKey, String, u64, Vec<Record>)> = live
+            .iter()
+            .map(|l| {
+                let records =
+                    std::mem::take(&mut *l.records.lock().unwrap_or_else(|e| e.into_inner()));
+                (l.key.clone(), l.label.clone(), l.epoch, records)
+            })
+            .collect();
+        let mut store = self.store.lock().unwrap_or_else(|e| e.into_inner());
+        let cur = self.epoch.load(R);
+        for (key, label, lane_epoch, records) in batches {
+            if records.is_empty() || lane_epoch != cur {
+                continue;
+            }
+            let entry = store.entry(key).or_insert_with(|| (label, Vec::new()));
+            entry.1.extend(records);
+        }
+        // Stale the epoch so flushes racing past this point discard
+        // instead of attaching to the next capture.
+        self.epoch.fetch_add(1, R);
+        let lanes = std::mem::take(&mut *store)
+            .into_iter()
+            .map(|(key, (label, records))| LaneRecords { key, label, records })
+            .collect();
+        Trace { lanes }
+    }
+
+    /// Merges a drained lane batch into the store if its capture is
+    /// still the current one.
+    fn flush_batch(&self, key: LaneKey, label: String, lane_epoch: u64, records: Vec<Record>) {
+        if records.is_empty() {
+            return;
+        }
+        let mut store = self.store.lock().unwrap_or_else(|e| e.into_inner());
+        if lane_epoch != self.epoch.load(R) {
+            return; // the capture finished or restarted: discard
+        }
+        let entry = store.entry(key).or_insert_with(|| (label, Vec::new()));
+        entry.1.extend(records);
+    }
+
+    fn overhead(&self) -> ObsOverhead {
+        ObsOverhead {
+            records: self.records.load(R),
+            bytes: self.bytes.load(R),
+            trace_ns: self.trace_ns.load(R),
+            dropped: self.dropped.load(R),
+        }
+    }
+}
+
+fn default_ctx() -> &'static Arc<CtxInner> {
+    static DEFAULT: OnceLock<Arc<CtxInner>> = OnceLock::new();
+    DEFAULT.get_or_init(|| Arc::new(CtxInner::new()))
+}
+
+thread_local! {
+    /// The context records on this thread go to; `None` means the
+    /// process default context.
+    static CURRENT: RefCell<Option<Arc<CtxInner>>> = const { RefCell::new(None) };
+}
+
+fn with_current<T>(f: impl FnOnce(&Arc<CtxInner>) -> T) -> T {
+    CURRENT.with(|c| match &*c.borrow() {
+        Some(ctx) => f(ctx),
+        None => f(default_ctx()),
+    })
+}
+
+/// A scoped observability context: an isolated capture store, overhead
+/// accounting, and a metrics [`Registry`]. Handles are cheap to clone
+/// (an `Arc`); clones refer to the same context.
+///
+/// A context only receives records from threads it is
+/// [`install`](Self::install)ed on. The compile fan-out in
+/// `dmc_core::Session` installs the calling thread's current context on
+/// every worker it spawns, so a context installed around a `compile`
+/// call observes the whole pipeline.
+#[derive(Clone)]
+pub struct ObsContext {
+    inner: Arc<CtxInner>,
+}
+
+impl ObsContext {
+    /// Creates a fresh, idle context.
+    pub fn new() -> Self {
+        ObsContext { inner: Arc::new(CtxInner::new()) }
+    }
+
+    /// A handle to the process default context — the one the free
+    /// functions [`start_capture`]/[`finish_capture`] operate on.
+    pub fn default_context() -> Self {
+        ObsContext { inner: Arc::clone(default_ctx()) }
+    }
+
+    /// A handle to the calling thread's current context (the default
+    /// context unless an [`install`](Self::install) guard is live).
+    pub fn current() -> Self {
+        ObsContext { inner: with_current(Arc::clone) }
+    }
+
+    /// Whether two handles refer to the same context.
+    pub fn same_context(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Starts a capture in this context: clears the store, re-anchors
+    /// the clock, and resets the overhead counters. Restarting while a
+    /// capture is in progress discards its records.
+    pub fn start_capture(&self) {
+        self.inner.start_capture();
+    }
+
+    /// Stops the capture and returns the merged trace. Lane buffers
+    /// still open on *any* thread are drained (in lane-key order);
+    /// records emitted after this call are discarded, never attached to
+    /// a later capture.
+    pub fn finish_capture(&self) -> Trace {
+        self.inner.finish_capture()
+    }
+
+    /// Whether a capture is in progress in this context.
+    pub fn is_capturing(&self) -> bool {
+        self.inner.enabled.load(R)
+    }
+
+    /// Makes this context the calling thread's current context until the
+    /// guard drops (the previous context is restored). Guards nest.
+    pub fn install(&self) -> CtxGuard {
+        let prev = CURRENT
+            .with(|c| c.borrow_mut().replace(Arc::clone(&self.inner)));
+        CtxGuard { prev, _not_send: PhantomData }
+    }
+
+    /// The capture's self-overhead counters so far.
+    pub fn overhead(&self) -> ObsOverhead {
+        self.inner.overhead()
+    }
+
+    /// Runs `f` with exclusive access to this context's metrics
+    /// registry.
+    pub fn with_registry<T>(&self, f: impl FnOnce(&mut Registry) -> T) -> T {
+        let mut reg = self.inner.registry.lock().unwrap_or_else(|e| e.into_inner());
+        f(&mut reg)
+    }
+}
+
+impl Default for ObsContext {
+    fn default() -> Self {
+        ObsContext::new()
+    }
+}
+
+impl std::fmt::Debug for ObsContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsContext")
+            .field("capturing", &self.is_capturing())
+            .field("overhead", &self.overhead())
+            .finish()
+    }
+}
+
+/// Restores the thread's previous context on drop. `!Send`: the guard
+/// must drop on the thread that installed it.
+pub struct CtxGuard {
+    prev: Option<Arc<CtxInner>>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| *c.borrow_mut() = self.prev.take());
+    }
+}
+
+/// Self-overhead counters of one capture: what the recorder itself
+/// cost. Exported as `dmc_obs_*` meta-metrics by `dmc_obs::health`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ObsOverhead {
+    /// Records kept.
+    pub records: u64,
+    /// Approximate bytes of kept record payloads.
+    pub bytes: u64,
+    /// Nanoseconds spent inside the recorder's emit path.
+    pub trace_ns: u64,
+    /// Records dropped by the record cap (see [`push_record_cap`]).
+    pub dropped: u64,
+}
+
+impl ObsOverhead {
+    /// Field-wise sum, for aggregating contexts into a health snapshot.
+    pub fn merged(&self, other: &ObsOverhead) -> ObsOverhead {
+        ObsOverhead {
+            records: self.records + other.records,
+            bytes: self.bytes + other.bytes,
+            trace_ns: self.trace_ns + other.trace_ns,
+            dropped: self.dropped + other.dropped,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Record cap (sampling knob).
+
+thread_local! {
+    /// Per-thread record cap; 0 means unbounded. Consulted against the
+    /// current context's kept-record count.
+    static RECORD_CAP: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Caps the number of records a capture keeps, as seen from the calling
+/// thread: once the current context holds `cap` records, further spans
+/// and events on this thread are dropped (and counted in
+/// [`ObsOverhead::dropped`]). `0` restores unbounded recording. The cap
+/// is thread-local and restored when the guard drops — the same
+/// discipline as the engine's thread-local tuning, so worker threads
+/// install it alongside their tuning scope.
+///
+/// Span guards that already emitted a begin record still emit their end
+/// record past the cap, keeping every lane balanced; the capture can
+/// therefore exceed the cap by the open-span depth.
+pub fn push_record_cap(cap: u64) -> RecordCapGuard {
+    let prev = RECORD_CAP.with(|c| c.replace(cap));
+    RecordCapGuard { prev, _not_send: PhantomData }
+}
+
+/// The calling thread's record cap (0 = unbounded).
+pub fn record_cap() -> u64 {
+    RECORD_CAP.with(|c| c.get())
+}
+
+/// Restores the previous record cap on drop. `!Send`.
+pub struct RecordCapGuard {
+    prev: u64,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for RecordCapGuard {
+    fn drop(&mut self) {
+        RECORD_CAP.with(|c| c.set(self.prev));
+    }
+}
+
+/// Whether the current thread's cap forbids keeping another record in
+/// `ctx`; counts the drop if so.
+fn over_cap(ctx: &CtxInner) -> bool {
+    let cap = RECORD_CAP.with(|c| c.get());
+    if cap != 0 && ctx.records.load(R) >= cap {
+        ctx.dropped.fetch_add(1, R);
+        return true;
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread lane stack.
+
+struct LaneFrame {
+    lane: Arc<LiveLane>,
+    ctx: Arc<CtxInner>,
     /// Re-entry count: opening a lane scope whose key matches the current
     /// top reuses the buffer instead of nesting, so one thread's records
     /// for a lane always flush as a single in-order batch.
@@ -249,45 +627,55 @@ struct LaneBuf {
 }
 
 thread_local! {
-    static LANES: RefCell<Vec<LaneBuf>> = const { RefCell::new(Vec::new()) };
-}
-
-fn flush(buf: LaneBuf) {
-    if buf.records.is_empty() {
-        return;
-    }
-    let mut store = store().lock().unwrap_or_else(|e| e.into_inner());
-    let entry = store.entry(buf.key).or_insert_with(|| (buf.label, Vec::new()));
-    entry.1.extend(buf.records);
+    static LANES: RefCell<Vec<LaneFrame>> = const { RefCell::new(Vec::new()) };
 }
 
 fn emit(rec: Record) {
-    LANES.with(|l| {
-        let mut lanes = l.borrow_mut();
-        match lanes.last_mut() {
-            Some(top) => top.records.push(rec),
-            None => flush(LaneBuf {
-                key: orphan_lane(),
-                label: "untracked".to_owned(),
-                records: vec![rec],
-                depth: 0,
-            }),
-        }
+    let t0 = Instant::now();
+    with_current(|ctx| {
+        let weight = rec.weight();
+        LANES.with(|l| {
+            let lanes = l.borrow();
+            match lanes.last() {
+                Some(frame) if Arc::ptr_eq(&frame.ctx, ctx) => {
+                    frame
+                        .lane
+                        .records
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push(rec);
+                }
+                // No lane open on this thread (for this context): flush
+                // straight to the store as an orphan record.
+                _ => ctx.flush_batch(
+                    orphan_lane(),
+                    "untracked".to_owned(),
+                    ctx.epoch.load(R),
+                    vec![rec],
+                ),
+            }
+        });
+        ctx.records.fetch_add(1, R);
+        ctx.bytes.fetch_add(weight, R);
+        ctx.trace_ns.fetch_add(t0.elapsed().as_nanos() as u64, R);
     });
 }
 
 thread_local! {
     /// Suppression depth; see [`suppress`]. Only consulted after the
-    /// `ENABLED` load succeeds, so the tracing-off fast path stays a
+    /// `ACTIVE` load succeeds, so the tracing-off fast path stays a
     /// single relaxed atomic load.
     static SUPPRESSED: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
 }
 
-/// Whether a capture is in progress and the current thread is not inside
-/// a [`suppress`] scope. When tracing is off this is a single relaxed
-/// atomic load — the entire cost of the subsystem.
+/// Whether a capture is in progress in the current thread's context and
+/// the thread is not inside a [`suppress`] scope. When no capture is
+/// running anywhere in the process this is a single relaxed atomic load
+/// — the entire cost of the subsystem.
 pub fn enabled() -> bool {
-    ENABLED.load(R) && SUPPRESSED.with(|s| s.get()) == 0
+    ACTIVE.load(R) != 0
+        && SUPPRESSED.with(|s| s.get()) == 0
+        && with_current(|ctx| ctx.enabled.load(R))
 }
 
 /// Mutes recording on the current thread until the guard drops. Used
@@ -311,56 +699,55 @@ impl Drop for SuppressGuard {
     }
 }
 
-/// Starts a capture: clears the global store and re-anchors the clock.
-/// Captures are process-wide; callers that may run concurrently (tests)
-/// must serialize captures themselves.
+/// Starts a capture in the *default context*: clears its store and
+/// re-anchors its clock. Callers that may run concurrently against the
+/// default context (tests) must serialize captures themselves; code
+/// that needs concurrent captures uses per-session [`ObsContext`]s.
 pub fn start_capture() {
-    let _ = epoch();
-    store().lock().unwrap_or_else(|e| e.into_inner()).clear();
-    START_NS.store(epoch().elapsed().as_nanos() as u64, R);
-    ENABLED.store(true, R);
+    default_ctx().start_capture();
 }
 
-/// Stops the capture and returns the merged trace. Buffers of lane scopes
-/// still open on the calling thread are drained in place (their guards
-/// then close over empty buffers).
+/// Stops the default context's capture and returns the merged trace.
+/// Lane buffers still open on any thread are drained in lane-key order
+/// (their guards then close over empty buffers).
 pub fn finish_capture() -> Trace {
-    ENABLED.store(false, R);
-    LANES.with(|l| {
-        for buf in l.borrow_mut().iter_mut() {
-            flush(LaneBuf {
-                key: buf.key.clone(),
-                label: buf.label.clone(),
-                records: std::mem::take(&mut buf.records),
-                depth: 0,
-            });
-        }
-    });
-    let mut map = store().lock().unwrap_or_else(|e| e.into_inner());
-    let lanes = std::mem::take(&mut *map)
-        .into_iter()
-        .map(|(key, (label, records))| LaneRecords { key, label, records })
-        .collect();
-    Trace { lanes }
+    default_ctx().finish_capture()
 }
 
 /// Opens a lane scope on the current thread: records emitted until the
 /// guard drops belong to `key`. Re-opening the current top key reuses the
-/// buffer (see [`LaneKey`]); the buffer is flushed to the global store
-/// when the outermost guard for the key drops.
+/// buffer (see [`LaneKey`]); the buffer is flushed to the owning
+/// context's store when the outermost guard for the key drops, or at
+/// `finish_capture`, whichever comes first.
 pub fn lane(key: LaneKey, label: impl Into<String>) -> LaneGuard {
     if !enabled() {
         return LaneGuard { armed: false };
     }
-    LANES.with(|l| {
-        let mut lanes = l.borrow_mut();
-        if let Some(top) = lanes.last_mut() {
-            if top.key == key {
-                top.depth += 1;
-                return;
+    with_current(|ctx| {
+        LANES.with(|l| {
+            let mut lanes = l.borrow_mut();
+            let cur_epoch = ctx.epoch.load(R);
+            if let Some(top) = lanes.last_mut() {
+                if top.lane.key == key
+                    && Arc::ptr_eq(&top.ctx, ctx)
+                    && top.lane.epoch == cur_epoch
+                {
+                    top.depth += 1;
+                    return;
+                }
             }
-        }
-        lanes.push(LaneBuf { key, label: label.into(), records: Vec::new(), depth: 0 });
+            let lane = Arc::new(LiveLane {
+                key,
+                label: label.into(),
+                epoch: cur_epoch,
+                records: Mutex::new(Vec::new()),
+            });
+            ctx.live
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(Arc::clone(&lane));
+            lanes.push(LaneFrame { lane, ctx: Arc::clone(ctx), depth: 0 });
+        });
     });
     LaneGuard { armed: true }
 }
@@ -375,18 +762,34 @@ impl Drop for LaneGuard {
         if !self.armed {
             return;
         }
-        LANES.with(|l| {
+        let frame = LANES.with(|l| {
             let mut lanes = l.borrow_mut();
             if let Some(top) = lanes.last_mut() {
                 if top.depth > 0 {
                     top.depth -= 1;
-                    return;
+                    return None;
                 }
             }
-            if let Some(buf) = lanes.pop() {
-                flush(buf);
-            }
+            lanes.pop()
         });
+        let Some(frame) = frame else { return };
+        // Unregister from the context's live list (finish_capture may
+        // have already drained and dropped it).
+        {
+            let mut live = frame.ctx.live.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(pos) = live.iter().position(|l| Arc::ptr_eq(l, &frame.lane)) {
+                live.swap_remove(pos);
+            }
+        }
+        let records = std::mem::take(
+            &mut *frame.lane.records.lock().unwrap_or_else(|e| e.into_inner()),
+        );
+        frame.ctx.flush_batch(
+            frame.lane.key.clone(),
+            frame.lane.label.clone(),
+            frame.lane.epoch,
+            records,
+        );
     }
 }
 
@@ -410,7 +813,13 @@ fn span_with(name: &'static str, fields: Vec<(&'static str, Value)>) -> SpanGuar
     if !enabled() {
         return SpanGuard { name, armed: false };
     }
-    emit(Record { phase: Phase::Begin, name, ts_ns: now_ns(), det: true, fields });
+    // A span whose begin record is dropped by the cap stays unarmed, so
+    // its end record is dropped with it and lanes stay balanced.
+    if with_current(|ctx| over_cap(ctx)) {
+        return SpanGuard { name, armed: false };
+    }
+    let ts_ns = with_current(|ctx| ctx.now_ns());
+    emit(Record { phase: Phase::Begin, name, ts_ns, det: true, fields });
     SpanGuard { name, armed: true }
 }
 
@@ -423,10 +832,11 @@ pub struct SpanGuard {
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         if self.armed {
+            let ts_ns = with_current(|ctx| ctx.now_ns());
             emit(Record {
                 phase: Phase::End,
                 name: self.name,
-                ts_ns: now_ns(),
+                ts_ns,
                 det: true,
                 fields: Vec::new(),
             });
@@ -434,17 +844,25 @@ impl Drop for SpanGuard {
     }
 }
 
+fn instant(name: &'static str, det: bool, fields: Vec<(&'static str, Value)>) {
+    if with_current(|ctx| over_cap(ctx)) {
+        return;
+    }
+    let ts_ns = with_current(|ctx| ctx.now_ns());
+    emit(Record { phase: Phase::Instant, name, ts_ns, det, fields });
+}
+
 /// Emits a deterministic instant event.
 pub fn event(name: &'static str, fields: Vec<(&'static str, Value)>) {
     if enabled() {
-        emit(Record { phase: Phase::Instant, name, ts_ns: now_ns(), det: true, fields });
+        instant(name, true, fields);
     }
 }
 
 /// Emits a deterministic instant event, building fields lazily.
 pub fn event_f(name: &'static str, fields: impl FnOnce() -> Vec<(&'static str, Value)>) {
     if enabled() {
-        emit(Record { phase: Phase::Instant, name, ts_ns: now_ns(), det: true, fields: fields() });
+        instant(name, true, fields());
     }
 }
 
@@ -452,7 +870,7 @@ pub fn event_f(name: &'static str, fields: impl FnOnce() -> Vec<(&'static str, V
 /// cache state; excluded from [`Trace::deterministic_view`].
 pub fn event_nondet(name: &'static str, fields: Vec<(&'static str, Value)>) {
     if enabled() {
-        emit(Record { phase: Phase::Instant, name, ts_ns: now_ns(), det: false, fields });
+        instant(name, false, fields);
     }
 }
 
@@ -461,13 +879,14 @@ mod tests {
     use super::*;
     use std::sync::Mutex;
 
-    /// Captures are process-wide; serialize the tests of this module.
+    /// Captures on the default context are process-wide; serialize the
+    /// tests that use the free-function API.
     static CAPTURE: Mutex<()> = Mutex::new(());
 
     #[test]
     fn disabled_recorder_is_inert() {
         let _g = CAPTURE.lock().unwrap_or_else(|e| e.into_inner());
-        assert!(!enabled());
+        assert!(!ObsContext::default_context().is_capturing());
         let _lane = lane(main_lane(), "main");
         let _span = span("nothing");
         event("nothing", vec![field("k", 1u64)]);
@@ -591,5 +1010,152 @@ mod tests {
             finish_capture().deterministic_view()
         };
         assert_eq!(run(1), run(3), "merged trace must not depend on worker count");
+    }
+
+    /// Regression test for the capture-lifecycle race: a worker thread
+    /// still holds an open lane buffer when `finish_capture` runs. The
+    /// finish must drain the worker's records (they happened-before the
+    /// finish), and records the worker emits *after* the finish must be
+    /// discarded — not attached to the next capture.
+    #[test]
+    fn finish_drains_live_worker_lanes_and_discards_late_records() {
+        let _g = CAPTURE.lock().unwrap_or_else(|e| e.into_inner());
+        use std::sync::mpsc;
+        start_capture();
+        let (ready_tx, ready_rx) = mpsc::channel::<()>();
+        let (done_tx, done_rx) = mpsc::channel::<()>();
+        let worker = std::thread::spawn(move || {
+            let _rl = lane(read_lane(0, 0), "read 0/0");
+            event("before.finish", vec![]);
+            ready_tx.send(()).unwrap();
+            // Wait until the main thread finished the capture, then emit
+            // into the still-open lane.
+            done_rx.recv().unwrap();
+            event("after.finish", vec![]);
+        });
+        ready_rx.recv().unwrap();
+        let t = finish_capture();
+        let names: Vec<&str> = t.records().map(|(_, r)| r.name).collect();
+        assert_eq!(names, vec!["before.finish"], "live worker lane must be drained");
+        done_tx.send(()).unwrap();
+        worker.join().unwrap();
+        // The late record must not leak into a fresh capture.
+        start_capture();
+        let t2 = finish_capture();
+        assert!(t2.is_empty(), "late records must be discarded, got {t2:?}");
+    }
+
+    /// Two contexts capturing at once on different threads stay fully
+    /// isolated, and neither interferes with the default context.
+    #[test]
+    fn contexts_isolate_concurrent_captures() {
+        let solo = |tag: u64| {
+            let ctx = ObsContext::new();
+            ctx.start_capture();
+            {
+                let _g = ctx.install();
+                let _lane = lane(main_lane(), format!("main {tag}"));
+                let _s = span("compile");
+                event("tagged", vec![field("tag", tag)]);
+            }
+            ctx.finish_capture().deterministic_view()
+        };
+        let solo_a = solo(1);
+        let solo_b = solo(2);
+        let (view_a, view_b) = std::thread::scope(|scope| {
+            let a = scope.spawn(|| solo(1));
+            let b = scope.spawn(|| solo(2));
+            (a.join().unwrap(), b.join().unwrap())
+        });
+        assert_eq!(view_a, solo_a);
+        assert_eq!(view_b, solo_b);
+        assert_ne!(view_a, view_b);
+    }
+
+    #[test]
+    fn install_guard_restores_previous_context() {
+        let a = ObsContext::new();
+        let b = ObsContext::new();
+        assert!(ObsContext::current().same_context(&ObsContext::default_context()));
+        {
+            let _ga = a.install();
+            assert!(ObsContext::current().same_context(&a));
+            {
+                let _gb = b.install();
+                assert!(ObsContext::current().same_context(&b));
+            }
+            assert!(ObsContext::current().same_context(&a));
+        }
+        assert!(ObsContext::current().same_context(&ObsContext::default_context()));
+    }
+
+    #[test]
+    fn overhead_counts_records_and_cap_drops() {
+        let ctx = ObsContext::new();
+        ctx.start_capture();
+        {
+            let _g = ctx.install();
+            let _lane = lane(main_lane(), "main");
+            let _cap = push_record_cap(3);
+            event("a", vec![field("k", "payload")]);
+            event("b", vec![]);
+            event("c", vec![]); // cap reached after this one
+            event("d", vec![]); // dropped
+            event("e", vec![]); // dropped
+        }
+        let over = ctx.overhead();
+        let t = ctx.finish_capture();
+        assert_eq!(t.len(), 3, "{t:?}");
+        assert_eq!(over.records, 3);
+        assert_eq!(over.dropped, 2);
+        assert!(over.bytes > 0);
+        let names: Vec<&str> = t.lanes[0].records.iter().map(|r| r.name).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn capped_spans_stay_balanced() {
+        let ctx = ObsContext::new();
+        ctx.start_capture();
+        {
+            let _g = ctx.install();
+            let _lane = lane(main_lane(), "main");
+            let _cap = push_record_cap(3);
+            let _outer = span("outer"); // begin = record 1
+            {
+                let _a = span("a"); // begin = 2, end = 3 (cap reached)
+            }
+            {
+                let _b = span("b"); // begin dropped -> end dropped too
+            }
+            event("tail", vec![]); // dropped
+        }
+        let t = ctx.finish_capture();
+        for lane in &t.lanes {
+            let mut depth = 0i64;
+            for r in &lane.records {
+                match r.phase {
+                    Phase::Begin => depth += 1,
+                    Phase::End => depth -= 1,
+                    Phase::Instant => {}
+                }
+                assert!(depth >= 0, "unbalanced: {t:?}");
+            }
+            // "outer" begin was kept; its end is emitted past the cap to
+            // keep the lane balanced.
+            assert_eq!(depth, 0, "unbalanced: {t:?}");
+        }
+        assert_eq!(ctx.overhead().dropped, 2, "b's begin and the tail event");
+    }
+
+    #[test]
+    fn context_registry_is_scoped() {
+        let a = ObsContext::new();
+        let b = ObsContext::new();
+        a.with_registry(|r| r.add_counter("dmc_test_total", "test counter", &[], 1));
+        let ra = a.with_registry(|r| r.render());
+        let rb = b.with_registry(|r| r.render());
+        assert!(ra.contains("dmc_test_total 1"), "{ra}");
+        assert!(!rb.contains("dmc_test_total"), "{rb}");
     }
 }

@@ -38,31 +38,43 @@
 //! relaxed atomic load ([`enabled`]). Enabling the ledger bumps the
 //! memo-cache epoch so every entry served under it carries a charged cost.
 //!
-//! # Threading
+//! # Threading and scopes
 //!
 //! Records accumulate in thread-local buffers, segmented by attribution
-//! context; a buffer flushes into the process-wide store when its thread's
+//! context; a buffer flushes into its scope's store when its thread's
 //! context stack empties (one lock per pipeline job). Records made with no
 //! context at all go straight to the store's orphan list. [`finish`]
 //! drains the store; aggregation downstream is order-insensitive, so the
 //! nondeterministic interleaving of worker flushes never shows.
+//!
+//! Storage is per-[`LedgerScope`]: each scope owns an enabled flag and a
+//! store, and a thread records into its *current* scope (the process
+//! default unless a [`LedgerScope::install`] guard is live). The free
+//! functions [`start`]/[`finish`] operate on the default scope, exactly
+//! as they did when the ledger was process-global; sessions that must
+//! not share a ledger (concurrent compiles) create their own scope and
+//! install it on every thread that works for them.
 
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use crate::stats;
 
 const R: Ordering = Ordering::Relaxed;
 
-static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Number of scopes currently recording, process-wide. The ledger-off
+/// fast path checks this single atomic before touching anything else.
+static ACTIVE: AtomicUsize = AtomicUsize::new(0);
 
-/// Whether the ledger is recording. One relaxed atomic load — this is the
-/// entire ledger-off cost of a record site.
+/// Whether the current thread's ledger scope is recording. When no scope
+/// is recording anywhere in the process this is one relaxed atomic load —
+/// the entire ledger-off cost of a record site.
 #[inline]
 pub fn enabled() -> bool {
-    ENABLED.load(R)
+    ACTIVE.load(R) != 0 && with_scope(|s| s.enabled.load(R))
 }
 
 /// The kind of engine operation a record describes.
@@ -276,54 +288,195 @@ thread_local! {
     static STATE: RefCell<ThreadState> = RefCell::new(ThreadState::default());
 }
 
+#[derive(Default)]
 struct Store {
     segments: Vec<Segment>,
     orphans: Vec<OpRecord>,
 }
 
-static STORE: Mutex<Store> = Mutex::new(Store { segments: Vec::new(), orphans: Vec::new() });
-
-fn store() -> std::sync::MutexGuard<'static, Store> {
-    STORE.lock().unwrap_or_else(|e| e.into_inner())
+/// The state behind one [`LedgerScope`] handle.
+struct ScopeInner {
+    enabled: AtomicBool,
+    store: Mutex<Store>,
 }
 
-/// Starts recording: clears any previous ledger, invalidates the memo
-/// caches (entries cached while the ledger was off carry no charged cost),
-/// and enables the record sites.
-pub fn start() {
-    {
-        let mut g = store();
-        g.segments.clear();
-        g.orphans.clear();
+impl ScopeInner {
+    fn new() -> Self {
+        ScopeInner { enabled: AtomicBool::new(false), store: Mutex::new(Store::default()) }
     }
-    STATE.with(|s| {
-        let mut st = s.borrow_mut();
-        st.segments.clear();
-        st.open.clear();
-    });
-    stats::bump_epoch();
-    ENABLED.store(true, R);
-}
 
-/// Stops recording and returns everything captured since [`start`].
-/// Call after worker threads have been joined (the pipeline's scoped
-/// fan-out guarantees this); the calling thread's residue is flushed here.
-pub fn finish() -> Ledger {
-    ENABLED.store(false, R);
-    STATE.with(|s| {
-        let mut st = s.borrow_mut();
-        if !st.segments.is_empty() {
-            let segs = std::mem::take(&mut st.segments);
-            store().segments.extend(segs);
+    fn store(&self) -> std::sync::MutexGuard<'_, Store> {
+        self.store.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn start(&self) {
+        {
+            let mut g = self.store();
+            g.segments.clear();
+            g.orphans.clear();
         }
-        st.open.clear();
-    });
-    let mut g = store();
-    let mut segments = std::mem::take(&mut g.segments);
-    if !g.orphans.is_empty() {
-        segments.push(Segment { ctx: Vec::new(), records: std::mem::take(&mut g.orphans) });
+        STATE.with(|s| {
+            let mut st = s.borrow_mut();
+            st.segments.clear();
+            st.open.clear();
+        });
+        stats::bump_epoch();
+        if !self.enabled.swap(true, R) {
+            ACTIVE.fetch_add(1, R);
+        }
     }
-    Ledger { segments }
+
+    /// Flushes the calling thread's buffered residue, then takes the
+    /// store contents.
+    fn take(&self) -> Ledger {
+        STATE.with(|s| {
+            let mut st = s.borrow_mut();
+            if !st.segments.is_empty() {
+                let segs = std::mem::take(&mut st.segments);
+                self.store().segments.extend(segs);
+            }
+            st.open.clear();
+        });
+        let mut g = self.store();
+        let mut segments = std::mem::take(&mut g.segments);
+        if !g.orphans.is_empty() {
+            segments.push(Segment { ctx: Vec::new(), records: std::mem::take(&mut g.orphans) });
+        }
+        Ledger { segments }
+    }
+
+    fn finish(&self) -> Ledger {
+        if self.enabled.swap(false, R) {
+            ACTIVE.fetch_sub(1, R);
+        }
+        self.take()
+    }
+}
+
+fn default_scope() -> &'static Arc<ScopeInner> {
+    static DEFAULT: OnceLock<Arc<ScopeInner>> = OnceLock::new();
+    DEFAULT.get_or_init(|| Arc::new(ScopeInner::new()))
+}
+
+thread_local! {
+    /// The scope this thread records into; `None` means the default.
+    static CURRENT: RefCell<Option<Arc<ScopeInner>>> = const { RefCell::new(None) };
+}
+
+fn with_scope<T>(f: impl FnOnce(&Arc<ScopeInner>) -> T) -> T {
+    CURRENT.with(|c| match &*c.borrow() {
+        Some(scope) => f(scope),
+        None => f(default_scope()),
+    })
+}
+
+/// An isolated ledger store. Handles are cheap to clone (an `Arc`);
+/// clones refer to the same scope. A scope only receives records from
+/// threads it is [`install`](Self::install)ed on.
+#[derive(Clone)]
+pub struct LedgerScope {
+    inner: Arc<ScopeInner>,
+}
+
+impl LedgerScope {
+    /// Creates a fresh, idle scope.
+    pub fn new() -> Self {
+        LedgerScope { inner: Arc::new(ScopeInner::new()) }
+    }
+
+    /// A handle to the process default scope — the one the free
+    /// functions [`start`]/[`finish`] operate on.
+    pub fn default_scope() -> Self {
+        LedgerScope { inner: Arc::clone(default_scope()) }
+    }
+
+    /// A handle to the calling thread's current scope (the default
+    /// unless an [`install`](Self::install) guard is live).
+    pub fn current() -> Self {
+        LedgerScope { inner: with_scope(Arc::clone) }
+    }
+
+    /// Whether two handles refer to the same scope.
+    pub fn same_scope(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Starts recording into this scope: clears it, invalidates the memo
+    /// caches (entries cached while no ledger was recording carry no
+    /// charged cost — the epoch bump is process-wide), and enables the
+    /// scope's record sites.
+    pub fn start(&self) {
+        self.inner.start();
+    }
+
+    /// Whether this scope is recording.
+    pub fn is_recording(&self) -> bool {
+        self.inner.enabled.load(R)
+    }
+
+    /// Stops recording and returns everything captured since
+    /// [`start`](Self::start). Call after worker threads have been
+    /// joined (the pipeline's scoped fan-out guarantees this); the
+    /// calling thread's residue is flushed here.
+    pub fn finish(&self) -> Ledger {
+        self.inner.finish()
+    }
+
+    /// Takes everything recorded so far and leaves the scope recording —
+    /// the per-request accounting primitive: one long-lived enablement
+    /// (so memoized charges stay valid), drained once per served
+    /// compile. Flushes the calling thread's residue first; as with
+    /// [`finish`](Self::finish), workers must already be joined.
+    pub fn drain(&self) -> Ledger {
+        self.inner.take()
+    }
+
+    /// Makes this scope the calling thread's current scope until the
+    /// guard drops (the previous scope is restored). Guards nest.
+    pub fn install(&self) -> ScopeGuard {
+        let prev = CURRENT.with(|c| c.borrow_mut().replace(Arc::clone(&self.inner)));
+        ScopeGuard { prev, _not_send: PhantomData }
+    }
+}
+
+impl Default for LedgerScope {
+    fn default() -> Self {
+        LedgerScope::new()
+    }
+}
+
+impl std::fmt::Debug for LedgerScope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LedgerScope").field("recording", &self.is_recording()).finish()
+    }
+}
+
+/// Restores the thread's previous scope on drop. `!Send`: the guard must
+/// drop on the thread that installed it.
+pub struct ScopeGuard {
+    prev: Option<Arc<ScopeInner>>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| *c.borrow_mut() = self.prev.take());
+    }
+}
+
+/// Starts recording into the *default scope*: clears any previous
+/// ledger, invalidates the memo caches (entries cached while the ledger
+/// was off carry no charged cost), and enables the record sites.
+pub fn start() {
+    default_scope().start();
+}
+
+/// Stops the default scope's recording and returns everything captured
+/// since [`start`]. Call after worker threads have been joined (the
+/// pipeline's scoped fan-out guarantees this); the calling thread's
+/// residue is flushed here.
+pub fn finish() -> Ledger {
+    default_scope().finish()
 }
 
 /// RAII attribution frame: pops itself on drop and flushes the thread's
@@ -350,7 +503,7 @@ impl Drop for CtxGuard {
             if st.ctx.is_empty() && !st.segments.is_empty() {
                 let segs = std::mem::take(&mut st.segments);
                 drop(st);
-                store().segments.extend(segs);
+                with_scope(|sc| sc.store().segments.extend(segs));
             }
         });
     }
@@ -358,7 +511,7 @@ impl Drop for CtxGuard {
 
 fn append(st: &mut ThreadState, rec: OpRecord) {
     if st.ctx.is_empty() {
-        store().orphans.push(rec);
+        with_scope(|sc| sc.store().orphans.push(rec));
         return;
     }
     match st.segments.last_mut() {
@@ -574,6 +727,35 @@ mod tests {
         start();
         let ledger = finish();
         assert!(ledger.segments.is_empty());
+    }
+
+    #[test]
+    fn scopes_isolate_and_drain_keeps_recording() {
+        let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        let scope = LedgerScope::new();
+        scope.start();
+        {
+            let _sg = scope.install();
+            let _ctx = push_context("scoped");
+            op(OpKind::FmStep, 3).finish();
+        }
+        // Recorded into the scope, not the default store.
+        start();
+        let default_ledger = finish();
+        assert!(default_ledger.segments.is_empty(), "scoped records leaked to default");
+        // drain() hands back the records and keeps the scope recording.
+        let first = scope.drain();
+        assert_eq!(first.totals().fm_steps, 1);
+        assert!(scope.is_recording());
+        {
+            let _sg = scope.install();
+            let _ctx = push_context("scoped");
+            op(OpKind::LexSplit, 2).finish();
+        }
+        let second = scope.finish();
+        assert_eq!(second.totals().fm_steps, 0, "drain must not replay old records");
+        assert_eq!(second.totals().lex_splits, 1);
+        assert!(!scope.is_recording());
     }
 
     #[test]

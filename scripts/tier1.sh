@@ -51,6 +51,13 @@ cargo run --release -p dmc-bench --bin dmc-profile -- \
 cargo run --release -p dmc-bench --bin dmc-session -- \
     --out-dir target/session-tier1 --check
 
+# Compile journal: serve the four benchmark workloads through one
+# journaling session, write the JSONL journal, and verify it round-trips
+# through disk, self-diffs clean, and replays byte-identically (every
+# deterministic field) through a fresh session.
+cargo run --release -p dmc-bench --bin dmc-journal -- \
+    --check --out-dir target/journal-tier1
+
 # Bench regression gate: re-measure the pipeline (--quick: one timing
 # rep — every deterministic field is rep-independent) and diff against
 # the committed snapshot. Correctness fields (message/transmission/word
