@@ -40,13 +40,21 @@ fn main() -> ExitCode {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--time-tol" => {
-                let Some(v) = args.next() else { fail!("--time-tol needs a ratio") };
-                let Ok(r) = v.parse() else { fail!("--time-tol: {v:?} is not a number") };
+                let Some(v) = args.next() else {
+                    fail!("--time-tol needs a ratio")
+                };
+                let Ok(r) = v.parse() else {
+                    fail!("--time-tol: {v:?} is not a number")
+                };
                 tol.time_rel = r;
             }
             "--gauge-tol" => {
-                let Some(v) = args.next() else { fail!("--gauge-tol needs a ratio") };
-                let Ok(r) = v.parse() else { fail!("--gauge-tol: {v:?} is not a number") };
+                let Some(v) = args.next() else {
+                    fail!("--gauge-tol needs a ratio")
+                };
+                let Ok(r) = v.parse() else {
+                    fail!("--gauge-tol: {v:?} is not a number")
+                };
                 tol.gauge_rel = r;
             }
             "--metrics" => {

@@ -67,7 +67,9 @@ fn input_for(workload: &str, nproc: u64) -> Result<CompileInput, String> {
         "stencil" => Ok(stencil_input(32, nproc)),
         "figure2" => Ok(figure2_input(nproc)),
         "xy" => Ok(xy_input(nproc)),
-        other => Err(format!("no such workload {other:?} (lu, stencil, figure2, xy)")),
+        other => Err(format!(
+            "no such workload {other:?} (lu, stencil, figure2, xy)"
+        )),
     }
 }
 
@@ -103,11 +105,15 @@ fn main() -> ExitCode {
         match a.as_str() {
             "--check" => check = true,
             "--out-dir" => {
-                let Some(p) = args.next() else { fail!("--out-dir needs a path") };
+                let Some(p) = args.next() else {
+                    fail!("--out-dir needs a path")
+                };
                 out_dir = std::path::PathBuf::from(p);
             }
             "--replay" => {
-                let Some(p) = args.next() else { fail!("--replay needs a journal file") };
+                let Some(p) = args.next() else {
+                    fail!("--replay needs a journal file")
+                };
                 replay_path = Some(p);
             }
             "--diff" => {
@@ -141,7 +147,10 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             Ok(f) => {
-                eprintln!("dmc-journal: {} difference(s) between {old} and {new}:", f.len());
+                eprintln!(
+                    "dmc-journal: {} difference(s) between {old} and {new}:",
+                    f.len()
+                );
                 for d in &f {
                     eprintln!("  - {d}");
                 }
@@ -205,7 +214,10 @@ fn main() -> ExitCode {
         Err(e) => fail!("{e}"),
     };
     if reread != text {
-        fail!("journal did not round-trip through {} byte-identically", path.display());
+        fail!(
+            "journal did not round-trip through {} byte-identically",
+            path.display()
+        );
     }
     let records = match parse_journal(&reread) {
         Ok(r) => r,

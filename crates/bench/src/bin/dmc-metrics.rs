@@ -32,10 +32,26 @@ struct Workload {
 
 fn workloads() -> Vec<Workload> {
     vec![
-        Workload { name: "lu", input: lu_input(8), params: vec![48] },
-        Workload { name: "stencil", input: stencil_input(32, 4), params: vec![4, 127] },
-        Workload { name: "figure2", input: figure2_input(4), params: vec![3, 127] },
-        Workload { name: "xy", input: xy_input(4), params: vec![47] },
+        Workload {
+            name: "lu",
+            input: lu_input(8),
+            params: vec![48],
+        },
+        Workload {
+            name: "stencil",
+            input: stencil_input(32, 4),
+            params: vec![4, 127],
+        },
+        Workload {
+            name: "figure2",
+            input: figure2_input(4),
+            params: vec![3, 127],
+        },
+        Workload {
+            name: "xy",
+            input: xy_input(4),
+            params: vec![47],
+        },
     ]
 }
 
@@ -68,20 +84,33 @@ fn main() {
         .into_iter()
         .filter(|w| which.as_deref().is_none_or(|n| n == "all" || n == w.name))
         .collect();
-    assert!(!selected.is_empty(), "no such workload (lu, stencil, figure2, xy, all)");
+    assert!(
+        !selected.is_empty(),
+        "no such workload (lu, stencil, figure2, xy, all)"
+    );
 
     for w in &selected {
         obs::start_capture();
         let compiled = compile(w.input.clone(), Options::full()).expect("compiles");
-        let result =
-            run(&compiled, &w.params, &MachineConfig::ipsc860(), false, LIMIT).expect("simulates");
+        let result = run(
+            &compiled,
+            &w.params,
+            &MachineConfig::ipsc860(),
+            false,
+            LIMIT,
+        )
+        .expect("simulates");
         let trace = obs::finish_capture();
         let stats = &result.stats;
 
         let mut reg = obs::Registry::new();
         reg.set_build_info(
             env!("CARGO_PKG_VERSION"),
-            if cfg!(debug_assertions) { "debug" } else { "release" },
+            if cfg!(debug_assertions) {
+                "debug"
+            } else {
+                "release"
+            },
         );
         stats.export_metrics(&mut reg, &[("workload", w.name)]);
         let doc = reg.render();
@@ -135,7 +164,12 @@ fn main() {
             println!(
                 "{:<10} ok: {} families, {} samples; totals match sim \
                  ({} msgs, {} transmissions, {} words); {} processor rows",
-                w.name, c.families, c.samples, stats.messages, stats.transmissions, stats.words,
+                w.name,
+                c.families,
+                c.samples,
+                stats.messages,
+                stats.transmissions,
+                stats.words,
                 nproc
             );
         } else {

@@ -32,10 +32,22 @@ struct Workload {
 
 fn workloads() -> Vec<Workload> {
     vec![
-        Workload { name: "lu", input: lu_input },
-        Workload { name: "stencil", input: |nproc| stencil_input(32, nproc) },
-        Workload { name: "figure2", input: figure2_input },
-        Workload { name: "xy", input: xy_input },
+        Workload {
+            name: "lu",
+            input: lu_input,
+        },
+        Workload {
+            name: "stencil",
+            input: |nproc| stencil_input(32, nproc),
+        },
+        Workload {
+            name: "figure2",
+            input: figure2_input,
+        },
+        Workload {
+            name: "xy",
+            input: xy_input,
+        },
     ]
 }
 
@@ -64,7 +76,10 @@ fn main() {
         .into_iter()
         .filter(|w| which.as_deref().is_none_or(|n| n == "all" || n == w.name))
         .collect();
-    assert!(!selected.is_empty(), "no such workload (lu, stencil, figure2, xy, all)");
+    assert!(
+        !selected.is_empty(),
+        "no such workload (lu, stencil, figure2, xy, all)"
+    );
 
     for w in &selected {
         let mut session = Session::new();
@@ -72,7 +87,9 @@ fn main() {
         let swept: Vec<_> = NPROCS
             .iter()
             .map(|&nproc| {
-                session.compile((w.input)(nproc), Options::full()).expect("sweep compiles")
+                session
+                    .compile((w.input)(nproc), Options::full())
+                    .expect("sweep compiles")
             })
             .collect();
         // The trace covers only the session sweep, so the report's Reuse
@@ -101,11 +118,18 @@ fn main() {
             identical
         );
         for (stage, c) in &stats.per_stage {
-            println!("  {:<10} {:>4} hit(s) {:>4} miss(es)", stage, c.hits, c.misses);
+            println!(
+                "  {:<10} {:>4} hit(s) {:>4} miss(es)",
+                stage, c.hits, c.misses
+            );
         }
 
         if check {
-            assert!(identical, "{}: session output diverged from the one-shot pipeline", w.name);
+            assert!(
+                identical,
+                "{}: session output diverged from the one-shot pipeline",
+                w.name
+            );
             assert!(
                 stats.stage_hits >= stats.stage_misses,
                 "{}: only {}/{} stage lookups hit — the sweep must reuse at least half",
@@ -115,7 +139,9 @@ fn main() {
             );
             // A byte-identical recompile re-runs nothing.
             let last = *NPROCS.last().expect("nprocs");
-            session.compile((w.input)(last), Options::full()).expect("recompiles");
+            session
+                .compile((w.input)(last), Options::full())
+                .expect("recompiles");
             assert_eq!(
                 session.stats().stage_misses,
                 stats.stage_misses,

@@ -30,7 +30,10 @@ fn fig3_and_5() {
         println!("{lwt}");
     }
     for (k, cs) in compiled.comm.iter().enumerate() {
-        let elems = cs.enumerate(&[1, 127], 100_000).expect("enumerate").expect("bounded");
+        let elems = cs
+            .enumerate(&[1, 127], 100_000)
+            .expect("enumerate")
+            .expect("bounded");
         println!(
             "communication set {k}: level {:?}, {} elements at T=1, N=127",
             cs.level,
@@ -51,7 +54,10 @@ fn fig10_aggregation() {
     println!("==================================================================");
     println!("Figure 10: aggregation on Figure 2 (T=3, N=127, P=4)");
     println!("==================================================================");
-    println!("{:<26} {:>10} {:>10} {:>14}", "configuration", "messages", "words", "words/message");
+    println!(
+        "{:<26} {:>10} {:>10} {:>14}",
+        "configuration", "messages", "words", "words/message"
+    );
     for (name, aggregate) in [("aggregated (paper)", true), ("one msg per element", false)] {
         let mut o = Options::full();
         o.aggregate = aggregate;
@@ -67,7 +73,10 @@ fn sec22_value_vs_location() {
     println!("==================================================================");
     println!("Section 2.2: value-centric vs location-centric (X/Y example)");
     println!("==================================================================");
-    println!("{:>6} {:>22} {:>22}", "N", "value-centric words", "location-centric words");
+    println!(
+        "{:>6} {:>22} {:>22}",
+        "N", "value-centric words", "location-centric words"
+    );
     for n in [11i128, 23, 47, 95] {
         let vc = compile(xy_input(4), Options::full()).expect("compiles");
         let lc = compile(xy_input(4), Options::location_centric()).expect("compiles");
@@ -111,12 +120,15 @@ fn ablations() {
     for (name, o) in cases {
         let compiled = compile(lu_input(8), o).expect("compiles");
         let (m, t, w) = message_stats(&compiled, &[48], 50_000_000).expect("stats");
-        let sim = run(&compiled, &[48], &MachineConfig::ipsc860(), false, 50_000_000)
-            .expect("simulates");
-        println!(
-            "{name:<30} {m:>9} {t:>14} {w:>9} {:>12.4}",
-            sim.stats.time
-        );
+        let sim = run(
+            &compiled,
+            &[48],
+            &MachineConfig::ipsc860(),
+            false,
+            50_000_000,
+        )
+        .expect("simulates");
+        println!("{name:<30} {m:>9} {t:>14} {w:>9} {:>12.4}", sim.stats.time);
     }
     println!();
 }
@@ -135,10 +147,11 @@ fn fig14_lu_sweep(full: bool) {
     let mut cfg = MachineConfig::ipsc860();
     cfg.flop_time *= scale;
     cfg.multicast = MulticastModel::Log;
+    println!("(processor slowed {scale}x to preserve the paper's comm/compute ratio)");
     println!(
-        "(processor slowed {scale}x to preserve the paper's comm/compute ratio)"
+        "{:>6} {:>4} {:>12} {:>10} {:>9} {:>10}",
+        "N", "P", "time (s)", "MFLOPS", "speedup", "messages"
     );
-    println!("{:>6} {:>4} {:>12} {:>10} {:>9} {:>10}", "N", "P", "time (s)", "MFLOPS", "speedup", "messages");
     for &n in &sizes {
         let mut t1 = None;
         for p in [1i128, 2, 4, 8, 16, 32] {

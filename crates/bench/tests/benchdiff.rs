@@ -7,7 +7,10 @@ use std::process::Command;
 
 fn repo_root() -> PathBuf {
     // crates/bench -> workspace root.
-    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("repo root")
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root")
 }
 
 fn snapshot_path() -> PathBuf {
@@ -15,7 +18,10 @@ fn snapshot_path() -> PathBuf {
 }
 
 fn bench_diff(args: &[&str]) -> std::process::Output {
-    Command::new(env!("CARGO_BIN_EXE_dmc-bench-diff")).args(args).output().expect("spawn")
+    Command::new(env!("CARGO_BIN_EXE_dmc-bench-diff"))
+        .args(args)
+        .output()
+        .expect("spawn")
 }
 
 #[test]
@@ -37,10 +43,12 @@ fn injected_schedule_regression_fails_the_gate() {
     // Inflate the first schedule_ms by 20% — past the 15% default tolerance.
     let needle = "\"schedule_ms\": ";
     let at = original.find(needle).expect("snapshot has schedule_ms") + needle.len();
-    let end = at + original[at..].find(|c: char| !c.is_ascii_digit() && c != '.').expect("number");
+    let end = at
+        + original[at..]
+            .find(|c: char| !c.is_ascii_digit() && c != '.')
+            .expect("number");
     let old: f64 = original[at..end].parse().expect("parse schedule_ms");
-    let regressed =
-        format!("{}{:.3}{}", &original[..at], old * 1.2, &original[end..]);
+    let regressed = format!("{}{:.3}{}", &original[..at], old * 1.2, &original[end..]);
 
     let dir = std::env::temp_dir().join("dmc-benchdiff-test");
     std::fs::create_dir_all(&dir).expect("temp dir");
@@ -49,7 +57,10 @@ fn injected_schedule_regression_fails_the_gate() {
 
     let snap = snapshot_path();
     let out = bench_diff(&[snap.to_str().unwrap(), fixture.to_str().unwrap()]);
-    assert!(!out.status.success(), "a 20% schedule_ms regression must fail the gate");
+    assert!(
+        !out.status.success(),
+        "a 20% schedule_ms regression must fail the gate"
+    );
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("schedule_ms regressed"), "{stderr}");
 
@@ -72,7 +83,10 @@ fn correctness_drift_fails_regardless_of_tolerance() {
     let original = std::fs::read_to_string(snapshot_path()).expect("read snapshot");
     let needle = "\"words\": ";
     let at = original.find(needle).expect("snapshot has words") + needle.len();
-    let end = at + original[at..].find(|c: char| !c.is_ascii_digit()).expect("number");
+    let end = at
+        + original[at..]
+            .find(|c: char| !c.is_ascii_digit())
+            .expect("number");
     let old: u64 = original[at..end].parse().expect("parse words");
     let drifted = format!("{}{}{}", &original[..at], old + 1, &original[end..]);
 
@@ -88,6 +102,9 @@ fn correctness_drift_fails_regardless_of_tolerance() {
         "--time-tol",
         "100",
     ]);
-    assert!(!out.status.success(), "message-count drift must fail at any time tolerance");
+    assert!(
+        !out.status.success(),
+        "message-count drift must fail at any time tolerance"
+    );
     assert!(String::from_utf8_lossy(&out.stderr).contains("words changed"));
 }

@@ -38,7 +38,13 @@ fn assert_fails(out: &Output, needle: &str, what: &str) {
 fn trace_rejects_unknown_workload() {
     let out = run(
         env!("CARGO_BIN_EXE_dmc-trace"),
-        &["--workload", "nope", "--out-dir", tmpdir().to_str().unwrap(), "--check"],
+        &[
+            "--workload",
+            "nope",
+            "--out-dir",
+            tmpdir().to_str().unwrap(),
+            "--check",
+        ],
     );
     assert_fails(&out, "no such workload", "dmc-trace");
 }
@@ -55,7 +61,12 @@ fn metrics_rejects_unknown_argument() {
 fn profile_rejects_unknown_workload() {
     let out = run(
         env!("CARGO_BIN_EXE_dmc-profile"),
-        &["--workload", "nope", "--out-dir", tmpdir().to_str().unwrap()],
+        &[
+            "--workload",
+            "nope",
+            "--out-dir",
+            tmpdir().to_str().unwrap(),
+        ],
     );
     assert_fails(&out, "no such workload", "dmc-profile");
 }
@@ -76,7 +87,11 @@ fn journal_fails_cleanly() {
     assert_fails(&out, "nothing to do", "dmc-journal no mode");
 
     let out = run(bin, &["--replay", "/nonexistent/journal.jsonl"]);
-    assert_fails(&out, "read /nonexistent/journal.jsonl", "dmc-journal missing file");
+    assert_fails(
+        &out,
+        "read /nonexistent/journal.jsonl",
+        "dmc-journal missing file",
+    );
 
     // A corrupted line: strict parsing names the 1-based line and the
     // gate fails without a panic backtrace.
@@ -109,11 +124,24 @@ fn journal_fails_cleanly() {
     // Tampered deterministic field: --diff against the original catches
     // it and names the field.
     let tampered = dir.join("tampered.jsonl");
-    std::fs::write(&tampered, format!("{}\n", good.replace("\"work_units\":10", "\"work_units\":11")))
-        .expect("write fixture");
+    std::fs::write(
+        &tampered,
+        format!(
+            "{}\n",
+            good.replace("\"work_units\":10", "\"work_units\":11")
+        ),
+    )
+    .expect("write fixture");
     let original = dir.join("original.jsonl");
     std::fs::write(&original, format!("{good}\n")).expect("write fixture");
-    let out = run(bin, &["--diff", original.to_str().unwrap(), tampered.to_str().unwrap()]);
+    let out = run(
+        bin,
+        &[
+            "--diff",
+            original.to_str().unwrap(),
+            tampered.to_str().unwrap(),
+        ],
+    );
     assert_fails(&out, "work_units: 10 != 11", "dmc-journal diff gate");
 }
 
@@ -126,7 +154,11 @@ fn bench_diff_fails_cleanly() {
     let dir = tmpdir();
 
     let out = run(bin, &["only-one.json"]);
-    assert_fails(&out, "need exactly OLD.json and NEW.json", "bench-diff usage");
+    assert_fails(
+        &out,
+        "need exactly OLD.json and NEW.json",
+        "bench-diff usage",
+    );
 
     let out = run(bin, &["/nonexistent/a.json", "/nonexistent/b.json"]);
     assert_fails(&out, "read /nonexistent/a.json", "bench-diff missing file");
@@ -134,7 +166,10 @@ fn bench_diff_fails_cleanly() {
     let garbage = dir.join("garbage.json");
     std::fs::write(&garbage, "not json at all").expect("write fixture");
     let out = run(bin, &[garbage.to_str().unwrap(), garbage.to_str().unwrap()]);
-    assert!(!out.status.success(), "malformed snapshot must fail the gate");
+    assert!(
+        !out.status.success(),
+        "malformed snapshot must fail the gate"
+    );
 
     // A real regression: two otherwise-identical snapshots that disagree
     // on the deterministic work-unit total.
@@ -157,7 +192,11 @@ fn bench_diff_fails_cleanly() {
     std::fs::write(&old, snap(100)).expect("write old");
     std::fs::write(&new, snap(101)).expect("write new");
     let out = run(bin, &[old.to_str().unwrap(), new.to_str().unwrap()]);
-    assert_fails(&out, "work_units changed 100 -> 101", "bench-diff work-unit gate");
+    assert_fails(
+        &out,
+        "work_units changed 100 -> 101",
+        "bench-diff work-unit gate",
+    );
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(
         !stderr.contains("panicked"),
@@ -166,5 +205,8 @@ fn bench_diff_fails_cleanly() {
 
     // And the same snapshots agree with themselves.
     let out = run(bin, &[old.to_str().unwrap(), old.to_str().unwrap()]);
-    assert!(out.status.success(), "identical snapshots must pass: {out:?}");
+    assert!(
+        out.status.success(),
+        "identical snapshots must pass: {out:?}"
+    );
 }

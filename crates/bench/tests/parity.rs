@@ -28,7 +28,11 @@ fn outputs(
     input: &CompileInput,
     params: &[i128],
     options: Options,
-) -> (dmc_machine::Schedule, (u64, u64, u64), dmc_machine::SimStats) {
+) -> (
+    dmc_machine::Schedule,
+    (u64, u64, u64),
+    dmc_machine::SimStats,
+) {
     let compiled = compile(input.clone(), options).expect("compiles");
     let schedule = build_schedule(&compiled, params, false, LIMIT).expect("schedules");
     let stats = message_stats(&compiled, params, LIMIT).expect("stats");
@@ -44,13 +48,37 @@ fn outputs(
 fn fast_paths_do_not_change_outputs() {
     let _g = KNOBS.lock().unwrap_or_else(|e| e.into_inner());
     for (name, input, params) in cases() {
-        let fast = outputs(&input, &params, Options { poly_fast_paths: true, ..Options::full() });
+        let fast = outputs(
+            &input,
+            &params,
+            Options {
+                poly_fast_paths: true,
+                ..Options::full()
+            },
+        );
         // Run the cached configuration twice: the second pass answers out
         // of warm caches and must still match.
-        let warm = outputs(&input, &params, Options { poly_fast_paths: true, ..Options::full() });
-        let base = outputs(&input, &params, Options { poly_fast_paths: false, ..Options::full() });
+        let warm = outputs(
+            &input,
+            &params,
+            Options {
+                poly_fast_paths: true,
+                ..Options::full()
+            },
+        );
+        let base = outputs(
+            &input,
+            &params,
+            Options {
+                poly_fast_paths: false,
+                ..Options::full()
+            },
+        );
         assert_eq!(fast.0, base.0, "{name}: schedule differs with fast paths");
-        assert_eq!(fast.1, base.1, "{name}: message stats differ with fast paths");
+        assert_eq!(
+            fast.1, base.1,
+            "{name}: message stats differ with fast paths"
+        );
         assert_eq!(fast.2, base.2, "{name}: simulation differs with fast paths");
         assert_eq!(fast.0, warm.0, "{name}: warm-cache schedule differs");
         assert_eq!(fast.1, warm.1, "{name}: warm-cache message stats differ");
@@ -65,14 +93,38 @@ fn fast_paths_do_not_change_outputs() {
 fn thread_fanout_is_deterministic() {
     let _g = KNOBS.lock().unwrap_or_else(|e| e.into_inner());
     for (name, input, params) in cases() {
-        let seq = outputs(&input, &params, Options { threads: 1, ..Options::full() });
-        let par4 = outputs(&input, &params, Options { threads: 4, ..Options::full() });
-        let auto = outputs(&input, &params, Options { threads: 0, ..Options::full() });
+        let seq = outputs(
+            &input,
+            &params,
+            Options {
+                threads: 1,
+                ..Options::full()
+            },
+        );
+        let par4 = outputs(
+            &input,
+            &params,
+            Options {
+                threads: 4,
+                ..Options::full()
+            },
+        );
+        let auto = outputs(
+            &input,
+            &params,
+            Options {
+                threads: 0,
+                ..Options::full()
+            },
+        );
         assert_eq!(seq.0, par4.0, "{name}: schedule differs at threads=4");
         assert_eq!(seq.1, par4.1, "{name}: message stats differ at threads=4");
         assert_eq!(seq.2, par4.2, "{name}: simulation differs at threads=4");
         assert_eq!(seq.0, auto.0, "{name}: schedule differs at threads=auto");
-        assert_eq!(seq.1, auto.1, "{name}: message stats differ at threads=auto");
+        assert_eq!(
+            seq.1, auto.1,
+            "{name}: message stats differ at threads=auto"
+        );
     }
     Options::default().apply_tuning();
 }
@@ -89,27 +141,41 @@ fn feasibility_budget_is_configurable() {
     // the duration of the pipeline and restores the surrounding value on
     // exit (KnobGuard); a roomier budget changes no answer here.
     let ambient = dmc_polyhedra::stats::feasibility_budget();
-    let big = Options { feasibility_budget: 123_456, ..Options::full() };
+    let big = Options {
+        feasibility_budget: 123_456,
+        ..Options::full()
+    };
     let roomier = outputs(&input, &[3, 63], big);
     assert_eq!(
         dmc_polyhedra::stats::feasibility_budget(),
         ambient,
         "compile must restore the surrounding budget on exit"
     );
-    assert_eq!(full.0, roomier.0, "a larger budget must not change the schedule");
+    assert_eq!(
+        full.0, roomier.0,
+        "a larger budget must not change the schedule"
+    );
 
     // An exhausted budget trips to Unknown and the counter records it.
     // (Querying directly — a whole compile under a tripped budget keeps
     // every unresolvable constraint and explodes combinatorially.)
     use dmc_polyhedra::{Constraint, DimKind, Feasibility, LinExpr, Polyhedron, Space};
-    Options { feasibility_budget: 0, poly_fast_paths: false, ..Options::full() }.apply_tuning();
+    Options {
+        feasibility_budget: 0,
+        poly_fast_paths: false,
+        ..Options::full()
+    }
+    .apply_tuning();
     let before = dmc_polyhedra::stats::snapshot();
     let mut p = Polyhedron::universe(Space::from_dims([("x", DimKind::Index)]));
     p.add(Constraint::ge(LinExpr::from_coeffs(vec![1], 0)));
     p.add(Constraint::ge(LinExpr::from_coeffs(vec![-1], 3)));
     assert_eq!(p.integer_feasibility().unwrap(), Feasibility::Unknown);
     let delta = dmc_polyhedra::stats::snapshot().since(&before);
-    assert!(delta.feasibility_unknown >= 1, "tripped budget must be counted");
+    assert!(
+        delta.feasibility_unknown >= 1,
+        "tripped budget must be counted"
+    );
 
     Options::default().apply_tuning();
     let again = outputs(&input, &[3, 63], Options::full());

@@ -21,7 +21,9 @@ fn workloads() -> Vec<(&'static str, CompileInput, Vec<i128>)> {
 
 fn simulate(input: &CompileInput, params: &[i128], values: bool) -> SimStats {
     let compiled = compile(input.clone(), Options::full()).expect("compiles");
-    run(&compiled, params, &MachineConfig::ipsc860(), values, LIMIT).expect("simulates").stats
+    run(&compiled, params, &MachineConfig::ipsc860(), values, LIMIT)
+        .expect("simulates")
+        .stats
 }
 
 /// Every simulated second lands in exactly one bucket: per processor,
@@ -67,7 +69,11 @@ fn traffic_matrix_and_histograms_decompose_the_totals() {
             s.transmissions,
             "{name}: transmission matrix total"
         );
-        assert_eq!(s.msg_words_hist.count(), s.messages, "{name}: size histogram count");
+        assert_eq!(
+            s.msg_words_hist.count(),
+            s.messages,
+            "{name}: size histogram count"
+        );
         assert_eq!(
             s.latency_us_hist.count(),
             s.transmissions,

@@ -69,7 +69,10 @@ impl IntExpr {
         if terms.is_empty() {
             IntExpr::Const(e.constant_term())
         } else {
-            IntExpr::Affine { terms, constant: e.constant_term() }
+            IntExpr::Affine {
+                terms,
+                constant: e.constant_term(),
+            }
         }
     }
 }
@@ -270,7 +273,13 @@ fn render_into(stmts: &[SpmdStmt], indent: usize, out: &mut String) {
     for s in stmts {
         let pad = "  ".repeat(indent);
         match s {
-            SpmdStmt::For { var, lo, hi, step, body } => {
+            SpmdStmt::For {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => {
                 if *step == 1 {
                     let _ = writeln!(out, "{pad}for {var} = {lo} to {hi} {{");
                 } else {
@@ -310,12 +319,19 @@ fn render_into(stmts: &[SpmdStmt], indent: usize, out: &mut String) {
             }
             SpmdStmt::SendBuffer { comm, to } => {
                 let dest: Vec<String> = to.iter().map(|e| e.to_string()).collect();
-                let _ = writeln!(out, "{pad}send_buffer(comm_{comm}, to = ({}));", dest.join(", "));
+                let _ = writeln!(
+                    out,
+                    "{pad}send_buffer(comm_{comm}, to = ({}));",
+                    dest.join(", ")
+                );
             }
             SpmdStmt::RecvBuffer { comm, from } => {
                 let src: Vec<String> = from.iter().map(|e| e.to_string()).collect();
-                let _ =
-                    writeln!(out, "{pad}recv_buffer(comm_{comm}, from = ({}));", src.join(", "));
+                let _ = writeln!(
+                    out,
+                    "{pad}recv_buffer(comm_{comm}, from = ({}));",
+                    src.join(", ")
+                );
             }
             SpmdStmt::Comment(c) => {
                 let _ = writeln!(out, "{pad}/* {c} */");
@@ -332,7 +348,10 @@ mod tests {
     fn eval_expressions() {
         let e = IntExpr::Max(vec![
             IntExpr::Const(3),
-            IntExpr::Affine { terms: vec![(32, "p".into())], constant: 0 },
+            IntExpr::Affine {
+                terms: vec![(32, "p".into())],
+                constant: 0,
+            },
         ]);
         let env = |v: &str| if v == "p" { 2 } else { 0 };
         assert_eq!(e.eval(&env), 64);

@@ -23,7 +23,11 @@ pub fn recv_code(cs: &CommSet, comm_id: usize) -> Result<Vec<SpmdStmt>, PolyErro
     order.extend(&cs.dims.arr);
     order.extend(&cs.dims.aux);
     let nest = scan_bounds(&cs.poly, &order)?;
-    Ok(loops_from_nest(&nest, cs.poly.space(), vec![SpmdStmt::Recv { comm: comm_id }]))
+    Ok(loops_from_nest(
+        &nest,
+        cs.poly.space(),
+        vec![SpmdStmt::Recv { comm: comm_id }],
+    ))
 }
 
 /// Generates the plain send code: scanned in `(i_s, p_r, i_r, a)` order
@@ -40,7 +44,11 @@ pub fn send_code(cs: &CommSet, comm_id: usize) -> Result<Vec<SpmdStmt>, PolyErro
     order.extend(&cs.dims.arr);
     order.extend(&cs.dims.aux);
     let nest = scan_bounds(&cs.poly, &order)?;
-    Ok(loops_from_nest(&nest, cs.poly.space(), vec![SpmdStmt::Send { comm: comm_id }]))
+    Ok(loops_from_nest(
+        &nest,
+        cs.poly.space(),
+        vec![SpmdStmt::Send { comm: comm_id }],
+    ))
 }
 
 /// Generates the aggregated send code of §6.2 (Figure 10): scanning in
@@ -65,14 +73,31 @@ pub fn send_code_aggregated(cs: &CommSet, comm_id: usize) -> Result<Vec<SpmdStmt
     let space = cs.poly.space();
     let pack = SpmdStmt::PackItem {
         array: cs.array.clone(),
-        idx: cs.dims.arr.iter().map(|&d| IntExpr::Var(space.dim(d).name().to_owned())).collect(),
+        idx: cs
+            .dims
+            .arr
+            .iter()
+            .map(|&d| IntExpr::Var(space.dim(d).name().to_owned()))
+            .collect(),
     };
     let pre = vec![SpmdStmt::ResetIndex];
     let post = vec![SpmdStmt::SendBuffer {
         comm: comm_id,
-        to: cs.dims.pr.iter().map(|&d| IntExpr::Var(space.dim(d).name().to_owned())).collect(),
+        to: cs
+            .dims
+            .pr
+            .iter()
+            .map(|&d| IntExpr::Var(space.dim(d).name().to_owned()))
+            .collect(),
     }];
-    Ok(loops_with_boundary(&nest, space, boundary, pre, vec![pack], post))
+    Ok(loops_with_boundary(
+        &nest,
+        space,
+        boundary,
+        pre,
+        vec![pack],
+        post,
+    ))
 }
 
 /// Generates the aggregated receive code of §6.2 (Figure 10): scanning in
@@ -99,7 +124,12 @@ pub fn recv_code_aggregated(cs: &CommSet, comm_id: usize) -> Result<Vec<SpmdStmt
     let space = cs.poly.space();
     let unpack = SpmdStmt::UnpackItem {
         array: cs.array.clone(),
-        idx: cs.dims.arr.iter().map(|&d| IntExpr::Var(space.dim(d).name().to_owned())).collect(),
+        idx: cs
+            .dims
+            .arr
+            .iter()
+            .map(|&d| IntExpr::Var(space.dim(d).name().to_owned()))
+            .collect(),
     };
     let pre = vec![
         SpmdStmt::RecvBuffer {
@@ -113,7 +143,14 @@ pub fn recv_code_aggregated(cs: &CommSet, comm_id: usize) -> Result<Vec<SpmdStmt
         },
         SpmdStmt::ResetIndex,
     ];
-    Ok(loops_with_boundary(&nest, space, boundary, pre, vec![unpack], vec![]))
+    Ok(loops_with_boundary(
+        &nest,
+        space,
+        boundary,
+        pre,
+        vec![unpack],
+        vec![],
+    ))
 }
 
 /// Assembles a scanned nest with a message boundary: the loops for the
@@ -163,8 +200,7 @@ mod tests {
         let stmts = p.statements();
         let comp = CompDecomp::block_1d(0, "i", 32);
         let leaf = lwt.source_leaves().next().unwrap();
-        let mut sets =
-            comm_from_leaf(&p, &lwt, leaf, &stmts[0], &stmts[0], &comp, &comp).unwrap();
+        let mut sets = comm_from_leaf(&p, &lwt, leaf, &stmts[0], &stmts[0], &comp, &comp).unwrap();
         assert_eq!(sets.len(), 1);
         sets.pop().expect("one set")
     }
@@ -215,9 +251,14 @@ mod tests {
         // order the receiver unpacks.
         let pack_envs = eval_iterations(&send, &[("ps0", 0), ("T", 0), ("N", 95)]);
         let unpack_envs = eval_iterations(&recv, &[("pr0", 1), ("T", 0), ("N", 95)]);
-        let packed: Vec<i128> = pack_envs.iter().filter_map(|e| e.get("a0").copied()).collect();
-        let unpacked: Vec<i128> =
-            unpack_envs.iter().filter_map(|e| e.get("a0").copied()).collect();
+        let packed: Vec<i128> = pack_envs
+            .iter()
+            .filter_map(|e| e.get("a0").copied())
+            .collect();
+        let unpacked: Vec<i128> = unpack_envs
+            .iter()
+            .filter_map(|e| e.get("a0").copied())
+            .collect();
         assert_eq!(packed, vec![29, 30, 31]);
         assert_eq!(packed, unpacked, "pack and unpack orders must agree");
     }

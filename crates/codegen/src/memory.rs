@@ -139,8 +139,7 @@ pub fn bounding_box(
             let mut box_dims = Vec::with_capacity(ndim);
             let mut ok = true;
             for &ad in &a_dims {
-                let others: Vec<usize> =
-                    a_dims.iter().copied().filter(|&d| d != ad).collect();
+                let others: Vec<usize> = a_dims.iter().copied().filter(|&d| d != ad).collect();
                 let isolated = projected.eliminate_dims(&others)?;
                 let nest = scan_bounds(&isolated, &[ad])?;
                 let vb = &nest.vars[0];
@@ -167,12 +166,22 @@ pub fn bounding_box(
     for d in 0..ndim {
         let lows: Vec<IntExpr> = per_access_boxes.iter().map(|b| b[d].0.clone()).collect();
         let highs: Vec<IntExpr> = per_access_boxes.iter().map(|b| b[d].1.clone()).collect();
-        let lo = if lows.len() == 1 { lows.into_iter().next().expect("one") } else { IntExpr::Min(lows) };
-        let hi =
-            if highs.len() == 1 { highs.into_iter().next().expect("one") } else { IntExpr::Max(highs) };
+        let lo = if lows.len() == 1 {
+            lows.into_iter().next().expect("one")
+        } else {
+            IntExpr::Min(lows)
+        };
+        let hi = if highs.len() == 1 {
+            highs.into_iter().next().expect("one")
+        } else {
+            IntExpr::Max(highs)
+        };
         dims.push((lo, hi));
     }
-    Ok(Some(LocalBox { array: array.to_owned(), dims }))
+    Ok(Some(LocalBox {
+        array: array.to_owned(),
+        dims,
+    }))
 }
 
 #[cfg(test)]
@@ -193,7 +202,9 @@ mod tests {
         .unwrap();
         let stmts = p.statements();
         let comp = CompDecomp::block_1d(0, "i", 8);
-        let lb = bounding_box(&p, "X", &[(&stmts[0], &comp)]).unwrap().unwrap();
+        let lb = bounding_box(&p, "X", &[(&stmts[0], &comp)])
+            .unwrap()
+            .unwrap();
         let env = |v: &str| match v {
             "p0" => 1,
             "N" => 32,
@@ -222,7 +233,9 @@ mod tests {
         .unwrap();
         let stmts = p.statements();
         let comp = CompDecomp::cyclic_1d(0, "i2");
-        let lb = bounding_box(&p, "X", &[(&stmts[0], &comp)]).unwrap().unwrap();
+        let lb = bounding_box(&p, "X", &[(&stmts[0], &comp)])
+            .unwrap()
+            .unwrap();
         let env = |v: &str| match v {
             "p0" => 3,
             "N" => 6,
@@ -245,7 +258,11 @@ mod tests {
         .unwrap();
         let stmts = p.statements();
         let comp = CompDecomp::block_1d(0, "i", 4);
-        assert!(bounding_box(&p, "Z", &[(&stmts[0], &comp)]).unwrap().is_none());
-        assert!(bounding_box(&p, "missing", &[(&stmts[0], &comp)]).unwrap().is_none());
+        assert!(bounding_box(&p, "Z", &[(&stmts[0], &comp)])
+            .unwrap()
+            .is_none());
+        assert!(bounding_box(&p, "missing", &[(&stmts[0], &comp)])
+            .unwrap()
+            .is_none());
     }
 }

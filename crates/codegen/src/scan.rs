@@ -7,10 +7,7 @@ use crate::ast::{CondAtom, IntExpr, SpmdStmt};
 /// Converts one variable's scan bounds into optional `(lower, upper)`
 /// expressions; `None` on a side with no bound. An equality-pinned
 /// variable yields the same expression on both sides.
-pub(crate) fn bounds_as_exprs(
-    vb: &VarBounds,
-    space: &Space,
-) -> (Option<IntExpr>, Option<IntExpr>) {
+pub(crate) fn bounds_as_exprs(vb: &VarBounds, space: &Space) -> (Option<IntExpr>, Option<IntExpr>) {
     if let Some(e) = &vb.exact {
         let ie = IntExpr::from_linexpr(e, space);
         return (Some(ie.clone()), Some(ie));
@@ -92,7 +89,13 @@ pub fn loops_from_nest(nest: &ScanNest, space: &Space, body: Vec<SpmdStmt>) -> V
                 block.extend(inner);
                 block
             }
-            None => vec![SpmdStmt::For { var: name, lo, hi, step: 1, body: inner }],
+            None => vec![SpmdStmt::For {
+                var: name,
+                lo,
+                hi,
+                step: 1,
+                body: inner,
+            }],
         };
     }
     let guard: Vec<CondAtom> = nest
@@ -111,7 +114,10 @@ pub fn loops_from_nest(nest: &ScanNest, space: &Space, body: Vec<SpmdStmt>) -> V
     if guard.is_empty() {
         inner
     } else {
-        vec![SpmdStmt::If { cond: guard, then: inner }]
+        vec![SpmdStmt::If {
+            cond: guard,
+            then: inner,
+        }]
     }
 }
 
@@ -147,7 +153,13 @@ pub fn physicalize_proc_loop(stmts: Vec<SpmdStmt>, myp: &str, extent: i128) -> V
     stmts
         .into_iter()
         .map(|s| match s {
-            SpmdStmt::For { var, lo, hi, step, body } => {
+            SpmdStmt::For {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => {
                 assert_eq!(step, 1, "processor loop must be unit-step before folding");
                 // start = myp + extent * ceil((lo - myp) / extent), computed
                 // in two temporaries so the loop header stays affine:
@@ -157,7 +169,10 @@ pub fn physicalize_proc_loop(stmts: Vec<SpmdStmt>, myp: &str, extent: i128) -> V
                 let base_var = format!("{var}$base");
                 let k_var = format!("{var}$k");
                 vec![
-                    SpmdStmt::Let { var: base_var.clone(), value: lo },
+                    SpmdStmt::Let {
+                        var: base_var.clone(),
+                        value: lo,
+                    },
                     SpmdStmt::Let {
                         var: k_var.clone(),
                         value: IntExpr::CeilDiv(
@@ -302,10 +317,14 @@ pub(crate) mod tests {
         ) {
             for s in stmts {
                 match s {
-                    SpmdStmt::For { var, lo, hi, step, body } => {
-                        let look = |v: &str| {
-                            *env.get(v).unwrap_or_else(|| panic!("unbound {v}"))
-                        };
+                    SpmdStmt::For {
+                        var,
+                        lo,
+                        hi,
+                        step,
+                        body,
+                    } => {
+                        let look = |v: &str| *env.get(v).unwrap_or_else(|| panic!("unbound {v}"));
                         let (l, h) = (lo.eval(&look), hi.eval(&look));
                         let mut x = l;
                         while x <= h {
@@ -316,17 +335,13 @@ pub(crate) mod tests {
                         env.remove(var);
                     }
                     SpmdStmt::If { cond, then } => {
-                        let look = |v: &str| {
-                            *env.get(v).unwrap_or_else(|| panic!("unbound {v}"))
-                        };
+                        let look = |v: &str| *env.get(v).unwrap_or_else(|| panic!("unbound {v}"));
                         if cond.iter().all(|c| c.eval(&look)) {
                             go(then, env, out);
                         }
                     }
                     SpmdStmt::Let { var, value } => {
-                        let look = |v: &str| {
-                            *env.get(v).unwrap_or_else(|| panic!("unbound {v}"))
-                        };
+                        let look = |v: &str| *env.get(v).unwrap_or_else(|| panic!("unbound {v}"));
                         let val = value.eval(&look);
                         env.insert(var.clone(), val);
                     }

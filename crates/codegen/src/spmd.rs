@@ -40,7 +40,11 @@ pub fn computation_code(
     let mut poly = info.domain(&space, &[]);
     comp.constrain(&mut poly, &[], &proc_dims);
     let nest = scan_bounds(&poly, &loop_dims)?;
-    Ok(loops_from_nest(&nest, &space, vec![SpmdStmt::Compute { stmt: info.id }]))
+    Ok(loops_from_nest(
+        &nest,
+        &space,
+        vec![SpmdStmt::Compute { stmt: info.id }],
+    ))
 }
 
 /// A complete per-processor program: local declarations (as comments),

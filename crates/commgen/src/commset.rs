@@ -10,9 +10,7 @@
 use dmc_dataflow::{DepLevel, LastWriteTree, LwtLeaf};
 use dmc_decomp::{CompDecomp, DataDecomp};
 use dmc_ir::{Program, StmtInfo};
-use dmc_polyhedra::{
-    Constraint, DimKind, LinExpr, PolyError, Polyhedron, Space,
-};
+use dmc_polyhedra::{Constraint, DimKind, LinExpr, PolyError, Polyhedron, Space};
 
 /// Dimension groups of a communication-set polyhedron, as positions into
 /// its space. Order in the space is always
@@ -153,7 +151,10 @@ pub fn comm_from_leaf(
     comp_read: &CompDecomp,
     comp_write: &CompDecomp,
 ) -> Result<Vec<CommSet>, CommError> {
-    let src = leaf.source.as_ref().expect("comm_from_leaf needs a source leaf");
+    let src = leaf
+        .source
+        .as_ref()
+        .expect("comm_from_leaf needs a source leaf");
     if comp_read.proc_ndim() != comp_write.proc_ndim() {
         return Err(CommError::ProcRankMismatch);
     }
@@ -175,19 +176,22 @@ pub fn comm_from_leaf(
     let mut space = Space::new();
     let mut dims = CommDims::default();
     for v in &lwt.read_dims {
-        dims.r_iter.push(space.add_dim(format!("{v}{READ_SUFFIX}"), DimKind::Index));
+        dims.r_iter
+            .push(space.add_dim(format!("{v}{READ_SUFFIX}"), DimKind::Index));
     }
     for k in 0..q {
         dims.pr.push(space.add_dim(format!("pr{k}"), DimKind::Proc));
     }
     for v in write_info.loop_vars() {
-        dims.s_iter.push(space.add_dim(format!("{v}{SEND_SUFFIX}"), DimKind::Index));
+        dims.s_iter
+            .push(space.add_dim(format!("{v}{SEND_SUFFIX}"), DimKind::Index));
     }
     for k in 0..q {
         dims.ps.push(space.add_dim(format!("ps{k}"), DimKind::Proc));
     }
     for d in 0..n_a {
-        dims.arr.push(space.add_dim(format!("a{d}"), DimKind::Array));
+        dims.arr
+            .push(space.add_dim(format!("a{d}"), DimKind::Array));
     }
     for p in &program.params {
         dims.params.push(space.add_dim(p.clone(), DimKind::Param));
@@ -196,7 +200,8 @@ pub fn comm_from_leaf(
     let leaf_n = leaf.space.len();
     let leaf_base = n_r + program.params.len();
     for d in leaf_base..leaf_n {
-        dims.aux.push(space.add_dim(leaf.space.dim(d).name().to_owned(), DimKind::Aux));
+        dims.aux
+            .push(space.add_dim(leaf.space.dim(d).name().to_owned(), DimKind::Aux));
     }
 
     // --- map the leaf context into the comm space ---
@@ -222,8 +227,10 @@ pub fn comm_from_leaf(
         .iter()
         .map(|v| (v.clone(), format!("{v}{READ_SUFFIX}")))
         .collect();
-    let renames_r_ref: Vec<(&str, &str)> =
-        renames_r.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+    let renames_r_ref: Vec<(&str, &str)> = renames_r
+        .iter()
+        .map(|(a, b)| (a.as_str(), b.as_str()))
+        .collect();
     // The subscripts to use: plain trees use the statement's read access;
     // hull trees (read_dims longer than the loop list) rebuild the hull
     // subscripts `linear + $u<d>`.
@@ -245,8 +252,10 @@ pub fn comm_from_leaf(
         .iter()
         .map(|v| ((*v).to_owned(), format!("{v}{SEND_SUFFIX}")))
         .collect();
-    let renames_s_ref: Vec<(&str, &str)> =
-        renames_s.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+    let renames_s_ref: Vec<(&str, &str)> = renames_s
+        .iter()
+        .map(|(a, b)| (a.as_str(), b.as_str()))
+        .collect();
     comp_write.constrain(&mut poly, &renames_s_ref, &dims.ps);
     // The write domain (producer loop bounds) is implied by the relation +
     // leaf context but adding it keeps bounds tight after projections.
@@ -318,14 +327,18 @@ pub fn comm_from_initial(
     }
     let q = comp_read.proc_ndim();
     let reads = read_info.stmt.rhs.reads();
-    let read_access = reads.get(lwt.read_no).copied().expect("read access disappeared");
+    let read_access = reads
+        .get(lwt.read_no)
+        .copied()
+        .expect("read access disappeared");
     let n_r = lwt.read_dims.len();
     let n_a = read_access.idx.len();
 
     let mut space = Space::new();
     let mut dims = CommDims::default();
     for v in &lwt.read_dims {
-        dims.r_iter.push(space.add_dim(format!("{v}{READ_SUFFIX}"), DimKind::Index));
+        dims.r_iter
+            .push(space.add_dim(format!("{v}{READ_SUFFIX}"), DimKind::Index));
     }
     for k in 0..q {
         dims.pr.push(space.add_dim(format!("pr{k}"), DimKind::Proc));
@@ -334,7 +347,8 @@ pub fn comm_from_initial(
         dims.ps.push(space.add_dim(format!("ps{k}"), DimKind::Proc));
     }
     for d in 0..n_a {
-        dims.arr.push(space.add_dim(format!("a{d}"), DimKind::Array));
+        dims.arr
+            .push(space.add_dim(format!("a{d}"), DimKind::Array));
     }
     for p in &program.params {
         dims.params.push(space.add_dim(p.clone(), DimKind::Param));
@@ -342,7 +356,8 @@ pub fn comm_from_initial(
     let leaf_n = leaf.space.len();
     let leaf_base = n_r + program.params.len();
     for d in leaf_base..leaf_n {
-        dims.aux.push(space.add_dim(leaf.space.dim(d).name().to_owned(), DimKind::Aux));
+        dims.aux
+            .push(space.add_dim(leaf.space.dim(d).name().to_owned(), DimKind::Aux));
     }
 
     let mut leaf_map = Vec::with_capacity(leaf_n);
@@ -356,8 +371,10 @@ pub fn comm_from_initial(
         .iter()
         .map(|v| (v.clone(), format!("{v}{READ_SUFFIX}")))
         .collect();
-    let renames_r_ref: Vec<(&str, &str)> =
-        renames_r.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+    let renames_r_ref: Vec<(&str, &str)> = renames_r
+        .iter()
+        .map(|(a, b)| (a.as_str(), b.as_str()))
+        .collect();
     let subscripts: Vec<dmc_ir::Aff> = if n_r == read_info.loops.len() {
         read_access.idx.clone()
     } else {
@@ -488,8 +505,7 @@ mod tests {
         let (p, lwt, comp) = figure2_setup();
         let stmts = p.statements();
         let leaf = lwt.source_leaves().next().unwrap();
-        let sets =
-            comm_from_leaf(&p, &lwt, leaf, &stmts[0], &stmts[0], &comp, &comp).unwrap();
+        let sets = comm_from_leaf(&p, &lwt, leaf, &stmts[0], &stmts[0], &comp, &comp).unwrap();
         // Figure 5 derives two candidate sets (ps < pr and ps > pr); the
         // paper notes "no communication is necessary when ps > pr", so only
         // the ps < pr piece survives the feasibility filter.
@@ -509,7 +525,10 @@ mod tests {
             assert_eq!(e.s_iter[0], e.r_iter[0], "{e:?}");
             assert_eq!(e.arr[0], e.r_iter[1] - 3, "{e:?}");
             let block_start = 32 * e.pr[0];
-            assert!(e.r_iter[1] >= block_start && e.r_iter[1] <= block_start + 2, "{e:?}");
+            assert!(
+                e.r_iter[1] >= block_start && e.r_iter[1] <= block_start + 2,
+                "{e:?}"
+            );
         }
         // Exactly 3 elements per (t, pr) for pr = 1, 2 and t in {0, 1},
         // and 3 more for the partial last block boundary (pr = 2 gets
@@ -528,8 +547,7 @@ mod tests {
         let (p, lwt, comp) = figure2_setup();
         let stmts = p.statements();
         let leaf = lwt.source_leaves().next().unwrap();
-        let sets =
-            comm_from_leaf(&p, &lwt, leaf, &stmts[0], &stmts[0], &comp, &comp).unwrap();
+        let sets = comm_from_leaf(&p, &lwt, leaf, &stmts[0], &stmts[0], &comp, &comp).unwrap();
         let (tval, nval) = (1i128, 66i128);
         let mut expected = Vec::new();
         for t in 0..=tval {

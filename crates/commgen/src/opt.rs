@@ -99,7 +99,10 @@ pub fn eliminate_self_reuse(cs: &CommSet) -> Result<Vec<CommSet>, OptError> {
 /// # Errors
 ///
 /// Returns [`OptError`] on arithmetic failure.
-pub fn eliminate_self_reuse_from(cs: &CommSet, keep_outer: usize) -> Result<Vec<CommSet>, OptError> {
+pub fn eliminate_self_reuse_from(
+    cs: &CommSet,
+    keep_outer: usize,
+) -> Result<Vec<CommSet>, OptError> {
     if cs.dims.r_iter.len() <= keep_outer {
         return Ok(vec![cs.clone()]);
     }
@@ -114,7 +117,9 @@ pub fn eliminate_self_reuse_from(cs: &CommSet, keep_outer: usize) -> Result<Vec<
     for piece in solved.pieces {
         // Constrain the original tuple space: i_r == lexmin expression.
         let extra = piece.context.space().len() - cs.poly.space().len();
-        let mut poly = cs.poly.extend_space(&tail_space(piece.context.space(), cs.poly.space().len()));
+        let mut poly = cs
+            .poly
+            .extend_space(&tail_space(piece.context.space(), cs.poly.space().len()));
         poly = poly.intersect(&piece.context);
         for (k, &d) in opt_dims.iter().enumerate() {
             let v = LinExpr::var(poly.space().len(), d);
@@ -134,7 +139,12 @@ pub fn eliminate_self_reuse_from(cs: &CommSet, keep_outer: usize) -> Result<Vec<
         for a in 0..extra {
             dims.aux.push(cs.poly.space().len() + a);
         }
-        out.push(CommSet { poly, dims, refetch_outer, ..cs.clone() });
+        out.push(CommSet {
+            poly,
+            dims,
+            refetch_outer,
+            ..cs.clone()
+        });
     }
     prov_mark(&mut out, cs, "self_reuse");
     Ok(out)
@@ -151,8 +161,10 @@ pub fn eliminate_already_local(cs: &CommSet, d: &DataDecomp) -> Result<Vec<CommS
     let mut owned = cs.poly.clone();
     d.constrain(&mut owned, &cs.dims.arr, &cs.dims.pr);
     let pieces = cs.poly.subtract(&owned)?;
-    let mut out: Vec<CommSet> =
-        pieces.into_iter().map(|poly| CommSet { poly, ..cs.clone() }).collect();
+    let mut out: Vec<CommSet> = pieces
+        .into_iter()
+        .map(|poly| CommSet { poly, ..cs.clone() })
+        .collect();
     prov_mark(&mut out, cs, "already_local");
     Ok(out)
 }
@@ -195,7 +207,11 @@ pub fn unique_sender(cs: &CommSet) -> Result<Vec<CommSet>, OptError> {
         for a in 0..extra {
             dims.aux.push(cs.poly.space().len() + a);
         }
-        out.push(CommSet { poly, dims, ..cs.clone() });
+        out.push(CommSet {
+            poly,
+            dims,
+            ..cs.clone()
+        });
     }
     prov_mark(&mut out, cs, "unique_sender");
     Ok(out)
@@ -283,12 +299,15 @@ pub fn fold_receivers(cs: &CommSet, extents: &[i128]) -> Result<Vec<CommSet>, Op
         for a in 0..2 * extents.len() + extra {
             dims.aux.push(n0 + a);
         }
-        out.push(CommSet { poly: pinned, dims, ..cs.clone() });
+        out.push(CommSet {
+            poly: pinned,
+            dims,
+            ..cs.clone()
+        });
     }
     prov_mark(&mut out, cs, "fold_receivers");
     Ok(out)
 }
-
 
 /// Pins auxiliary dimensions that ended up with no constraints (lexopt
 /// pads every piece to the widest space of the split, so a piece that did
@@ -394,7 +413,12 @@ pub fn aggregate_messages(
             let mut seen = std::collections::BTreeSet::new();
             items.retain(|e| seen.insert((e.s_iter.clone(), e.arr.clone())));
         }
-        out.push(Message { sender, receiver, key, items });
+        out.push(Message {
+            sender,
+            receiver,
+            key,
+            items,
+        });
     }
     Ok(Some(out))
 }
@@ -494,7 +518,10 @@ pub fn eliminate_cross_set_reuse(sets: &[CommSet]) -> Result<Vec<CommSet>, OptEr
         let mut kept = Vec::new();
         for (piece, f) in pieces.into_iter().zip(verdicts) {
             if f.possibly_feasible() {
-                kept.push(CommSet { poly: piece, ..cs.clone() });
+                kept.push(CommSet {
+                    poly: piece,
+                    ..cs.clone()
+                });
             }
         }
         prov_mark(&mut kept, cs, "cross_set_reuse");
@@ -521,9 +548,14 @@ pub fn count_transmissions(messages: &[Message], multicast: bool) -> (usize, usi
     type CastKey = (Vec<i128>, Vec<i128>, Vec<(Vec<i128>, Vec<i128>)>);
     let mut seen: BTreeMap<CastKey, usize> = BTreeMap::new();
     for m in messages {
-        let payload: Vec<(Vec<i128>, Vec<i128>)> =
-            m.items.iter().map(|e| (e.s_iter.clone(), e.arr.clone())).collect();
-        let entry = seen.entry((m.sender.clone(), m.key.clone(), payload)).or_insert(0);
+        let payload: Vec<(Vec<i128>, Vec<i128>)> = m
+            .items
+            .iter()
+            .map(|e| (e.s_iter.clone(), e.arr.clone()))
+            .collect();
+        let entry = seen
+            .entry((m.sender.clone(), m.key.clone(), payload))
+            .or_insert(0);
         *entry += 1;
     }
     let msgs = seen.len();
@@ -534,7 +566,7 @@ pub fn count_transmissions(messages: &[Message], multicast: bool) -> (usize, usi
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::commset::{comm_from_leaf, comm_from_initial};
+    use crate::commset::{comm_from_initial, comm_from_leaf};
     use dmc_dataflow::build_lwt;
     use dmc_decomp::CompDecomp;
     use dmc_ir::parse;
@@ -691,7 +723,9 @@ mod tests {
         let leaf = lwt.source_leaves().next().unwrap();
         let sets = comm_from_leaf(&p, &lwt, leaf, &stmts[0], &stmts[0], &comp, &comp).unwrap();
         assert_eq!(sets.len(), 1);
-        let msgs = aggregate_messages(&sets[0], &[1, 95], None, 100_000).unwrap().unwrap();
+        let msgs = aggregate_messages(&sets[0], &[1, 95], None, 100_000)
+            .unwrap()
+            .unwrap();
         // T=1 (2 outer iterations), N=95 (blocks 0..2 full): receivers are
         // pr = 1, 2 each outer iteration: 2 * 2 = 4 messages.
         assert_eq!(msgs.len(), 4);
@@ -722,14 +756,27 @@ mod tests {
         let grid = ProcGrid::line(2);
         let total: usize = sets
             .iter()
-            .map(|cs| aggregate_messages(cs, &[10], Some(&grid), 10_000).unwrap().unwrap().len())
+            .map(|cs| {
+                aggregate_messages(cs, &[10], Some(&grid), 10_000)
+                    .unwrap()
+                    .unwrap()
+                    .len()
+            })
             .sum();
-        assert_eq!(total, 0, "virtual distance 2 folds onto the same physical processor");
+        assert_eq!(
+            total, 0,
+            "virtual distance 2 folds onto the same physical processor"
+        );
         // On 3 physical processors the messages are real.
         let grid3 = ProcGrid::line(3);
         let total3: usize = sets
             .iter()
-            .map(|cs| aggregate_messages(cs, &[10], Some(&grid3), 10_000).unwrap().unwrap().len())
+            .map(|cs| {
+                aggregate_messages(cs, &[10], Some(&grid3), 10_000)
+                    .unwrap()
+                    .unwrap()
+                    .len()
+            })
             .sum();
         assert!(total3 > 0);
     }
@@ -758,7 +805,10 @@ mod tests {
         let sets = comm_from_leaf(&p, &lwt, leaf, &stmts[1], &stmts[1], &comp2, &comp2).unwrap();
         assert!(!sets.is_empty());
         for cs in &sets {
-            assert!(is_multicast(cs).unwrap(), "LU pivot row should be multicast");
+            assert!(
+                is_multicast(cs).unwrap(),
+                "LU pivot row should be multicast"
+            );
         }
         let _ = comp1;
         // Counter-example: one owner scatters *different* elements to each
@@ -784,7 +834,10 @@ mod tests {
                 any_scatter = true;
             }
         }
-        assert!(any_scatter, "owner scatter must not be classified as multicast");
+        assert!(
+            any_scatter,
+            "owner scatter must not be classified as multicast"
+        );
     }
 
     #[test]
@@ -804,7 +857,12 @@ mod tests {
         };
         let mut item2 = item.clone();
         item2.pr = vec![2];
-        let m2 = Message { sender: vec![0], receiver: vec![2], key: vec![0], items: vec![item2] };
+        let m2 = Message {
+            sender: vec![0],
+            receiver: vec![2],
+            key: vec![0],
+            items: vec![item2],
+        };
         let (msgs, items) = count_transmissions(&[m1.clone(), m2.clone()], false);
         assert_eq!((msgs, items), (2, 2));
         let (msgs, items) = count_transmissions(&[m1, m2], true);

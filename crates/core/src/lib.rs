@@ -58,7 +58,7 @@ mod tests;
 
 pub use options::{Options, ScopedTuning, Strategy};
 pub use pipeline::{
-    analysis_jobs, build_schedule, compile, message_stats, planned_workers, run, Compiled,
-    CompileError, CompileInput,
+    analysis_jobs, build_schedule, compile, message_stats, planned_workers, run, CompileError,
+    CompileInput, Compiled,
 };
 pub use session::{ServeOutcome, Session, SessionStats, StageCount};

@@ -108,7 +108,10 @@ impl Options {
 
     /// The location-centric baseline of §2.
     pub fn location_centric() -> Self {
-        Options { strategy: Strategy::LocationCentric, ..Options::default() }
+        Options {
+            strategy: Strategy::LocationCentric,
+            ..Options::default()
+        }
     }
 
     /// Pushes the engine tunables (`feasibility_budget`, `poly_fast_paths`)
@@ -169,7 +172,9 @@ impl Options {
     /// available parallelism (minimum 1), so reported worker counts never
     /// exceed what the host can actually run.
     pub fn effective_threads(&self) -> usize {
-        let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let avail = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         if self.threads == 0 {
             avail
         } else {
@@ -195,7 +200,10 @@ mod tests {
     fn presets() {
         assert_eq!(Options::default().strategy, Strategy::ValueCentric);
         assert!(!Options::naive().aggregate);
-        assert_eq!(Options::location_centric().strategy, Strategy::LocationCentric);
+        assert_eq!(
+            Options::location_centric().strategy,
+            Strategy::LocationCentric
+        );
     }
 
     #[test]
@@ -203,14 +211,22 @@ mod tests {
         let d = Options::default();
         assert_eq!(d.threads, 0);
         assert!(d.poly_fast_paths);
-        assert_eq!(d.feasibility_budget, dmc_polyhedra::stats::DEFAULT_FEASIBILITY_BUDGET);
+        assert_eq!(
+            d.feasibility_budget,
+            dmc_polyhedra::stats::DEFAULT_FEASIBILITY_BUDGET
+        );
         assert_eq!(
             d.cache_min_constraints,
             dmc_polyhedra::stats::DEFAULT_CACHE_MIN_CONSTRAINTS
         );
         assert!(d.effective_threads() >= 1);
-        let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        assert_eq!(Options { threads: 3, ..d }.effective_threads(), 3.min(avail));
+        let avail = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(
+            Options { threads: 3, ..d }.effective_threads(),
+            3.min(avail)
+        );
         // naive() disables §6 optimizations but not the engine fast paths.
         assert!(Options::naive().poly_fast_paths);
 
@@ -218,7 +234,12 @@ mod tests {
         // (compile() re-applies its own tuning), so exercise the push but
         // only assert global state that every concurrent writer agrees on.
         // The value-level checks live in dmc_polyhedra::stats' own tests.
-        Options { feasibility_budget: 1234, poly_fast_paths: false, ..d }.apply_tuning();
+        Options {
+            feasibility_budget: 1234,
+            poly_fast_paths: false,
+            ..d
+        }
+        .apply_tuning();
         d.apply_tuning();
         assert_eq!(
             dmc_polyhedra::stats::feasibility_budget(),
@@ -230,10 +251,19 @@ mod tests {
     /// `effective_threads` caps at available parallelism.
     #[test]
     fn effective_threads_clamps_to_available_parallelism() {
-        let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let avail = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         let d = Options::default();
         assert_eq!(d.effective_threads(), avail);
         assert_eq!(Options { threads: 1, ..d }.effective_threads(), 1);
-        assert_eq!(Options { threads: avail + 64, ..d }.effective_threads(), avail);
+        assert_eq!(
+            Options {
+                threads: avail + 64,
+                ..d
+            }
+            .effective_threads(),
+            avail
+        );
     }
 }

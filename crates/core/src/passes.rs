@@ -46,8 +46,7 @@ pub(crate) struct PassDesc {
 }
 
 /// A pass body: transforms one tree's communication sets.
-pub type PassFn =
-    fn(Vec<CommSet>, &CompileInput, &Options) -> Result<Vec<CommSet>, CompileError>;
+pub type PassFn = fn(Vec<CommSet>, &CompileInput, &Options) -> Result<Vec<CommSet>, CompileError>;
 
 /// The §6 sequence, in execution order.
 pub(crate) const OPT_PASSES: &[PassDesc] = &[
@@ -172,7 +171,10 @@ fn run_already_local(
         // decompositions (overlap / full replication) can make a
         // receiver already own a copy.
         let replicates = |d: &DataDecomp| {
-            d.maps.is_empty() || d.maps.iter().any(|m| m.overlap_lo != 0 || m.overlap_hi != 0)
+            d.maps.is_empty()
+                || d.maps
+                    .iter()
+                    .any(|m| m.overlap_lo != 0 || m.overlap_hi != 0)
         };
         match input.initial.get(&cs.array) {
             Some(d) if cs.sender == dmc_commgen::SenderKind::InitialOwner && replicates(d) => {

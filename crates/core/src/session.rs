@@ -76,7 +76,7 @@ use dmc_polyhedra::ledger;
 
 use crate::options::{Options, Strategy};
 use crate::passes::{optimize_sets, strategy_tag, OPT_PASSES};
-use crate::pipeline::{whole_domain_tree, Compiled, CompileError, CompileInput};
+use crate::pipeline::{whole_domain_tree, CompileError, CompileInput, Compiled};
 
 /// Stage names as they appear in [`SessionStats`] and `stage.*` events.
 pub mod stage {
@@ -123,7 +123,10 @@ impl SessionStats {
         if obs::enabled() {
             obs::event_nondet(
                 "stage.hit",
-                vec![obs::field("stage", stage), obs::field("key", key.to_string())],
+                vec![
+                    obs::field("stage", stage),
+                    obs::field("key", key.to_string()),
+                ],
             );
         }
     }
@@ -134,7 +137,10 @@ impl SessionStats {
         if obs::enabled() {
             obs::event_nondet(
                 "stage.miss",
-                vec![obs::field("stage", stage), obs::field("key", key.to_string())],
+                vec![
+                    obs::field("stage", stage),
+                    obs::field("key", key.to_string()),
+                ],
             );
         }
     }
@@ -188,7 +194,11 @@ pub struct Session {
 impl Session {
     /// Opens an empty session.
     pub fn new() -> Self {
-        Session { explicit: true, label: "session".to_owned(), ..Session::default() }
+        Session {
+            explicit: true,
+            label: "session".to_owned(),
+            ..Session::default()
+        }
     }
 
     /// Opens a session with its own [`obs::ObsContext`]: captures started
@@ -238,7 +248,9 @@ impl Session {
     pub fn set_journal(&mut self, on: bool) {
         self.journaling = on;
         if on {
-            let scope = self.ledger_scope.get_or_insert_with(ledger::LedgerScope::new);
+            let scope = self
+                .ledger_scope
+                .get_or_insert_with(ledger::LedgerScope::new);
             if !scope.is_recording() {
                 scope.start();
             }
@@ -301,8 +313,7 @@ impl Session {
         }
         let compiled = self.compile(input, options)?;
         let schedule = self.build_schedule(&compiled, param_vals, false, limit)?;
-        let (messages, transmissions, words) =
-            crate::pipeline::schedule_message_stats(&schedule);
+        let (messages, transmissions, words) = crate::pipeline::schedule_message_stats(&schedule);
         let wall_us = t0.elapsed().as_micros() as u64;
         self.compiles += 1;
         self.latency_us.observe(wall_us);
@@ -333,7 +344,13 @@ impl Session {
                 wall_us,
             });
         }
-        Ok(ServeOutcome { compiled, schedule, messages, transmissions, words })
+        Ok(ServeOutcome {
+            compiled,
+            schedule,
+            messages,
+            transmissions,
+            words,
+        })
     }
 
     /// The `parse` stage: source text → [`Program`], keyed by the text.
@@ -374,8 +391,11 @@ impl Session {
         // scope: install both before anything emits. Guards are RAII,
         // so the thread's previous context is restored on every exit.
         let _obs_guard = self.obs.as_ref().map(|c| c.install());
-        let _ledger_guard =
-            self.ledger_scope.as_ref().filter(|s| s.is_recording()).map(|s| s.install());
+        let _ledger_guard = self
+            .ledger_scope
+            .as_ref()
+            .filter(|s| s.is_recording())
+            .map(|s| s.install());
         // Lane first so every record of this compile lands in the main
         // pipeline lane; the engine tuning is thread-local (installed
         // per worker below), so concurrent sessions cannot race on the
@@ -424,11 +444,18 @@ impl Session {
             if let Some(opt) = self.opt.get(&opt_key) {
                 // The store never evicts, so a cached opt artifact
                 // implies its whole upstream chain is cached too.
-                let lwt = self.lwt.get(&lwt_key).expect("opt artifact implies lwt").clone();
+                let lwt = self
+                    .lwt
+                    .get(&lwt_key)
+                    .expect("opt artifact implies lwt")
+                    .clone();
                 self.stats.hit(stage::LWT, lwt_key);
                 self.stats.hit(stage::COMMSETS, comm_key);
                 self.stats.hit(stage::OPT, opt_key);
-                slots.push(JobSlot::Cached { lwt, opt: opt.clone() });
+                slots.push(JobSlot::Cached {
+                    lwt,
+                    opt: opt.clone(),
+                });
                 continue;
             }
             let cached_lwt = self.lwt.get(&lwt_key).cloned();
@@ -476,7 +503,10 @@ impl Session {
 
         let explicit = self.explicit;
         let results: Vec<ReadResult> = if workers <= 1 {
-            plans.iter().map(|p| run_read_job(&input, options, &stmts, p, explicit)).collect()
+            plans
+                .iter()
+                .map(|p| run_read_job(&input, options, &stmts, p, explicit))
+                .collect()
         } else {
             // Work-queue fan-out: each worker pops the next job index and
             // writes into that job's slot, so result order never depends
@@ -508,7 +538,11 @@ impl Session {
                 }
             });
             out.into_iter()
-                .map(|m| m.into_inner().expect("slot lock").expect("worker filled every slot"))
+                .map(|m| {
+                    m.into_inner()
+                        .expect("slot lock")
+                        .expect("worker filled every slot")
+                })
                 .collect()
         };
 
@@ -542,7 +576,12 @@ impl Session {
                 }
             }
         }
-        Ok(Compiled { input, options, lwts, comm })
+        Ok(Compiled {
+            input,
+            options,
+            lwts,
+            comm,
+        })
     }
 
     /// Session-aware [`crate::build_schedule`]: reuses the `aggregate`
@@ -559,8 +598,11 @@ impl Session {
         limit: usize,
     ) -> Result<Schedule, CompileError> {
         let _obs_guard = self.obs.as_ref().map(|c| c.install());
-        let _ledger_guard =
-            self.ledger_scope.as_ref().filter(|s| s.is_recording()).map(|s| s.install());
+        let _ledger_guard = self
+            .ledger_scope
+            .as_ref()
+            .filter(|s| s.is_recording())
+            .map(|s| s.install());
         crate::pipeline::build_schedule_inner(compiled, param_vals, values, limit, Some(self))
     }
 
@@ -600,10 +642,7 @@ impl Session {
     }
 
     /// Looks up the `aggregate` stage, counting a hit or miss.
-    pub(crate) fn aggregate_stage(
-        &mut self,
-        key: Fingerprint,
-    ) -> Option<Arc<Vec<Vec<Message>>>> {
+    pub(crate) fn aggregate_stage(&mut self, key: Fingerprint) -> Option<Arc<Vec<Vec<Message>>>> {
         match self.aggregate.get(&key) {
             Some(a) => {
                 self.stats.hit(stage::AGGREGATE, key);
@@ -662,7 +701,10 @@ pub struct ServeOutcome {
 
 /// One job's resolution: fully served from the store, or planned to run.
 enum JobSlot {
-    Cached { lwt: Arc<LastWriteTree>, opt: Arc<Vec<CommSet>> },
+    Cached {
+        lwt: Arc<LastWriteTree>,
+        opt: Arc<Vec<CommSet>>,
+    },
     Run(JobPlan),
 }
 
@@ -738,8 +780,11 @@ fn run_read_job(
                     Some(lwt)
                 }
             };
-            let lwt: &LastWriteTree =
-                plan.cached_lwt.as_deref().or(new_lwt.as_ref()).expect("lwt cached or computed");
+            let lwt: &LastWriteTree = plan
+                .cached_lwt
+                .as_deref()
+                .or(new_lwt.as_ref())
+                .expect("lwt cached or computed");
 
             let new_comm = match &plan.cached_comm {
                 Some(_) => None,
@@ -770,14 +815,8 @@ fn run_read_job(
                                 // it is replicated and local.
                                 if let Some(d) = input.initial.get(&read.array) {
                                     let comp_r = &input.comps[&s.id];
-                                    let sets = comm_from_initial(
-                                        &input.program,
-                                        lwt,
-                                        leaf,
-                                        s,
-                                        comp_r,
-                                        d,
-                                    )?;
+                                    let sets =
+                                        comm_from_initial(&input.program, lwt, leaf, s, comp_r, d)?;
                                     tree_sets.extend(sets);
                                 }
                             }
@@ -785,7 +824,9 @@ fn run_read_job(
                     }
                     drop(_commsets_ctx);
                     drop(_commsets_span);
-                    obs::event_f("commsets.done", || vec![obs::field("sets", tree_sets.len())]);
+                    obs::event_f("commsets.done", || {
+                        vec![obs::field("sets", tree_sets.len())]
+                    });
                     Some(tree_sets)
                 }
             };
@@ -797,7 +838,11 @@ fn run_read_job(
                 .clone();
             // §6.1 optimizations, per tree.
             let opt = optimize_sets(sets_in, input, options)?;
-            Ok(JobOut { new_lwt, new_comm, opt })
+            Ok(JobOut {
+                new_lwt,
+                new_comm,
+                opt,
+            })
         }
         Strategy::LocationCentric => {
             // Theorem 2: every read fetches from the owner under
@@ -807,8 +852,11 @@ fn run_read_job(
                 Some(_) => None,
                 None => Some(whole_domain_tree(&input.program, s, r, &read.array)),
             };
-            let lwt: &LastWriteTree =
-                plan.cached_lwt.as_deref().or(new_lwt.as_ref()).expect("lwt cached or computed");
+            let lwt: &LastWriteTree = plan
+                .cached_lwt
+                .as_deref()
+                .or(new_lwt.as_ref())
+                .expect("lwt cached or computed");
             let new_comm = match &plan.cached_comm {
                 Some(_) => None,
                 None => {
@@ -834,7 +882,11 @@ fn run_read_job(
                 .expect("commsets cached or computed")
                 .clone();
             let opt = optimize_sets(sets_in, input, options)?;
-            Ok(JobOut { new_lwt, new_comm, opt })
+            Ok(JobOut {
+                new_lwt,
+                new_comm,
+                opt,
+            })
         }
     }
 }
@@ -927,11 +979,7 @@ fn opt_fp(comm_key: Fingerprint, input: &CompileInput, options: &Options) -> Fin
 /// sets are a deterministic function of (program, decompositions, grid,
 /// answer-relevant options) plus the concrete parameters and the
 /// enumeration limit.
-pub(crate) fn aggregate_fp(
-    compiled: &Compiled,
-    param_vals: &[i128],
-    limit: usize,
-) -> Fingerprint {
+pub(crate) fn aggregate_fp(compiled: &Compiled, param_vals: &[i128], limit: usize) -> Fingerprint {
     let mut h = Fp::new();
     h.tag(55);
     let input = &compiled.input;
@@ -951,8 +999,14 @@ pub(crate) fn aggregate_fp(
     input.grid.fp(&mut h);
     let o = &compiled.options;
     analysis_options_fp(o, &mut h);
-    for flag in [o.self_reuse, o.cross_set_reuse, o.already_local, o.unique_sender, o.aggregate, o.multicast]
-    {
+    for flag in [
+        o.self_reuse,
+        o.cross_set_reuse,
+        o.already_local,
+        o.unique_sender,
+        o.aggregate,
+        o.multicast,
+    ] {
         h.bool(flag);
     }
     h.usize(param_vals.len());

@@ -10,7 +10,12 @@ use dmc_machine::MachineConfig;
 use crate::{build_schedule, compile, message_stats, run, CompileInput, Options};
 
 fn params_map(program: &Program, vals: &[i128]) -> HashMap<String, i128> {
-    program.params.iter().cloned().zip(vals.iter().copied()).collect()
+    program
+        .params
+        .iter()
+        .cloned()
+        .zip(vals.iter().copied())
+        .collect()
 }
 
 /// Compiles and runs in values mode; asserts the distributed result equals
@@ -29,7 +34,10 @@ fn check_end_to_end(input: CompileInput, options: Options, vals: &[i128]) -> dmc
         let b = store.as_slice();
         for (k, (x, y)) in a.iter().zip(b).enumerate() {
             let same = x == y || (x.is_nan() && y.is_nan()) || (x - y).abs() < 1e-12;
-            assert!(same, "array {name} flat index {k}: distributed {x} vs sequential {y}");
+            assert!(
+                same,
+                "array {name} flat index {k}: distributed {x} vs sequential {y}"
+            );
         }
     }
     result.stats
@@ -43,7 +51,12 @@ fn figure2_input(block: i128, nproc: i128) -> CompileInput {
     .unwrap();
     let mut comps = BTreeMap::new();
     comps.insert(0, CompDecomp::block_1d(0, "i", block));
-    CompileInput { program, comps, initial: HashMap::new(), grid: ProcGrid::line(nproc) }
+    CompileInput {
+        program,
+        comps,
+        initial: HashMap::new(),
+        grid: ProcGrid::line(nproc),
+    }
 }
 
 #[test]
@@ -63,7 +76,11 @@ fn figure2_unaggregated_sends_more_messages() {
     naive.aggregate = false;
     let un = check_end_to_end(figure2_input(32, 4), naive, &[3, 127]);
     assert_eq!(un.words, agg.words, "same data either way");
-    assert_eq!(un.messages, agg.messages * 3, "3 items per aggregated message");
+    assert_eq!(
+        un.messages,
+        agg.messages * 3,
+        "3 items per aggregated message"
+    );
 }
 
 #[test]
@@ -71,7 +88,9 @@ fn figure2_with_initial_decomposition() {
     // Live-in values (X[0..2]) are owned per a block decomposition; the ⊥
     // communication (Theorem 4) must deliver them where needed.
     let mut input = figure2_input(2, 5);
-    input.initial.insert("X".to_string(), DataDecomp::block_1d("X", 1, 0, 2));
+    input
+        .initial
+        .insert("X".to_string(), DataDecomp::block_1d("X", 1, 0, 2));
     check_end_to_end(input, Options::full(), &[2, 9]);
 }
 
@@ -93,7 +112,12 @@ fn lu_input(nproc: i128) -> CompileInput {
     comps.insert(1, CompDecomp::cyclic_1d(1, "i2"));
     let mut initial = HashMap::new();
     initial.insert("X".to_string(), DataDecomp::cyclic_1d("X", 2, 0));
-    CompileInput { program, comps, initial, grid: ProcGrid::line(nproc) }
+    CompileInput {
+        program,
+        comps,
+        initial,
+        grid: ProcGrid::line(nproc),
+    }
 }
 
 #[test]
@@ -111,7 +135,10 @@ fn lu_multicast_reduces_messages() {
     let compiled_no = compile(lu_input(4), no_mc).unwrap();
     let (m_mc, t_mc, _) = message_stats(&compiled_mc, &[12], 1_000_000).unwrap();
     let (m_no, t_no, _) = message_stats(&compiled_no, &[12], 1_000_000).unwrap();
-    assert!(m_mc < m_no, "multicast should reduce logical messages: {m_mc} vs {m_no}");
+    assert!(
+        m_mc < m_no,
+        "multicast should reduce logical messages: {m_mc} vs {m_no}"
+    );
     assert_eq!(t_mc, t_no, "same point-to-point deliveries");
 }
 

@@ -24,7 +24,12 @@ fn figure2_input(block: i128, nproc: i128) -> CompileInput {
     .expect("parses");
     let mut comps = BTreeMap::new();
     comps.insert(0, CompDecomp::block_1d(0, "i", block));
-    CompileInput { program, comps, initial: HashMap::new(), grid: ProcGrid::line(nproc) }
+    CompileInput {
+        program,
+        comps,
+        initial: HashMap::new(),
+        grid: ProcGrid::line(nproc),
+    }
 }
 
 /// A two-statement, three-read kernel so the analysis fan-out has several
@@ -43,7 +48,12 @@ fn xy_input(nproc: i128) -> CompileInput {
     let mut comps = BTreeMap::new();
     comps.insert(0, CompDecomp::block_1d(0, "i", 4));
     comps.insert(1, CompDecomp::block_1d(1, "j", 4));
-    CompileInput { program, comps, initial: HashMap::new(), grid: ProcGrid::line(nproc) }
+    CompileInput {
+        program,
+        comps,
+        initial: HashMap::new(),
+        grid: ProcGrid::line(nproc),
+    }
 }
 
 /// Two compiles with different tunings, interleaved with schedule builds:
@@ -58,25 +68,55 @@ fn interleaved_compiles_restore_ambient_knobs() {
     stats::set_cache_enabled(false);
     stats::set_prefilters_enabled(false);
 
-    let a = Options { feasibility_budget: 5_000, poly_fast_paths: true, ..Options::full() };
-    let b = Options { feasibility_budget: 1_234, poly_fast_paths: true, threads: 2, ..Options::full() };
+    let a = Options {
+        feasibility_budget: 5_000,
+        poly_fast_paths: true,
+        ..Options::full()
+    };
+    let b = Options {
+        feasibility_budget: 1_234,
+        poly_fast_paths: true,
+        threads: 2,
+        ..Options::full()
+    };
 
     let ca = compile(figure2_input(32, 4), a).expect("compiles");
-    assert_eq!(stats::feasibility_budget(), 777, "compile A must restore the budget");
-    assert!(!stats::cache_enabled(), "compile A must restore the cache switch");
+    assert_eq!(
+        stats::feasibility_budget(),
+        777,
+        "compile A must restore the budget"
+    );
+    assert!(
+        !stats::cache_enabled(),
+        "compile A must restore the cache switch"
+    );
 
     let cb = compile(xy_input(4), b).expect("compiles");
-    assert_eq!(stats::feasibility_budget(), 777, "compile B must restore the budget");
-    assert!(!stats::prefilters_enabled(), "compile B must restore the pre-filter switch");
+    assert_eq!(
+        stats::feasibility_budget(),
+        777,
+        "compile B must restore the budget"
+    );
+    assert!(
+        !stats::prefilters_enabled(),
+        "compile B must restore the pre-filter switch"
+    );
 
     // build_schedule scopes its own tuning too (compile's guard is long
     // gone by now).
     let sa = build_schedule(&ca, &[3, 63], false, 1_000_000).expect("schedules");
     assert!(!sa.messages.is_empty());
-    assert_eq!(stats::feasibility_budget(), 777, "build_schedule must restore the budget");
+    assert_eq!(
+        stats::feasibility_budget(),
+        777,
+        "build_schedule must restore the budget"
+    );
     let sb = build_schedule(&cb, &[15], false, 1_000_000).expect("schedules");
     assert!(!sb.messages.is_empty());
-    assert!(!stats::cache_enabled(), "build_schedule must restore the cache switch");
+    assert!(
+        !stats::cache_enabled(),
+        "build_schedule must restore the cache switch"
+    );
 }
 
 /// Nested scoped tunings unwind in order: the inner scope restores the
@@ -87,8 +127,15 @@ fn nested_scoped_tunings_unwind_in_order() {
     let _restore = stats::KnobGuard::capture();
     stats::set_feasibility_budget(111);
 
-    let outer = Options { feasibility_budget: 222, ..Options::full() };
-    let inner = Options { feasibility_budget: 333, poly_fast_paths: false, ..Options::full() };
+    let outer = Options {
+        feasibility_budget: 222,
+        ..Options::full()
+    };
+    let inner = Options {
+        feasibility_budget: 333,
+        poly_fast_paths: false,
+        ..Options::full()
+    };
 
     let g_outer = outer.apply_tuning_scoped();
     assert_eq!(stats::feasibility_budget(), 222);
@@ -97,10 +144,18 @@ fn nested_scoped_tunings_unwind_in_order() {
         assert_eq!(stats::feasibility_budget(), 333);
         assert!(!stats::cache_enabled());
     }
-    assert_eq!(stats::feasibility_budget(), 222, "inner scope restores the outer tuning");
+    assert_eq!(
+        stats::feasibility_budget(),
+        222,
+        "inner scope restores the outer tuning"
+    );
     assert!(stats::cache_enabled());
     drop(g_outer);
-    assert_eq!(stats::feasibility_budget(), 111, "outer scope restores the ambient value");
+    assert_eq!(
+        stats::feasibility_budget(),
+        111,
+        "outer scope restores the ambient value"
+    );
 }
 
 /// `PolyStats::since` snapshot diffs observe the work of `compile`'s
@@ -112,14 +167,21 @@ fn threaded_fanout_counters_land_in_parent_diff() {
     let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let _restore = stats::KnobGuard::capture();
 
-    let opts = |threads| Options { threads, poly_fast_paths: false, ..Options::full() };
+    let opts = |threads| Options {
+        threads,
+        poly_fast_paths: false,
+        ..Options::full()
+    };
 
     cache::clear_thread_caches();
     let before = stats::snapshot();
     let seq = compile(xy_input(4), opts(1)).expect("compiles");
     let d_seq = stats::snapshot().since(&before);
     assert!(d_seq.fm_steps > 0, "analysis must project: {d_seq:?}");
-    assert!(d_seq.feasibility_calls > 0, "analysis must test feasibility: {d_seq:?}");
+    assert!(
+        d_seq.feasibility_calls > 0,
+        "analysis must test feasibility: {d_seq:?}"
+    );
 
     cache::clear_thread_caches();
     let before = stats::snapshot();
@@ -132,7 +194,11 @@ fn threaded_fanout_counters_land_in_parent_diff() {
             .map(|cs| (cs.array.clone(), cs.read_stmt, cs.read_no, cs.steps.clone()))
             .collect()
     };
-    assert_eq!(shape(&seq), shape(&par), "fan-out must not change the communication sets");
+    assert_eq!(
+        shape(&seq),
+        shape(&par),
+        "fan-out must not change the communication sets"
+    );
     let s_seq = build_schedule(&seq, &[15], false, 1_000_000).expect("schedules");
     let s_par = build_schedule(&par, &[15], false, 1_000_000).expect("schedules");
     assert_eq!(s_seq, s_par, "fan-out must not change the schedule");

@@ -32,7 +32,12 @@ fn lu_input(nproc: i128) -> CompileInput {
     comps.insert(1, CompDecomp::cyclic_1d(1, "i2"));
     let mut initial = HashMap::new();
     initial.insert("X".to_string(), DataDecomp::cyclic_1d("X", 2, 0));
-    CompileInput { program, comps, initial, grid: ProcGrid::line(nproc) }
+    CompileInput {
+        program,
+        comps,
+        initial,
+        grid: ProcGrid::line(nproc),
+    }
 }
 
 /// §2.2.2's X/Y example, with the X-read subscript as a parameter so one
@@ -55,7 +60,12 @@ fn xy_input(shift: i128, nproc: i128) -> CompileInput {
     let mut initial = HashMap::new();
     initial.insert("X".to_string(), DataDecomp::block_1d("X", 1, 0, 4));
     initial.insert("Y".to_string(), DataDecomp::block_1d("Y", 1, 0, 4));
-    CompileInput { program, comps, initial, grid: ProcGrid::line(nproc) }
+    CompileInput {
+        program,
+        comps,
+        initial,
+        grid: ProcGrid::line(nproc),
+    }
 }
 
 fn stage(session: &Session, name: &str) -> (u64, u64) {
@@ -81,14 +91,22 @@ fn outputs(c: &dmc_core::Compiled) -> String {
 #[test]
 fn recompile_is_all_hits_and_byte_identical() {
     let mut session = Session::new();
-    let fresh = session.compile(lu_input(4), Options::full()).expect("fresh compile");
+    let fresh = session
+        .compile(lu_input(4), Options::full())
+        .expect("fresh compile");
     let (h0, m0) = (session.stats().stage_hits, session.stats().stage_misses);
     assert_eq!(h0, 0, "an empty session has nothing to hit");
     // 1 stmt-info + 5 reads x (lwt + commsets + opt).
     assert_eq!(m0, 16, "{:?}", session.stats());
 
-    let again = session.compile(lu_input(4), Options::full()).expect("recompile");
-    assert_eq!(session.stats().stage_misses, m0, "recompiling re-ran a stage");
+    let again = session
+        .compile(lu_input(4), Options::full())
+        .expect("recompile");
+    assert_eq!(
+        session.stats().stage_misses,
+        m0,
+        "recompiling re-ran a stage"
+    );
     assert_eq!(
         session.stats().stage_hits,
         16,
@@ -123,11 +141,15 @@ fn session_output_matches_wrapper() {
 #[test]
 fn single_read_edit_reruns_only_that_chain() {
     let mut session = Session::new();
-    session.compile(xy_input(1, 4), Options::full()).expect("first");
+    session
+        .compile(xy_input(1, 4), Options::full())
+        .expect("first");
     // 1 stmt-info + 2 reads x 3 stages.
     assert_eq!(session.stats().stage_misses, 7, "{:?}", session.stats());
 
-    let edited = session.compile(xy_input(2, 4), Options::full()).expect("edited");
+    let edited = session
+        .compile(xy_input(2, 4), Options::full())
+        .expect("edited");
     // Changed: stmt-info (whole program) + the X read's lwt/commsets/opt.
     assert_eq!(session.stats().stage_misses, 7 + 4, "{:?}", session.stats());
     // Unchanged: the Y[j] read's full chain.
@@ -148,15 +170,29 @@ fn single_read_edit_reruns_only_that_chain() {
 #[test]
 fn proc_count_sweep_reuses_analysis_stages() {
     let mut session = Session::new();
-    session.compile(lu_input(2), Options::full()).expect("nproc=2");
+    session
+        .compile(lu_input(2), Options::full())
+        .expect("nproc=2");
     assert_eq!(session.stats().stage_misses, 16);
 
     for (k, nproc) in [4i128, 8].into_iter().enumerate() {
-        let swept = session.compile(lu_input(nproc), Options::full()).expect("swept");
+        let swept = session
+            .compile(lu_input(nproc), Options::full())
+            .expect("swept");
         let done = k as u64 + 2;
         // Per extra compile: stmt-info + 5 lwt + 5 commsets hit; 5 opt miss.
-        assert_eq!(session.stats().stage_hits, 11 * (done - 1), "{:?}", session.stats());
-        assert_eq!(session.stats().stage_misses, 16 + 5 * (done - 1), "{:?}", session.stats());
+        assert_eq!(
+            session.stats().stage_hits,
+            11 * (done - 1),
+            "{:?}",
+            session.stats()
+        );
+        assert_eq!(
+            session.stats().stage_misses,
+            16 + 5 * (done - 1),
+            "{:?}",
+            session.stats()
+        );
         assert_eq!(stage(&session, "lwt"), (5 * (done - 1), 5));
         assert_eq!(stage(&session, "stmt-info"), (done - 1, 1));
 
@@ -171,19 +207,38 @@ fn proc_count_sweep_reuses_analysis_stages() {
 #[test]
 fn option_relevance_is_reflected_in_stage_keys() {
     let mut session = Session::new();
-    session.compile(xy_input(1, 4), Options::full()).expect("first");
+    session
+        .compile(xy_input(1, 4), Options::full())
+        .expect("first");
     let baseline = session.stats().stage_misses;
 
     // Irrelevant knobs: everything hits.
-    let opts = Options { threads: 1, cache_min_constraints: 0, ..Options::full() };
+    let opts = Options {
+        threads: 1,
+        cache_min_constraints: 0,
+        ..Options::full()
+    };
     session.compile(xy_input(1, 4), opts).expect("threads=1");
-    assert_eq!(session.stats().stage_misses, baseline, "{:?}", session.stats());
+    assert_eq!(
+        session.stats().stage_misses,
+        baseline,
+        "{:?}",
+        session.stats()
+    );
 
     // A different feasibility budget can change answers: full re-run of
     // the per-read chains (stmt-info is options-independent and hits).
-    let opts = Options { feasibility_budget: 77, ..Options::full() };
+    let opts = Options {
+        feasibility_budget: 77,
+        ..Options::full()
+    };
     session.compile(xy_input(1, 4), opts).expect("budget");
-    assert_eq!(session.stats().stage_misses, baseline + 6, "{:?}", session.stats());
+    assert_eq!(
+        session.stats().stage_misses,
+        baseline + 6,
+        "{:?}",
+        session.stats()
+    );
     assert_eq!(stage(&session, "stmt-info"), (2, 1));
 }
 
@@ -196,23 +251,35 @@ fn schedule_stages_are_cached_and_equivalent() {
     let classic = message_stats(&compiled, &[10], 1_000_000).expect("classic stats");
 
     let mut session = Session::new();
-    let first = session.message_stats(&compiled, &[10], 1_000_000).expect("session stats");
+    let first = session
+        .message_stats(&compiled, &[10], 1_000_000)
+        .expect("session stats");
     assert_eq!(first, classic);
     assert_eq!(stage(&session, "aggregate"), (0, 1));
     assert_eq!(stage(&session, "schedule"), (0, 1));
 
-    let second = session.message_stats(&compiled, &[10], 1_000_000).expect("cached stats");
+    let second = session
+        .message_stats(&compiled, &[10], 1_000_000)
+        .expect("cached stats");
     assert_eq!(second, classic);
-    assert_eq!(stage(&session, "aggregate"), (0, 1), "schedule hit short-circuits aggregate");
+    assert_eq!(
+        stage(&session, "aggregate"),
+        (0, 1),
+        "schedule hit short-circuits aggregate"
+    );
     assert_eq!(stage(&session, "schedule"), (1, 1));
 
     // Different parameter values are a different aggregate chain.
-    session.message_stats(&compiled, &[12], 1_000_000).expect("new params");
+    session
+        .message_stats(&compiled, &[12], 1_000_000)
+        .expect("new params");
     assert_eq!(stage(&session, "aggregate"), (0, 2));
     assert_eq!(stage(&session, "schedule"), (1, 2));
 
     // Values mode shares the aggregate stage but not the schedule.
-    let sched = session.build_schedule(&compiled, &[12], true, 1_000_000).expect("values");
+    let sched = session
+        .build_schedule(&compiled, &[12], true, 1_000_000)
+        .expect("values");
     assert_eq!(stage(&session, "aggregate"), (1, 2));
     assert_eq!(stage(&session, "schedule"), (1, 3));
     let classic_sched =
@@ -229,7 +296,9 @@ fn parse_stage_caches_by_source() {
     let p2 = session.parse(src).expect("parses");
     assert_eq!(format!("{p1:?}"), format!("{p2:?}"));
     assert_eq!(stage(&session, "parse"), (1, 1));
-    session.parse("param N; array A[N]; for i = 1 to N - 1 { A[i] = A[i] }").ok();
+    session
+        .parse("param N; array A[N]; for i = 1 to N - 1 { A[i] = A[i] }")
+        .ok();
     // A malformed or different source is a miss (and errors are not cached).
     assert_eq!(stage(&session, "parse").0, 1);
 }
@@ -245,8 +314,12 @@ fn session_run_matches_classic_run() {
     let mut session = Session::new();
     // Warm the schedule stage, then run: the simulated machine executes
     // the cached plan.
-    session.build_schedule(&compiled, &[8], true, 1_000_000).expect("warm");
-    let cached = session.run(&compiled, &[8], &config, true, 1_000_000).expect("session run");
+    session
+        .build_schedule(&compiled, &[8], true, 1_000_000)
+        .expect("warm");
+    let cached = session
+        .run(&compiled, &[8], &config, true, 1_000_000)
+        .expect("session run");
     assert_eq!(stage(&session, "schedule"), (1, 1));
     assert_eq!(classic.stats.time, cached.stats.time);
     assert_eq!(classic.stats.messages, cached.stats.messages);

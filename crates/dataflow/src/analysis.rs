@@ -59,7 +59,10 @@ impl std::fmt::Display for LwtError {
                 write!(f, "statement {stmt} has no read #{read_no}")
             }
             LwtError::NotUniformlyGenerated => {
-                write!(f, "reads are not uniformly generated (non-constant differences)")
+                write!(
+                    f,
+                    "reads are not uniformly generated (non-constant differences)"
+                )
             }
             LwtError::Poly(e) => write!(f, "polyhedral arithmetic failed: {e}"),
             LwtError::Lex(e) => write!(f, "lexicographic optimization failed: {e}"),
@@ -80,11 +83,19 @@ const WRITE_SUFFIX: &str = "$w";
 ///
 /// Returns [`LwtError`] when the read does not exist or the polyhedral
 /// machinery fails (overflow, unbounded optimization).
-pub fn build_lwt(program: &Program, stmt: usize, read_no: usize) -> Result<LastWriteTree, LwtError> {
+pub fn build_lwt(
+    program: &Program,
+    stmt: usize,
+    read_no: usize,
+) -> Result<LastWriteTree, LwtError> {
     let stmts = program.statements();
-    let sr = stmts.get(stmt).ok_or(LwtError::NoSuchRead { stmt, read_no })?;
+    let sr = stmts
+        .get(stmt)
+        .ok_or(LwtError::NoSuchRead { stmt, read_no })?;
     let reads = sr.stmt.rhs.reads();
-    let read = *reads.get(read_no).ok_or(LwtError::NoSuchRead { stmt, read_no })?;
+    let read = *reads
+        .get(read_no)
+        .ok_or(LwtError::NoSuchRead { stmt, read_no })?;
     let read = read.clone();
     build_lwt_for_access(program, &stmts, sr, read_no, &read, &[])
 }
@@ -109,13 +120,22 @@ pub fn build_lwt_hull(
     read_nos: &[usize],
 ) -> Result<LastWriteTree, LwtError> {
     let stmts = program.statements();
-    let sr = stmts.get(stmt).ok_or(LwtError::NoSuchRead { stmt, read_no: 0 })?;
+    let sr = stmts
+        .get(stmt)
+        .ok_or(LwtError::NoSuchRead { stmt, read_no: 0 })?;
     let reads = sr.stmt.rhs.reads();
     let group: Vec<&ArrayRef> = read_nos
         .iter()
-        .map(|&k| reads.get(k).copied().ok_or(LwtError::NoSuchRead { stmt, read_no: k }))
+        .map(|&k| {
+            reads
+                .get(k)
+                .copied()
+                .ok_or(LwtError::NoSuchRead { stmt, read_no: k })
+        })
         .collect::<Result<_, _>>()?;
-    let first = group.first().ok_or(LwtError::NoSuchRead { stmt, read_no: 0 })?;
+    let first = group
+        .first()
+        .ok_or(LwtError::NoSuchRead { stmt, read_no: 0 })?;
     let ndim = first.idx.len();
     // Verify uniform generation and compute per-dimension offset ranges.
     let mut lo = vec![i128::MAX; ndim];
@@ -183,8 +203,12 @@ fn build_lwt_for_access(
     let mut read_domain = sr.domain(&base_space, &[]);
     for (u, lo, hi) in extra_read_dims {
         let v = Aff::var(u.clone());
-        read_domain.add(Constraint::ge((v.clone() - Aff::constant(*lo)).to_linexpr(&base_space)));
-        read_domain.add(Constraint::ge((Aff::constant(*hi) - v).to_linexpr(&base_space)));
+        read_domain.add(Constraint::ge(
+            (v.clone() - Aff::constant(*lo)).to_linexpr(&base_space),
+        ));
+        read_domain.add(Constraint::ge(
+            (Aff::constant(*hi) - v).to_linexpr(&base_space),
+        ));
     }
 
     // Candidates: every statement writing this array, at every level.
@@ -268,7 +292,10 @@ fn build_lwt_for_access(
                     }
                     // Non-overlapping part survives unconditionally.
                     next_regions.extend(r.subtract(&entries[q].piece.coverage)?);
-                    match (&entries[p].piece.solution_base, &entries[q].piece.solution_base) {
+                    match (
+                        &entries[p].piece.solution_base,
+                        &entries[q].piece.solution_base,
+                    ) {
                         (Some(mine), Some(theirs)) => {
                             let splits = lex_split(&overlap.poly, mine, theirs)?;
                             for (region_poly, ord) in splits {
@@ -279,13 +306,8 @@ fn build_lwt_for_access(
                                         // Same write iteration from two
                                         // statements: the textually later
                                         // assignment produces the value.
-                                        (
-                                            &entries[p].cand.sw.position,
-                                            entries[p].order,
-                                        ) > (
-                                            &entries[q].cand.sw.position,
-                                            entries[q].order,
-                                        )
+                                        (&entries[p].cand.sw.position, entries[p].order)
+                                            > (&entries[q].cand.sw.position, entries[q].order)
                                     }
                                 };
                                 if keep {
@@ -352,11 +374,7 @@ fn build_lwt_for_access(
                         context: ctx_full,
                         source: Some(LwtSource {
                             write_stmt: cand.sw.id,
-                            write_iter: piece
-                                .write_iter
-                                .iter()
-                                .map(|e| e.extend(extra))
-                                .collect(),
+                            write_iter: piece.write_iter.iter().map(|e| e.extend(extra)).collect(),
                             level: cand.level,
                         }),
                     });
@@ -387,7 +405,11 @@ fn build_lwt_for_access(
     let verdicts = batch_feasibility(&rem_polys)?;
     for (ctx, f) in rem_polys.into_iter().zip(verdicts) {
         if f.possibly_feasible() {
-            leaves.push(LwtLeaf { space: ctx.space().clone(), context: ctx, source: None });
+            leaves.push(LwtLeaf {
+                space: ctx.space().clone(),
+                context: ctx,
+                source: None,
+            });
         }
     }
 
@@ -438,7 +460,11 @@ fn candidate_pieces(
     cand: &Candidate<'_>,
 ) -> Result<Vec<Piece>, LwtError> {
     let sw = cand.sw;
-    let wvars: Vec<String> = sw.loop_vars().iter().map(|v| format!("{v}{WRITE_SUFFIX}")).collect();
+    let wvars: Vec<String> = sw
+        .loop_vars()
+        .iter()
+        .map(|v| format!("{v}{WRITE_SUFFIX}"))
+        .collect();
     let renames: Vec<(&str, &str)> = sw
         .loop_vars()
         .iter()
@@ -462,7 +488,9 @@ fn candidate_pieces(
     let mut poly = sr.domain(&space, &[]);
     for (u, lo, hi) in extra_read_dims {
         let v = Aff::var(u.clone());
-        poly.add(Constraint::ge((v.clone() - Aff::constant(*lo)).to_linexpr(&space)));
+        poly.add(Constraint::ge(
+            (v.clone() - Aff::constant(*lo)).to_linexpr(&space),
+        ));
         poly.add(Constraint::ge((Aff::constant(*hi) - v).to_linexpr(&space)));
     }
     poly = poly.intersect(&sw.domain(&space, &renames));

@@ -34,7 +34,10 @@ pub struct LatticePiece {
 impl LatticePiece {
     /// A piece with no divisibility conditions.
     pub fn from_poly(poly: Polyhedron) -> Self {
-        LatticePiece { poly, divs: Vec::new() }
+        LatticePiece {
+            poly,
+            divs: Vec::new(),
+        }
     }
 
     /// Attempts to convert a polyhedron over `base + aux` dimensions into a
@@ -122,7 +125,10 @@ impl LatticePiece {
                     continue;
                 }
                 if m.abs() >= 2 {
-                    divs.push(Divisibility { modulus: m.abs(), expr: rest.clone() });
+                    divs.push(Divisibility {
+                        modulus: m.abs(),
+                        expr: rest.clone(),
+                    });
                 }
                 cur = rebuilt;
                 pending.remove(k);
@@ -181,9 +187,7 @@ impl LatticePiece {
                         let mut neg = window.scale(-1)?;
                         neg.set_constant(neg.constant_term() + (a - 2));
                         probe.add(Constraint::ge(neg));
-                        if probe.integer_feasibility()?
-                            == dmc_polyhedra::Feasibility::Infeasible
-                        {
+                        if probe.integer_feasibility()? == dmc_polyhedra::Feasibility::Infeasible {
                             exact = true;
                         }
                     }
@@ -213,7 +217,10 @@ impl LatticePiece {
                 expr: LinExpr::from_coeffs(coeffs, d.expr.constant_term()),
             });
         }
-        Ok(Some(LatticePiece { poly, divs: base_divs }))
+        Ok(Some(LatticePiece {
+            poly,
+            divs: base_divs,
+        }))
     }
 
     /// Converts the piece back into a polyhedron by appending one pinned
@@ -246,7 +253,10 @@ impl LatticePiece {
 
     /// Whether the piece contains at least one integer point.
     pub fn feasible(&self) -> Result<bool, PolyError> {
-        Ok(self.to_polyhedron().integer_feasibility()?.possibly_feasible())
+        Ok(self
+            .to_polyhedron()
+            .integer_feasibility()?
+            .possibly_feasible())
     }
 
     /// Intersection of two pieces over the same base space.
@@ -277,7 +287,10 @@ impl LatticePiece {
         let mut out = Vec::new();
         // (a) Convex complements.
         for piece in self.poly.subtract(&other.poly)? {
-            let cand = LatticePiece { poly: piece, divs: self.divs.clone() };
+            let cand = LatticePiece {
+                poly: piece,
+                divs: self.divs.clone(),
+            };
             if cand.feasible()? {
                 out.push(cand);
             }
@@ -293,7 +306,10 @@ impl LatticePiece {
                 let mut cand = prefix.clone();
                 let mut shifted = d.expr.clone();
                 shifted.set_constant(shifted.constant_term() - r);
-                cand.divs.push(Divisibility { modulus: d.modulus, expr: shifted });
+                cand.divs.push(Divisibility {
+                    modulus: d.modulus,
+                    expr: shifted,
+                });
                 if cand.feasible()? {
                     out.push(cand);
                 }
@@ -341,7 +357,10 @@ mod tests {
         // { 0 <= i <= 10, 2 | i }
         let piece = LatticePiece {
             poly: interval(0, 10),
-            divs: vec![Divisibility { modulus: 2, expr: LinExpr::var(1, 0) }],
+            divs: vec![Divisibility {
+                modulus: 2,
+                expr: LinExpr::var(1, 0),
+            }],
         };
         assert_eq!(members(&piece, 0..=10), vec![0, 2, 4, 6, 8, 10]);
     }
@@ -352,7 +371,10 @@ mod tests {
         let all = LatticePiece::from_poly(interval(0, 10));
         let even = LatticePiece {
             poly: interval(0, 10),
-            divs: vec![Divisibility { modulus: 2, expr: LinExpr::var(1, 0) }],
+            divs: vec![Divisibility {
+                modulus: 2,
+                expr: LinExpr::var(1, 0),
+            }],
         };
         let pieces = all.subtract(&even).unwrap();
         let mut got: Vec<i128> = pieces.iter().flat_map(|p| members(p, 0..=10)).collect();
@@ -365,7 +387,10 @@ mod tests {
         // ([0,10] with 3 | i) \ [4,10] = {0, 3}.
         let l3 = LatticePiece {
             poly: interval(0, 10),
-            divs: vec![Divisibility { modulus: 3, expr: LinExpr::var(1, 0) }],
+            divs: vec![Divisibility {
+                modulus: 3,
+                expr: LinExpr::var(1, 0),
+            }],
         };
         let right = LatticePiece::from_poly(interval(4, 10));
         let pieces = l3.subtract(&right).unwrap();

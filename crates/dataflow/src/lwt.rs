@@ -179,7 +179,11 @@ impl fmt::Display for LastWriteTree {
             self.read_no,
             self.array,
             self.read_stmt,
-            if self.approximate { " (approximate)" } else { "" }
+            if self.approximate {
+                " (approximate)"
+            } else {
+                ""
+            }
         )?;
         for (k, leaf) in self.leaves.iter().enumerate() {
             write!(f, "  leaf {k}: context {{ {} }} -> ", leaf.context)?;

@@ -60,7 +60,12 @@ impl DimMap {
     /// Panics if `block < 1`.
     pub fn block(expr: Aff, block: i128) -> Self {
         assert!(block >= 1, "block size must be >= 1");
-        DimMap { expr, block, overlap_lo: 0, overlap_hi: 0 }
+        DimMap {
+            expr,
+            block,
+            overlap_lo: 0,
+            overlap_hi: 0,
+        }
     }
 
     /// A cyclic mapping (block size 1 over virtual processors).
@@ -95,7 +100,10 @@ impl DimMap {
             return;
         }
         // e - b·p + d_l >= 0.
-        let mut lo = e.clone().sub(&p.scaled(self.block)).expect("decomp overflow");
+        let mut lo = e
+            .clone()
+            .sub(&p.scaled(self.block))
+            .expect("decomp overflow");
         lo.set_constant(lo.constant_term() + self.overlap_lo);
         poly.add(Constraint::ge(lo));
         // b·p + b - 1 + d_h - e >= 0.
@@ -130,7 +138,11 @@ pub struct DataDecomp {
 impl DataDecomp {
     /// Full replication of the array on a processor grid.
     pub fn replicated(array: impl Into<String>, array_ndim: usize) -> Self {
-        DataDecomp { array: array.into(), array_ndim, maps: Vec::new() }
+        DataDecomp {
+            array: array.into(),
+            array_ndim,
+            maps: Vec::new(),
+        }
     }
 
     /// Distributes array dimension `dim` in blocks of `block` over a 1-D
@@ -155,7 +167,11 @@ impl DataDecomp {
 
     /// A general decomposition from explicit per-processor-dimension maps.
     pub fn from_maps(array: impl Into<String>, array_ndim: usize, maps: Vec<DimMap>) -> Self {
-        DataDecomp { array: array.into(), array_ndim, maps }
+        DataDecomp {
+            array: array.into(),
+            array_ndim,
+            maps,
+        }
     }
 
     /// Number of virtual processor dimensions.
@@ -177,8 +193,16 @@ impl DataDecomp {
     ///
     /// Panics when dimension counts disagree with the declaration.
     pub fn constrain(&self, poly: &mut Polyhedron, array_dims: &[usize], proc_dims: &[usize]) {
-        assert_eq!(array_dims.len(), self.array_ndim, "array dimension count mismatch");
-        assert_eq!(proc_dims.len(), self.maps.len(), "processor dimension count mismatch");
+        assert_eq!(
+            array_dims.len(),
+            self.array_ndim,
+            "array dimension count mismatch"
+        );
+        assert_eq!(
+            proc_dims.len(),
+            self.maps.len(),
+            "processor dimension count mismatch"
+        );
         let space = poly.space().clone();
         let names: Vec<String> = self.array_dim_names();
         let renames: Vec<(&str, &str)> = names
@@ -252,7 +276,11 @@ impl fmt::Display for DataDecomp {
             if k > 0 {
                 write!(f, ", ")?;
             }
-            write!(f, "{}·p{} <= {} < {}·(p{}+1)", m.block, k, m.expr, m.block, k)?;
+            write!(
+                f,
+                "{}·p{} <= {} < {}·(p{}+1)",
+                m.block, k, m.expr, m.block, k
+            )?;
             if m.overlap_lo != 0 || m.overlap_hi != 0 {
                 write!(f, " (±{}/{})", m.overlap_lo, m.overlap_hi)?;
             }
@@ -276,13 +304,19 @@ impl CompDecomp {
     /// Maps iterations to processors by blocks of `block` of loop variable
     /// `var` on a 1-D grid.
     pub fn block_1d(stmt: usize, var: impl Into<String>, block: i128) -> Self {
-        CompDecomp { stmt, maps: vec![DimMap::block(Aff::var(var.into()), block)] }
+        CompDecomp {
+            stmt,
+            maps: vec![DimMap::block(Aff::var(var.into()), block)],
+        }
     }
 
     /// Maps iterations cyclically by loop variable `var` (virtual processor
     /// `p = var`).
     pub fn cyclic_1d(stmt: usize, var: impl Into<String>) -> Self {
-        CompDecomp { stmt, maps: vec![DimMap::cyclic(Aff::var(var.into()))] }
+        CompDecomp {
+            stmt,
+            maps: vec![DimMap::cyclic(Aff::var(var.into()))],
+        }
     }
 
     /// A general decomposition from explicit maps.
@@ -302,13 +336,12 @@ impl CompDecomp {
     /// # Panics
     ///
     /// Panics when processor dimension counts disagree.
-    pub fn constrain(
-        &self,
-        poly: &mut Polyhedron,
-        renames: &[(&str, &str)],
-        proc_dims: &[usize],
-    ) {
-        assert_eq!(proc_dims.len(), self.maps.len(), "processor dimension count mismatch");
+    pub fn constrain(&self, poly: &mut Polyhedron, renames: &[(&str, &str)], proc_dims: &[usize]) {
+        assert_eq!(
+            proc_dims.len(),
+            self.maps.len(),
+            "processor dimension count mismatch"
+        );
         for (k, m) in self.maps.iter().enumerate() {
             m.constrain(poly, proc_dims[k], renames);
         }
@@ -347,7 +380,11 @@ impl fmt::Display for CompDecomp {
             if k > 0 {
                 write!(f, ", ")?;
             }
-            write!(f, "{}·p{} <= {} < {}·(p{}+1)", m.block, k, m.expr, m.block, k)?;
+            write!(
+                f,
+                "{}·p{} <= {} < {}·(p{}+1)",
+                m.block, k, m.expr, m.block, k
+            )?;
         }
         write!(f, " }}")
     }
@@ -401,7 +438,11 @@ pub fn owner_computes(d: &DataDecomp, stmt: &StmtInfo) -> Result<CompDecomp, Dec
             found: stmt.stmt.write.array.clone(),
         });
     }
-    if d.maps.is_empty() || d.maps.iter().any(|m| m.overlap_lo != 0 || m.overlap_hi != 0) {
+    if d.maps.is_empty()
+        || d.maps
+            .iter()
+            .any(|m| m.overlap_lo != 0 || m.overlap_hi != 0)
+    {
         return Err(DecompError::WrittenDataReplicated);
     }
     // Compose each processor-dimension map with the write access:
@@ -419,7 +460,10 @@ pub fn owner_computes(d: &DataDecomp, stmt: &StmtInfo) -> Result<CompDecomp, Dec
             overlap_hi: 0,
         });
     }
-    Ok(CompDecomp { stmt: stmt.id, maps })
+    Ok(CompDecomp {
+        stmt: stmt.id,
+        maps,
+    })
 }
 
 /// The physical processor grid: extents per dimension, with the cyclic
@@ -734,7 +778,9 @@ mod tests {
     fn display_formats() {
         let d = DataDecomp::block_1d("X", 1, 0, 16);
         assert!(d.to_string().contains("16·p0 <= a0"));
-        assert!(DataDecomp::replicated("Y", 1).to_string().contains("replicated"));
+        assert!(DataDecomp::replicated("Y", 1)
+            .to_string()
+            .contains("replicated"));
     }
 
     #[test]

@@ -29,7 +29,10 @@ pub struct Aff {
 impl Aff {
     /// The constant expression `c`.
     pub fn constant(c: i128) -> Self {
-        Aff { terms: BTreeMap::new(), constant: c }
+        Aff {
+            terms: BTreeMap::new(),
+            constant: c,
+        }
     }
 
     /// The variable expression `v`.
@@ -78,7 +81,10 @@ impl Aff {
     pub fn rename(&self, from: &str, to: &str) -> Aff {
         let mut out = self.clone();
         if let Some(c) = out.terms.remove(from) {
-            assert!(!out.terms.contains_key(to), "rename target {to:?} already present");
+            assert!(
+                !out.terms.contains_key(to),
+                "rename target {to:?} already present"
+            );
             out.terms.insert(to.to_owned(), c);
         }
         out

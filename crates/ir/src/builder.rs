@@ -30,7 +30,12 @@ pub fn for_loop(
     upper: impl Into<Aff>,
     body: Vec<Node>,
 ) -> Node {
-    Node::Loop(Loop { var: var.into(), lower: lower.into(), upper: upper.into(), body })
+    Node::Loop(Loop {
+        var: var.into(),
+        lower: lower.into(),
+        upper: upper.into(),
+        body,
+    })
 }
 
 /// Builds an assignment statement node.

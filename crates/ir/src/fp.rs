@@ -399,13 +399,21 @@ mod tests {
              for t = 0 to T { for i = 3 to N { X[i] = X[i - 2]; } }",
         )
         .unwrap();
-        assert_ne!(base, edited.fingerprint(), "a changed read offset must change the hash");
+        assert_ne!(
+            base,
+            edited.fingerprint(),
+            "a changed read offset must change the hash"
+        );
         let bound = parse(
             "param T, N; array X[N + 1];
              for t = 0 to T { for i = 2 to N { X[i] = X[i - 3]; } }",
         )
         .unwrap();
-        assert_ne!(base, bound.fingerprint(), "a changed loop bound must change the hash");
+        assert_ne!(
+            base,
+            bound.fingerprint(),
+            "a changed loop bound must change the hash"
+        );
     }
 
     #[test]
@@ -423,7 +431,10 @@ mod tests {
             "param T, N; array X[N + 1];
              for t = 0 to T { for i = 3 to N { X[i] = X[i - 2]; } }",
         );
-        assert_eq!(base, read_edit, "the skeleton must not depend on read accesses");
+        assert_eq!(
+            base, read_edit,
+            "the skeleton must not depend on read accesses"
+        );
         let write_edit = fp_of(
             "param T, N; array X[N + 1];
              for t = 0 to T { for i = 3 to N { X[i - 1] = X[i - 3]; } }",

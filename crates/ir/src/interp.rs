@@ -260,11 +260,15 @@ impl Interp<'_> {
             .mem
             .array(&r.array)
             .ok_or_else(|| ExecError::UndeclaredArray(r.array.clone()))?;
-        let v = store
-            .get(&idx)
-            .ok_or_else(|| ExecError::OutOfBounds { array: r.array.clone(), idx: idx.clone() })?;
+        let v = store.get(&idx).ok_or_else(|| ExecError::OutOfBounds {
+            array: r.array.clone(),
+            idx: idx.clone(),
+        })?;
         if let Some(t) = &mut self.trace {
-            let writer = self.last_writer.get(&(r.array.clone(), idx.clone())).cloned();
+            let writer = self
+                .last_writer
+                .get(&(r.array.clone(), idx.clone()))
+                .cloned();
             t.reads.push(ReadEvent {
                 stmt,
                 iter: iter.to_vec(),
@@ -306,7 +310,6 @@ impl Interp<'_> {
             }
         }
     }
-
 }
 
 /// Runs `program` sequentially with the given parameter values and returns
@@ -391,7 +394,10 @@ fn run_with_static_ids(
                     .array_mut(&s.write.array)
                     .ok_or_else(|| ExecError::UndeclaredArray(s.write.array.clone()))?;
                 if !store.set(&idx, v) {
-                    return Err(ExecError::OutOfBounds { array: s.write.array.clone(), idx });
+                    return Err(ExecError::OutOfBounds {
+                        array: s.write.array.clone(),
+                        idx,
+                    });
                 }
                 if interp.trace.is_some() {
                     interp
@@ -480,11 +486,7 @@ mod tests {
                 // Writer is the same statement at [t', i-3]; since i-3 >= 3
                 // was written every outer iteration, the last write is in
                 // the *current* outer iteration (i-3 < i executes earlier).
-                assert_eq!(
-                    ev.writer,
-                    Some((0, vec![t, i - 3])),
-                    "t={t} i={i}"
-                );
+                assert_eq!(ev.writer, Some((0, vec![t, i - 3])), "t={t} i={i}");
             }
         }
     }
@@ -544,12 +546,20 @@ mod tests {
         let mut p = Program::new(["N"]);
         p.declare_array("A", vec![Aff::var("N")]);
         p.body = vec![
-            for_loop("i", 0, -1, vec![assign(ArrayRef::new("A", vec![Aff::constant(0)]), lit(9.0))]),
+            for_loop(
+                "i",
+                0,
+                -1,
+                vec![assign(ArrayRef::new("A", vec![Aff::constant(0)]), lit(9.0))],
+            ),
             assign(ArrayRef::new("A", vec![Aff::constant(1)]), lit(2.0)),
         ];
         let env = params(&[("N", 4)]);
         let (mem, trace) = run_traced(&p, &env).unwrap();
-        assert_eq!(mem.array("A").unwrap().get(&[0]).unwrap(), default_init("A", &[0]));
+        assert_eq!(
+            mem.array("A").unwrap().get(&[0]).unwrap(),
+            default_init("A", &[0])
+        );
         assert_eq!(mem.array("A").unwrap().get(&[1]).unwrap(), 2.0);
         assert!(trace.reads.is_empty());
     }
@@ -565,6 +575,9 @@ mod tests {
         let env = params(&[("N", 2)]);
         let m1 = run(&p, &env).unwrap();
         let m2 = run(&p, &env).unwrap();
-        assert_eq!(m1.array("A").unwrap().get(&[0]), m2.array("A").unwrap().get(&[0]));
+        assert_eq!(
+            m1.array("A").unwrap().get(&[0]),
+            m2.array("A").unwrap().get(&[0])
+        );
     }
 }

@@ -56,7 +56,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -90,7 +94,12 @@ struct Spanned {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
     }
 
     fn bump(&mut self) -> Option<u8> {
@@ -128,7 +137,11 @@ impl<'a> Lexer<'a> {
         }
         let (line, col) = (self.line, self.col);
         let Some(b) = self.peek() else {
-            return Ok(Spanned { tok: Tok::Eof, line, col });
+            return Ok(Spanned {
+                tok: Tok::Eof,
+                line,
+                col,
+            });
         };
         if b.is_ascii_alphabetic() || b == b'_' {
             let mut s = String::new();
@@ -180,7 +193,11 @@ impl<'a> Lexer<'a> {
             return Ok(Spanned { tok, line, col });
         }
         self.bump();
-        Ok(Spanned { tok: Tok::Sym(b as char), line, col })
+        Ok(Spanned {
+            tok: Tok::Sym(b as char),
+            line,
+            col,
+        })
     }
 }
 
@@ -214,7 +231,11 @@ impl Parser {
 
     fn err(&self, message: impl Into<String>) -> ParseError {
         let (line, col) = self.here();
-        ParseError { message: message.into(), line, col }
+        ParseError {
+            message: message.into(),
+            line,
+            col,
+        }
     }
 
     fn bump(&mut self) -> Tok {
@@ -305,7 +326,12 @@ impl Parser {
                 body.push(self.node()?);
             }
             self.bump(); // '}'
-            return Ok(Node::Loop(Loop { var, lower, upper, body }));
+            return Ok(Node::Loop(Loop {
+                var,
+                lower,
+                upper,
+                body,
+            }));
         }
         // Assignment: ident [aff]+ = scalar ;
         let array = self.expect_ident()?;
@@ -321,7 +347,10 @@ impl Parser {
         self.expect_sym('=')?;
         let rhs = self.scalar()?;
         self.expect_sym(';')?;
-        Ok(Node::Stmt(Statement { write: ArrayRef::new(array, idx), rhs }))
+        Ok(Node::Stmt(Statement {
+            write: ArrayRef::new(array, idx),
+            rhs,
+        }))
     }
 
     // ----- affine expressions -----
@@ -535,14 +564,14 @@ mod tests {
         assert_eq!(stmts[0].loop_vars(), vec!["i1", "i2"]);
         assert_eq!(stmts[1].loop_vars(), vec!["i1", "i2", "i3"]);
         // Five read accesses total, as the paper says (§7).
-        let total_reads: usize =
-            stmts.iter().map(|s| s.stmt.rhs.reads().len()).sum();
+        let total_reads: usize = stmts.iter().map(|s| s.stmt.rhs.reads().len()).sum();
         assert_eq!(total_reads, 5);
     }
 
     #[test]
     fn parses_coefficients_and_comments() {
-        let src = "param N; # sizes\narray A[1000 * N + 1];\nfor i = 1 to N { A[1000 * i + 2] = 1.5; }";
+        let src =
+            "param N; # sizes\narray A[1000 * N + 1];\nfor i = 1 to N { A[1000 * i + 2] = 1.5; }";
         let p = parse(src).unwrap();
         let stmts = p.statements();
         assert_eq!(stmts[0].stmt.write.idx[0].coeff("i"), 1000);
@@ -589,7 +618,8 @@ mod tests {
 
     #[test]
     fn negative_bounds_and_unary_minus() {
-        let p = parse("param N; array A[N + 10]; for i = -3 to 3 { A[i + 5] = -A[i + 5]; }").unwrap();
+        let p =
+            parse("param N; array A[N + 10]; for i = -3 to 3 { A[i + 5] = -A[i + 5]; }").unwrap();
         let s = &p.statements()[0];
         assert_eq!(s.loops[0].lower, Aff::constant(-3));
         assert!(matches!(s.stmt.rhs, ScalarExpr::Neg(_)));

@@ -51,7 +51,10 @@ pub struct ArrayRef {
 impl ArrayRef {
     /// Creates an array reference.
     pub fn new(array: impl Into<String>, idx: Vec<Aff>) -> Self {
-        ArrayRef { array: array.into(), idx }
+        ArrayRef {
+            array: array.into(),
+            idx,
+        }
     }
 }
 
@@ -299,7 +302,10 @@ impl Program {
 
     /// Declares an array.
     pub fn declare_array(&mut self, name: impl Into<String>, extents: Vec<Aff>) -> &mut Self {
-        self.arrays.push(ArrayDecl { name: name.into(), extents });
+        self.arrays.push(ArrayDecl {
+            name: name.into(),
+            extents,
+        });
         self
     }
 
@@ -345,7 +351,13 @@ impl Program {
                 position.pop();
             }
         }
-        walk(&self.body, &mut Vec::new(), &mut Vec::new(), &mut loop_counter, &mut out);
+        walk(
+            &self.body,
+            &mut Vec::new(),
+            &mut Vec::new(),
+            &mut loop_counter,
+            &mut out,
+        );
         out
     }
 

@@ -19,7 +19,11 @@ pub type Stamp = Vec<i128>;
 ///
 /// Panics if the lengths disagree.
 pub fn stamp_of(position: &[usize], iter: &[i128]) -> Stamp {
-    assert_eq!(position.len(), iter.len() + 1, "position/iteration mismatch");
+    assert_eq!(
+        position.len(),
+        iter.len() + 1,
+        "position/iteration mismatch"
+    );
     let mut out = Vec::with_capacity(position.len() + iter.len());
     for (k, &p) in position.iter().enumerate() {
         out.push(p as i128);
@@ -97,7 +101,10 @@ pub struct Schedule {
 impl Schedule {
     /// An empty schedule for `p` processors.
     pub fn new(p: usize) -> Self {
-        Schedule { procs: vec![Vec::new(); p], messages: Vec::new() }
+        Schedule {
+            procs: vec![Vec::new(); p],
+            messages: Vec::new(),
+        }
     }
 
     /// Total number of logical messages.
@@ -107,7 +114,10 @@ impl Schedule {
 
     /// Total payload words, counting one copy per receiver.
     pub fn total_words(&self) -> u64 {
-        self.messages.iter().map(|m| m.words * m.receivers.len() as u64).sum()
+        self.messages
+            .iter()
+            .map(|m| m.words * m.receivers.len() as u64)
+            .sum()
     }
 }
 

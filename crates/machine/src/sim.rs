@@ -67,7 +67,12 @@ pub enum SimError {
 impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SimError::MissingValue { proc, array, idx, stmt } => write!(
+            SimError::MissingValue {
+                proc,
+                array,
+                idx,
+                stmt,
+            } => write!(
                 f,
                 "processor {proc} read {array}{idx:?} in S{stmt} but no value was present \
                  (communication plan is insufficient)"
@@ -181,10 +186,13 @@ pub fn simulate(
             while let Some(action) = schedule.procs[p].get(procs[p].next) {
                 all_done = false;
                 match action {
-                    Action::Block { stmt, prefix, inner_range, flops } => {
-                        let info = stmts
-                            .get(*stmt)
-                            .ok_or(SimError::NoSuchStatement(*stmt))?;
+                    Action::Block {
+                        stmt,
+                        prefix,
+                        inner_range,
+                        flops,
+                    } => {
+                        let info = stmts.get(*stmt).ok_or(SimError::NoSuchStatement(*stmt))?;
                         if values {
                             run_block(program, params, info, prefix, *inner_range, p, &mut procs)?;
                         }
@@ -469,8 +477,10 @@ fn place_initial(
             match owner_decomp {
                 None => {
                     for proc in procs.iter_mut() {
-                        proc.store
-                            .insert((a.name.clone(), idx.clone()), (value, initial_stamp.clone()));
+                        proc.store.insert(
+                            (a.name.clone(), idx.clone()),
+                            (value, initial_stamp.clone()),
+                        );
                     }
                 }
                 Some(d) => {
@@ -483,9 +493,10 @@ fn place_initial(
                         seen.insert(grid.rank(&folded) as usize);
                     }
                     for r in seen {
-                        procs[r]
-                            .store
-                            .insert((a.name.clone(), idx.clone()), (value, initial_stamp.clone()));
+                        procs[r].store.insert(
+                            (a.name.clone(), idx.clone()),
+                            (value, initial_stamp.clone()),
+                        );
                     }
                 }
             }
@@ -545,11 +556,19 @@ fn run_block(
             if let Some(k) = vars.iter().position(|lv| *lv == v) {
                 iter[k]
             } else {
-                *params.get(v).unwrap_or_else(|| panic!("unbound variable {v}"))
+                *params
+                    .get(v)
+                    .unwrap_or_else(|| panic!("unbound variable {v}"))
             }
         };
         let value = eval_scalar(&info.stmt.rhs, &lookup, p, info.id, procs)?;
-        let idx: Vec<i128> = info.stmt.write.idx.iter().map(|a| eval_aff(a, &lookup)).collect();
+        let idx: Vec<i128> = info
+            .stmt
+            .write
+            .idx
+            .iter()
+            .map(|a| eval_aff(a, &lookup))
+            .collect();
         let stamp = stamp_of(&info.position, iter);
         procs[p]
             .store
@@ -620,7 +639,12 @@ fn read_elem(
     let idx: Vec<i128> = r.idx.iter().map(|a| eval_aff(a, lookup)).collect();
     match procs[p].store.get(&(r.array.clone(), idx.clone())) {
         Some(&(v, _)) => Ok(v),
-        None => Err(SimError::MissingValue { proc: p, array: r.array.clone(), idx, stmt }),
+        None => Err(SimError::MissingValue {
+            proc: p,
+            array: r.array.clone(),
+            idx,
+            stmt,
+        }),
     }
 }
 

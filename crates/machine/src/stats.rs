@@ -81,7 +81,14 @@ impl SimStats {
         let p = self.nproc();
         let mut links: Vec<(usize, usize, u64, u64)> = (0..p * p)
             .filter(|i| self.traffic_words[*i] > 0)
-            .map(|i| (i / p, i % p, self.traffic_words[i], self.traffic_transmissions[i]))
+            .map(|i| {
+                (
+                    i / p,
+                    i % p,
+                    self.traffic_words[i],
+                    self.traffic_transmissions[i],
+                )
+            })
             .collect();
         links.sort_by(|a, b| b.2.cmp(&a.2).then((a.0, a.1).cmp(&(b.0, b.1))));
         links.truncate(k);
@@ -169,10 +176,11 @@ impl SimStats {
                 ("idle", proc.idle),
                 ("finish", proc.finish),
             ] {
-                let owned =
-                    with(&[("proc", p.to_string()), ("kind", kind.to_owned())]);
-                let refs: Vec<(&str, &str)> =
-                    owned.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+                let owned = with(&[("proc", p.to_string()), ("kind", kind.to_owned())]);
+                let refs: Vec<(&str, &str)> = owned
+                    .iter()
+                    .map(|(k, v)| (k.as_str(), v.as_str()))
+                    .collect();
                 reg.set_gauge(
                     "dmc_sim_proc_seconds",
                     "Per-processor simulated time broken down by kind \
@@ -191,8 +199,10 @@ impl SimStats {
                     continue;
                 }
                 let owned = with(&[("src", src.to_string()), ("dst", dst.to_string())]);
-                let refs: Vec<(&str, &str)> =
-                    owned.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+                let refs: Vec<(&str, &str)> = owned
+                    .iter()
+                    .map(|(k, v)| (k.as_str(), v.as_str()))
+                    .collect();
                 reg.set_counter(
                     "dmc_sim_link_words_total",
                     "Words delivered over one src -> dst link.",
@@ -273,14 +283,23 @@ mod tests {
         let doc = reg.render();
         let check = dmc_obs::validate_prometheus(&doc).unwrap_or_else(|e| panic!("{e}\n{doc}"));
         assert!(check.families >= 8, "{check:?}");
-        assert!(doc.contains("dmc_sim_messages_total{workload=\"unit\"} 2"), "{doc}");
-        assert!(doc.contains("dmc_sim_words_total{workload=\"unit\"} 12"), "{doc}");
+        assert!(
+            doc.contains("dmc_sim_messages_total{workload=\"unit\"} 2"),
+            "{doc}"
+        );
+        assert!(
+            doc.contains("dmc_sim_words_total{workload=\"unit\"} 12"),
+            "{doc}"
+        );
         assert!(
             doc.contains("dmc_sim_link_words_total{dst=\"1\",src=\"0\",workload=\"unit\"} 8"),
             "{doc}"
         );
         // Histogram counts agree with the aggregate counters.
-        assert!(doc.contains("dmc_sim_message_words_count{workload=\"unit\"} 2"), "{doc}");
+        assert!(
+            doc.contains("dmc_sim_message_words_count{workload=\"unit\"} 2"),
+            "{doc}"
+        );
         assert!(
             doc.contains("dmc_sim_transmission_latency_us_count{workload=\"unit\"} 3"),
             "{doc}"

@@ -11,9 +11,9 @@
 //! uses [`Log2Hist::merge`], so its quantiles are exactly those of the
 //! pooled observations.
 
+use crate::json;
 use crate::metrics::{Log2Hist, Registry};
 use crate::trace::ObsOverhead;
-use crate::json;
 
 /// Service statistics of one observability context.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -108,7 +108,10 @@ impl HealthSnapshot {
     /// merge via [`Log2Hist::merge`], so quantiles are those of the
     /// pooled observations.
     pub fn totals(&self) -> ContextHealth {
-        let mut acc = ContextHealth { label: "total".to_owned(), ..ContextHealth::default() };
+        let mut acc = ContextHealth {
+            label: "total".to_owned(),
+            ..ContextHealth::default()
+        };
         for ctx in &self.contexts {
             ctx.merge_into(&mut acc);
         }
@@ -220,7 +223,12 @@ mod tests {
             stage_misses: 6,
             work_units: 100 * compiles,
             latency_us,
-            obs: ObsOverhead { records: 10, bytes: 320, trace_ns: 5000, dropped: 1 },
+            obs: ObsOverhead {
+                records: 10,
+                bytes: 320,
+                trace_ns: 5000,
+                dropped: 1,
+            },
         }
     }
 
@@ -249,8 +257,14 @@ mod tests {
         let doc = snap.render_prometheus();
         let check = validate_prometheus(&doc).unwrap_or_else(|e| panic!("{e}\n{doc}"));
         assert_eq!(check.histograms, 2);
-        assert!(doc.contains("dmc_health_compiles_total{ctx=\"a\"} 2"), "{doc}");
-        assert!(doc.contains("dmc_obs_records_dropped_total{ctx=\"b\"} 1"), "{doc}");
+        assert!(
+            doc.contains("dmc_health_compiles_total{ctx=\"a\"} 2"),
+            "{doc}"
+        );
+        assert!(
+            doc.contains("dmc_obs_records_dropped_total{ctx=\"b\"} 1"),
+            "{doc}"
+        );
     }
 
     #[test]
@@ -261,10 +275,7 @@ mod tests {
         let v = json::parse(&doc).unwrap_or_else(|e| panic!("{e}\n{doc}"));
         let contexts = v.get("contexts").and_then(|c| c.as_arr()).unwrap();
         assert_eq!(contexts.len(), 1);
-        assert_eq!(
-            contexts[0].get("ctx").and_then(|c| c.as_str()),
-            Some("a")
-        );
+        assert_eq!(contexts[0].get("ctx").and_then(|c| c.as_str()), Some("a"));
         let total = v.get("total").unwrap();
         assert_eq!(total.get("compiles").and_then(|c| c.as_num()), Some(2.0));
         let lat = total.get("latency_us").unwrap();
@@ -273,6 +284,12 @@ mod tests {
         // Empty snapshot: quantiles are null, still valid JSON.
         let empty = HealthSnapshot::new().to_json();
         let v = json::parse(&empty).unwrap();
-        assert!(v.get("total").unwrap().get("latency_us").unwrap().get("p50").is_some());
+        assert!(v
+            .get("total")
+            .unwrap()
+            .get("latency_us")
+            .unwrap()
+            .get("p50")
+            .is_some());
     }
 }

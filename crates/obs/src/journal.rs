@@ -120,7 +120,9 @@ impl JournalRecord {
             .ok_or_else(|| "missing or non-array field `params`".to_owned())?
             .iter()
             .map(|p| {
-                let n = p.as_num().ok_or_else(|| "non-numeric entry in `params`".to_owned())?;
+                let n = p
+                    .as_num()
+                    .ok_or_else(|| "non-numeric entry in `params`".to_owned())?;
                 if n.fract() != 0.0 {
                     return Err(format!("non-integer entry in `params`: {n}"));
                 }
@@ -130,7 +132,9 @@ impl JournalRecord {
         let fp = |key: &str| -> Result<String, String> {
             let s = text(key)?;
             if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
-                return Err(format!("field `{key}` is not a 32-hex-digit fingerprint: {s:?}"));
+                return Err(format!(
+                    "field `{key}` is not a 32-hex-digit fingerprint: {s:?}"
+                ));
             }
             Ok(s)
         };
@@ -175,7 +179,10 @@ impl JournalRecord {
         chk("workload", &self.workload, &other.workload);
         chk("nproc", &self.nproc, &other.nproc);
         let params = |p: &[i64]| {
-            p.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(",")
+            p.iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
         };
         chk("params", &params(&self.params), &params(&other.params));
         chk("program_fp", &self.program_fp, &other.program_fp);

@@ -137,9 +137,7 @@ fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, Stri
 
 fn parse_num(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     let start = *pos;
-    while *pos < b.len()
-        && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-    {
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
         *pos += 1;
     }
     std::str::from_utf8(&b[start..*pos])
@@ -258,11 +256,10 @@ mod tests {
     fn round_trips() {
         let doc = r#"{"a": [1, 2.5, -3e2], "b": {"c": "x\ny", "d": true, "e": null}}"#;
         let v = parse(doc).unwrap();
-        assert_eq!(v.get("a").unwrap(), &Json::Arr(vec![
-            Json::Num(1.0),
-            Json::Num(2.5),
-            Json::Num(-300.0)
-        ]));
+        assert_eq!(
+            v.get("a").unwrap(),
+            &Json::Arr(vec![Json::Num(1.0), Json::Num(2.5), Json::Num(-300.0)])
+        );
         assert_eq!(v.get("b").unwrap().get("c").unwrap().as_str(), Some("x\ny"));
         assert!(parse("{\"a\": }").is_err());
         assert!(parse("[1, 2").is_err());

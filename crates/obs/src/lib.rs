@@ -88,8 +88,8 @@ pub use chrome::{chrome_trace, validate_chrome, TraceCheck};
 pub use explain::{explain_report, explain_report_with_profile};
 pub use health::{ContextHealth, HealthSnapshot};
 pub use journal::JournalRecord;
-pub use profile::{ProfileOp, WorkProfile};
 pub use metrics::{validate_prometheus, Log2Hist, MetricKind, PromCheck, Registry};
+pub use profile::{ProfileOp, WorkProfile};
 pub use trace::{
     enabled, event, event_f, event_nondet, field, finish_capture, lane, main_lane, push_record_cap,
     read_lane, record_cap, sim_lane, span, span_f, start_capture, suppress, CtxGuard, LaneGuard,

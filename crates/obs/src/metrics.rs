@@ -40,7 +40,10 @@ pub struct Log2Hist {
 
 impl Default for Log2Hist {
     fn default() -> Self {
-        Log2Hist { counts: [0; LOG2_FINITE_BUCKETS + 1], sum: 0 }
+        Log2Hist {
+            counts: [0; LOG2_FINITE_BUCKETS + 1],
+            sum: 0,
+        }
     }
 }
 
@@ -103,7 +106,11 @@ impl Log2Hist {
         for (i, &c) in self.counts.iter().enumerate() {
             cum += c;
             if cum >= rank {
-                return Some(if i < LOG2_FINITE_BUCKETS { Self::bound(i) } else { u64::MAX });
+                return Some(if i < LOG2_FINITE_BUCKETS {
+                    Self::bound(i)
+                } else {
+                    u64::MAX
+                });
             }
         }
         unreachable!("cumulative count reaches total")
@@ -181,13 +188,21 @@ pub struct Registry {
 
 fn valid_metric_name(name: &str) -> bool {
     !name.is_empty()
-        && name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
-        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        && name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
 }
 
 fn valid_label_name(name: &str) -> bool {
     !name.is_empty()
-        && name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
         && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
@@ -247,11 +262,14 @@ impl Registry {
 
     fn family(&mut self, name: &str, help: &str, kind: MetricKind) -> &mut Family {
         assert!(valid_metric_name(name), "invalid metric name {name:?}");
-        let fam = self.families.entry(name.to_owned()).or_insert_with(|| Family {
-            help: help.to_owned(),
-            kind,
-            samples: BTreeMap::new(),
-        });
+        let fam = self
+            .families
+            .entry(name.to_owned())
+            .or_insert_with(|| Family {
+                help: help.to_owned(),
+                kind,
+                samples: BTreeMap::new(),
+            });
         assert!(
             fam.kind == kind,
             "metric {name:?} registered as {:?}, used as {kind:?}",
@@ -276,7 +294,9 @@ impl Registry {
     /// registry stores whatever final value the caller computed.
     pub fn set_counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], v: u64) {
         let key = Self::label_key(labels);
-        self.family(name, help, MetricKind::Counter).samples.insert(key, Sample::Counter(v));
+        self.family(name, help, MetricKind::Counter)
+            .samples
+            .insert(key, Sample::Counter(v));
     }
 
     /// Adds to a counter sample (creating it at zero).
@@ -292,7 +312,9 @@ impl Registry {
     /// Sets a gauge sample.
     pub fn set_gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], v: f64) {
         let key = Self::label_key(labels);
-        self.family(name, help, MetricKind::Gauge).samples.insert(key, Sample::Gauge(v));
+        self.family(name, help, MetricKind::Gauge)
+            .samples
+            .insert(key, Sample::Gauge(v));
     }
 
     /// Sets a histogram sample from a finished [`Log2Hist`].
@@ -319,7 +341,11 @@ impl Registry {
     pub fn render(&self) -> String {
         let mut out = String::new();
         for (name, fam) in &self.families {
-            let _ = writeln!(out, "# HELP {name} {}", fam.help.replace('\\', "\\\\").replace('\n', "\\n"));
+            let _ = writeln!(
+                out,
+                "# HELP {name} {}",
+                fam.help.replace('\\', "\\\\").replace('\n', "\\n")
+            );
             let _ = writeln!(out, "# TYPE {name} {}", fam.kind.as_str());
             for (labels, sample) in &fam.samples {
                 match sample {
@@ -350,10 +376,15 @@ impl Registry {
                         let mut with_le = labels.to_vec();
                         with_le.push(("le".to_owned(), "+Inf".to_owned()));
                         with_le.sort();
-                        let _ =
-                            writeln!(out, "{name}_bucket{} {}", render_labels(&with_le), h.count());
+                        let _ = writeln!(
+                            out,
+                            "{name}_bucket{} {}",
+                            render_labels(&with_le),
+                            h.count()
+                        );
                         let _ = writeln!(out, "{name}_sum{} {}", render_labels(labels), h.sum());
-                        let _ = writeln!(out, "{name}_count{} {}", render_labels(labels), h.count());
+                        let _ =
+                            writeln!(out, "{name}_count{} {}", render_labels(labels), h.count());
                     }
                 }
             }
@@ -385,7 +416,9 @@ struct HistSeries {
 /// Splits `name{labels} value` into its three parts (labels optional).
 fn split_sample_line(line: &str) -> Result<(&str, &str, &str), String> {
     if let Some(open) = line.find('{') {
-        let close = line.rfind('}').ok_or_else(|| format!("unterminated label set: {line}"))?;
+        let close = line
+            .rfind('}')
+            .ok_or_else(|| format!("unterminated label set: {line}"))?;
         if close < open {
             return Err(format!("malformed label set: {line}"));
         }
@@ -457,7 +490,9 @@ fn parse_prom_value(s: &str) -> Result<f64, String> {
         "+Inf" => Ok(f64::INFINITY),
         "-Inf" => Ok(f64::NEG_INFINITY),
         "NaN" => Ok(f64::NAN),
-        _ => s.parse::<f64>().map_err(|_| format!("bad sample value {s:?}")),
+        _ => s
+            .parse::<f64>()
+            .map_err(|_| format!("bad sample value {s:?}")),
     }
 }
 
@@ -467,7 +502,11 @@ fn finish_hist_family(
     check: &mut PromCheck,
 ) -> Result<(), String> {
     for (labels, s) in series {
-        let show = if labels.is_empty() { "{}".to_owned() } else { format!("{{{labels}}}") };
+        let show = if labels.is_empty() {
+            "{}".to_owned()
+        } else {
+            format!("{{{labels}}}")
+        };
         if s.buckets.is_empty() {
             return Err(format!("histogram {name}{show}: no buckets"));
         }
@@ -489,7 +528,9 @@ fn finish_hist_family(
         }
         let (final_le, final_cum) = *s.buckets.last().unwrap();
         if final_le != f64::INFINITY {
-            return Err(format!("histogram {name}{show}: last bucket must be le=\"+Inf\""));
+            return Err(format!(
+                "histogram {name}{show}: last bucket must be le=\"+Inf\""
+            ));
         }
         match s.count {
             None => return Err(format!("histogram {name}{show}: missing _count")),
@@ -530,10 +571,10 @@ pub fn validate_prometheus(text: &str) -> Result<PromCheck, String> {
     let mut hist: BTreeMap<String, BTreeMap<String, HistSeries>> = BTreeMap::new();
 
     let switch_family = |fam: &str,
-                             current: &mut Option<String>,
-                             families: &mut BTreeMap<String, (MetricKind, bool, bool)>,
-                             hist: &mut BTreeMap<String, BTreeMap<String, HistSeries>>,
-                             check: &mut PromCheck|
+                         current: &mut Option<String>,
+                         families: &mut BTreeMap<String, (MetricKind, bool, bool)>,
+                         hist: &mut BTreeMap<String, BTreeMap<String, HistSeries>>,
+                         check: &mut PromCheck|
      -> Result<(), String> {
         if current.as_deref() == Some(fam) {
             return Ok(());
@@ -585,8 +626,7 @@ pub fn validate_prometheus(text: &str) -> Result<PromCheck, String> {
                 return Err(err(format!("duplicate # TYPE for {name}")));
             }
             families.insert(name.to_owned(), (kind, false, false));
-            switch_family(name, &mut current, &mut families, &mut hist, &mut check)
-                .map_err(err)?;
+            switch_family(name, &mut current, &mut families, &mut hist, &mut check).map_err(err)?;
             check.families += 1;
             continue;
         }
@@ -614,15 +654,23 @@ pub fn validate_prometheus(text: &str) -> Result<PromCheck, String> {
             let stripped = ["_bucket", "_sum", "_count"].iter().find_map(|s| {
                 name.strip_suffix(s)
                     .filter(|base| {
-                        families.get(*base).is_some_and(|f| f.0 == MetricKind::Histogram)
+                        families
+                            .get(*base)
+                            .is_some_and(|f| f.0 == MetricKind::Histogram)
                     })
                     .map(|base| (base.to_owned(), Some(*s)))
             });
             stripped.ok_or_else(|| err(format!("sample {name} has no # TYPE declaration")))?
         };
         let (kind, _, _) = families[&fam_name];
-        switch_family(&fam_name, &mut current, &mut families, &mut hist, &mut check)
-            .map_err(err)?;
+        switch_family(
+            &fam_name,
+            &mut current,
+            &mut families,
+            &mut hist,
+            &mut check,
+        )
+        .map_err(err)?;
         families.get_mut(&fam_name).unwrap().1 = true;
         check.samples += 1;
 
@@ -686,7 +734,9 @@ pub fn validate_prometheus(text: &str) -> Result<PromCheck, String> {
                 )))
             }
             (_, Some(suffix)) => {
-                return Err(err(format!("{kind:?} {fam_name} may not use suffix {suffix}")))
+                return Err(err(format!(
+                    "{kind:?} {fam_name} may not use suffix {suffix}"
+                )))
             }
         }
     }
@@ -744,9 +794,8 @@ mod tests {
             let n_b = (next() % 40) as usize;
             // Spread samples across the full bucket range, including the
             // overflow slot.
-            let mut sample = |n: usize| -> Vec<u64> {
-                (0..n).map(|_| next() >> (next() % 64)).collect()
-            };
+            let mut sample =
+                |n: usize| -> Vec<u64> { (0..n).map(|_| next() >> (next() % 64)).collect() };
             let (sa, sb) = (sample(n_a), sample(n_b));
             let mut ha = Log2Hist::new();
             let mut hb = Log2Hist::new();
@@ -761,7 +810,10 @@ mod tests {
             }
             let mut merged = ha.clone();
             merged.merge(&hb);
-            assert_eq!(merged, pooled, "trial {trial}: merge must equal pooled histogram");
+            assert_eq!(
+                merged, pooled,
+                "trial {trial}: merge must equal pooled histogram"
+            );
             assert_eq!(merged.count(), ha.count() + hb.count(), "trial {trial}");
             for p in [0.0, 0.25, 0.5, 0.75, 0.95, 0.99, 1.0] {
                 assert_eq!(
@@ -782,9 +834,24 @@ mod tests {
     #[test]
     fn render_passes_own_validator() {
         let mut reg = Registry::new();
-        reg.set_counter("dmc_sim_words_total", "Words sent", &[("workload", "lu")], 4096);
-        reg.add_counter("dmc_sim_words_total", "Words sent", &[("workload", "xy")], 1);
-        reg.add_counter("dmc_sim_words_total", "Words sent", &[("workload", "xy")], 2);
+        reg.set_counter(
+            "dmc_sim_words_total",
+            "Words sent",
+            &[("workload", "lu")],
+            4096,
+        );
+        reg.add_counter(
+            "dmc_sim_words_total",
+            "Words sent",
+            &[("workload", "xy")],
+            1,
+        );
+        reg.add_counter(
+            "dmc_sim_words_total",
+            "Words sent",
+            &[("workload", "xy")],
+            2,
+        );
         reg.set_gauge("dmc_sim_time_seconds", "Simulated time", &[], 1.25e-3);
         let mut h = Log2Hist::new();
         h.observe(1);
@@ -796,19 +863,34 @@ mod tests {
         assert_eq!(check.histograms, 1);
         assert_eq!(doc.matches("# TYPE").count(), 3);
         // The xy counter accumulated both adds.
-        assert!(doc.contains("dmc_sim_words_total{workload=\"xy\"} 3"), "{doc}");
+        assert!(
+            doc.contains("dmc_sim_words_total{workload=\"xy\"} 3"),
+            "{doc}"
+        );
         // Histogram: cumulative buckets ending in +Inf, count == 2.
-        assert!(doc.contains("dmc_msg_words_bucket{le=\"+Inf\",workload=\"lu\"} 2"), "{doc}");
-        assert!(doc.contains("dmc_msg_words_count{workload=\"lu\"} 2"), "{doc}");
-        assert!(doc.contains("dmc_msg_words_sum{workload=\"lu\"} 101"), "{doc}");
+        assert!(
+            doc.contains("dmc_msg_words_bucket{le=\"+Inf\",workload=\"lu\"} 2"),
+            "{doc}"
+        );
+        assert!(
+            doc.contains("dmc_msg_words_count{workload=\"lu\"} 2"),
+            "{doc}"
+        );
+        assert!(
+            doc.contains("dmc_msg_words_sum{workload=\"lu\"} 101"),
+            "{doc}"
+        );
     }
 
     #[test]
     fn render_is_deterministic() {
         let build = |order_flip: bool| {
             let mut reg = Registry::new();
-            let pairs: Vec<(&str, u64)> =
-                if order_flip { vec![("b", 2), ("a", 1)] } else { vec![("a", 1), ("b", 2)] };
+            let pairs: Vec<(&str, u64)> = if order_flip {
+                vec![("b", 2), ("a", 1)]
+            } else {
+                vec![("a", 1), ("b", 2)]
+            };
             for (l, v) in pairs {
                 reg.set_counter("c_total", "c", &[("k", l)], v);
             }
@@ -820,34 +902,50 @@ mod tests {
     #[test]
     fn validator_rejects_malformed_documents() {
         // Sample without TYPE.
-        assert!(validate_prometheus("orphan 1\n").unwrap_err().contains("no # TYPE"));
+        assert!(validate_prometheus("orphan 1\n")
+            .unwrap_err()
+            .contains("no # TYPE"));
         // Duplicate sample.
         let doc = "# TYPE a counter\na 1\na 2\n";
-        assert!(validate_prometheus(doc).unwrap_err().contains("duplicate sample"));
+        assert!(validate_prometheus(doc)
+            .unwrap_err()
+            .contains("duplicate sample"));
         // Interleaved families.
         let doc = "# TYPE a counter\n# TYPE b counter\na 1\nb 1\na 2\n";
-        assert!(validate_prometheus(doc).unwrap_err().contains("interleaved"));
+        assert!(validate_prometheus(doc)
+            .unwrap_err()
+            .contains("interleaved"));
         // Counter with a negative / fractional value.
         let doc = "# TYPE a counter\na -1\n";
-        assert!(validate_prometheus(doc).unwrap_err().contains("non-negative"));
+        assert!(validate_prometheus(doc)
+            .unwrap_err()
+            .contains("non-negative"));
         let doc = "# TYPE a counter\na 1.5\n";
-        assert!(validate_prometheus(doc).unwrap_err().contains("non-negative"));
+        assert!(validate_prometheus(doc)
+            .unwrap_err()
+            .contains("non-negative"));
         // Histogram: non-cumulative buckets.
         let doc = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n\
                    h_bucket{le=\"+Inf\"} 5\nh_sum 9\nh_count 5\n";
         assert!(validate_prometheus(doc).unwrap_err().contains("decreases"));
         // Histogram: _count disagrees with the +Inf bucket.
         let doc = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_sum 9\nh_count 4\n";
-        assert!(validate_prometheus(doc).unwrap_err().contains("_count 4 != +Inf bucket 5"));
+        assert!(validate_prometheus(doc)
+            .unwrap_err()
+            .contains("_count 4 != +Inf bucket 5"));
         // Histogram: missing +Inf.
         let doc = "# TYPE h histogram\nh_bucket{le=\"4\"} 5\nh_sum 9\nh_count 5\n";
         assert!(validate_prometheus(doc).unwrap_err().contains("+Inf"));
         // Histogram: missing _sum.
         let doc = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_count 5\n";
-        assert!(validate_prometheus(doc).unwrap_err().contains("missing _sum"));
+        assert!(validate_prometheus(doc)
+            .unwrap_err()
+            .contains("missing _sum"));
         // Bad metric name.
         let doc = "# TYPE 9bad counter\n";
-        assert!(validate_prometheus(doc).unwrap_err().contains("invalid metric name"));
+        assert!(validate_prometheus(doc)
+            .unwrap_err()
+            .contains("invalid metric name"));
         // Unquoted label value.
         let doc = "# TYPE a counter\na{k=v} 1\n";
         assert!(validate_prometheus(doc).unwrap_err().contains("quoted"));
@@ -868,8 +966,17 @@ mod tests {
     #[test]
     fn label_escapes_round_trip_exhaustive() {
         for v in [
-            "\n", "\"", "\\", "\\\\", "\\n", "ends with backslash\\", "\nleading newline",
-            "quote\"mid", "all\\three\"at\nonce", "", "plain",
+            "\n",
+            "\"",
+            "\\",
+            "\\\\",
+            "\\n",
+            "ends with backslash\\",
+            "\nleading newline",
+            "quote\"mid",
+            "all\\three\"at\nonce",
+            "",
+            "plain",
         ] {
             let rendered = escape_label_value(v);
             let body = format!("k=\"{rendered}\"");

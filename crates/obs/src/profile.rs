@@ -213,8 +213,7 @@ impl WorkProfile {
             agg.misses += row.cache_misses;
         }
 
-        let mut ranked: Vec<(&[String], &CtxAgg)> =
-            by_ctx.iter().map(|(c, a)| (*c, a)).collect();
+        let mut ranked: Vec<(&[String], &CtxAgg)> = by_ctx.iter().map(|(c, a)| (*c, a)).collect();
         ranked.sort_by(|a, b| b.1.top_charged.cmp(&a.1.top_charged).then(a.0.cmp(b.0)));
 
         let _ = writeln!(out);
@@ -252,20 +251,30 @@ impl WorkProfile {
             .iter()
             .filter(|((_, kind), row)| *kind == "fm_step" && row.cons_in > 0)
             .map(|((ctx, _), row)| {
-                (ctx.as_slice(), row.cons_out as f64 / row.cons_in as f64, row.ops)
+                (
+                    ctx.as_slice(),
+                    row.cons_out as f64 / row.cons_in as f64,
+                    row.ops,
+                )
             })
             .collect();
         growth.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(b.0)));
         let _ = writeln!(out);
-        let _ = writeln!(out, "### FM growth (constraints out / in per elimination step)");
+        let _ = writeln!(
+            out,
+            "### FM growth (constraints out / in per elimination step)"
+        );
         let _ = writeln!(out);
         if growth.is_empty() {
             let _ = writeln!(out, "- no FM steps recorded");
         }
         for (ctx, ratio, steps) in growth.iter().take(10) {
             let flag = if *ratio >= 1.5 { "  ⚠ blow-up" } else { "" };
-            let _ =
-                writeln!(out, "- {}: ×{ratio:.2} over {steps} steps{flag}", ctx.join(" > "));
+            let _ = writeln!(
+                out,
+                "- {}: ×{ratio:.2} over {steps} steps{flag}",
+                ctx.join(" > ")
+            );
         }
 
         // Cache effectiveness over contexts that issued memoizable queries.

@@ -170,8 +170,11 @@ impl Record {
     /// Rough in-memory size of the record, for the self-overhead byte
     /// counter: name plus header plus field keys and payloads.
     fn weight(&self) -> u64 {
-        let fields: u64 =
-            self.fields.iter().map(|(k, v)| k.len() as u64 + v.weight()).sum();
+        let fields: u64 = self
+            .fields
+            .iter()
+            .map(|(k, v)| k.len() as u64 + v.weight())
+            .sum();
         self.name.len() as u64 + 16 + fields
     }
 }
@@ -233,8 +236,11 @@ impl Trace {
         let mut out = Vec::new();
         for lane in &self.lanes {
             for r in lane.records.iter().filter(|r| r.det) {
-                let fields: Vec<String> =
-                    r.fields.iter().map(|(k, v)| format!("{k}={}", v.render())).collect();
+                let fields: Vec<String> = r
+                    .fields
+                    .iter()
+                    .map(|(k, v)| format!("{k}={}", v.render()))
+                    .collect();
                 out.push(format!(
                     "{}|{:?}|{}|{}",
                     lane.label,
@@ -249,7 +255,9 @@ impl Trace {
 
     /// Iterates `(lane, record)` over every lane in merge order.
     pub fn records(&self) -> impl Iterator<Item = (&LaneRecords, &Record)> {
-        self.lanes.iter().flat_map(|l| l.records.iter().map(move |r| (l, r)))
+        self.lanes
+            .iter()
+            .flat_map(|l| l.records.iter().map(move |r| (l, r)))
     }
 
     /// Total number of records.
@@ -382,7 +390,11 @@ impl CtxInner {
         self.epoch.fetch_add(1, R);
         let lanes = std::mem::take(&mut *store)
             .into_iter()
-            .map(|(key, (label, records))| LaneRecords { key, label, records })
+            .map(|(key, (label, records))| LaneRecords {
+                key,
+                label,
+                records,
+            })
             .collect();
         Trace { lanes }
     }
@@ -446,19 +458,25 @@ pub struct ObsContext {
 impl ObsContext {
     /// Creates a fresh, idle context.
     pub fn new() -> Self {
-        ObsContext { inner: Arc::new(CtxInner::new()) }
+        ObsContext {
+            inner: Arc::new(CtxInner::new()),
+        }
     }
 
     /// A handle to the process default context — the one the free
     /// functions [`start_capture`]/[`finish_capture`] operate on.
     pub fn default_context() -> Self {
-        ObsContext { inner: Arc::clone(default_ctx()) }
+        ObsContext {
+            inner: Arc::clone(default_ctx()),
+        }
     }
 
     /// A handle to the calling thread's current context (the default
     /// context unless an [`install`](Self::install) guard is live).
     pub fn current() -> Self {
-        ObsContext { inner: with_current(Arc::clone) }
+        ObsContext {
+            inner: with_current(Arc::clone),
+        }
     }
 
     /// Whether two handles refer to the same context.
@@ -489,9 +507,11 @@ impl ObsContext {
     /// Makes this context the calling thread's current context until the
     /// guard drops (the previous context is restored). Guards nest.
     pub fn install(&self) -> CtxGuard {
-        let prev = CURRENT
-            .with(|c| c.borrow_mut().replace(Arc::clone(&self.inner)));
-        CtxGuard { prev, _not_send: PhantomData }
+        let prev = CURRENT.with(|c| c.borrow_mut().replace(Arc::clone(&self.inner)));
+        CtxGuard {
+            prev,
+            _not_send: PhantomData,
+        }
     }
 
     /// The capture's self-overhead counters so far.
@@ -502,7 +522,11 @@ impl ObsContext {
     /// Runs `f` with exclusive access to this context's metrics
     /// registry.
     pub fn with_registry<T>(&self, f: impl FnOnce(&mut Registry) -> T) -> T {
-        let mut reg = self.inner.registry.lock().unwrap_or_else(|e| e.into_inner());
+        let mut reg = self
+            .inner
+            .registry
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
         f(&mut reg)
     }
 }
@@ -583,7 +607,10 @@ thread_local! {
 /// therefore exceed the cap by the open-span depth.
 pub fn push_record_cap(cap: u64) -> RecordCapGuard {
     let prev = RECORD_CAP.with(|c| c.replace(cap));
-    RecordCapGuard { prev, _not_send: PhantomData }
+    RecordCapGuard {
+        prev,
+        _not_send: PhantomData,
+    }
 }
 
 /// The calling thread's record cap (0 = unbounded).
@@ -728,9 +755,7 @@ pub fn lane(key: LaneKey, label: impl Into<String>) -> LaneGuard {
             let mut lanes = l.borrow_mut();
             let cur_epoch = ctx.epoch.load(R);
             if let Some(top) = lanes.last_mut() {
-                if top.lane.key == key
-                    && Arc::ptr_eq(&top.ctx, ctx)
-                    && top.lane.epoch == cur_epoch
+                if top.lane.key == key && Arc::ptr_eq(&top.ctx, ctx) && top.lane.epoch == cur_epoch
                 {
                     top.depth += 1;
                     return;
@@ -746,7 +771,11 @@ pub fn lane(key: LaneKey, label: impl Into<String>) -> LaneGuard {
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
                 .push(Arc::clone(&lane));
-            lanes.push(LaneFrame { lane, ctx: Arc::clone(ctx), depth: 0 });
+            lanes.push(LaneFrame {
+                lane,
+                ctx: Arc::clone(ctx),
+                depth: 0,
+            });
         });
     });
     LaneGuard { armed: true }
@@ -781,9 +810,8 @@ impl Drop for LaneGuard {
                 live.swap_remove(pos);
             }
         }
-        let records = std::mem::take(
-            &mut *frame.lane.records.lock().unwrap_or_else(|e| e.into_inner()),
-        );
+        let records =
+            std::mem::take(&mut *frame.lane.records.lock().unwrap_or_else(|e| e.into_inner()));
         frame.ctx.flush_batch(
             frame.lane.key.clone(),
             frame.lane.label.clone(),
@@ -819,7 +847,13 @@ fn span_with(name: &'static str, fields: Vec<(&'static str, Value)>) -> SpanGuar
         return SpanGuard { name, armed: false };
     }
     let ts_ns = with_current(|ctx| ctx.now_ns());
-    emit(Record { phase: Phase::Begin, name, ts_ns, det: true, fields });
+    emit(Record {
+        phase: Phase::Begin,
+        name,
+        ts_ns,
+        det: true,
+        fields,
+    });
     SpanGuard { name, armed: true }
 }
 
@@ -849,7 +883,13 @@ fn instant(name: &'static str, det: bool, fields: Vec<(&'static str, Value)>) {
         return;
     }
     let ts_ns = with_current(|ctx| ctx.now_ns());
-    emit(Record { phase: Phase::Instant, name, ts_ns, det, fields });
+    emit(Record {
+        phase: Phase::Instant,
+        name,
+        ts_ns,
+        det,
+        fields,
+    });
 }
 
 /// Emits a deterministic instant event.
@@ -934,7 +974,10 @@ mod tests {
         }
         // The nondet event is excluded from the deterministic view.
         let view = t.deterministic_view();
-        assert!(view.iter().all(|l| !l.contains("compile.workers")), "{view:?}");
+        assert!(
+            view.iter().all(|l| !l.contains("compile.workers")),
+            "{view:?}"
+        );
         assert!(view.iter().any(|l| l.contains("pass=self_reuse")));
     }
 
@@ -977,7 +1020,11 @@ mod tests {
         }
         let t = finish_capture();
         let names: Vec<&str> = t.lanes[0].records.iter().map(|r| r.name).collect();
-        assert_eq!(names, vec!["a", "b", "c"], "re-entry must preserve program order");
+        assert_eq!(
+            names,
+            vec!["a", "b", "c"],
+            "re-entry must preserve program order"
+        );
     }
 
     #[test]
@@ -1009,7 +1056,11 @@ mod tests {
             }
             finish_capture().deterministic_view()
         };
-        assert_eq!(run(1), run(3), "merged trace must not depend on worker count");
+        assert_eq!(
+            run(1),
+            run(3),
+            "merged trace must not depend on worker count"
+        );
     }
 
     /// Regression test for the capture-lifecycle race: a worker thread
@@ -1036,7 +1087,11 @@ mod tests {
         ready_rx.recv().unwrap();
         let t = finish_capture();
         let names: Vec<&str> = t.records().map(|(_, r)| r.name).collect();
-        assert_eq!(names, vec!["before.finish"], "live worker lane must be drained");
+        assert_eq!(
+            names,
+            vec!["before.finish"],
+            "live worker lane must be drained"
+        );
         done_tx.send(()).unwrap();
         worker.join().unwrap();
         // The late record must not leak into a fresh capture.

@@ -70,7 +70,9 @@ impl Member {
             match c.kind() {
                 ConstraintKind::Eq => eq_rows.push((coeffs, k)),
                 ConstraintKind::Ge => {
-                    ge.entry(coeffs).and_modify(|m| *m = (*m).min(k)).or_insert(k);
+                    ge.entry(coeffs)
+                        .and_modify(|m| *m = (*m).min(k))
+                        .or_insert(k);
                 }
             }
         }
@@ -81,7 +83,11 @@ impl Member {
     /// The [`Signature`] of this member. Two members with equal
     /// signatures differ only in inequality constants.
     fn signature(&self, space_len: usize) -> Signature {
-        (space_len, self.eq_rows.clone(), self.ge.keys().cloned().collect())
+        (
+            space_len,
+            self.eq_rows.clone(),
+            self.ge.keys().cloned().collect(),
+        )
     }
 
     /// Whether `self ⊆ other` as integer sets: identical signature assumed,
@@ -107,7 +113,10 @@ pub fn batch_feasibility(polys: &[Polyhedron]) -> Result<Vec<Feasibility>, PolyE
     type Sig = (usize, Vec<(Vec<i128>, i128)>, Vec<Vec<i128>>);
     let mut groups: BTreeMap<Sig, Vec<usize>> = BTreeMap::new();
     for (i, m) in members.iter().enumerate() {
-        groups.entry(m.signature(polys[i].space().len())).or_default().push(i);
+        groups
+            .entry(m.signature(polys[i].space().len()))
+            .or_default()
+            .push(i);
     }
 
     let mut out: Vec<Option<Feasibility>> = vec![None; polys.len()];
@@ -121,10 +130,12 @@ pub fn batch_feasibility(polys: &[Polyhedron]) -> Result<Vec<Feasibility>, PolyE
 
         // Phase 1: the envelope — per-row maximum constants — contains
         // every member, so its infeasibility refutes the whole group.
-        let envelope: Vec<i128> = order.iter().map(|&i| vector(i)).fold(
-            vec![i128::MIN; members[order[0]].ge.len()],
-            |acc, v| acc.iter().zip(&v).map(|(a, b)| *a.max(b)).collect(),
-        );
+        let envelope: Vec<i128> = order
+            .iter()
+            .map(|&i| vector(i))
+            .fold(vec![i128::MIN; members[order[0]].ge.len()], |acc, v| {
+                acc.iter().zip(&v).map(|(a, b)| *a.max(b)).collect()
+            });
         let is_member_envelope = vector(*order.last().expect("nonempty group")) == envelope;
         let envelope_f = if is_member_envelope {
             // The loosest member is the envelope: query it directly.
@@ -137,10 +148,16 @@ pub fn batch_feasibility(polys: &[Polyhedron]) -> Result<Vec<Feasibility>, PolyE
             // infeasible answer would save at least two member queries.
             let mut env = Polyhedron::universe(polys[order[0]].space().clone());
             for (coeffs, k) in &members[order[0]].eq_rows {
-                env.add(crate::Constraint::eq(crate::LinExpr::from_coeffs(coeffs.clone(), *k)));
+                env.add(crate::Constraint::eq(crate::LinExpr::from_coeffs(
+                    coeffs.clone(),
+                    *k,
+                )));
             }
             for (coeffs, k) in members[order[0]].ge.keys().zip(&envelope) {
-                env.add(crate::Constraint::ge(crate::LinExpr::from_coeffs(coeffs.clone(), *k)));
+                env.add(crate::Constraint::ge(crate::LinExpr::from_coeffs(
+                    coeffs.clone(),
+                    *k,
+                )));
             }
             env.integer_feasibility()?
         } else {
@@ -186,7 +203,10 @@ pub fn batch_feasibility(polys: &[Polyhedron]) -> Result<Vec<Feasibility>, PolyE
             }
         }
     }
-    Ok(out.into_iter().map(|f| f.expect("every member resolved")).collect())
+    Ok(out
+        .into_iter()
+        .map(|f| f.expect("every member resolved"))
+        .collect())
 }
 
 #[cfg(test)]
@@ -228,8 +248,7 @@ mod tests {
         // member doubles as the envelope (one query), then the tightest
         // member's feasibility resolves the middle of the chain.
         let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
-        let polys: Vec<Polyhedron> =
-            (0..5).map(|k| shifted_box(2, &[0, 0], &[k, k])).collect();
+        let polys: Vec<Polyhedron> = (0..5).map(|k| shifted_box(2, &[0, 0], &[k, k])).collect();
         let before = stats::snapshot();
         let out = batch_feasibility(&polys).unwrap();
         let d = stats::snapshot().since(&before);
@@ -245,12 +264,14 @@ mod tests {
         // is feasible, so the empty members are each solved — emptiness
         // never certifies a superset.
         let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
-        let polys: Vec<Polyhedron> =
-            (-3..2).map(|k| shifted_box(1, &[0], &[k])).collect();
+        let polys: Vec<Polyhedron> = (-3..2).map(|k| shifted_box(1, &[0], &[k])).collect();
         let out = batch_feasibility(&polys).unwrap();
         for (k, f) in (-3..2).zip(&out) {
-            let expect =
-                if k < 0 { Feasibility::Infeasible } else { Feasibility::Feasible };
+            let expect = if k < 0 {
+                Feasibility::Infeasible
+            } else {
+                Feasibility::Feasible
+            };
             assert_eq!(*f, expect, "hi={k}");
         }
         // And the reverse chain: querying a superset that is empty
@@ -261,7 +282,10 @@ mod tests {
         let out = batch_feasibility(&[tighter, tight]).unwrap();
         let d = stats::snapshot().since(&before);
         assert_eq!(out, vec![Feasibility::Infeasible; 2]);
-        assert_eq!(d.batch_saved, 1, "the superset's emptiness covers the subset");
+        assert_eq!(
+            d.batch_saved, 1,
+            "the superset's emptiness covers the subset"
+        );
     }
 
     #[test]
@@ -293,8 +317,7 @@ mod tests {
             let fam = 2 + (rng() % 4) as usize;
             // One shared matrix per round: box rows plus one random
             // diagonal row; members get independent random constants.
-            let diag: Vec<i128> =
-                (0..n).map(|_| (rng() % 5) as i128 - 2).collect();
+            let diag: Vec<i128> = (0..n).map(|_| (rng() % 5) as i128 - 2).collect();
             let polys: Vec<Polyhedron> = (0..fam)
                 .map(|_| {
                     let lo: Vec<i128> = (0..n).map(|_| (rng() % 7) as i128 - 3).collect();

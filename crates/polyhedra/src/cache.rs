@@ -73,7 +73,10 @@ struct Store<K, V> {
 
 impl<K: std::hash::Hash + Eq, V: Clone> Store<K, V> {
     fn new() -> Self {
-        Store { epoch: stats::epoch(), map: HashMap::new() }
+        Store {
+            epoch: stats::epoch(),
+            map: HashMap::new(),
+        }
     }
 
     fn sync(&mut self) {

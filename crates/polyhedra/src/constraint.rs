@@ -59,19 +59,28 @@ pub struct Constraint {
 impl Clone for Constraint {
     fn clone(&self) -> Constraint {
         crate::stats::count_cons_cloned();
-        Constraint { expr: self.expr.clone(), kind: self.kind }
+        Constraint {
+            expr: self.expr.clone(),
+            kind: self.kind,
+        }
     }
 }
 
 impl Constraint {
     /// Builds the constraint `expr >= 0`.
     pub fn ge(expr: LinExpr) -> Self {
-        Constraint { expr, kind: ConstraintKind::Ge }
+        Constraint {
+            expr,
+            kind: ConstraintKind::Ge,
+        }
     }
 
     /// Builds the constraint `expr == 0`.
     pub fn eq(expr: LinExpr) -> Self {
-        Constraint { expr, kind: ConstraintKind::Eq }
+        Constraint {
+            expr,
+            kind: ConstraintKind::Eq,
+        }
     }
 
     /// Builds `lhs >= rhs` as `lhs - rhs >= 0`.
@@ -142,7 +151,11 @@ impl Constraint {
                 ConstraintKind::Eq => c == 0,
                 ConstraintKind::Ge => c >= 0,
             };
-            return if ok { Normalized::Tautology } else { Normalized::Contradiction };
+            return if ok {
+                Normalized::Tautology
+            } else {
+                Normalized::Contradiction
+            };
         }
         if g == 1 {
             return Normalized::Constraint(self.clone());
@@ -174,7 +187,10 @@ impl Constraint {
     /// Panics if called on an equality (the negation of an equality is a
     /// disjunction; see [`Polyhedron::subtract`](crate::Polyhedron::subtract)).
     pub fn negate_ge(&self) -> Constraint {
-        assert!(!self.is_eq(), "cannot negate an equality into one constraint");
+        assert!(
+            !self.is_eq(),
+            "cannot negate an equality into one constraint"
+        );
         let mut e = self.expr.scaled(-1);
         e.set_constant(e.constant_term() - 1);
         Constraint::ge(e)
@@ -186,7 +202,10 @@ impl Constraint {
     ///
     /// Returns [`PolyError::Overflow`] on overflow.
     pub fn substitute(&self, dim: usize, replacement: &LinExpr) -> Result<Constraint, PolyError> {
-        Ok(Constraint { expr: self.expr.substitute(dim, replacement)?, kind: self.kind })
+        Ok(Constraint {
+            expr: self.expr.substitute(dim, replacement)?,
+            kind: self.kind,
+        })
     }
 
     /// Renders the constraint with dimension names from `space`.
@@ -246,10 +265,22 @@ mod tests {
 
     #[test]
     fn normalize_constant_constraints() {
-        assert_eq!(Constraint::ge(LinExpr::constant(1, 0)).normalize(), Normalized::Tautology);
-        assert_eq!(Constraint::ge(LinExpr::constant(1, -1)).normalize(), Normalized::Contradiction);
-        assert_eq!(Constraint::eq(LinExpr::constant(1, 0)).normalize(), Normalized::Tautology);
-        assert_eq!(Constraint::eq(LinExpr::constant(1, 2)).normalize(), Normalized::Contradiction);
+        assert_eq!(
+            Constraint::ge(LinExpr::constant(1, 0)).normalize(),
+            Normalized::Tautology
+        );
+        assert_eq!(
+            Constraint::ge(LinExpr::constant(1, -1)).normalize(),
+            Normalized::Contradiction
+        );
+        assert_eq!(
+            Constraint::eq(LinExpr::constant(1, 0)).normalize(),
+            Normalized::Tautology
+        );
+        assert_eq!(
+            Constraint::eq(LinExpr::constant(1, 2)).normalize(),
+            Normalized::Contradiction
+        );
     }
 
     #[test]

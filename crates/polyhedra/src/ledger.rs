@@ -221,7 +221,10 @@ impl Ledger {
     /// Deterministic for a given input — identical across runs, worker
     /// counts, and cache states.
     pub fn charged_work(&self) -> u64 {
-        self.records().filter(|r| r.top_level).map(|r| r.charged_units).sum()
+        self.records()
+            .filter(|r| r.top_level)
+            .map(|r| r.charged_units)
+            .sum()
     }
 
     /// Per-kind totals for reconciliation against `PolyStats`.
@@ -302,7 +305,10 @@ struct ScopeInner {
 
 impl ScopeInner {
     fn new() -> Self {
-        ScopeInner { enabled: AtomicBool::new(false), store: Mutex::new(Store::default()) }
+        ScopeInner {
+            enabled: AtomicBool::new(false),
+            store: Mutex::new(Store::default()),
+        }
     }
 
     fn store(&self) -> std::sync::MutexGuard<'_, Store> {
@@ -340,7 +346,10 @@ impl ScopeInner {
         let mut g = self.store();
         let mut segments = std::mem::take(&mut g.segments);
         if !g.orphans.is_empty() {
-            segments.push(Segment { ctx: Vec::new(), records: std::mem::take(&mut g.orphans) });
+            segments.push(Segment {
+                ctx: Vec::new(),
+                records: std::mem::take(&mut g.orphans),
+            });
         }
         Ledger { segments }
     }
@@ -381,19 +390,25 @@ pub struct LedgerScope {
 impl LedgerScope {
     /// Creates a fresh, idle scope.
     pub fn new() -> Self {
-        LedgerScope { inner: Arc::new(ScopeInner::new()) }
+        LedgerScope {
+            inner: Arc::new(ScopeInner::new()),
+        }
     }
 
     /// A handle to the process default scope — the one the free
     /// functions [`start`]/[`finish`] operate on.
     pub fn default_scope() -> Self {
-        LedgerScope { inner: Arc::clone(default_scope()) }
+        LedgerScope {
+            inner: Arc::clone(default_scope()),
+        }
     }
 
     /// A handle to the calling thread's current scope (the default
     /// unless an [`install`](Self::install) guard is live).
     pub fn current() -> Self {
-        LedgerScope { inner: with_scope(Arc::clone) }
+        LedgerScope {
+            inner: with_scope(Arc::clone),
+        }
     }
 
     /// Whether two handles refer to the same scope.
@@ -435,7 +450,10 @@ impl LedgerScope {
     /// guard drops (the previous scope is restored). Guards nest.
     pub fn install(&self) -> ScopeGuard {
         let prev = CURRENT.with(|c| c.borrow_mut().replace(Arc::clone(&self.inner)));
-        ScopeGuard { prev, _not_send: PhantomData }
+        ScopeGuard {
+            prev,
+            _not_send: PhantomData,
+        }
     }
 }
 
@@ -447,7 +465,9 @@ impl Default for LedgerScope {
 
 impl std::fmt::Debug for LedgerScope {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("LedgerScope").field("recording", &self.is_recording()).finish()
+        f.debug_struct("LedgerScope")
+            .field("recording", &self.is_recording())
+            .finish()
     }
 }
 
@@ -492,7 +512,9 @@ pub struct CtxGuard {
 /// attributes correctly.
 pub fn push_context(label: impl Into<String>) -> CtxGuard {
     STATE.with(|s| s.borrow_mut().ctx.push(label.into()));
-    CtxGuard { _not_send: std::marker::PhantomData }
+    CtxGuard {
+        _not_send: std::marker::PhantomData,
+    }
 }
 
 impl Drop for CtxGuard {
@@ -516,7 +538,10 @@ fn append(st: &mut ThreadState, rec: OpRecord) {
     }
     match st.segments.last_mut() {
         Some(seg) if seg.ctx == st.ctx => seg.records.push(rec),
-        _ => st.segments.push(Segment { ctx: st.ctx.clone(), records: vec![rec] }),
+        _ => st.segments.push(Segment {
+            ctx: st.ctx.clone(),
+            records: vec![rec],
+        }),
     }
 }
 
@@ -742,7 +767,10 @@ mod tests {
         // Recorded into the scope, not the default store.
         start();
         let default_ledger = finish();
-        assert!(default_ledger.segments.is_empty(), "scoped records leaked to default");
+        assert!(
+            default_ledger.segments.is_empty(),
+            "scoped records leaked to default"
+        );
         // drain() hands back the records and keeps the scope recording.
         let first = scope.drain();
         assert_eq!(first.totals().fm_steps, 1);
@@ -753,7 +781,11 @@ mod tests {
             op(OpKind::LexSplit, 2).finish();
         }
         let second = scope.finish();
-        assert_eq!(second.totals().fm_steps, 0, "drain must not replay old records");
+        assert_eq!(
+            second.totals().fm_steps,
+            0,
+            "drain must not replay old records"
+        );
         assert_eq!(second.totals().lex_splits, 1);
         assert!(!scope.is_recording());
     }

@@ -106,7 +106,15 @@ impl std::error::Error for LexError {}
 pub fn lexopt(poly: &Polyhedron, opt_dims: &[usize], dir: Direction) -> Result<LexOpt, LexError> {
     let mut out = Vec::new();
     let mut budget: u32 = 512;
-    rec(poly.clone(), opt_dims, 0, dir, Vec::new(), &mut out, &mut budget)?;
+    rec(
+        poly.clone(),
+        opt_dims,
+        0,
+        dir,
+        Vec::new(),
+        &mut out,
+        &mut budget,
+    )?;
     // All pieces share a space only if the aux-extension path was identical;
     // normalize by embedding each piece into the widest space produced.
     let widest = out
@@ -132,7 +140,10 @@ pub fn lexopt(poly: &Polyhedron, opt_dims: &[usize], dir: Direction) -> Result<L
             }
         })
         .collect();
-    Ok(LexOpt { space: widest, pieces })
+    Ok(LexOpt {
+        space: widest,
+        pieces,
+    })
 }
 
 fn rec(
@@ -173,12 +184,20 @@ fn rec(
         debug_assert!(solution
             .iter()
             .all(|e| all_opt.iter().all(|&d| e.coeff(d) == 0)));
-        out.push(LexPiece { context: cur, solution });
+        out.push(LexPiece {
+            context: cur,
+            solution,
+        });
         return Ok(());
     };
 
     // Case 1: an equality pins v.
-    if let Some(eq) = cur.constraints().iter().find(|c| c.is_eq() && c.involves(v)).cloned() {
+    if let Some(eq) = cur
+        .constraints()
+        .iter()
+        .find(|c| c.is_eq() && c.involves(v))
+        .cloned()
+    {
         let a = eq.coeff(v);
         let mut e_rest = eq.expr().clone();
         e_rest.set_coeff(v, 0);
@@ -218,7 +237,10 @@ fn rec(
         e.set_coeff(v, 0);
         match dir {
             Direction::Max if a < 0 => sides.push(Side { e, c: -a }),
-            Direction::Min if a > 0 => sides.push(Side { e: e.scale(-1)?, c: a }),
+            Direction::Min if a > 0 => sides.push(Side {
+                e: e.scale(-1)?,
+                c: a,
+            }),
             _ => {}
         }
     }
@@ -368,7 +390,11 @@ mod tests {
 
     /// Evaluates a piece's solution at a concrete context, solving for aux
     /// dims by searching a small range.
-    fn eval_piece(piece: &LexPiece, ctx: &[i128], aux_range: std::ops::Range<i128>) -> Option<Vec<i128>> {
+    fn eval_piece(
+        piece: &LexPiece,
+        ctx: &[i128],
+        aux_range: std::ops::Range<i128>,
+    ) -> Option<Vec<i128>> {
         let n = piece.context.space().len();
         let aux_dims: Vec<usize> = (ctx.len()..n).collect();
         let mut point = ctx.to_vec();
@@ -383,7 +409,11 @@ mod tests {
             if k == aux.len() {
                 if piece.context.contains(point).unwrap() {
                     return Some(
-                        piece.solution.iter().map(|e| e.eval(point).unwrap()).collect(),
+                        piece
+                            .solution
+                            .iter()
+                            .map(|e| e.eval(point).unwrap())
+                            .collect(),
                     );
                 }
                 return None;
@@ -418,7 +448,10 @@ mod tests {
         p.add(ge(vec![0, 1], 0));
         let r = lexopt(&p, &[1], Direction::Max).unwrap();
         assert_eq!(r.pieces.len(), 1);
-        assert_eq!(r.pieces[0].solution[0], LinExpr::from_coeffs(vec![1, 0], -3));
+        assert_eq!(
+            r.pieces[0].solution[0],
+            LinExpr::from_coeffs(vec![1, 0], -3)
+        );
         // Context requires i - 3 >= 0.
         assert!(r.pieces[0].context.contains(&[3, 99]).unwrap());
         assert!(!r.pieces[0].context.contains(&[2, 99]).unwrap());
@@ -511,7 +544,10 @@ mod tests {
         assert_eq!(r.pieces.len(), 1);
         let piece = &r.pieces[0];
         // tw* = tr - 1, iw* = ir.
-        assert_eq!(piece.solution[0], LinExpr::from_coeffs(vec![1, 0, 0, 0], -1));
+        assert_eq!(
+            piece.solution[0],
+            LinExpr::from_coeffs(vec![1, 0, 0, 0], -1)
+        );
         assert_eq!(piece.solution[1], LinExpr::from_coeffs(vec![0, 1, 0, 0], 0));
     }
 

@@ -59,12 +59,12 @@ mod space;
 pub use batch::batch_feasibility;
 pub use cache::CanonicalKey;
 pub use constraint::{Constraint, ConstraintKind, Normalized};
-pub use stats::PolyStats;
 pub use lexopt::{lexopt, Direction, LexError, LexOpt, LexPiece};
 pub use linexpr::LinExpr;
 pub use polyhedron::{Feasibility, Polyhedron};
 pub use scan::{scan_bounds, Bound, ScanNest, VarBounds};
 pub use space::{Dim, DimKind, Space};
+pub use stats::PolyStats;
 
 /// Errors produced by polyhedral arithmetic.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

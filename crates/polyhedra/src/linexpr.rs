@@ -32,7 +32,10 @@ enum Repr {
 impl Repr {
     fn zeros(n: usize) -> Repr {
         if n <= INLINE_DIMS {
-            Repr::Inline { len: n as u8, buf: [0; INLINE_DIMS] }
+            Repr::Inline {
+                len: n as u8,
+                buf: [0; INLINE_DIMS],
+            }
         } else {
             stats::count_alloc();
             Repr::Heap(vec![0; n])
@@ -57,7 +60,10 @@ impl Repr {
 impl Clone for Repr {
     fn clone(&self) -> Repr {
         match self {
-            Repr::Inline { len, buf } => Repr::Inline { len: *len, buf: *buf },
+            Repr::Inline { len, buf } => Repr::Inline {
+                len: *len,
+                buf: *buf,
+            },
             Repr::Heap(v) => {
                 stats::count_alloc();
                 Repr::Heap(v.clone())
@@ -110,12 +116,18 @@ impl Hash for LinExpr {
 impl LinExpr {
     /// The zero expression over `n` dimensions.
     pub fn zero(n: usize) -> Self {
-        LinExpr { repr: Repr::zeros(n), constant: 0 }
+        LinExpr {
+            repr: Repr::zeros(n),
+            constant: 0,
+        }
     }
 
     /// A constant expression over `n` dimensions.
     pub fn constant(n: usize, c: i128) -> Self {
-        LinExpr { repr: Repr::zeros(n), constant: c }
+        LinExpr {
+            repr: Repr::zeros(n),
+            constant: c,
+        }
     }
 
     /// The expression `1 * dim` over `n` dimensions.
@@ -136,7 +148,10 @@ impl LinExpr {
         let repr = if coeffs.len() <= INLINE_DIMS {
             let mut buf = [0; INLINE_DIMS];
             buf[..coeffs.len()].copy_from_slice(&coeffs);
-            Repr::Inline { len: coeffs.len() as u8, buf }
+            Repr::Inline {
+                len: coeffs.len() as u8,
+                buf,
+            }
         } else {
             Repr::Heap(coeffs)
         };
@@ -307,7 +322,11 @@ impl LinExpr {
     /// Panics if `replacement` itself references `dim` or the lengths differ.
     pub fn substitute(&self, dim: usize, replacement: &LinExpr) -> Result<LinExpr, PolyError> {
         assert_eq!(self.len(), replacement.len(), "space mismatch");
-        assert_eq!(replacement.coeff(dim), 0, "replacement references substituted dim");
+        assert_eq!(
+            replacement.coeff(dim),
+            0,
+            "replacement references substituted dim"
+        );
         let k = self.coeff(dim);
         if k == 0 {
             return Ok(self.clone());
@@ -454,7 +473,10 @@ mod tests {
         assert_eq!(a.add(&b).unwrap(), LinExpr::from_coeffs(vec![5, 0], 4));
         assert_eq!(a.sub(&b).unwrap(), LinExpr::from_coeffs(vec![-3, 4], 2));
         assert_eq!(a.scale(-2).unwrap(), LinExpr::from_coeffs(vec![-2, -4], -6));
-        assert_eq!(a.combine(3, &b, -1).unwrap(), LinExpr::from_coeffs(vec![-1, 8], 8));
+        assert_eq!(
+            a.combine(3, &b, -1).unwrap(),
+            LinExpr::from_coeffs(vec![-1, 8], 8)
+        );
     }
 
     #[test]
@@ -485,8 +507,14 @@ mod tests {
     #[test]
     fn display_formatting() {
         let s = space2();
-        assert_eq!(LinExpr::from_coeffs(vec![1, -1], 0).display(&s).to_string(), "i - j");
-        assert_eq!(LinExpr::from_coeffs(vec![-2, 0], 3).display(&s).to_string(), "-2i + 3");
+        assert_eq!(
+            LinExpr::from_coeffs(vec![1, -1], 0).display(&s).to_string(),
+            "i - j"
+        );
+        assert_eq!(
+            LinExpr::from_coeffs(vec![-2, 0], 3).display(&s).to_string(),
+            "-2i + 3"
+        );
         assert_eq!(LinExpr::constant(2, 0).display(&s).to_string(), "0");
         assert_eq!(LinExpr::constant(2, -4).display(&s).to_string(), "-4");
     }
@@ -513,10 +541,7 @@ mod tests {
             assert_eq!(doubled, e.scale(2).unwrap());
             assert_eq!(e.combine(2, &e, -1).unwrap(), e);
             let pt: Vec<i128> = base.iter().map(|&c| c % 3 - 1).collect();
-            assert_eq!(
-                doubled.eval(&pt).unwrap(),
-                2 * e.eval(&pt).unwrap(),
-            );
+            assert_eq!(doubled.eval(&pt).unwrap(), 2 * e.eval(&pt).unwrap(),);
         }
     }
 
@@ -532,7 +557,10 @@ mod tests {
         assert_eq!(wide.coeff(INLINE_DIMS - 1), INLINE_DIMS as i128 - 1);
         assert_eq!(wide.coeff(INLINE_DIMS + 2), 0);
         let d = crate::stats::snapshot().since(&before);
-        assert!(d.inline_spills >= 1, "extend past the buffer must count a spill");
+        assert!(
+            d.inline_spills >= 1,
+            "extend past the buffer must count a spill"
+        );
         assert!(d.allocs >= 1, "the spilled row lives on the heap");
 
         let mut back = wide.clone();

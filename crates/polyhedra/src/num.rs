@@ -38,7 +38,10 @@ pub fn lcm(a: i128, b: i128) -> Result<i128, PolyError> {
         return Ok(0);
     }
     let g = gcd(a, b);
-    (a / g).checked_mul(b).map(i128::abs).ok_or(PolyError::Overflow)
+    (a / g)
+        .checked_mul(b)
+        .map(i128::abs)
+        .ok_or(PolyError::Overflow)
 }
 
 /// Floor division: the largest integer `q` with `q * b <= a`. Requires `b > 0`.

@@ -86,12 +86,22 @@ impl Eq for Polyhedron {}
 impl Polyhedron {
     /// The unconstrained polyhedron over `space`.
     pub fn universe(space: Space) -> Self {
-        Polyhedron { space, cons: Vec::new(), contradiction: false, index: HashSet::new() }
+        Polyhedron {
+            space,
+            cons: Vec::new(),
+            contradiction: false,
+            index: HashSet::new(),
+        }
     }
 
     /// The empty polyhedron over `space`.
     pub fn empty(space: Space) -> Self {
-        Polyhedron { space, cons: Vec::new(), contradiction: true, index: HashSet::new() }
+        Polyhedron {
+            space,
+            cons: Vec::new(),
+            contradiction: true,
+            index: HashSet::new(),
+        }
     }
 
     /// The polyhedron's space.
@@ -114,7 +124,11 @@ impl Polyhedron {
     /// a hash index, so building a system of `n` constraints is O(n) rather
     /// than the O(n²) of a linear-scan dedup.
     pub fn add(&mut self, c: Constraint) {
-        assert_eq!(c.expr().len(), self.space.len(), "constraint space mismatch");
+        assert_eq!(
+            c.expr().len(),
+            self.space.len(),
+            "constraint space mismatch"
+        );
         match c.normalize() {
             Normalized::Tautology => {}
             Normalized::Contradiction => self.contradiction = true,
@@ -143,10 +157,20 @@ impl Polyhedron {
         let mut rows: Vec<(bool, Vec<i128>, i128)> = self
             .cons
             .iter()
-            .map(|c| (c.is_eq(), c.expr().coeffs().to_vec(), c.expr().constant_term()))
+            .map(|c| {
+                (
+                    c.is_eq(),
+                    c.expr().coeffs().to_vec(),
+                    c.expr().constant_term(),
+                )
+            })
             .collect();
         rows.sort_unstable();
-        CanonicalKey { dims: self.space.len(), contradiction: self.contradiction, rows }
+        CanonicalKey {
+            dims: self.space.len(),
+            contradiction: self.contradiction,
+            rows,
+        }
     }
 
     /// Exact-sequence cache key (see [`crate::cache`] on why projection
@@ -283,7 +307,11 @@ impl Polyhedron {
         Ok(out)
     }
 
-    fn eliminate_dim_shadow_impl(&self, dim: usize, shadow: Shadow) -> Result<Polyhedron, PolyError> {
+    fn eliminate_dim_shadow_impl(
+        &self,
+        dim: usize,
+        shadow: Shadow,
+    ) -> Result<Polyhedron, PolyError> {
         let mut out = Polyhedron::universe(self.space.clone());
         out.contradiction = self.contradiction;
         if self.contradiction {
@@ -336,8 +364,8 @@ impl Polyhedron {
             let b = lo.coeff(dim); // b > 0
             for up in &uppers {
                 let c = -up.coeff(dim); // c > 0
-                // b*dim + e_lo >= 0 and -c*dim + e_up >= 0
-                //   =>  c*e_lo + b*e_up >= 0 (real shadow)
+                                        // b*dim + e_lo >= 0 and -c*dim + e_up >= 0
+                                        //   =>  c*e_lo + b*e_up >= 0 (real shadow)
                 let mut e = lo.expr().combine(c, up.expr(), b)?;
                 if shadow == Shadow::Dark && b > 1 && c > 1 {
                     // Dark shadow: subtract (b-1)(c-1).
@@ -402,8 +430,14 @@ impl Polyhedron {
                     unit_up = false;
                 }
             }
-            let shadow = if unit_lo || unit_up { Shadow::Real } else { Shadow::Dark };
-            cur = split.eliminate_dim_shadow(d, shadow)?.remove_redundant_cheap();
+            let shadow = if unit_lo || unit_up {
+                Shadow::Real
+            } else {
+                Shadow::Dark
+            };
+            cur = split
+                .eliminate_dim_shadow(d, shadow)?
+                .remove_redundant_cheap();
         }
         Ok(cur)
     }
@@ -454,7 +488,11 @@ impl Polyhedron {
         let charged = op.finish();
         cache::proj_put(
             key,
-            CachedPoly { cons: out.cons.clone(), contradiction: out.contradiction, charged },
+            CachedPoly {
+                cons: out.cons.clone(),
+                contradiction: out.contradiction,
+                charged,
+            },
         );
         Ok(out)
     }
@@ -506,11 +544,16 @@ impl Polyhedron {
     ///
     /// Returns [`PolyError::Overflow`] on overflow.
     pub fn project_onto(&self, keep: &[usize]) -> Result<Polyhedron, PolyError> {
-        let drop: Vec<usize> = (0..self.space.len()).filter(|d| !keep.contains(d)).collect();
+        let drop: Vec<usize> = (0..self.space.len())
+            .filter(|d| !keep.contains(d))
+            .collect();
         let eliminated = self.eliminate_dims(&drop)?;
         let mut new_space = Space::new();
         for &k in keep {
-            new_space.add_dim(self.space.dim(k).name().to_owned(), self.space.dim(k).kind());
+            new_space.add_dim(
+                self.space.dim(k).name().to_owned(),
+                self.space.dim(k).kind(),
+            );
         }
         let mut out = Polyhedron::universe(new_space);
         out.contradiction = eliminated.contradiction;
@@ -614,7 +657,11 @@ impl Polyhedron {
         let charged = op.finish();
         cache::redund_put(
             key,
-            CachedPoly { cons: out.cons.clone(), contradiction: out.contradiction, charged },
+            CachedPoly {
+                cons: out.cons.clone(),
+                contradiction: out.contradiction,
+                charged,
+            },
         );
         Ok(out)
     }
@@ -877,7 +924,9 @@ impl Polyhedron {
             return Ok(Feasibility::Feasible);
         };
 
-        let real = cur.eliminate_dim_shadow(d, Shadow::Real)?.remove_redundant_cheap();
+        let real = cur
+            .eliminate_dim_shadow(d, Shadow::Real)?
+            .remove_redundant_cheap();
         let real_answer = real.integer_feasibility_budget(budget)?;
         if real_answer == Feasibility::Infeasible {
             return Ok(Feasibility::Infeasible);
@@ -885,7 +934,9 @@ impl Polyhedron {
         if exact {
             return Ok(real_answer);
         }
-        let dark = cur.eliminate_dim_shadow(d, Shadow::Dark)?.remove_redundant_cheap();
+        let dark = cur
+            .eliminate_dim_shadow(d, Shadow::Dark)?
+            .remove_redundant_cheap();
         if dark.integer_feasibility_budget(budget)? == Feasibility::Feasible {
             return Ok(Feasibility::Feasible);
         }
@@ -960,9 +1011,8 @@ impl Polyhedron {
                             multi = true;
                         }
                         let fold = |s: Option<i128>, bound: Option<i128>| {
-                            s.zip(bound).and_then(|(s, v)| {
-                                ak.checked_mul(v).and_then(|t| s.checked_add(t))
-                            })
+                            s.zip(bound)
+                                .and_then(|(s, v)| ak.checked_mul(v).and_then(|t| s.checked_add(t)))
                         };
                         smax = fold(smax, if ak > 0 { hi[k] } else { lo[k] });
                         smin = fold(smin, if ak > 0 { lo[k] } else { hi[k] });
@@ -1323,7 +1373,13 @@ fn prefilter_verdict(kept: &[Constraint], i: usize, n: usize) -> PreVerdict {
     let mut base = vec![0i128; n];
     for d in 0..n {
         let a = c.coeff(d);
-        let prefer = if a > 0 { lo[d] } else if a < 0 { hi[d] } else { None };
+        let prefer = if a > 0 {
+            lo[d]
+        } else if a < 0 {
+            hi[d]
+        } else {
+            None
+        };
         let mut v = prefer.unwrap_or(0);
         if let Some(l) = lo[d] {
             v = v.max(l);
@@ -1343,13 +1399,23 @@ fn prefilter_verdict(kept: &[Constraint], i: usize, n: usize) -> PreVerdict {
         }
         // Solve a·x <= -1 - rest for the threshold x, where rest is c's
         // value at the base corner with dimension d zeroed out.
-        let Ok(at_base) = c.expr().eval(&base) else { continue };
-        let Some(rest) = num::mul(a, base[d]).ok().and_then(|t| at_base.checked_sub(t))
+        let Ok(at_base) = c.expr().eval(&base) else {
+            continue;
+        };
+        let Some(rest) = num::mul(a, base[d])
+            .ok()
+            .and_then(|t| at_base.checked_sub(t))
         else {
             continue;
         };
-        let Some(t) = (-1i128).checked_sub(rest) else { continue };
-        let x = if a > 0 { num::div_floor(t, a) } else { num::div_ceil(-t, -a) };
+        let Some(t) = (-1i128).checked_sub(rest) else {
+            continue;
+        };
+        let x = if a > 0 {
+            num::div_floor(t, a)
+        } else {
+            num::div_ceil(-t, -a)
+        };
         if x == base[d] {
             continue;
         }
@@ -1631,8 +1697,9 @@ mod tests {
         };
         for round in 0..40u32 {
             let n = 2 + (rng() % 2) as usize;
-            let names: Vec<(String, crate::DimKind)> =
-                (0..n).map(|i| (format!("d{i}"), crate::DimKind::Index)).collect();
+            let names: Vec<(String, crate::DimKind)> = (0..n)
+                .map(|i| (format!("d{i}"), crate::DimKind::Index))
+                .collect();
             let mut p = Polyhedron::universe(Space::from_dims(names));
             for d in 0..n {
                 let lo = -((rng() % 4) as i128);

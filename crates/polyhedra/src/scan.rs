@@ -168,7 +168,9 @@ pub fn scan_bounds(poly: &Polyhedron, order: &[usize]) -> Result<ScanNest, PolyE
     for (k, &dim) in order.iter().enumerate().rev() {
         // Deeper dims were already eliminated; sanity-check in debug builds.
         debug_assert!(
-            cur.constraints().iter().all(|c| order[k + 1..].iter().all(|&d| c.coeff(d) == 0)),
+            cur.constraints()
+                .iter()
+                .all(|c| order[k + 1..].iter().all(|&d| c.coeff(d) == 0)),
             "deeper dimension leaked into bounds"
         );
         let mut lowers = Vec::new();
@@ -189,22 +191,42 @@ pub fn scan_bounds(poly: &Polyhedron, order: &[usize]) -> Result<ScanNest, PolyE
                     // Both a ceiling lower bound and a floor upper bound; the
                     // loop body only runs when the division is exact.
                     let e = rest.scale(-a.signum())?;
-                    lowers.push(Bound { expr: e.clone(), divisor: a.abs() });
-                    uppers.push(Bound { expr: e, divisor: a.abs() });
+                    lowers.push(Bound {
+                        expr: e.clone(),
+                        divisor: a.abs(),
+                    });
+                    uppers.push(Bound {
+                        expr: e,
+                        divisor: a.abs(),
+                    });
                 }
             } else if a > 0 {
                 // a*dim >= -rest  =>  dim >= ceil(-rest / a).
-                lowers.push(Bound { expr: rest.scale(-1)?, divisor: a });
+                lowers.push(Bound {
+                    expr: rest.scale(-1)?,
+                    divisor: a,
+                });
             } else {
                 // (-a)*dim <= rest  =>  dim <= floor(rest / -a).
-                uppers.push(Bound { expr: rest, divisor: -a });
+                uppers.push(Bound {
+                    expr: rest,
+                    divisor: -a,
+                });
             }
         }
-        vars_rev.push(VarBounds { dim, lowers, uppers, exact });
+        vars_rev.push(VarBounds {
+            dim,
+            lowers,
+            uppers,
+            exact,
+        });
         cur = cur.eliminate_dim(dim)?.remove_redundant()?;
     }
     vars_rev.reverse();
-    Ok(ScanNest { vars: vars_rev, guard: cur })
+    Ok(ScanNest {
+        vars: vars_rev,
+        guard: cur,
+    })
 }
 
 /// Promotes inequalities that hold with equality everywhere in the
@@ -213,24 +235,19 @@ pub fn scan_bounds(poly: &Polyhedron, order: &[usize]) -> Result<ScanNest, PolyE
 /// `p <= i <= p` pair, or a communication set's `p_s <= p_r − 1` that is
 /// forced tight by the block bounds — surface as §5.2 assignments instead
 /// of single-trip loops.
-fn promote_tight_inequalities(
-    poly: &Polyhedron,
-    order: &[usize],
-) -> Result<Polyhedron, PolyError> {
+fn promote_tight_inequalities(poly: &Polyhedron, order: &[usize]) -> Result<Polyhedron, PolyError> {
     let mut out = Polyhedron::universe(poly.space().clone());
     if poly.is_obviously_empty() {
         return Ok(poly.clone());
     }
     for c in poly.constraints() {
-        let promote = !c.is_eq()
-            && order.iter().any(|&d| c.coeff(d) != 0)
-            && {
-                let mut probe = poly.clone();
-                let mut strict = c.expr().clone();
-                strict.set_constant(strict.constant_term() - 1);
-                probe.add(crate::Constraint::ge(strict));
-                probe.integer_feasibility()? == crate::Feasibility::Infeasible
-            };
+        let promote = !c.is_eq() && order.iter().any(|&d| c.coeff(d) != 0) && {
+            let mut probe = poly.clone();
+            let mut strict = c.expr().clone();
+            strict.set_constant(strict.constant_term() - 1);
+            probe.add(crate::Constraint::ge(strict));
+            probe.integer_feasibility()? == crate::Feasibility::Infeasible
+        };
         if promote {
             out.add(crate::Constraint::eq(c.expr().clone()));
         } else {

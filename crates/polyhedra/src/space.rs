@@ -49,7 +49,10 @@ pub struct Dim {
 impl Dim {
     /// Creates a dimension with the given name and kind.
     pub fn new(name: impl Into<String>, kind: DimKind) -> Self {
-        Dim { name: name.into(), kind }
+        Dim {
+            name: name.into(),
+            kind,
+        }
     }
 
     /// The dimension's name.
@@ -164,7 +167,9 @@ impl Space {
 
     /// Positions of every dimension of kind `kind`, in order.
     pub fn dims_of_kind(&self, kind: DimKind) -> Vec<usize> {
-        (0..self.len()).filter(|&i| self.dims[i].kind() == kind).collect()
+        (0..self.len())
+            .filter(|&i| self.dims[i].kind() == kind)
+            .collect()
     }
 
     /// Builds a new space that appends `other`'s dimensions after `self`'s.

@@ -159,16 +159,24 @@ impl PolyStats {
     pub fn since(&self, earlier: &PolyStats) -> PolyStats {
         PolyStats {
             fm_steps: self.fm_steps.saturating_sub(earlier.fm_steps),
-            feasibility_calls: self.feasibility_calls.saturating_sub(earlier.feasibility_calls),
+            feasibility_calls: self
+                .feasibility_calls
+                .saturating_sub(earlier.feasibility_calls),
             feasibility_unknown: self
                 .feasibility_unknown
                 .saturating_sub(earlier.feasibility_unknown),
             bnb_nodes: self.bnb_nodes.saturating_sub(earlier.bnb_nodes),
             feas_cache_hits: self.feas_cache_hits.saturating_sub(earlier.feas_cache_hits),
-            feas_cache_misses: self.feas_cache_misses.saturating_sub(earlier.feas_cache_misses),
+            feas_cache_misses: self
+                .feas_cache_misses
+                .saturating_sub(earlier.feas_cache_misses),
             proj_cache_hits: self.proj_cache_hits.saturating_sub(earlier.proj_cache_hits),
-            proj_cache_misses: self.proj_cache_misses.saturating_sub(earlier.proj_cache_misses),
-            redund_cache_hits: self.redund_cache_hits.saturating_sub(earlier.redund_cache_hits),
+            proj_cache_misses: self
+                .proj_cache_misses
+                .saturating_sub(earlier.proj_cache_misses),
+            redund_cache_hits: self
+                .redund_cache_hits
+                .saturating_sub(earlier.redund_cache_hits),
             redund_cache_misses: self
                 .redund_cache_misses
                 .saturating_sub(earlier.redund_cache_misses),
@@ -256,13 +264,28 @@ pub(crate) fn count_bnb_node() {
     BNB_NODES.fetch_add(1, R);
 }
 pub(crate) fn count_feas_cache(hit: bool) {
-    if hit { &FEAS_CACHE_HITS } else { &FEAS_CACHE_MISSES }.fetch_add(1, R);
+    if hit {
+        &FEAS_CACHE_HITS
+    } else {
+        &FEAS_CACHE_MISSES
+    }
+    .fetch_add(1, R);
 }
 pub(crate) fn count_proj_cache(hit: bool) {
-    if hit { &PROJ_CACHE_HITS } else { &PROJ_CACHE_MISSES }.fetch_add(1, R);
+    if hit {
+        &PROJ_CACHE_HITS
+    } else {
+        &PROJ_CACHE_MISSES
+    }
+    .fetch_add(1, R);
 }
 pub(crate) fn count_redund_cache(hit: bool) {
-    if hit { &REDUND_CACHE_HITS } else { &REDUND_CACHE_MISSES }.fetch_add(1, R);
+    if hit {
+        &REDUND_CACHE_HITS
+    } else {
+        &REDUND_CACHE_MISSES
+    }
+    .fetch_add(1, R);
 }
 pub(crate) fn count_negation_test() {
     NEGATION_TESTS.fetch_add(1, R);
@@ -616,7 +639,10 @@ mod tests {
             drop(same);
             assert_eq!(thread_epoch(), e1);
 
-            let inner = push_thread_tuning(Tuning { feasibility_budget: 5, ..t });
+            let inner = push_thread_tuning(Tuning {
+                feasibility_budget: 5,
+                ..t
+            });
             assert_eq!(feasibility_budget(), 5);
             assert!(thread_epoch() > e1);
             drop(inner);

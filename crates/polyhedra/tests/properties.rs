@@ -103,10 +103,17 @@ fn feasibility_matches_enumeration() {
         let pts = points_of(&p, 4);
         match p.integer_feasibility().unwrap() {
             Feasibility::Infeasible => {
-                assert!(pts.is_empty(), "case {case}: claimed infeasible with {} points", pts.len())
+                assert!(
+                    pts.is_empty(),
+                    "case {case}: claimed infeasible with {} points",
+                    pts.len()
+                )
             }
             Feasibility::Feasible => {
-                assert!(!pts.is_empty(), "case {case}: claimed feasible with no points")
+                assert!(
+                    !pts.is_empty(),
+                    "case {case}: claimed feasible with no points"
+                )
             }
             Feasibility::Unknown => {}
         }
@@ -123,7 +130,10 @@ fn projection_covers_shadow() {
         let p = gen_polyhedron(&mut rng, 3, 3, 4);
         let proj = p.eliminate_dims(&[2]).unwrap();
         for pt in points_of(&p, 4) {
-            assert!(proj.contains(&pt).unwrap(), "case {case}: projection lost {pt:?}");
+            assert!(
+                proj.contains(&pt).unwrap(),
+                "case {case}: projection lost {pt:?}"
+            );
         }
     }
 }
@@ -142,7 +152,10 @@ fn under_projection_is_sound() {
                 // `under` ignores x2; test membership with any value.
                 if under.contains(&[x0, x1, 0]).unwrap() {
                     let witnessed = all.iter().any(|q| q[0] == x0 && q[1] == x1);
-                    assert!(witnessed, "case {case}: under-projection invented ({x0},{x1})");
+                    assert!(
+                        witnessed,
+                        "case {case}: under-projection invented ({x0},{x1})"
+                    );
                 }
             }
         }
@@ -164,13 +177,19 @@ fn subtraction_partitions() {
             if in_b {
                 assert_eq!(covering, 0, "case {case}: piece overlaps B at {pt:?}");
             } else {
-                assert_eq!(covering, 1, "case {case}: point {pt:?} covered {covering} times");
+                assert_eq!(
+                    covering, 1,
+                    "case {case}: point {pt:?} covered {covering} times"
+                );
             }
         }
         // Pieces never leak outside A.
         for q in &pieces {
             for pt in points_of(q, 4) {
-                assert!(a.contains(&pt).unwrap(), "case {case}: piece escapes A at {pt:?}");
+                assert!(
+                    a.contains(&pt).unwrap(),
+                    "case {case}: piece escapes A at {pt:?}"
+                );
             }
         }
     }
@@ -206,15 +225,19 @@ fn lexopt_matches_brute_force() {
             Err(_) => continue,
         };
         for x0 in -4i128..=4 {
-            let brute = (-4i128..=4).rev().find(|&x1| p.contains(&[x0, x1]).unwrap());
+            let brute = (-4i128..=4)
+                .rev()
+                .find(|&x1| p.contains(&[x0, x1]).unwrap());
             // Find the piece covering x0 (if any) and evaluate, solving
             // aux dims by search.
             let mut got = None;
             let mut hits = 0;
             for piece in &solved.pieces {
                 let n = piece.context.space().len();
-                let mut fixed =
-                    piece.context.substitute_dim(0, &LinExpr::constant(n, x0)).unwrap();
+                let mut fixed = piece
+                    .context
+                    .substitute_dim(0, &LinExpr::constant(n, x0))
+                    .unwrap();
                 // x1 is unconstrained in the context; aux dims (if any) must
                 // be found by search.
                 let aux: Vec<usize> = (2..n).collect();

@@ -13,8 +13,10 @@ static SERIAL: Mutex<()> = Mutex::new(());
 /// A small feasible system: 0 <= x <= 3, x + y = 5, 0 <= y <= 9. Cheap to
 /// decide but nontrivial enough to go through the memo cache.
 fn sample() -> Polyhedron {
-    let mut p =
-        Polyhedron::universe(Space::from_dims([("x", DimKind::Index), ("y", DimKind::Index)]));
+    let mut p = Polyhedron::universe(Space::from_dims([
+        ("x", DimKind::Index),
+        ("y", DimKind::Index),
+    ]));
     p.add(Constraint::ge(LinExpr::from_coeffs(vec![1, 0], 0)));
     p.add(Constraint::ge(LinExpr::from_coeffs(vec![-1, 0], 3)));
     p.add(Constraint::eq(LinExpr::from_coeffs(vec![1, 1], -5)));
@@ -41,13 +43,22 @@ fn knob_change_invalidates_warm_cache_mid_process() {
     let before = stats::snapshot();
     p.integer_feasibility().expect("feasibility");
     let cold = stats::snapshot().since(&before);
-    assert!(cold.feas_cache_misses >= 1, "cold query must miss: {cold:?}");
+    assert!(
+        cold.feas_cache_misses >= 1,
+        "cold query must miss: {cold:?}"
+    );
 
     let before = stats::snapshot();
     p.integer_feasibility().expect("feasibility");
     let warm = stats::snapshot().since(&before);
-    assert!(warm.feas_cache_hits >= 1, "repeated query must hit: {warm:?}");
-    assert_eq!(warm.feas_cache_misses, 0, "repeated query must not miss: {warm:?}");
+    assert!(
+        warm.feas_cache_hits >= 1,
+        "repeated query must hit: {warm:?}"
+    );
+    assert_eq!(
+        warm.feas_cache_misses, 0,
+        "repeated query must not miss: {warm:?}"
+    );
 
     // Any knob change invalidates: the budget here.
     stats::set_feasibility_budget(stats::DEFAULT_FEASIBILITY_BUDGET + 1);
@@ -98,9 +109,21 @@ fn knob_guard_restores_on_panic() {
         panic!("mid-compile failure");
     });
     assert!(result.is_err());
-    assert_eq!(stats::feasibility_budget(), budget, "budget restored across panic");
-    assert_eq!(stats::cache_enabled(), cache_on, "cache switch restored across panic");
-    assert_eq!(stats::prefilters_enabled(), prefilters_on, "prefilters restored across panic");
+    assert_eq!(
+        stats::feasibility_budget(),
+        budget,
+        "budget restored across panic"
+    );
+    assert_eq!(
+        stats::cache_enabled(),
+        cache_on,
+        "cache switch restored across panic"
+    );
+    assert_eq!(
+        stats::prefilters_enabled(),
+        prefilters_on,
+        "prefilters restored across panic"
+    );
     assert_eq!(
         stats::cache_min_constraints(),
         min_constraints,

@@ -37,7 +37,12 @@ fn lu_input(nproc: i128) -> CompileInput {
     comps.insert(1, CompDecomp::cyclic_1d(1, "i2"));
     let mut initial = HashMap::new();
     initial.insert("X".to_string(), DataDecomp::cyclic_1d("X", 2, 0));
-    CompileInput { program, comps, initial, grid: ProcGrid::line(nproc) }
+    CompileInput {
+        program,
+        comps,
+        initial,
+        grid: ProcGrid::line(nproc),
+    }
 }
 
 /// The scaled iPSC/860 model used for the Figure 14 series: the paper ran
@@ -51,8 +56,15 @@ fn scaled_config(scale: f64) -> MachineConfig {
 }
 
 fn main() {
-    let args: Vec<i128> = std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
-    let sizes: Vec<i128> = if args.is_empty() { vec![128, 256] } else { args };
+    let args: Vec<i128> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let sizes: Vec<i128> = if args.is_empty() {
+        vec![128, 256]
+    } else {
+        args
+    };
 
     // --- Figure 12: the LWT for the read X[i1][i3] ---
     let program = dmc_ir::parse(LU_SRC).expect("LU parses");
@@ -62,20 +74,16 @@ fn main() {
     // --- Figure 13 artifacts: generated computation code ---
     let stmts = program.statements();
     let comp2 = CompDecomp::cyclic_1d(1, "i2");
-    let code = dmc_codegen::computation_code(&program, &stmts[1], &comp2)
-        .expect("codegen succeeds");
+    let code =
+        dmc_codegen::computation_code(&program, &stmts[1], &comp2).expect("codegen succeeds");
     println!("=== Figure 13 (excerpt): computation code for S2, cyclic p = i2 ===");
     println!("{}", dmc_codegen::render(&code));
 
     // Local memory: the paper allocates ((N+P)/P) x (N+1) per processor.
     let comp1 = CompDecomp::cyclic_1d(0, "i2");
-    let lb = dmc_codegen::bounding_box(
-        &program,
-        "X",
-        &[(&stmts[0], &comp1), (&stmts[1], &comp2)],
-    )
-    .expect("memory analysis succeeds")
-    .expect("X is touched");
+    let lb = dmc_codegen::bounding_box(&program, "X", &[(&stmts[0], &comp1), (&stmts[1], &comp2)])
+        .expect("memory analysis succeeds")
+        .expect("X is touched");
     let env = |v: &str| match v {
         "p0" => 5,
         "N" => 64,
@@ -93,28 +101,49 @@ fn main() {
     // compile (the grid only enters the stage keys at the optimization
     // stage).
     let mut session = Session::new();
-    let compiled = session.compile(lu_input(4), Options::full()).expect("compilation succeeds");
+    let compiled = session
+        .compile(lu_input(4), Options::full())
+        .expect("compilation succeeds");
     let r = session
-        .run(&compiled, &[24], &MachineConfig::ipsc860(), true, 10_000_000)
+        .run(
+            &compiled,
+            &[24],
+            &MachineConfig::ipsc860(),
+            true,
+            10_000_000,
+        )
         .expect("simulation succeeds");
     let mut env = HashMap::new();
     env.insert("N".to_string(), 24i128);
     let seq = dmc_ir::interp::run(&compiled.input.program, &env).expect("sequential run");
-    let a = r.memory.as_ref().expect("values").array("X").expect("X").as_slice();
+    let a = r
+        .memory
+        .as_ref()
+        .expect("values")
+        .array("X")
+        .expect("X")
+        .as_slice();
     let b = seq.array("X").expect("X").as_slice();
-    assert!(a.iter().zip(b).all(|(x, y)| x == y || (x.is_nan() && y.is_nan())));
+    assert!(a
+        .iter()
+        .zip(b)
+        .all(|(x, y)| x == y || (x.is_nan() && y.is_nan())));
     println!("\nN=24, P=4: distributed LU matches the sequential interpreter ✓\n");
 
     // --- Figure 14: performance series ---
     println!("=== Figure 14: LU performance (simulated iPSC/860, scaled) ===");
-    println!("{:>6} {:>4} {:>12} {:>10} {:>9} {:>10}", "N", "P", "time (s)", "MFLOPS", "speedup", "messages");
+    println!(
+        "{:>6} {:>4} {:>12} {:>10} {:>9} {:>10}",
+        "N", "P", "time (s)", "MFLOPS", "speedup", "messages"
+    );
     let nmax = *sizes.iter().max().expect("nonempty sizes");
     let scale = (2048 / nmax).max(1) as f64;
     for &n in &sizes {
         let mut t1 = None;
         for p in [1i128, 2, 4, 8, 16, 32] {
-            let compiled =
-                session.compile(lu_input(p), Options::full()).expect("compilation succeeds");
+            let compiled = session
+                .compile(lu_input(p), Options::full())
+                .expect("compilation succeeds");
             let r = session
                 .run(&compiled, &[n], &scaled_config(scale), false, 500_000_000)
                 .expect("simulation succeeds");

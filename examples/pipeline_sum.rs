@@ -64,7 +64,13 @@ fn main() {
     let mut env = HashMap::new();
     env.insert("N".to_string(), n);
     let seq = dmc_ir::interp::run(&program, &env).expect("sequential");
-    let a = r.memory.as_ref().expect("values").array("X").expect("X").as_slice();
+    let a = r
+        .memory
+        .as_ref()
+        .expect("values")
+        .array("X")
+        .expect("X")
+        .as_slice();
     let b = seq.array("X").expect("X").as_slice();
     assert!(a.iter().zip(b).all(|(x, y)| (x - y).abs() < 1e-9));
     println!(

@@ -44,19 +44,30 @@ fn main() {
         initial: HashMap::new(), // live-in values replicated
         grid: ProcGrid::line(4),
     };
-    let compiled = session.compile(input, Options::full()).expect("compilation succeeds");
+    let compiled = session
+        .compile(input, Options::full())
+        .expect("compilation succeeds");
 
     // The analysis artifacts: one Last Write Tree per read (Figure 3).
     for lwt in &compiled.lwts {
         println!("{lwt}");
     }
-    println!("{} communication set(s) after optimization", compiled.comm.len());
+    println!(
+        "{} communication set(s) after optimization",
+        compiled.comm.len()
+    );
 
     // Execute on the simulated machine, checking values against the
     // sequential semantics (values mode). The schedule is cached too:
     // running again at the same parameters would rebuild nothing.
     let result = session
-        .run(&compiled, &[10, 127], &MachineConfig::ipsc860(), true, 1_000_000)
+        .run(
+            &compiled,
+            &[10, 127],
+            &MachineConfig::ipsc860(),
+            true,
+            1_000_000,
+        )
         .expect("simulation succeeds");
     let stats = &result.stats;
     println!(
@@ -90,7 +101,9 @@ fn main() {
         initial: HashMap::new(),
         grid: ProcGrid::line(8),
     };
-    session.compile(retargeted, Options::full()).expect("retarget compiles");
+    session
+        .compile(retargeted, Options::full())
+        .expect("retarget compiles");
     let s = session.stats();
     println!(
         "retargeted to 8 processors: {} stage hit(s), {} miss(es) across the session",

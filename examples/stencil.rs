@@ -31,7 +31,12 @@ fn input(block: i128, nproc: i128, overlap: bool) -> CompileInput {
         DimMap::block(Aff::var("a0"), block)
     };
     initial.insert("X".to_string(), DataDecomp::from_maps("X", 1, vec![map]));
-    CompileInput { program, comps, initial, grid: ProcGrid::line(nproc) }
+    CompileInput {
+        program,
+        comps,
+        initial,
+        grid: ProcGrid::line(nproc),
+    }
 }
 
 fn main() {
@@ -39,13 +44,25 @@ fn main() {
 
     // Correctness first.
     let compiled = compile(input(32, 8, false), Options::full()).expect("compiles");
-    let r = run(&compiled, &[t, n], &MachineConfig::ipsc860(), true, 10_000_000)
-        .expect("simulates");
+    let r = run(
+        &compiled,
+        &[t, n],
+        &MachineConfig::ipsc860(),
+        true,
+        10_000_000,
+    )
+    .expect("simulates");
     let mut env = HashMap::new();
     env.insert("T".to_string(), t);
     env.insert("N".to_string(), n);
     let seq = dmc_ir::interp::run(&compiled.input.program, &env).expect("sequential");
-    let a = r.memory.as_ref().expect("values").array("X").expect("X").as_slice();
+    let a = r
+        .memory
+        .as_ref()
+        .expect("values")
+        .array("X")
+        .expect("X")
+        .as_slice();
     let b = seq.array("X").expect("X").as_slice();
     assert!(a
         .iter()
@@ -57,19 +74,35 @@ fn main() {
     println!("{:<44} {:>10} {:>10}", "configuration", "messages", "words");
     let cases: Vec<(&str, Options, bool)> = vec![
         ("full optimizer", Options::full(), false),
-        ("no aggregation", {
-            let mut o = Options::full();
-            o.aggregate = false;
-            o
-        }, false),
-        ("no self-reuse elimination", {
-            let mut o = Options::full();
-            o.self_reuse = false;
-            o.cross_set_reuse = false;
-            o
-        }, false),
-        ("full + overlapped initial decomposition", Options::full(), true),
-        ("location-centric baseline", Options::location_centric(), false),
+        (
+            "no aggregation",
+            {
+                let mut o = Options::full();
+                o.aggregate = false;
+                o
+            },
+            false,
+        ),
+        (
+            "no self-reuse elimination",
+            {
+                let mut o = Options::full();
+                o.self_reuse = false;
+                o.cross_set_reuse = false;
+                o
+            },
+            false,
+        ),
+        (
+            "full + overlapped initial decomposition",
+            Options::full(),
+            true,
+        ),
+        (
+            "location-centric baseline",
+            Options::location_centric(),
+            false,
+        ),
     ];
     for (name, options, overlap) in cases {
         let compiled = compile(input(32, 8, overlap), options).expect("compiles");

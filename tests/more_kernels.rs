@@ -13,8 +13,12 @@ fn check(input: CompileInput, vals: &[i128]) -> dmc_machine::SimStats {
     let program = input.program.clone();
     let compiled = compile(input, Options::full()).expect("compiles");
     let r = run(&compiled, vals, &MachineConfig::ipsc860(), true, 5_000_000).expect("simulates");
-    let env: HashMap<String, i128> =
-        program.params.iter().cloned().zip(vals.iter().copied()).collect();
+    let env: HashMap<String, i128> = program
+        .params
+        .iter()
+        .cloned()
+        .zip(vals.iter().copied())
+        .collect();
     let seq = dmc_ir::interp::run(&program, &env).expect("sequential run");
     let mem = r.memory.as_ref().expect("values mode");
     for (name, store) in seq.iter() {
@@ -51,7 +55,10 @@ fn two_d_grid_blocked() {
         0,
         CompDecomp::from_maps(
             0,
-            vec![DimMap::block(Aff::var("i"), 8), DimMap::block(Aff::var("j"), 8)],
+            vec![
+                DimMap::block(Aff::var("i"), 8),
+                DimMap::block(Aff::var("j"), 8),
+            ],
         ),
     );
     let mut initial = HashMap::new();
@@ -60,7 +67,10 @@ fn two_d_grid_blocked() {
         DataDecomp::from_maps(
             "A",
             2,
-            vec![DimMap::block(Aff::var("a0"), 8), DimMap::block(Aff::var("a1"), 8)],
+            vec![
+                DimMap::block(Aff::var("a0"), 8),
+                DimMap::block(Aff::var("a1"), 8),
+            ],
         ),
     );
     let input = CompileInput {
@@ -73,7 +83,11 @@ fn two_d_grid_blocked() {
     // Each row-block boundary moves one word per crossing row: senders are
     // the left column blocks.
     assert!(stats.messages > 0);
-    assert!(stats.words >= 16, "one word per row crossing, got {}", stats.words);
+    assert!(
+        stats.words >= 16,
+        "one word per row crossing, got {}",
+        stats.words
+    );
 }
 
 /// Transpose-style reads: `B[i][j] = A[j][i]` with both arrays living as

@@ -59,7 +59,10 @@ fn fig5_comm_sets() {
     };
     let compiled = compile(input, Options::full()).unwrap();
     assert_eq!(compiled.comm.len(), 1, "only the ps < pr piece is feasible");
-    let elems = compiled.comm[0].enumerate(&[0, 127], 10_000).unwrap().unwrap();
+    let elems = compiled.comm[0]
+        .enumerate(&[0, 127], 10_000)
+        .unwrap()
+        .unwrap();
     // One outer iteration, receivers p=1..3, three elements each.
     assert_eq!(elems.len(), 9);
     for e in &elems {
@@ -86,9 +89,13 @@ fn fig6_projection() {
     let b = ji.enumerate(&[0, 0], 1_000).unwrap();
     assert_eq!(a.len(), b.len());
     // (i, j) order is lexicographic in i then j.
-    assert!(a.windows(2).all(|w| (w[0][0], w[0][1]) < (w[1][0], w[1][1])));
+    assert!(a
+        .windows(2)
+        .all(|w| (w[0][0], w[0][1]) < (w[1][0], w[1][1])));
     // (j, i) order is lexicographic in j then i.
-    assert!(b.windows(2).all(|w| (w[0][1], w[0][0]) < (w[1][1], w[1][0])));
+    assert!(b
+        .windows(2)
+        .all(|w| (w[0][1], w[0][0]) < (w[1][1], w[1][0])));
     let mut a2 = a.clone();
     a2.sort();
     let mut b2 = b.clone();
@@ -123,7 +130,10 @@ fn fig9_group_lwt() {
     assert!(lwt.read_dims.contains(&"$u0".to_string()));
     // The hull covers all four offsets: u in [-3, 0] around X[i + u].
     assert_eq!(lwt.producer_at(&[2, 8, 0], &[4, 12]), Some((0, vec![1, 8])));
-    assert_eq!(lwt.producer_at(&[2, 8, -1], &[4, 12]), Some((0, vec![2, 7])));
+    assert_eq!(
+        lwt.producer_at(&[2, 8, -1], &[4, 12]),
+        Some((0, vec![2, 7]))
+    );
 }
 
 /// E6 — Figure 10: aggregation turns 3 one-word messages per (t, receiver)
@@ -167,7 +177,14 @@ fn fig13_lu_spmd() {
         grid: ProcGrid::line(4),
     };
     let compiled = compile(input, Options::full()).unwrap();
-    let r = run(&compiled, &[16], &MachineConfig::ipsc860(), true, 10_000_000).unwrap();
+    let r = run(
+        &compiled,
+        &[16],
+        &MachineConfig::ipsc860(),
+        true,
+        10_000_000,
+    )
+    .unwrap();
     let mut env = HashMap::new();
     env.insert("N".to_string(), 16i128);
     let seq = dmc_ir::interp::run(&program, &env).unwrap();
@@ -191,7 +208,12 @@ fn fig14_speedup_shape() {
         comps.insert(1, CompDecomp::cyclic_1d(1, "i2"));
         let mut initial = HashMap::new();
         initial.insert("X".to_string(), DataDecomp::cyclic_1d("X", 2, 0));
-        CompileInput { program, comps, initial, grid: ProcGrid::line(p) }
+        CompileInput {
+            program,
+            comps,
+            initial,
+            grid: ProcGrid::line(p),
+        }
     };
     // Slow processor (scaled model) so N=64 behaves like a large problem.
     let mut cfg = MachineConfig::ipsc860();
@@ -202,9 +224,15 @@ fn fig14_speedup_shape() {
         let r = run(&compiled, &[64], &cfg, false, 50_000_000).unwrap();
         times.push(r.stats.time);
     }
-    assert!(times.windows(2).all(|w| w[1] < w[0]), "monotone speedup: {times:?}");
+    assert!(
+        times.windows(2).all(|w| w[1] < w[0]),
+        "monotone speedup: {times:?}"
+    );
     let s8 = times[0] / times[3];
-    assert!(s8 > 4.0, "speedup at P=8 should be substantial, got {s8:.2}");
+    assert!(
+        s8 > 4.0,
+        "speedup at P=8 should be substantial, got {s8:.2}"
+    );
 }
 
 /// E9 — §2.2 comparisons: on the X/Y example the value-centric plan moves
@@ -281,6 +309,9 @@ fn sec223_no_regular_section_blowup() {
     // Touched elements that cross processors: at most the number of written
     // elements (sum over i0 of 101 - i0), never the 1000-wide row span.
     let touched: u64 = (1..=4u64).map(|i| 101 - i).sum();
-    assert!(words <= touched, "words {words} must not blow up past {touched}");
+    assert!(
+        words <= touched,
+        "words {words} must not blow up past {touched}"
+    );
     assert!(words > 0);
 }
