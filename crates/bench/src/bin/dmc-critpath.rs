@@ -1,0 +1,221 @@
+//! Critical-path & blame harness: runs the perfstats workloads through
+//! the full pipeline, rebuilds each simulated run as an exact
+//! integer-nanosecond event-dependency DAG (`dmc_machine::critpath`), and
+//! writes per workload a blame report (the explain report with its
+//! `## Critical path` section) plus the `dmc_sim_critpath_*` Prometheus
+//! gauges.
+//!
+//! ```sh
+//! cargo run --release -p dmc-bench --bin dmc-critpath
+//! cargo run --release -p dmc-bench --bin dmc-critpath -- --workload lu \
+//!     --out-dir target/critpath --check
+//! ```
+//!
+//! `--check` asserts, per workload, every exact invariant of the
+//! analysis:
+//!
+//! - the event DAG is acyclic and its longest path equals the stored
+//!   makespan equals the simulator's finish time, exactly;
+//! - an event has zero slack iff it lies on a critical path, and the
+//!   canonical critical chain is gapless from time 0 to the makespan;
+//! - every processor's six blame categories (compute, α, β, contention,
+//!   recv-wait, drain) sum exactly to the makespan;
+//! - every what-if's incremental DAG re-evaluation matches a brute-force
+//!   full forward pass, including slack-pruned ones;
+//! - the Prometheus export validates, and the explain report is
+//!   byte-identical when recaptured with 1 and 4 worker threads.
+
+use std::path::PathBuf;
+
+use dmc_bench::{figure2_input, lu_input, stencil_input, xy_input};
+use dmc_core::{build_schedule, compile, run, CompileInput, Options};
+use dmc_machine::{critpath, MachineConfig, Schedule, SimStats};
+use dmc_obs as obs;
+
+const LIMIT: usize = 50_000_000;
+
+struct Workload {
+    name: &'static str,
+    input: CompileInput,
+    params: Vec<i128>,
+}
+
+fn workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "lu",
+            input: lu_input(8),
+            params: vec![48],
+        },
+        Workload {
+            name: "stencil",
+            input: stencil_input(32, 4),
+            params: vec![4, 127],
+        },
+        Workload {
+            name: "figure2",
+            input: figure2_input(4),
+            params: vec![3, 127],
+        },
+        Workload {
+            name: "xy",
+            input: xy_input(4),
+            params: vec![47],
+        },
+    ]
+}
+
+struct Captured {
+    trace: obs::Trace,
+    schedule: Schedule,
+    stats: SimStats,
+}
+
+/// Compiles, schedules and simulates one workload under an observability
+/// capture, returning the trace plus the exact schedule and simulator
+/// statistics the DAG analysis must agree with.
+fn capture(w: &Workload, threads: usize) -> Captured {
+    let options = Options {
+        threads,
+        ..Options::full()
+    };
+    obs::start_capture();
+    let compiled = compile(w.input.clone(), options).expect("compiles");
+    let schedule = build_schedule(&compiled, &w.params, false, LIMIT).expect("schedules");
+    let result = run(
+        &compiled,
+        &w.params,
+        &MachineConfig::ipsc860(),
+        false,
+        LIMIT,
+    )
+    .expect("simulates");
+    Captured {
+        trace: obs::finish_capture(),
+        schedule,
+        stats: result.stats,
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut which: Option<String> = None;
+    let mut out_dir = PathBuf::from("target/dmc-critpath");
+    let mut check = false;
+    let mut threads = 0usize;
+    let mut top = 3usize;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--workload" => which = Some(args.next().expect("--workload needs a name")),
+            "--out-dir" => out_dir = PathBuf::from(args.next().expect("--out-dir needs a path")),
+            "--check" => check = true,
+            "--threads" => {
+                threads = args
+                    .next()
+                    .expect("--threads needs a count")
+                    .parse()
+                    .expect("number")
+            }
+            "--top" => {
+                top = args
+                    .next()
+                    .expect("--top needs a count")
+                    .parse()
+                    .expect("number")
+            }
+            other => panic!(
+                "unknown argument: {other} (try --workload/--out-dir/--check/--threads/--top)"
+            ),
+        }
+    }
+
+    std::fs::create_dir_all(&out_dir).expect("create out dir");
+    let selected: Vec<Workload> = workloads()
+        .into_iter()
+        .filter(|w| which.as_deref().is_none_or(|n| n == "all" || n == w.name))
+        .collect();
+    assert!(
+        !selected.is_empty(),
+        "no such workload (lu, stencil, figure2, xy, all)"
+    );
+
+    let config = MachineConfig::ipsc860();
+    for w in &selected {
+        let cap = capture(w, threads);
+        let crit = critpath::analyze(&cap.schedule, &config)
+            .unwrap_or_else(|e| panic!("{}: analysis failed: {e:?}", w.name));
+
+        let report = obs::explain_report(&cap.trace, w.name);
+        let report_path = out_dir.join(format!("critpath_{}.md", w.name));
+        std::fs::write(&report_path, &report).expect("write report");
+
+        let mut reg = obs::Registry::new();
+        crit.export_metrics(&mut reg, &[("workload", w.name)]);
+        let prom = reg.render();
+        let prom_path = out_dir.join(format!("critpath_{}.prom", w.name));
+        std::fs::write(&prom_path, &prom).expect("write metrics");
+
+        if check {
+            crit.verify(&cap.stats)
+                .unwrap_or_else(|e| panic!("{}: invariant violated: {e}", w.name));
+            crit.verify_what_ifs()
+                .unwrap_or_else(|e| panic!("{}: what-if mismatch: {e}", w.name));
+            obs::validate_prometheus(&prom)
+                .unwrap_or_else(|e| panic!("{}: invalid Prometheus doc: {e}", w.name));
+            assert!(
+                report.contains("## Critical path"),
+                "{}: report is missing the critical-path section",
+                w.name
+            );
+            // Worker-count independence: the report (and therefore every
+            // integer in the analysis) must be byte-identical whether the
+            // compiler ran sequentially or on 4 workers.
+            let r1 = obs::explain_report(&capture(w, 1).trace, w.name);
+            let r4 = obs::explain_report(&capture(w, 4).trace, w.name);
+            assert_eq!(
+                r1, r4,
+                "{}: explain report depends on the worker count",
+                w.name
+            );
+            println!(
+                "{:<10} ok: {} event(s), path {}, makespan {} ns == longest path == sim; \
+                 blame exact on {} proc(s); reports byte-identical (1 vs 4 threads)",
+                w.name,
+                crit.events.len(),
+                crit.chain.len(),
+                crit.makespan_ns,
+                crit.nproc
+            );
+        } else {
+            let ms = crit.makespan_ns as f64 / 1e6;
+            println!(
+                "{:<10} makespan {ms:.3} ms, {} event(s), {} critical, path {}",
+                w.name,
+                crit.events.len(),
+                crit.critical_events(),
+                crit.chain.len()
+            );
+            let shares: Vec<String> = {
+                let cats = crit.total.categories();
+                let total: u64 = cats.iter().map(|(_, v)| v).sum();
+                cats.iter()
+                    .map(|(c, v)| format!("{c} {:.1}%", 100.0 * *v as f64 / total.max(1) as f64))
+                    .collect()
+            };
+            println!("           blame: {}", shares.join(", "));
+            for wi in crit.what_if().iter().take(top) {
+                println!(
+                    "           what-if {} m{}: makespan -{:.3} ms",
+                    wi.scenario.name(),
+                    wi.msg,
+                    wi.win_ns as f64 / 1e6
+                );
+            }
+            println!(
+                "           -> {} + {}",
+                report_path.display(),
+                prom_path.display()
+            );
+        }
+    }
+}

@@ -8,7 +8,12 @@
 //! cargo run --release -p dmc-bench --bin dmc-profile
 //! cargo run --release -p dmc-bench --bin dmc-profile -- --workload stencil \
 //!     --out-dir target/profile --check
+//! cargo run --release -p dmc-bench --bin dmc-profile -- --json > profile.json
 //! ```
+//!
+//! `--json` replaces the per-workload stdout summary with one
+//! machine-readable document (name, exact work-unit total and per-context
+//! charged work per workload) that `dmc_obs::json::parse` reads back.
 //!
 //! `--check` self-validates the ledger on each workload:
 //!
@@ -43,10 +48,26 @@ struct Workload {
 
 fn workloads() -> Vec<Workload> {
     vec![
-        Workload { name: "lu", input: lu_input(8), params: vec![48] },
-        Workload { name: "stencil", input: stencil_input(32, 4), params: vec![4, 127] },
-        Workload { name: "figure2", input: figure2_input(4), params: vec![3, 127] },
-        Workload { name: "xy", input: xy_input(4), params: vec![47] },
+        Workload {
+            name: "lu",
+            input: lu_input(8),
+            params: vec![48],
+        },
+        Workload {
+            name: "stencil",
+            input: stencil_input(32, 4),
+            params: vec![4, 127],
+        },
+        Workload {
+            name: "figure2",
+            input: figure2_input(4),
+            params: vec![3, 127],
+        },
+        Workload {
+            name: "xy",
+            input: xy_input(4),
+            params: vec![47],
+        },
     ]
 }
 
@@ -61,7 +82,10 @@ struct Captured {
 /// Runs one workload's pipeline (compile → schedule → machine run) with
 /// both the tracer and the work ledger on.
 fn capture(w: &Workload, threads: usize) -> Captured {
-    let options = Options { threads, ..Options::full() };
+    let options = Options {
+        threads,
+        ..Options::full()
+    };
     ledger::start();
     let before = stats::snapshot();
     obs::start_capture();
@@ -72,8 +96,20 @@ fn capture(w: &Workload, threads: usize) -> Captured {
     // The machine run is outside the ledgered region (it does no
     // polyhedral work) but inside the trace, so the report keeps its
     // machine view.
-    let _ = run(&compiled, &w.params, &MachineConfig::ipsc860(), false, LIMIT).expect("simulates");
-    Captured { trace: obs::finish_capture(), ledger, delta, schedule }
+    let _ = run(
+        &compiled,
+        &w.params,
+        &MachineConfig::ipsc860(),
+        false,
+        LIMIT,
+    )
+    .expect("simulates");
+    Captured {
+        trace: obs::finish_capture(),
+        ledger,
+        delta,
+        schedule,
+    }
 }
 
 /// Folds a ledger into the deterministic per-context profile.
@@ -111,16 +147,36 @@ fn check_totals(name: &str, ledger: &Ledger, delta: &PolyStats) {
     let t = ledger.totals();
     let pairs = [
         ("fm_steps", t.fm_steps, delta.fm_steps),
-        ("feasibility_calls", t.feasibility_calls, delta.feasibility_calls),
+        (
+            "feasibility_calls",
+            t.feasibility_calls,
+            delta.feasibility_calls,
+        ),
         ("bnb_nodes", t.bnb_nodes, delta.bnb_nodes),
         ("negation_tests", t.negation_tests, delta.negation_tests),
         ("lex_splits", t.lex_splits, delta.lex_splits),
         ("feas_cache_hits", t.feas_cache_hits, delta.feas_cache_hits),
-        ("feas_cache_misses", t.feas_cache_misses, delta.feas_cache_misses),
+        (
+            "feas_cache_misses",
+            t.feas_cache_misses,
+            delta.feas_cache_misses,
+        ),
         ("proj_cache_hits", t.proj_cache_hits, delta.proj_cache_hits),
-        ("proj_cache_misses", t.proj_cache_misses, delta.proj_cache_misses),
-        ("redund_cache_hits", t.redund_cache_hits, delta.redund_cache_hits),
-        ("redund_cache_misses", t.redund_cache_misses, delta.redund_cache_misses),
+        (
+            "proj_cache_misses",
+            t.proj_cache_misses,
+            delta.proj_cache_misses,
+        ),
+        (
+            "redund_cache_hits",
+            t.redund_cache_hits,
+            delta.redund_cache_hits,
+        ),
+        (
+            "redund_cache_misses",
+            t.redund_cache_misses,
+            delta.redund_cache_misses,
+        ),
     ];
     for (field, ledger_v, stats_v) in pairs {
         assert_eq!(
@@ -136,10 +192,19 @@ fn check_totals(name: &str, ledger: &Ledger, delta: &PolyStats) {
 fn print_top(name: &str, profile: &obs::WorkProfile, n: usize) {
     let totals = profile.context_totals();
     let total = profile.total_work();
-    println!("{name}: top {} contexts of {} ({} work units total)", n.min(totals.len()), totals.len(), total);
+    println!(
+        "{name}: top {} contexts of {} ({} work units total)",
+        n.min(totals.len()),
+        totals.len(),
+        total
+    );
     println!("{:>10} {:>7}  context", "units", "share");
     for (ctx, units) in totals.iter().take(n) {
-        let pct = if total == 0 { 0.0 } else { *units as f64 / total as f64 * 100.0 };
+        let pct = if total == 0 {
+            0.0
+        } else {
+            *units as f64 / total as f64 * 100.0
+        };
         println!("{units:>10} {pct:>6.1}%  {ctx}");
     }
 }
@@ -152,13 +217,18 @@ fn print_diff(name: &str, profile: &obs::WorkProfile, snapshot: &Json) {
         .get("workloads")
         .and_then(Json::as_arr)
         .and_then(|ws| {
-            ws.iter().find(|w| w.get("name").and_then(Json::as_str) == Some(name)).cloned()
+            ws.iter()
+                .find(|w| w.get("name").and_then(Json::as_str) == Some(name))
+                .cloned()
         });
     let Some(entry) = entry else {
         println!("{name}: not present in snapshot — nothing to diff");
         return;
     };
-    let old_total = entry.get("work_units").and_then(Json::as_num).unwrap_or(0.0) as i128;
+    let old_total = entry
+        .get("work_units")
+        .and_then(Json::as_num)
+        .unwrap_or(0.0) as i128;
     let new_total = i128::from(profile.total_work());
     println!(
         "{name}: work_units {old_total} -> {new_total} ({:+})",
@@ -205,27 +275,38 @@ fn main() {
     let mut threads = 0usize;
     let mut top: Option<usize> = None;
     let mut diff: Option<String> = None;
+    let mut json_out = false;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--workload" => which = Some(args.next().expect("--workload needs a name")),
             "--out-dir" => out_dir = PathBuf::from(args.next().expect("--out-dir needs a path")),
             "--check" => check = true,
+            "--json" => json_out = true,
             "--threads" => {
-                threads = args.next().expect("--threads needs a count").parse().expect("number")
+                threads = args
+                    .next()
+                    .expect("--threads needs a count")
+                    .parse()
+                    .expect("number")
             }
             "--top" => {
-                top = Some(args.next().expect("--top needs a count").parse().expect("number"))
+                top = Some(
+                    args.next()
+                        .expect("--top needs a count")
+                        .parse()
+                        .expect("number"),
+                )
             }
             "--diff" => diff = Some(args.next().expect("--diff needs a snapshot path")),
             other => panic!(
                 "unknown argument: {other} \
-                 (try --workload/--out-dir/--check/--threads/--top/--diff)"
+                 (try --workload/--out-dir/--check/--threads/--top/--diff/--json)"
             ),
         }
     }
     let diff_doc: Option<Json> = diff.map(|path| {
-        let text = std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("read snapshot {path}: {e}"));
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read snapshot {path}: {e}"));
         json::parse(&text).unwrap_or_else(|e| panic!("parse snapshot {path}: {e}"))
     });
 
@@ -234,11 +315,22 @@ fn main() {
         .into_iter()
         .filter(|w| which.as_deref().is_none_or(|n| n == "all" || n == w.name))
         .collect();
-    assert!(!selected.is_empty(), "no such workload (lu, stencil, figure2, xy, all)");
+    assert!(
+        !selected.is_empty(),
+        "no such workload (lu, stencil, figure2, xy, all)"
+    );
 
+    let mut json_rows: Vec<dmc_bench::ProfileRow> = Vec::new();
     for w in &selected {
         let cap = capture(w, threads);
         let profile = profile_of(w.name, &cap.ledger);
+        if json_out {
+            json_rows.push((
+                w.name.to_owned(),
+                profile.total_work(),
+                profile.context_totals(),
+            ));
+        }
 
         let collapsed = profile.collapsed_stack();
         let collapsed_path = out_dir.join(format!("profile_{}.collapsed", w.name));
@@ -276,7 +368,11 @@ fn main() {
                 w.name,
                 attributed * 100.0
             );
-            assert!(report.contains("## Hotspots"), "{}: report lacks Hotspots", w.name);
+            assert!(
+                report.contains("## Hotspots"),
+                "{}: report lacks Hotspots",
+                w.name
+            );
 
             // Determinism: charged work units are cache-state- and
             // worker-count-independent, so sequential and 4-worker
@@ -298,10 +394,12 @@ fn main() {
 
             // Transparency: the ledger must observe, never steer — the
             // schedule compiled with it off is the one compiled with it on.
-            let options = Options { threads, ..Options::full() };
+            let options = Options {
+                threads,
+                ..Options::full()
+            };
             let compiled = compile(w.input.clone(), options).expect("compiles");
-            let plain =
-                build_schedule(&compiled, &w.params, false, LIMIT).expect("schedules");
+            let plain = build_schedule(&compiled, &w.params, false, LIMIT).expect("schedules");
             assert_eq!(
                 plain, cap.schedule,
                 "{}: enabling the ledger changed the compiled schedule",
@@ -316,7 +414,7 @@ fn main() {
                 cap.ledger.records().count(),
                 attributed * 100.0
             );
-        } else {
+        } else if !json_out {
             println!(
                 "{:<10} {} work units -> {} + {}",
                 w.name,
@@ -325,5 +423,10 @@ fn main() {
                 report_path.display()
             );
         }
+    }
+    // `--json`: the whole run as one machine-readable document on stdout
+    // (pipeable; the per-workload artifact files are still written).
+    if json_out {
+        print!("{}", dmc_bench::profile_json(&json_rows));
     }
 }

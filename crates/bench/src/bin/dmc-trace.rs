@@ -34,10 +34,26 @@ struct Workload {
 
 fn workloads() -> Vec<Workload> {
     vec![
-        Workload { name: "lu", input: lu_input(8), params: vec![48] },
-        Workload { name: "stencil", input: stencil_input(32, 4), params: vec![4, 127] },
-        Workload { name: "figure2", input: figure2_input(4), params: vec![3, 127] },
-        Workload { name: "xy", input: xy_input(4), params: vec![47] },
+        Workload {
+            name: "lu",
+            input: lu_input(8),
+            params: vec![48],
+        },
+        Workload {
+            name: "stencil",
+            input: stencil_input(32, 4),
+            params: vec![4, 127],
+        },
+        Workload {
+            name: "figure2",
+            input: figure2_input(4),
+            params: vec![3, 127],
+        },
+        Workload {
+            name: "xy",
+            input: xy_input(4),
+            params: vec![47],
+        },
     ]
 }
 
@@ -45,12 +61,22 @@ fn workloads() -> Vec<Workload> {
 /// schedule + simulate) and returns the trace plus the final schedule's
 /// message count.
 fn capture(w: &Workload, threads: usize) -> (obs::Trace, usize) {
-    let options = Options { threads, ..Options::full() };
+    let options = Options {
+        threads,
+        ..Options::full()
+    };
     obs::start_capture();
     let compiled = compile(w.input.clone(), options).expect("compiles");
     let _ = message_stats(&compiled, &w.params, LIMIT).expect("stats");
     let schedule = build_schedule(&compiled, &w.params, false, LIMIT).expect("schedules");
-    let _ = run(&compiled, &w.params, &MachineConfig::ipsc860(), false, LIMIT).expect("simulates");
+    let _ = run(
+        &compiled,
+        &w.params,
+        &MachineConfig::ipsc860(),
+        false,
+        LIMIT,
+    )
+    .expect("simulates");
     (obs::finish_capture(), schedule.messages.len())
 }
 
@@ -66,9 +92,15 @@ fn main() {
             "--out-dir" => out_dir = PathBuf::from(args.next().expect("--out-dir needs a path")),
             "--check" => check = true,
             "--threads" => {
-                threads = args.next().expect("--threads needs a count").parse().expect("number")
+                threads = args
+                    .next()
+                    .expect("--threads needs a count")
+                    .parse()
+                    .expect("number")
             }
-            other => panic!("unknown argument: {other} (try --workload/--out-dir/--check/--threads)"),
+            other => {
+                panic!("unknown argument: {other} (try --workload/--out-dir/--check/--threads)")
+            }
         }
     }
 
@@ -77,7 +109,10 @@ fn main() {
         .into_iter()
         .filter(|w| which.as_deref().is_none_or(|n| n == "all" || n == w.name))
         .collect();
-    assert!(!selected.is_empty(), "no such workload (lu, stencil, figure2, xy, all)");
+    assert!(
+        !selected.is_empty(),
+        "no such workload (lu, stencil, figure2, xy, all)"
+    );
 
     for w in &selected {
         let (trace, n_messages) = capture(w, threads);
@@ -99,12 +134,26 @@ fn main() {
                 "{}: explain report attributes {attributed} messages, schedule has {n_messages}",
                 w.name
             );
+            // One sim lane per processor plus the dedicated critical-path
+            // lane the post-run analysis emits at index nproc.
             let nproc = w.input.grid.len() as usize;
-            let sim_lanes =
-                trace.lanes.iter().filter(|l| l.key.first() == Some(&2)).count();
+            let sim_lanes = trace
+                .lanes
+                .iter()
+                .filter(|l| l.key.first() == Some(&2))
+                .count();
             assert_eq!(
-                sim_lanes, nproc,
-                "{}: {sim_lanes} sim lane(s) for a {nproc}-processor grid",
+                sim_lanes,
+                nproc + 1,
+                "{}: {sim_lanes} sim lane(s) for a {nproc}-processor grid (+1 critical path)",
+                w.name
+            );
+            assert!(
+                trace
+                    .lanes
+                    .iter()
+                    .any(|l| l.key.as_slice() == [2, nproc as u64]),
+                "{}: no critical-path lane",
                 w.name
             );
             // Worker-count independence: the deterministic views of a

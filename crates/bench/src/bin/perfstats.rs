@@ -16,7 +16,7 @@ use std::time::Instant;
 
 use dmc_bench::{figure2_input, lu_input, stencil_input, xy_input};
 use dmc_core::{build_schedule, compile, message_stats, run, CompileInput, Options, Session};
-use dmc_machine::MachineConfig;
+use dmc_machine::{critpath, MachineConfig};
 use dmc_obs as obs;
 use dmc_polyhedra::{
     batch_feasibility, cache, ledger, lexopt, stats, Constraint, DimKind, Direction, LinExpr,
@@ -34,10 +34,26 @@ struct Workload {
 
 fn workloads() -> Vec<Workload> {
     vec![
-        Workload { name: "lu", input: lu_input(8), params: vec![48] },
-        Workload { name: "stencil", input: stencil_input(32, 4), params: vec![4, 127] },
-        Workload { name: "figure2", input: figure2_input(4), params: vec![3, 127] },
-        Workload { name: "xy", input: xy_input(4), params: vec![47] },
+        Workload {
+            name: "lu",
+            input: lu_input(8),
+            params: vec![48],
+        },
+        Workload {
+            name: "stencil",
+            input: stencil_input(32, 4),
+            params: vec![4, 127],
+        },
+        Workload {
+            name: "figure2",
+            input: figure2_input(4),
+            params: vec![3, 127],
+        },
+        Workload {
+            name: "xy",
+            input: xy_input(4),
+            params: vec![47],
+        },
     ]
 }
 
@@ -65,12 +81,28 @@ fn measure(w: &Workload, options: Options, reps: usize) -> Measured {
         let schedule_ms = t1.elapsed().as_secs_f64() * 1e3;
         let delta = stats::snapshot().since(&before);
         let messages = message_stats(&compiled, &w.params, LIMIT).expect("stats");
-        let sim = run(&compiled, &w.params, &MachineConfig::ipsc860(), false, LIMIT)
-            .expect("simulates")
-            .stats;
-        let m = Measured { compile_ms, schedule_ms, stats: delta, schedule, messages, sim };
+        let sim = run(
+            &compiled,
+            &w.params,
+            &MachineConfig::ipsc860(),
+            false,
+            LIMIT,
+        )
+        .expect("simulates")
+        .stats;
+        let m = Measured {
+            compile_ms,
+            schedule_ms,
+            stats: delta,
+            schedule,
+            messages,
+            sim,
+        };
         let total = m.compile_ms + m.schedule_ms;
-        if best.as_ref().is_none_or(|b| total < b.compile_ms + b.schedule_ms) {
+        if best
+            .as_ref()
+            .is_none_or(|b| total < b.compile_ms + b.schedule_ms)
+        {
             best = Some(m);
         }
     }
@@ -127,7 +159,10 @@ struct WorkMeasure {
 fn work_units(w: &Workload) -> WorkMeasure {
     ledger::start();
     let before = stats::snapshot();
-    let options = Options { threads: 1, ..Options::full() };
+    let options = Options {
+        threads: 1,
+        ..Options::full()
+    };
     let compiled = compile(w.input.clone(), options).expect("compiles");
     let _ = build_schedule(&compiled, &w.params, false, LIMIT).expect("schedules");
     let allocs = stats::snapshot().since(&before).allocs;
@@ -158,8 +193,10 @@ fn work_units(w: &Workload) -> WorkMeasure {
 }
 
 fn contexts_json(contexts: &[(String, u64)]) -> String {
-    let rows: Vec<String> =
-        contexts.iter().map(|(ctx, units)| format!("\"{ctx}\": {units}")).collect();
+    let rows: Vec<String> = contexts
+        .iter()
+        .map(|(ctx, units)| format!("\"{ctx}\": {units}"))
+        .collect();
     format!("{{{}}}", rows.join(", "))
 }
 
@@ -188,9 +225,7 @@ fn polyops_json() -> String {
     // 0 <= k <= j - i, N <= 40 — enough structure that every operation
     // does real shadow/branch-and-bound work.
     let mut p = Polyhedron::universe(space);
-    let row = |coeffs: [i128; 4], c: i128| {
-        Constraint::ge(LinExpr::from_coeffs(coeffs.to_vec(), c))
-    };
+    let row = |coeffs: [i128; 4], c: i128| Constraint::ge(LinExpr::from_coeffs(coeffs.to_vec(), c));
     p.add(row([1, 0, 0, 0], 0));
     p.add(row([-1, 0, 0, 1], 0));
     p.add(row([-1, 1, 0, 0], 0));
@@ -244,9 +279,46 @@ fn sweep_work_units(nprocs: &[i128]) -> u64 {
     ledger::start();
     let mut session = Session::new();
     for &nproc in nprocs {
-        let _ = session.compile(lu_input(nproc), Options::full()).expect("sweep compiles");
+        let _ = session
+            .compile(lu_input(nproc), Options::full())
+            .expect("sweep compiles");
     }
     ledger::finish().charged_work()
+}
+
+/// The critical-path section of one workload: event-DAG size, canonical
+/// path length, exact integer makespan, the six-category blame totals and
+/// the best what-if win. Every field is an exact integer derived from the
+/// deterministic schedule, so `dmc-bench-diff` gates the section exactly.
+fn critpath_json(schedule: &dmc_machine::Schedule, config: &MachineConfig) -> String {
+    let crit = critpath::analyze(schedule, config).expect("critpath analysis");
+    let blame: Vec<String> = crit
+        .total
+        .categories()
+        .iter()
+        .map(|(c, v)| format!("\"{c}\": {v}"))
+        .collect();
+    let top = match crit.top_what_if() {
+        Some(wi) => format!(
+            "{{\"msg\": {}, \"scenario\": \"{}\", \"win_ns\": {}}}",
+            wi.msg,
+            wi.scenario.name(),
+            wi.win_ns
+        ),
+        None => "null".to_owned(),
+    };
+    format!(
+        concat!(
+            "{{\"events\": {}, \"critical_events\": {}, \"length\": {}, ",
+            "\"makespan_ns\": {}, \"blame\": {{{}}}, \"top_whatif\": {}}}"
+        ),
+        crit.events.len(),
+        crit.critical_events(),
+        crit.chain.len(),
+        crit.makespan_ns,
+        blame.join(", "),
+        top,
+    )
 }
 
 fn mode_json(m: &Measured) -> String {
@@ -282,8 +354,22 @@ fn main() {
         "workload", "fast (ms)", "base (ms)", "speedup", "identical", "cache hits"
     );
     for (k, w) in workloads().iter().enumerate() {
-        let fast = measure(w, Options { poly_fast_paths: true, ..Options::full() }, reps);
-        let base = measure(w, Options { poly_fast_paths: false, ..Options::full() }, reps);
+        let fast = measure(
+            w,
+            Options {
+                poly_fast_paths: true,
+                ..Options::full()
+            },
+            reps,
+        );
+        let base = measure(
+            w,
+            Options {
+                poly_fast_paths: false,
+                ..Options::full()
+            },
+            reps,
+        );
 
         let identical = fast.schedule == base.schedule
             && fast.messages == base.messages
@@ -293,9 +379,8 @@ fn main() {
         let fast_total = fast.compile_ms + fast.schedule_ms;
         let base_total = base.compile_ms + base.schedule_ms;
         let speedup = base_total / fast_total;
-        let hits = fast.stats.feas_cache_hits
-            + fast.stats.proj_cache_hits
-            + fast.stats.redund_cache_hits;
+        let hits =
+            fast.stats.feas_cache_hits + fast.stats.proj_cache_hits + fast.stats.redund_cache_hits;
         println!(
             "{:<10} {:>12.2} {:>12.2} {:>8.2}x {:>10} {:>10}",
             w.name, fast_total, base_total, speedup, identical, hits
@@ -315,6 +400,7 @@ fn main() {
                 "     \"speedup\": {:.3}, \"identical\": {},\n",
                 "     \"messages\": {}, \"transmissions\": {}, \"words\": {}, ",
                 "\"work_units\": {}, \"allocs\": {}, \"sim_time_s\": {:.6},\n",
+                "     \"critpath\": {},\n",
                 "     \"work_contexts\": {}}}"
             ),
             w.name,
@@ -330,6 +416,7 @@ fn main() {
             work.units,
             work.allocs,
             fast.sim.time,
+            critpath_json(&fast.schedule, &MachineConfig::ipsc860()),
             contexts_json(&work.contexts),
         )
         .expect("write");
@@ -342,12 +429,27 @@ fn main() {
     // one worker and the sequential-vs-parallel *timing* comparison is
     // skipped (it would measure scheduling noise, not speedup) while the
     // identity check still runs.
-    let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let avail = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let w = &workloads()[0];
-    let par_opts = Options { threads: if avail > 1 { 0 } else { 2 }, ..Options::full() };
+    let par_opts = Options {
+        threads: if avail > 1 { 0 } else { 2 },
+        ..Options::full()
+    };
     let workers_used = dmc_core::planned_workers(&w.input, &par_opts);
-    assert!(workers_used <= avail, "planned workers must respect the host");
-    let seq = measure(w, Options { threads: 1, ..Options::full() }, reps);
+    assert!(
+        workers_used <= avail,
+        "planned workers must respect the host"
+    );
+    let seq = measure(
+        w,
+        Options {
+            threads: 1,
+            ..Options::full()
+        },
+        reps,
+    );
     let par = measure(w, par_opts, reps);
     let threads_identical = seq.schedule == par.schedule && seq.messages == par.messages;
     all_identical &= threads_identical;
@@ -367,7 +469,10 @@ fn main() {
     let (parallel_ms, comparison) = if avail > 1 {
         (format!("{par_ms:.3}"), "measured")
     } else {
-        ("null".to_owned(), "skipped: single-CPU host (parallel timing would be noise)")
+        (
+            "null".to_owned(),
+            "skipped: single-CPU host (parallel timing would be noise)",
+        )
     };
 
     // Stage-graph sweep: LU at four processor counts through ONE session.
@@ -385,7 +490,9 @@ fn main() {
     let mut sweep_identical = true;
     let mut sweep_messages: Vec<String> = Vec::new();
     for &nproc in &sweep_nprocs {
-        let swept = session.compile(lu_input(nproc), Options::full()).expect("sweep compiles");
+        let swept = session
+            .compile(lu_input(nproc), Options::full())
+            .expect("sweep compiles");
         let scratch = compile(lu_input(nproc), Options::full()).expect("sweep scratch");
         sweep_identical &= format!("{:?} {:?}", swept.lwts, swept.comm)
             == format!("{:?} {:?}", scratch.lwts, scratch.comm);
@@ -393,8 +500,7 @@ fn main() {
         sweep_messages.push(msgs.to_string());
     }
     all_identical &= sweep_identical;
-    let (sweep_hits, sweep_misses) =
-        (session.stats().stage_hits, session.stats().stage_misses);
+    let (sweep_hits, sweep_misses) = (session.stats().stage_hits, session.stats().stage_misses);
     let reused_pct = 100.0 * sweep_hits as f64 / (sweep_hits + sweep_misses).max(1) as f64;
     println!(
         "sweep: lu at {:?} procs: {sweep_hits} stage hit(s) / {sweep_misses} miss(es) \
@@ -443,13 +549,18 @@ fn main() {
     }
     let jrecords = jsession.journal();
     let replay_identical = jrecords.len() == jreplay.journal().len()
-        && jrecords.iter().zip(jreplay.journal()).all(|(a, b)| a.deterministic_eq(b));
+        && jrecords
+            .iter()
+            .zip(jreplay.journal())
+            .all(|(a, b)| a.deterministic_eq(b));
     all_identical &= replay_identical;
     let jhits: u64 = jrecords.iter().map(|r| r.stage_hits).sum();
     let jmisses: u64 = jrecords.iter().map(|r| r.stage_misses).sum();
     let jwork: u64 = jrecords.iter().map(|r| r.work_units).sum();
-    let jfps: Vec<String> =
-        jrecords.iter().map(|r| format!("\"{}\"", r.schedule_fp)).collect();
+    let jfps: Vec<String> = jrecords
+        .iter()
+        .map(|r| format!("\"{}\"", r.schedule_fp))
+        .collect();
     println!(
         "journal: {} request(s), {jhits} stage hit(s) / {jmisses} miss(es), \
          {jwork} work unit(s), fresh-session replay identical: {replay_identical}",

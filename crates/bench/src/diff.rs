@@ -42,6 +42,12 @@
 //!   requests and reproduced every deterministic journal field) must stay
 //!   `true`. Full journals are diffed record-by-record with
 //!   [`diff_journals`].
+//! - **Critical-path fields are exact.** Each workload's `critpath`
+//!   section (event-DAG size, canonical path length, integer-nanosecond
+//!   makespan, the six-category blame totals and the top what-if win)
+//!   comes from the deterministic whole-nanosecond event DAG, so the gate
+//!   holds every field exact in both directions; the section may appear
+//!   over a pre-critpath snapshot but never vanish.
 //! - **Stage-graph sweep counts are exact.** The `sweep` section's
 //!   `stage_hits` / `stage_misses` come from fingerprint lookups resolved
 //!   on the main thread before any worker fan-out, so they are
@@ -71,7 +77,10 @@ pub struct Tolerances {
 
 impl Default for Tolerances {
     fn default() -> Self {
-        Tolerances { time_rel: 0.15, gauge_rel: 1e-9 }
+        Tolerances {
+            time_rel: 0.15,
+            gauge_rel: 1e-9,
+        }
     }
 }
 
@@ -84,13 +93,7 @@ fn is_true(v: &Json, key: &str) -> bool {
 }
 
 /// One mode's timing fields, compared with the relative tolerance.
-fn diff_timings(
-    findings: &mut Vec<String>,
-    ctx: &str,
-    old: &Json,
-    new: &Json,
-    tol: &Tolerances,
-) {
+fn diff_timings(findings: &mut Vec<String>, ctx: &str, old: &Json, new: &Json, tol: &Tolerances) {
     for field in ["compile_ms", "schedule_ms", "total_ms"] {
         let (Some(o), Some(n)) = (num(old, field), num(new, field)) else {
             findings.push(format!("{ctx}: missing timing field {field}"));
@@ -130,12 +133,17 @@ pub fn diff_snapshots(
         .and_then(Json::as_arr)
         .ok_or("new snapshot: no workloads array")?;
     let by_name = |set: &[Json], name: &str| -> Option<Json> {
-        set.iter().find(|w| w.get("name").and_then(Json::as_str) == Some(name)).cloned()
+        set.iter()
+            .find(|w| w.get("name").and_then(Json::as_str) == Some(name))
+            .cloned()
     };
 
     let mut findings = Vec::new();
     for ow in old_wl {
-        let name = ow.get("name").and_then(Json::as_str).ok_or("workload without name")?;
+        let name = ow
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("workload without name")?;
         let Some(nw) = by_name(new_wl, name) else {
             findings.push(format!("{name}: workload missing from new snapshot"));
             continue;
@@ -174,12 +182,74 @@ pub fn diff_snapshots(
                 findings.push(format!("{name}: allocs dropped from new snapshot"));
             }
         }
+        // Simulated time: every machine cost constant is a whole number
+        // of nanoseconds, so the simulated clock is exact — any drift at
+        // all, in either direction, is a finding (no epsilon).
         match (num(ow, "sim_time_s"), num(&nw, "sim_time_s")) {
-            (Some(o), Some(n)) if (o - n).abs() > 1e-9 => findings.push(format!(
-                "{name}: sim_time_s changed {o:.6} -> {n:.6} (simulation is deterministic)"
+            (Some(o), Some(n)) if o != n => findings.push(format!(
+                "{name}: sim_time_s changed {o:.6} -> {n:.6} \
+                 (whole-ns cost quantization makes the simulated clock exact)"
             )),
             (Some(_), Some(_)) => {}
             (o, n) => findings.push(format!("{name}: sim_time_s missing ({o:?} vs {n:?})")),
+        }
+        // Critical-path section: every field is an exact integer from the
+        // deterministic whole-nanosecond event DAG. The section may appear
+        // over a pre-critpath snapshot but never vanish.
+        match (ow.get("critpath"), nw.get("critpath")) {
+            (Some(oc), Some(nc)) => {
+                for field in ["events", "critical_events", "length", "makespan_ns"] {
+                    let (o, n) = (num(oc, field), num(nc, field));
+                    if o != n {
+                        findings.push(format!(
+                            "{name}: critpath.{field} changed {o:?} -> {n:?} \
+                             (the event DAG is deterministic; must match exactly)"
+                        ));
+                    }
+                }
+                for cat in [
+                    "compute",
+                    "alpha",
+                    "beta",
+                    "contention",
+                    "recv_wait",
+                    "drain",
+                ] {
+                    let (o, n) = (
+                        oc.get("blame").and_then(|b| num(b, cat)),
+                        nc.get("blame").and_then(|b| num(b, cat)),
+                    );
+                    if o != n {
+                        findings.push(format!(
+                            "{name}: critpath blame \"{cat}\" changed {o:?} -> {n:?} \
+                             (blame tiles the makespan exactly; must match)"
+                        ));
+                    }
+                }
+                let whatif = |v: &Json| {
+                    v.get("top_whatif").map(|w| {
+                        (
+                            w.get("scenario").and_then(Json::as_str).map(str::to_owned),
+                            num(w, "msg"),
+                            num(w, "win_ns"),
+                        )
+                    })
+                };
+                if whatif(oc) != whatif(nc) {
+                    findings.push(format!(
+                        "{name}: critpath top what-if changed {:?} -> {:?} \
+                         (what-if wins are exact DAG re-evaluations; must match)",
+                        whatif(oc),
+                        whatif(nc)
+                    ));
+                }
+            }
+            (None, None) | (None, Some(_)) => {}
+            (Some(_), None) => {
+                findings.push(format!(
+                    "{name}: critpath section dropped from new snapshot"
+                ));
+            }
         }
         if !is_true(&nw, "identical") {
             findings.push(format!("{name}: fast/baseline outputs no longer identical"));
@@ -215,7 +285,9 @@ pub fn diff_snapshots(
             }
             let msgs = |v: &Json| {
                 v.get("messages").and_then(Json::as_arr).map(|a| {
-                    a.iter().map(|m| m.as_num().unwrap_or(f64::NAN)).collect::<Vec<f64>>()
+                    a.iter()
+                        .map(|m| m.as_num().unwrap_or(f64::NAN))
+                        .collect::<Vec<f64>>()
                 })
             };
             if msgs(os) != msgs(ns) {
@@ -322,8 +394,7 @@ pub fn diff_snapshots(
         if !is_true(threads, "identical") {
             findings.push("threads: fan-out no longer reproduces sequential outputs".to_owned());
         }
-        if let (Some(avail), Some(used)) =
-            (num(threads, "available"), num(threads, "workers_used"))
+        if let (Some(avail), Some(used)) = (num(threads, "available"), num(threads, "workers_used"))
         {
             if used > avail {
                 findings.push(format!(
@@ -367,10 +438,14 @@ fn prom_samples(doc: &str) -> Result<(Vec<PromSample>, Vec<PromType>), String> {
         if line.starts_with('#') || line.trim().is_empty() {
             continue;
         }
-        let cut = line.rfind(' ').ok_or_else(|| format!("malformed sample: {line}"))?;
+        let cut = line
+            .rfind(' ')
+            .ok_or_else(|| format!("malformed sample: {line}"))?;
         let (key, val) = (line[..cut].to_owned(), &line[cut + 1..]);
-        let value: f64 =
-            val.trim().parse().map_err(|_| format!("bad value in sample: {line}"))?;
+        let value: f64 = val
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad value in sample: {line}"))?;
         let base = key.split('{').next().unwrap_or(&key);
         // Histogram child samples belong to the family without the suffix.
         let family = types
@@ -475,6 +550,11 @@ mod tests {
          "speedup": 1.4, "identical": true,
          "messages": 5, "transmissions": 7, "words": 30, "work_units": 12345,
          "allocs": 77, "sim_time_s": 0.001500,
+         "critpath": {"events": 40, "critical_events": 9, "length": 8,
+          "makespan_ns": 1500000,
+          "blame": {"compute": 500000, "alpha": 300000, "beta": 200000,
+                    "contention": 100000, "recv_wait": 350000, "drain": 50000},
+          "top_whatif": {"msg": 3, "scenario": "eliminate", "win_ns": 120000}},
          "work_contexts": {"schedule;lwt": 9000, "schedule;comm": 3345}}
       ],
       "threads": {"available": 4, "workers_used": 2, "sequential_ms": 12.0,
@@ -510,14 +590,18 @@ mod tests {
 
         let within = SNAP.replace("\"schedule_ms\": 10.0", "\"schedule_ms\": 11.0");
         let d = diff_snapshots(SNAP, &within, &Tolerances::default()).unwrap();
-        assert!(d.is_empty(), "10% is inside the 15% default tolerance: {d:?}");
+        assert!(
+            d.is_empty(),
+            "10% is inside the 15% default tolerance: {d:?}"
+        );
     }
 
     #[test]
     fn correctness_fields_are_exact_both_directions() {
-        for (from, to) in
-            [("\"words\": 30", "\"words\": 29"), ("\"words\": 30", "\"words\": 31")]
-        {
+        for (from, to) in [
+            ("\"words\": 30", "\"words\": 29"),
+            ("\"words\": 30", "\"words\": 31"),
+        ] {
             let changed = SNAP.replace(from, to);
             let d = diff_snapshots(SNAP, &changed, &Tolerances::default()).unwrap();
             assert!(d.iter().any(|f| f.contains("words changed")), "{d:?}");
@@ -525,6 +609,83 @@ mod tests {
         let changed = SNAP.replace("\"sim_time_s\": 0.001500", "\"sim_time_s\": 0.001501");
         let d = diff_snapshots(SNAP, &changed, &Tolerances::default()).unwrap();
         assert!(d.iter().any(|f| f.contains("sim_time_s changed")), "{d:?}");
+    }
+
+    /// The simulated clock gates with NO epsilon: a drift in either
+    /// direction is a finding, even one that the old 1e-9 relative
+    /// tolerance would have waved through.
+    #[test]
+    fn sim_time_drift_is_caught_in_both_directions() {
+        for injected in [
+            "\"sim_time_s\": 0.001501",       // slower
+            "\"sim_time_s\": 0.001499",       // faster — still a finding
+            "\"sim_time_s\": 0.001500000001", // sub-epsilon drift
+        ] {
+            let changed = SNAP.replace("\"sim_time_s\": 0.001500", injected);
+            let d = diff_snapshots(SNAP, &changed, &Tolerances::default()).unwrap();
+            assert_eq!(d.len(), 1, "{injected}: {d:?}");
+            assert!(d[0].contains("sim_time_s changed"), "{d:?}");
+        }
+        let same = SNAP.replace("\"sim_time_s\": 0.001500", "\"sim_time_s\": 0.0015");
+        let d = diff_snapshots(SNAP, &same, &Tolerances::default()).unwrap();
+        assert!(d.is_empty(), "equal values must pass: {d:?}");
+    }
+
+    /// Every critpath field is exact in both directions — DAG size, path
+    /// length, makespan, each blame category and the top what-if win. The
+    /// section may appear over a pre-critpath snapshot but never vanish.
+    #[test]
+    fn critpath_section_is_gated_exactly_with_backward_compat() {
+        for (from, to, what) in [
+            ("\"events\": 40", "\"events\": 41", "critpath.events"),
+            ("\"length\": 8", "\"length\": 7", "critpath.length"),
+            (
+                "\"makespan_ns\": 1500000",
+                "\"makespan_ns\": 1499999",
+                "critpath.makespan_ns",
+            ),
+            (
+                "\"recv_wait\": 350000",
+                "\"recv_wait\": 350001",
+                "blame \"recv_wait\"",
+            ),
+            ("\"win_ns\": 120000", "\"win_ns\": 120001", "top what-if"),
+            (
+                "\"scenario\": \"eliminate\"",
+                "\"scenario\": \"aggregate\"",
+                "top what-if",
+            ),
+        ] {
+            let changed = SNAP.replace(from, to);
+            assert_ne!(changed, SNAP, "{from} not found in SNAP");
+            let d = diff_snapshots(SNAP, &changed, &Tolerances::default()).unwrap();
+            assert_eq!(d.len(), 1, "{from}: {d:?}");
+            assert!(d[0].contains(what), "{from}: {d:?}");
+        }
+        // A workload with no what-if opportunity reports null; null on
+        // both sides is clean, null vs. a win is a finding.
+        let null_new = SNAP.replace(
+            "\"top_whatif\": {\"msg\": 3, \"scenario\": \"eliminate\", \"win_ns\": 120000}",
+            "\"top_whatif\": null",
+        );
+        let d = diff_snapshots(&null_new, &null_new, &Tolerances::default()).unwrap();
+        assert!(d.is_empty(), "null what-ifs on both sides: {d:?}");
+        let d = diff_snapshots(SNAP, &null_new, &Tolerances::default()).unwrap();
+        assert!(d.iter().any(|f| f.contains("top what-if changed")), "{d:?}");
+
+        // Old snapshot without the section vs. a new one that has it: clean.
+        let pre = SNAP.replace("\"critpath\":", "\"critpath_old\":");
+        let d = diff_snapshots(&pre, SNAP, &Tolerances::default()).unwrap();
+        assert!(d.is_empty(), "section addition must pass: {d:?}");
+        // The reverse — the new snapshot dropped it — is a finding.
+        let d = diff_snapshots(SNAP, &pre, &Tolerances::default()).unwrap();
+        assert!(
+            d.iter().any(|f| f.contains("critpath section dropped")),
+            "{d:?}"
+        );
+        // Two pre-critpath snapshots diff cleanly.
+        let d = diff_snapshots(&pre, &pre, &Tolerances::default()).unwrap();
+        assert!(d.is_empty(), "{d:?}");
     }
 
     /// An injected extra projection shows up as +1 work unit — and the
@@ -585,7 +746,10 @@ mod tests {
         let d = diff_snapshots(&pre, SNAP, &Tolerances::default()).unwrap();
         assert!(d.is_empty(), "section addition must pass: {d:?}");
         let d = diff_snapshots(SNAP, &pre, &Tolerances::default()).unwrap();
-        assert!(d.iter().any(|f| f.contains("polyops: section missing")), "{d:?}");
+        assert!(
+            d.iter().any(|f| f.contains("polyops: section missing")),
+            "{d:?}"
+        );
         let d = diff_snapshots(&pre, &pre, &Tolerances::default()).unwrap();
         assert!(d.is_empty(), "{d:?}");
     }
@@ -603,7 +767,10 @@ mod tests {
         }
         let msgs = SNAP.replace("\"messages\": [5, 5]", "\"messages\": [5, 6]");
         let d = diff_snapshots(SNAP, &msgs, &Tolerances::default()).unwrap();
-        assert!(d.iter().any(|f| f.contains("message counts changed")), "{d:?}");
+        assert!(
+            d.iter().any(|f| f.contains("message counts changed")),
+            "{d:?}"
+        );
 
         // Reuse below 50% in the new snapshot is a finding even when the
         // old snapshot agreed (internal consistency, like workers_used).
@@ -622,11 +789,17 @@ mod tests {
             "\"work_units\": 2222, \"identical\": false",
         );
         let d = diff_snapshots(SNAP, &diverged, &Tolerances::default()).unwrap();
-        assert!(d.iter().any(|f| f.contains("no longer match the one-shot")), "{d:?}");
+        assert!(
+            d.iter().any(|f| f.contains("no longer match the one-shot")),
+            "{d:?}"
+        );
 
         let dropped = SNAP.replace("\"sweep\":", "\"sweep_old\":");
         let d = diff_snapshots(SNAP, &dropped, &Tolerances::default()).unwrap();
-        assert!(d.iter().any(|f| f.contains("sweep: section missing")), "{d:?}");
+        assert!(
+            d.iter().any(|f| f.contains("sweep: section missing")),
+            "{d:?}"
+        );
         // Two pre-session snapshots diff cleanly.
         let d = diff_snapshots(&dropped, &dropped, &Tolerances::default()).unwrap();
         assert!(d.is_empty(), "{d:?}");
@@ -650,17 +823,27 @@ mod tests {
         }
         let fps = SNAP.replace("\"cccc\"", "\"eeee\"");
         let d = diff_snapshots(SNAP, &fps, &Tolerances::default()).unwrap();
-        assert!(d.iter().any(|f| f.contains("schedule fingerprints changed")), "{d:?}");
+        assert!(
+            d.iter()
+                .any(|f| f.contains("schedule fingerprints changed")),
+            "{d:?}"
+        );
 
         let diverged = SNAP.replace("\"replay_identical\": true", "\"replay_identical\": false");
         let d = diff_snapshots(SNAP, &diverged, &Tolerances::default()).unwrap();
-        assert!(d.iter().any(|f| f.contains("no longer reproduces")), "{d:?}");
+        assert!(
+            d.iter().any(|f| f.contains("no longer reproduces")),
+            "{d:?}"
+        );
 
         let pre = SNAP.replace("\"journal\":", "\"journal_old\":");
         let d = diff_snapshots(&pre, SNAP, &Tolerances::default()).unwrap();
         assert!(d.is_empty(), "section addition must pass: {d:?}");
         let d = diff_snapshots(SNAP, &pre, &Tolerances::default()).unwrap();
-        assert!(d.iter().any(|f| f.contains("journal: section missing")), "{d:?}");
+        assert!(
+            d.iter().any(|f| f.contains("journal: section missing")),
+            "{d:?}"
+        );
         let d = diff_snapshots(&pre, &pre, &Tolerances::default()).unwrap();
         assert!(d.is_empty(), "{d:?}");
     }
@@ -670,25 +853,23 @@ mod tests {
     /// are findings — but a wall-time change alone is not.
     #[test]
     fn journal_files_diff_on_deterministic_fields_only() {
-        let rec = |seq: u64, work: u64, wall: u64| {
-            dmc_obs::JournalRecord {
-                seq,
-                workload: "lu".to_owned(),
-                nproc: 8,
-                params: vec![48],
-                program_fp: "0123456789abcdef0123456789abcdef".to_owned(),
-                decomp_fp: "0123456789abcdef0123456789abcdef".to_owned(),
-                grid_fp: "0123456789abcdef0123456789abcdef".to_owned(),
-                options_fp: "0123456789abcdef0123456789abcdef".to_owned(),
-                stage_hits: 1,
-                stage_misses: 4,
-                work_units: work,
-                messages: 3,
-                transmissions: 24,
-                words: 768,
-                schedule_fp: "fedcba9876543210fedcba9876543210".to_owned(),
-                wall_us: wall,
-            }
+        let rec = |seq: u64, work: u64, wall: u64| dmc_obs::JournalRecord {
+            seq,
+            workload: "lu".to_owned(),
+            nproc: 8,
+            params: vec![48],
+            program_fp: "0123456789abcdef0123456789abcdef".to_owned(),
+            decomp_fp: "0123456789abcdef0123456789abcdef".to_owned(),
+            grid_fp: "0123456789abcdef0123456789abcdef".to_owned(),
+            options_fp: "0123456789abcdef0123456789abcdef".to_owned(),
+            stage_hits: 1,
+            stage_misses: 4,
+            work_units: work,
+            messages: 3,
+            transmissions: 24,
+            words: 768,
+            schedule_fp: "fedcba9876543210fedcba9876543210".to_owned(),
+            wall_us: wall,
         };
         let render = dmc_obs::journal::render_journal;
         let old = render(&[rec(0, 100, 10), rec(1, 200, 20)]);
@@ -721,7 +902,11 @@ mod tests {
 
         let over = SNAP.replace("\"workers_used\": 2", "\"workers_used\": 9");
         let d = diff_snapshots(SNAP, &over, &Tolerances::default()).unwrap();
-        assert!(d.iter().any(|f| f.contains("exceeds available parallelism")), "{d:?}");
+        assert!(
+            d.iter()
+                .any(|f| f.contains("exceeds available parallelism")),
+            "{d:?}"
+        );
     }
 
     #[test]
@@ -736,7 +921,10 @@ mod tests {
         assert!(d.iter().any(|f| f.contains("counter changed")), "{d:?}");
 
         let gauge_near = old.replace("g 1.0", "g 1.000000000001");
-        let tol = Tolerances { gauge_rel: 1e-9, ..Tolerances::default() };
+        let tol = Tolerances {
+            gauge_rel: 1e-9,
+            ..Tolerances::default()
+        };
         let d = diff_prom(old, &gauge_near, &tol).unwrap();
         assert!(d.is_empty(), "tiny gauge drift within tolerance: {d:?}");
 
@@ -746,6 +934,9 @@ mod tests {
 
         let missing = "# HELP m_total c.\n# TYPE m_total counter\nm_total 5\n";
         let d = diff_prom(old, missing, &Tolerances::default()).unwrap();
-        assert!(d.iter().any(|f| f.contains("missing from new export")), "{d:?}");
+        assert!(
+            d.iter().any(|f| f.contains("missing from new export")),
+            "{d:?}"
+        );
     }
 }

@@ -7,6 +7,7 @@
 pub mod diff;
 
 use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
 
 use dmc_core::CompileInput;
 use dmc_decomp::{CompDecomp, DataDecomp, ProcGrid};
@@ -66,7 +67,12 @@ pub fn lu_input(nproc: i128) -> CompileInput {
     comps.insert(1, CompDecomp::cyclic_1d(1, "i2"));
     let mut initial = HashMap::new();
     initial.insert("X".to_string(), DataDecomp::cyclic_1d("X", 2, 0));
-    CompileInput { program: lu_program(), comps, initial, grid: ProcGrid::line(nproc) }
+    CompileInput {
+        program: lu_program(),
+        comps,
+        initial,
+        grid: ProcGrid::line(nproc),
+    }
 }
 
 /// §2.2.2's X/Y example where value-centric analysis transfers each value
@@ -88,7 +94,12 @@ pub fn xy_input(nproc: i128) -> CompileInput {
     let mut initial = HashMap::new();
     initial.insert("X".to_string(), DataDecomp::block_1d("X", 1, 0, 4));
     initial.insert("Y".to_string(), DataDecomp::block_1d("Y", 1, 0, 4));
-    CompileInput { program, comps, initial, grid: ProcGrid::line(nproc) }
+    CompileInput {
+        program,
+        comps,
+        initial,
+        grid: ProcGrid::line(nproc),
+    }
 }
 
 /// The 3-point relaxation stencil with block decomposition.
@@ -110,4 +121,38 @@ pub fn stencil_input(block: i128, nproc: i128) -> CompileInput {
         initial: HashMap::new(),
         grid: ProcGrid::line(nproc),
     }
+}
+
+/// One workload's row in [`profile_json`]: name, exact charged work-unit
+/// total, and per-context charged work sorted by descending units.
+pub type ProfileRow = (String, u64, Vec<(String, u64)>);
+
+/// Renders the `dmc-profile --json` document: one object per workload
+/// with its exact work-unit total and per-context charged work, in the
+/// same descending order as the text report. The document round-trips
+/// through `dmc_obs::json::parse`, so downstream tooling (and the
+/// `--diff` mode of a future run) needs no extra parser.
+pub fn profile_json(rows: &[ProfileRow]) -> String {
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    let mut out = String::from("{\n  \"harness\": \"dmc-profile\",\n  \"workloads\": [\n");
+    for (k, (name, units, contexts)) in rows.iter().enumerate() {
+        if k > 0 {
+            out.push_str(",\n");
+        }
+        let ctx_rows: Vec<String> = contexts
+            .iter()
+            .map(|(c, u)| format!("\"{}\": {u}", esc(c)))
+            .collect();
+        write!(
+            out,
+            "    {{\"name\": \"{}\", \"work_units\": {units}, \"contexts\": {{{}}}}}",
+            esc(name),
+            ctx_rows.join(", ")
+        )
+        .expect("write");
+    }
+    out.push_str("\n  ]\n}\n");
+    out
 }

@@ -18,7 +18,7 @@
 use std::path::PathBuf;
 use std::process::{Command, Output};
 
-use dmc_bench::{figure2_input, stencil_input, xy_input};
+use dmc_bench::{figure2_input, lu_input, stencil_input, xy_input};
 use dmc_core::{CompileInput, Options, Session};
 
 const LIMIT: usize = 50_000_000;
@@ -34,11 +34,19 @@ fn tmpdir(sub: &str) -> PathBuf {
 /// worker fan-out must actually inherit the context.
 fn scoped_view(label: &str, input: &CompileInput, params: &[i128]) -> Vec<String> {
     let mut session = Session::scoped(label);
-    let ctx = session.obs_context().expect("scoped session has a context").clone();
+    let ctx = session
+        .obs_context()
+        .expect("scoped session has a context")
+        .clone();
     ctx.start_capture();
-    let options = Options { threads: 2, ..Options::full() };
+    let options = Options {
+        threads: 2,
+        ..Options::full()
+    };
     let compiled = session.compile(input.clone(), options).expect("compiles");
-    let _ = session.build_schedule(&compiled, params, false, LIMIT).expect("schedules");
+    let _ = session
+        .build_schedule(&compiled, params, false, LIMIT)
+        .expect("schedules");
     ctx.finish_capture().deterministic_view()
 }
 
@@ -53,16 +61,28 @@ fn concurrent_scoped_sessions_capture_isolated_traces() {
     let (stencil, xy) = std::thread::scope(|s| {
         let a = s.spawn(|| scoped_view("conc-a", &stencil_input(16, 4), &[3, 63]));
         let b = s.spawn(|| scoped_view("conc-b", &xy_input(4), &[15]));
-        (a.join().expect("stencil thread"), b.join().expect("xy thread"))
+        (
+            a.join().expect("stencil thread"),
+            b.join().expect("xy thread"),
+        )
     });
 
-    assert!(!solo_stencil.is_empty() && !solo_xy.is_empty(), "captures must record");
+    assert!(
+        !solo_stencil.is_empty() && !solo_xy.is_empty(),
+        "captures must record"
+    );
     assert_eq!(
         stencil, solo_stencil,
         "concurrent stencil trace must be byte-identical to the solo trace"
     );
-    assert_eq!(xy, solo_xy, "concurrent xy trace must be byte-identical to the solo trace");
-    assert_ne!(solo_stencil, solo_xy, "different workloads produce different traces");
+    assert_eq!(
+        xy, solo_xy,
+        "concurrent xy trace must be byte-identical to the solo trace"
+    );
+    assert_ne!(
+        solo_stencil, solo_xy,
+        "different workloads produce different traces"
+    );
 }
 
 /// The journal round-trips through its JSONL rendering, and a fresh
@@ -90,7 +110,10 @@ fn journal_replays_byte_identically_through_a_fresh_session() {
     assert_eq!(original.journal().len(), 3);
     // The repeated request is served from the stage cache...
     let repeat = &original.journal()[2];
-    assert!(repeat.stage_hits > 0 && repeat.stage_misses == 0, "{repeat:?}");
+    assert!(
+        repeat.stage_hits > 0 && repeat.stage_misses == 0,
+        "{repeat:?}"
+    );
     // ...and costs no charged engine work.
     assert_eq!(repeat.work_units, 0, "{repeat:?}");
 
@@ -121,6 +144,78 @@ fn journal_replays_byte_identically_through_a_fresh_session() {
     assert!(health.stage_reuse_rate() > 0.0);
 }
 
+/// Two sessions journaling concurrently, their `serve()` calls forced to
+/// interleave round-by-round with a barrier: each journal holds exactly
+/// its own rows (no cross-session leakage, per-session sequence numbers),
+/// and each replays byte-identically through a fresh solo session.
+#[test]
+fn concurrent_scoped_sessions_journal_without_leaking_rows() {
+    use std::sync::Barrier;
+
+    let reqs_a: Vec<(&str, CompileInput, Vec<i128>)> = vec![
+        ("figure2", figure2_input(4), vec![3, 63]),
+        ("xy", xy_input(4), vec![15]),
+    ];
+    let reqs_b: Vec<(&str, CompileInput, Vec<i128>)> = vec![
+        ("stencil", stencil_input(16, 4), vec![3, 63]),
+        ("lu", lu_input(4), vec![16]),
+    ];
+    let serve_all =
+        |label: &str, reqs: &[(&str, CompileInput, Vec<i128>)], barrier: Option<&Barrier>| {
+            let mut session = Session::scoped(label);
+            session.set_journal(true);
+            for (name, input, params) in reqs {
+                if let Some(b) = barrier {
+                    b.wait();
+                }
+                session
+                    .serve(name, input.clone(), Options::full(), params, LIMIT)
+                    .expect("serves");
+            }
+            session
+        };
+
+    let barrier = Barrier::new(2);
+    let (sa, sb) = std::thread::scope(|s| {
+        let a = s.spawn(|| serve_all("conc-journal-a", &reqs_a, Some(&barrier)));
+        let b = s.spawn(|| serve_all("conc-journal-b", &reqs_b, Some(&barrier)));
+        (a.join().expect("session a"), b.join().expect("session b"))
+    });
+
+    // Each journal holds exactly its own requests, in request order, with
+    // its own dense sequence numbers — not one row from the other session.
+    let names = |s: &Session| {
+        s.journal()
+            .iter()
+            .map(|r| r.workload.clone())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(names(&sa), ["figure2", "xy"], "session A leaked rows");
+    assert_eq!(names(&sb), ["stencil", "lu"], "session B leaked rows");
+    for session in [&sa, &sb] {
+        for (k, r) in session.journal().iter().enumerate() {
+            assert_eq!(r.seq, k as u64, "per-session seq numbering");
+        }
+    }
+
+    // Each concurrent journal replays byte-identically (wall time aside)
+    // through a fresh solo session: the interleaving left no trace.
+    let solo_a = serve_all("solo-journal-a", &reqs_a, None);
+    let solo_b = serve_all("solo-journal-b", &reqs_b, None);
+    for (conc, solo) in [(&sa, &solo_a), (&sb, &solo_b)] {
+        assert_eq!(conc.journal().len(), solo.journal().len());
+        for (x, y) in conc.journal().iter().zip(solo.journal()) {
+            assert!(
+                x.deterministic_eq(y),
+                "seq {} ({}): concurrent journal diverged from solo: {:?}",
+                x.seq,
+                x.workload,
+                x.field_diffs(y)
+            );
+        }
+    }
+}
+
 fn run_bin(args: &[&str]) -> Output {
     Command::new(env!("CARGO_BIN_EXE_dmc-journal"))
         .args(args)
@@ -143,6 +238,10 @@ fn journal_binary_check_replay_and_diff_pass() {
     let journal = dir.join("journal.jsonl");
     let out = run_bin(&["--replay", journal.to_str().unwrap()]);
     assert!(out.status.success(), "--replay failed: {out:?}");
-    let out = run_bin(&["--diff", journal.to_str().unwrap(), journal.to_str().unwrap()]);
+    let out = run_bin(&[
+        "--diff",
+        journal.to_str().unwrap(),
+        journal.to_str().unwrap(),
+    ]);
     assert!(out.status.success(), "self --diff failed: {out:?}");
 }

@@ -87,16 +87,36 @@ fn ledger_totals_match_polystats_on_all_workloads() {
         let t = ledger.totals();
         let pairs = [
             ("fm_steps", t.fm_steps, delta.fm_steps),
-            ("feasibility_calls", t.feasibility_calls, delta.feasibility_calls),
+            (
+                "feasibility_calls",
+                t.feasibility_calls,
+                delta.feasibility_calls,
+            ),
             ("bnb_nodes", t.bnb_nodes, delta.bnb_nodes),
             ("negation_tests", t.negation_tests, delta.negation_tests),
             ("lex_splits", t.lex_splits, delta.lex_splits),
             ("feas_cache_hits", t.feas_cache_hits, delta.feas_cache_hits),
-            ("feas_cache_misses", t.feas_cache_misses, delta.feas_cache_misses),
+            (
+                "feas_cache_misses",
+                t.feas_cache_misses,
+                delta.feas_cache_misses,
+            ),
             ("proj_cache_hits", t.proj_cache_hits, delta.proj_cache_hits),
-            ("proj_cache_misses", t.proj_cache_misses, delta.proj_cache_misses),
-            ("redund_cache_hits", t.redund_cache_hits, delta.redund_cache_hits),
-            ("redund_cache_misses", t.redund_cache_misses, delta.redund_cache_misses),
+            (
+                "proj_cache_misses",
+                t.proj_cache_misses,
+                delta.proj_cache_misses,
+            ),
+            (
+                "redund_cache_hits",
+                t.redund_cache_hits,
+                delta.redund_cache_hits,
+            ),
+            (
+                "redund_cache_misses",
+                t.redund_cache_misses,
+                delta.redund_cache_misses,
+            ),
         ];
         for (field, ledger_v, stats_v) in pairs {
             assert_eq!(
@@ -104,7 +124,10 @@ fn ledger_totals_match_polystats_on_all_workloads() {
                 "{name}: ledger {field} = {ledger_v}, PolyStats delta = {stats_v}"
             );
         }
-        assert!(ledger.charged_work() > 0, "{name}: the pipeline must do some work");
+        assert!(
+            ledger.charged_work() > 0,
+            "{name}: the pipeline must do some work"
+        );
     }
 }
 
@@ -115,11 +138,28 @@ fn ledger_totals_match_polystats_on_all_workloads() {
 fn collapsed_profile_is_worker_count_independent() {
     let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     for (name, input, params) in workloads() {
-        let (l1, _, _) = ledgered(&input, &params, Options { threads: 1, ..Options::full() });
-        let (l4, _, _) = ledgered(&input, &params, Options { threads: 4, ..Options::full() });
+        let (l1, _, _) = ledgered(
+            &input,
+            &params,
+            Options {
+                threads: 1,
+                ..Options::full()
+            },
+        );
+        let (l4, _, _) = ledgered(
+            &input,
+            &params,
+            Options {
+                threads: 4,
+                ..Options::full()
+            },
+        );
         let s1 = profile_of(name, &l1).collapsed_stack();
         let s4 = profile_of(name, &l4).collapsed_stack();
-        assert_eq!(s1, s4, "{name}: collapsed stack depends on the worker count");
+        assert_eq!(
+            s1, s4,
+            "{name}: collapsed stack depends on the worker count"
+        );
         assert!(!s1.is_empty(), "{name}: profile must not be empty");
     }
 }
@@ -146,8 +186,7 @@ fn ledger_does_not_change_outputs() {
     let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     for (name, input, params) in workloads() {
         let off_compiled = compile(input.clone(), Options::full()).expect("compiles");
-        let off_schedule =
-            build_schedule(&off_compiled, &params, false, LIMIT).expect("schedules");
+        let off_schedule = build_schedule(&off_compiled, &params, false, LIMIT).expect("schedules");
         let off_stats = message_stats(&off_compiled, &params, LIMIT).expect("stats");
 
         let (ledger, _, on_schedule) = ledgered(&input, &params, Options::full());
@@ -155,9 +194,18 @@ fn ledger_does_not_change_outputs() {
         let on_compiled = compile(input.clone(), Options::full()).expect("compiles");
         let on_stats = message_stats(&on_compiled, &params, LIMIT).expect("stats");
 
-        assert_eq!(off_schedule, on_schedule, "{name}: schedule differs with ledger on");
-        assert_eq!(off_stats, on_stats, "{name}: message stats differ with ledger on");
-        assert!(!ledger.segments.is_empty(), "{name}: the capture must have recorded work");
+        assert_eq!(
+            off_schedule, on_schedule,
+            "{name}: schedule differs with ledger on"
+        );
+        assert_eq!(
+            off_stats, on_stats,
+            "{name}: message stats differ with ledger on"
+        );
+        assert!(
+            !ledger.segments.is_empty(),
+            "{name}: the capture must have recorded work"
+        );
     }
 }
 
@@ -176,5 +224,48 @@ fn attribution_covers_ninety_percent_of_work() {
             "{name}: only {:.1}% of work units attributed (need >= 90%)",
             frac * 100.0
         );
+    }
+}
+
+/// The `--json` document round-trips through the repo's own JSON parser
+/// and reproduces the profile exactly: per-workload totals, context
+/// counts and the descending context order.
+#[test]
+fn profile_json_round_trips_through_the_obs_parser() {
+    use dmc_obs::json::Json;
+
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let mut rows: Vec<dmc_bench::ProfileRow> = Vec::new();
+    let mut expected: Vec<dmc_bench::ProfileRow> = Vec::new();
+    for (name, input, params) in workloads() {
+        let (ledger, _, _) = ledgered(&input, &params, Options::full());
+        let p = profile_of(name, &ledger);
+        rows.push((name.to_owned(), p.total_work(), p.context_totals()));
+        expected.push((name.to_owned(), p.total_work(), p.context_totals()));
+    }
+
+    let doc = dmc_bench::profile_json(&rows);
+    let parsed = dmc_obs::json::parse(&doc).expect("document parses");
+    let wls = parsed
+        .get("workloads")
+        .and_then(Json::as_arr)
+        .expect("workloads array");
+    assert_eq!(wls.len(), expected.len());
+    for (w, (name, units, contexts)) in wls.iter().zip(&expected) {
+        assert_eq!(w.get("name").and_then(Json::as_str), Some(name.as_str()));
+        assert_eq!(
+            w.get("work_units").and_then(Json::as_num),
+            Some(*units as f64),
+            "{name}: work_units survives the round trip"
+        );
+        let Some(Json::Obj(ctx)) = w.get("contexts") else {
+            panic!("{name}: contexts must parse as an object");
+        };
+        assert_eq!(ctx.len(), contexts.len(), "{name}: all contexts present");
+        for ((got_k, got_v), (want_k, want_v)) in ctx.iter().zip(contexts) {
+            assert_eq!(got_k, want_k, "{name}: context order preserved");
+            assert_eq!(got_v.as_num(), Some(*want_v as f64), "{name}: {want_k}");
+        }
+        assert!(*units > 0, "{name}: the pipeline must do some work");
     }
 }

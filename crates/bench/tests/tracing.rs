@@ -25,7 +25,11 @@ const LIMIT: usize = 50_000_000;
 static SERIAL: Mutex<()> = Mutex::new(());
 
 /// Everything the pipeline produces: `(schedule, message stats, sim stats)`.
-type PipelineOut = (dmc_machine::Schedule, (u64, u64, u64), dmc_machine::SimStats);
+type PipelineOut = (
+    dmc_machine::Schedule,
+    (u64, u64, u64),
+    dmc_machine::SimStats,
+);
 
 fn outputs(input: &CompileInput, params: &[i128], options: Options) -> PipelineOut {
     let compiled = compile(input.clone(), options).expect("compiles");
@@ -65,7 +69,10 @@ fn tracing_does_not_change_outputs() {
         assert_eq!(off.0, on.0, "{name}: schedule differs with tracing on");
         assert_eq!(off.1, on.1, "{name}: message stats differ with tracing on");
         assert_eq!(off.2, on.2, "{name}: simulation differs with tracing on");
-        assert!(!trace.is_empty(), "{name}: the capture must have recorded the pipeline");
+        assert!(
+            !trace.is_empty(),
+            "{name}: the capture must have recorded the pipeline"
+        );
     }
 }
 
@@ -77,8 +84,22 @@ fn deterministic_view_is_worker_count_independent() {
     let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     // xy has three reads, so two workers genuinely split the fan-out.
     let input = xy_input(4);
-    let (_, t1) = traced_outputs(&input, &[15], Options { threads: 1, ..Options::full() });
-    let (_, t2) = traced_outputs(&input, &[15], Options { threads: 2, ..Options::full() });
+    let (_, t1) = traced_outputs(
+        &input,
+        &[15],
+        Options {
+            threads: 1,
+            ..Options::full()
+        },
+    );
+    let (_, t2) = traced_outputs(
+        &input,
+        &[15],
+        Options {
+            threads: 2,
+            ..Options::full()
+        },
+    );
     assert_eq!(
         t1.deterministic_view(),
         t2.deterministic_view(),
@@ -96,7 +117,10 @@ fn stencil_chrome_trace_is_well_formed() {
 
     let doc = obs::chrome_trace(&trace);
     let check = obs::validate_chrome(&doc).expect("valid Chrome trace");
-    assert!(check.lanes >= 2, "main lane plus at least one read lane: {check:?}");
+    assert!(
+        check.lanes >= 2,
+        "main lane plus at least one read lane: {check:?}"
+    );
     assert!(check.spans > 0 && check.events > 0, "{check:?}");
 
     // Every message of the final schedule is attributed by provenance:
@@ -111,7 +135,10 @@ fn stencil_chrome_trace_is_well_formed() {
         "explain report must attribute every surviving message:\n{report}"
     );
     // And each surviving line names the §6 passes the set survived.
-    assert!(report.contains("survived"), "provenance steps missing:\n{report}");
+    assert!(
+        report.contains("survived"),
+        "provenance steps missing:\n{report}"
+    );
 }
 
 /// The machine run materializes one sim lane per simulated processor —
@@ -124,10 +151,24 @@ fn sim_lanes_cover_every_processor() {
     let nproc = input.grid.len() as usize;
     let (_, trace) = traced_outputs(&input, &[3, 63], Options::full());
 
-    let sim_lanes: Vec<_> =
-        trace.lanes.iter().filter(|l| l.key.first() == Some(&2)).collect();
-    assert_eq!(sim_lanes.len(), nproc, "one sim lane per simulated processor");
+    let sim_lanes: Vec<_> = trace
+        .lanes
+        .iter()
+        .filter(|l| l.key.first() == Some(&2))
+        .collect();
+    assert_eq!(
+        sim_lanes.len(),
+        nproc + 1,
+        "one sim lane per simulated processor plus the critical-path lane"
+    );
     for lane in &sim_lanes {
+        if lane.key.as_slice() == [2, nproc as u64] {
+            assert!(
+                lane.records.iter().any(|r| r.name.starts_with("crit.")),
+                "the critical-path lane carries crit.* records"
+            );
+            continue;
+        }
         assert!(
             lane.records.iter().any(|r| r.name == "sim.proc"),
             "{}: every processor reports its breakdown",
@@ -142,11 +183,18 @@ fn sim_lanes_cover_every_processor() {
         .map(|l| l.records.iter().filter(|r| r.name == "sim.send").count())
         .sum();
     let (schedule, _, _) = outputs(&input, &[3, 63], Options::full());
-    assert_eq!(sends, schedule.messages.len(), "one sim.send per scheduled message");
+    assert_eq!(
+        sends,
+        schedule.messages.len(),
+        "one sim.send per scheduled message"
+    );
 
     let doc = obs::chrome_trace(&trace);
     let check = obs::validate_chrome(&doc).expect("valid Chrome trace with sim lanes");
-    assert!(check.lanes >= 2 + nproc, "compiler lanes plus {nproc} sim lanes: {check:?}");
+    assert!(
+        check.lanes >= 2 + nproc,
+        "compiler lanes plus {nproc} sim lanes: {check:?}"
+    );
 
     // The explain report joins the telemetry into a machine view.
     let report = obs::explain_report(&trace, "stencil");
@@ -155,6 +203,9 @@ fn sim_lanes_cover_every_processor() {
         .lines()
         .filter(|l| l.starts_with("- p") && l.contains(": compute "))
         .count();
-    assert_eq!(proc_rows, nproc, "one machine-view row per processor:\n{report}");
+    assert_eq!(
+        proc_rows, nproc,
+        "one machine-view row per processor:\n{report}"
+    );
     assert!(report.contains("Top links by traffic:"), "{report}");
 }

@@ -66,7 +66,10 @@ impl std::fmt::Display for CompileError {
                 write!(f, "no computation decomposition for statement {s}")
             }
             CompileError::MissingInitial(a) => {
-                write!(f, "location-centric strategy needs a data decomposition for {a}")
+                write!(
+                    f,
+                    "location-centric strategy needs a data decomposition for {a}"
+                )
             }
             CompileError::Lwt(e) => write!(f, "dataflow analysis failed: {e}"),
             CompileError::Comm(e) => write!(f, "communication generation failed: {e}"),
@@ -125,7 +128,12 @@ pub struct Compiled {
 /// The number of independent per-(statement, read) analysis jobs in
 /// `input` — the ceiling on [`compile`]'s useful fan-out width.
 pub fn analysis_jobs(input: &CompileInput) -> usize {
-    input.program.statements().iter().map(|s| s.stmt.rhs.reads().len()).sum()
+    input
+        .program
+        .statements()
+        .iter()
+        .map(|s| s.stmt.rhs.reads().len())
+        .sum()
 }
 
 /// The worker count [`compile`] actually uses for `input` under `options`:
@@ -178,7 +186,11 @@ pub(crate) fn whole_domain_tree(
         read_no,
         array: array.to_owned(),
         read_dims,
-        leaves: vec![LwtLeaf { space, context, source: None }],
+        leaves: vec![LwtLeaf {
+            space,
+            context,
+            source: None,
+        }],
         approximate: false,
     }
 }
@@ -302,13 +314,25 @@ fn planned_messages(
                 .expect("nonempty message");
             let items = chunk
                 .iter()
-                .map(|e| (cs.array.clone(), e.arr.clone(), producing_stamp(cs, &stmts, e)))
+                .map(|e| {
+                    (
+                        cs.array.clone(),
+                        e.arr.clone(),
+                        producing_stamp(cs, &stmts, e),
+                    )
+                })
                 .collect::<Vec<_>>();
             // The effective key includes the extra split components so
             // multicast merging never crosses split boundaries.
             let mut key = m.key.clone();
             if let Some(first) = chunk.first() {
-                key.extend(first.s_iter.iter().skip(cs.prefix_len).take(key_len - cs.prefix_len));
+                key.extend(
+                    first
+                        .s_iter
+                        .iter()
+                        .skip(cs.prefix_len)
+                        .take(key_len - cs.prefix_len),
+                );
             }
             groups.push(PlannedGroup {
                 sender,
@@ -335,7 +359,10 @@ fn planned_messages(
         };
     if merge {
         let sig = |g: &PlannedGroup| -> Vec<(String, Vec<i128>)> {
-            g.items.iter().map(|(a, i, _)| (a.clone(), i.clone())).collect()
+            g.items
+                .iter()
+                .map(|(a, i, _)| (a.clone(), i.clone()))
+                .collect()
         };
         let mut merged: Vec<PlannedGroup> = Vec::new();
         'next: for g in groups {
@@ -389,15 +416,26 @@ fn block_actions(
     let mut seq = 0usize;
     for info in &stmts {
         let comp = &input.comps[&info.id];
-        compute_blocks(input, info, comp, param_vals, &mut |proc, prefix, inner, flops, anchor| {
-            pending[proc].push((
-                anchor,
-                0,
-                seq,
-                Action::Block { stmt: info.id, prefix, inner_range: inner, flops },
-            ));
-            seq += 1;
-        })?;
+        compute_blocks(
+            input,
+            info,
+            comp,
+            param_vals,
+            &mut |proc, prefix, inner, flops, anchor| {
+                pending[proc].push((
+                    anchor,
+                    0,
+                    seq,
+                    Action::Block {
+                        stmt: info.id,
+                        prefix,
+                        inner_range: inner,
+                        flops,
+                    },
+                ));
+                seq += 1;
+            },
+        )?;
     }
     Ok((pending, seq))
 }
@@ -474,8 +512,8 @@ pub(crate) fn build_schedule_inner(
     let _span = obs::span_f("schedule", || vec![obs::field("values", values)]);
     // Explicit sessions root ledger attribution under a `session` frame
     // (matching the per-read jobs); the classic wrapper path does not.
-    let _sess_ctx = matches!(&session, Some(s) if s.is_explicit())
-        .then(|| ledger::push_context("session"));
+    let _sess_ctx =
+        matches!(&session, Some(s) if s.is_explicit()).then(|| ledger::push_context("session"));
     let _lctx = ledger::push_context("schedule");
     // Legality-refinement loop: build at the paper's aggregation level;
     // when the dry run deadlocks (batching across carrying-loop iterations
@@ -500,8 +538,9 @@ pub(crate) fn build_schedule_inner(
         match cached {
             Some(raw) => Some(raw),
             None => {
-                let _s =
-                    obs::span_f("aggregate", || vec![obs::field("sets", compiled.comm.len())]);
+                let _s = obs::span_f("aggregate", || {
+                    vec![obs::field("sets", compiled.comm.len())]
+                });
                 let _c = ledger::push_context("aggregate");
                 let raw: Vec<Vec<Message>> = compiled
                     .comm
@@ -528,18 +567,28 @@ pub(crate) fn build_schedule_inner(
         let _s = obs::span_f("plan", || vec![obs::field("sets", compiled.comm.len())]);
         let _c = ledger::push_context("plan");
         let multicast = if compiled.options.multicast && compiled.options.aggregate {
-            compiled.comm.iter().map(is_multicast).collect::<Result<Vec<_>, _>>()?
+            compiled
+                .comm
+                .iter()
+                .map(is_multicast)
+                .collect::<Result<Vec<_>, _>>()?
         } else {
             vec![false; compiled.comm.len()]
         };
         let (blocks, block_seq) = block_actions(compiled, param_vals)?;
-        Some(HoistedPlan { multicast, blocks, block_seq })
+        Some(HoistedPlan {
+            multicast,
+            blocks,
+            block_seq,
+        })
     } else {
         None
     };
     let mut last_err = None;
     for extra in 0..=max_depth {
-        let _attempt = obs::span_f("schedule.attempt", || vec![obs::field("extra_split", extra)]);
+        let _attempt = obs::span_f("schedule.attempt", || {
+            vec![obs::field("extra_split", extra)]
+        });
         let _actx = ledger::push_context(format!("attempt{extra}"));
         let schedule = build_schedule_at(
             compiled,
@@ -589,7 +638,9 @@ pub(crate) fn build_schedule_inner(
             Err(e) => return Err(CompileError::Sim(e)),
         }
     }
-    Err(CompileError::Sim(last_err.unwrap_or(SimError::Deadlock { blocked: vec![] })))
+    Err(CompileError::Sim(
+        last_err.unwrap_or(SimError::Deadlock { blocked: vec![] }),
+    ))
 }
 
 fn build_schedule_at(
@@ -651,7 +702,11 @@ fn build_schedule_at(
             let payload = values.then(|| {
                 g.items
                     .iter()
-                    .map(|(a, i, s)| PayloadItem { array: a.clone(), idx: i.clone(), stamp: s.clone() })
+                    .map(|(a, i, s)| PayloadItem {
+                        array: a.clone(),
+                        idx: i.clone(),
+                        stamp: s.clone(),
+                    })
                     .collect::<Vec<_>>()
             });
             schedule.messages.push(MessageSpec {
@@ -663,7 +718,12 @@ fn build_schedule_at(
             pending[g.sender].push((g.send_anchor.clone(), 1, seq, Action::Send { msg: msg_id }));
             seq += 1;
             for (k, &r) in g.receivers.iter().enumerate() {
-                pending[r].push((g.recv_anchor[k].clone(), -1, seq, Action::Recv { msg: msg_id }));
+                pending[r].push((
+                    g.recv_anchor[k].clone(),
+                    -1,
+                    seq,
+                    Action::Recv { msg: msg_id },
+                ));
                 seq += 1;
             }
         }
@@ -681,7 +741,12 @@ fn build_schedule_at(
         let mut split: Vec<(Stamp, i8, usize, Action)> = Vec::new();
         for (anchor, phase, sq, act) in acts.drain(..) {
             match act {
-                Action::Block { stmt, prefix, inner_range: Some((lo, hi)), flops } if hi > lo => {
+                Action::Block {
+                    stmt,
+                    prefix,
+                    inner_range: Some((lo, hi)),
+                    flops,
+                } if hi > lo => {
                     let info = &stmts[stmt];
                     let per_iter = flops / (hi - lo + 1) as f64;
                     // Find interior split points: anchors of the shape
@@ -779,8 +844,7 @@ fn compute_blocks(
     // Scan order: proc dims outermost, then loop dims; parameters fixed.
     let mut order = proc_dims.clone();
     order.extend(&loop_dims);
-    let nest = dmc_polyhedra::scan_bounds(&poly, &order)
-        .map_err(CompileError::Poly)?;
+    let nest = dmc_polyhedra::scan_bounds(&poly, &order).map_err(CompileError::Poly)?;
     let mut fixed = vec![0i128; space.len()];
     for (k, &d) in param_dims.iter().enumerate() {
         fixed[d] = param_vals[k];
@@ -900,7 +964,7 @@ pub(crate) fn simulate_schedule(
     } else {
         InitialPlacement::Owned(compiled.input.initial.clone())
     };
-    simulate(
+    let result = simulate(
         &compiled.input.program,
         &params,
         &compiled.input.grid,
@@ -909,5 +973,14 @@ pub(crate) fn simulate_schedule(
         &placement,
         values,
     )
-    .map_err(CompileError::Sim)
+    .map_err(CompileError::Sim)?;
+    // Critical-path & blame analysis over the finished run: deterministic
+    // integer-ns event DAG, emitted only into active captures (dry-run
+    // legality simulations suppress recording and skip this entirely).
+    if obs::enabled() {
+        if let Ok(crit) = dmc_machine::critpath::analyze(schedule, config) {
+            crit.emit_events();
+        }
+    }
+    Ok(result)
 }

@@ -1,0 +1,1391 @@
+//! Critical-path and blame analysis over a simulated schedule.
+//!
+//! Rebuilds the execution of a [`Schedule`] under a [`MachineConfig`] as an
+//! explicit event-dependency DAG — per-processor program order, send→recv
+//! matching edges, and the per-receiver link-serialization edges of a
+//! multicast — then computes the exact critical path, per-event slack, and
+//! a blame decomposition charging every simulated nanosecond of the
+//! makespan to a category (compute, α software overhead, β bandwidth, link
+//! contention, receive-wait idle, end-of-run drain), attributed per
+//! processor, per link and per message.
+//!
+//! ## Exactness: the nanosecond grid
+//!
+//! The simulator advances `f64` clocks in seconds. Critical-path
+//! invariants ("blame sums to the makespan", "zero slack iff on the
+//! critical path") cannot hold *exactly* in floating point — backward
+//! slack passes subtract in a different association order than the
+//! forward clock additions. This module therefore quantizes every event
+//! duration to **integer nanoseconds** and evaluates the DAG in integer
+//! arithmetic. The iPSC/860 cost constants are whole nanoseconds (α_send
+//! = 95 000 ns, α_recv = 15 000 ns, β·4 bytes = 1 440 ns, one flop =
+//! 145 ns, multicast stagger = 1 ns), so the rounded durations are the
+//! true ones and the integer event times agree with the simulator's
+//! float clocks to well under half a nanosecond — [`CritAnalysis::verify`]
+//! asserts the agreement against a [`SimStats`]. On the grid, the
+//! telescoping sums and the forward/backward passes are exact, making
+//! every `--check` invariant a strict equality, byte-identical across
+//! hosts and worker counts.
+
+use std::collections::HashMap;
+
+use dmc_obs as obs;
+use dmc_obs::metrics::Registry;
+
+use crate::config::MachineConfig;
+use crate::schedule::{Action, Schedule};
+use crate::sim::SimError;
+use crate::stats::SimStats;
+
+/// Rounds simulated seconds onto the integer-nanosecond grid.
+pub fn ns_of(seconds: f64) -> u64 {
+    (seconds * 1e9).round() as u64
+}
+
+/// What one DAG event models.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A compute block on its processor.
+    Compute,
+    /// The sender-side busy time of one logical send (α + β, times the
+    /// multicast factor).
+    SendBusy,
+    /// One in-flight transmission: wire time plus the per-receiver
+    /// serialization stagger of a multicast.
+    Wire,
+    /// The receiver-side software overhead of one receive.
+    Recv,
+}
+
+impl EventKind {
+    /// Short lowercase name used in reports and trace events.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Compute => "compute",
+            EventKind::SendBusy => "send",
+            EventKind::Wire => "wire",
+            EventKind::Recv => "recv",
+        }
+    }
+}
+
+/// One node of the event-dependency DAG. Times are integer nanoseconds
+/// of simulated time (see the module docs for why not seconds).
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// What the event models.
+    pub kind: EventKind,
+    /// Owning processor (for [`EventKind::Wire`]: the sending processor).
+    pub proc: usize,
+    /// Destination processor of a wire/receive event.
+    pub dst: Option<usize>,
+    /// Message id for send/wire/recv events.
+    pub msg: Option<usize>,
+    /// Statement id for compute events.
+    pub stmt: Option<usize>,
+    /// Earliest start (= max predecessor finish; 0 for sources).
+    pub start_ns: u64,
+    /// Earliest finish (= `start_ns + dur_ns`).
+    pub finish_ns: u64,
+    /// Duration on the nanosecond grid.
+    pub dur_ns: u64,
+    /// Slack: how far the event can slip without moving the makespan
+    /// (`latest finish − earliest finish`; 0 exactly on critical events).
+    pub slack_ns: u64,
+    /// Predecessor event indices (always `< ` this event's own index, so
+    /// index order is a topological order and the DAG is acyclic by
+    /// construction).
+    pub preds: Vec<u32>,
+}
+
+/// Blame decomposition of one processor's share of the makespan. The six
+/// categories tile the interval `[0, makespan]` exactly:
+/// [`Blame::total`] `== makespan_ns` for every processor.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Blame {
+    /// Executing compute blocks.
+    pub compute_ns: u64,
+    /// Message software overhead: one α_send per send plus one α_recv per
+    /// receive.
+    pub alpha_ns: u64,
+    /// Bandwidth: the β·bytes share of the sender busy time.
+    pub beta_ns: u64,
+    /// Link contention: sender busy time beyond one α + β — the extra
+    /// sequential message times a Linear/Log multicast serializes.
+    pub contention_ns: u64,
+    /// Blocked in a receive before the message arrived.
+    pub recv_wait_ns: u64,
+    /// Finished, idling until the machine-wide makespan.
+    pub drain_ns: u64,
+}
+
+impl Blame {
+    /// Sum of all categories — exactly the makespan for a per-processor
+    /// blame, and `nproc × makespan` for the machine total.
+    pub fn total(&self) -> u64 {
+        self.compute_ns
+            + self.alpha_ns
+            + self.beta_ns
+            + self.contention_ns
+            + self.recv_wait_ns
+            + self.drain_ns
+    }
+
+    fn add(&mut self, other: &Blame) {
+        self.compute_ns += other.compute_ns;
+        self.alpha_ns += other.alpha_ns;
+        self.beta_ns += other.beta_ns;
+        self.contention_ns += other.contention_ns;
+        self.recv_wait_ns += other.recv_wait_ns;
+        self.drain_ns += other.drain_ns;
+    }
+
+    /// `(name, value)` pairs in canonical render order.
+    pub fn categories(&self) -> [(&'static str, u64); 6] {
+        [
+            ("compute", self.compute_ns),
+            ("alpha", self.alpha_ns),
+            ("beta", self.beta_ns),
+            ("contention", self.contention_ns),
+            ("recv_wait", self.recv_wait_ns),
+            ("drain", self.drain_ns),
+        ]
+    }
+}
+
+/// Per-message attribution: what one logical message costs the machine.
+#[derive(Clone, Debug)]
+pub struct MsgBlame {
+    /// Message id (index into `schedule.messages`).
+    pub msg: usize,
+    /// Sending processor.
+    pub sender: usize,
+    /// Physical receivers.
+    pub fanout: usize,
+    /// Sender busy time charged (α + β + contention).
+    pub send_ns: u64,
+    /// Receiver wait it caused (summed over receivers).
+    pub wait_ns: u64,
+    /// Receiver software overhead it charged (summed over receivers).
+    pub recv_ns: u64,
+    /// Minimum slack over the message's send/wire/recv events.
+    pub slack_ns: u64,
+    /// Whether any of its events is on a critical path (slack 0).
+    pub critical: bool,
+    /// The α and wire (β) shares of one transmission, kept for the
+    /// what-if scenarios.
+    alpha_ns: u64,
+    wire_ns: u64,
+    /// Event indices: the send-busy event, then wires, then recvs.
+    events: Vec<u32>,
+}
+
+impl MsgBlame {
+    /// Total processor time the message charges (send + wait + recv).
+    pub fn cost_ns(&self) -> u64 {
+        self.send_ns + self.wait_ns + self.recv_ns
+    }
+}
+
+/// Per-link attribution, zero-traffic links omitted.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkBlame {
+    /// Sending processor.
+    pub src: usize,
+    /// Receiving processor.
+    pub dst: usize,
+    /// Transmissions over the link.
+    pub transmissions: u64,
+    /// Wire occupancy (β·bytes plus multicast stagger), nanoseconds.
+    pub wire_ns: u64,
+    /// Receiver wait caused by messages on this link, nanoseconds.
+    pub wait_ns: u64,
+    /// Whether any transmission on the link is on a critical path.
+    pub critical: bool,
+}
+
+/// A what-if scenario for one message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scenario {
+    /// The message is eliminated outright (a smarter §6 pass proved it
+    /// redundant): send, wire and receive costs all vanish.
+    Eliminate,
+    /// The message piggybacks on another (aggregation): the payload still
+    /// crosses the wire, but both software overheads vanish.
+    Aggregate,
+    /// Hardware multicast: one α + β on the sender regardless of fan-out,
+    /// no per-receiver serialization stagger.
+    Multicast,
+}
+
+impl Scenario {
+    /// Short lowercase name used in reports and trace events.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::Eliminate => "eliminate",
+            Scenario::Aggregate => "aggregate",
+            Scenario::Multicast => "multicast",
+        }
+    }
+}
+
+/// Duration and dependency overrides for a DAG re-evaluation.
+#[derive(Clone, Debug, Default)]
+pub struct Overrides {
+    /// `(event, new duration)` pairs.
+    pub durs: Vec<(u32, u64)>,
+    /// Receive events whose wire (message-arrival) predecessor edge is
+    /// removed — an eliminated message no longer gates its receiver.
+    pub unlink_wire: Vec<u32>,
+}
+
+/// One what-if estimate: applying `scenario` to `msg` drops the makespan
+/// by `win_ns`.
+#[derive(Clone, Copy, Debug)]
+pub struct WhatIf {
+    /// Message id.
+    pub msg: usize,
+    /// Scenario applied.
+    pub scenario: Scenario,
+    /// Exact makespan reduction under the incremental re-evaluation.
+    pub win_ns: u64,
+}
+
+/// The full analysis of one simulated schedule.
+#[derive(Clone, Debug)]
+pub struct CritAnalysis {
+    /// Simulated processors.
+    pub nproc: usize,
+    /// Machine makespan on the nanosecond grid.
+    pub makespan_ns: u64,
+    /// The event DAG in topological (construction) order.
+    pub events: Vec<Event>,
+    /// The canonical critical path: a gapless source→sink chain of event
+    /// indices achieving the makespan, in time order. Ties break toward
+    /// the smallest event index, so the chain is deterministic.
+    pub chain: Vec<u32>,
+    /// Per-processor blame; each sums exactly to `makespan_ns`.
+    pub per_proc: Vec<Blame>,
+    /// Machine-total blame (sums to `nproc × makespan_ns`).
+    pub total: Blame,
+    /// Per-message attribution, indexed by message id.
+    pub messages: Vec<MsgBlame>,
+    /// Per-link attribution, `(src, dst)` sorted, zero links omitted.
+    pub links: Vec<LinkBlame>,
+}
+
+/// Builds the event DAG for `schedule` under `config` and analyzes it.
+///
+/// Replays the simulator's cooperative scheduling loop (so a schedule the
+/// simulator deadlocks on errors here identically), quantizing every
+/// charged duration to the nanosecond grid.
+///
+/// # Errors
+///
+/// Returns [`SimError`] on deadlock or a malformed schedule, exactly like
+/// [`crate::simulate`].
+pub fn analyze(schedule: &Schedule, config: &MachineConfig) -> Result<CritAnalysis, SimError> {
+    let nproc = schedule.procs.len();
+    let alpha_send_ns = ns_of(config.alpha_send);
+    let alpha_recv_ns = ns_of(config.alpha_recv);
+
+    let mut events: Vec<Event> = Vec::new();
+    let mut clock = vec![0u64; nproc];
+    let mut next = vec![0usize; nproc];
+    let mut last_event: Vec<Option<u32>> = vec![None; nproc];
+    let mut per_proc = vec![Blame::default(); nproc];
+    // Mailbox: per (msg, receiver) the wire event index and its arrival.
+    let mut mail: HashMap<(usize, usize), (u32, u64)> = HashMap::new();
+
+    let mut link_wait: HashMap<(usize, usize), u64> = HashMap::new();
+
+    let mut messages: Vec<MsgBlame> = schedule
+        .messages
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| MsgBlame {
+            msg: i,
+            sender: spec.sender,
+            fanout: spec.receivers.len(),
+            send_ns: 0,
+            wait_ns: 0,
+            recv_ns: 0,
+            slack_ns: u64::MAX,
+            critical: false,
+            alpha_ns: alpha_send_ns,
+            wire_ns: ns_of(config.wire_time(spec.words * config.word_bytes)),
+            events: Vec::new(),
+        })
+        .collect();
+
+    // The simulator's cooperative loop: run every processor as far as it
+    // can go; a receive with no mail blocks; no progress at all is a
+    // deadlock. Event times are independent of the visit order (a receive
+    // completes at max(own clock, arrival) either way), so the replay's
+    // integer clocks match the simulator's float clocks on the grid.
+    loop {
+        let mut progressed = false;
+        let mut all_done = true;
+        for p in 0..nproc {
+            while let Some(action) = schedule.procs[p].get(next[p]) {
+                all_done = false;
+                match action {
+                    Action::Block { stmt, flops, .. } => {
+                        let dur = ns_of(flops * config.flop_time);
+                        per_proc[p].compute_ns += dur;
+                        push_event(
+                            &mut events,
+                            &mut clock,
+                            &mut last_event,
+                            p,
+                            Event {
+                                kind: EventKind::Compute,
+                                proc: p,
+                                dst: None,
+                                msg: None,
+                                stmt: Some(*stmt),
+                                start_ns: 0,
+                                finish_ns: 0,
+                                dur_ns: dur,
+                                slack_ns: 0,
+                                preds: Vec::new(),
+                            },
+                        );
+                    }
+                    Action::Send { msg } => {
+                        let spec = schedule
+                            .messages
+                            .get(*msg)
+                            .ok_or_else(|| SimError::MalformedSchedule(format!("message {msg}")))?;
+                        if spec.sender != p {
+                            return Err(SimError::MalformedSchedule(format!(
+                                "processor {p} sends message {msg} owned by {}",
+                                spec.sender
+                            )));
+                        }
+                        let bytes = spec.words * config.word_bytes;
+                        let busy = ns_of(config.send_busy_time(bytes, spec.receivers.len()));
+                        let mb = &mut messages[*msg];
+                        // Exact tiling of the busy time: charge up to one
+                        // α and one β, and call the rest — the extra
+                        // sequential message times of a Linear/Log
+                        // multicast — link contention.
+                        let alpha = mb.alpha_ns.min(busy);
+                        let beta = mb.wire_ns.min(busy - alpha);
+                        per_proc[p].alpha_ns += alpha;
+                        per_proc[p].beta_ns += beta;
+                        per_proc[p].contention_ns += busy - alpha - beta;
+                        mb.send_ns += busy;
+                        let send_idx = push_event(
+                            &mut events,
+                            &mut clock,
+                            &mut last_event,
+                            p,
+                            Event {
+                                kind: EventKind::SendBusy,
+                                proc: p,
+                                dst: None,
+                                msg: Some(*msg),
+                                stmt: None,
+                                start_ns: 0,
+                                finish_ns: 0,
+                                dur_ns: busy,
+                                slack_ns: 0,
+                                preds: Vec::new(),
+                            },
+                        );
+                        messages[*msg].events.push(send_idx);
+                        for (k, &r) in spec.receivers.iter().enumerate() {
+                            if r >= nproc {
+                                return Err(SimError::MalformedSchedule(format!(
+                                    "receiver {r} out of range"
+                                )));
+                            }
+                            // The wire edge: β·bytes plus the k-th
+                            // receiver's 1 ns serialization stagger. Not
+                            // on any processor's timeline — it only binds
+                            // the receive's earliest start.
+                            let wire_dur = messages[*msg].wire_ns + k as u64;
+                            let start = events[send_idx as usize].finish_ns;
+                            let idx = events.len() as u32;
+                            events.push(Event {
+                                kind: EventKind::Wire,
+                                proc: p,
+                                dst: Some(r),
+                                msg: Some(*msg),
+                                stmt: None,
+                                start_ns: start,
+                                finish_ns: start + wire_dur,
+                                dur_ns: wire_dur,
+                                slack_ns: 0,
+                                preds: vec![send_idx],
+                            });
+                            messages[*msg].events.push(idx);
+                            mail.insert((*msg, r), (idx, start + wire_dur));
+                        }
+                    }
+                    Action::Recv { msg } => {
+                        let Some(&(wire_idx, arrival)) = mail.get(&(*msg, p)) else {
+                            break; // Blocked: try another processor.
+                        };
+                        mail.remove(&(*msg, p));
+                        let wait = arrival.saturating_sub(clock[p]);
+                        per_proc[p].recv_wait_ns += wait;
+                        *link_wait
+                            .entry((schedule.messages[*msg].sender, p))
+                            .or_insert(0) += wait;
+                        per_proc[p].alpha_ns += alpha_recv_ns;
+                        let mb = &mut messages[*msg];
+                        mb.wait_ns += wait;
+                        mb.recv_ns += alpha_recv_ns;
+                        let mut preds = Vec::with_capacity(2);
+                        if let Some(prev) = last_event[p] {
+                            preds.push(prev);
+                        }
+                        preds.push(wire_idx);
+                        let start = clock[p].max(arrival);
+                        let idx = events.len() as u32;
+                        events.push(Event {
+                            kind: EventKind::Recv,
+                            proc: p,
+                            dst: Some(p),
+                            msg: Some(*msg),
+                            stmt: None,
+                            start_ns: start,
+                            finish_ns: start + alpha_recv_ns,
+                            dur_ns: alpha_recv_ns,
+                            slack_ns: 0,
+                            preds,
+                        });
+                        messages[*msg].events.push(idx);
+                        clock[p] = start + alpha_recv_ns;
+                        last_event[p] = Some(idx);
+                    }
+                }
+                next[p] += 1;
+                progressed = true;
+            }
+        }
+        if all_done {
+            break;
+        }
+        if !progressed {
+            let blocked: Vec<usize> = (0..nproc)
+                .filter(|&p| next[p] < schedule.procs[p].len())
+                .collect();
+            return Err(SimError::Deadlock { blocked });
+        }
+    }
+
+    let makespan_ns = clock.iter().copied().max().unwrap_or(0);
+    for p in 0..nproc {
+        per_proc[p].drain_ns = makespan_ns - clock[p];
+    }
+    let mut total = Blame::default();
+    for b in &per_proc {
+        total.add(b);
+    }
+
+    // Backward pass: latest finish without moving any sink past the
+    // makespan. Exact in integer arithmetic; `lf >= finish` everywhere
+    // (induction: lf[i] - dur[i] >= start[i] >= finish[pred]).
+    let n = events.len();
+    let mut lf = vec![makespan_ns; n];
+    for i in (0..n).rev() {
+        let ls = lf[i] - events[i].dur_ns;
+        for k in 0..events[i].preds.len() {
+            let p = events[i].preds[k] as usize;
+            lf[p] = lf[p].min(ls);
+        }
+    }
+    for (i, e) in events.iter_mut().enumerate() {
+        e.slack_ns = lf[i] - e.finish_ns;
+    }
+
+    // Canonical critical path: from the earliest-index makespan sink,
+    // walk tight predecessor edges (pred finish == own start), smallest
+    // index first. Every event has a tight predecessor unless it starts
+    // at 0, so the walk reaches a source and the chain is gapless.
+    let mut chain: Vec<u32> = Vec::new();
+    if let Some(sink) = (0..n).find(|&i| events[i].finish_ns == makespan_ns) {
+        let mut cur = sink;
+        chain.push(cur as u32);
+        loop {
+            let start = events[cur].start_ns;
+            let Some(&tight) = events[cur]
+                .preds
+                .iter()
+                .filter(|&&p| events[p as usize].finish_ns == start)
+                .min()
+            else {
+                break;
+            };
+            cur = tight as usize;
+            chain.push(cur as u32);
+        }
+        chain.reverse();
+    }
+
+    for mb in &mut messages {
+        for &e in &mb.events {
+            mb.slack_ns = mb.slack_ns.min(events[e as usize].slack_ns);
+        }
+        if mb.events.is_empty() {
+            mb.slack_ns = 0; // Never sent: no events, no slack to speak of.
+        }
+        mb.critical = !mb.events.is_empty() && mb.slack_ns == 0;
+    }
+
+    // Per-link rollup from the wire events plus the waits recorded
+    // during the replay.
+    let mut link_map: HashMap<(usize, usize), LinkBlame> = HashMap::new();
+    for e in &events {
+        if e.kind != EventKind::Wire {
+            continue;
+        }
+        let (Some(dst), Some(msg)) = (e.dst, e.msg) else {
+            continue;
+        };
+        let src = messages[msg].sender;
+        let l = link_map.entry((src, dst)).or_insert(LinkBlame {
+            src,
+            dst,
+            transmissions: 0,
+            wire_ns: 0,
+            wait_ns: 0,
+            critical: false,
+        });
+        l.transmissions += 1;
+        l.wire_ns += e.dur_ns;
+        l.critical |= e.slack_ns == 0;
+    }
+    for ((src, dst), wait) in link_wait {
+        if let Some(l) = link_map.get_mut(&(src, dst)) {
+            l.wait_ns += wait;
+        }
+    }
+    let mut links: Vec<LinkBlame> = link_map.into_values().collect();
+    links.sort_by_key(|l| (l.src, l.dst));
+
+    Ok(CritAnalysis {
+        nproc,
+        makespan_ns,
+        events,
+        chain,
+        per_proc,
+        total,
+        messages,
+        links,
+    })
+}
+
+/// Appends a processor-timeline event (compute / send busy / recv) and
+/// advances that processor's clock. Returns the event's index.
+fn push_event(
+    events: &mut Vec<Event>,
+    clock: &mut [u64],
+    last_event: &mut [Option<u32>],
+    p: usize,
+    mut e: Event,
+) -> u32 {
+    let idx = events.len() as u32;
+    if let Some(prev) = last_event[p] {
+        e.preds.push(prev);
+    }
+    e.start_ns = clock[p];
+    e.finish_ns = e.start_ns + e.dur_ns;
+    clock[p] = e.finish_ns;
+    last_event[p] = Some(idx);
+    events.push(e);
+    idx
+}
+
+impl CritAnalysis {
+    /// Number of events on the canonical critical path.
+    pub fn chain_len(&self) -> usize {
+        self.chain.len()
+    }
+
+    /// Number of zero-slack (critical) events.
+    pub fn critical_events(&self) -> usize {
+        self.events.iter().filter(|e| e.slack_ns == 0).count()
+    }
+
+    /// Successor adjacency, the transpose of the `preds` lists.
+    pub fn successors(&self) -> Vec<Vec<u32>> {
+        let mut succs = vec![Vec::new(); self.events.len()];
+        for (i, e) in self.events.iter().enumerate() {
+            for &p in &e.preds {
+                succs[p as usize].push(i as u32);
+            }
+        }
+        succs
+    }
+
+    /// The overrides `scenario` applies to message `mb`, or `None` when
+    /// the scenario does not apply (multicast of a single-receiver
+    /// message, or a message that was never sent).
+    fn scenario_overrides(&self, mb: &MsgBlame, scenario: Scenario) -> Option<Overrides> {
+        if mb.events.is_empty() {
+            return None;
+        }
+        let mut ov = Overrides::default();
+        match scenario {
+            Scenario::Eliminate => {
+                // The message never happens: all its costs vanish AND its
+                // receives no longer gate on the sender (the wire edge is
+                // cut; program order on the receiver remains).
+                for &e in &mb.events {
+                    ov.durs.push((e, 0));
+                    if self.events[e as usize].kind == EventKind::Recv {
+                        ov.unlink_wire.push(e);
+                    }
+                }
+            }
+            Scenario::Aggregate => {
+                // Piggyback on another message: the payload still crosses
+                // the wire, but the software overheads vanish on both
+                // ends.
+                for &e in &mb.events {
+                    let new = match self.events[e as usize].kind {
+                        EventKind::SendBusy => mb.wire_ns,
+                        EventKind::Recv => 0,
+                        _ => continue,
+                    };
+                    ov.durs.push((e, new));
+                }
+            }
+            Scenario::Multicast => {
+                // Hardware multicast: one α + β on the sender regardless
+                // of fan-out, and no per-receiver serialization stagger.
+                if mb.fanout < 2 {
+                    return None;
+                }
+                for &e in &mb.events {
+                    let new = match self.events[e as usize].kind {
+                        EventKind::SendBusy => mb.alpha_ns + mb.wire_ns,
+                        EventKind::Wire => mb.wire_ns,
+                        _ => continue,
+                    };
+                    ov.durs.push((e, new));
+                }
+            }
+        }
+        Some(ov)
+    }
+
+    /// Re-evaluates the makespan under `ov`, propagating only through
+    /// affected events. `succs` is [`CritAnalysis::successors`], computed
+    /// once by the caller.
+    pub fn makespan_with(&self, succs: &[Vec<u32>], ov: &Overrides) -> u64 {
+        let durs: HashMap<u32, u64> = ov.durs.iter().copied().collect();
+        let unlink: std::collections::HashSet<u32> = ov.unlink_wire.iter().copied().collect();
+        let mut fin: HashMap<u32, u64> = HashMap::new();
+        // Index order is topological order, so a min-index worklist
+        // settles every affected event exactly once.
+        let mut work: std::collections::BTreeSet<u32> = ov.durs.iter().map(|&(i, _)| i).collect();
+        work.extend(ov.unlink_wire.iter().copied());
+        while let Some(&i) = work.iter().next() {
+            work.remove(&i);
+            let e = &self.events[i as usize];
+            let start = self
+                .live_preds(i, &unlink)
+                .map(|p| {
+                    fin.get(&p)
+                        .copied()
+                        .unwrap_or(self.events[p as usize].finish_ns)
+                })
+                .max()
+                .unwrap_or(0);
+            let f = start + durs.get(&i).copied().unwrap_or(e.dur_ns);
+            let old = fin.get(&i).copied().unwrap_or(e.finish_ns);
+            if f != old {
+                fin.insert(i, f);
+                for &s in &succs[i as usize] {
+                    work.insert(s);
+                }
+            }
+        }
+        self.events
+            .iter()
+            .enumerate()
+            .map(|(i, e)| fin.get(&(i as u32)).copied().unwrap_or(e.finish_ns))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Full-DAG forward recomputation with overrides — the brute-force
+    /// reference [`CritAnalysis::makespan_with`] is checked against.
+    pub fn makespan_full(&self, ov: &Overrides) -> u64 {
+        let durs: HashMap<u32, u64> = ov.durs.iter().copied().collect();
+        let unlink: std::collections::HashSet<u32> = ov.unlink_wire.iter().copied().collect();
+        let mut fin = vec![0u64; self.events.len()];
+        let mut makespan = 0;
+        for (i, e) in self.events.iter().enumerate() {
+            let start = self
+                .live_preds(i as u32, &unlink)
+                .map(|p| fin[p as usize])
+                .max()
+                .unwrap_or(0);
+            fin[i] = start + durs.get(&(i as u32)).copied().unwrap_or(e.dur_ns);
+            makespan = makespan.max(fin[i]);
+        }
+        makespan
+    }
+
+    /// Predecessors of event `i` surviving the wire-edge cuts in
+    /// `unlink` (a receive in `unlink` keeps only program order).
+    fn live_preds<'a>(
+        &'a self,
+        i: u32,
+        unlink: &'a std::collections::HashSet<u32>,
+    ) -> impl Iterator<Item = u32> + 'a {
+        let cut = unlink.contains(&i);
+        self.events[i as usize]
+            .preds
+            .iter()
+            .copied()
+            .filter(move |&p| !(cut && self.events[p as usize].kind == EventKind::Wire))
+    }
+
+    /// Estimates every applicable `(message, scenario)` what-if, sorted
+    /// by win descending (ties by message id, then scenario order).
+    ///
+    /// A message none of whose events is critical cannot move the
+    /// makespan by getting cheaper (every scenario only shrinks
+    /// durations), so it is pruned to a zero win without re-evaluation;
+    /// the rest go through the incremental re-evaluation.
+    pub fn what_if(&self) -> Vec<WhatIf> {
+        let succs = self.successors();
+        let mut out = Vec::new();
+        for mb in &self.messages {
+            for (ord, scenario) in [
+                Scenario::Eliminate,
+                Scenario::Aggregate,
+                Scenario::Multicast,
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                let Some(ov) = self.scenario_overrides(mb, scenario) else {
+                    continue;
+                };
+                let win_ns = if mb.slack_ns > 0 {
+                    0
+                } else {
+                    self.makespan_ns - self.makespan_with(&succs, &ov)
+                };
+                out.push((
+                    ord,
+                    WhatIf {
+                        msg: mb.msg,
+                        scenario,
+                        win_ns,
+                    },
+                ));
+            }
+        }
+        out.sort_by(|a, b| {
+            b.1.win_ns
+                .cmp(&a.1.win_ns)
+                .then(a.1.msg.cmp(&b.1.msg))
+                .then(a.0.cmp(&b.0))
+        });
+        out.into_iter().map(|(_, w)| w).collect()
+    }
+
+    /// The single best what-if, if any message was sent.
+    pub fn top_what_if(&self) -> Option<WhatIf> {
+        self.what_if().into_iter().next()
+    }
+
+    /// Cross-checks every what-if's incremental re-evaluation against the
+    /// brute-force full forward pass, including pruned ones.
+    pub fn verify_what_ifs(&self) -> Result<(), String> {
+        let succs = self.successors();
+        for mb in &self.messages {
+            for scenario in [
+                Scenario::Eliminate,
+                Scenario::Aggregate,
+                Scenario::Multicast,
+            ] {
+                let Some(ov) = self.scenario_overrides(mb, scenario) else {
+                    continue;
+                };
+                let full = self.makespan_full(&ov);
+                let inc = self.makespan_with(&succs, &ov);
+                if inc != full {
+                    return Err(format!(
+                        "what-if msg {} {}: incremental makespan {} != full {}",
+                        mb.msg,
+                        scenario.name(),
+                        inc,
+                        full
+                    ));
+                }
+                if mb.slack_ns > 0 && full != self.makespan_ns {
+                    return Err(format!(
+                        "what-if msg {} {}: pruned (slack {}) but full re-eval moved \
+                         the makespan {} -> {}",
+                        mb.msg,
+                        scenario.name(),
+                        mb.slack_ns,
+                        self.makespan_ns,
+                        full
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks every structural invariant of the analysis, and its exact
+    /// agreement with the simulator's own `stats`:
+    ///
+    /// - the DAG is acyclic and the stored event times are its exact
+    ///   longest-path values (forward DP re-derivation);
+    /// - the makespan equals the longest path, equals the simulator's
+    ///   finish time on the nanosecond grid;
+    /// - an event has zero slack iff it is in the backward tight-edge
+    ///   closure of the makespan sinks (i.e. on some critical path);
+    /// - the canonical chain is a gapless source→sink critical path;
+    /// - every processor's blame categories sum exactly to the makespan,
+    ///   and agree with the simulator's per-processor compute/comm/idle
+    ///   accounting on the grid.
+    pub fn verify(&self, stats: &SimStats) -> Result<(), String> {
+        let n = self.events.len();
+        let fail = |msg: String| -> Result<(), String> { Err(msg) };
+
+        // Forward re-derivation: topological order + earliest times.
+        let mut max_finish = 0u64;
+        for (i, e) in self.events.iter().enumerate() {
+            let mut start = 0u64;
+            for &p in &e.preds {
+                if p as usize >= i {
+                    return fail(format!("event {i}: predecessor {p} not earlier (cycle)"));
+                }
+                start = start.max(self.events[p as usize].finish_ns);
+            }
+            if e.start_ns != start {
+                return fail(format!(
+                    "event {i}: start {} != max predecessor finish {start}",
+                    e.start_ns
+                ));
+            }
+            if e.finish_ns != e.start_ns + e.dur_ns {
+                return fail(format!("event {i}: finish != start + dur"));
+            }
+            max_finish = max_finish.max(e.finish_ns);
+        }
+        if max_finish != self.makespan_ns {
+            return fail(format!(
+                "longest path {} != makespan {}",
+                max_finish, self.makespan_ns
+            ));
+        }
+        if ns_of(stats.time) != self.makespan_ns {
+            return fail(format!(
+                "simulator finish {} ns != makespan {}",
+                ns_of(stats.time),
+                self.makespan_ns
+            ));
+        }
+
+        // Zero slack iff in the backward tight-edge closure of the sinks.
+        let mut on_path = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let succs = self.successors();
+        for (i, e) in self.events.iter().enumerate() {
+            if succs[i].is_empty() && e.finish_ns == self.makespan_ns {
+                on_path[i] = true;
+                stack.push(i);
+            }
+        }
+        while let Some(i) = stack.pop() {
+            for &p in &self.events[i].preds {
+                let p = p as usize;
+                if !on_path[p] && self.events[p].finish_ns == self.events[i].start_ns {
+                    on_path[p] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        for (i, e) in self.events.iter().enumerate() {
+            if (e.slack_ns == 0) != on_path[i] {
+                return fail(format!(
+                    "event {i}: slack {} vs critical-closure membership {}",
+                    e.slack_ns, on_path[i]
+                ));
+            }
+        }
+
+        // The canonical chain is a gapless critical source→sink path.
+        if n > 0 && self.chain.is_empty() {
+            return fail("empty critical chain on a non-empty DAG".into());
+        }
+        for (j, &c) in self.chain.iter().enumerate() {
+            let e = &self.events[c as usize];
+            if e.slack_ns != 0 {
+                return fail(format!("chain event {c} has slack {}", e.slack_ns));
+            }
+            if j == 0 && e.start_ns != 0 {
+                return fail(format!("chain starts at {} ns, not 0", e.start_ns));
+            }
+            if j + 1 == self.chain.len() && e.finish_ns != self.makespan_ns {
+                return fail(format!(
+                    "chain ends at {} ns, not the makespan {}",
+                    e.finish_ns, self.makespan_ns
+                ));
+            }
+            if j > 0 {
+                let prev = &self.events[self.chain[j - 1] as usize];
+                if prev.finish_ns != e.start_ns || !e.preds.contains(&self.chain[j - 1]) {
+                    return fail(format!(
+                        "chain gap between events {} and {c}",
+                        self.chain[j - 1]
+                    ));
+                }
+            }
+        }
+
+        // Blame tiles the makespan exactly, per processor, and agrees
+        // with the simulator's float accounting on the grid.
+        if self.per_proc.len() != stats.per_proc.len() {
+            return fail("processor count mismatch".into());
+        }
+        for (p, (b, s)) in self.per_proc.iter().zip(&stats.per_proc).enumerate() {
+            if b.total() != self.makespan_ns {
+                return fail(format!(
+                    "p{p}: blame sums to {} != makespan {}",
+                    b.total(),
+                    self.makespan_ns
+                ));
+            }
+            if self.makespan_ns - b.drain_ns != ns_of(s.finish) {
+                return fail(format!("p{p}: finish disagrees with simulator"));
+            }
+            if b.compute_ns != ns_of(s.compute) {
+                return fail(format!(
+                    "p{p}: compute blame {} != simulator {}",
+                    b.compute_ns,
+                    ns_of(s.compute)
+                ));
+            }
+            if b.recv_wait_ns != ns_of(s.idle) {
+                return fail(format!(
+                    "p{p}: recv-wait blame {} != simulator idle {}",
+                    b.recv_wait_ns,
+                    ns_of(s.idle)
+                ));
+            }
+            if b.alpha_ns + b.beta_ns + b.contention_ns != ns_of(s.comm) {
+                return fail(format!(
+                    "p{p}: comm blame {} != simulator {}",
+                    b.alpha_ns + b.beta_ns + b.contention_ns,
+                    ns_of(s.comm)
+                ));
+            }
+        }
+
+        // Message attribution covers exactly the non-compute, non-drain
+        // processor time.
+        let msg_cost: u64 = self.messages.iter().map(|m| m.cost_ns()).sum();
+        let comm_total = self.total.alpha_ns
+            + self.total.beta_ns
+            + self.total.contention_ns
+            + self.total.recv_wait_ns;
+        if msg_cost != comm_total {
+            return fail(format!(
+                "message costs sum to {msg_cost} != machine comm blame {comm_total}"
+            ));
+        }
+        Ok(())
+    }
+
+    /// Emits the analysis into the active observability capture:
+    /// `crit.summary` / `crit.proc` / `crit.msg` / `crit.whatif` instant
+    /// events in the caller's lane, plus a dedicated "critical path" sim
+    /// lane (processor index `nproc`) carrying the canonical chain as
+    /// `crit.span` records for the Chrome trace.
+    pub fn emit_events(&self) {
+        if !obs::enabled() {
+            return;
+        }
+        let what_ifs = self.what_if();
+        obs::event(
+            "crit.summary",
+            vec![
+                obs::field("makespan_ns", self.makespan_ns),
+                obs::field("events", self.events.len()),
+                obs::field("critical", self.critical_events()),
+                obs::field("length", self.chain.len()),
+                obs::field("compute_ns", self.total.compute_ns),
+                obs::field("alpha_ns", self.total.alpha_ns),
+                obs::field("beta_ns", self.total.beta_ns),
+                obs::field("contention_ns", self.total.contention_ns),
+                obs::field("recv_wait_ns", self.total.recv_wait_ns),
+                obs::field("drain_ns", self.total.drain_ns),
+            ],
+        );
+        for (p, b) in self.per_proc.iter().enumerate() {
+            obs::event(
+                "crit.proc",
+                vec![
+                    obs::field("proc", p),
+                    obs::field("compute_ns", b.compute_ns),
+                    obs::field("alpha_ns", b.alpha_ns),
+                    obs::field("beta_ns", b.beta_ns),
+                    obs::field("contention_ns", b.contention_ns),
+                    obs::field("recv_wait_ns", b.recv_wait_ns),
+                    obs::field("drain_ns", b.drain_ns),
+                ],
+            );
+        }
+        for mb in &self.messages {
+            if mb.events.is_empty() {
+                continue;
+            }
+            obs::event(
+                "crit.msg",
+                vec![
+                    obs::field("msg", mb.msg),
+                    obs::field("sender", mb.sender),
+                    obs::field("nrecv", mb.fanout),
+                    obs::field("send_ns", mb.send_ns),
+                    obs::field("wait_ns", mb.wait_ns),
+                    obs::field("recv_ns", mb.recv_ns),
+                    obs::field("slack_ns", mb.slack_ns),
+                    obs::field("critical", mb.critical),
+                ],
+            );
+        }
+        for w in what_ifs.iter().take(8) {
+            obs::event(
+                "crit.whatif",
+                vec![
+                    obs::field("msg", w.msg),
+                    obs::field("scenario", w.scenario.name()),
+                    obs::field("win_ns", w.win_ns),
+                ],
+            );
+        }
+        // The canonical chain as a contiguous span row in the Chrome
+        // trace: one pid-2 lane past the last processor, spans monotone
+        // by construction (the chain is gapless in time).
+        let _l = obs::lane(obs::sim_lane(self.nproc), "critical path");
+        for &c in &self.chain {
+            let e = &self.events[c as usize];
+            if e.dur_ns == 0 {
+                continue;
+            }
+            let mut fields = vec![
+                obs::field("kind", e.kind.name()),
+                obs::field("proc", e.proc),
+                obs::field("slack_ns", e.slack_ns),
+                obs::field("t0", e.start_ns as f64 * 1e-9),
+                obs::field("t1", e.finish_ns as f64 * 1e-9),
+            ];
+            if let Some(m) = e.msg {
+                fields.push(obs::field("msg", m));
+            }
+            if let Some(s) = e.stmt {
+                fields.push(obs::field("stmt", s));
+            }
+            obs::event("crit.span", fields);
+        }
+    }
+
+    /// Publishes the analysis under the `dmc_sim_critpath_*` metric
+    /// families, attaching `labels` to every sample.
+    pub fn export_metrics(&self, reg: &mut Registry, labels: &[(&str, &str)]) {
+        let with = |extra: &[(&str, String)]| -> Vec<(String, String)> {
+            labels
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+                .chain(extra.iter().map(|(k, v)| ((*k).to_owned(), v.clone())))
+                .collect()
+        };
+        let base: Vec<(String, String)> = with(&[]);
+        let base_refs: Vec<(&str, &str)> =
+            base.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+
+        reg.set_gauge(
+            "dmc_sim_critpath_makespan_ns",
+            "Simulated makespan on the exact nanosecond grid.",
+            &base_refs,
+            self.makespan_ns as f64,
+        );
+        reg.set_gauge(
+            "dmc_sim_critpath_dag_events",
+            "Events in the execution dependency DAG.",
+            &base_refs,
+            self.events.len() as f64,
+        );
+        reg.set_gauge(
+            "dmc_sim_critpath_length",
+            "Events on the canonical critical path.",
+            &base_refs,
+            self.chain.len() as f64,
+        );
+        reg.set_gauge(
+            "dmc_sim_critpath_critical_events",
+            "Zero-slack events (on some critical path).",
+            &base_refs,
+            self.critical_events() as f64,
+        );
+        for (cat, v) in self.total.categories() {
+            let owned = with(&[("category", cat.to_owned())]);
+            let refs: Vec<(&str, &str)> = owned
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect();
+            reg.set_gauge(
+                "dmc_sim_critpath_blame_ns",
+                "Machine-total blame per category, nanoseconds (each \
+                 processor's categories sum exactly to the makespan).",
+                &refs,
+                v as f64,
+            );
+        }
+        if let Some(top) = self.top_what_if() {
+            let owned = with(&[
+                ("msg", top.msg.to_string()),
+                ("scenario", top.scenario.name().to_owned()),
+            ]);
+            let refs: Vec<(&str, &str)> = owned
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect();
+            reg.set_gauge(
+                "dmc_sim_critpath_top_whatif_ns",
+                "Best single-message what-if makespan reduction, ns.",
+                &refs,
+                top.win_ns as f64,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{MessageSpec, Schedule};
+    use crate::sim::InitialPlacement;
+    use crate::simulate;
+
+    fn block(stmt: usize, flops: f64) -> Action {
+        Action::Block {
+            stmt,
+            prefix: vec![],
+            inner_range: None,
+            flops,
+        }
+    }
+
+    /// Runs the real simulator (timing mode) on `schedule` to get the
+    /// ground-truth stats the analysis must agree with. The program only
+    /// supplies statement ids 0..=2; flops come from the schedule.
+    fn sim_stats(schedule: &Schedule, config: &MachineConfig) -> Result<SimStats, SimError> {
+        let program = dmc_ir::parse(
+            "array A[8];
+             for i = 0 to 2 { A[i] = 1.0; }
+             for i = 0 to 2 { A[i] = 2.0; }
+             for i = 0 to 2 { A[i] = 3.0; }",
+        )
+        .unwrap();
+        let grid = dmc_decomp::ProcGrid::line(schedule.procs.len() as i128);
+        simulate(
+            &program,
+            &HashMap::new(),
+            &grid,
+            schedule,
+            config,
+            &InitialPlacement::Replicated,
+            false,
+        )
+        .map(|r| r.stats)
+    }
+
+    /// Two processors: p0 computes then sends; p1 computes (shorter),
+    /// waits, receives, computes again.
+    fn pingpong() -> Schedule {
+        let mut s = Schedule::new(2);
+        s.messages.push(MessageSpec {
+            sender: 0,
+            receivers: vec![1],
+            words: 10,
+            payload: None,
+        });
+        s.procs[0].push(block(0, 1000.0));
+        s.procs[0].push(Action::Send { msg: 0 });
+        s.procs[1].push(block(1, 10.0));
+        s.procs[1].push(Action::Recv { msg: 0 });
+        s.procs[1].push(block(2, 50.0));
+        s
+    }
+
+    fn multicast() -> Schedule {
+        let mut s = Schedule::new(4);
+        s.messages.push(MessageSpec {
+            sender: 0,
+            receivers: vec![1, 2, 3],
+            words: 8,
+            payload: None,
+        });
+        s.procs[0].push(Action::Send { msg: 0 });
+        for p in 1..4 {
+            s.procs[p].push(Action::Recv { msg: 0 });
+            s.procs[p].push(block(0, 100.0));
+        }
+        s
+    }
+
+    fn check(schedule: &Schedule, config: &MachineConfig) -> CritAnalysis {
+        let stats = sim_stats(schedule, config).expect("simulate");
+        let crit = analyze(schedule, config).expect("analyze");
+        crit.verify(&stats).expect("verify");
+        crit.verify_what_ifs().expect("what-ifs");
+        crit
+    }
+
+    #[test]
+    fn pingpong_blame_tiles_makespan() {
+        let config = MachineConfig::ipsc860();
+        let crit = check(&pingpong(), &config);
+        // p0: 1000 flops then a send. p1 is on the critical path's tail.
+        assert_eq!(crit.nproc, 2);
+        for b in &crit.per_proc {
+            assert_eq!(b.total(), crit.makespan_ns);
+        }
+        // Exact numbers: compute 1000*145 ns; send busy = α + β·40 bytes;
+        // wire 14 400 ns; recv α 15 000 ns; final block 50*145 ns.
+        let send_busy = 95_000 + 14_400;
+        assert_eq!(
+            crit.makespan_ns,
+            145_000 + send_busy + 14_400 + 15_000 + 7_250
+        );
+        assert_eq!(crit.per_proc[0].compute_ns, 145_000);
+        assert_eq!(crit.per_proc[0].alpha_ns, 95_000);
+        assert_eq!(crit.per_proc[0].beta_ns, 14_400);
+        assert_eq!(crit.per_proc[0].contention_ns, 0);
+        assert_eq!(crit.per_proc[1].alpha_ns, 15_000);
+        // The whole chain is critical: every event feeds the sink.
+        assert_eq!(crit.chain.len(), 5);
+        assert!(crit.messages[0].critical);
+        // p1's first tiny block has slack (it finishes long before the
+        // message arrives).
+        let slacky = crit
+            .events
+            .iter()
+            .find(|e| e.stmt == Some(1))
+            .expect("p1 block");
+        assert!(slacky.slack_ns > 0);
+    }
+
+    #[test]
+    fn pingpong_what_if_eliminate_wins_comm_cost() {
+        let config = MachineConfig::ipsc860();
+        let crit = check(&pingpong(), &config);
+        let wi = crit.what_if();
+        let top = wi[0];
+        assert_eq!(top.scenario, Scenario::Eliminate);
+        // Eliminating the message leaves p1's two blocks back-to-back,
+        // but p0's compute (145 µs) then dominates: the new makespan is
+        // p0's compute, which exceeds p1's 1_450 + 7_250 sum.
+        let new_makespan = 145_000u64;
+        assert_eq!(top.win_ns, crit.makespan_ns - new_makespan);
+        // Multicast does not apply to a single-receiver message.
+        assert!(wi.iter().all(|w| w.scenario != Scenario::Multicast));
+    }
+
+    #[test]
+    fn multicast_contention_and_what_if() {
+        let config = MachineConfig::ipsc860();
+        let crit = check(&multicast(), &config);
+        // Log fan-out 3: busy = 2·(α + β·32B); one α+β is charged as
+        // alpha/beta, the second sequential message time is contention.
+        let one = 95_000 + 11_520;
+        assert_eq!(crit.per_proc[0].alpha_ns, 95_000);
+        assert_eq!(crit.per_proc[0].beta_ns, 11_520);
+        assert_eq!(crit.per_proc[0].contention_ns, one);
+        // Hardware-multicast what-if halves the sender busy time.
+        let wi = crit.what_if();
+        let mc = wi
+            .iter()
+            .find(|w| w.scenario == Scenario::Multicast)
+            .expect("multicast scenario");
+        assert!(mc.win_ns > 0, "{wi:?}");
+        // Per-link attribution: three links, one transmission each, the
+        // later receivers carrying the serialization stagger.
+        assert_eq!(crit.links.len(), 3);
+        assert_eq!(crit.links[0].wire_ns, 11_520);
+        assert_eq!(crit.links[1].wire_ns, 11_521);
+        assert_eq!(crit.links[2].wire_ns, 11_522);
+    }
+
+    #[test]
+    fn zero_comm_machine_has_pure_compute_blame() {
+        let config = MachineConfig::zero_comm();
+        let crit = check(&pingpong(), &config);
+        assert_eq!(crit.total.alpha_ns, 0);
+        assert_eq!(crit.total.beta_ns, 0);
+        assert_eq!(crit.total.contention_ns, 0);
+        // Comm is free but the dependency remains: p1's last block still
+        // waits for p0's 145 µs of compute, then adds its own 7.25 µs.
+        assert_eq!(crit.makespan_ns, 145_000 + 7_250);
+        // Aggregation/multicast win nothing (no software overhead to
+        // shave), but *eliminating* the message also cuts the dependency
+        // edge, letting p1 finish early: the win is p1's tail compute.
+        for w in crit.what_if() {
+            match w.scenario {
+                Scenario::Eliminate => assert_eq!(w.win_ns, 7_250),
+                _ => assert_eq!(w.win_ns, 0),
+            }
+        }
+    }
+
+    #[test]
+    fn deadlock_matches_simulator() {
+        let mut s = Schedule::new(2);
+        s.messages.push(MessageSpec {
+            sender: 0,
+            receivers: vec![1],
+            words: 1,
+            payload: None,
+        });
+        s.procs[1].push(Action::Recv { msg: 0 });
+        // p0 never sends.
+        let config = MachineConfig::ipsc860();
+        let sim_err = sim_stats(&s, &config).expect_err("deadlock");
+        let crit_err = analyze(&s, &config).expect_err("deadlock");
+        assert_eq!(format!("{sim_err:?}"), format!("{crit_err:?}"));
+    }
+
+    #[test]
+    fn incremental_reeval_matches_brute_force_on_random_overrides() {
+        let config = MachineConfig::ipsc860();
+        let crit = check(&multicast(), &config);
+        let succs = crit.successors();
+        // Deterministic pseudo-random override sets.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for _ in 0..50 {
+            let mut ov = Overrides::default();
+            for i in 0..crit.events.len() as u32 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                if state >> 62 == 0 {
+                    ov.durs.push((i, state % 200_000));
+                }
+                if state & 0xff == 0 && crit.events[i as usize].kind == EventKind::Recv {
+                    ov.unlink_wire.push(i);
+                }
+            }
+            assert_eq!(
+                crit.makespan_with(&succs, &ov),
+                crit.makespan_full(&ov),
+                "{ov:?}"
+            );
+        }
+    }
+}

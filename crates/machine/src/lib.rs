@@ -18,11 +18,13 @@
 #![warn(missing_docs)]
 
 mod config;
+pub mod critpath;
 mod schedule;
 mod sim;
 mod stats;
 
 pub use config::{MachineConfig, MulticastModel};
+pub use critpath::{Blame, CritAnalysis, LinkBlame, MsgBlame, Overrides, Scenario, WhatIf};
 pub use schedule::{stamp_of, Action, MessageSpec, PayloadItem, Schedule, Stamp};
 pub use sim::{simulate, InitialPlacement, SimError, SimResult};
 pub use stats::{ProcStats, SimStats};
@@ -132,7 +134,10 @@ mod tests {
             flops: 3.0,
         });
         let mut owned = HashMap::new();
-        owned.insert("A".to_string(), dmc_decomp::DataDecomp::block_1d("A", 1, 0, 1_000));
+        owned.insert(
+            "A".to_string(),
+            dmc_decomp::DataDecomp::block_1d("A", 1, 0, 1_000),
+        );
         let cfg = MachineConfig::ipsc860();
         let err = simulate(
             &program,
@@ -144,7 +149,10 @@ mod tests {
             true,
         )
         .unwrap_err();
-        assert!(matches!(err, SimError::MissingValue { proc: 1, .. }), "{err}");
+        assert!(
+            matches!(err, SimError::MissingValue { proc: 1, .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -154,8 +162,18 @@ mod tests {
         let grid = ProcGrid::line(2);
         let mut sched = Schedule::new(2);
         // Both processors wait for messages that are sent only afterwards.
-        sched.messages.push(MessageSpec { sender: 0, receivers: vec![1], words: 1, payload: None });
-        sched.messages.push(MessageSpec { sender: 1, receivers: vec![0], words: 1, payload: None });
+        sched.messages.push(MessageSpec {
+            sender: 0,
+            receivers: vec![1],
+            words: 1,
+            payload: None,
+        });
+        sched.messages.push(MessageSpec {
+            sender: 1,
+            receivers: vec![0],
+            words: 1,
+            payload: None,
+        });
         sched.procs[0].push(Action::Recv { msg: 1 });
         sched.procs[0].push(Action::Send { msg: 0 });
         sched.procs[1].push(Action::Recv { msg: 0 });
@@ -176,8 +194,8 @@ mod tests {
 
     #[test]
     fn timing_mode_charges_costs() {
-        let program = parse("param N; array A[N]; for i = 0 to N - 1 { A[i] = A[i] + 1.0; }")
-            .unwrap();
+        let program =
+            parse("param N; array A[N]; for i = 0 to N - 1 { A[i] = A[i] + 1.0; }").unwrap();
         let env = params(&[("N", 4)]);
         let grid = ProcGrid::line(2);
         let mut sched = Schedule::new(2);

@@ -84,6 +84,13 @@ pub fn chrome_trace(trace: &Trace) -> String {
             }
             if let Some((ts_us, dur_us)) = if sim { sim_times_us(r) } else { None } {
                 // Simulated-time record on the machine process.
+                // Critical-path records get their own category so they
+                // can be isolated (or colored) in the trace viewer.
+                let cat = if r.name.starts_with("crit.") {
+                    "sim,crit"
+                } else {
+                    "sim"
+                };
                 let (ph, dur) = if r.phase == Phase::Instant && r.get("t1").is_none() {
                     ("i", String::new())
                 } else {
@@ -91,7 +98,7 @@ pub fn chrome_trace(trace: &Trace) -> String {
                 };
                 push(
                     format!(
-                        "{{\"name\": {}, \"cat\": \"sim\", \"ph\": \"{ph}\", \"ts\": {ts_us:.3}\
+                        "{{\"name\": {}, \"cat\": \"{cat}\", \"ph\": \"{ph}\", \"ts\": {ts_us:.3}\
                          {dur}, \"pid\": 2, \"tid\": {tid}, \"args\": {{{}}}}}",
                         json::quote(r.name),
                         args.join(", ")
@@ -105,7 +112,11 @@ pub fn chrome_trace(trace: &Trace) -> String {
                 Phase::End => "E",
                 Phase::Instant => "i",
             };
-            let scope = if r.phase == Phase::Instant { ", \"s\": \"t\"" } else { "" };
+            let scope = if r.phase == Phase::Instant {
+                ", \"s\": \"t\""
+            } else {
+                ""
+            };
             push(
                 format!(
                     "{{\"name\": {}, \"cat\": \"dmc\", \"ph\": \"{ph}\", \"ts\": {:.3}, \
@@ -195,7 +206,9 @@ pub fn validate_chrome(doc: &str) -> Result<TraceCheck, String> {
                     ))
                 }
                 None => {
-                    return Err(format!("event {i}: end of '{name}' with no open span on tid {tid}"))
+                    return Err(format!(
+                        "event {i}: end of '{name}' with no open span on tid {tid}"
+                    ))
                 }
             },
             "X" => {
@@ -216,7 +229,9 @@ pub fn validate_chrome(doc: &str) -> Result<TraceCheck, String> {
     }
     for (tid, (stack, _)) in &stacks {
         if !stack.is_empty() {
-            return Err(format!("tid {tid}: unclosed spans at end of trace: {stack:?}"));
+            return Err(format!(
+                "tid {tid}: unclosed spans at end of trace: {stack:?}"
+            ));
         }
     }
     Ok(check)
@@ -228,7 +243,13 @@ mod tests {
     use crate::trace::{LaneRecords, Record, Value};
 
     fn rec(phase: Phase, name: &'static str, ts_ns: u64) -> Record {
-        Record { phase, name, ts_ns, det: true, fields: Vec::new() }
+        Record {
+            phase,
+            name,
+            ts_ns,
+            det: true,
+            fields: Vec::new(),
+        }
     }
 
     #[test]
@@ -244,7 +265,10 @@ mod tests {
                         name: "prov.message",
                         ts_ns: 150,
                         det: true,
-                        fields: vec![("array", Value::Str("X".to_owned())), ("words", Value::UInt(3))],
+                        fields: vec![
+                            ("array", Value::Str("X".to_owned())),
+                            ("words", Value::UInt(3)),
+                        ],
                     },
                     rec(Phase::End, "compile", 900),
                 ],
@@ -252,7 +276,14 @@ mod tests {
         };
         let doc = chrome_trace(&trace);
         let check = validate_chrome(&doc).expect("valid");
-        assert_eq!(check, TraceCheck { lanes: 1, spans: 1, events: 1 });
+        assert_eq!(
+            check,
+            TraceCheck {
+                lanes: 1,
+                spans: 1,
+                events: 1
+            }
+        );
     }
 
     #[test]
@@ -308,11 +339,42 @@ mod tests {
         let doc = chrome_trace(&trace);
         let check = validate_chrome(&doc).expect("valid");
         // 2 thread lanes; 1 wall-clock span + 2 complete events; 1 instant.
-        assert_eq!(check, TraceCheck { lanes: 2, spans: 3, events: 1 });
+        assert_eq!(
+            check,
+            TraceCheck {
+                lanes: 2,
+                spans: 3,
+                events: 1
+            }
+        );
         // Sim records land on the machine process with simulated-µs stamps.
         assert!(doc.contains("\"ph\": \"X\""), "{doc}");
         assert!(doc.contains("\"name\": \"simulated machine\""), "{doc}");
         assert!(doc.contains("\"ts\": 1.500, \"dur\": 1.000"), "{doc}");
+    }
+
+    #[test]
+    fn critical_path_records_are_flagged_with_their_own_category() {
+        let trace = Trace {
+            lanes: vec![LaneRecords {
+                key: vec![2, 4],
+                label: "critical path".to_owned(),
+                records: vec![Record {
+                    phase: Phase::Instant,
+                    name: "crit.span",
+                    ts_ns: 0,
+                    det: true,
+                    fields: vec![
+                        ("kind", Value::Str("compute".to_owned())),
+                        ("t0", Value::F64(0.0)),
+                        ("t1", Value::F64(1.0e-6)),
+                    ],
+                }],
+            }],
+        };
+        let doc = chrome_trace(&trace);
+        validate_chrome(&doc).expect("valid");
+        assert!(doc.contains("\"cat\": \"sim,crit\""), "{doc}");
     }
 
     #[test]
@@ -321,7 +383,9 @@ mod tests {
         let doc = r#"{"traceEvents": [
           {"name": "sim.compute", "ph": "X", "ts": 5, "dur": -1, "pid": 2, "tid": 0}
         ]}"#;
-        assert!(validate_chrome(doc).unwrap_err().contains("negative duration"));
+        assert!(validate_chrome(doc)
+            .unwrap_err()
+            .contains("negative duration"));
         // Missing duration.
         let doc = r#"{"traceEvents": [
           {"name": "sim.compute", "ph": "X", "ts": 5, "pid": 2, "tid": 0}

@@ -41,6 +41,96 @@ struct ProcView {
     finish: f64,
 }
 
+/// Whole-run critical-path summary (`crit.summary`).
+#[derive(Clone, Default)]
+struct CritSummary {
+    makespan_ns: u64,
+    events: u64,
+    critical: u64,
+    length: u64,
+    blame: [u64; 6],
+}
+
+/// One processor's blame decomposition (`crit.proc`).
+#[derive(Clone)]
+struct CritProc {
+    proc: u64,
+    blame: [u64; 6],
+}
+
+/// One message's charged time and slack (`crit.msg`).
+#[derive(Clone)]
+struct CritMsg {
+    msg: u64,
+    sender: u64,
+    nrecv: u64,
+    send_ns: u64,
+    wait_ns: u64,
+    recv_ns: u64,
+    slack_ns: u64,
+    critical: bool,
+}
+
+/// One what-if estimate (`crit.whatif`).
+#[derive(Clone)]
+struct CritWhatIf {
+    msg: u64,
+    scenario: String,
+    win_ns: u64,
+}
+
+/// Blame category names in the canonical order of the `crit.*` events.
+const BLAME_CATS: [&str; 6] = [
+    "compute",
+    "alpha",
+    "beta",
+    "contention",
+    "recv-wait",
+    "drain",
+];
+
+fn blame_fields(r: &Record) -> [u64; 6] {
+    [
+        as_u64(r.get("compute_ns")).unwrap_or(0),
+        as_u64(r.get("alpha_ns")).unwrap_or(0),
+        as_u64(r.get("beta_ns")).unwrap_or(0),
+        as_u64(r.get("contention_ns")).unwrap_or(0),
+        as_u64(r.get("recv_wait_ns")).unwrap_or(0),
+        as_u64(r.get("drain_ns")).unwrap_or(0),
+    ]
+}
+
+/// Renders each part's percentage share (one decimal) of the parts' own
+/// total so the printed shares sum to exactly 100.0: the shares are
+/// apportioned in tenths of a percent by largest remainder. Returns empty
+/// strings when the total is not positive.
+fn pct_shares(parts: &[f64]) -> Vec<String> {
+    let total: f64 = parts.iter().map(|p| p.max(0.0)).sum();
+    if total <= 0.0 || total.is_nan() {
+        return vec![String::new(); parts.len()];
+    }
+    let exact: Vec<f64> = parts.iter().map(|p| 1000.0 * p.max(0.0) / total).collect();
+    let mut tenths: Vec<u64> = exact.iter().map(|x| x.floor() as u64).collect();
+    let mut deficit = 1000i64 - tenths.iter().sum::<u64>() as i64;
+    let mut order: Vec<usize> = (0..parts.len()).collect();
+    order.sort_by(|&a, &b| {
+        let (ra, rb) = (exact[a] - exact[a].floor(), exact[b] - exact[b].floor());
+        rb.partial_cmp(&ra)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut i = 0;
+    while deficit > 0 && !order.is_empty() {
+        tenths[order[i % order.len()]] += 1;
+        deficit -= 1;
+        i += 1;
+    }
+    tenths
+        .iter()
+        .map(|t| format!(" ({}.{}%)", t / 10, t % 10))
+        .collect()
+}
+
 /// One link's end-of-run traffic (`sim.link`).
 #[derive(Clone)]
 struct LinkView {
@@ -89,6 +179,10 @@ pub fn explain_report(trace: &Trace, title: &str) -> String {
     let mut procs: BTreeMap<u64, ProcView> = BTreeMap::new();
     let mut links: Vec<LinkView> = Vec::new();
     let mut latency: Option<(u64, u64, u64, u64)> = None;
+    let mut crit: Option<CritSummary> = None;
+    let mut crit_procs: Vec<CritProc> = Vec::new();
+    let mut crit_msgs: Vec<CritMsg> = Vec::new();
+    let mut crit_whatifs: Vec<CritWhatIf> = Vec::new();
 
     for lane in &trace.lanes {
         let is_read_lane = lane.key.first() == Some(&1);
@@ -136,18 +230,58 @@ pub fn explain_report(trace: &Trace, title: &str) -> String {
                         .push(format!("{array} set eliminated by {pass}"));
                 }
                 (Phase::Instant, "stage.hit") => {
-                    stages.entry(as_str(r.get("stage")).unwrap_or("?").to_owned()).or_default().0 +=
-                        1;
+                    stages
+                        .entry(as_str(r.get("stage")).unwrap_or("?").to_owned())
+                        .or_default()
+                        .0 += 1;
                 }
                 (Phase::Instant, "stage.miss") => {
-                    stages.entry(as_str(r.get("stage")).unwrap_or("?").to_owned()).or_default().1 +=
-                        1;
+                    stages
+                        .entry(as_str(r.get("stage")).unwrap_or("?").to_owned())
+                        .or_default()
+                        .1 += 1;
                 }
                 (Phase::Begin, "schedule") => {
                     messages.clear();
                     retries = 0;
                 }
-                (Phase::Begin, "simulate") => links.clear(),
+                (Phase::Begin, "simulate") => {
+                    // A new simulated run supersedes the previous one's
+                    // machine telemetry and critical-path analysis.
+                    links.clear();
+                    crit = None;
+                    crit_procs.clear();
+                    crit_msgs.clear();
+                    crit_whatifs.clear();
+                }
+                (Phase::Instant, "crit.summary") => {
+                    crit = Some(CritSummary {
+                        makespan_ns: as_u64(r.get("makespan_ns")).unwrap_or(0),
+                        events: as_u64(r.get("events")).unwrap_or(0),
+                        critical: as_u64(r.get("critical")).unwrap_or(0),
+                        length: as_u64(r.get("length")).unwrap_or(0),
+                        blame: blame_fields(r),
+                    });
+                }
+                (Phase::Instant, "crit.proc") => crit_procs.push(CritProc {
+                    proc: as_u64(r.get("proc")).unwrap_or(u64::MAX),
+                    blame: blame_fields(r),
+                }),
+                (Phase::Instant, "crit.msg") => crit_msgs.push(CritMsg {
+                    msg: as_u64(r.get("msg")).unwrap_or(0),
+                    sender: as_u64(r.get("sender")).unwrap_or(0),
+                    nrecv: as_u64(r.get("nrecv")).unwrap_or(1),
+                    send_ns: as_u64(r.get("send_ns")).unwrap_or(0),
+                    wait_ns: as_u64(r.get("wait_ns")).unwrap_or(0),
+                    recv_ns: as_u64(r.get("recv_ns")).unwrap_or(0),
+                    slack_ns: as_u64(r.get("slack_ns")).unwrap_or(0),
+                    critical: r.get("critical") == Some(&Value::Bool(true)),
+                }),
+                (Phase::Instant, "crit.whatif") => crit_whatifs.push(CritWhatIf {
+                    msg: as_u64(r.get("msg")).unwrap_or(0),
+                    scenario: as_str(r.get("scenario")).unwrap_or("?").to_owned(),
+                    win_ns: as_u64(r.get("win_ns")).unwrap_or(0),
+                }),
                 (Phase::Begin, "schedule.attempt") => messages.clear(),
                 (Phase::Instant, "schedule.retry") => retries += 1,
                 (Phase::Instant, "prov.message") => messages.push(MsgInfo {
@@ -205,11 +339,17 @@ pub fn explain_report(trace: &Trace, title: &str) -> String {
             Some(n) => format!(
                 "{n} LWT {}{}",
                 if n == 1 { "leaf" } else { "leaves" },
-                if info.approximate { " (approximate)" } else { "" }
+                if info.approximate {
+                    " (approximate)"
+                } else {
+                    ""
+                }
             ),
             None => "owner tree".to_owned(),
         };
-        let sets = info.initial_sets.map_or(String::new(), |n| format!(", {n} comm set(s)"));
+        let sets = info
+            .initial_sets
+            .map_or(String::new(), |n| format!(", {n} comm set(s)"));
         let _ = writeln!(out, "- S{stmt} read#{read} `{}`: {lwt}{sets}", info.access);
         for (pass, sets_in, sets_out) in &info.passes {
             let _ = writeln!(out, "    - {pass}: {sets_in} -> {sets_out} set(s)");
@@ -228,8 +368,11 @@ pub fn explain_report(trace: &Trace, title: &str) -> String {
             .values()
             .fold((0u64, 0u64), |(h, m), (sh, sm)| (h + sh, m + sm));
         let total = hits + misses;
-        let pct =
-            if total > 0 { format!(" ({:.0}% reused)", 100.0 * hits as f64 / total as f64) } else { String::new() };
+        let pct = if total > 0 {
+            format!(" ({:.0}% reused)", 100.0 * hits as f64 / total as f64)
+        } else {
+            String::new()
+        };
         let _ = writeln!(out, "\n## Reuse");
         let _ = writeln!(out, "Stage graph: {hits} hit(s), {misses} miss(es){pct}.");
         for (stage, (sh, sm)) in &stages {
@@ -254,7 +397,10 @@ pub fn explain_report(trace: &Trace, title: &str) -> String {
             .map(|i| format!("`{}`", i.access))
             .unwrap_or_else(|| m.array.clone());
         let cast = if m.nrecv > 1 {
-            format!("multicast p{} -> [{}] ({} receivers)", m.sender, m.receivers, m.nrecv)
+            format!(
+                "multicast p{} -> [{}] ({} receivers)",
+                m.sender, m.receivers, m.nrecv
+            )
         } else {
             format!("p{} -> p{}", m.sender, m.receivers)
         };
@@ -272,32 +418,34 @@ pub fn explain_report(trace: &Trace, title: &str) -> String {
 
     if let Some(fields) = &sim_done {
         let _ = writeln!(out, "\n## Simulation");
-        let kv: Vec<String> =
-            fields.iter().map(|(k, v)| format!("{k} = {}", v.render())).collect();
+        let kv: Vec<String> = fields
+            .iter()
+            .map(|(k, v)| format!("{k} = {}", v.render()))
+            .collect();
         let _ = writeln!(out, "{}", kv.join(", "));
     }
 
     if !procs.is_empty() {
         let ms = |v: f64| format!("{:.3} ms", v * 1e3);
-        let pct = |part: f64, whole: f64| {
-            if whole > 0.0 {
-                format!(" ({:.0}%)", 100.0 * part / whole)
-            } else {
-                String::new()
-            }
-        };
         let _ = writeln!(out, "\n## Machine view");
-        let _ = writeln!(out, "{} simulated processor(s); simulated time.", procs.len());
+        let _ = writeln!(
+            out,
+            "{} simulated processor(s); simulated time.",
+            procs.len()
+        );
         for (p, v) in &procs {
+            // Largest-remainder shares of the compute/comm/idle split so
+            // the three percentages always total exactly 100.0.
+            let shares = pct_shares(&[v.compute, v.comm, v.idle]);
             let _ = writeln!(
                 out,
                 "- p{p}: compute {}{}, comm {}{}, idle {}{}, finish {}",
                 ms(v.compute),
-                pct(v.compute, v.finish),
+                shares[0],
                 ms(v.comm),
-                pct(v.comm, v.finish),
+                shares[1],
                 ms(v.idle),
-                pct(v.idle, v.finish),
+                shares[2],
                 ms(v.finish)
             );
         }
@@ -312,7 +460,11 @@ pub fn explain_report(trace: &Trace, title: &str) -> String {
         }
         if !links.is_empty() {
             let mut by_words = links.clone();
-            by_words.sort_by(|a, b| b.words.cmp(&a.words).then((a.src, a.dst).cmp(&(b.src, b.dst))));
+            by_words.sort_by(|a, b| {
+                b.words
+                    .cmp(&a.words)
+                    .then((a.src, a.dst).cmp(&(b.src, b.dst)))
+            });
             let _ = writeln!(out, "Top links by traffic:");
             for l in by_words.iter().take(8) {
                 let _ = writeln!(
@@ -328,7 +480,9 @@ pub fn explain_report(trace: &Trace, title: &str) -> String {
         if !messages.is_empty() {
             let mut hot = messages.clone();
             hot.sort_by(|a, b| {
-                (b.words * b.nrecv).cmp(&(a.words * a.nrecv)).then(a.msg.cmp(&b.msg))
+                (b.words * b.nrecv)
+                    .cmp(&(a.words * a.nrecv))
+                    .then(a.msg.cmp(&b.msg))
             });
             let _ = writeln!(out, "Hot messages (by words x receivers):");
             for m in hot.iter().take(5) {
@@ -344,6 +498,109 @@ pub fn explain_report(trace: &Trace, title: &str) -> String {
                     out,
                     "  - m{}: {} p{} -> [{}], {} word(s) x {} receiver(s) — {steps}",
                     m.msg, m.array, m.sender, m.receivers, m.words, m.nrecv
+                );
+            }
+        }
+    }
+
+    if let Some(cs) = &crit {
+        let _ = writeln!(out, "\n## Critical path");
+        let _ = writeln!(
+            out,
+            "Exact event-DAG analysis of the simulated run (integer ns): \
+             makespan {} ns, {} event(s), {} critical (zero slack), \
+             canonical path {} event(s).",
+            cs.makespan_ns, cs.events, cs.critical, cs.length
+        );
+        let shares = pct_shares(&cs.blame.map(|v| v as f64));
+        let blame_line: Vec<String> = BLAME_CATS
+            .iter()
+            .zip(cs.blame.iter())
+            .zip(&shares)
+            .map(|((cat, v), s)| format!("{cat} {v}{s}"))
+            .collect();
+        let _ = writeln!(
+            out,
+            "Machine blame, ns (categories tile each processor's makespan \
+             exactly): {}",
+            blame_line.join(", ")
+        );
+        // Indented on purpose: `- p` + ": compute " at top level is how
+        // tools count Machine-view processor rows.
+        for cp in &crit_procs {
+            let kv: Vec<String> = BLAME_CATS
+                .iter()
+                .zip(cp.blame.iter())
+                .map(|(cat, v)| format!("{cat} {v}"))
+                .collect();
+            let _ = writeln!(out, "  - p{}: {}", cp.proc, kv.join(", "));
+        }
+        if !crit_msgs.is_empty() {
+            // Charge per §6 pass chain: join each message's charged time
+            // with its provenance steps from the schedule section.
+            let steps_of = |id: u64| -> String {
+                messages
+                    .iter()
+                    .find(|m| m.msg == id)
+                    .map(|m| {
+                        if m.steps.is_empty() {
+                            "(no pass record)".to_owned()
+                        } else {
+                            m.steps.replace('+', ", ")
+                        }
+                    })
+                    .unwrap_or_else(|| "(no pass record)".to_owned())
+            };
+            let mut by_pass: BTreeMap<String, (u64, u64, u64)> = BTreeMap::new();
+            for cm in &crit_msgs {
+                let e = by_pass.entry(steps_of(cm.msg)).or_default();
+                e.0 += 1;
+                e.1 += cm.send_ns + cm.wait_ns + cm.recv_ns;
+                e.2 += u64::from(cm.critical);
+            }
+            let mut pass_rows: Vec<(&String, &(u64, u64, u64))> = by_pass.iter().collect();
+            pass_rows.sort_by(|a, b| b.1 .1.cmp(&a.1 .1).then(a.0.cmp(b.0)));
+            let _ = writeln!(out, "Blame by optimization provenance:");
+            for (steps, (n, ns, ncrit)) in pass_rows {
+                let _ = writeln!(
+                    out,
+                    "  - {steps}: {n} message(s), {ns} ns charged, {ncrit} critical"
+                );
+            }
+            let mut hot: Vec<&CritMsg> = crit_msgs.iter().collect();
+            hot.sort_by(|a, b| {
+                (b.send_ns + b.wait_ns + b.recv_ns)
+                    .cmp(&(a.send_ns + a.wait_ns + a.recv_ns))
+                    .then(a.msg.cmp(&b.msg))
+            });
+            let _ = writeln!(out, "Most expensive messages (charged ns):");
+            for cm in hot.iter().take(5) {
+                let crit_note = if cm.critical {
+                    "critical".to_owned()
+                } else {
+                    format!("slack {} ns", cm.slack_ns)
+                };
+                let _ = writeln!(
+                    out,
+                    "  - m{}: p{} -> {} receiver(s), {} ns \
+                     (send {}, wait {}, recv {}) — {crit_note}",
+                    cm.msg,
+                    cm.sender,
+                    cm.nrecv,
+                    cm.send_ns + cm.wait_ns + cm.recv_ns,
+                    cm.send_ns,
+                    cm.wait_ns,
+                    cm.recv_ns
+                );
+            }
+        }
+        if !crit_whatifs.is_empty() {
+            let _ = writeln!(out, "What-if estimates (exact DAG re-evaluation):");
+            for w in crit_whatifs.iter().take(5) {
+                let _ = writeln!(
+                    out,
+                    "  - {} m{}: makespan -{} ns",
+                    w.scenario, w.msg, w.win_ns
                 );
             }
         }
@@ -376,7 +633,13 @@ mod tests {
     use crate::trace::{field, LaneRecords};
 
     fn rec(phase: Phase, name: &'static str, fields: Vec<(&'static str, Value)>) -> Record {
-        Record { phase, name, ts_ns: 0, det: true, fields }
+        Record {
+            phase,
+            name,
+            ts_ns: 0,
+            det: true,
+            fields,
+        }
     }
 
     #[test]
@@ -388,7 +651,11 @@ mod tests {
                     label: "main".to_owned(),
                     records: vec![
                         rec(Phase::Begin, "schedule", vec![]),
-                        rec(Phase::Begin, "schedule.attempt", vec![field("extra_split", 0u64)]),
+                        rec(
+                            Phase::Begin,
+                            "schedule.attempt",
+                            vec![field("extra_split", 0u64)],
+                        ),
                         rec(
                             Phase::Instant,
                             "prov.message",
@@ -445,7 +712,10 @@ mod tests {
         let report = explain_report(&trace, "unit");
         assert!(report.contains("S0 read#0 `X[i - 3]`"), "{report}");
         assert!(report.contains("m0: X p1 -> p2, 3 word(s)"), "{report}");
-        assert!(report.contains("survived self_reuse, fold_receivers"), "{report}");
+        assert!(
+            report.contains("survived self_reuse, fold_receivers"),
+            "{report}"
+        );
         assert!(report.contains("eliminated by already_local"), "{report}");
     }
 
@@ -456,8 +726,16 @@ mod tests {
                 key: vec![0],
                 label: "main".to_owned(),
                 records: vec![
-                    rec(Phase::Instant, "stage.hit", vec![field("stage", "lwt"), field("key", "a")]),
-                    rec(Phase::Instant, "stage.hit", vec![field("stage", "lwt"), field("key", "b")]),
+                    rec(
+                        Phase::Instant,
+                        "stage.hit",
+                        vec![field("stage", "lwt"), field("key", "a")],
+                    ),
+                    rec(
+                        Phase::Instant,
+                        "stage.hit",
+                        vec![field("stage", "lwt"), field("key", "b")],
+                    ),
                     rec(
                         Phase::Instant,
                         "stage.miss",
@@ -473,7 +751,10 @@ mod tests {
         };
         let report = explain_report(&trace, "unit");
         assert!(report.contains("## Reuse"), "{report}");
-        assert!(report.contains("Stage graph: 2 hit(s), 2 miss(es) (50% reused)."), "{report}");
+        assert!(
+            report.contains("Stage graph: 2 hit(s), 2 miss(es) (50% reused)."),
+            "{report}"
+        );
         assert!(report.contains("- lwt: 2 hit(s), 0 miss(es)"), "{report}");
         assert!(report.contains("- opt: 0 hit(s), 2 miss(es)"), "{report}");
         // A trace with no stage events renders no Reuse section at all.
@@ -517,7 +798,11 @@ mod tests {
                                 field("transmissions", 2u64),
                             ],
                         ),
-                        rec(Phase::Instant, "simulate.done", vec![field("time_s", 1.0e-3)]),
+                        rec(
+                            Phase::Instant,
+                            "simulate.done",
+                            vec![field("time_s", 1.0e-3)],
+                        ),
                         rec(Phase::End, "simulate", vec![]),
                     ],
                 },
@@ -541,10 +826,160 @@ mod tests {
         let report = explain_report(&trace, "unit");
         assert!(report.contains("## Machine view"), "{report}");
         assert!(
-            report.contains("p1: compute 0.500 ms (50%), comm 0.250 ms (25%), idle 0.250 ms (25%), finish 1.000 ms"),
+            report.contains("p1: compute 0.500 ms (50.0%), comm 0.250 ms (25.0%), idle 0.250 ms (25.0%), finish 1.000 ms"),
             "{report}"
         );
-        assert!(report.contains("p0 -> p1: 64 word(s) in 2 transmission(s)"), "{report}");
-        assert!(report.contains("m0: X p0 -> [1], 64 word(s) x 1 receiver(s) — survived self_reuse, aggregate"), "{report}");
+        assert!(
+            report.contains("p0 -> p1: 64 word(s) in 2 transmission(s)"),
+            "{report}"
+        );
+        assert!(
+            report.contains(
+                "m0: X p0 -> [1], 64 word(s) x 1 receiver(s) — survived self_reuse, aggregate"
+            ),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn machine_view_percentages_sum_to_exactly_100() {
+        // 1/3 splits round to 33.3 each under naive rounding (99.9 total);
+        // largest-remainder apportionment hands the extra tenth to the
+        // largest remainder so the shares total exactly 100.0.
+        let shares = pct_shares(&[1.0, 1.0, 1.0]);
+        assert_eq!(shares, vec![" (33.4%)", " (33.3%)", " (33.3%)"]);
+        let shares = pct_shares(&[2.0, 1.0, 1.0, 1.0, 1.0, 1.0]);
+        let total: u64 = shares
+            .iter()
+            .map(|s| {
+                let t = s.trim_start_matches(" (").trim_end_matches("%)");
+                let (a, b) = t.split_once('.').unwrap();
+                a.parse::<u64>().unwrap() * 10 + b.parse::<u64>().unwrap()
+            })
+            .sum();
+        assert_eq!(total, 1000, "{shares:?}");
+        // Degenerate inputs render no percentage at all.
+        assert_eq!(pct_shares(&[0.0, 0.0]), vec!["", ""]);
+        assert_eq!(pct_shares(&[]), Vec::<String>::new());
+    }
+
+    #[test]
+    fn critical_path_section_renders_blame_and_what_ifs() {
+        let trace = Trace {
+            lanes: vec![LaneRecords {
+                key: vec![0],
+                label: "main".to_owned(),
+                records: vec![
+                    rec(Phase::Begin, "schedule", vec![]),
+                    rec(
+                        Phase::Instant,
+                        "prov.message",
+                        vec![
+                            field("msg", 0u64),
+                            field("array", "X"),
+                            field("stmt", 0u64),
+                            field("read", 0u64),
+                            field("sender", 0u64),
+                            field("receivers", "1"),
+                            field("nrecv", 1u64),
+                            field("words", 64u64),
+                            field("steps", "self_reuse+aggregate"),
+                        ],
+                    ),
+                    rec(Phase::End, "schedule", vec![]),
+                    rec(Phase::Begin, "simulate", vec![]),
+                    rec(Phase::End, "simulate", vec![]),
+                    rec(
+                        Phase::Instant,
+                        "crit.summary",
+                        vec![
+                            field("makespan_ns", 1_000u64),
+                            field("events", 7u64),
+                            field("critical", 4u64),
+                            field("length", 3u64),
+                            field("compute_ns", 900u64),
+                            field("alpha_ns", 500u64),
+                            field("beta_ns", 300u64),
+                            field("contention_ns", 0u64),
+                            field("recv_wait_ns", 200u64),
+                            field("drain_ns", 100u64),
+                        ],
+                    ),
+                    rec(
+                        Phase::Instant,
+                        "crit.proc",
+                        vec![
+                            field("proc", 0u64),
+                            field("compute_ns", 500u64),
+                            field("alpha_ns", 300u64),
+                            field("beta_ns", 200u64),
+                            field("contention_ns", 0u64),
+                            field("recv_wait_ns", 0u64),
+                            field("drain_ns", 0u64),
+                        ],
+                    ),
+                    rec(
+                        Phase::Instant,
+                        "crit.msg",
+                        vec![
+                            field("msg", 0u64),
+                            field("sender", 0u64),
+                            field("nrecv", 1u64),
+                            field("send_ns", 500u64),
+                            field("wait_ns", 200u64),
+                            field("recv_ns", 100u64),
+                            field("slack_ns", 0u64),
+                            field("critical", true),
+                        ],
+                    ),
+                    rec(
+                        Phase::Instant,
+                        "crit.whatif",
+                        vec![
+                            field("msg", 0u64),
+                            field("scenario", "eliminate"),
+                            field("win_ns", 800u64),
+                        ],
+                    ),
+                ],
+            }],
+        };
+        let report = explain_report(&trace, "unit");
+        assert!(report.contains("## Critical path"), "{report}");
+        assert!(
+            report.contains(
+                "makespan 1000 ns, 7 event(s), 4 critical (zero slack), canonical path 3 event(s)"
+            ),
+            "{report}"
+        );
+        assert!(
+            report.contains("  - p0: compute 500, alpha 300, beta 200"),
+            "{report}"
+        );
+        // Message blame joins the §6 provenance steps from the schedule.
+        assert!(
+            report.contains("  - self_reuse, aggregate: 1 message(s), 800 ns charged, 1 critical"),
+            "{report}"
+        );
+        assert!(
+            report.contains(
+                "  - m0: p0 -> 1 receiver(s), 800 ns (send 500, wait 200, recv 100) — critical"
+            ),
+            "{report}"
+        );
+        assert!(
+            report.contains("  - eliminate m0: makespan -800 ns"),
+            "{report}"
+        );
+        // No top-level `- m`/`- p` rows leak from the critical-path
+        // section (tools count those as schedule / machine-view rows).
+        for l in report.lines() {
+            if l.starts_with("- m") {
+                assert!(l.contains("word(s)"), "{l}");
+            }
+        }
+        // A trace with no crit events renders no section at all.
+        let empty = explain_report(&Trace { lanes: vec![] }, "unit");
+        assert!(!empty.contains("## Critical path"), "{empty}");
     }
 }

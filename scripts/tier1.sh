@@ -15,9 +15,10 @@ cargo build --release
 cargo build --release --examples
 cargo test -q --workspace
 
-# Lint gate: the workspace (every target, examples and benches included)
-# must be clippy-clean at -D warnings.
+# Lint gates: the workspace (every target, examples and benches included)
+# must be clippy-clean at -D warnings and rustfmt-clean.
 cargo clippy --workspace --all-targets -- -D warnings
+cargo fmt --check
 
 # Observability smoke: trace the stencil workload and validate the Chrome
 # export (well-formed JSON, balanced begin/end pairs, monotonic per-lane
@@ -42,6 +43,17 @@ cargo run --release -p dmc-bench --bin dmc-profile -- \
     --workload stencil --out-dir target/profile-tier1 --check
 cargo run --release -p dmc-bench --bin dmc-profile -- \
     --workload lu --out-dir target/profile-tier1-lu --check
+
+# Critical-path & blame analysis: rebuild the simulated run as an exact
+# integer-nanosecond event DAG and assert every invariant (longest path
+# == simulator finish, zero slack iff critical, blame tiles the makespan
+# per processor, incremental what-ifs match brute force, byte-identical
+# reports across worker counts). stencil is the cheap smoke; lu is the
+# multicast-heavy workload with real link contention.
+cargo run --release -p dmc-bench --bin dmc-critpath -- \
+    --workload stencil --out-dir target/critpath-tier1 --check
+cargo run --release -p dmc-bench --bin dmc-critpath -- \
+    --workload lu --out-dir target/critpath-tier1-lu --check
 
 # Stage-graph sessions: sweep every workload over four processor counts
 # inside one compilation session and verify that the cached artifacts are
