@@ -15,20 +15,23 @@
 //! default 0.15); other engine counters are not diffed. See
 //! [`dmc_bench::diff`] for the full policy.
 //!
-//! Every failure path — usage errors, unreadable or malformed snapshots,
-//! and regressions — prints the violated invariant to stderr and exits
-//! nonzero, so the binary is safe to use directly as a CI gate.
+//! Exit codes follow the shared observability-gate convention: **0**
+//! when the snapshots agree within tolerance, **1** when anything
+//! drifted (each violated invariant printed to stderr), **2** on usage
+//! errors and unreadable or malformed inputs. CI can therefore tell "a
+//! metric regressed" apart from "the gate itself could not run".
 
 use std::process::ExitCode;
 
 use dmc_bench::diff::{diff_prom, diff_snapshots, Tolerances};
 
-/// Prints the failing invariant and exits nonzero (no panic backtrace:
-/// this binary is a CI gate, its stderr is read by humans).
+/// Prints the problem and exits 2 (usage/parse — the gate could not
+/// run; no panic backtrace: this binary is a CI gate, its stderr is
+/// read by humans).
 macro_rules! fail {
     ($($arg:tt)*) => {{
         eprintln!("bench-diff: {}", format_args!($($arg)*));
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     }};
 }
 
@@ -113,6 +116,6 @@ fn main() -> ExitCode {
         for f in &findings {
             eprintln!("  - {f}");
         }
-        ExitCode::FAILURE
+        ExitCode::from(1)
     }
 }

@@ -21,10 +21,13 @@
 //!   truncation and any deterministic-field drift fail, wall times move
 //!   freely.
 //!
-//! Every failure path — usage errors, unreadable files, a corrupt
-//! journal line, a replay divergence — prints one line naming the
-//! violated invariant to stderr and exits nonzero, so the binary is safe
-//! to use directly as a CI gate.
+//! Exit codes follow the shared observability-gate convention: **0**
+//! when every check passes, **1** when journals drifted (a `--diff`
+//! difference, a replay divergence, a failed `--check` invariant), **2**
+//! on usage errors and unreadable or corrupt inputs. Every failure path
+//! prints one line naming the violated invariant to stderr, so the
+//! binary is safe to use directly as a CI gate — and CI can tell "the
+//! journal drifted" apart from "the gate itself could not run".
 
 use std::process::ExitCode;
 
@@ -36,12 +39,22 @@ use dmc_obs::JournalRecord;
 
 const LIMIT: usize = 50_000_000;
 
-/// Prints the failing invariant and exits nonzero (no panic backtrace:
-/// this binary is a CI gate, its stderr is read by humans).
+/// Prints the problem and exits 2 (usage/parse — the gate could not
+/// run; no panic backtrace: this binary is a CI gate, its stderr is
+/// read by humans).
 macro_rules! fail {
     ($($arg:tt)*) => {{
         eprintln!("dmc-journal: {}", format_args!($($arg)*));
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
+    }};
+}
+
+/// Prints the violated invariant and exits 1 (the gate ran and found
+/// drift).
+macro_rules! drift {
+    ($($arg:tt)*) => {{
+        eprintln!("dmc-journal: {}", format_args!($($arg)*));
+        return ExitCode::from(1);
     }};
 }
 
@@ -154,7 +167,7 @@ fn main() -> ExitCode {
                 for d in &f {
                     eprintln!("  - {d}");
                 }
-                return ExitCode::FAILURE;
+                return ExitCode::from(1);
             }
         }
     }
@@ -183,7 +196,7 @@ fn main() -> ExitCode {
                 for d in &f {
                     eprintln!("  - {d}");
                 }
-                return ExitCode::FAILURE;
+                return ExitCode::from(1);
             }
         }
     }
@@ -214,7 +227,7 @@ fn main() -> ExitCode {
         Err(e) => fail!("{e}"),
     };
     if reread != text {
-        fail!(
+        drift!(
             "journal did not round-trip through {} byte-identically",
             path.display()
         );
@@ -224,11 +237,11 @@ fn main() -> ExitCode {
         Err(e) => fail!("{e}"),
     };
     if records != session.journal() {
-        fail!("parsed journal disagrees with the in-memory records");
+        drift!("parsed journal disagrees with the in-memory records");
     }
     match diff_journals(&text, &text) {
         Err(e) => fail!("self-diff: {e}"),
-        Ok(f) if !f.is_empty() => fail!("journal does not self-diff clean: {f:?}"),
+        Ok(f) if !f.is_empty() => drift!("journal does not self-diff clean: {f:?}"),
         Ok(_) => {}
     }
     match replay(&records) {
@@ -241,7 +254,7 @@ fn main() -> ExitCode {
             for d in &f {
                 eprintln!("  - {d}");
             }
-            return ExitCode::FAILURE;
+            return ExitCode::from(1);
         }
         Ok(_) => {}
     }

@@ -15,7 +15,10 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use dmc_bench::{figure2_input, lu_input, stencil_input, xy_input};
-use dmc_core::{build_schedule, compile, message_stats, run, CompileInput, Options, Session};
+use dmc_core::{
+    build_schedule, compile, message_stats, options_fingerprint, run, CompileInput, Options,
+    Session,
+};
 use dmc_machine::{critpath, MachineConfig};
 use dmc_obs as obs;
 use dmc_polyhedra::{
@@ -152,11 +155,17 @@ struct WorkMeasure {
     /// per-thread memo caches make multi-threaded totals partition-
     /// dependent), which is why it is measured here and not in `measure`.
     allocs: u64,
+    /// Messages per §6 optimization pass chain, from the provenance
+    /// events the schedule build emits (`", "`-joined pass names,
+    /// `"(none)"` for untouched sets). Sums to the schedule's message
+    /// count exactly — the tiling `dmc-bench-explain` narrates.
+    comm_passes: Vec<(String, u64)>,
 }
 
 /// One untimed ledger pass over the full-options pipeline, single-threaded
 /// so the allocation count is reproducible. See [`WorkMeasure`].
 fn work_units(w: &Workload) -> WorkMeasure {
+    obs::start_capture();
     ledger::start();
     let before = stats::snapshot();
     let options = Options {
@@ -167,6 +176,7 @@ fn work_units(w: &Workload) -> WorkMeasure {
     let _ = build_schedule(&compiled, &w.params, false, LIMIT).expect("schedules");
     let allocs = stats::snapshot().since(&before).allocs;
     let ledger = ledger::finish();
+    let comm_passes = obs::message_pass_counts(&obs::finish_capture());
     let mut profile = obs::WorkProfile::new(w.name);
     for seg in &ledger.segments {
         for r in &seg.records {
@@ -189,6 +199,7 @@ fn work_units(w: &Workload) -> WorkMeasure {
         units: ledger.charged_work(),
         contexts: profile.context_totals(),
         allocs,
+        comm_passes,
     }
 }
 
@@ -196,6 +207,23 @@ fn contexts_json(contexts: &[(String, u64)]) -> String {
     let rows: Vec<String> = contexts
         .iter()
         .map(|(ctx, units)| format!("\"{ctx}\": {units}"))
+        .collect();
+    format!("{{{}}}", rows.join(", "))
+}
+
+/// The per-stage hit/miss tiling of one session, for the snapshot's
+/// `sweep`/`journal` sections: columns sum to the session's `stage_hits`
+/// and `stage_misses` exactly.
+fn per_stage_json(stats: &dmc_core::SessionStats) -> String {
+    let rows: Vec<String> = stats
+        .per_stage
+        .iter()
+        .map(|(stage, c)| {
+            format!(
+                "\"{stage}\": {{\"hits\": {}, \"misses\": {}}}",
+                c.hits, c.misses
+            )
+        })
         .collect();
     format!("{{{}}}", rows.join(", "))
 }
@@ -346,6 +374,7 @@ fn main() {
         }
     }
 
+    let run_start = Instant::now();
     let mut body = String::new();
     let mut all_identical = true;
 
@@ -391,6 +420,12 @@ fn main() {
             body.push_str(",\n");
         }
         let work = work_units(w);
+        let pass_total: u64 = work.comm_passes.iter().map(|(_, n)| n).sum();
+        assert_eq!(
+            pass_total, fast.messages.0,
+            "{}: per-pass message counts must tile the message total",
+            w.name
+        );
         write!(
             body,
             concat!(
@@ -401,7 +436,8 @@ fn main() {
                 "     \"messages\": {}, \"transmissions\": {}, \"words\": {}, ",
                 "\"work_units\": {}, \"allocs\": {}, \"sim_time_s\": {:.6},\n",
                 "     \"critpath\": {},\n",
-                "     \"work_contexts\": {}}}"
+                "     \"work_contexts\": {},\n",
+                "     \"comm_passes\": {}}}"
             ),
             w.name,
             params.join(", "),
@@ -418,6 +454,7 @@ fn main() {
             fast.sim.time,
             critpath_json(&fast.schedule, &MachineConfig::ipsc860()),
             contexts_json(&work.contexts),
+            contexts_json(&work.comm_passes),
         )
         .expect("write");
     }
@@ -516,7 +553,7 @@ fn main() {
         concat!(
             "{{\"workload\": \"lu\", \"params\": [{}], \"nprocs\": [{}], ",
             "\"stage_hits\": {}, \"stage_misses\": {}, \"messages\": [{}], ",
-            "\"work_units\": {}, \"identical\": {}}}"
+            "\"work_units\": {}, \"identical\": {}, \"per_stage\": {}}}"
         ),
         sweep_params.map(|p| p.to_string()).join(", "),
         sweep_nprocs.map(|p| p.to_string()).join(", "),
@@ -525,6 +562,7 @@ fn main() {
         sweep_messages.join(", "),
         sweep_work_units(&sweep_nprocs),
         sweep_identical,
+        per_stage_json(session.stats()),
     );
 
     // Compile journal: the four workloads served through ONE journaling
@@ -569,7 +607,8 @@ fn main() {
     let journal_json = format!(
         concat!(
             "{{\"requests\": {}, \"stage_hits\": {}, \"stage_misses\": {}, ",
-            "\"work_units\": {}, \"schedule_fps\": [{}], \"replay_identical\": {}}}"
+            "\"work_units\": {}, \"schedule_fps\": [{}], \"replay_identical\": {}, ",
+            "\"per_stage\": {}}}"
         ),
         jrecords.len(),
         jhits,
@@ -577,6 +616,23 @@ fn main() {
         jwork,
         jfps.join(", "),
         replay_identical,
+        per_stage_json(jsession.stats()),
+    );
+
+    // The meta block: where and how this snapshot was taken. Diagnostic
+    // identity, not gated content — `dmc-bench-diff` ignores it, while
+    // `dmc-bench-explain --record` keys the history on it. The schema
+    // version and config fingerprint are deterministic; parallelism and
+    // wall-clock vary by host and are excluded from deterministic
+    // comparisons downstream.
+    let meta_json = format!(
+        concat!(
+            "{{\"schema\": 1, \"config_fp\": \"{}\", \"host_parallelism\": {}, ",
+            "\"wall_ms\": {}}}"
+        ),
+        options_fingerprint(&Options::full()),
+        avail,
+        run_start.elapsed().as_millis(),
     );
 
     let json = format!(
@@ -584,6 +640,7 @@ fn main() {
             "{{\n",
             "  \"bench\": \"pipeline\",\n",
             "  \"harness\": \"perfstats\",\n",
+            "  \"meta\": {},\n",
             "  \"reps\": {},\n",
             "  \"workloads\": [\n{}\n  ],\n",
             "  \"threads\": {{\"available\": {}, \"workers_used\": {}, \"sequential_ms\": {:.3}, ",
@@ -594,6 +651,7 @@ fn main() {
             "  \"all_identical\": {}\n",
             "}}\n"
         ),
+        meta_json,
         reps,
         body,
         avail,

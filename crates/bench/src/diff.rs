@@ -60,6 +60,16 @@
 //! - The reported worker count must never exceed the host's available
 //!   parallelism (new snapshots only — that is an internal consistency
 //!   bug, not a comparison).
+//! - **The `meta` block is identity, not content.** Where a snapshot was
+//!   taken (schema version, config fingerprint, host parallelism,
+//!   wall-clock) never gates: an old snapshot without the block diffs
+//!   clean against a new one that has it, and two snapshots recorded on
+//!   different hosts compare on their metrics alone. The block exists
+//!   for `dmc-bench-explain`, which keys the bench *history* on it.
+//!   Likewise the per-§6-pass `comm_passes` and per-stage `per_stage`
+//!   tilings are diagnostic (they localize a `messages` or
+//!   `stage_hits` finding) and are not gated separately, like
+//!   `work_contexts`.
 
 use dmc_obs::json::{parse, Json};
 
@@ -892,6 +902,58 @@ mod tests {
         // A corrupt journal is an error naming the line, not a finding.
         let err = diff_journals(&old, "garbage").unwrap_err();
         assert!(err.contains("journal line 1"), "{err}");
+    }
+
+    /// The `meta` block and the diagnostic tilings (`comm_passes`,
+    /// `per_stage`) never gate: a pre-meta snapshot diffs clean against
+    /// a new one carrying all of them, and meta churn (new host, new
+    /// wall-clock, even a new config fingerprint) is invisible to the
+    /// gate — `dmc-bench-explain` keys the history on it instead.
+    #[test]
+    fn meta_and_diagnostic_tilings_never_gate() {
+        let with_meta = SNAP.replace(
+            "\"bench\": \"pipeline\",",
+            "\"bench\": \"pipeline\",\n      \"meta\": {\"schema\": 1, \
+             \"config_fp\": \"00000000000000000000000000000042\", \
+             \"host_parallelism\": 8, \"wall_ms\": 12345},",
+        );
+        assert_ne!(with_meta, SNAP);
+        // Old snapshot without meta vs. new one with it: clean.
+        let d = diff_snapshots(SNAP, &with_meta, &Tolerances::default()).unwrap();
+        assert!(d.is_empty(), "meta addition must gate clean: {d:?}");
+        // And the reverse: a snapshot that dropped meta also gates clean
+        // (identity is not content; nothing "vanished").
+        let d = diff_snapshots(&with_meta, SNAP, &Tolerances::default()).unwrap();
+        assert!(d.is_empty(), "meta removal must gate clean: {d:?}");
+        // Meta churn between two snapshots that both carry it: clean.
+        let moved = with_meta
+            .replace("\"host_parallelism\": 8", "\"host_parallelism\": 1")
+            .replace("\"wall_ms\": 12345", "\"wall_ms\": 9")
+            .replace(
+                "00000000000000000000000000000042",
+                "ffffffffffffffffffffffffffffffff",
+            );
+        let d = diff_snapshots(&with_meta, &moved, &Tolerances::default()).unwrap();
+        assert!(d.is_empty(), "meta churn must gate clean: {d:?}");
+
+        // The diagnostic tilings ride along without gating.
+        let with_tilings = SNAP
+            .replace(
+                "\"work_contexts\":",
+                "\"comm_passes\": {\"(none)\": 4, \"fold_receivers\": 1},\n         \
+                 \"work_contexts\":",
+            )
+            .replace(
+                "\"work_units\": 2222, \"identical\": true",
+                "\"work_units\": 2222, \"identical\": true, \
+                 \"per_stage\": {\"opt\": {\"hits\": 11, \"misses\": 9}}",
+            );
+        assert_ne!(with_tilings, SNAP);
+        let d = diff_snapshots(SNAP, &with_tilings, &Tolerances::default()).unwrap();
+        assert!(d.is_empty(), "tiling addition must gate clean: {d:?}");
+        let changed = with_tilings.replace("\"fold_receivers\": 1", "\"fold_receivers\": 2");
+        let d = diff_snapshots(&with_tilings, &changed, &Tolerances::default()).unwrap();
+        assert!(d.is_empty(), "comm_passes are diagnostic, not gated: {d:?}");
     }
 
     #[test]

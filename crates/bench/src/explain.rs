@@ -1,0 +1,477 @@
+//! Regression forensics: a structured narrative of *why* the bench
+//! metrics moved between two recorded snapshots.
+//!
+//! The explainer works on [`HistoryRecord`]s and leans on one property
+//! of the telemetry the earlier layers already guarantee: every
+//! top-level metric ships with an exact decomposition. Charged
+//! `work_units` are tiled by ledger context, the simulated makespan
+//! (times `nproc`) is tiled by the six critical-path blame categories,
+//! `messages` are tiled by the §6 pass chain their communication set
+//! survived, and the session stage-cache totals are tiled per stage. A
+//! delta in a total is therefore explainable by the deltas of its
+//! components — and the explainer keeps that argument *checkable*: each
+//! [`Tiling`] satisfies the integer identity
+//!
+//! ```text
+//! Δ total  ==  Σ Δ component  +  residue
+//! ```
+//!
+//! by construction, where `residue` is reported explicitly as
+//! "(unexplained)" whenever the component data cannot cover the delta
+//! (e.g. one snapshot predates a section). On consistent snapshots the
+//! residue is zero, which is exactly what `dmc-bench-explain --check`
+//! asserts; [`Explanation::verify`] re-checks the identity from the
+//! rendered numbers rather than trusting the construction.
+
+use crate::history::{HistoryRecord, ReuseSummary};
+
+/// One component of a tiled delta: a named part of the total whose
+/// movement contributes to the total's movement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Component {
+    /// Component name (a ledger context, a blame category, a §6 pass
+    /// chain, a session stage).
+    pub name: String,
+    /// Value in the old snapshot (0 when the component is new).
+    pub old: u64,
+    /// Value in the new snapshot (0 when the component vanished).
+    pub new: u64,
+}
+
+impl Component {
+    /// The component's signed movement.
+    pub fn delta(&self) -> i128 {
+        self.new as i128 - self.old as i128
+    }
+}
+
+/// One explained metric: a top-level delta with the component deltas
+/// that tile it exactly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tiling {
+    /// What moved, e.g. `lu: work_units` or `sweep: stage_hits`.
+    pub metric: String,
+    /// Top-level total in the old snapshot.
+    pub old_total: u64,
+    /// Top-level total in the new snapshot.
+    pub new_total: u64,
+    /// Components with a nonzero delta, largest absolute movement
+    /// first. May be empty when the metric has no decomposition.
+    pub components: Vec<Component>,
+    /// `Δ total - Σ Δ component` — the part of the delta the component
+    /// data cannot explain. Zero on consistent snapshots.
+    pub residue: i128,
+}
+
+impl Tiling {
+    /// The top-level signed movement.
+    pub fn delta(&self) -> i128 {
+        self.new_total as i128 - self.old_total as i128
+    }
+
+    /// Whether this tiling carries any information: a moved total or
+    /// compensating component movements under an unchanged total.
+    fn is_trivial(&self) -> bool {
+        self.delta() == 0 && self.components.is_empty()
+    }
+}
+
+/// The composed narrative for one pair of snapshots.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Explanation {
+    /// Label of the old snapshot (a path or `@N` history reference).
+    pub old_id: String,
+    /// Label of the new snapshot.
+    pub new_id: String,
+    /// Context notes that are not metric deltas: config-fingerprint or
+    /// schema changes, workload-set changes.
+    pub notes: Vec<String>,
+    /// Every non-trivial explained metric, in snapshot order.
+    pub tilings: Vec<Tiling>,
+}
+
+/// Builds the component list for one decomposed metric: the union of
+/// both snapshots' component keys, keeping those that moved, ordered by
+/// absolute movement (largest first), ties by name.
+fn diff_pairs(old: &[(String, u64)], new: &[(String, u64)]) -> Vec<Component> {
+    let find = |set: &[(String, u64)], key: &str| {
+        set.iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    let mut names: Vec<&str> = old.iter().chain(new).map(|(k, _)| k.as_str()).collect();
+    names.sort_unstable();
+    names.dedup();
+    let mut out: Vec<Component> = names
+        .into_iter()
+        .map(|name| Component {
+            name: name.to_owned(),
+            old: find(old, name),
+            new: find(new, name),
+        })
+        .filter(|c| c.delta() != 0)
+        .collect();
+    out.sort_by(|a, b| {
+        b.delta()
+            .abs()
+            .cmp(&a.delta().abs())
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    out
+}
+
+/// Assembles one tiling; the residue makes the integer identity hold by
+/// construction.
+fn tiling(metric: &str, old_total: u64, new_total: u64, components: Vec<Component>) -> Tiling {
+    let covered: i128 = components.iter().map(Component::delta).sum();
+    Tiling {
+        metric: metric.to_owned(),
+        old_total,
+        new_total,
+        residue: new_total as i128 - old_total as i128 - covered,
+        components,
+    }
+}
+
+fn reuse_tilings(section: &str, old: &ReuseSummary, new: &ReuseSummary, out: &mut Vec<Tiling>) {
+    let col = |r: &ReuseSummary, hits: bool| -> Vec<(String, u64)> {
+        r.per_stage
+            .iter()
+            .map(|(k, h, m)| (k.clone(), if hits { *h } else { *m }))
+            .collect()
+    };
+    out.push(tiling(
+        &format!("{section}: stage_hits"),
+        old.stage_hits,
+        new.stage_hits,
+        diff_pairs(&col(old, true), &col(new, true)),
+    ));
+    out.push(tiling(
+        &format!("{section}: stage_misses"),
+        old.stage_misses,
+        new.stage_misses,
+        diff_pairs(&col(old, false), &col(new, false)),
+    ));
+    out.push(tiling(
+        &format!("{section}: work_units"),
+        old.work_units,
+        new.work_units,
+        Vec::new(),
+    ));
+}
+
+impl Explanation {
+    /// Composes the narrative for `old -> new`. Every tiling's integer
+    /// identity holds by construction; [`Self::verify`] re-checks it.
+    pub fn explain(old: &HistoryRecord, new: &HistoryRecord, old_id: &str, new_id: &str) -> Self {
+        let mut notes = Vec::new();
+        if old.meta.schema != new.meta.schema {
+            notes.push(format!(
+                "history schema changed {} -> {}",
+                old.meta.schema, new.meta.schema
+            ));
+        }
+        if old.meta.config_fp != new.meta.config_fp {
+            notes.push(format!(
+                "config fingerprint changed {} -> {} (the compile options differ; \
+                 metric movement may be configuration, not code)",
+                old.meta.config_fp, new.meta.config_fp
+            ));
+        }
+        let mut tilings = Vec::new();
+        for nw in &new.workloads {
+            let Some(ow) = old.workloads.iter().find(|w| w.name == nw.name) else {
+                notes.push(format!("workload {} appeared in the new snapshot", nw.name));
+                continue;
+            };
+            let n = &nw.name;
+            if ow.nproc != nw.nproc {
+                notes.push(format!("{n}: nproc changed {} -> {}", ow.nproc, nw.nproc));
+            }
+            tilings.push(tiling(
+                &format!("{n}: work_units"),
+                ow.work_units,
+                nw.work_units,
+                diff_pairs(&ow.contexts, &nw.contexts),
+            ));
+            tilings.push(tiling(
+                &format!("{n}: messages"),
+                ow.messages,
+                nw.messages,
+                diff_pairs(&ow.comm_passes, &nw.comm_passes),
+            ));
+            // The blame categories tile nproc × makespan_ns (every
+            // processor's full timeline is attributed to exactly one
+            // category at every instant), so the explained total is the
+            // aggregate processor-time, not the makespan itself.
+            tilings.push(tiling(
+                &format!("{n}: blame (nproc x makespan_ns)"),
+                ow.nproc * ow.makespan_ns,
+                nw.nproc * nw.makespan_ns,
+                diff_pairs(&ow.blame, &nw.blame),
+            ));
+            tilings.push(tiling(
+                &format!("{n}: transmissions"),
+                ow.transmissions,
+                nw.transmissions,
+                Vec::new(),
+            ));
+            tilings.push(tiling(
+                &format!("{n}: words"),
+                ow.words,
+                nw.words,
+                Vec::new(),
+            ));
+        }
+        for ow in &old.workloads {
+            if !new.workloads.iter().any(|w| w.name == ow.name) {
+                notes.push(format!(
+                    "workload {} vanished from the new snapshot",
+                    ow.name
+                ));
+            }
+        }
+        reuse_tilings("sweep", &old.sweep, &new.sweep, &mut tilings);
+        reuse_tilings("journal", &old.journal, &new.journal, &mut tilings);
+        tilings.retain(|t| !t.is_trivial());
+        Explanation {
+            old_id: old_id.to_owned(),
+            new_id: new_id.to_owned(),
+            notes,
+            tilings,
+        }
+    }
+
+    /// Whether nothing moved: no metric deltas, no component movement,
+    /// no context notes.
+    pub fn is_empty(&self) -> bool {
+        self.notes.is_empty() && self.tilings.is_empty()
+    }
+
+    /// Re-checks every tiling's integer identity
+    /// `Δtotal == Σ Δcomponent + residue` from the stored numbers.
+    /// Returns the violations (always empty for explanations built by
+    /// [`Self::explain`] — this is the independent audit `--check`
+    /// runs, not a condition the constructor can fail).
+    pub fn verify(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for t in &self.tilings {
+            let covered: i128 = t.components.iter().map(Component::delta).sum();
+            if covered + t.residue != t.delta() {
+                out.push(format!(
+                    "{}: component deltas {covered:+} + residue {:+} != total delta {:+}",
+                    t.metric,
+                    t.residue,
+                    t.delta()
+                ));
+            }
+        }
+        out
+    }
+
+    /// The markdown narrative.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# bench-explain: {} -> {}\n",
+            self.old_id, self.new_id
+        ));
+        if self.is_empty() {
+            out.push_str("\nNothing moved: every deterministic metric is identical.\n");
+            return out;
+        }
+        for n in &self.notes {
+            out.push_str(&format!("\nnote: {n}\n"));
+        }
+        for t in &self.tilings {
+            out.push_str(&format!(
+                "\n## {}: {} -> {} ({:+})\n",
+                t.metric,
+                t.old_total,
+                t.new_total,
+                t.delta()
+            ));
+            for c in &t.components {
+                out.push_str(&format!(
+                    "  - {:<40} {} -> {} ({:+})\n",
+                    c.name,
+                    c.old,
+                    c.new,
+                    c.delta()
+                ));
+            }
+            if t.residue != 0 {
+                out.push_str(&format!(
+                    "  - (unexplained)                           {:+}\n",
+                    t.residue
+                ));
+            }
+            let covered: i128 = t.components.iter().map(Component::delta).sum();
+            out.push_str(&format!(
+                "  = {:+} (components {:+}, residue {:+}; tiles the delta exactly)\n",
+                t.delta(),
+                covered,
+                t.residue
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::{HistoryMeta, WorkloadSummary};
+
+    fn base() -> HistoryRecord {
+        HistoryRecord {
+            seq: 0,
+            meta: HistoryMeta {
+                schema: 1,
+                config_fp: "cfg".to_owned(),
+                ..HistoryMeta::default()
+            },
+            workloads: vec![WorkloadSummary {
+                name: "lu".to_owned(),
+                nproc: 2,
+                messages: 10,
+                transmissions: 12,
+                words: 40,
+                work_units: 100,
+                makespan_ns: 1000,
+                blame: vec![
+                    ("compute".to_owned(), 600),
+                    ("alpha".to_owned(), 400),
+                    ("beta".to_owned(), 200),
+                    ("contention".to_owned(), 0),
+                    ("recv_wait".to_owned(), 500),
+                    ("drain".to_owned(), 300),
+                ],
+                contexts: vec![("a".to_owned(), 70), ("b".to_owned(), 30)],
+                comm_passes: vec![("(none)".to_owned(), 8), ("fold".to_owned(), 2)],
+            }],
+            sweep: ReuseSummary {
+                stage_hits: 5,
+                stage_misses: 3,
+                work_units: 50,
+                per_stage: vec![("lwt".to_owned(), 3, 1), ("opt".to_owned(), 2, 2)],
+            },
+            journal: ReuseSummary {
+                stage_hits: 0,
+                stage_misses: 4,
+                work_units: 60,
+                per_stage: vec![("parse".to_owned(), 0, 4)],
+            },
+        }
+    }
+
+    #[test]
+    fn self_explain_is_empty() {
+        let r = base();
+        let e = Explanation::explain(&r, &r, "old", "new");
+        assert!(e.is_empty(), "{e:?}");
+        assert!(e.verify().is_empty());
+        assert!(e.render().contains("Nothing moved"));
+    }
+
+    #[test]
+    fn consistent_drift_tiles_with_zero_residue() {
+        let old = base();
+        let mut new = base();
+        // Work moved into context `a`, and the total moved with it.
+        new.workloads[0].work_units += 7;
+        new.workloads[0].contexts[0].1 += 7;
+        // Blame: compute gained nproc x 5, makespan gained 5.
+        new.workloads[0].makespan_ns += 5;
+        new.workloads[0].blame[0].1 += 10;
+        let e = Explanation::explain(&old, &new, "o", "n");
+        assert!(!e.is_empty());
+        assert!(e.verify().is_empty(), "{:?}", e.verify());
+        for t in &e.tilings {
+            assert_eq!(t.residue, 0, "{t:?}");
+        }
+        let wu = e
+            .tilings
+            .iter()
+            .find(|t| t.metric == "lu: work_units")
+            .unwrap();
+        assert_eq!(wu.delta(), 7);
+        assert_eq!(wu.components.len(), 1);
+        assert_eq!(wu.components[0].name, "a");
+        let text = e.render();
+        assert!(text.contains("lu: work_units: 100 -> 107 (+7)"), "{text}");
+        assert!(
+            text.contains("blame (nproc x makespan_ns): 2000 -> 2010 (+10)"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn inconsistent_drift_surfaces_an_explicit_residue() {
+        let old = base();
+        let mut new = base();
+        // The total moved but no context did: the tiling must still
+        // close, via the explicit unexplained residue.
+        new.workloads[0].work_units += 9;
+        let e = Explanation::explain(&old, &new, "o", "n");
+        let wu = e
+            .tilings
+            .iter()
+            .find(|t| t.metric == "lu: work_units")
+            .unwrap();
+        assert_eq!(wu.residue, 9);
+        assert!(wu.components.is_empty());
+        assert!(e.verify().is_empty());
+        assert!(e.render().contains("(unexplained)"), "{}", e.render());
+    }
+
+    #[test]
+    fn compensating_moves_under_an_unchanged_total_still_report() {
+        let old = base();
+        let mut new = base();
+        new.workloads[0].contexts[0].1 -= 10;
+        new.workloads[0].contexts[1].1 += 10;
+        let e = Explanation::explain(&old, &new, "o", "n");
+        let wu = e
+            .tilings
+            .iter()
+            .find(|t| t.metric == "lu: work_units")
+            .unwrap();
+        assert_eq!(wu.delta(), 0);
+        assert_eq!(wu.components.len(), 2);
+        assert_eq!(wu.residue, 0);
+        assert!(e.verify().is_empty());
+    }
+
+    #[test]
+    fn cache_and_workload_set_changes_are_narrated() {
+        let old = base();
+        let mut new = base();
+        // A stage stopped hitting the cache: hits fall, misses rise.
+        new.sweep.stage_hits -= 2;
+        new.sweep.stage_misses += 2;
+        new.sweep.per_stage[1] = ("opt".to_owned(), 0, 4);
+        new.meta.config_fp = "other".to_owned();
+        new.workloads.push(WorkloadSummary {
+            name: "extra".to_owned(),
+            ..WorkloadSummary::default()
+        });
+        let e = Explanation::explain(&old, &new, "o", "n");
+        assert!(e.verify().is_empty());
+        assert!(
+            e.notes.iter().any(|n| n.contains("config fingerprint")),
+            "{:?}",
+            e.notes
+        );
+        assert!(e.notes.iter().any(|n| n.contains("extra")), "{:?}", e.notes);
+        let hits = e
+            .tilings
+            .iter()
+            .find(|t| t.metric == "sweep: stage_hits")
+            .unwrap();
+        assert_eq!(hits.delta(), -2);
+        assert_eq!(hits.components[0].name, "opt");
+        assert_eq!(hits.residue, 0);
+    }
+}

@@ -1,0 +1,691 @@
+//! The append-only bench time-series store: one deterministic JSONL
+//! record per recorded `BENCH_pipeline.json` snapshot.
+//!
+//! A history file is the durable trajectory of the benchmark suite: for
+//! every recorded snapshot it appends one line holding a **meta block**
+//! (schema version, commit id, host, host parallelism, compile-options
+//! config fingerprint, wall-clock) and the snapshot's deterministic
+//! metrics — per-workload message statistics, charged work units with
+//! their per-context tiling, the critical-path makespan with its
+//! six-category blame tiling, per-§6-pass-chain message counts, and the
+//! sweep/journal session-cache behaviour with per-stage tilings.
+//!
+//! Like the compile journal (`dmc_obs::journal`), the format is one JSON
+//! object per line with a **fixed key order**, so a history can be
+//! compared with `diff(1)`, tailed, and appended to without rewriting.
+//! Parsing is strict: an unreadable line is an error naming the 1-based
+//! line number, and `seq` must be dense from 0 — an append-only store
+//! never has holes. The meta block identifies *where* a record came
+//! from; it is excluded from [`HistoryRecord::field_diffs`] (except the
+//! schema and config fingerprint), exactly as the journal excludes wall
+//! times, so records taken on different hosts compare on their
+//! deterministic content alone.
+
+use std::fmt::Write as _;
+
+use dmc_obs::json::{self, Json};
+
+/// The current history schema version, written into every new record.
+pub const SCHEMA: u64 = 1;
+
+/// Where and how a snapshot was recorded. Identity, not content: only
+/// [`schema`](Self::schema) and [`config_fp`](Self::config_fp)
+/// participate in deterministic comparisons.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistoryMeta {
+    /// History schema version ([`SCHEMA`] for new records).
+    pub schema: u64,
+    /// Commit id of the recorded tree (free text; `"unknown"` outside a
+    /// checkout).
+    pub commit: String,
+    /// Host name the snapshot was taken on (diagnostic).
+    pub host: String,
+    /// The host's available parallelism (diagnostic).
+    pub parallelism: u64,
+    /// Fingerprint of the compile options the harness ran with — the
+    /// same tag-57 hash the compile journal records (see
+    /// `dmc_core::options_fingerprint`).
+    pub config_fp: String,
+    /// Wall-clock milliseconds the harness run took (diagnostic).
+    pub wall_ms: u64,
+    /// Unix seconds the record was taken (diagnostic).
+    pub recorded_unix: u64,
+}
+
+/// One workload's deterministic metrics, with every top-level total
+/// carrying its exact tiling: `contexts` sums to `work_units`, `blame`
+/// sums to `nproc × makespan_ns`, and `comm_passes` sums to `messages`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkloadSummary {
+    /// Workload name (`lu`, `stencil`, `figure2`, `xy`).
+    pub name: String,
+    /// Processors of the target grid.
+    pub nproc: u64,
+    /// Distinct messages in the built schedule.
+    pub messages: u64,
+    /// Message transmissions (receiver fan-out counted).
+    pub transmissions: u64,
+    /// Words moved across all transmissions.
+    pub words: u64,
+    /// Top-level charged polyhedral work units.
+    pub work_units: u64,
+    /// Simulated makespan in integer nanoseconds.
+    pub makespan_ns: u64,
+    /// The six critical-path blame categories in canonical order
+    /// (compute, alpha, beta, contention, recv_wait, drain); sums to
+    /// `nproc × makespan_ns` exactly.
+    pub blame: Vec<(String, u64)>,
+    /// Charged work per attribution context (`";"`-joined path →
+    /// units); sums to `work_units` exactly.
+    pub contexts: Vec<(String, u64)>,
+    /// Messages per §6 pass chain (`", "`-joined pass names, `"(none)"`
+    /// for untouched sets); sums to `messages` exactly. Empty when the
+    /// source snapshot predates the section.
+    pub comm_passes: Vec<(String, u64)>,
+}
+
+/// One session's stage-cache behaviour (the snapshot's `sweep` or
+/// `journal` section) with its per-stage tiling.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReuseSummary {
+    /// Stage-cache hits across the session.
+    pub stage_hits: u64,
+    /// Stage-cache misses across the session.
+    pub stage_misses: u64,
+    /// Charged work units of the whole session.
+    pub work_units: u64,
+    /// Per-stage `(stage, hits, misses)` rows; hit and miss columns sum
+    /// to the totals exactly. Empty when the source snapshot predates
+    /// the section.
+    pub per_stage: Vec<(String, u64, u64)>,
+}
+
+/// One recorded snapshot, as one history line.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistoryRecord {
+    /// Position in the history (0-based, dense).
+    pub seq: u64,
+    /// Identity of the recording (host, commit, config).
+    pub meta: HistoryMeta,
+    /// Per-workload deterministic metrics, in snapshot order.
+    pub workloads: Vec<WorkloadSummary>,
+    /// The stage-graph sweep session.
+    pub sweep: ReuseSummary,
+    /// The compile-journal session.
+    pub journal: ReuseSummary,
+}
+
+fn pairs_json(pairs: &[(String, u64)]) -> String {
+    let rows: Vec<String> = pairs
+        .iter()
+        .map(|(k, v)| format!("{}:{v}", json::quote(k)))
+        .collect();
+    format!("{{{}}}", rows.join(","))
+}
+
+fn stage_json(rows: &[(String, u64, u64)]) -> String {
+    let rows: Vec<String> = rows
+        .iter()
+        .map(|(k, h, m)| format!("{}:{{\"hits\":{h},\"misses\":{m}}}", json::quote(k)))
+        .collect();
+    format!("{{{}}}", rows.join(","))
+}
+
+fn reuse_json(r: &ReuseSummary) -> String {
+    format!(
+        "{{\"stage_hits\":{},\"stage_misses\":{},\"work_units\":{},\"per_stage\":{}}}",
+        r.stage_hits,
+        r.stage_misses,
+        r.work_units,
+        stage_json(&r.per_stage)
+    )
+}
+
+impl HistoryRecord {
+    /// Renders the record as one JSON line (no trailing newline), keys
+    /// in fixed order.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        write!(
+            out,
+            concat!(
+                "{{\"seq\":{},\"meta\":{{\"schema\":{},\"commit\":{},\"host\":{},",
+                "\"parallelism\":{},\"config_fp\":{},\"wall_ms\":{},\"recorded_unix\":{}}},",
+                "\"workloads\":["
+            ),
+            self.seq,
+            self.meta.schema,
+            json::quote(&self.meta.commit),
+            json::quote(&self.meta.host),
+            self.meta.parallelism,
+            json::quote(&self.meta.config_fp),
+            self.meta.wall_ms,
+            self.meta.recorded_unix,
+        )
+        .expect("write");
+        for (i, w) in self.workloads.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write!(
+                out,
+                concat!(
+                    "{{\"name\":{},\"nproc\":{},\"messages\":{},\"transmissions\":{},",
+                    "\"words\":{},\"work_units\":{},\"makespan_ns\":{},\"blame\":{},",
+                    "\"contexts\":{},\"comm_passes\":{}}}"
+                ),
+                json::quote(&w.name),
+                w.nproc,
+                w.messages,
+                w.transmissions,
+                w.words,
+                w.work_units,
+                w.makespan_ns,
+                pairs_json(&w.blame),
+                pairs_json(&w.contexts),
+                pairs_json(&w.comm_passes),
+            )
+            .expect("write");
+        }
+        write!(
+            out,
+            "],\"sweep\":{},\"journal\":{}}}",
+            reuse_json(&self.sweep),
+            reuse_json(&self.journal)
+        )
+        .expect("write");
+        out
+    }
+
+    /// Parses one history line.
+    pub fn from_json_line(line: &str) -> Result<HistoryRecord, String> {
+        let v = json::parse(line)?;
+        let meta = v.get("meta").ok_or("missing field `meta`")?;
+        let meta = HistoryMeta {
+            schema: req_u64(meta, "schema")?,
+            commit: req_str(meta, "commit")?,
+            host: req_str(meta, "host")?,
+            parallelism: req_u64(meta, "parallelism")?,
+            config_fp: req_str(meta, "config_fp")?,
+            wall_ms: req_u64(meta, "wall_ms")?,
+            recorded_unix: req_u64(meta, "recorded_unix")?,
+        };
+        let mut workloads = Vec::new();
+        for w in v
+            .get("workloads")
+            .and_then(Json::as_arr)
+            .ok_or("missing or non-array field `workloads`")?
+        {
+            workloads.push(WorkloadSummary {
+                name: req_str(w, "name")?,
+                nproc: req_u64(w, "nproc")?,
+                messages: req_u64(w, "messages")?,
+                transmissions: req_u64(w, "transmissions")?,
+                words: req_u64(w, "words")?,
+                work_units: req_u64(w, "work_units")?,
+                makespan_ns: req_u64(w, "makespan_ns")?,
+                blame: req_pairs(w, "blame")?,
+                contexts: req_pairs(w, "contexts")?,
+                comm_passes: req_pairs(w, "comm_passes")?,
+            });
+        }
+        Ok(HistoryRecord {
+            seq: req_u64(&v, "seq")?,
+            meta,
+            workloads,
+            sweep: parse_reuse(v.get("sweep").ok_or("missing field `sweep`")?)?,
+            journal: parse_reuse(v.get("journal").ok_or("missing field `journal`")?)?,
+        })
+    }
+
+    /// Builds a seq-0 record from a `BENCH_pipeline.json` document. The
+    /// snapshot's own `meta` section (when present) fills the schema,
+    /// config fingerprint, parallelism and wall-clock; commit, host and
+    /// the record time stay at their defaults for the caller (the
+    /// `dmc-bench-explain --record` binary) to fill — the library does
+    /// no environment probing, keeping record construction
+    /// deterministic.
+    ///
+    /// Sections a snapshot predates (`meta`, `comm_passes`,
+    /// `per_stage`, `critpath`) degrade to empty/zero rather than
+    /// failing, so any historical snapshot can be recorded.
+    pub fn from_snapshot(text: &str) -> Result<HistoryRecord, String> {
+        let v = json::parse(text).map_err(|e| format!("snapshot: {e}"))?;
+        let meta = match v.get("meta") {
+            Some(m) => HistoryMeta {
+                schema: opt_u64(m, "schema").unwrap_or(SCHEMA),
+                config_fp: opt_str(m, "config_fp").unwrap_or_else(|| "unknown".to_owned()),
+                parallelism: opt_u64(m, "host_parallelism").unwrap_or(0),
+                wall_ms: opt_u64(m, "wall_ms").unwrap_or(0),
+                commit: "unknown".to_owned(),
+                host: "unknown".to_owned(),
+                recorded_unix: 0,
+            },
+            None => HistoryMeta {
+                schema: SCHEMA,
+                commit: "unknown".to_owned(),
+                host: "unknown".to_owned(),
+                config_fp: "unknown".to_owned(),
+                ..HistoryMeta::default()
+            },
+        };
+        let mut workloads = Vec::new();
+        for w in v
+            .get("workloads")
+            .and_then(Json::as_arr)
+            .ok_or("snapshot: no workloads array")?
+        {
+            let name = w
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("snapshot: workload without name")?
+                .to_owned();
+            let crit = w.get("critpath");
+            let blame = crit
+                .and_then(|c| c.get("blame"))
+                .map(opt_pairs)
+                .unwrap_or_default();
+            workloads.push(WorkloadSummary {
+                nproc: req_u64(w, "nproc").map_err(|e| format!("snapshot {name}: {e}"))?,
+                messages: req_u64(w, "messages").map_err(|e| format!("snapshot {name}: {e}"))?,
+                transmissions: req_u64(w, "transmissions")
+                    .map_err(|e| format!("snapshot {name}: {e}"))?,
+                words: req_u64(w, "words").map_err(|e| format!("snapshot {name}: {e}"))?,
+                work_units: req_u64(w, "work_units")
+                    .map_err(|e| format!("snapshot {name}: {e}"))?,
+                makespan_ns: crit
+                    .map(|c| opt_u64(c, "makespan_ns").unwrap_or(0))
+                    .unwrap_or(0),
+                blame,
+                contexts: w.get("work_contexts").map(opt_pairs).unwrap_or_default(),
+                comm_passes: w.get("comm_passes").map(opt_pairs).unwrap_or_default(),
+                name,
+            });
+        }
+        let reuse = |key: &str| -> Result<ReuseSummary, String> {
+            let Some(s) = v.get(key) else {
+                return Ok(ReuseSummary::default());
+            };
+            Ok(ReuseSummary {
+                stage_hits: req_u64(s, "stage_hits").map_err(|e| format!("snapshot {key}: {e}"))?,
+                stage_misses: req_u64(s, "stage_misses")
+                    .map_err(|e| format!("snapshot {key}: {e}"))?,
+                work_units: req_u64(s, "work_units").map_err(|e| format!("snapshot {key}: {e}"))?,
+                per_stage: s.get("per_stage").map(opt_stages).unwrap_or_default(),
+            })
+        };
+        Ok(HistoryRecord {
+            seq: 0,
+            meta,
+            workloads,
+            sweep: reuse("sweep")?,
+            journal: reuse("journal")?,
+        })
+    }
+
+    /// Whether two records agree on every deterministic field (all but
+    /// `seq` and the identity parts of `meta`).
+    pub fn deterministic_eq(&self, other: &HistoryRecord) -> bool {
+        self.field_diffs(other).is_empty()
+    }
+
+    /// The deterministic fields on which two records disagree, as
+    /// `field: left != right` lines. `seq`, `commit`, `host`,
+    /// `parallelism`, `wall_ms` and `recorded_unix` are identity, not
+    /// content, and move freely; everything else must match.
+    pub fn field_diffs(&self, other: &HistoryRecord) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut chk = |name: &str, a: &dyn std::fmt::Display, b: &dyn std::fmt::Display| {
+            let (a, b) = (a.to_string(), b.to_string());
+            if a != b {
+                out.push(format!("{name}: {a} != {b}"));
+            }
+        };
+        chk("meta.schema", &self.meta.schema, &other.meta.schema);
+        chk(
+            "meta.config_fp",
+            &self.meta.config_fp,
+            &other.meta.config_fp,
+        );
+        let names = |ws: &[WorkloadSummary]| {
+            ws.iter()
+                .map(|w| w.name.clone())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        chk(
+            "workloads",
+            &names(&self.workloads),
+            &names(&other.workloads),
+        );
+        for (a, b) in self.workloads.iter().zip(&other.workloads) {
+            if a.name != b.name {
+                continue;
+            }
+            let n = &a.name;
+            chk(&format!("{n}.nproc"), &a.nproc, &b.nproc);
+            chk(&format!("{n}.messages"), &a.messages, &b.messages);
+            chk(
+                &format!("{n}.transmissions"),
+                &a.transmissions,
+                &b.transmissions,
+            );
+            chk(&format!("{n}.words"), &a.words, &b.words);
+            chk(&format!("{n}.work_units"), &a.work_units, &b.work_units);
+            chk(&format!("{n}.makespan_ns"), &a.makespan_ns, &b.makespan_ns);
+            let render = |p: &[(String, u64)]| {
+                p.iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            chk(&format!("{n}.blame"), &render(&a.blame), &render(&b.blame));
+            chk(
+                &format!("{n}.contexts"),
+                &render(&a.contexts),
+                &render(&b.contexts),
+            );
+            chk(
+                &format!("{n}.comm_passes"),
+                &render(&a.comm_passes),
+                &render(&b.comm_passes),
+            );
+        }
+        let reuse = |out: &mut Vec<String>, n: &str, a: &ReuseSummary, b: &ReuseSummary| {
+            let render = |r: &ReuseSummary| {
+                let stages = r
+                    .per_stage
+                    .iter()
+                    .map(|(k, h, m)| format!("{k}={h}/{m}"))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                format!(
+                    "hits={} misses={} work={} [{stages}]",
+                    r.stage_hits, r.stage_misses, r.work_units
+                )
+            };
+            let (ra, rb) = (render(a), render(b));
+            if ra != rb {
+                out.push(format!("{n}: {ra} != {rb}"));
+            }
+        };
+        reuse(&mut out, "sweep", &self.sweep, &other.sweep);
+        reuse(&mut out, "journal", &self.journal, &other.journal);
+        out
+    }
+}
+
+fn req_u64(v: &Json, key: &str) -> Result<u64, String> {
+    let n = v
+        .get(key)
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("missing or non-numeric field `{key}`"))?;
+    if n < 0.0 || n.fract() != 0.0 {
+        return Err(format!("field `{key}` is not a non-negative integer: {n}"));
+    }
+    Ok(n as u64)
+}
+
+fn req_str(v: &Json, key: &str) -> Result<String, String> {
+    Ok(v.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("missing or non-string field `{key}`"))?
+        .to_owned())
+}
+
+fn opt_u64(v: &Json, key: &str) -> Option<u64> {
+    let n = v.get(key).and_then(Json::as_num)?;
+    (n >= 0.0 && n.fract() == 0.0).then_some(n as u64)
+}
+
+fn opt_str(v: &Json, key: &str) -> Option<String> {
+    v.get(key).and_then(Json::as_str).map(str::to_owned)
+}
+
+/// A `{key: u64}` object's pairs in document order, skipping
+/// non-integer values (snapshot maps hold only integers).
+fn opt_pairs(v: &Json) -> Vec<(String, u64)> {
+    let Some(fields) = v.as_obj() else {
+        return Vec::new();
+    };
+    fields
+        .iter()
+        .filter_map(|(k, val)| {
+            let n = val.as_num()?;
+            (n >= 0.0 && n.fract() == 0.0).then(|| (k.clone(), n as u64))
+        })
+        .collect()
+}
+
+/// A `{stage: {hits, misses}}` object's rows in document order,
+/// skipping malformed entries (snapshot sections are machine-written).
+fn opt_stages(v: &Json) -> Vec<(String, u64, u64)> {
+    let Some(fields) = v.as_obj() else {
+        return Vec::new();
+    };
+    fields
+        .iter()
+        .filter_map(|(k, s)| Some((k.clone(), opt_u64(s, "hits")?, opt_u64(s, "misses")?)))
+        .collect()
+}
+
+/// A strict `{key: u64}` object: every value must be a non-negative
+/// integer (unlike [`opt_pairs`], which tolerates legacy snapshots).
+fn req_pairs(v: &Json, key: &str) -> Result<Vec<(String, u64)>, String> {
+    let fields = v
+        .get(key)
+        .and_then(Json::as_obj)
+        .ok_or_else(|| format!("missing or non-object field `{key}`"))?;
+    fields
+        .iter()
+        .map(|(k, val)| {
+            let n = val
+                .as_num()
+                .ok_or_else(|| format!("non-numeric value for `{k}` in `{key}`"))?;
+            if n < 0.0 || n.fract() != 0.0 {
+                return Err(format!(
+                    "value for `{k}` in `{key}` is not a non-negative integer"
+                ));
+            }
+            Ok((k.clone(), n as u64))
+        })
+        .collect()
+}
+
+fn parse_reuse(v: &Json) -> Result<ReuseSummary, String> {
+    let stages = v
+        .get("per_stage")
+        .and_then(Json::as_obj)
+        .ok_or("missing or non-object field `per_stage`")?;
+    let per_stage = stages
+        .iter()
+        .map(|(k, s)| Ok((k.clone(), req_u64(s, "hits")?, req_u64(s, "misses")?)))
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(ReuseSummary {
+        stage_hits: req_u64(v, "stage_hits")?,
+        stage_misses: req_u64(v, "stage_misses")?,
+        work_units: req_u64(v, "work_units")?,
+        per_stage,
+    })
+}
+
+/// Renders a history as JSONL text (one record per line, trailing
+/// newline).
+pub fn render_history(records: &[HistoryRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&r.to_jsonl());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses JSONL history text. Strict: any unreadable line fails with a
+/// one-line error naming the 1-based line number, and `seq` must be
+/// dense from 0 (an append-only store never has holes).
+pub fn parse_history(text: &str) -> Result<Vec<HistoryRecord>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            return Err(format!("history line {}: blank line", i + 1));
+        }
+        let rec = HistoryRecord::from_json_line(line)
+            .map_err(|e| format!("history line {}: {e}", i + 1))?;
+        if rec.seq != out.len() as u64 {
+            return Err(format!(
+                "history line {}: seq {} out of order (expected {})",
+                i + 1,
+                rec.seq,
+                out.len()
+            ));
+        }
+        out.push(rec);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample(seq: u64) -> HistoryRecord {
+        HistoryRecord {
+            seq,
+            meta: HistoryMeta {
+                schema: SCHEMA,
+                commit: "abc123".to_owned(),
+                host: "ci".to_owned(),
+                parallelism: 8,
+                config_fp: "0123456789abcdef0123456789abcdef".to_owned(),
+                wall_ms: 1234,
+                recorded_unix: 1_700_000_000,
+            },
+            workloads: vec![WorkloadSummary {
+                name: "lu".to_owned(),
+                nproc: 8,
+                messages: 96,
+                transmissions: 630,
+                words: 8491,
+                work_units: 100,
+                makespan_ns: 1000,
+                blame: vec![
+                    ("compute".to_owned(), 2000),
+                    ("alpha".to_owned(), 1000),
+                    ("beta".to_owned(), 500),
+                    ("contention".to_owned(), 500),
+                    ("recv_wait".to_owned(), 3000),
+                    ("drain".to_owned(), 1000),
+                ],
+                contexts: vec![
+                    ("schedule;aggregate".to_owned(), 60),
+                    ("stmt0;read0;lwt".to_owned(), 40),
+                ],
+                comm_passes: vec![("(none)".to_owned(), 90), ("fold_receivers".to_owned(), 6)],
+            }],
+            sweep: ReuseSummary {
+                stage_hits: 33,
+                stage_misses: 31,
+                work_units: 1237,
+                per_stage: vec![("lwt".to_owned(), 9, 3), ("opt".to_owned(), 24, 28)],
+            },
+            journal: ReuseSummary {
+                stage_hits: 0,
+                stage_misses: 45,
+                work_units: 6023,
+                per_stage: vec![("parse".to_owned(), 0, 45)],
+            },
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips_byte_identically() {
+        let rec = sample(0);
+        let line = rec.to_jsonl();
+        assert!(!line.contains('\n'));
+        let back = HistoryRecord::from_json_line(&line).unwrap();
+        assert_eq!(back, rec);
+        // Byte identity: render -> parse -> render reproduces the text.
+        let text = render_history(&[sample(0), sample(1)]);
+        let parsed = parse_history(&text).unwrap();
+        assert_eq!(render_history(&parsed), text);
+    }
+
+    #[test]
+    fn deterministic_diffs_ignore_identity_meta_only() {
+        let a = sample(0);
+        let mut b = sample(1);
+        b.meta.commit = "def456".to_owned();
+        b.meta.host = "laptop".to_owned();
+        b.meta.parallelism = 1;
+        b.meta.wall_ms = 9;
+        b.meta.recorded_unix = 0;
+        assert!(a.deterministic_eq(&b), "{:?}", a.field_diffs(&b));
+        b.meta.config_fp = "ffffffffffffffffffffffffffffffff".to_owned();
+        assert!(!a.deterministic_eq(&b));
+        let mut c = sample(0);
+        c.workloads[0].work_units += 1;
+        c.workloads[0].contexts[0].1 += 1;
+        let d = a.field_diffs(&c);
+        assert!(d.iter().any(|f| f.contains("lu.work_units")), "{d:?}");
+        assert!(d.iter().any(|f| f.contains("lu.contexts")), "{d:?}");
+    }
+
+    #[test]
+    fn parse_rejects_corruption_with_line_numbers() {
+        let good = render_history(&[sample(0), sample(1)]);
+        let mut lines: Vec<&str> = good.lines().collect();
+        let cut = &lines[1][..lines[1].len() / 2];
+        lines[1] = cut;
+        let err = parse_history(&lines.join("\n")).unwrap_err();
+        assert!(err.starts_with("history line 2:"), "{err}");
+        // Seq hole.
+        let hole = render_history(&[sample(0), sample(2)]);
+        let err = parse_history(&hole).unwrap_err();
+        assert!(err.contains("out of order"), "{err}");
+        // Non-integer metric.
+        let bad = good.replace("\"work_units\":100", "\"work_units\":100.5");
+        let err = parse_history(&bad).unwrap_err();
+        assert!(err.contains("work_units"), "{err}");
+    }
+
+    #[test]
+    fn from_snapshot_reads_old_and_new_layouts() {
+        // A pre-meta snapshot (the shape PR 8 committed): no meta, no
+        // comm_passes, no per_stage.
+        let old = r#"{
+          "workloads": [
+            {"name": "w", "nproc": 2, "messages": 5, "transmissions": 7,
+             "words": 30, "work_units": 12, "sim_time_s": 0.001,
+             "critpath": {"makespan_ns": 1000,
+               "blame": {"compute": 1, "alpha": 2, "beta": 3,
+                         "contention": 4, "recv_wait": 5, "drain": 1985}},
+             "work_contexts": {"a": 7, "b": 5}}
+          ],
+          "sweep": {"stage_hits": 3, "stage_misses": 1, "work_units": 9},
+          "journal": {"requests": 1, "stage_hits": 0, "stage_misses": 4,
+                      "work_units": 11},
+          "all_identical": true
+        }"#;
+        let rec = HistoryRecord::from_snapshot(old).unwrap();
+        assert_eq!(rec.meta.config_fp, "unknown");
+        assert_eq!(rec.workloads[0].work_units, 12);
+        assert_eq!(rec.workloads[0].makespan_ns, 1000);
+        assert_eq!(rec.workloads[0].blame.len(), 6);
+        assert!(rec.workloads[0].comm_passes.is_empty());
+        assert!(rec.sweep.per_stage.is_empty());
+        // The record round-trips through its own line format.
+        let back = HistoryRecord::from_json_line(&rec.to_jsonl()).unwrap();
+        assert_eq!(back, rec);
+
+        // A snapshot with the meta section keys the history on it.
+        let new = old.replace(
+            "\"workloads\":",
+            "\"meta\": {\"schema\": 1, \"config_fp\": \"00000000000000000000000000000042\", \
+             \"host_parallelism\": 4, \"wall_ms\": 77},\n  \"workloads\":",
+        );
+        let rec = HistoryRecord::from_snapshot(&new).unwrap();
+        assert_eq!(rec.meta.config_fp, "00000000000000000000000000000042");
+        assert_eq!(rec.meta.parallelism, 4);
+        assert_eq!(rec.meta.wall_ms, 77);
+    }
+}

@@ -5,6 +5,9 @@
 //! snapshots with per-field tolerances.
 
 pub mod diff;
+pub mod explain;
+pub mod history;
+pub mod html;
 
 use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;

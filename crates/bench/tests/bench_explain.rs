@@ -1,0 +1,258 @@
+//! Binary-level tests for `dmc-bench-explain`: record → history →
+//! explain → trend → dashboard, against synthetic snapshots with exact
+//! tilings, plus the full exit-code contract (0 clean / 1 drift /
+//! 2 usage-or-parse). The heavyweight `--check` battery (which compiles
+//! the real workloads) runs in tier-1; these tests stay fast by feeding
+//! the binary hand-written `BENCH_pipeline.json` fixtures.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+/// A minimal snapshot whose decompositions tile exactly: contexts sum to
+/// `work_units` (7 + 5 = 12), blame to `nproc × makespan_ns`
+/// (2 × 1000 = 2000), comm passes to `messages` (4 + 1 = 5), and the
+/// per-stage columns to the session totals.
+const SNAP: &str = r#"{
+  "bench": "pipeline",
+  "meta": {"schema": 1, "config_fp": "cfg42", "host_parallelism": 2, "wall_ms": 5},
+  "workloads": [
+    {"name": "w", "nproc": 2, "messages": 5, "transmissions": 7, "words": 30,
+     "work_units": 12, "sim_time_s": 0.001,
+     "critpath": {"makespan_ns": 1000,
+       "blame": {"compute": 1, "alpha": 2, "beta": 3,
+                 "contention": 4, "recv_wait": 5, "drain": 1985}},
+     "work_contexts": {"a": 7, "b": 5},
+     "comm_passes": {"(none)": 4, "fold_receivers": 1}}
+  ],
+  "sweep": {"stage_hits": 3, "stage_misses": 1, "work_units": 9,
+            "per_stage": {"opt": {"hits": 3, "misses": 1}}},
+  "journal": {"stage_hits": 0, "stage_misses": 4, "work_units": 11,
+              "per_stage": {"parse": {"hits": 0, "misses": 4}}},
+  "all_identical": true
+}"#;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create tmpdir");
+    dir
+}
+
+fn explain(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dmc-bench-explain"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// Recording appends dense seqs, a self-explain over the history is
+/// empty (exit 0), and the trend table lists every record.
+#[test]
+fn record_explain_and_trend_round_trip() {
+    let dir = tmpdir("bench-explain-record");
+    let snap = dir.join("snap.json");
+    let hist = dir.join("history.jsonl");
+    std::fs::write(&snap, SNAP).expect("write fixture");
+
+    for seq in 0..2 {
+        let out = explain(&[
+            "--record",
+            "--snapshot",
+            snap.to_str().unwrap(),
+            "--history",
+            hist.to_str().unwrap(),
+        ]);
+        assert_eq!(out.status.code(), Some(0), "record #{seq}: {out:?}");
+        assert!(
+            stdout_of(&out).contains(&format!("recorded seq {seq}")),
+            "record #{seq}: {}",
+            stdout_of(&out)
+        );
+    }
+    let text = std::fs::read_to_string(&hist).expect("history exists");
+    assert_eq!(text.lines().count(), 2, "one line per record:\n{text}");
+
+    let out = explain(&[
+        "--explain",
+        "@0",
+        "@last",
+        "--history",
+        hist.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "identical records: {out:?}");
+    assert!(
+        stdout_of(&out).contains("Nothing moved"),
+        "{}",
+        stdout_of(&out)
+    );
+
+    let out = explain(&["--trend", "5", "--history", hist.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let table = stdout_of(&out);
+    assert!(table.contains("#0") && table.contains("#1"), "{table}");
+    assert!(table.contains("12"), "work_units column rendered: {table}");
+}
+
+/// Explaining a drifted snapshot names the moved components, closes the
+/// tiling exactly, and exits 1; an inconsistent total surfaces an
+/// explicit "(unexplained)" residue instead of silently mis-tiling.
+#[test]
+fn drift_narrative_tiles_the_delta_and_exits_1() {
+    let dir = tmpdir("bench-explain-drift");
+    let old = dir.join("old.json");
+    let new = dir.join("new.json");
+    std::fs::write(&old, SNAP).expect("write fixture");
+    // Consistent drift: context "a" and the work-unit total move by +8
+    // together; pass "(none)" and the message total move by +2 together.
+    let drifted = SNAP
+        .replace("\"work_units\": 12", "\"work_units\": 20")
+        .replace("\"a\": 7", "\"a\": 15")
+        .replace("\"messages\": 5", "\"messages\": 7")
+        .replace("\"(none)\": 4", "\"(none)\": 6");
+    std::fs::write(&new, &drifted).expect("write fixture");
+
+    let out = explain(&["--explain", old.to_str().unwrap(), new.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "drift must exit 1: {out:?}");
+    let report = stdout_of(&out);
+    assert!(report.contains("work_units: 12 -> 20 (+8)"), "{report}");
+    assert!(
+        report.contains("a") && report.contains("7 -> 15 (+8)"),
+        "{report}"
+    );
+    assert!(report.contains("messages: 5 -> 7 (+2)"), "{report}");
+    assert!(report.contains("tiles the delta exactly"), "{report}");
+    assert!(
+        !report.contains("(unexplained)"),
+        "consistent drift leaves no residue:\n{report}"
+    );
+
+    // Inconsistent drift: the total moves but no component does — the
+    // identity still closes, through an explicit residue row.
+    let skewed = SNAP.replace("\"work_units\": 12", "\"work_units\": 13");
+    std::fs::write(&new, &skewed).expect("write fixture");
+    let out = explain(&["--explain", old.to_str().unwrap(), new.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let report = stdout_of(&out);
+    assert!(report.contains("(unexplained)"), "{report}");
+    assert!(report.contains("residue +1"), "{report}");
+}
+
+/// The dashboard bytes are a pure function of the history: rendering
+/// twice gives identical files, and identity meta never appears in them.
+#[test]
+fn dashboard_is_deterministic_and_leaks_no_identity() {
+    let dir = tmpdir("bench-explain-html");
+    let snap = dir.join("snap.json");
+    let hist = dir.join("history.jsonl");
+    std::fs::write(&snap, SNAP).expect("write fixture");
+    for _ in 0..2 {
+        let out = explain(&[
+            "--record",
+            "--snapshot",
+            snap.to_str().unwrap(),
+            "--history",
+            hist.to_str().unwrap(),
+        ]);
+        assert_eq!(out.status.code(), Some(0), "{out:?}");
+    }
+    let render = |path: &PathBuf| {
+        let out = explain(&[
+            "--html",
+            path.to_str().unwrap(),
+            "--history",
+            hist.to_str().unwrap(),
+        ]);
+        assert_eq!(out.status.code(), Some(0), "{out:?}");
+        std::fs::read(path).expect("dashboard written")
+    };
+    let a = render(&dir.join("a.html"));
+    let b = render(&dir.join("b.html"));
+    assert_eq!(a, b, "dashboard bytes must be deterministic");
+    let page = String::from_utf8(a).expect("utf-8 page");
+    assert!(page.contains("<svg"), "charts rendered");
+    assert!(page.contains("cfg42"), "config fingerprint is content");
+    // Identity meta stays out of the page even though the history
+    // records carry a hostname and a wall-clock.
+    let recorded = std::fs::read_to_string(&hist).expect("history");
+    let host = recorded
+        .split("\"host\":\"")
+        .nth(1)
+        .and_then(|s| s.split('"').next())
+        .expect("history records a host");
+    if !host.is_empty() && host != "unknown" {
+        assert!(!page.contains(host), "host {host:?} leaked into the page");
+    }
+    assert!(!page.contains("wall_ms"), "wall-clock leaked into the page");
+}
+
+/// The exit-code contract's usage/parse half: unknown flags, missing
+/// files, bad history references and corrupt histories all exit 2.
+#[test]
+fn usage_and_parse_errors_exit_2() {
+    let dir = tmpdir("bench-explain-usage");
+    let hist = dir.join("history.jsonl");
+
+    let cases: Vec<Vec<&str>> = vec![
+        vec!["--bogus"],
+        vec![],
+        vec!["--explain", "@0"],
+        vec!["--trend", "not-a-number"],
+        vec!["--record", "--snapshot", "/nonexistent/snap.json"],
+        vec!["--trend", "3", "--history", "/nonexistent/history.jsonl"],
+    ];
+    for args in &cases {
+        let out = explain(args);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{args:?} must exit 2\nstderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(
+            !out.stderr.is_empty(),
+            "{args:?} must explain itself on stderr"
+        );
+    }
+
+    // A corrupt history line: strict parsing names the 1-based line.
+    let snap = dir.join("snap.json");
+    std::fs::write(&snap, SNAP).expect("write fixture");
+    let out = explain(&[
+        "--record",
+        "--snapshot",
+        snap.to_str().unwrap(),
+        "--history",
+        hist.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let good = std::fs::read_to_string(&hist).expect("history");
+    std::fs::write(&hist, format!("{}{}\n", good, &good[..good.len() / 2]))
+        .expect("corrupt history");
+    let out = explain(&["--trend", "3", "--history", hist.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("history line 2"),
+        "stderr names the corrupt line: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // An out-of-range history reference.
+    std::fs::write(&hist, good).expect("restore history");
+    let out = explain(&[
+        "--explain",
+        "@7",
+        "@last",
+        "--history",
+        hist.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("no record with seq 7"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

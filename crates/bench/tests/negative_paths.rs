@@ -3,6 +3,12 @@
 //! CI) can gate on them without parsing stdout. Each test drives one
 //! binary down a failure path via `CARGO_BIN_EXE_*` and asserts both
 //! properties.
+//!
+//! The gate binaries (`dmc-journal`, `dmc-bench-diff`,
+//! `dmc-bench-explain`) additionally follow the shared exit-code
+//! convention — **0** clean, **1** drift, **2** usage-or-parse — and
+//! these tests pin the exact code on every path, so CI can distinguish
+//! "a metric regressed" from "the gate itself could not run".
 
 use std::path::PathBuf;
 use std::process::{Command, Output};
@@ -22,6 +28,23 @@ fn assert_fails(out: &Output, needle: &str, what: &str) {
         !out.status.success(),
         "{what}: expected a nonzero exit, got {:?}\nstdout: {}\nstderr: {}",
         out.status.code(),
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains(needle),
+        "{what}: stderr must name the invariant (expected {needle:?}):\n{stderr}"
+    );
+}
+
+/// Like [`assert_fails`], but pins the exact exit code (1 = drift,
+/// 2 = usage-or-parse).
+fn assert_code(out: &Output, code: i32, needle: &str, what: &str) {
+    assert_eq!(
+        out.status.code(),
+        Some(code),
+        "{what}: expected exit code {code}\nstdout: {}\nstderr: {}",
         String::from_utf8_lossy(&out.stdout),
         String::from_utf8_lossy(&out.stderr)
     );
@@ -74,21 +97,23 @@ fn profile_rejects_unknown_workload() {
 /// `dmc-journal` failure paths: usage errors, a missing journal, a
 /// corrupted journal line (one stderr line naming the 1-based line
 /// number, no backtrace), and a journal whose deterministic fields were
-/// tampered with each exit nonzero with the invariant on stderr.
+/// tampered with each exit nonzero with the invariant on stderr —
+/// usage/parse paths with code 2, drift with code 1.
 #[test]
 fn journal_fails_cleanly() {
     let bin = env!("CARGO_BIN_EXE_dmc-journal");
     let dir = tmpdir();
 
     let out = run(bin, &["--bogus"]);
-    assert_fails(&out, "unknown argument", "dmc-journal usage");
+    assert_code(&out, 2, "unknown argument", "dmc-journal usage");
 
     let out = run(bin, &[]);
-    assert_fails(&out, "nothing to do", "dmc-journal no mode");
+    assert_code(&out, 2, "nothing to do", "dmc-journal no mode");
 
     let out = run(bin, &["--replay", "/nonexistent/journal.jsonl"]);
-    assert_fails(
+    assert_code(
         &out,
+        2,
         "read /nonexistent/journal.jsonl",
         "dmc-journal missing file",
     );
@@ -109,7 +134,7 @@ fn journal_fails_cleanly() {
     std::fs::write(&corrupt, format!("{good}\n{}\n", &good[..good.len() / 2]))
         .expect("write fixture");
     let out = run(bin, &["--replay", corrupt.to_str().unwrap()]);
-    assert_fails(&out, "journal line 2", "dmc-journal corrupt line");
+    assert_code(&out, 2, "journal line 2", "dmc-journal corrupt line");
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(
         !stderr.contains("panicked"),
@@ -142,33 +167,52 @@ fn journal_fails_cleanly() {
             tampered.to_str().unwrap(),
         ],
     );
-    assert_fails(&out, "work_units: 10 != 11", "dmc-journal diff gate");
+    assert_code(&out, 1, "work_units: 10 != 11", "dmc-journal diff gate");
+
+    // A clean self-diff exits 0.
+    let out = run(
+        bin,
+        &[
+            "--diff",
+            original.to_str().unwrap(),
+            original.to_str().unwrap(),
+        ],
+    );
+    assert_eq!(out.status.code(), Some(0), "self-diff must exit 0: {out:?}");
 }
 
 /// `dmc-bench-diff` failure paths: missing files, malformed JSON, and a
 /// genuine regression each exit nonzero with the invariant on stderr —
-/// and with no panic backtrace (the stderr is read by humans in CI logs).
+/// and with no panic backtrace (the stderr is read by humans in CI
+/// logs). Usage/parse paths exit 2; a regression exits 1; clean exits 0.
 #[test]
 fn bench_diff_fails_cleanly() {
     let bin = env!("CARGO_BIN_EXE_dmc-bench-diff");
     let dir = tmpdir();
 
     let out = run(bin, &["only-one.json"]);
-    assert_fails(
+    assert_code(
         &out,
+        2,
         "need exactly OLD.json and NEW.json",
         "bench-diff usage",
     );
 
     let out = run(bin, &["/nonexistent/a.json", "/nonexistent/b.json"]);
-    assert_fails(&out, "read /nonexistent/a.json", "bench-diff missing file");
+    assert_code(
+        &out,
+        2,
+        "read /nonexistent/a.json",
+        "bench-diff missing file",
+    );
 
     let garbage = dir.join("garbage.json");
     std::fs::write(&garbage, "not json at all").expect("write fixture");
     let out = run(bin, &[garbage.to_str().unwrap(), garbage.to_str().unwrap()]);
-    assert!(
-        !out.status.success(),
-        "malformed snapshot must fail the gate"
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "malformed snapshot is a parse error, not drift: {out:?}"
     );
 
     // A real regression: two otherwise-identical snapshots that disagree
@@ -192,8 +236,9 @@ fn bench_diff_fails_cleanly() {
     std::fs::write(&old, snap(100)).expect("write old");
     std::fs::write(&new, snap(101)).expect("write new");
     let out = run(bin, &[old.to_str().unwrap(), new.to_str().unwrap()]);
-    assert_fails(
+    assert_code(
         &out,
+        1,
         "work_units changed 100 -> 101",
         "bench-diff work-unit gate",
     );
@@ -205,8 +250,9 @@ fn bench_diff_fails_cleanly() {
 
     // And the same snapshots agree with themselves.
     let out = run(bin, &[old.to_str().unwrap(), old.to_str().unwrap()]);
-    assert!(
-        out.status.success(),
-        "identical snapshots must pass: {out:?}"
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "identical snapshots must pass with exit 0: {out:?}"
     );
 }

@@ -61,4 +61,4 @@ pub use pipeline::{
     analysis_jobs, build_schedule, compile, message_stats, planned_workers, run, CompileError,
     CompileInput, Compiled,
 };
-pub use session::{ServeOutcome, Session, SessionStats, StageCount};
+pub use session::{options_fingerprint, ServeOutcome, Session, SessionStats, StageCount};

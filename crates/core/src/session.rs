@@ -1091,6 +1091,14 @@ fn options_only_fp(options: &Options) -> Fingerprint {
     h.finish()
 }
 
+/// The configuration fingerprint of a set of [`Options`] — the same
+/// tag-57 hash the compile journal records as `options_fp`, exposed so
+/// snapshot tooling (the bench history store) can key records on the
+/// compile configuration without constructing a full request.
+pub fn options_fingerprint(options: &Options) -> String {
+    options_only_fp(options).to_string()
+}
+
 /// Journal `schedule_fp`: a fingerprint of the schedule's canonical
 /// `Debug` rendering. `Schedule` holds only ordered containers, so the
 /// rendering — and therefore this fingerprint — is deterministic, and

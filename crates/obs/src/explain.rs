@@ -164,6 +164,40 @@ struct MsgInfo {
     steps: String,
 }
 
+/// Message counts of the **last** schedule built in the capture, grouped
+/// by the §6 pass chain their communication set survived (the
+/// `prov.message` event's `steps` field, `", "`-joined; `"(none)"` for a
+/// set no pass touched). The groups partition the schedule's messages,
+/// so the counts sum exactly to the schedule's total message count —
+/// which is what lets the bench explainer tile a `messages` delta over
+/// pass chains with no residue. Follows the same supersession rules as
+/// [`explain_report`]: a new `schedule` span or `schedule.attempt`
+/// discards earlier messages.
+pub fn message_pass_counts(trace: &Trace) -> Vec<(String, u64)> {
+    let mut messages: Vec<String> = Vec::new();
+    for lane in &trace.lanes {
+        for r in &lane.records {
+            match (r.phase, r.name) {
+                (Phase::Begin, "schedule") | (Phase::Begin, "schedule.attempt") => messages.clear(),
+                (Phase::Instant, "prov.message") => {
+                    let steps = as_str(r.get("steps")).unwrap_or("");
+                    messages.push(if steps.is_empty() {
+                        "(none)".to_owned()
+                    } else {
+                        steps.replace('+', ", ")
+                    });
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+    for chain in messages {
+        *counts.entry(chain).or_default() += 1;
+    }
+    counts.into_iter().collect()
+}
+
 /// Builds the explain report for one captured compilation.
 ///
 /// Reads come from the per-read lane spans; messages come from the **last**

@@ -81,18 +81,39 @@ pub fn quote(s: &str) -> String {
     out
 }
 
+/// The 1-based `line N column M` rendering of a byte offset, counting
+/// `\n` line breaks and columns in bytes from the last break. Every
+/// parse error names its position through this helper, so a failure in a
+/// multi-line document (a snapshot file, a JSONL record) points at the
+/// offending line directly.
+fn pos_at(b: &[u8], pos: usize) -> String {
+    let pos = pos.min(b.len());
+    let line = 1 + b[..pos].iter().filter(|&&c| c == b'\n').count();
+    let col = 1 + pos
+        - b[..pos]
+            .iter()
+            .rposition(|&c| c == b'\n')
+            .map_or(0, |i| i + 1);
+    format!("line {line} column {col}")
+}
+
 /// Parses a complete JSON document; trailing non-whitespace is an error.
+///
+/// Object fields keep insertion order; on duplicate keys every field is
+/// retained (visible through [`Json::as_obj`]) and [`Json::get`] returns
+/// the **first** occurrence.
 ///
 /// # Errors
 ///
-/// Returns a description (with byte offset) of the first syntax error.
+/// Returns a description of the first syntax error, positioned as
+/// 1-based `line N column M`.
 pub fn parse(text: &str) -> Result<Json, String> {
     let bytes = text.as_bytes();
     let mut pos = 0usize;
     let v = parse_value(bytes, &mut pos)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
-        return Err(format!("trailing content at byte {pos}"));
+        return Err(format!("trailing content at {}", pos_at(bytes, pos)));
     }
     Ok(v)
 }
@@ -108,7 +129,7 @@ fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
         *pos += 1;
         Ok(())
     } else {
-        Err(format!("expected {:?} at byte {}", c as char, *pos))
+        Err(format!("expected {:?} at {}", c as char, pos_at(b, *pos)))
     }
 }
 
@@ -131,7 +152,7 @@ fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, Stri
         *pos += lit.len();
         Ok(v)
     } else {
-        Err(format!("bad literal at byte {}", *pos))
+        Err(format!("bad literal at {}", pos_at(b, *pos)))
     }
 }
 
@@ -144,7 +165,7 @@ fn parse_num(b: &[u8], pos: &mut usize) -> Result<Json, String> {
         .ok()
         .and_then(|s| s.parse::<f64>().ok())
         .map(Json::Num)
-        .ok_or_else(|| format!("bad number at byte {start}"))
+        .ok_or_else(|| format!("bad number at {}", pos_at(b, start)))
 }
 
 fn parse_str(b: &[u8], pos: &mut usize) -> Result<String, String> {
@@ -173,13 +194,13 @@ fn parse_str(b: &[u8], pos: &mut usize) -> Result<String, String> {
                             .get(*pos + 1..*pos + 5)
                             .and_then(|h| std::str::from_utf8(h).ok())
                             .and_then(|h| u32::from_str_radix(h, 16).ok())
-                            .ok_or_else(|| format!("bad \\u escape at byte {}", *pos))?;
+                            .ok_or_else(|| format!("bad \\u escape at {}", pos_at(b, *pos)))?;
                         // Surrogate pairs are not produced by our writer;
                         // map lone surrogates to the replacement char.
                         out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
                         *pos += 4;
                     }
-                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                    _ => return Err(format!("bad escape at {}", pos_at(b, *pos))),
                 }
                 *pos += 1;
             }
@@ -216,7 +237,7 @@ fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, String> {
                 *pos += 1;
                 return Ok(Json::Arr(out));
             }
-            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+            _ => return Err(format!("expected ',' or ']' at {}", pos_at(b, *pos))),
         }
     }
 }
@@ -243,7 +264,7 @@ fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, String> {
                 *pos += 1;
                 return Ok(Json::Obj(out));
             }
-            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+            _ => return Err(format!("expected ',' or '}}' at {}", pos_at(b, *pos))),
         }
     }
 }
@@ -265,5 +286,76 @@ mod tests {
         assert!(parse("[1, 2").is_err());
         assert!(parse("{} trailing").is_err());
         assert_eq!(quote("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    /// Every escape the writer emits parses back, plus the ones it never
+    /// writes (`\/`, `\b`, `\f`, `\u` including lone surrogates), and the
+    /// quote → parse round trip holds for control characters and
+    /// multi-byte UTF-8.
+    #[test]
+    fn escape_sequences() {
+        let v = parse(r#""a\"b\\c\/d\ne\rf\tg\bh\fiAjé""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c/d\ne\rf\tg\u{8}h\u{c}iAj\u{e9}"));
+        // A lone surrogate cannot be a char; it parses to U+FFFD rather
+        // than failing (our writer never emits surrogates).
+        assert_eq!(parse(r#""\ud800""#).unwrap().as_str(), Some("\u{fffd}"));
+        // quote() round-trips everything it escapes, including raw
+        // control characters and multi-byte UTF-8.
+        for s in ["\u{1}\u{1f}", "π ≠ \u{10348}", "tab\there\n\"q\"\\"] {
+            assert_eq!(parse(&quote(s)).unwrap().as_str(), Some(s), "{s:?}");
+        }
+        // Truncated and malformed escapes are errors, not silent data.
+        assert!(parse(r#""\u00""#).is_err());
+        assert!(parse(r#""\x""#).is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+
+    /// Deep nesting parses without recursion trouble at the depths our
+    /// documents reach, and unbalanced variants fail.
+    #[test]
+    fn deeply_nested_arrays() {
+        let depth = 200;
+        let doc = format!("{}1{}", "[".repeat(depth), "]".repeat(depth));
+        let mut v = parse(&doc).unwrap();
+        for _ in 0..depth {
+            v = v.as_arr().expect("array")[0].clone();
+        }
+        assert_eq!(v, Json::Num(1.0));
+        // One bracket short / one too many both fail.
+        assert!(parse(&doc[..doc.len() - 1]).is_err());
+        assert!(parse(&format!("{doc}]")).is_err());
+    }
+
+    /// Duplicate keys: all fields are retained in insertion order, and
+    /// `get` resolves to the first occurrence.
+    #[test]
+    fn duplicate_keys_keep_first_for_get() {
+        let v = parse(r#"{"k": 1, "other": 2, "k": 3}"#).unwrap();
+        assert_eq!(v.get("k").and_then(Json::as_num), Some(1.0));
+        let fields = v.as_obj().unwrap();
+        assert_eq!(fields.len(), 3, "duplicates are not silently dropped");
+        assert_eq!(fields[0], ("k".to_owned(), Json::Num(1.0)));
+        assert_eq!(fields[2], ("k".to_owned(), Json::Num(3.0)));
+    }
+
+    /// Error positions are 1-based line/column pairs that point at the
+    /// offending byte of multi-line documents.
+    #[test]
+    fn errors_carry_line_and_column() {
+        // Line 3, column 8: the `}` where a value was expected.
+        let err = parse("{\n  \"a\": 1,\n  \"b\": }\n").unwrap_err();
+        assert!(err.contains("line 3 column 8"), "{err}");
+        // Same document on one line: column moves, line is 1.
+        let err = parse("{\"a\": 1, \"b\": }").unwrap_err();
+        assert!(err.contains("line 1 column 15"), "{err}");
+        // Trailing content after the document names the line it starts on.
+        let err = parse("{}\n\ntrailing").unwrap_err();
+        assert!(err.contains("trailing content at line 3 column 1"), "{err}");
+        // A bad literal mid-array on a later line.
+        let err = parse("[\n  true,\n  nul\n]").unwrap_err();
+        assert!(err.contains("line 3 column 3"), "{err}");
+        // Missing comma between fields.
+        let err = parse("{\"a\": 1\n \"b\": 2}").unwrap_err();
+        assert!(err.contains("line 2 column 2"), "{err}");
     }
 }

@@ -82,10 +82,11 @@ pub mod journal;
 pub mod json;
 pub mod metrics;
 pub mod profile;
+pub mod svg;
 mod trace;
 
 pub use chrome::{chrome_trace, validate_chrome, TraceCheck};
-pub use explain::{explain_report, explain_report_with_profile};
+pub use explain::{explain_report, explain_report_with_profile, message_pass_counts};
 pub use health::{ContextHealth, HealthSnapshot};
 pub use journal::JournalRecord;
 pub use metrics::{validate_prometheus, Log2Hist, MetricKind, PromCheck, Registry};

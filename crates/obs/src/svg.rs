@@ -1,0 +1,289 @@
+//! Deterministic SVG chart primitives for zero-dependency dashboards.
+//!
+//! Every coordinate is computed with integer arithmetic and rendered
+//! through [`fixed1`] (tenths of a pixel), so the produced bytes depend
+//! only on the input values — never on float formatting, hash order, or
+//! the machine rendering them. The bench trajectory dashboard
+//! (`dmc-bench-explain --html`) composes these into a static page.
+
+/// Escapes `&`, `<`, `>`, and `"` for embedding in SVG/HTML text.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a tenths-scaled integer as a fixed one-decimal number
+/// (`123` → `12.3`), the only coordinate format the chart emitters use.
+pub fn fixed1(tenths: i64) -> String {
+    let sign = if tenths < 0 { "-" } else { "" };
+    let v = tenths.unsigned_abs();
+    format!("{sign}{}.{}", v / 10, v % 10)
+}
+
+/// One named series of a chart; values are plain integers in the unit
+/// named by the chart (work units, nanoseconds, permille, …).
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// One value per x position; all series of a chart share the x axis.
+    pub values: Vec<u64>,
+}
+
+/// The fixed palette, cycled by series index.
+const PALETTE: [&str; 8] = [
+    "#2266cc", "#cc3322", "#22aa55", "#aa22aa", "#cc8800", "#117788", "#884422", "#555555",
+];
+
+/// The stroke colour for series `i`.
+pub fn color(i: usize) -> &'static str {
+    PALETTE[i % PALETTE.len()]
+}
+
+const W: i64 = 640;
+const H: i64 = 180;
+const PAD_L: i64 = 56;
+const PAD_R: i64 = 10;
+const PAD_T: i64 = 24;
+const PAD_B: i64 = 20;
+
+/// Maps `v ∈ [0, max]` to a y coordinate in tenths, top-padded, with the
+/// axis inverted (larger values higher on screen).
+fn y_of(v: u64, max: u64) -> i64 {
+    let span = (H - PAD_T - PAD_B) * 10;
+    let max = max.max(1);
+    (H - PAD_B) * 10 - (v as i128 * span as i128 / max as i128) as i64
+}
+
+/// Maps index `i` of `n` x positions to an x coordinate in tenths.
+fn x_of(i: usize, n: usize) -> i64 {
+    let span = (W - PAD_L - PAD_R) * 10;
+    if n <= 1 {
+        return PAD_L * 10 + span / 2;
+    }
+    PAD_L * 10 + (i as i128 * span as i128 / (n - 1) as i128) as i64
+}
+
+/// A line chart of one or more series over a shared integer x axis
+/// (history sequence numbers). The y axis runs 0..max over all series;
+/// the max and unit are printed as the only tick label, keeping the
+/// output small and byte-stable.
+pub fn line_chart(title: &str, unit: &str, xs: &[u64], series: &[Series]) -> String {
+    let n = xs.len();
+    let max = series
+        .iter()
+        .flat_map(|s| s.values.iter().copied())
+        .max()
+        .unwrap_or(0);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "<svg class=\"chart\" viewBox=\"0 0 {W} {H}\" width=\"{W}\" height=\"{H}\" \
+         xmlns=\"http://www.w3.org/2000/svg\">\n"
+    ));
+    out.push_str(&format!(
+        "  <text x=\"{PAD_L}\" y=\"15\" class=\"title\">{}</text>\n",
+        escape(title)
+    ));
+    // Frame and the 0 / max tick labels.
+    out.push_str(&format!(
+        "  <rect x=\"{PAD_L}\" y=\"{PAD_T}\" width=\"{}\" height=\"{}\" class=\"frame\"/>\n",
+        W - PAD_L - PAD_R,
+        H - PAD_T - PAD_B
+    ));
+    out.push_str(&format!(
+        "  <text x=\"{}\" y=\"{}\" class=\"tick\" text-anchor=\"end\">{max} {}</text>\n",
+        PAD_L - 4,
+        PAD_T + 5,
+        escape(unit)
+    ));
+    out.push_str(&format!(
+        "  <text x=\"{}\" y=\"{}\" class=\"tick\" text-anchor=\"end\">0</text>\n",
+        PAD_L - 4,
+        H - PAD_B
+    ));
+    for (si, s) in series.iter().enumerate() {
+        let pts: Vec<String> = s
+            .values
+            .iter()
+            .take(n)
+            .enumerate()
+            .map(|(i, &v)| format!("{},{}", fixed1(x_of(i, n)), fixed1(y_of(v, max))))
+            .collect();
+        if pts.len() == 1 {
+            // A single record: draw a dot rather than a zero-length line.
+            let (x, y) = (x_of(0, n), y_of(s.values[0], max));
+            out.push_str(&format!(
+                "  <circle cx=\"{}\" cy=\"{}\" r=\"3\" fill=\"{}\"/>\n",
+                fixed1(x),
+                fixed1(y),
+                color(si)
+            ));
+        } else {
+            out.push_str(&format!(
+                "  <polyline fill=\"none\" stroke=\"{}\" stroke-width=\"1.5\" points=\"{}\"/>\n",
+                color(si),
+                pts.join(" ")
+            ));
+        }
+        // Legend entry, stacked top-right inside the frame.
+        let ly = PAD_T + 12 + 12 * si as i64;
+        out.push_str(&format!(
+            "  <rect x=\"{}\" y=\"{}\" width=\"8\" height=\"8\" fill=\"{}\"/>\n",
+            W - PAD_R - 150,
+            ly - 7,
+            color(si)
+        ));
+        out.push_str(&format!(
+            "  <text x=\"{}\" y=\"{}\" class=\"tick\">{}</text>\n",
+            W - PAD_R - 138,
+            ly,
+            escape(&s.name)
+        ));
+    }
+    // X labels: first and last sequence number.
+    if n > 0 {
+        out.push_str(&format!(
+            "  <text x=\"{PAD_L}\" y=\"{}\" class=\"tick\">#{}</text>\n",
+            H - 6,
+            xs[0]
+        ));
+        if n > 1 {
+            out.push_str(&format!(
+                "  <text x=\"{}\" y=\"{}\" class=\"tick\" text-anchor=\"end\">#{}</text>\n",
+                W - PAD_R,
+                H - 6,
+                xs[n - 1]
+            ));
+        }
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// A 100%-stacked bar chart: one bar per x position, each divided into
+/// the named parts' shares of that bar's own total. Used for blame
+/// shares, where the interesting signal is the mix, not the magnitude.
+pub fn stacked_bars(title: &str, xs: &[u64], parts: &[Series]) -> String {
+    let n = xs.len();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "<svg class=\"chart\" viewBox=\"0 0 {W} {H}\" width=\"{W}\" height=\"{H}\" \
+         xmlns=\"http://www.w3.org/2000/svg\">\n"
+    ));
+    out.push_str(&format!(
+        "  <text x=\"{PAD_L}\" y=\"15\" class=\"title\">{}</text>\n",
+        escape(title)
+    ));
+    let span_y = (H - PAD_T - PAD_B) * 10;
+    let slot = (W - PAD_L - PAD_R) * 10 / n.max(1) as i64;
+    let bar_w = (slot * 6 / 10).max(10);
+    for (i, label) in xs.iter().enumerate() {
+        let total: u64 = parts
+            .iter()
+            .map(|p| p.values.get(i).copied().unwrap_or(0))
+            .sum();
+        let x = PAD_L * 10 + slot * i as i64 + (slot - bar_w) / 2;
+        let mut acc: i128 = 0;
+        for (pi, p) in parts.iter().enumerate() {
+            let v = p.values.get(i).copied().unwrap_or(0);
+            if v == 0 {
+                continue;
+            }
+            let t = total.max(1) as i128;
+            let y0 = acc * span_y as i128 / t;
+            acc += v as i128;
+            let y1 = acc * span_y as i128 / t;
+            out.push_str(&format!(
+                "  <rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"{}\"/>\n",
+                fixed1(x),
+                fixed1(PAD_T * 10 + y0 as i64),
+                fixed1(bar_w),
+                fixed1((y1 - y0) as i64),
+                color(pi)
+            ));
+        }
+        out.push_str(&format!(
+            "  <text x=\"{}\" y=\"{}\" class=\"tick\" text-anchor=\"middle\">#{}</text>\n",
+            fixed1(x + bar_w / 2),
+            H - 6,
+            label
+        ));
+    }
+    for (pi, p) in parts.iter().enumerate() {
+        let ly = PAD_T + 12 + 12 * pi as i64;
+        out.push_str(&format!(
+            "  <rect x=\"{}\" y=\"{}\" width=\"8\" height=\"8\" fill=\"{}\"/>\n",
+            W - PAD_R - 150,
+            ly - 7,
+            color(pi)
+        ));
+        out.push_str(&format!(
+            "  <text x=\"{}\" y=\"{}\" class=\"tick\">{}</text>\n",
+            W - PAD_R - 138,
+            ly,
+            escape(&p.name)
+        ));
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed1_renders_tenths() {
+        assert_eq!(fixed1(0), "0.0");
+        assert_eq!(fixed1(1234), "123.4");
+        assert_eq!(fixed1(-56), "-5.6");
+    }
+
+    #[test]
+    fn escape_covers_markup() {
+        assert_eq!(escape("a<b>&\"c\""), "a&lt;b&gt;&amp;&quot;c&quot;");
+    }
+
+    #[test]
+    fn charts_are_deterministic() {
+        let xs = [0, 1, 2];
+        let series = [
+            Series {
+                name: "lu".into(),
+                values: vec![10, 12, 11],
+            },
+            Series {
+                name: "xy".into(),
+                values: vec![5, 5, 9],
+            },
+        ];
+        let a = line_chart("work units", "wu", &xs, &series);
+        let b = line_chart("work units", "wu", &xs, &series);
+        assert_eq!(a, b);
+        assert!(a.contains("<polyline"));
+        assert!(a.contains("12 wu"), "max tick label present");
+        let s = stacked_bars("blame", &xs, &series);
+        assert_eq!(s, stacked_bars("blame", &xs, &series));
+        assert!(s.matches("<rect").count() >= 6);
+    }
+
+    #[test]
+    fn single_point_draws_a_dot() {
+        let series = [Series {
+            name: "lu".into(),
+            values: vec![7],
+        }];
+        let svg = line_chart("t", "u", &[0], &series);
+        assert!(svg.contains("<circle"));
+        assert!(!svg.contains("<polyline"));
+    }
+}

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Record one benchmark snapshot into the append-only bench history.
+#
+#   scripts/bench_history.sh                 # full perfstats run, then record
+#   scripts/bench_history.sh --no-measure    # record the existing snapshot
+#
+# The history lives in .bench_history.jsonl: one deterministic JSONL
+# record per snapshot, keyed by a meta block (commit, host, config
+# fingerprint). Inspect it with
+#
+#   cargo run --release -p dmc-bench --bin dmc-bench-explain -- --trend 10
+#   cargo run --release -p dmc-bench --bin dmc-bench-explain -- --explain @0 @last
+#   cargo run --release -p dmc-bench --bin dmc-bench-explain -- --html dash.html
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+snapshot="BENCH_pipeline.json"
+history=".bench_history.jsonl"
+
+if [[ "${1:-}" != "--no-measure" ]]; then
+    cargo run --release -p dmc-bench --bin perfstats -- --out "$snapshot"
+fi
+
+cargo run --release -p dmc-bench --bin dmc-bench-explain -- \
+    --record --snapshot "$snapshot" --history "$history"
+
+if [[ "$(wc -l < "$history")" -ge 2 ]]; then
+    echo
+    echo "What moved since the previous record:"
+    cargo run --release -p dmc-bench --bin dmc-bench-explain -- \
+        --explain "@$(($(wc -l < "$history") - 2))" @last --history "$history" \
+        || true # a non-empty narrative exits 1; recording it is not a failure
+fi

@@ -16,10 +16,26 @@ cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
 workload="${1:-all}"
-out=target/profile
+out="target/profile"
 
 cargo run --release -p dmc-bench --bin dmc-profile -- \
     --workload "$workload" --out-dir "$out"
+
+# Smoke: every requested workload must have left a non-empty
+# collapsed-stack file — an empty graph means the ledger charged nothing
+# and the profile is useless, however cleanly dmc-profile exited.
+if [[ "$workload" == "all" ]]; then
+    workloads=(lu stencil figure2 xy)
+else
+    workloads=("$workload")
+fi
+for w in "${workloads[@]}"; do
+    f="$out/profile_${w}.collapsed"
+    if [[ ! -s "$f" ]]; then
+        echo "flamegraph.sh: $f is missing or empty" >&2
+        exit 1
+    fi
+done
 
 echo
 echo "Collapsed stacks in $out/. Render an SVG with any folded-stack tool:"

@@ -82,6 +82,19 @@ cargo run --release -p dmc-bench --bin perfstats -- --quick --out target/BENCH_t
 cargo run --release -p dmc-bench --bin dmc-bench-diff -- \
     BENCH_pipeline.json target/BENCH_tier1.json --time-tol 1.5
 
+# Regression forensics: self-check the bench history + explainer against
+# the committed snapshot — its tilings must be internally exact (contexts
+# tile work_units, blame tiles nproc x makespan, §6 pass counts tile
+# messages, per-stage counts tile the session totals), a self-explain
+# must be empty, the history must round-trip byte-identically through
+# disk, injected drift must explain with zero residue, and the HTML
+# dashboard must render byte-identically for 1- and 4-thread recordings.
+cargo run --release -p dmc-bench --bin dmc-bench-explain -- --check
+
+# Flamegraph wrapper smoke: the stencil profile must leave a non-empty
+# collapsed-stack file (the script exits nonzero otherwise).
+scripts/flamegraph.sh stencil
+
 if [[ "${1:-}" == "--bench" ]]; then
     cargo run --release -p dmc-bench --bin perfstats
 fi
