@@ -292,6 +292,7 @@ fn check_record(threads: usize) -> Result<HistoryRecord, String> {
         workloads,
         journal: reuse.clone(),
         sweep: reuse,
+        store: None,
     })
 }
 

@@ -18,12 +18,22 @@
 //! whole point of sweeping inside a session), (3) recompiling the final
 //! input re-runs nothing, and (4) the report actually carries the Reuse
 //! section.
+//!
+//! With `--cache-dir <path>` each workload's session additionally
+//! attaches the persistent `dmc-store` backend rooted there (the same
+//! directory layout `dmc-store` and `perfstats --cache-dir` use), and
+//! the per-stage table splits hits by source: served from this
+//! process's memory vs. decoded from the on-disk store. Run it twice
+//! against one directory to watch a cold store turn warm. Store traffic
+//! is also exported per workload as the `dmc_store_*` Prometheus family
+//! (`store_<name>.prom` in the out dir).
 
 use std::path::PathBuf;
 
 use dmc_bench::{figure2_input, lu_input, stencil_input, xy_input};
 use dmc_core::{compile, CompileInput, Options, Session};
 use dmc_obs as obs;
+use dmc_store::DiskStore;
 
 struct Workload {
     name: &'static str,
@@ -61,13 +71,21 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let mut which: Option<String> = None;
     let mut out_dir = PathBuf::from("target/dmc-session");
+    let mut cache_dir: Option<PathBuf> = None;
     let mut check = false;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--workload" => which = Some(args.next().expect("--workload needs a name")),
             "--out-dir" => out_dir = PathBuf::from(args.next().expect("--out-dir needs a path")),
+            "--cache-dir" => {
+                cache_dir = Some(PathBuf::from(
+                    args.next().expect("--cache-dir needs a path"),
+                ));
+            }
             "--check" => check = true,
-            other => panic!("unknown argument: {other} (try --workload/--out-dir/--check)"),
+            other => {
+                panic!("unknown argument: {other} (try --workload/--out-dir/--cache-dir/--check)")
+            }
         }
     }
 
@@ -83,6 +101,10 @@ fn main() {
 
     for w in &selected {
         let mut session = Session::new();
+        if let Some(dir) = &cache_dir {
+            let store = DiskStore::open(dir, None).expect("open cache dir");
+            session.attach_store(Box::new(store));
+        }
         obs::start_capture();
         let swept: Vec<_> = NPROCS
             .iter()
@@ -105,22 +127,47 @@ fn main() {
         let report_path = out_dir.join(format!("session_{}.md", w.name));
         std::fs::write(&report_path, &report).expect("write session report");
 
+        // With a persistent backend attached, export its traffic as the
+        // dmc_store_* Prometheus family alongside the report.
+        if let Some(store_stats) = session.store_stats() {
+            let mut reg = obs::Registry::new();
+            dmc_core::store_metrics(&mut reg, "disk", &store_stats);
+            let doc = reg.render();
+            if check {
+                obs::validate_prometheus(&doc)
+                    .unwrap_or_else(|e| panic!("{}: invalid store metrics: {e}", w.name));
+                assert!(
+                    doc.contains("dmc_store_hits_total{"),
+                    "{}: store metrics export is missing dmc_store_hits_total",
+                    w.name
+                );
+            }
+            let prom_path = out_dir.join(format!("store_{}.prom", w.name));
+            std::fs::write(&prom_path, &doc).expect("write store metrics");
+        }
+
         let stats = session.stats().clone();
         let total = stats.stage_hits + stats.stage_misses;
         let reused_pct = 100.0 * stats.stage_hits as f64 / total.max(1) as f64;
         println!(
-            "{:<10} {} procs: {} hit(s) / {} miss(es) ({:.0}% reused), identical: {}",
+            "{:<10} {} procs: {} hit(s) ({} from disk) / {} miss(es) ({:.0}% reused), \
+             identical: {}",
             w.name,
             NPROCS.len(),
             stats.stage_hits,
+            stats.stage_disk_hits,
             stats.stage_misses,
             reused_pct,
             identical
         );
         for (stage, c) in &stats.per_stage {
             println!(
-                "  {:<10} {:>4} hit(s) {:>4} miss(es)",
-                stage, c.hits, c.misses
+                "  {:<10} {:>4} hit(s) ({:>4} memory, {:>4} disk) {:>4} miss(es)",
+                stage,
+                c.hits,
+                c.hits - c.disk_hits,
+                c.disk_hits,
+                c.misses
             );
         }
 

@@ -25,6 +25,7 @@ use dmc_polyhedra::{
     batch_feasibility, cache, ledger, lexopt, stats, Constraint, DimKind, Direction, LinExpr,
     PolyStats, Polyhedron, Space,
 };
+use dmc_store::DiskStore;
 
 const REPS: usize = 3;
 const LIMIT: usize = 50_000_000;
@@ -228,6 +229,22 @@ fn per_stage_json(stats: &dmc_core::SessionStats) -> String {
     format!("{{{}}}", rows.join(", "))
 }
 
+/// Like [`per_stage_json`], with each stage's hits split by source —
+/// the `store` section's warm-start tiling (`disk_hits` ≤ `hits`).
+fn per_stage_disk_json(stats: &dmc_core::SessionStats) -> String {
+    let rows: Vec<String> = stats
+        .per_stage
+        .iter()
+        .map(|(stage, c)| {
+            format!(
+                "\"{stage}\": {{\"hits\": {}, \"disk_hits\": {}, \"misses\": {}}}",
+                c.hits, c.disk_hits, c.misses
+            )
+        })
+        .collect();
+    format!("{{{}}}", rows.join(", "))
+}
+
 /// Charged work units of one canned engine operation, run on this thread
 /// from cold caches. Pure solver work on fixed inputs: exact-gateable.
 fn charged(f: impl FnOnce()) -> u64 {
@@ -362,10 +379,13 @@ fn mode_json(m: &Measured) -> String {
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut out_path = String::from("BENCH_pipeline.json");
+    let mut cache_dir = std::path::PathBuf::from("target/perfstats-store");
     let mut reps = REPS;
     while let Some(a) = args.next() {
         if a == "--out" {
             out_path = args.next().expect("--out needs a path");
+        } else if a == "--cache-dir" {
+            cache_dir = std::path::PathBuf::from(args.next().expect("--cache-dir needs a path"));
         } else if a == "--quick" {
             // Smoke mode (tier-1): one rep per configuration. Timings get
             // noisier but every identity check and every deterministic
@@ -619,6 +639,78 @@ fn main() {
         per_stage_json(jsession.stats()),
     );
 
+    // Persistent store: the four workloads served through a session
+    // writing through to a fresh on-disk store, then a second session
+    // with COLD memory warm-starting from that store. Every gated field
+    // is deterministic: the payload encodings are canonical (so entry
+    // and byte counts replay exactly), lookups resolve on the main
+    // thread (so hit splits replay exactly), and the warm schedules
+    // must be byte-identical to the cold ones — the store can change
+    // speed, never output.
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let mut cold = Session::new();
+    cold.attach_store(Box::new(
+        DiskStore::open(&cache_dir, None).expect("open store"),
+    ));
+    let mut cold_schedules: Vec<String> = Vec::new();
+    for w in &workloads() {
+        let out = cold
+            .serve(w.name, w.input.clone(), Options::full(), &w.params, LIMIT)
+            .expect("cold serves");
+        cold_schedules.push(format!("{:?}", out.schedule));
+    }
+    let cold_stats = cold.stats().clone();
+    let cold_store = cold.store_stats().expect("cold store attached");
+    let mut warm = Session::new();
+    warm.attach_store(Box::new(
+        DiskStore::open(&cache_dir, None).expect("reopen store"),
+    ));
+    let mut warm_schedules: Vec<String> = Vec::new();
+    for w in &workloads() {
+        let out = warm
+            .serve(w.name, w.input.clone(), Options::full(), &w.params, LIMIT)
+            .expect("warm serves");
+        warm_schedules.push(format!("{:?}", out.schedule));
+    }
+    let warm_stats = warm.stats().clone();
+    let warm_store = warm.store_stats().expect("warm store attached");
+    let store_identical = warm_schedules == cold_schedules;
+    all_identical &= store_identical;
+    println!(
+        "store: cold {} entr(ies) / {} byte(s); warm {} disk hit(s), {} miss(es), \
+         byte-identical schedules: {store_identical}",
+        cold_store.entries, cold_store.bytes, warm_stats.stage_disk_hits, warm_stats.stage_misses
+    );
+    assert!(
+        2 * warm_stats.stage_disk_hits >= warm_stats.stage_hits + warm_stats.stage_misses,
+        "warm start must serve at least half of its stage lookups from disk \
+         ({} of {})",
+        warm_stats.stage_disk_hits,
+        warm_stats.stage_hits + warm_stats.stage_misses
+    );
+    let store_json = format!(
+        concat!(
+            "{{\"cold\": {{\"stage_hits\": {}, \"stage_misses\": {}, ",
+            "\"entries\": {}, \"bytes\": {}, \"bytes_written\": {}}},\n",
+            "   \"warm\": {{\"stage_hits\": {}, \"stage_disk_hits\": {}, ",
+            "\"stage_misses\": {}, \"bytes_read\": {}, \"per_stage\": {}}},\n",
+            "   \"evictions\": {}, \"corrupt\": {}, \"identical\": {}}}"
+        ),
+        cold_stats.stage_hits,
+        cold_stats.stage_misses,
+        cold_store.entries,
+        cold_store.bytes,
+        cold_store.bytes_written,
+        warm_stats.stage_hits,
+        warm_stats.stage_disk_hits,
+        warm_stats.stage_misses,
+        warm_store.bytes_read,
+        per_stage_disk_json(&warm_stats),
+        warm_store.evictions,
+        warm_store.corrupt,
+        store_identical,
+    );
+
     // The meta block: where and how this snapshot was taken. Diagnostic
     // identity, not gated content — `dmc-bench-diff` ignores it, while
     // `dmc-bench-explain --record` keys the history on it. The schema
@@ -647,6 +739,7 @@ fn main() {
             "\"parallel_ms\": {}, \"comparison\": \"{}\", \"identical\": {}}},\n",
             "  \"sweep\": {},\n",
             "  \"journal\": {},\n",
+            "  \"store\": {},\n",
             "  \"polyops\": {},\n",
             "  \"all_identical\": {}\n",
             "}}\n"
@@ -662,6 +755,7 @@ fn main() {
         threads_identical,
         sweep_json,
         journal_json,
+        store_json,
         polyops_json(),
         all_identical,
     );

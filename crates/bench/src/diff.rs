@@ -57,6 +57,16 @@
 //!   flag pin the cached artifacts to the one-shot pipeline's outputs,
 //!   and its `work_units` (the charged work of the whole session sweep)
 //!   is exact like the per-workload totals.
+//! - **Persistent-store traffic is exact.** The `store` section replays
+//!   the workload set against an on-disk artifact cache twice — a cold
+//!   pass that populates it and a warm pass in a fresh session that must
+//!   serve from it — and every counter (cold/warm stage hits and misses,
+//!   disk hits, entries, bytes written/read, evictions, corruption count)
+//!   is deterministic, so the gate holds them exact in both directions.
+//!   New snapshots must additionally keep the `identical` flag `true`
+//!   (warm schedules byte-identical to cold), report zero corrupt loads,
+//!   and serve at least half of warm stage lookups from disk. The section
+//!   may appear over a pre-store snapshot but never vanish.
 //! - The reported worker count must never exceed the host's available
 //!   parallelism (new snapshots only — that is an internal consistency
 //!   bug, not a comparison).
@@ -400,6 +410,86 @@ pub fn diff_snapshots(
             findings.push("polyops: section missing from new snapshot".to_owned());
         }
     }
+    // Persistent artifact store: cold/warm traffic against the on-disk
+    // cache is deterministic, so every counter gates exactly in both
+    // directions. Absent from both only when diffing two pre-store
+    // documents.
+    match (old.get("store"), new.get("store")) {
+        (Some(os), Some(ns)) => {
+            let subsections: [(&str, &[&str]); 2] = [
+                (
+                    "cold",
+                    &[
+                        "stage_hits",
+                        "stage_misses",
+                        "entries",
+                        "bytes",
+                        "bytes_written",
+                    ],
+                ),
+                (
+                    "warm",
+                    &[
+                        "stage_hits",
+                        "stage_disk_hits",
+                        "stage_misses",
+                        "bytes_read",
+                    ],
+                ),
+            ];
+            for (sub, fields) in subsections {
+                let (o_sub, n_sub) = (os.get(sub), ns.get(sub));
+                for field in fields {
+                    let o = o_sub.and_then(|v| num(v, field));
+                    let n = n_sub.and_then(|v| num(v, field));
+                    if o != n {
+                        findings.push(format!(
+                            "store: {sub}.{field} changed {o:?} -> {n:?} \
+                             (store traffic is deterministic; must match exactly)"
+                        ));
+                    }
+                }
+            }
+            for field in ["evictions", "corrupt"] {
+                let (o, n) = (num(os, field), num(ns, field));
+                if o != n {
+                    findings.push(format!(
+                        "store: {field} changed {o:?} -> {n:?} \
+                         (store traffic is deterministic; must match exactly)"
+                    ));
+                }
+            }
+        }
+        (None, None) | (None, Some(_)) => {}
+        (Some(_), None) => {
+            findings.push("store: section missing from new snapshot".to_owned());
+        }
+    }
+    if let Some(ns) = new.get("store") {
+        if !is_true(ns, "identical") {
+            findings.push(
+                "store: warm-start schedules no longer byte-identical to the cold pass".to_owned(),
+            );
+        }
+        if num(ns, "corrupt") != Some(0.0) {
+            findings.push("store: corrupt loads counted during a clean cold/warm pass".to_owned());
+        }
+        if let Some(w) = ns.get("warm") {
+            if let (Some(d), Some(h), Some(m)) = (
+                num(w, "stage_disk_hits"),
+                num(w, "stage_hits"),
+                num(w, "stage_misses"),
+            ) {
+                if 2.0 * d < h + m {
+                    findings.push(format!(
+                        "store: warm start served only {d} of {} stage lookups \
+                         from disk (need at least half)",
+                        h + m
+                    ));
+                }
+            }
+        }
+    }
     if let Some(threads) = new.get("threads") {
         if !is_true(threads, "identical") {
             findings.push("threads: fan-out no longer reproduces sequential outputs".to_owned());
@@ -578,6 +668,12 @@ mod tests {
                   "replay_identical": true},
       "polyops": {"feasibility": 2, "projection": 3, "redundancy": 20,
                   "lexmax": 23, "batch_family": 4, "batch_saved": 4},
+      "store": {
+        "cold": {"stage_hits": 0, "stage_misses": 45, "entries": 45,
+                 "bytes": 2000000, "bytes_written": 2000000},
+        "warm": {"stage_hits": 41, "stage_disk_hits": 41, "stage_misses": 0,
+                 "bytes_read": 345000},
+        "evictions": 0, "corrupt": 0, "identical": true},
       "all_identical": true
     }"#;
 
@@ -758,6 +854,82 @@ mod tests {
         let d = diff_snapshots(SNAP, &pre, &Tolerances::default()).unwrap();
         assert!(
             d.iter().any(|f| f.contains("polyops: section missing")),
+            "{d:?}"
+        );
+        let d = diff_snapshots(&pre, &pre, &Tolerances::default()).unwrap();
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    /// Persistent-store traffic is deterministic, so every counter gates
+    /// exactly in both directions; the section may appear over a
+    /// pre-store snapshot but never vanish, and a new snapshot must keep
+    /// warm starts byte-identical, corruption-free and mostly on-disk.
+    #[test]
+    fn store_section_is_gated_exactly_with_backward_compat() {
+        for (from, to, what) in [
+            ("\"entries\": 45", "\"entries\": 44", "cold.entries"),
+            (
+                "\"bytes_written\": 2000000",
+                "\"bytes_written\": 2000001",
+                "cold.bytes_written",
+            ),
+            (
+                "\"stage_disk_hits\": 41",
+                "\"stage_disk_hits\": 40",
+                "warm.stage_disk_hits",
+            ),
+            (
+                "\"bytes_read\": 345000",
+                "\"bytes_read\": 344999",
+                "warm.bytes_read",
+            ),
+            ("\"evictions\": 0", "\"evictions\": 1", "evictions"),
+        ] {
+            let changed = SNAP.replace(from, to);
+            let d = diff_snapshots(SNAP, &changed, &Tolerances::default()).unwrap();
+            assert!(
+                d.iter().any(|f| f.contains("store:") && f.contains(what)),
+                "{what}: {d:?}"
+            );
+        }
+
+        // Warm recomputation shows up twice: the exact gate and the
+        // at-least-half-from-disk invariant.
+        let recomputed = SNAP.replace(
+            "\"stage_disk_hits\": 41, \"stage_misses\": 0",
+            "\"stage_disk_hits\": 10, \"stage_misses\": 31",
+        );
+        let d = diff_snapshots(SNAP, &recomputed, &Tolerances::default()).unwrap();
+        assert!(
+            d.iter()
+                .any(|f| f.contains("from disk (need at least half)")),
+            "{d:?}"
+        );
+
+        // A corrupt load during a clean pass is a new-snapshot finding
+        // on top of the exact counter gate.
+        let corrupt = SNAP.replace("\"corrupt\": 0", "\"corrupt\": 2");
+        let d = diff_snapshots(SNAP, &corrupt, &Tolerances::default()).unwrap();
+        assert!(d.iter().any(|f| f.contains("corrupt loads")), "{d:?}");
+
+        // Warm-start divergence flips the identical flag.
+        let diverged = SNAP.replace(
+            "\"evictions\": 0, \"corrupt\": 0, \"identical\": true",
+            "\"evictions\": 0, \"corrupt\": 0, \"identical\": false",
+        );
+        let d = diff_snapshots(SNAP, &diverged, &Tolerances::default()).unwrap();
+        assert!(
+            d.iter().any(|f| f.contains("no longer byte-identical")),
+            "{d:?}"
+        );
+
+        // Backward compat: appearing is clean, vanishing is a finding.
+        let pre = SNAP.replace("\"store\":", "\"store_old\":");
+        let d = diff_snapshots(&pre, SNAP, &Tolerances::default()).unwrap();
+        assert!(d.is_empty(), "section addition must pass: {d:?}");
+        let d = diff_snapshots(SNAP, &pre, &Tolerances::default()).unwrap();
+        assert!(
+            d.iter().any(|f| f.contains("store: section missing")),
             "{d:?}"
         );
         let d = diff_snapshots(&pre, &pre, &Tolerances::default()).unwrap();

@@ -363,6 +363,7 @@ mod tests {
                 work_units: 60,
                 per_stage: vec![("parse".to_owned(), 0, 4)],
             },
+            store: None,
         }
     }
 

@@ -8,7 +8,10 @@
 //! metrics — per-workload message statistics, charged work units with
 //! their per-context tiling, the critical-path makespan with its
 //! six-category blame tiling, per-§6-pass-chain message counts, and the
-//! sweep/journal session-cache behaviour with per-stage tilings.
+//! sweep/journal session-cache behaviour with per-stage tilings, and
+//! (for snapshots that carry it) the persistent store's cold/warm
+//! traffic. Optional sections are omitted from the rendered line rather
+//! than zero-filled, so pre-section history files round-trip unchanged.
 //!
 //! Like the compile journal (`dmc_obs::journal`), the format is one JSON
 //! object per line with a **fixed key order**, so a history can be
@@ -100,6 +103,30 @@ pub struct ReuseSummary {
     pub per_stage: Vec<(String, u64, u64)>,
 }
 
+/// The persistent artifact store's cold/warm traffic (the snapshot's
+/// `store` section). All counters are deterministic.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StoreSummary {
+    /// Stage misses of the cold populating pass (everything computed).
+    pub cold_misses: u64,
+    /// Artifacts resident after the cold pass.
+    pub entries: u64,
+    /// Payload bytes resident after the cold pass.
+    pub bytes: u64,
+    /// Stage hits of the warm pass (fresh session, populated store).
+    pub warm_hits: u64,
+    /// Warm hits served by the disk layer (the rest came from memory).
+    pub warm_disk_hits: u64,
+    /// Stage misses of the warm pass (should be 0).
+    pub warm_misses: u64,
+    /// Evictions across both passes (0 unless a byte bound is set).
+    pub evictions: u64,
+    /// Corrupt loads across both passes (should be 0).
+    pub corrupt: u64,
+    /// Whether warm schedules were byte-identical to the cold pass.
+    pub identical: bool,
+}
+
 /// One recorded snapshot, as one history line.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct HistoryRecord {
@@ -113,6 +140,11 @@ pub struct HistoryRecord {
     pub sweep: ReuseSummary,
     /// The compile-journal session.
     pub journal: ReuseSummary,
+    /// The persistent-store cold/warm passes. `None` when the source
+    /// snapshot predates the section; the key is then omitted from the
+    /// rendered line entirely, so pre-store history files round-trip
+    /// byte-identically.
+    pub store: Option<StoreSummary>,
 }
 
 fn pairs_json(pairs: &[(String, u64)]) -> String {
@@ -189,11 +221,32 @@ impl HistoryRecord {
         }
         write!(
             out,
-            "],\"sweep\":{},\"journal\":{}}}",
+            "],\"sweep\":{},\"journal\":{}",
             reuse_json(&self.sweep),
             reuse_json(&self.journal)
         )
         .expect("write");
+        if let Some(s) = &self.store {
+            write!(
+                out,
+                concat!(
+                    ",\"store\":{{\"cold_misses\":{},\"entries\":{},\"bytes\":{},",
+                    "\"warm_hits\":{},\"warm_disk_hits\":{},\"warm_misses\":{},",
+                    "\"evictions\":{},\"corrupt\":{},\"identical\":{}}}"
+                ),
+                s.cold_misses,
+                s.entries,
+                s.bytes,
+                s.warm_hits,
+                s.warm_disk_hits,
+                s.warm_misses,
+                s.evictions,
+                s.corrupt,
+                s.identical,
+            )
+            .expect("write");
+        }
+        out.push('}');
         out
     }
 
@@ -235,6 +288,20 @@ impl HistoryRecord {
             workloads,
             sweep: parse_reuse(v.get("sweep").ok_or("missing field `sweep`")?)?,
             journal: parse_reuse(v.get("journal").ok_or("missing field `journal`")?)?,
+            store: match v.get("store") {
+                Some(s) => Some(StoreSummary {
+                    cold_misses: req_u64(s, "cold_misses")?,
+                    entries: req_u64(s, "entries")?,
+                    bytes: req_u64(s, "bytes")?,
+                    warm_hits: req_u64(s, "warm_hits")?,
+                    warm_disk_hits: req_u64(s, "warm_disk_hits")?,
+                    warm_misses: req_u64(s, "warm_misses")?,
+                    evictions: req_u64(s, "evictions")?,
+                    corrupt: req_u64(s, "corrupt")?,
+                    identical: matches!(s.get("identical"), Some(Json::Bool(true))),
+                }),
+                None => None,
+            },
         })
     }
 
@@ -314,12 +381,34 @@ impl HistoryRecord {
                 per_stage: s.get("per_stage").map(opt_stages).unwrap_or_default(),
             })
         };
+        let store = match v.get("store") {
+            None => None,
+            Some(s) => {
+                let cold = s.get("cold").ok_or("snapshot store: no cold section")?;
+                let warm = s.get("warm").ok_or("snapshot store: no warm section")?;
+                let sub = |v: &Json, key: &str| -> Result<u64, String> {
+                    req_u64(v, key).map_err(|e| format!("snapshot store: {e}"))
+                };
+                Some(StoreSummary {
+                    cold_misses: sub(cold, "stage_misses")?,
+                    entries: sub(cold, "entries")?,
+                    bytes: sub(cold, "bytes")?,
+                    warm_hits: sub(warm, "stage_hits")?,
+                    warm_disk_hits: sub(warm, "stage_disk_hits")?,
+                    warm_misses: sub(warm, "stage_misses")?,
+                    evictions: sub(s, "evictions")?,
+                    corrupt: sub(s, "corrupt")?,
+                    identical: matches!(s.get("identical"), Some(Json::Bool(true))),
+                })
+            }
+        };
         Ok(HistoryRecord {
             seq: 0,
             meta,
             workloads,
             sweep: reuse("sweep")?,
             journal: reuse("journal")?,
+            store,
         })
     }
 
@@ -411,6 +500,26 @@ impl HistoryRecord {
         };
         reuse(&mut out, "sweep", &self.sweep, &other.sweep);
         reuse(&mut out, "journal", &self.journal, &other.journal);
+        let render_store = |s: &Option<StoreSummary>| match s {
+            None => "(absent)".to_owned(),
+            Some(s) => format!(
+                "cold_misses={} entries={} bytes={} warm={}/{}/{} \
+                 evictions={} corrupt={} identical={}",
+                s.cold_misses,
+                s.entries,
+                s.bytes,
+                s.warm_hits,
+                s.warm_disk_hits,
+                s.warm_misses,
+                s.evictions,
+                s.corrupt,
+                s.identical
+            ),
+        };
+        let (ra, rb) = (render_store(&self.store), render_store(&other.store));
+        if ra != rb {
+            out.push(format!("store: {ra} != {rb}"));
+        }
         out
     }
 }
@@ -594,6 +703,17 @@ mod tests {
                 work_units: 6023,
                 per_stage: vec![("parse".to_owned(), 0, 45)],
             },
+            store: Some(StoreSummary {
+                cold_misses: 45,
+                entries: 45,
+                bytes: 2_074_575,
+                warm_hits: 41,
+                warm_disk_hits: 41,
+                warm_misses: 0,
+                evictions: 0,
+                corrupt: 0,
+                identical: true,
+            }),
         }
     }
 
@@ -608,6 +728,26 @@ mod tests {
         let text = render_history(&[sample(0), sample(1)]);
         let parsed = parse_history(&text).unwrap();
         assert_eq!(render_history(&parsed), text);
+        // A pre-store record omits the key entirely and still
+        // round-trips byte-identically.
+        let mut pre = sample(0);
+        pre.store = None;
+        let line = pre.to_jsonl();
+        assert!(!line.contains("\"store\""));
+        assert_eq!(HistoryRecord::from_json_line(&line).unwrap(), pre);
+    }
+
+    #[test]
+    fn store_section_participates_in_deterministic_diffs() {
+        let a = sample(0);
+        let mut b = sample(0);
+        b.store.as_mut().unwrap().warm_disk_hits -= 1;
+        let d = a.field_diffs(&b);
+        assert!(d.iter().any(|f| f.starts_with("store:")), "{d:?}");
+        let mut c = sample(0);
+        c.store = None;
+        let d = a.field_diffs(&c);
+        assert!(d.iter().any(|f| f.contains("(absent)")), "{d:?}");
     }
 
     #[test]
@@ -673,7 +813,27 @@ mod tests {
         assert_eq!(rec.workloads[0].blame.len(), 6);
         assert!(rec.workloads[0].comm_passes.is_empty());
         assert!(rec.sweep.per_stage.is_empty());
+        assert!(rec.store.is_none());
         // The record round-trips through its own line format.
+        let back = HistoryRecord::from_json_line(&rec.to_jsonl()).unwrap();
+        assert_eq!(back, rec);
+
+        // A snapshot with the persistent-store section records it.
+        let with_store = old.replace(
+            "\"all_identical\": true",
+            "\"store\": {\
+               \"cold\": {\"stage_hits\": 0, \"stage_misses\": 45, \"entries\": 45,\
+                          \"bytes\": 2074575, \"bytes_written\": 2074575},\
+               \"warm\": {\"stage_hits\": 41, \"stage_disk_hits\": 41,\
+                          \"stage_misses\": 0, \"bytes_read\": 345819},\
+               \"evictions\": 0, \"corrupt\": 0, \"identical\": true},\
+             \"all_identical\": true",
+        );
+        let rec = HistoryRecord::from_snapshot(&with_store).unwrap();
+        let s = rec.store.as_ref().unwrap();
+        assert_eq!((s.cold_misses, s.entries, s.bytes), (45, 45, 2_074_575));
+        assert_eq!((s.warm_hits, s.warm_disk_hits, s.warm_misses), (41, 41, 0));
+        assert!(s.identical);
         let back = HistoryRecord::from_json_line(&rec.to_jsonl()).unwrap();
         assert_eq!(back, rec);
 

@@ -223,6 +223,7 @@ mod tests {
                 work_units: 6023,
                 per_stage: vec![],
             },
+            store: None,
         }
     }
 

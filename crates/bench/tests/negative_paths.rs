@@ -256,3 +256,35 @@ fn bench_diff_fails_cleanly() {
         "identical snapshots must pass with exit 0: {out:?}"
     );
 }
+
+/// `dmc-store` follows the shared exit-code convention: **2** for usage
+/// errors (no mode, malformed flags), **1** when the store itself cannot
+/// be opened or a `--check` invariant fails.
+#[test]
+fn store_usage_errors_exit_2() {
+    let bin = env!("CARGO_BIN_EXE_dmc-store");
+    // No --cache-dir and no --check: nothing to do.
+    let out = run(bin, &[]);
+    assert_code(&out, 2, "usage: dmc-store", "store without a mode");
+    // Unknown flag.
+    let out = run(bin, &["--bogus"]);
+    assert_code(&out, 2, "usage: dmc-store", "store with unknown flag");
+    // Malformed byte bound.
+    let out = run(bin, &["--cache-dir", "x", "--max-bytes", "lots"]);
+    assert_code(&out, 2, "usage: dmc-store", "store with bad --max-bytes");
+}
+
+/// `dmc-store` with an unopenable cache directory: exit **1**, stderr
+/// names the path.
+#[test]
+fn store_unopenable_dir_exits_1() {
+    let dir = tmpdir();
+    // A regular file where the store root should be.
+    let clash = dir.join("store-root-clash");
+    std::fs::write(&clash, b"not a directory").expect("write clash file");
+    let out = run(
+        env!("CARGO_BIN_EXE_dmc-store"),
+        &["--cache-dir", clash.to_str().unwrap()],
+    );
+    assert_code(&out, 1, "cannot open store", "store rooted at a file");
+}

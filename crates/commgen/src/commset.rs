@@ -15,7 +15,7 @@ use dmc_polyhedra::{Constraint, DimKind, LinExpr, PolyError, Polyhedron, Space};
 /// Dimension groups of a communication-set polyhedron, as positions into
 /// its space. Order in the space is always
 /// `[r_iter…, pr…, s_iter…, ps…, arr…, params…, aux…]`.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct CommDims {
     /// Read (consumer) iteration dimensions, outermost first.
     pub r_iter: Vec<usize>,
@@ -46,7 +46,7 @@ pub enum SenderKind {
 }
 
 /// One convex communication set.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CommSet {
     /// The tuples, as a polyhedron.
     pub poly: Polyhedron,

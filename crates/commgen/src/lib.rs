@@ -20,6 +20,8 @@
 
 #![warn(missing_docs)]
 
+pub mod codec;
+
 mod commset;
 mod opt;
 

@@ -52,6 +52,7 @@ mod options;
 mod passes;
 mod pipeline;
 pub mod session;
+pub mod store;
 
 #[cfg(test)]
 mod tests;
@@ -62,3 +63,7 @@ pub use pipeline::{
     CompileInput, Compiled,
 };
 pub use session::{options_fingerprint, ServeOutcome, Session, SessionStats, StageCount};
+pub use store::{
+    store_metrics, Artifact, ArtifactStore, MemStore, StageId, StoreSource, StoreStats,
+    CODEC_VERSION,
+};

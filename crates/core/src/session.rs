@@ -62,7 +62,7 @@
 //! `session` root frame only for explicitly-opened sessions, keeping the
 //! wrapper's collapsed-stack profiles unchanged.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -77,6 +77,7 @@ use dmc_polyhedra::ledger;
 use crate::options::{Options, Strategy};
 use crate::passes::{optimize_sets, strategy_tag, OPT_PASSES};
 use crate::pipeline::{whole_domain_tree, CompileError, CompileInput, Compiled};
+use crate::store::{Artifact, ArtifactStore, MemStore, StageId, StoreSource, StoreStats};
 
 /// Stage names as they appear in [`SessionStats`] and `stage.*` events.
 pub mod stage {
@@ -99,8 +100,11 @@ pub mod stage {
 /// Hit/miss counts for one stage kind.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StageCount {
-    /// Artifact served from the session store.
+    /// Artifact served from the session store (memory or disk).
     pub hits: u64,
+    /// Of those hits, how many were served by the persistent backend
+    /// (always ≤ `hits`; zero for memory-only sessions).
+    pub disk_hits: u64,
     /// Artifact recomputed.
     pub misses: u64,
 }
@@ -110,6 +114,8 @@ pub struct StageCount {
 pub struct SessionStats {
     /// Total stage lookups served from the store.
     pub stage_hits: u64,
+    /// Of those, lookups served by the persistent backend (disk layer).
+    pub stage_disk_hits: u64,
     /// Total stage lookups that had to recompute.
     pub stage_misses: u64,
     /// Per-stage breakdown, keyed by the [`stage`] names.
@@ -117,12 +123,21 @@ pub struct SessionStats {
 }
 
 impl SessionStats {
-    fn hit(&mut self, stage: &'static str, key: Fingerprint) {
+    fn hit(&mut self, stage: &'static str, key: Fingerprint, src: StoreSource) {
         self.stage_hits += 1;
-        self.per_stage.entry(stage).or_default().hits += 1;
+        let count = self.per_stage.entry(stage).or_default();
+        count.hits += 1;
+        let event = match src {
+            StoreSource::Memory => "stage.hit",
+            StoreSource::Disk => {
+                self.stage_disk_hits += 1;
+                count.disk_hits += 1;
+                "stage.disk_hit"
+            }
+        };
         if obs::enabled() {
             obs::event_nondet(
-                "stage.hit",
+                event,
                 vec![
                     obs::field("stage", stage),
                     obs::field("key", key.to_string()),
@@ -150,19 +165,19 @@ impl SessionStats {
 /// the stage-graph driver. See the [module docs](self) for the stage
 /// DAG and fingerprint policy.
 ///
-/// Artifacts are kept for the session's lifetime (no eviction) and
-/// shared out as [`Arc`] clones; all store access happens on the calling
-/// thread, so a `Session` is cheap and lock-free. For one-shot use,
-/// [`crate::compile`] opens a throwaway session internally.
+/// Artifacts live behind the [`ArtifactStore`] abstraction. The default
+/// backend is the in-memory [`MemStore`] (kept for the session's
+/// lifetime, no eviction, [`Arc`]-shared loads); attaching a persistent
+/// backend with [`Session::attach_store`] layers it *under* memory —
+/// lookups try memory first, disk hits are promoted into memory, and
+/// every new artifact is written through to both layers. All store
+/// access happens on the calling thread, so a `Session` is cheap and
+/// lock-free. For one-shot use, [`crate::compile`] opens a throwaway
+/// session internally.
 #[derive(Debug, Default)]
 pub struct Session {
-    parsed: HashMap<Fingerprint, Arc<Program>>,
-    stmt_info: HashMap<Fingerprint, Arc<Vec<StmtInfo>>>,
-    lwt: HashMap<Fingerprint, Arc<LastWriteTree>>,
-    comm: HashMap<Fingerprint, Arc<Vec<CommSet>>>,
-    opt: HashMap<Fingerprint, Arc<Vec<CommSet>>>,
-    aggregate: HashMap<Fingerprint, Arc<Vec<Vec<Message>>>>,
-    schedule: HashMap<Fingerprint, Arc<Schedule>>,
+    mem: MemStore,
+    disk: Option<Box<dyn ArtifactStore>>,
     stats: SessionStats,
     /// Explicitly-opened sessions push a `session` ledger root frame so
     /// profiles attribute work to the session; the [`crate::compile`]
@@ -226,6 +241,73 @@ impl Session {
     /// Cumulative stage cache statistics.
     pub fn stats(&self) -> &SessionStats {
         &self.stats
+    }
+
+    /// Attaches a persistent backend under the in-memory layer. Lookups
+    /// try memory first; a disk hit is decoded once and promoted into
+    /// memory, and every artifact this session computes is written
+    /// through to the backend, so a later process warm-starts from it.
+    pub fn attach_store(&mut self, store: Box<dyn ArtifactStore>) {
+        self.disk = Some(store);
+    }
+
+    /// The attached persistent backend's counters, if one is attached.
+    pub fn store_stats(&self) -> Option<StoreStats> {
+        self.disk.as_ref().map(|d| d.stats())
+    }
+
+    /// Layered lookup: memory, then the attached backend (promoting its
+    /// hit into memory). Returns the artifact and which layer served it.
+    fn lookup(&mut self, stage: StageId, key: Fingerprint) -> Option<(Artifact, StoreSource)> {
+        if let Some(a) = self.mem.load(stage, key) {
+            return Some((a, StoreSource::Memory));
+        }
+        if let Some(disk) = &mut self.disk {
+            if let Some(a) = disk.load(stage, key) {
+                self.mem.store(stage, key, &a);
+                return Some((a, StoreSource::Disk));
+            }
+        }
+        None
+    }
+
+    /// Layered existence probe, without loading or promoting.
+    fn probe(&mut self, stage: StageId, key: Fingerprint) -> Option<StoreSource> {
+        if self.mem.contains(stage, key) {
+            return Some(StoreSource::Memory);
+        }
+        match &mut self.disk {
+            Some(disk) => disk.contains(stage, key).then_some(StoreSource::Disk),
+            None => None,
+        }
+    }
+
+    /// Write-through admission: the artifact lands in memory and, when a
+    /// backend is attached, on disk.
+    fn admit(&mut self, stage: StageId, key: Fingerprint, artifact: Artifact) {
+        if let Some(disk) = &mut self.disk {
+            disk.store(stage, key, &artifact);
+        }
+        self.mem.store(stage, key, &artifact);
+    }
+
+    fn lookup_lwt(&mut self, key: Fingerprint) -> Option<(Arc<LastWriteTree>, StoreSource)> {
+        match self.lookup(StageId::Lwt, key)? {
+            (Artifact::Lwt(a), src) => Some((a, src)),
+            _ => None,
+        }
+    }
+
+    /// Typed lookup for the two set-valued stages (`commsets` / `opt`).
+    fn lookup_sets(
+        &mut self,
+        stage: StageId,
+        key: Fingerprint,
+    ) -> Option<(Arc<Vec<CommSet>>, StoreSource)> {
+        match self.lookup(stage, key)? {
+            (Artifact::CommSets(a), src) => Some((a, src)),
+            _ => None,
+        }
     }
 
     /// The session's own observability context, if it was opened with
@@ -364,13 +446,13 @@ impl Session {
         h.tag(50);
         h.str(source);
         let key = h.finish();
-        if let Some(p) = self.parsed.get(&key) {
-            self.stats.hit(stage::PARSE, key);
-            return Ok((**p).clone());
+        if let Some((Artifact::Program(p), src)) = self.lookup(StageId::Parse, key) {
+            self.stats.hit(stage::PARSE, key, src);
+            return Ok((*p).clone());
         }
         self.stats.miss(stage::PARSE, key);
         let p = dmc_ir::parse(source)?;
-        self.parsed.insert(key, Arc::new(p.clone()));
+        self.admit(StageId::Parse, key, Artifact::Program(Arc::new(p.clone())));
         Ok(p)
     }
 
@@ -408,15 +490,15 @@ impl Session {
 
         // Stage: stmt-info (per-statement contexts for the whole program).
         let si_key = stmt_info_fp(&input.program);
-        let stmts: Arc<Vec<StmtInfo>> = match self.stmt_info.get(&si_key) {
-            Some(a) => {
-                self.stats.hit(stage::STMT_INFO, si_key);
-                a.clone()
+        let stmts: Arc<Vec<StmtInfo>> = match self.lookup(StageId::StmtInfo, si_key) {
+            Some((Artifact::StmtInfo(a), src)) => {
+                self.stats.hit(stage::STMT_INFO, si_key, src);
+                a
             }
-            None => {
+            _ => {
                 self.stats.miss(stage::STMT_INFO, si_key);
                 let a = Arc::new(input.program.statements());
-                self.stmt_info.insert(si_key, a.clone());
+                self.admit(StageId::StmtInfo, si_key, Artifact::StmtInfo(a.clone()));
                 a
             }
         };
@@ -441,42 +523,64 @@ impl Session {
             let lwt_key = lwt_fp(&input, &options, &stmts, si, r);
             let comm_key = commsets_fp(lwt_key, &input, &array);
             let opt_key = opt_fp(comm_key, &input, &options);
-            if let Some(opt) = self.opt.get(&opt_key) {
-                // The store never evicts, so a cached opt artifact
-                // implies its whole upstream chain is cached too.
-                let lwt = self
-                    .lwt
-                    .get(&lwt_key)
-                    .expect("opt artifact implies lwt")
-                    .clone();
-                self.stats.hit(stage::LWT, lwt_key);
-                self.stats.hit(stage::COMMSETS, comm_key);
-                self.stats.hit(stage::OPT, opt_key);
+            let cached_opt = self.lookup_sets(StageId::Opt, opt_key);
+            let cached_lwt = self.lookup_lwt(lwt_key);
+            if let (Some((opt, opt_src)), Some((lwt, lwt_src))) = (&cached_opt, &cached_lwt) {
+                // The whole chain is served: nothing to run. The memory
+                // layer never evicts, so in a memory-only session a
+                // cached opt artifact always lands here; with a bounded
+                // disk backend the lwt may be gone, in which case the
+                // job runs below with the cached opt short-circuiting
+                // everything after the lwt rebuild.
+                self.stats.hit(stage::LWT, lwt_key, *lwt_src);
+                // The intermediate commsets artifact is not needed (the
+                // opt output supersedes it); count it as a hit only if a
+                // layer still holds it — never as a miss, since nothing
+                // recomputes it.
+                if let Some(src) = self.probe(StageId::CommSets, comm_key) {
+                    self.stats.hit(stage::COMMSETS, comm_key, src);
+                }
+                self.stats.hit(stage::OPT, opt_key, *opt_src);
                 slots.push(JobSlot::Cached {
-                    lwt,
+                    lwt: lwt.clone(),
                     opt: opt.clone(),
                 });
                 continue;
             }
-            let cached_lwt = self.lwt.get(&lwt_key).cloned();
-            let cached_comm = self.comm.get(&comm_key).cloned();
+            // The commsets input is only needed when the opt output is
+            // not already cached.
+            let cached_comm = match cached_opt {
+                Some(_) => None,
+                None => self.lookup_sets(StageId::CommSets, comm_key),
+            };
             match &cached_lwt {
-                Some(_) => self.stats.hit(stage::LWT, lwt_key),
+                Some((_, src)) => self.stats.hit(stage::LWT, lwt_key, *src),
                 None => self.stats.miss(stage::LWT, lwt_key),
             }
-            match &cached_comm {
-                Some(_) => self.stats.hit(stage::COMMSETS, comm_key),
-                None => self.stats.miss(stage::COMMSETS, comm_key),
+            match (&cached_opt, &cached_comm) {
+                // Opt cached: commsets is neither served nor recomputed;
+                // count a hit only if still resident (as above).
+                (Some(_), _) => {
+                    if let Some(src) = self.probe(StageId::CommSets, comm_key) {
+                        self.stats.hit(stage::COMMSETS, comm_key, src);
+                    }
+                }
+                (None, Some((_, src))) => self.stats.hit(stage::COMMSETS, comm_key, *src),
+                (None, None) => self.stats.miss(stage::COMMSETS, comm_key),
             }
-            self.stats.miss(stage::OPT, opt_key);
+            match &cached_opt {
+                Some((_, src)) => self.stats.hit(stage::OPT, opt_key, *src),
+                None => self.stats.miss(stage::OPT, opt_key),
+            }
             slots.push(JobSlot::Run(JobPlan {
                 si,
                 r,
                 lwt_key,
                 comm_key,
                 opt_key,
-                cached_lwt,
-                cached_comm,
+                cached_lwt: cached_lwt.map(|(a, _)| a),
+                cached_comm: cached_comm.map(|(a, _)| a),
+                cached_opt: cached_opt.map(|(a, _)| a),
             }));
         }
 
@@ -561,16 +665,30 @@ impl Session {
                     let lwt_arc = match out.new_lwt {
                         Some(l) => {
                             let a = Arc::new(l);
-                            self.lwt.insert(plan.lwt_key, a.clone());
+                            self.admit(StageId::Lwt, plan.lwt_key, Artifact::Lwt(a.clone()));
                             a
                         }
                         None => plan.cached_lwt.clone().expect("lwt cached or computed"),
                     };
                     if let Some(sets) = out.new_comm {
-                        self.comm.insert(plan.comm_key, Arc::new(sets));
+                        self.admit(
+                            StageId::CommSets,
+                            plan.comm_key,
+                            Artifact::CommSets(Arc::new(sets)),
+                        );
                     }
-                    let opt_arc = Arc::new(out.opt);
-                    self.opt.insert(plan.opt_key, opt_arc.clone());
+                    let opt_arc = match (plan.cached_opt, out.opt) {
+                        // Served from the store: already resident in
+                        // every layer (lookup promoted it), nothing to
+                        // re-admit.
+                        (Some(a), _) => a,
+                        (None, Some(v)) => {
+                            let a = Arc::new(v);
+                            self.admit(StageId::Opt, plan.opt_key, Artifact::CommSets(a.clone()));
+                            a
+                        }
+                        (None, None) => unreachable!("job computes opt unless it was cached"),
+                    };
                     lwts.push((*lwt_arc).clone());
                     comm.extend(opt_arc.iter().cloned());
                 }
@@ -643,12 +761,12 @@ impl Session {
 
     /// Looks up the `aggregate` stage, counting a hit or miss.
     pub(crate) fn aggregate_stage(&mut self, key: Fingerprint) -> Option<Arc<Vec<Vec<Message>>>> {
-        match self.aggregate.get(&key) {
-            Some(a) => {
-                self.stats.hit(stage::AGGREGATE, key);
-                Some(a.clone())
+        match self.lookup(StageId::Aggregate, key) {
+            Some((Artifact::Messages(a), src)) => {
+                self.stats.hit(stage::AGGREGATE, key, src);
+                Some(a)
             }
-            None => {
+            _ => {
                 self.stats.miss(stage::AGGREGATE, key);
                 None
             }
@@ -656,17 +774,17 @@ impl Session {
     }
 
     pub(crate) fn admit_aggregate(&mut self, key: Fingerprint, value: Arc<Vec<Vec<Message>>>) {
-        self.aggregate.insert(key, value);
+        self.admit(StageId::Aggregate, key, Artifact::Messages(value));
     }
 
     /// Looks up the `schedule` stage, counting a hit or miss.
     pub(crate) fn schedule_stage(&mut self, key: Fingerprint) -> Option<Arc<Schedule>> {
-        match self.schedule.get(&key) {
-            Some(a) => {
-                self.stats.hit(stage::SCHEDULE, key);
-                Some(a.clone())
+        match self.lookup(StageId::Schedule, key) {
+            Some((Artifact::Schedule(a), src)) => {
+                self.stats.hit(stage::SCHEDULE, key, src);
+                Some(a)
             }
-            None => {
+            _ => {
                 self.stats.miss(stage::SCHEDULE, key);
                 None
             }
@@ -674,7 +792,7 @@ impl Session {
     }
 
     pub(crate) fn admit_schedule(&mut self, key: Fingerprint, value: Arc<Schedule>) {
-        self.schedule.insert(key, value);
+        self.admit(StageId::Schedule, key, Artifact::Schedule(value));
     }
 
     pub(crate) fn is_explicit(&self) -> bool {
@@ -709,6 +827,9 @@ enum JobSlot {
 }
 
 /// A planned (stmt, read) job with its chain keys and cached prefixes.
+/// `cached_opt` arises only with an evicting disk backend: the final
+/// stage survived but the lwt did not, so the job rebuilds the lwt and
+/// short-circuits the rest.
 struct JobPlan {
     si: usize,
     r: usize,
@@ -717,13 +838,15 @@ struct JobPlan {
     opt_key: Fingerprint,
     cached_lwt: Option<Arc<LastWriteTree>>,
     cached_comm: Option<Arc<Vec<CommSet>>>,
+    cached_opt: Option<Arc<Vec<CommSet>>>,
 }
 
-/// What a job computed (stages it skipped return `None`).
+/// What a job computed (stages it skipped return `None`; `opt` is `None`
+/// exactly when the plan's `cached_opt` supersedes it).
 struct JobOut {
     new_lwt: Option<LastWriteTree>,
     new_comm: Option<Vec<CommSet>>,
-    opt: Vec<CommSet>,
+    opt: Option<Vec<CommSet>>,
 }
 
 type ReadResult = Result<JobOut, CompileError>;
@@ -780,6 +903,15 @@ fn run_read_job(
                     Some(lwt)
                 }
             };
+            // A cached opt output supersedes everything downstream of
+            // the lwt: stop here.
+            if plan.cached_opt.is_some() {
+                return Ok(JobOut {
+                    new_lwt,
+                    new_comm: None,
+                    opt: None,
+                });
+            }
             let lwt: &LastWriteTree = plan
                 .cached_lwt
                 .as_deref()
@@ -841,7 +973,7 @@ fn run_read_job(
             Ok(JobOut {
                 new_lwt,
                 new_comm,
-                opt,
+                opt: Some(opt),
             })
         }
         Strategy::LocationCentric => {
@@ -852,6 +984,13 @@ fn run_read_job(
                 Some(_) => None,
                 None => Some(whole_domain_tree(&input.program, s, r, &read.array)),
             };
+            if plan.cached_opt.is_some() {
+                return Ok(JobOut {
+                    new_lwt,
+                    new_comm: None,
+                    opt: None,
+                });
+            }
             let lwt: &LastWriteTree = plan
                 .cached_lwt
                 .as_deref()
@@ -885,7 +1024,7 @@ fn run_read_job(
             Ok(JobOut {
                 new_lwt,
                 new_comm,
-                opt,
+                opt: Some(opt),
             })
         }
     }

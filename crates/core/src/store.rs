@@ -1,0 +1,386 @@
+//! The pluggable artifact store behind [`Session`](crate::Session).
+//!
+//! A session's stage artifacts live behind the [`ArtifactStore`] trait:
+//! a typed load/store interface keyed by ([`StageId`], [`Fingerprint`]).
+//! Two backends exist — [`MemStore`], the original in-process map the
+//! classic pipeline uses, and `dmc-store`'s sharded on-disk store — and
+//! a session layers them: memory first, then disk, with disk hits
+//! promoted into memory and every new artifact written through to both.
+//!
+//! ## Payload framing
+//!
+//! [`Artifact::encode_payload`] frames every payload as
+//!
+//! ```text
+//! [ CODEC_VERSION : u8 ][ stage tag : u8 ][ Codec body … ]
+//! ```
+//!
+//! so a payload is self-describing down to the schema that produced it.
+//! [`Artifact::decode_payload`] rejects version or stage mismatches
+//! before touching the body; a backend treats any [`CodecError`] as a
+//! miss (the artifact is recomputed), never as data. Bumping
+//! [`CODEC_VERSION`] therefore invalidates every persisted artifact at
+//! once — the versioning discipline that lets the codecs evolve without
+//! risking a silent misparse of old bytes.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dmc_commgen::{CommSet, Message};
+use dmc_dataflow::LastWriteTree;
+use dmc_ir::fp::Fingerprint;
+use dmc_ir::{Program, StmtInfo};
+use dmc_machine::Schedule;
+use dmc_obs as obs;
+use dmc_polyhedra::codec::{decode_from_slice, Codec, CodecError, Enc};
+
+use crate::session::stage;
+
+/// The artifact payload schema version. Bumped whenever any [`Codec`]
+/// impl changes its byte layout; every persisted artifact from an older
+/// version then decodes as a clean miss.
+pub const CODEC_VERSION: u8 = 1;
+
+/// A stage in the session's compilation DAG, as a store key component.
+/// The numeric [tag](StageId::tag) is part of the persisted payload
+/// framing, so variants must never be renumbered — only appended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StageId {
+    /// Source text → [`Program`].
+    Parse,
+    /// Program → per-statement contexts.
+    StmtInfo,
+    /// One read's Last Write Tree.
+    Lwt,
+    /// One read's raw communication sets.
+    CommSets,
+    /// One read's §6-optimized sets.
+    Opt,
+    /// Raw per-set message enumeration.
+    Aggregate,
+    /// The legality-refined machine schedule.
+    Schedule,
+}
+
+impl StageId {
+    /// Every stage, in pipeline order.
+    pub const ALL: [StageId; 7] = [
+        StageId::Parse,
+        StageId::StmtInfo,
+        StageId::Lwt,
+        StageId::CommSets,
+        StageId::Opt,
+        StageId::Aggregate,
+        StageId::Schedule,
+    ];
+
+    /// The stable numeric tag used in payload framing and shard layout.
+    pub fn tag(self) -> u8 {
+        match self {
+            StageId::Parse => 0,
+            StageId::StmtInfo => 1,
+            StageId::Lwt => 2,
+            StageId::CommSets => 3,
+            StageId::Opt => 4,
+            StageId::Aggregate => 5,
+            StageId::Schedule => 6,
+        }
+    }
+
+    /// The inverse of [`StageId::tag`].
+    pub fn from_tag(tag: u8) -> Option<StageId> {
+        StageId::ALL.into_iter().find(|s| s.tag() == tag)
+    }
+
+    /// The stage name as it appears in stats and `stage.*` events.
+    pub fn name(self) -> &'static str {
+        match self {
+            StageId::Parse => stage::PARSE,
+            StageId::StmtInfo => stage::STMT_INFO,
+            StageId::Lwt => stage::LWT,
+            StageId::CommSets => stage::COMMSETS,
+            StageId::Opt => stage::OPT,
+            StageId::Aggregate => stage::AGGREGATE,
+            StageId::Schedule => stage::SCHEDULE,
+        }
+    }
+}
+
+/// One cached stage output, shared out as [`Arc`] clones. The variant is
+/// determined by the stage: `CommSets` serves both the `commsets` and
+/// `opt` stages (same value type, different keys).
+#[derive(Clone, Debug)]
+pub enum Artifact {
+    /// A parsed program (`parse`).
+    Program(Arc<Program>),
+    /// Per-statement contexts (`stmt-info`).
+    StmtInfo(Arc<Vec<StmtInfo>>),
+    /// One read's Last Write Tree (`lwt`).
+    Lwt(Arc<LastWriteTree>),
+    /// One read's communication sets (`commsets` and `opt`).
+    CommSets(Arc<Vec<CommSet>>),
+    /// Aggregated message plans (`aggregate`).
+    Messages(Arc<Vec<Vec<Message>>>),
+    /// A machine schedule (`schedule`).
+    Schedule(Arc<Schedule>),
+}
+
+impl Artifact {
+    /// Encodes the artifact as a framed, deterministic payload:
+    /// `[CODEC_VERSION][stage tag][Codec body]`. Equal artifacts encode
+    /// to equal bytes on every host and run.
+    pub fn encode_payload(&self, stage: StageId) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u8(CODEC_VERSION);
+        e.u8(stage.tag());
+        match self {
+            Artifact::Program(v) => v.encode(&mut e),
+            Artifact::StmtInfo(v) => v.encode(&mut e),
+            Artifact::Lwt(v) => v.encode(&mut e),
+            Artifact::CommSets(v) => v.encode(&mut e),
+            Artifact::Messages(v) => v.encode(&mut e),
+            Artifact::Schedule(v) => v.encode(&mut e),
+        }
+        e.into_bytes()
+    }
+
+    /// Decodes a framed payload back into the artifact for `stage`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on a version or stage-tag mismatch, a truncated or
+    /// corrupt body, or trailing bytes. Callers treat every error as a
+    /// store miss.
+    pub fn decode_payload(stage: StageId, bytes: &[u8]) -> Result<Artifact, CodecError> {
+        let [version, tag, body @ ..] = bytes else {
+            return Err(CodecError::Truncated {
+                need: 2,
+                have: bytes.len(),
+            });
+        };
+        if *version != CODEC_VERSION {
+            return Err(CodecError::Invalid("codec version mismatch"));
+        }
+        if *tag != stage.tag() {
+            return Err(CodecError::Invalid("stage tag mismatch"));
+        }
+        Ok(match stage {
+            StageId::Parse => Artifact::Program(Arc::new(decode_from_slice(body)?)),
+            StageId::StmtInfo => Artifact::StmtInfo(Arc::new(decode_from_slice(body)?)),
+            StageId::Lwt => Artifact::Lwt(Arc::new(decode_from_slice(body)?)),
+            StageId::CommSets | StageId::Opt => {
+                Artifact::CommSets(Arc::new(decode_from_slice(body)?))
+            }
+            StageId::Aggregate => Artifact::Messages(Arc::new(decode_from_slice(body)?)),
+            StageId::Schedule => Artifact::Schedule(Arc::new(decode_from_slice(body)?)),
+        })
+    }
+}
+
+/// Which layer of a layered store served an artifact.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoreSource {
+    /// The in-process [`MemStore`].
+    Memory,
+    /// An attached persistent backend.
+    Disk,
+}
+
+/// Cumulative counters for one store backend. Everything here is a
+/// deterministic function of the operation sequence the backend served,
+/// so snapshots of these counters can be compared exactly across runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Loads that returned an artifact.
+    pub hits: u64,
+    /// Loads that found nothing.
+    pub misses: u64,
+    /// Loads that found bytes but rejected them (fingerprint mismatch or
+    /// decode failure) — counted *in addition to* a miss.
+    pub corrupt: u64,
+    /// Entries evicted to honor the size bound.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+    /// Payload bytes currently resident.
+    pub bytes: u64,
+    /// Payload bytes written over the backend's lifetime.
+    pub bytes_written: u64,
+    /// Payload bytes read (and accepted) over the backend's lifetime.
+    pub bytes_read: u64,
+}
+
+/// A typed artifact store: the backend interface behind a session.
+///
+/// Implementations must be deterministic — the same operation sequence
+/// produces the same loads, evictions and [`StoreStats`] on every run —
+/// and must treat undecodable payloads as misses, never as data.
+pub trait ArtifactStore: std::fmt::Debug + Send {
+    /// Loads the artifact stored for `(stage, key)`, if any.
+    fn load(&mut self, stage: StageId, key: Fingerprint) -> Option<Artifact>;
+
+    /// Whether `(stage, key)` is present, without loading (or counting a
+    /// hit or miss).
+    fn contains(&mut self, stage: StageId, key: Fingerprint) -> bool;
+
+    /// Stores an artifact under `(stage, key)`, replacing any previous
+    /// entry.
+    fn store(&mut self, stage: StageId, key: Fingerprint, artifact: &Artifact);
+
+    /// The backend's cumulative counters.
+    fn stats(&self) -> StoreStats;
+}
+
+/// The in-process backend: a plain map of [`Arc`]-shared artifacts.
+/// Never evicts; loads are clones of the stored handles, so no encoding
+/// happens and `bytes` counters stay zero.
+#[derive(Debug, Default)]
+pub struct MemStore {
+    map: HashMap<(u8, Fingerprint), Artifact>,
+    hits: u64,
+    misses: u64,
+}
+
+impl MemStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        MemStore::default()
+    }
+}
+
+impl ArtifactStore for MemStore {
+    fn load(&mut self, stage: StageId, key: Fingerprint) -> Option<Artifact> {
+        match self.map.get(&(stage.tag(), key)) {
+            Some(a) => {
+                self.hits += 1;
+                Some(a.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn contains(&mut self, stage: StageId, key: Fingerprint) -> bool {
+        self.map.contains_key(&(stage.tag(), key))
+    }
+
+    fn store(&mut self, stage: StageId, key: Fingerprint, artifact: &Artifact) {
+        self.map.insert((stage.tag(), key), artifact.clone());
+    }
+
+    fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits,
+            misses: self.misses,
+            entries: self.map.len() as u64,
+            ..StoreStats::default()
+        }
+    }
+}
+
+/// Fills the `dmc_store_*` Prometheus family from one backend's
+/// counters. `backend` becomes the metric family's `backend` label.
+pub fn store_metrics(reg: &mut obs::Registry, backend: &str, stats: &StoreStats) {
+    let l = &[("backend", backend)];
+    reg.set_counter(
+        "dmc_store_hits_total",
+        "Artifact store loads served.",
+        l,
+        stats.hits,
+    );
+    reg.set_counter(
+        "dmc_store_misses_total",
+        "Artifact store loads that found nothing.",
+        l,
+        stats.misses,
+    );
+    reg.set_counter(
+        "dmc_store_corrupt_total",
+        "Artifact store loads rejected as corrupt (fingerprint or decode failure).",
+        l,
+        stats.corrupt,
+    );
+    reg.set_counter(
+        "dmc_store_evictions_total",
+        "Artifact store entries evicted to honor the size bound.",
+        l,
+        stats.evictions,
+    );
+    reg.set_gauge(
+        "dmc_store_entries",
+        "Artifact store entries resident.",
+        l,
+        stats.entries as f64,
+    );
+    reg.set_gauge(
+        "dmc_store_bytes",
+        "Artifact store payload bytes resident.",
+        l,
+        stats.bytes as f64,
+    );
+    reg.set_counter(
+        "dmc_store_bytes_written_total",
+        "Artifact store payload bytes written.",
+        l,
+        stats.bytes_written,
+    );
+    reg.set_counter(
+        "dmc_store_bytes_read_total",
+        "Artifact store payload bytes read and accepted.",
+        l,
+        stats.bytes_read,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_tags_round_trip() {
+        for s in StageId::ALL {
+            assert_eq!(StageId::from_tag(s.tag()), Some(s));
+        }
+        assert_eq!(StageId::from_tag(7), None);
+    }
+
+    #[test]
+    fn payload_framing_round_trips_and_rejects_mismatches() {
+        let p = dmc_ir::parse("param N; array A[N]; for i = 0 to N - 1 { A[i] = 1.0; }").unwrap();
+        let art = Artifact::Program(Arc::new(p.clone()));
+        let bytes = art.encode_payload(StageId::Parse);
+        assert_eq!(bytes[0], CODEC_VERSION);
+        assert_eq!(bytes[1], StageId::Parse.tag());
+        let back = Artifact::decode_payload(StageId::Parse, &bytes).expect("decodes");
+        match back {
+            Artifact::Program(q) => assert_eq!(*q, p),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        // Wrong stage: the frame is rejected before the body is touched.
+        assert!(Artifact::decode_payload(StageId::Lwt, &bytes).is_err());
+        // Wrong version: a schema bump invalidates old payloads.
+        let mut stale = bytes.clone();
+        stale[0] ^= 0xFF;
+        assert!(Artifact::decode_payload(StageId::Parse, &stale).is_err());
+        // Truncation anywhere is an error, not a short value.
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(Artifact::decode_payload(StageId::Parse, &bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn mem_store_counts_hits_and_misses() {
+        let mut m = MemStore::new();
+        let key = Fingerprint(42);
+        assert!(m.load(StageId::Parse, key).is_none());
+        let p = dmc_ir::parse("param N; array A[N]; for i = 0 to N - 1 { A[i] = 1.0; }").unwrap();
+        m.store(StageId::Parse, key, &Artifact::Program(Arc::new(p)));
+        assert!(m.contains(StageId::Parse, key));
+        assert!(!m.contains(StageId::Lwt, key));
+        assert!(m.load(StageId::Parse, key).is_some());
+        let s = m.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+}

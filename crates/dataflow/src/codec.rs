@@ -1,0 +1,105 @@
+//! [`Codec`] impls for dataflow artifacts: the per-read Last Write Trees
+//! the `lwt` stage caches. Encoding discipline as in
+//! `dmc_polyhedra::codec` — fixed field order, length prefixes.
+
+use dmc_polyhedra::codec::{Codec, CodecError, Dec, Enc};
+use dmc_polyhedra::{LinExpr, Polyhedron, Space};
+
+use crate::lwt::{DepLevel, LastWriteTree, LwtLeaf, LwtSource};
+
+impl Codec for DepLevel {
+    fn encode(&self, e: &mut Enc) {
+        match self {
+            DepLevel::Carried(l) => {
+                e.u8(0);
+                e.usize(*l);
+            }
+            DepLevel::Independent => e.u8(1),
+        }
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(match d.u8()? {
+            0 => DepLevel::Carried(d.usize()?),
+            1 => DepLevel::Independent,
+            _ => return Err(CodecError::Invalid("DepLevel tag out of range")),
+        })
+    }
+}
+
+impl Codec for LwtSource {
+    fn encode(&self, e: &mut Enc) {
+        e.usize(self.write_stmt);
+        self.write_iter.encode(e);
+        self.level.encode(e);
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(LwtSource {
+            write_stmt: d.usize()?,
+            write_iter: Vec::<LinExpr>::decode(d)?,
+            level: DepLevel::decode(d)?,
+        })
+    }
+}
+
+impl Codec for LwtLeaf {
+    fn encode(&self, e: &mut Enc) {
+        self.space.encode(e);
+        self.context.encode(e);
+        self.source.encode(e);
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(LwtLeaf {
+            space: Space::decode(d)?,
+            context: Polyhedron::decode(d)?,
+            source: Option::<LwtSource>::decode(d)?,
+        })
+    }
+}
+
+impl Codec for LastWriteTree {
+    fn encode(&self, e: &mut Enc) {
+        e.usize(self.read_stmt);
+        e.usize(self.read_no);
+        e.str(&self.array);
+        self.read_dims.encode(e);
+        self.leaves.encode(e);
+        e.bool(self.approximate);
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(LastWriteTree {
+            read_stmt: d.usize()?,
+            read_no: d.usize()?,
+            array: d.str()?,
+            read_dims: Vec::<String>::decode(d)?,
+            leaves: Vec::<LwtLeaf>::decode(d)?,
+            approximate: d.bool()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use dmc_polyhedra::codec::{decode_from_slice, encode_to_vec};
+
+    use super::*;
+    use crate::build_lwt;
+
+    /// Real LWTs from the paper's Figure-2 kernel round-trip
+    /// byte-identically (spaces, context polyhedra and sources included).
+    #[test]
+    fn figure2_lwt_round_trips() {
+        let program = dmc_ir::parse(
+            "param T, N; array X[N + 1];
+             for t = 0 to T { for i = 3 to N { X[i] = X[i - 3]; } }",
+        )
+        .expect("parses");
+        let lwt = build_lwt(&program, 0, 0).expect("lwt builds");
+        let bytes = encode_to_vec(&lwt);
+        let back: LastWriteTree = decode_from_slice(&bytes).expect("decodes");
+        assert_eq!(back, lwt);
+        assert_eq!(encode_to_vec(&back), bytes, "byte-identical re-encode");
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_from_slice::<LastWriteTree>(&bytes[..cut]).is_err());
+        }
+    }
+}

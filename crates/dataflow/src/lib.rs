@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 mod analysis;
+mod codec;
 mod lattice;
 mod lwt;
 

@@ -35,7 +35,7 @@ impl fmt::Display for DepLevel {
 }
 
 /// The producing side of a non-⊥ LWT leaf.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct LwtSource {
     /// The producing write statement (textual id from
     /// [`dmc_ir::Program::statements`]).
@@ -48,7 +48,7 @@ pub struct LwtSource {
 }
 
 /// One leaf of a Last Write Tree.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct LwtLeaf {
     /// The leaf's space: the read statement's loop dimensions (original
     /// names, outermost first), then program parameters, then any auxiliary
@@ -102,7 +102,7 @@ impl LwtLeaf {
 }
 
 /// The Last Write Tree of one read access.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct LastWriteTree {
     /// The reading statement's textual id.
     pub read_stmt: usize,

@@ -41,6 +41,7 @@
 
 mod aff;
 pub mod builder;
+pub mod codec;
 pub mod fp;
 pub mod interp;
 mod parser;

@@ -226,7 +226,7 @@ pub struct LoopMeta {
 }
 
 /// A statement plus its static context (enclosing loops, textual position).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct StmtInfo {
     /// Statement number in textual (pre-order) program order.
     pub id: usize,

@@ -17,6 +17,7 @@
 
 #![warn(missing_docs)]
 
+mod codec;
 mod config;
 pub mod critpath;
 mod schedule;

@@ -206,7 +206,7 @@ pub fn message_pass_counts(trace: &Trace) -> Vec<(String, u64)> {
 /// final legality-refinement attempt's messages survive).
 pub fn explain_report(trace: &Trace, title: &str) -> String {
     let mut reads: BTreeMap<(u64, u64), ReadInfo> = BTreeMap::new();
-    let mut stages: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    let mut stages: BTreeMap<String, (u64, u64, u64)> = BTreeMap::new();
     let mut messages: Vec<MsgInfo> = Vec::new();
     let mut retries = 0u64;
     let mut sim_done: Option<Vec<(&'static str, Value)>> = None;
@@ -268,6 +268,15 @@ pub fn explain_report(trace: &Trace, title: &str) -> String {
                         .entry(as_str(r.get("stage")).unwrap_or("?").to_owned())
                         .or_default()
                         .0 += 1;
+                }
+                (Phase::Instant, "stage.disk_hit") => {
+                    // A hit served by the persistent layer: counts into
+                    // the stage's hit column and the disk column.
+                    let e = stages
+                        .entry(as_str(r.get("stage")).unwrap_or("?").to_owned())
+                        .or_default();
+                    e.0 += 1;
+                    e.2 += 1;
                 }
                 (Phase::Instant, "stage.miss") => {
                     stages
@@ -398,9 +407,11 @@ pub fn explain_report(trace: &Trace, title: &str) -> String {
         // in the session's content-addressed store before it runs. The
         // classic one-shot API compiles through a throwaway session, so
         // its report truthfully shows zero hits.
-        let (hits, misses) = stages
+        let (hits, misses, disk) = stages
             .values()
-            .fold((0u64, 0u64), |(h, m), (sh, sm)| (h + sh, m + sm));
+            .fold((0u64, 0u64, 0u64), |(h, m, d), (sh, sm, sd)| {
+                (h + sh, m + sm, d + sd)
+            });
         let total = hits + misses;
         let pct = if total > 0 {
             format!(" ({:.0}% reused)", 100.0 * hits as f64 / total as f64)
@@ -409,8 +420,21 @@ pub fn explain_report(trace: &Trace, title: &str) -> String {
         };
         let _ = writeln!(out, "\n## Reuse");
         let _ = writeln!(out, "Stage graph: {hits} hit(s), {misses} miss(es){pct}.");
-        for (stage, (sh, sm)) in &stages {
+        for (stage, (sh, sm, _)) in &stages {
             let _ = writeln!(out, "- {stage}: {sh} hit(s), {sm} miss(es)");
+        }
+        if disk > 0 {
+            // Hits served by the persistent (on-disk) layer rather than
+            // the in-memory map: artifacts that survived from an earlier
+            // process via the artifact store.
+            let _ = writeln!(out, "\n### Persistent reuse");
+            let _ = writeln!(
+                out,
+                "{disk} of {hits} hit(s) were served from the on-disk artifact store."
+            );
+            for (stage, (_, _, sd)) in stages.iter().filter(|(_, (_, _, sd))| *sd > 0) {
+                let _ = writeln!(out, "- {stage}: {sd} disk hit(s)");
+            }
         }
     }
 
@@ -791,9 +815,60 @@ mod tests {
         );
         assert!(report.contains("- lwt: 2 hit(s), 0 miss(es)"), "{report}");
         assert!(report.contains("- opt: 0 hit(s), 2 miss(es)"), "{report}");
+        // Without disk hits there is no Persistent reuse subsection.
+        assert!(!report.contains("### Persistent reuse"), "{report}");
         // A trace with no stage events renders no Reuse section at all.
         let empty = explain_report(&Trace { lanes: vec![] }, "unit");
         assert!(!empty.contains("## Reuse"), "{empty}");
+    }
+
+    #[test]
+    fn persistent_reuse_subsection_splits_disk_hits() {
+        let trace = Trace {
+            lanes: vec![LaneRecords {
+                key: vec![0],
+                label: "main".to_owned(),
+                records: vec![
+                    rec(
+                        Phase::Instant,
+                        "stage.hit",
+                        vec![field("stage", "lwt"), field("key", "a")],
+                    ),
+                    rec(
+                        Phase::Instant,
+                        "stage.disk_hit",
+                        vec![field("stage", "lwt"), field("key", "b")],
+                    ),
+                    rec(
+                        Phase::Instant,
+                        "stage.disk_hit",
+                        vec![field("stage", "schedule"), field("key", "c")],
+                    ),
+                    rec(
+                        Phase::Instant,
+                        "stage.miss",
+                        vec![field("stage", "opt"), field("key", "d")],
+                    ),
+                ],
+            }],
+        };
+        let report = explain_report(&trace, "unit");
+        // Disk hits count as hits in the stage-graph totals...
+        assert!(
+            report.contains("Stage graph: 3 hit(s), 1 miss(es) (75% reused)."),
+            "{report}"
+        );
+        assert!(report.contains("- lwt: 2 hit(s), 0 miss(es)"), "{report}");
+        // ...and are itemized separately under Persistent reuse.
+        assert!(report.contains("### Persistent reuse"), "{report}");
+        assert!(
+            report.contains("2 of 3 hit(s) were served from the on-disk artifact store."),
+            "{report}"
+        );
+        let tail = report.split("### Persistent reuse").nth(1).unwrap();
+        assert!(tail.contains("- lwt: 1 disk hit(s)"), "{report}");
+        assert!(tail.contains("- schedule: 1 disk hit(s)"), "{report}");
+        assert!(!tail.contains("- opt:"), "{report}");
     }
 
     #[test]

@@ -1,0 +1,701 @@
+//! Deterministic, versioned byte codecs for stage artifacts.
+//!
+//! The persistent artifact store (`dmc-store`) keeps compilation-stage
+//! outputs on disk, keyed by the same structural fingerprints the
+//! in-memory session store uses. That only works if serialization is a
+//! *pure function of the value*: two equal artifacts must encode to the
+//! same bytes on every host, every run, every thread count — the store
+//! re-fingerprints payloads on load and treats any mismatch as
+//! corruption. The discipline enforced here:
+//!
+//! - **Fixed field order.** Every [`Codec`] impl writes struct fields in
+//!   declaration order and enum variants as a `u8` discriminant followed
+//!   by the payload. No maps are serialized in iteration order unless
+//!   the container itself is ordered.
+//! - **Length-prefixed sequences.** Every `Vec`/`String` starts with its
+//!   `u64` element/byte count, so truncation is always detectable (a
+//!   short payload fails with [`CodecError::Truncated`], never decodes
+//!   to a shorter value).
+//! - **Fixed-width little-endian integers.** `u64`/`i128` encode as 8/16
+//!   LE bytes; `f64` as its IEEE bit pattern (`to_bits`), so `-0.0` and
+//!   NaN payloads round-trip bit-exactly.
+//! - **Schema-tagged payloads.** The store layer prepends a codec
+//!   version and stage tag to every payload (see `dmc-core`'s artifact
+//!   module); a version bump invalidates every cached artifact rather
+//!   than risking a silent misparse.
+//!
+//! Decoding is total: every error path returns [`CodecError`], never
+//! panics, because the input may be a corrupted or truncated disk file.
+
+use crate::constraint::{Constraint, ConstraintKind};
+use crate::linexpr::LinExpr;
+use crate::polyhedron::Polyhedron;
+use crate::space::{Dim, DimKind, Space};
+
+/// Why a payload failed to decode. All variants are misses from the
+/// store's point of view — a corrupt artifact is recomputed, never
+/// trusted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// The payload ended before the value did.
+    Truncated {
+        /// Bytes the decoder needed.
+        need: usize,
+        /// Bytes that remained.
+        have: usize,
+    },
+    /// A tag, length or reference was out of range for the schema.
+    Invalid(&'static str),
+    /// The value decoded but bytes remained — the payload cannot have
+    /// been produced by `encode` for this type.
+    Trailing(usize),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated { need, have } => {
+                write!(f, "payload truncated: needed {need} byte(s), had {have}")
+            }
+            CodecError::Invalid(what) => write!(f, "invalid payload: {what}"),
+            CodecError::Trailing(n) => write!(f, "{n} trailing byte(s) after value"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A byte-stream encoder. Append-only; the writer discipline (field
+/// order, length prefixes) lives in the [`Codec`] impls.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Enc::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// One raw byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Fixed-width little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// A `usize`, as `u64` (the codec is host-width-independent).
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Fixed-width little-endian `i128`.
+    pub fn i128(&mut self, v: i128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// A bool as one byte (0/1).
+    pub fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    /// An `f64` as its IEEE-754 bit pattern — bit-exact round-trips,
+    /// including NaN payloads and signed zero.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// A UTF-8 string: `u64` byte length, then the bytes.
+    pub fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// A byte-stream decoder over a borrowed payload. Every read is
+/// bounds-checked and returns [`CodecError`] on under- or over-run.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// A decoder over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Dec { buf: bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated {
+                need: n,
+                have: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// One raw byte.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] when the payload is exhausted.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Fixed-width little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] when fewer than 8 bytes remain.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// A `usize` encoded as `u64`; rejects values beyond the host width
+    /// or beyond the remaining payload when used as a length.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncation or overflow.
+    pub fn usize(&mut self) -> Result<usize, CodecError> {
+        usize::try_from(self.u64()?).map_err(|_| CodecError::Invalid("usize overflow"))
+    }
+
+    /// A sequence length: like [`Dec::usize`], but additionally bounded
+    /// by the remaining payload (each element needs ≥ 1 byte), so a
+    /// corrupted length cannot trigger a huge allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncation or an impossible length.
+    pub fn seq_len(&mut self) -> Result<usize, CodecError> {
+        let n = self.usize()?;
+        if n > self.remaining() {
+            return Err(CodecError::Truncated {
+                need: n,
+                have: self.remaining(),
+            });
+        }
+        Ok(n)
+    }
+
+    /// Fixed-width little-endian `i128`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] when fewer than 16 bytes remain.
+    pub fn i128(&mut self) -> Result<i128, CodecError> {
+        let b = self.take(16)?;
+        Ok(i128::from_le_bytes(b.try_into().expect("16 bytes")))
+    }
+
+    /// A bool byte; anything but 0/1 is invalid.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncation or a non-boolean byte.
+    pub fn bool(&mut self) -> Result<bool, CodecError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CodecError::Invalid("bool byte out of range")),
+        }
+    }
+
+    /// An `f64` from its bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] when fewer than 8 bytes remain.
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// A length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncation or invalid UTF-8.
+    pub fn str(&mut self) -> Result<String, CodecError> {
+        let n = self.seq_len()?;
+        let b = self.take(n)?;
+        String::from_utf8(b.to_vec()).map_err(|_| CodecError::Invalid("string is not UTF-8"))
+    }
+
+    /// Asserts the payload is fully consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Trailing`] when bytes remain.
+    pub fn finish(self) -> Result<(), CodecError> {
+        match self.remaining() {
+            0 => Ok(()),
+            n => Err(CodecError::Trailing(n)),
+        }
+    }
+}
+
+/// A deterministic byte codec: `decode(encode(v)) == v` and
+/// `encode(decode(bytes)) == bytes` for every `bytes` produced by
+/// `encode`. Implementations must write fields in a fixed order and
+/// must not consult any ambient state.
+pub trait Codec: Sized {
+    /// Appends this value's canonical encoding.
+    fn encode(&self, e: &mut Enc);
+
+    /// Decodes one value, consuming exactly the bytes `encode` wrote.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncated, malformed or out-of-range payloads.
+    fn decode(d: &mut Dec<'_>) -> Result<Self, CodecError>;
+}
+
+/// Encodes a value to a standalone byte vector.
+pub fn encode_to_vec<T: Codec>(v: &T) -> Vec<u8> {
+    let mut e = Enc::new();
+    v.encode(&mut e);
+    e.into_bytes()
+}
+
+/// Decodes a standalone byte vector, requiring full consumption.
+///
+/// # Errors
+///
+/// [`CodecError`] on any malformation, including trailing bytes.
+pub fn decode_from_slice<T: Codec>(bytes: &[u8]) -> Result<T, CodecError> {
+    let mut d = Dec::new(bytes);
+    let v = T::decode(&mut d)?;
+    d.finish()?;
+    Ok(v)
+}
+
+impl Codec for u64 {
+    fn encode(&self, e: &mut Enc) {
+        e.u64(*self);
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, CodecError> {
+        d.u64()
+    }
+}
+
+impl Codec for usize {
+    fn encode(&self, e: &mut Enc) {
+        e.usize(*self);
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, CodecError> {
+        d.usize()
+    }
+}
+
+impl Codec for i128 {
+    fn encode(&self, e: &mut Enc) {
+        e.i128(*self);
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, CodecError> {
+        d.i128()
+    }
+}
+
+impl Codec for bool {
+    fn encode(&self, e: &mut Enc) {
+        e.bool(*self);
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, CodecError> {
+        d.bool()
+    }
+}
+
+impl Codec for String {
+    fn encode(&self, e: &mut Enc) {
+        e.str(self);
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, CodecError> {
+        d.str()
+    }
+}
+
+impl<T: Codec> Codec for Vec<T> {
+    fn encode(&self, e: &mut Enc) {
+        e.usize(self.len());
+        for v in self {
+            v.encode(e);
+        }
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, CodecError> {
+        let n = d.seq_len()?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(T::decode(d)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Codec> Codec for Option<T> {
+    fn encode(&self, e: &mut Enc) {
+        match self {
+            None => e.u8(0),
+            Some(v) => {
+                e.u8(1);
+                v.encode(e);
+            }
+        }
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, CodecError> {
+        match d.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(d)?)),
+            _ => Err(CodecError::Invalid("Option tag out of range")),
+        }
+    }
+}
+
+impl<A: Codec, B: Codec> Codec for (A, B) {
+    fn encode(&self, e: &mut Enc) {
+        self.0.encode(e);
+        self.1.encode(e);
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok((A::decode(d)?, B::decode(d)?))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine types. A polyhedron serializes as (space, constraints,
+// contradiction flag); constraints are stored exactly as `constraints()`
+// holds them — already normalized and deduplicated — and reassembled via
+// `Polyhedron::from_parts`, which trusts them verbatim, so the re-encoded
+// bytes are identical and no normalization pass runs on load.
+
+impl Codec for DimKind {
+    fn encode(&self, e: &mut Enc) {
+        e.u8(match self {
+            DimKind::Index => 0,
+            DimKind::Param => 1,
+            DimKind::Proc => 2,
+            DimKind::Array => 3,
+            DimKind::Aux => 4,
+        });
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(match d.u8()? {
+            0 => DimKind::Index,
+            1 => DimKind::Param,
+            2 => DimKind::Proc,
+            3 => DimKind::Array,
+            4 => DimKind::Aux,
+            _ => return Err(CodecError::Invalid("DimKind tag out of range")),
+        })
+    }
+}
+
+impl Codec for Dim {
+    fn encode(&self, e: &mut Enc) {
+        e.str(self.name());
+        self.kind().encode(e);
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, CodecError> {
+        let name = d.str()?;
+        let kind = DimKind::decode(d)?;
+        Ok(Dim::new(name, kind))
+    }
+}
+
+impl Codec for Space {
+    fn encode(&self, e: &mut Enc) {
+        e.usize(self.len());
+        for dim in self.iter() {
+            dim.encode(e);
+        }
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, CodecError> {
+        let n = d.seq_len()?;
+        let mut dims = Vec::with_capacity(n);
+        for _ in 0..n {
+            dims.push(Dim::decode(d)?);
+        }
+        // `Space::add_dim` panics on duplicate names; a corrupted payload
+        // must surface as an error instead.
+        for i in 1..dims.len() {
+            if dims[..i].iter().any(|p: &Dim| p.name() == dims[i].name()) {
+                return Err(CodecError::Invalid("duplicate dimension name"));
+            }
+        }
+        Ok(Space::from_dims(
+            dims.iter().map(|d| (d.name().to_owned(), d.kind())),
+        ))
+    }
+}
+
+impl Codec for LinExpr {
+    fn encode(&self, e: &mut Enc) {
+        e.usize(self.len());
+        for &c in self.coeffs() {
+            e.i128(c);
+        }
+        e.i128(self.constant_term());
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, CodecError> {
+        let n = d.seq_len()?;
+        let mut coeffs = Vec::with_capacity(n);
+        for _ in 0..n {
+            coeffs.push(d.i128()?);
+        }
+        let constant = d.i128()?;
+        Ok(LinExpr::from_coeffs(coeffs, constant))
+    }
+}
+
+impl Codec for ConstraintKind {
+    fn encode(&self, e: &mut Enc) {
+        e.u8(match self {
+            ConstraintKind::Eq => 0,
+            ConstraintKind::Ge => 1,
+        });
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(match d.u8()? {
+            0 => ConstraintKind::Eq,
+            1 => ConstraintKind::Ge,
+            _ => return Err(CodecError::Invalid("ConstraintKind tag out of range")),
+        })
+    }
+}
+
+impl Codec for Constraint {
+    fn encode(&self, e: &mut Enc) {
+        self.kind().encode(e);
+        self.expr().encode(e);
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, CodecError> {
+        let kind = ConstraintKind::decode(d)?;
+        let expr = LinExpr::decode(d)?;
+        Ok(match kind {
+            ConstraintKind::Eq => Constraint::eq(expr),
+            ConstraintKind::Ge => Constraint::ge(expr),
+        })
+    }
+}
+
+impl Codec for Polyhedron {
+    fn encode(&self, e: &mut Enc) {
+        self.space().encode(e);
+        e.usize(self.constraints().len());
+        for c in self.constraints() {
+            c.encode(e);
+        }
+        e.bool(self.is_obviously_empty());
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, CodecError> {
+        let space = Space::decode(d)?;
+        let n = d.seq_len()?;
+        let mut cons = Vec::with_capacity(n);
+        for _ in 0..n {
+            let c = Constraint::decode(d)?;
+            if c.expr().len() != space.len() {
+                return Err(CodecError::Invalid("constraint space mismatch"));
+            }
+            cons.push(c);
+        }
+        let contradiction = d.bool()?;
+        Ok(Polyhedron::from_parts(space, cons, contradiction))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The repo's dependency-free PRNG (xorshift64*), as in the PR-1
+    /// property suites.
+    pub struct XorShift(u64);
+
+    impl XorShift {
+        pub fn new(seed: u64) -> Self {
+            XorShift(seed.max(1))
+        }
+        pub fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+        pub fn below(&mut self, n: u64) -> u64 {
+            self.next() % n.max(1)
+        }
+        pub fn i128_small(&mut self) -> i128 {
+            self.below(201) as i128 - 100
+        }
+    }
+
+    fn random_space(rng: &mut XorShift) -> Space {
+        let kinds = [
+            DimKind::Index,
+            DimKind::Param,
+            DimKind::Proc,
+            DimKind::Array,
+            DimKind::Aux,
+        ];
+        let n = 1 + rng.below(6) as usize;
+        Space::from_dims((0..n).map(|i| (format!("d{i}"), kinds[rng.below(5) as usize])))
+    }
+
+    fn random_linexpr(rng: &mut XorShift, n: usize) -> LinExpr {
+        LinExpr::from_coeffs((0..n).map(|_| rng.i128_small()).collect(), rng.i128_small())
+    }
+
+    fn random_poly(rng: &mut XorShift) -> Polyhedron {
+        let space = random_space(rng);
+        let n = space.len();
+        let mut p = Polyhedron::universe(space);
+        for _ in 0..rng.below(6) {
+            let e = random_linexpr(rng, n);
+            let c = if rng.below(2) == 0 {
+                Constraint::ge(e)
+            } else {
+                Constraint::eq(e)
+            };
+            p.add(c);
+        }
+        p
+    }
+
+    /// encode → decode → re-encode must be the identity on bytes and on
+    /// values, for every engine type.
+    #[test]
+    fn engine_round_trips() {
+        let mut rng = XorShift::new(0xDECAF);
+        for _ in 0..200 {
+            let p = random_poly(&mut rng);
+            let bytes = encode_to_vec(&p);
+            let back: Polyhedron = decode_from_slice(&bytes).expect("decodes");
+            assert_eq!(back, p, "polyhedron value round-trip");
+            assert_eq!(encode_to_vec(&back), bytes, "byte-identical re-encode");
+
+            let n = 1 + rng.below(20) as usize;
+            let e = random_linexpr(&mut rng, n);
+            let bytes = encode_to_vec(&e);
+            let back: LinExpr = decode_from_slice(&bytes).expect("decodes");
+            assert_eq!(back, e);
+            assert_eq!(encode_to_vec(&back), bytes);
+        }
+    }
+
+    /// A `LinExpr` that spills past the inline buffer (> 12 coeffs) still
+    /// round-trips byte-identically — the codec sees coefficients, not
+    /// the storage representation.
+    #[test]
+    fn heap_linexpr_round_trips() {
+        let e = LinExpr::from_coeffs((0..40).map(|i| i as i128 - 20).collect(), 7);
+        let bytes = encode_to_vec(&e);
+        let back: LinExpr = decode_from_slice(&bytes).expect("decodes");
+        assert_eq!(back, e);
+        assert_eq!(encode_to_vec(&back), bytes);
+    }
+
+    /// Every strict prefix of a valid payload fails to decode — length
+    /// prefixes make truncation always detectable.
+    #[test]
+    fn truncation_always_detected() {
+        let mut rng = XorShift::new(0xBEEF);
+        let p = random_poly(&mut rng);
+        let bytes = encode_to_vec(&p);
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_from_slice::<Polyhedron>(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+    }
+
+    /// Trailing garbage after a valid value is rejected.
+    #[test]
+    fn trailing_bytes_rejected() {
+        let e = LinExpr::from_coeffs(vec![1, -2], 3);
+        let mut bytes = encode_to_vec(&e);
+        bytes.push(0);
+        assert_eq!(
+            decode_from_slice::<LinExpr>(&bytes),
+            Err(CodecError::Trailing(1))
+        );
+    }
+
+    /// A flipped bit either fails to decode or decodes to a different
+    /// value whose re-encoding differs — it can never silently round-trip
+    /// back to the original bytes at a different value.
+    #[test]
+    fn bit_flips_never_confuse_values() {
+        let mut rng = XorShift::new(0xF00D);
+        for _ in 0..40 {
+            let p = random_poly(&mut rng);
+            let bytes = encode_to_vec(&p);
+            let pos = rng.below(bytes.len() as u64) as usize;
+            let bit = 1u8 << rng.below(8);
+            let mut flipped = bytes.clone();
+            flipped[pos] ^= bit;
+            match decode_from_slice::<Polyhedron>(&flipped) {
+                Err(_) => {}
+                Ok(q) => {
+                    // Decoded fine: the value must differ (the flip landed
+                    // in a payload field), and re-encoding must reproduce
+                    // the flipped bytes, not the original.
+                    assert_ne!(q, p, "bit flip produced an equal value");
+                    assert_eq!(encode_to_vec(&q), flipped);
+                }
+            }
+        }
+    }
+
+    /// Bool and Option tags reject out-of-range bytes.
+    #[test]
+    fn invalid_tags_rejected() {
+        assert!(decode_from_slice::<bool>(&[2]).is_err());
+        assert!(decode_from_slice::<Option<bool>>(&[9]).is_err());
+        let mut e = Enc::new();
+        e.u8(7);
+        assert!(decode_from_slice::<DimKind>(&e.into_bytes()).is_err());
+    }
+
+    /// A corrupted length prefix cannot trigger a huge allocation: it is
+    /// bounded by the remaining payload and fails as truncation.
+    #[test]
+    fn absurd_length_is_truncation() {
+        let mut e = Enc::new();
+        e.u64(u64::MAX);
+        let err = decode_from_slice::<Vec<u64>>(&e.into_bytes()).unwrap_err();
+        assert!(matches!(err, CodecError::Truncated { .. }), "{err:?}");
+    }
+}

@@ -44,6 +44,7 @@
 use std::fmt;
 
 pub mod cache;
+pub mod codec;
 pub mod ledger;
 pub mod num;
 pub mod stats;

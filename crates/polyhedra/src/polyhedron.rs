@@ -104,6 +104,30 @@ impl Polyhedron {
         }
     }
 
+    /// Reassembles a polyhedron from the parts its accessors expose:
+    /// [`Polyhedron::space`], [`Polyhedron::constraints`] and
+    /// [`Polyhedron::is_obviously_empty`]. The constraint list is trusted
+    /// verbatim — it must be one a `Polyhedron` previously held (already
+    /// normalized and deduplicated), which is exactly what the byte codec
+    /// stores — so no normalization pass runs and the round-trip is
+    /// byte-identical.
+    pub fn from_parts(space: Space, cons: Vec<Constraint>, contradiction: bool) -> Self {
+        for c in &cons {
+            assert_eq!(
+                c.expr().len(),
+                space.len(),
+                "constraint space mismatch in from_parts"
+            );
+        }
+        let index = cons.iter().cloned().collect();
+        Polyhedron {
+            space,
+            cons,
+            contradiction,
+            index,
+        }
+    }
+
     /// The polyhedron's space.
     pub fn space(&self) -> &Space {
         &self.space

@@ -1,0 +1,580 @@
+//! # dmc-store
+//!
+//! The persistent, sharded artifact store: an on-disk
+//! [`ArtifactStore`] backend for [`dmc_core::Session`], so a fresh
+//! process warm-starts from the stage artifacts earlier processes
+//! computed.
+//!
+//! ## Layout
+//!
+//! ```text
+//! <root>/
+//!   index.tsv                      # LRU index: seq, stage, key, bytes
+//!   shards/<hh>/<tt>-<fp>.art      # hh = first fp byte, tt = stage tag
+//!   quarantine/…                   # corrupt payloads, moved aside
+//!   tmp/                           # staged writes (write + rename)
+//! ```
+//!
+//! Entries shard by the leading byte of the key fingerprint, so no
+//! directory grows past 1/256 of the store. Every artifact file frames
+//! its payload:
+//!
+//! ```text
+//! magic "DMCA" | format u8 | stage u8 | key fp 16B | len u64 | payload | payload fp 16B
+//! ```
+//!
+//! where `payload` is the session's versioned codec framing
+//! ([`Artifact::encode_payload`]) and `payload fp` is an FNV-1a/128 of
+//! the payload bytes.
+//!
+//! ## Corruption is a miss
+//!
+//! [`DiskStore::load`] re-fingerprints every payload and fully decodes
+//! it before trusting a single byte. A bad magic, mismatched key, short
+//! read, fingerprint mismatch or codec error counts as `corrupt`, moves
+//! the file into `quarantine/` (for post-mortems; the store never reads
+//! it again) and reports a clean miss — the session recomputes the
+//! stage. The cache can therefore *never* alter compilation output,
+//! only its speed; this is the safety argument for caching at all.
+//!
+//! ## Deterministic LRU
+//!
+//! Recency is a logical sequence number persisted in `index.tsv` —
+//! never a file mtime — so the eviction order is a pure function of the
+//! operation history and replays identically on every filesystem. Both
+//! loads and stores touch recency; when a store pushes the resident
+//! payload bytes over the configured bound, lowest-sequence entries are
+//! evicted until the bound holds again. The bound is hard: the entry
+//! just written carries the highest sequence number, so it goes last —
+//! a payload bigger than the whole bound is simply never retained.
+//! Sequence numbers are unique, so there are no ties to break.
+//!
+//! The store assumes a **single writer at a time** (the CLI tools open
+//! it for one process's lifetime); it takes no locks.
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use dmc_core::{Artifact, ArtifactStore, StageId, StoreStats};
+use dmc_ir::fp::Fingerprint;
+
+/// The on-disk container format version (the outer framing, distinct
+/// from [`dmc_core::CODEC_VERSION`], which versions the payload schema).
+pub const FORMAT_VERSION: u8 = 1;
+
+const MAGIC: &[u8; 4] = b"DMCA";
+/// Bytes of framing around every payload: magic, format, stage, key
+/// fingerprint, length, trailing payload fingerprint.
+const HEADER_BYTES: usize = 4 + 1 + 1 + 16 + 8;
+const TRAILER_BYTES: usize = 16;
+
+/// FNV-1a/128 over raw bytes — the payload integrity fingerprint. Same
+/// constants as `dmc_ir::fp`, applied to the byte stream directly (no
+/// structural tagging: the payload is already a canonical encoding).
+fn fnv1a128(bytes: &[u8]) -> u128 {
+    const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+    const PRIME: u128 = 0x0000000001000000000000000000013b;
+    let mut state = OFFSET;
+    for &b in bytes {
+        state ^= u128::from(b);
+        state = state.wrapping_mul(PRIME);
+    }
+    state
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    seq: u64,
+    bytes: u64,
+}
+
+/// The persistent sharded store. See the [module docs](self) for the
+/// layout, integrity and eviction disciplines.
+#[derive(Debug)]
+pub struct DiskStore {
+    root: PathBuf,
+    max_bytes: Option<u64>,
+    index: HashMap<(u8, u128), Entry>,
+    next_seq: u64,
+    bytes_total: u64,
+    hits: u64,
+    misses: u64,
+    corrupt: u64,
+    evictions: u64,
+    bytes_written: u64,
+    bytes_read: u64,
+}
+
+impl DiskStore {
+    /// Opens (creating if needed) the store rooted at `root`, with an
+    /// optional bound on resident payload bytes (`None` = unbounded).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error creating the directory tree or reading the index.
+    /// An unparsable index is not an error: the store restarts empty
+    /// (stale shard files are lazily dropped as key mismatches).
+    pub fn open(root: impl Into<PathBuf>, max_bytes: Option<u64>) -> io::Result<DiskStore> {
+        let root = root.into();
+        fs::create_dir_all(root.join("shards"))?;
+        fs::create_dir_all(root.join("quarantine"))?;
+        fs::create_dir_all(root.join("tmp"))?;
+        let mut store = DiskStore {
+            root,
+            max_bytes,
+            index: HashMap::new(),
+            next_seq: 0,
+            bytes_total: 0,
+            hits: 0,
+            misses: 0,
+            corrupt: 0,
+            evictions: 0,
+            bytes_written: 0,
+            bytes_read: 0,
+        };
+        store.read_index()?;
+        Ok(store)
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Resident keys, sorted (stage tag, fingerprint) — a deterministic
+    /// inventory for checks and reports.
+    pub fn keys(&self) -> Vec<(StageId, Fingerprint)> {
+        let mut keys: Vec<_> = self.index.keys().copied().collect();
+        keys.sort_unstable();
+        keys.into_iter()
+            .filter_map(|(tag, fp)| Some((StageId::from_tag(tag)?, Fingerprint(fp))))
+            .collect()
+    }
+
+    /// Files currently quarantined, sorted by name.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error listing the quarantine directory.
+    pub fn quarantined(&self) -> io::Result<Vec<PathBuf>> {
+        let mut files: Vec<PathBuf> = fs::read_dir(self.root.join("quarantine"))?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        files.sort();
+        Ok(files)
+    }
+
+    /// The artifact file path for a key.
+    pub fn path_of(&self, stage: StageId, key: Fingerprint) -> PathBuf {
+        let hex = format!("{:032x}", key.0);
+        self.root
+            .join("shards")
+            .join(&hex[..2])
+            .join(format!("{:02x}-{hex}.art", stage.tag()))
+    }
+
+    fn index_path(&self) -> PathBuf {
+        self.root.join("index.tsv")
+    }
+
+    fn read_index(&mut self) -> io::Result<()> {
+        let text = match fs::read_to_string(self.index_path()) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        for line in text.lines().skip(1) {
+            let mut parts = line.split('\t');
+            let (Some(seq), Some(tag), Some(fp), Some(bytes)) =
+                (parts.next(), parts.next(), parts.next(), parts.next())
+            else {
+                continue;
+            };
+            let (Ok(seq), Ok(tag), Ok(fp), Ok(bytes)) = (
+                seq.parse::<u64>(),
+                tag.parse::<u8>(),
+                u128::from_str_radix(fp, 16),
+                bytes.parse::<u64>(),
+            ) else {
+                continue;
+            };
+            self.index.insert((tag, fp), Entry { seq, bytes });
+            self.bytes_total += bytes;
+            self.next_seq = self.next_seq.max(seq + 1);
+        }
+        Ok(())
+    }
+
+    /// Rewrites the index atomically (write + rename), entries in
+    /// sequence order so the file bytes are a pure function of history.
+    fn write_index(&self) {
+        let mut entries: Vec<_> = self.index.iter().collect();
+        entries.sort_unstable_by_key(|(_, e)| e.seq);
+        let mut text = String::from("dmc-store v1\n");
+        for (&(tag, fp), e) in entries {
+            text.push_str(&format!("{}\t{}\t{:032x}\t{}\n", e.seq, tag, fp, e.bytes));
+        }
+        let tmp = self.root.join("tmp").join("index.tsv");
+        // Cache maintenance is best-effort: an I/O failure here loses
+        // recency, never data integrity (loads re-verify everything).
+        let _ = fs::write(&tmp, text).and_then(|()| fs::rename(&tmp, self.index_path()));
+    }
+
+    fn touch(&mut self, stage: StageId, key: Fingerprint) {
+        if let Some(e) = self.index.get_mut(&(stage.tag(), key.0)) {
+            e.seq = self.next_seq;
+            self.next_seq += 1;
+        }
+    }
+
+    fn drop_entry(&mut self, stage: StageId, key: Fingerprint) {
+        if let Some(e) = self.index.remove(&(stage.tag(), key.0)) {
+            self.bytes_total -= e.bytes;
+        }
+    }
+
+    /// Moves a rejected artifact file into `quarantine/`, never
+    /// clobbering an earlier capture (a numeric suffix disambiguates).
+    fn quarantine(&self, path: &Path) {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "unnamed.art".to_owned());
+        let dir = self.root.join("quarantine");
+        let mut target = dir.join(&name);
+        let mut n = 0u32;
+        while target.exists() {
+            n += 1;
+            target = dir.join(format!("{name}.{n}"));
+        }
+        let _ = fs::rename(path, &target);
+    }
+
+    /// Reads and fully validates one artifact file. `Ok(None)` means
+    /// the file is gone (a plain miss); `Err` means the bytes are wrong
+    /// — the caller quarantines.
+    fn read_artifact(
+        &self,
+        stage: StageId,
+        key: Fingerprint,
+        path: &Path,
+    ) -> Result<Option<(Artifact, u64)>, &'static str> {
+        let mut file = match fs::File::open(path) {
+            Ok(f) => f,
+            Err(_) => return Ok(None),
+        };
+        let mut bytes = Vec::new();
+        if file.read_to_end(&mut bytes).is_err() {
+            return Err("unreadable file");
+        }
+        if bytes.len() < HEADER_BYTES + TRAILER_BYTES {
+            return Err("short file");
+        }
+        if &bytes[..4] != MAGIC {
+            return Err("bad magic");
+        }
+        if bytes[4] != FORMAT_VERSION {
+            return Err("container format version mismatch");
+        }
+        if bytes[5] != stage.tag() {
+            return Err("stage tag mismatch");
+        }
+        let mut fp = [0u8; 16];
+        fp.copy_from_slice(&bytes[6..22]);
+        if u128::from_le_bytes(fp) != key.0 {
+            return Err("key fingerprint mismatch");
+        }
+        let mut len8 = [0u8; 8];
+        len8.copy_from_slice(&bytes[22..30]);
+        let len = u64::from_le_bytes(len8) as usize;
+        if bytes.len() != HEADER_BYTES + len + TRAILER_BYTES {
+            return Err("payload length mismatch");
+        }
+        let payload = &bytes[HEADER_BYTES..HEADER_BYTES + len];
+        let mut want = [0u8; 16];
+        want.copy_from_slice(&bytes[HEADER_BYTES + len..]);
+        if fnv1a128(payload) != u128::from_le_bytes(want) {
+            return Err("payload fingerprint mismatch");
+        }
+        let artifact =
+            Artifact::decode_payload(stage, payload).map_err(|_| "payload decode failure")?;
+        Ok(Some((artifact, len as u64)))
+    }
+
+    /// Evicts lowest-sequence entries until the byte bound holds. The
+    /// bound is hard: the just-written entry has the highest sequence,
+    /// so it is evicted only when it alone exceeds the bound.
+    fn evict_to_bound(&mut self) {
+        let Some(max) = self.max_bytes else { return };
+        while self.bytes_total > max {
+            let victim = self
+                .index
+                .iter()
+                .min_by_key(|(_, e)| e.seq)
+                .map(|(&k, _)| k);
+            let Some((tag, fp)) = victim else { break };
+            let Some(stage) = StageId::from_tag(tag) else {
+                self.drop_entry_raw(tag, fp);
+                continue;
+            };
+            let path = self.path_of(stage, Fingerprint(fp));
+            let _ = fs::remove_file(path);
+            self.drop_entry_raw(tag, fp);
+            self.evictions += 1;
+        }
+    }
+
+    fn drop_entry_raw(&mut self, tag: u8, fp: u128) {
+        if let Some(e) = self.index.remove(&(tag, fp)) {
+            self.bytes_total -= e.bytes;
+        }
+    }
+}
+
+impl ArtifactStore for DiskStore {
+    fn load(&mut self, stage: StageId, key: Fingerprint) -> Option<Artifact> {
+        if !self.index.contains_key(&(stage.tag(), key.0)) {
+            self.misses += 1;
+            return None;
+        }
+        let path = self.path_of(stage, key);
+        match self.read_artifact(stage, key, &path) {
+            Ok(Some((artifact, len))) => {
+                self.hits += 1;
+                self.bytes_read += len;
+                self.touch(stage, key);
+                self.write_index();
+                Some(artifact)
+            }
+            Ok(None) => {
+                // File vanished out from under the index: a plain miss.
+                self.misses += 1;
+                self.drop_entry(stage, key);
+                self.write_index();
+                None
+            }
+            Err(_why) => {
+                self.misses += 1;
+                self.corrupt += 1;
+                self.quarantine(&path);
+                self.drop_entry(stage, key);
+                self.write_index();
+                None
+            }
+        }
+    }
+
+    fn contains(&mut self, stage: StageId, key: Fingerprint) -> bool {
+        self.index.contains_key(&(stage.tag(), key.0))
+    }
+
+    fn store(&mut self, stage: StageId, key: Fingerprint, artifact: &Artifact) {
+        let payload = artifact.encode_payload(stage);
+        let mut bytes = Vec::with_capacity(HEADER_BYTES + payload.len() + TRAILER_BYTES);
+        bytes.extend_from_slice(MAGIC);
+        bytes.push(FORMAT_VERSION);
+        bytes.push(stage.tag());
+        bytes.extend_from_slice(&key.0.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        bytes.extend_from_slice(&fnv1a128(&payload).to_le_bytes());
+
+        let path = self.path_of(stage, key);
+        let tmp = self
+            .root
+            .join("tmp")
+            .join(format!("{:02x}-{:032x}.art", stage.tag(), key.0));
+        let staged = path
+            .parent()
+            .map(fs::create_dir_all)
+            .map(|r| r.is_ok())
+            .unwrap_or(false)
+            && fs::File::create(&tmp)
+                .and_then(|mut f| f.write_all(&bytes))
+                .is_ok()
+            && fs::rename(&tmp, &path).is_ok();
+        if !staged {
+            // Best-effort cache: a failed write leaves the store as it
+            // was (minus any tmp litter), never half an entry.
+            let _ = fs::remove_file(&tmp);
+            return;
+        }
+        self.drop_entry(stage, key);
+        let len = payload.len() as u64;
+        self.index.insert(
+            (stage.tag(), key.0),
+            Entry {
+                seq: self.next_seq,
+                bytes: len,
+            },
+        );
+        self.next_seq += 1;
+        self.bytes_total += len;
+        self.bytes_written += len;
+        self.evict_to_bound();
+        self.write_index();
+    }
+
+    fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits,
+            misses: self.misses,
+            corrupt: self.corrupt,
+            evictions: self.evictions,
+            entries: self.index.len() as u64,
+            bytes: self.bytes_total,
+            bytes_written: self.bytes_written,
+            bytes_read: self.bytes_read,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        // CARGO_TARGET_TMPDIR exists only for integration tests; unit
+        // tests get a process-unique corner of the system temp dir.
+        let dir = std::env::temp_dir()
+            .join(format!("dmc-store-unit-{}", std::process::id()))
+            .join(name);
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn program_artifact(n: usize) -> Artifact {
+        let body: String = (0..n)
+            .map(|i| format!("for i = 0 to N - 1 {{ A[i] = {i}.0; }} "))
+            .collect();
+        let src = format!("param N; array A[N]; {body}");
+        Artifact::Program(Arc::new(dmc_ir::parse(&src).expect("parses")))
+    }
+
+    fn key(i: u128) -> Fingerprint {
+        Fingerprint(i.wrapping_mul(0x9e3779b97f4a7c15) | 1)
+    }
+
+    #[test]
+    fn artifacts_persist_across_opens() {
+        let dir = tmpdir("persist");
+        let art = program_artifact(2);
+        {
+            let mut s = DiskStore::open(&dir, None).unwrap();
+            assert!(s.load(StageId::Parse, key(1)).is_none());
+            s.store(StageId::Parse, key(1), &art);
+            assert!(s.contains(StageId::Parse, key(1)));
+        }
+        let mut s = DiskStore::open(&dir, None).unwrap();
+        let back = s.load(StageId::Parse, key(1)).expect("persisted");
+        match (&back, &art) {
+            (Artifact::Program(b), Artifact::Program(a)) => assert_eq!(b, a),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        let st = s.stats();
+        assert_eq!((st.hits, st.misses, st.corrupt), (1, 0, 0));
+        assert_eq!(st.entries, 1);
+        assert!(st.bytes > 0 && st.bytes_read == st.bytes);
+    }
+
+    #[test]
+    fn lru_eviction_is_size_bounded_and_in_sequence_order() {
+        let dir = tmpdir("evict");
+        let art = program_artifact(1);
+        let one = art.encode_payload(StageId::Parse).len() as u64;
+        // Room for two payloads, not three.
+        let mut s = DiskStore::open(&dir, Some(2 * one)).unwrap();
+        s.store(StageId::Parse, key(1), &art);
+        s.store(StageId::Parse, key(2), &art);
+        assert_eq!(s.stats().evictions, 0);
+        // Touch key(1): key(2) becomes least recent.
+        assert!(s.load(StageId::Parse, key(1)).is_some());
+        s.store(StageId::Parse, key(3), &art);
+        assert_eq!(s.stats().evictions, 1);
+        assert!(s.contains(StageId::Parse, key(1)));
+        assert!(!s.contains(StageId::Parse, key(2)));
+        assert!(s.contains(StageId::Parse, key(3)));
+        assert!(!s.path_of(StageId::Parse, key(2)).exists());
+        assert!(s.stats().bytes <= 2 * one);
+        // The bound is hard: a payload bigger than the whole bound is
+        // written and immediately evicted, never retained.
+        let dir2 = tmpdir("evict-tiny");
+        let mut t = DiskStore::open(&dir2, Some(1)).unwrap();
+        t.store(StageId::Parse, key(7), &art);
+        assert!(!t.contains(StageId::Parse, key(7)));
+        assert_eq!(t.stats().entries, 0);
+        assert_eq!(t.stats().evictions, 1);
+    }
+
+    #[test]
+    fn corruption_quarantines_and_misses_cleanly() {
+        let dir = tmpdir("corrupt");
+        let art = program_artifact(3);
+        let mut s = DiskStore::open(&dir, None).unwrap();
+        s.store(StageId::Parse, key(5), &art);
+        let path = s.path_of(StageId::Parse, key(5));
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        assert!(s.load(StageId::Parse, key(5)).is_none());
+        let st = s.stats();
+        assert_eq!((st.corrupt, st.misses, st.hits), (1, 1, 0));
+        assert_eq!(st.entries, 0);
+        assert!(!path.exists(), "corrupt file removed from the shard");
+        assert_eq!(s.quarantined().unwrap().len(), 1);
+        // The slot is reusable and the replacement loads.
+        s.store(StageId::Parse, key(5), &art);
+        assert!(s.load(StageId::Parse, key(5)).is_some());
+    }
+
+    #[test]
+    fn truncation_is_corruption() {
+        let dir = tmpdir("truncate");
+        let art = program_artifact(2);
+        let mut s = DiskStore::open(&dir, None).unwrap();
+        s.store(StageId::StmtInfo, key(9), &{
+            let Artifact::Program(p) = &art else {
+                unreachable!()
+            };
+            Artifact::StmtInfo(Arc::new(p.statements()))
+        });
+        let path = s.path_of(StageId::StmtInfo, key(9));
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        assert!(s.load(StageId::StmtInfo, key(9)).is_none());
+        assert_eq!(s.stats().corrupt, 1);
+        assert_eq!(s.quarantined().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn index_and_stats_are_deterministic() {
+        let run = |name: &str| {
+            let dir = tmpdir(name);
+            let mut s = DiskStore::open(&dir, Some(10_000)).unwrap();
+            for i in 0..6 {
+                s.store(
+                    StageId::Parse,
+                    key(i),
+                    &program_artifact(1 + (i as usize % 3)),
+                );
+            }
+            let _ = s.load(StageId::Parse, key(2));
+            let _ = s.load(StageId::Parse, key(100));
+            (
+                fs::read_to_string(dir.join("index.tsv")).unwrap(),
+                s.stats(),
+            )
+        };
+        let (ia, sa) = run("det-a");
+        let (ib, sb) = run("det-b");
+        assert_eq!(ia, ib);
+        assert_eq!(sa, sb);
+    }
+}

@@ -6,7 +6,9 @@
 #
 # The history lives in .bench_history.jsonl: one deterministic JSONL
 # record per snapshot, keyed by a meta block (commit, host, config
-# fingerprint). Inspect it with
+# fingerprint). Snapshots that carry the persistent-store section
+# (`store` in BENCH_pipeline.json) record its cold/warm traffic too;
+# older snapshots omit the key and round-trip unchanged. Inspect with
 #
 #   cargo run --release -p dmc-bench --bin dmc-bench-explain -- --trend 10
 #   cargo run --release -p dmc-bench --bin dmc-bench-explain -- --explain @0 @last

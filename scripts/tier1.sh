@@ -63,6 +63,24 @@ cargo run --release -p dmc-bench --bin dmc-critpath -- \
 cargo run --release -p dmc-bench --bin dmc-session -- \
     --out-dir target/session-tier1 --check
 
+# Persistent artifact store: cold/warm byte identity over all four
+# workloads (a fresh process serves everything from disk and recomputes
+# nothing), deterministic LRU eviction under a tiny byte bound, and
+# corruption-as-miss (every bit-flipped artifact is quarantined and
+# recomputed, never trusted).
+cargo run --release -p dmc-bench --bin dmc-store -- \
+    --check --cache-dir target/dmc-store-tier1
+
+# Warm start across processes: a second dmc-session process against the
+# same cache directory must serve its stage lookups from disk and stay
+# identical to the one-shot pipeline (--check asserts both).
+store_dir="$(mktemp -d)"
+trap 'rm -rf "$store_dir"' EXIT
+cargo run --release -p dmc-bench --bin dmc-session -- \
+    --out-dir target/session-tier1-cold --cache-dir "$store_dir" --check
+cargo run --release -p dmc-bench --bin dmc-session -- \
+    --out-dir target/session-tier1-warm --cache-dir "$store_dir" --check
+
 # Compile journal: serve the four benchmark workloads through one
 # journaling session, write the JSONL journal, and verify it round-trips
 # through disk, self-diffs clean, and replays byte-identically (every
